@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the dynamic feature cache: hit path, miss
+//! path, and epoch-boundary replacement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taser_cache::{CachePolicy, DynamicCache, FeatureStore};
+use taser_graph::feats::FeatureMatrix;
+
+fn bench_cache(c: &mut Criterion) {
+    let n_items = 100_000usize;
+    let dim = 172;
+
+    c.bench_function("cache_access_hot_1k", |b| {
+        let mut cache = DynamicCache::new(n_items, n_items / 10, 0.7, 1);
+        for _ in 0..5 {
+            for e in 0..1000u32 {
+                cache.access(e);
+            }
+        }
+        cache.end_epoch();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for e in 0..1000u32 {
+                if cache.access(e) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    c.bench_function("cache_end_epoch_topk_100k", |b| {
+        let mut cache = DynamicCache::new(n_items, n_items / 10, 2.0, 1); // always replace
+        for e in 0..n_items as u32 {
+            cache.access(e % 5_000);
+        }
+        b.iter(|| cache.end_epoch())
+    });
+
+    let feats = FeatureMatrix::zeros(20_000, dim);
+    let ids: Vec<u32> = (0..2_000u32).map(|i| (i * 7) % 20_000).collect();
+    c.bench_function("store_gather_2k_rows_x172d_cached", |b| {
+        let mut store = FeatureStore::new(
+            feats.clone(),
+            CachePolicy::Dynamic { ratio: 0.2, epsilon: 0.7 },
+            3,
+        );
+        b.iter(|| store.gather(&ids))
+    });
+    c.bench_function("store_gather_2k_rows_x172d_uncached", |b| {
+        let mut store = FeatureStore::new(feats.clone(), CachePolicy::None, 3);
+        b.iter(|| store.gather(&ids))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the three temporal neighbor finders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taser_graph::synth::SynthConfig;
+use taser_sample::{DeviceModel, GpuFinder, OriginFinder, SamplePolicy, TglFinder};
+
+fn bench_finders(c: &mut Criterion) {
+    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 0).seed(1).build();
+    let csr = ds.tcsr();
+    let targets: Vec<(u32, f64)> =
+        ds.train_events().iter().take(2000).map(|e| (e.src, e.t)).collect();
+
+    let mut group = c.benchmark_group("neighbor_finders");
+    for m in [10usize, 25] {
+        group.bench_with_input(BenchmarkId::new("origin", m), &m, |b, &m| {
+            b.iter(|| OriginFinder.sample(&csr, &targets, m, SamplePolicy::Uniform, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("tgl", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut f = TglFinder::new(ds.num_nodes);
+                f.sample(&csr, &targets, m, SamplePolicy::Uniform, 7).unwrap()
+            })
+        });
+        let gpu = GpuFinder::new(DeviceModel::rtx6000ada());
+        group.bench_with_input(BenchmarkId::new("taser-gpu", m), &m, |b, &m| {
+            b.iter(|| gpu.sample(&csr, &targets, m, SamplePolicy::Uniform, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("taser-gpu-recent", m), &m, |b, &m| {
+            b.iter(|| gpu.sample(&csr, &targets, m, SamplePolicy::MostRecent, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_finders
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark of the adaptive neighbor sampler: one
+//! encode→decode→select pass at training batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taser_core::decoder::{DecoderConfig, DecoderHead};
+use taser_core::encoder::EncoderConfig;
+use taser_core::sampler::AdaptiveNeighborSampler;
+use taser_sample::SampledNeighbors;
+use taser_tensor::{Graph, ParamStore};
+
+fn candidates(r: usize, m: usize) -> SampledNeighbors {
+    let mut c = SampledNeighbors::empty(r, m);
+    for i in 0..r {
+        for j in 0..m {
+            let s = i * m + j;
+            c.nodes[s] = ((i * 31 + j) % 500) as u32;
+            c.times[s] = 10_000.0 - j as f64 * 3.0;
+            c.eids[s] = s as u32;
+        }
+        c.counts[i] = m;
+    }
+    c
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_sampler");
+    for (r, m) in [(150usize, 25usize), (600, 25)] {
+        for head in [DecoderHead::Linear, DecoderHead::GatV2] {
+            let mut store = ParamStore::new();
+            let enc = EncoderConfig::balanced(12, m, 0, 32);
+            let dec = DecoderConfig { enc_dim: enc.enc_dim(), m, head_dim: 12, head };
+            let sampler = AdaptiveNeighborSampler::new(&mut store, enc, dec, 10, 1);
+            let cands = candidates(r, m);
+            let roots: Vec<(u32, f64)> = (0..r).map(|i| (i as u32, 20_000.0)).collect();
+            let buf = vec![0.1f32; r * m * 32];
+            group.bench_with_input(
+                BenchmarkId::new(format!("select_{}", head.name()), format!("r{r}_m{m}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let mut g = Graph::inference();
+                        sampler.select(&mut g, &store, &roots, &cands, None, Some(&buf), 5)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sampler
+}
+criterion_main!(benches);

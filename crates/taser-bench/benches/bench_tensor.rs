@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the tensor substrate's hot kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taser_tensor::nn::MixerBlock;
+use taser_tensor::{init, ops, Graph, ParamStore};
+
+fn bench_tensor(c: &mut Criterion) {
+    let a = init::uniform(&[4096, 64], -1.0, 1.0, 1);
+    let b = init::uniform(&[64, 64], -1.0, 1.0, 2);
+    c.bench_function("matmul_4096x64x64", |bch| bch.iter(|| ops::matmul(&a, &b)));
+    c.bench_function("matmul_at_4096x64x64", |bch| {
+        let g = init::uniform(&[4096, 64], -1.0, 1.0, 3);
+        bch.iter(|| ops::matmul_at(&a, &g))
+    });
+    c.bench_function("softmax_4096x64", |bch| bch.iter(|| ops::softmax_lastdim(&a)));
+    c.bench_function("gelu_map_262k", |bch| bch.iter(|| a.map(ops::gelu)));
+    let x3 = init::uniform(&[128, 25, 64], -1.0, 1.0, 4);
+    c.bench_function("bmm_tb_128x25x64", |bch| {
+        let k3 = init::uniform(&[128, 25, 64], -1.0, 1.0, 5);
+        bch.iter(|| ops::bmm(&x3, &k3, true))
+    });
+    c.bench_function("mixer_fwd_bwd_128x25x64", |bch| {
+        let mut store = ParamStore::new();
+        let mixer = MixerBlock::new(&mut store, "m", 25, 64, 12, 64, 6);
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let x = g.leaf(x3.clone());
+            let y = mixer.forward(&mut g, &store, x);
+            let s = g.sum_all(y);
+            g.backward(s);
+            g.data(s).item()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_tensor
+}
+criterion_main!(benches);

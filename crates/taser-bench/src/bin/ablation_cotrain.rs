@@ -1,0 +1,36 @@
+//! Co-training strategy ablation: the paper's closed-form REINFORCE
+//! coefficients (Eq. 25/26, with α/β variance control) versus the
+//! aggregator-agnostic influence-gate estimator implemented as an extension.
+//!
+//! ```text
+//! cargo run --release -p taser-bench --bin ablation_cotrain [--epochs 3] [--scale 0.015]
+//! ```
+
+use taser_bench::{accuracy_config, arg_value, bench_dataset, scale_arg};
+use taser_core::cotrain::CoTrainStrategy;
+use taser_core::trainer::{Backbone, Trainer, Variant};
+
+fn main() {
+    let scale = scale_arg();
+    let epochs: usize = arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let ds = bench_dataset("wikipedia", scale, 42);
+    let strategies = [
+        ("closed-form α=2 β=1", CoTrainStrategy::ClosedForm { alpha: 2.0, beta: 1.0 }),
+        ("closed-form α=1 β=0", CoTrainStrategy::ClosedForm { alpha: 1.0, beta: 0.0 }),
+        ("influence-gate", CoTrainStrategy::InfluenceGate),
+    ];
+    println!("Co-training strategy ablation on wikipedia analog ({epochs} epochs)");
+    println!("{:>22} {:>12} {:>12}", "strategy", "TGAT", "GraphMixer");
+    for (name, strategy) in strategies {
+        let mut row = format!("{name:>22}");
+        for backbone in [Backbone::Tgat, Backbone::GraphMixer] {
+            let mut cfg = accuracy_config(backbone, Variant::Taser, epochs, 42);
+            cfg.cotrain = strategy;
+            cfg.eval_events = Some(100);
+            let mut trainer = Trainer::new(cfg, &ds);
+            let report = trainer.fit(&ds);
+            row.push_str(&format!(" {:>12.4}", report.test_mrr));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Decoder-head ablation (§IV-B discussion): test MRR of TASER with each of
+//! the four predictor heads (Eq. 17-20), for both backbones.
+//!
+//! The paper observes TGAT prefers GATv2 while GraphMixer pairs best with
+//! the MLP-Mixer-aligned (linear) head.
+//!
+//! ```text
+//! cargo run --release -p taser-bench --bin ablation_heads [--epochs 3] [--scale 0.015]
+//! ```
+
+use taser_bench::{accuracy_config, arg_value, bench_dataset, scale_arg};
+use taser_core::trainer::{Backbone, Trainer, Variant};
+use taser_core::DecoderHead;
+
+fn main() {
+    let scale = scale_arg();
+    let epochs: usize = arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let ds = bench_dataset("wikipedia", scale, 42);
+    println!("Decoder-head ablation on wikipedia analog ({epochs} epochs)");
+    println!("{:>12} {:>12} {:>12}", "head", "TGAT", "GraphMixer");
+    for head in DecoderHead::all() {
+        let mut row = format!("{:>12}", head.name());
+        for backbone in [Backbone::Tgat, Backbone::GraphMixer] {
+            let mut cfg = accuracy_config(backbone, Variant::Taser, epochs, 42);
+            cfg.decoder_head = head;
+            cfg.eval_events = Some(100);
+            let mut trainer = Trainer::new(cfg, &ds);
+            let report = trainer.fit(&ds);
+            row.push_str(&format!(" {:>12.4}", report.test_mrr));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Scratch profiler for tensor-op hot paths.
+use std::time::Instant;
+use taser_tensor::nn::MixerBlock;
+use taser_tensor::{init, ops, Graph, ParamStore, Tensor};
+
+fn time(label: &str, mut f: impl FnMut()) {
+    let t = Instant::now();
+    let iters = 5;
+    for _ in 0..iters {
+        f();
+    }
+    println!("{label:<40} {:?}/iter", t.elapsed() / iters);
+}
+
+fn main() {
+    let a = init::uniform(&[15000, 73], -1.0, 1.0, 1);
+    let b = init::uniform(&[73, 146], -1.0, 1.0, 2);
+    time("matmul 15000x73x146", || {
+        std::hint::black_box(ops::matmul(&a, &b));
+    });
+    let c = init::uniform(&[15000, 146], -1.0, 1.0, 3);
+    time("matmul_at 15000x73 . 15000x146", || {
+        std::hint::black_box(ops::matmul_at(&a, &c));
+    });
+    let gamma = Tensor::ones(&[73]);
+    let beta = Tensor::zeros(&[73]);
+    time("layer_norm 15000x73", || {
+        std::hint::black_box(ops::layer_norm(&a, &gamma, &beta, 1e-5));
+    });
+    let t3 = init::uniform(&[600, 25, 73], -1.0, 1.0, 4);
+    time("transpose12 600x25x73", || {
+        std::hint::black_box(ops::transpose12(&t3));
+    });
+
+    let mut store = ParamStore::new();
+    let mixer = MixerBlock::new(&mut store, "m", 25, 73, 12, 146, 5);
+    time("mixer fwd 600x25x73", || {
+        let mut g = Graph::new();
+        let x = g.leaf(t3.clone());
+        std::hint::black_box(mixer.forward(&mut g, &store, x));
+    });
+    time("mixer fwd+bwd 600x25x73", || {
+        let mut g = Graph::new();
+        let x = g.leaf(t3.clone());
+        let y = mixer.forward(&mut g, &store, x);
+        let s = g.sum_all(y);
+        g.backward(s);
+    });
+    // encoder-ish: concat of 5 parts
+    time("concat_cols 15000 x (16*4+25)", || {
+        let mut g = Graph::new();
+        let parts: Vec<_> = (0..4)
+            .map(|i| g.leaf(init::uniform(&[15000, 16], -1.0, 1.0, i)))
+            .collect();
+        let mut all = parts.clone();
+        all.push(g.leaf(init::uniform(&[15000, 25], -1.0, 1.0, 9)));
+        std::hint::black_box(g.concat_cols(&all));
+    });
+    time("gelu 15000x73 graph op", || {
+        let mut g = Graph::new();
+        let x = g.leaf(a.clone());
+        std::hint::black_box(g.gelu(x));
+    });
+}

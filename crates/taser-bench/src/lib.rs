@@ -1,0 +1,149 @@
+//! # taser-bench
+//!
+//! Harnesses regenerating every table and figure of the TASER paper's
+//! evaluation section, plus criterion micro-benchmarks. Each binary prints
+//! the same rows/series the paper reports; absolute numbers differ (the
+//! substrate is a 2-core CPU + simulated device, not the authors' testbed),
+//! but the *shape* — who wins and by roughly what factor — is the
+//! reproduction target. See `EXPERIMENTS.md` at the workspace root.
+//!
+//! Run any harness with `cargo run --release -p taser-bench --bin <name>`.
+//! All binaries accept `--scale`, `--epochs` and `--quick` where relevant.
+
+use std::time::Duration;
+use taser_core::trainer::{Backbone, TrainerConfig, Variant};
+use taser_core::DecoderHead;
+use taser_graph::synth::SynthConfig;
+use taser_graph::TemporalDataset;
+
+/// Default dataset scale used by the experiment harnesses. Chosen so the
+/// heaviest harness (Table I, 40 training runs) finishes in tens of minutes
+/// on a 2-core machine. Recorded in EXPERIMENTS.md.
+pub const DEFAULT_SCALE: f64 = 0.015;
+
+/// Default training epochs for accuracy harnesses.
+pub const DEFAULT_EPOCHS: usize = 4;
+
+/// Parses `--key value` style arguments; returns the value for `key`.
+pub fn arg_value(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True when `--flag` is present.
+pub fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// `--scale` override or the default.
+pub fn scale_arg() -> f64 {
+    arg_value("--scale").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_SCALE)
+}
+
+/// `--epochs` override or the default.
+pub fn epochs_arg() -> usize {
+    arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_EPOCHS)
+}
+
+/// The five paper datasets as scaled synthetic analogs. Feature dimensions
+/// are reduced from the paper's (172/266/…) to keep the 2-core harnesses
+/// tractable; the reduction is uniform across variants so comparisons hold.
+pub fn bench_dataset(name: &str, scale: f64, seed: u64) -> TemporalDataset {
+    let cfg = match name {
+        "wikipedia" => SynthConfig::wikipedia().feat_dims(0, 32),
+        "reddit" => SynthConfig::reddit().feat_dims(0, 32),
+        "flights" => SynthConfig::flights().feat_dims(32, 0),
+        "movielens" => SynthConfig::movielens().feat_dims(0, 32),
+        "gdelt" => SynthConfig::gdelt().feat_dims(32, 24),
+        other => panic!("unknown dataset {other}"),
+    };
+    // The >1M-edge datasets are orders of magnitude larger; scale them
+    // further so every dataset lands at a comparable harness size.
+    let extra = match name {
+        "wikipedia" => 1.0,
+        "reddit" => 0.25,
+        "flights" => 0.1,
+        "movielens" => 0.004,
+        "gdelt" => 0.001,
+        _ => 1.0,
+    };
+    cfg.scale(scale * extra).seed(seed).build()
+}
+
+/// The dataset names in the paper's column order.
+pub fn dataset_names() -> [&'static str; 5] {
+    ["wikipedia", "reddit", "flights", "movielens", "gdelt"]
+}
+
+/// Standard trainer config for accuracy harnesses: paper hyperparameters
+/// (γ=0.1, α=2, β=1, n=10, m=25) at 2-core-friendly model sizes; the
+/// decoder head follows the paper's per-backbone preference (§IV-B).
+pub fn accuracy_config(
+    backbone: Backbone,
+    variant: Variant,
+    epochs: usize,
+    seed: u64,
+) -> TrainerConfig {
+    TrainerConfig {
+        backbone,
+        variant,
+        epochs,
+        batch_size: 200,
+        hidden: 32,
+        time_dim: 16,
+        sampler_dim: 12,
+        heads: 2,
+        n_neighbors: 10,
+        finder_budget: 25,
+        decoder_head: match backbone {
+            Backbone::Tgat => DecoderHead::GatV2,
+            Backbone::GraphMixer => DecoderHead::Linear,
+        },
+        eval_events: Some(150),
+        eval_chunk: 25,
+        seed,
+        ..TrainerConfig::default()
+    }
+}
+
+/// Formats a duration in seconds with 3 decimals, Table III style.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Percentage helper.
+pub fn pct(part: Duration, total: Duration) -> String {
+    if total.is_zero() {
+        return "0%".into();
+    }
+    format!("{:.0}%", 100.0 * part.as_secs_f64() / total.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_datasets_build_at_tiny_scale() {
+        for name in dataset_names() {
+            let ds = bench_dataset(name, 0.005, 1);
+            assert!(ds.num_events() >= 2_000, "{name}");
+            assert_eq!(ds.name, name);
+        }
+    }
+
+    #[test]
+    fn accuracy_config_heads_follow_paper() {
+        let t = accuracy_config(Backbone::Tgat, Variant::Taser, 1, 1);
+        assert_eq!(t.decoder_head, DecoderHead::GatV2);
+        let g = accuracy_config(Backbone::GraphMixer, Variant::Taser, 1, 1);
+        assert_eq!(g.decoder_head, DecoderHead::Linear);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+        assert_eq!(pct(Duration::from_secs(1), Duration::from_secs(4)), "25%");
+        assert_eq!(pct(Duration::ZERO, Duration::ZERO), "0%");
+    }
+}

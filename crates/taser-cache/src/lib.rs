@@ -1,0 +1,23 @@
+//! # taser-cache
+//!
+//! The dynamic GPU feature cache of TASER (§III-D, Algorithm 3) and its
+//! evaluation companions:
+//!
+//! * [`dynamic_cache::DynamicCache`] — epoch-granularity top-k frequency
+//!   cache with overlap-threshold replacement.
+//! * [`oracle`] — the clairvoyant upper bound of Fig. 3b.
+//! * [`store::FeatureStore`] — a two-tier (VRAM-cache / host-RAM) feature
+//!   store serving gathers with per-tier byte accounting.
+//! * [`transfer::TransferModel`] — modeled VRAM/PCIe transfer times, the
+//!   substitution for real zero-copy hardware.
+
+pub mod dynamic_cache;
+pub mod oracle;
+pub(crate) mod rng_util;
+pub mod store;
+pub mod transfer;
+
+pub use dynamic_cache::{DynamicCache, EpochCacheReport};
+pub use oracle::{oracle_hit_rate, oracle_hit_rates};
+pub use store::{CachePolicy, FeatureStore, SliceStats};
+pub use transfer::TransferModel;

@@ -1,0 +1,82 @@
+//! The Oracle caching strategy (Fig. 3b's upper bound).
+//!
+//! The oracle is told each epoch's access trace in advance and caches the
+//! top-k most frequently accessed items for that exact epoch. Its hit rate
+//! is the best any epoch-granularity, k-item cache can achieve.
+
+/// Hit rate of an oracle cache of `capacity` items over a known access trace.
+pub fn oracle_hit_rate(accesses: &[u32], num_items: usize, capacity: usize) -> f64 {
+    if accesses.is_empty() || capacity == 0 {
+        return 0.0;
+    }
+    let mut freq = vec![0u64; num_items];
+    for &e in accesses {
+        freq[e as usize] += 1;
+    }
+    let k = capacity.min(num_items);
+    let mut ids: Vec<u32> = (0..num_items as u32).collect();
+    if k < ids.len() {
+        ids.select_nth_unstable_by(k - 1, |&a, &b| {
+            freq[b as usize].cmp(&freq[a as usize]).then(a.cmp(&b))
+        });
+        ids.truncate(k);
+    }
+    let covered: u64 = ids.iter().map(|&e| freq[e as usize]).sum();
+    covered as f64 / accesses.len() as f64
+}
+
+/// Epoch-by-epoch oracle hit rates for a sequence of traces.
+pub fn oracle_hit_rates(traces: &[Vec<u32>], num_items: usize, capacity: usize) -> Vec<f64> {
+    traces.iter().map(|t| oracle_hit_rate(t, num_items, capacity)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_capacity_is_perfect() {
+        let trace = vec![1, 2, 3, 1, 2, 3];
+        assert_eq!(oracle_hit_rate(&trace, 10, 10), 1.0);
+    }
+
+    #[test]
+    fn covers_hottest_items() {
+        // item 0: 8 accesses, item 1: 2, capacity 1 -> 0.8
+        let mut trace = vec![0u32; 8];
+        trace.extend_from_slice(&[1, 1]);
+        assert!((oracle_hit_rate(&trace, 5, 1) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_or_capacity_is_zero() {
+        assert_eq!(oracle_hit_rate(&[], 5, 2), 0.0);
+        assert_eq!(oracle_hit_rate(&[1, 2], 5, 0), 0.0);
+    }
+
+    #[test]
+    fn per_epoch_rates() {
+        let traces = vec![vec![0, 0, 1], vec![2, 2, 2]];
+        let rates = oracle_hit_rates(&traces, 4, 1);
+        assert!((rates[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(rates[1], 1.0);
+    }
+
+    #[test]
+    fn oracle_at_least_as_good_as_any_fixed_set() {
+        // compare against a random fixed cache on a skewed trace
+        let mut trace = Vec::new();
+        for e in 0..50u32 {
+            for _ in 0..(50 - e) {
+                trace.push(e);
+            }
+        }
+        let oracle = oracle_hit_rate(&trace, 50, 10);
+        // fixed set {40..50} (the coldest) must be worse
+        let cold: f64 = trace.iter().filter(|&&e| e >= 40).count() as f64 / trace.len() as f64;
+        assert!(oracle > cold);
+        // and the oracle picks exactly the 10 hottest: items 0..10
+        let hot: f64 = trace.iter().filter(|&&e| e < 10).count() as f64 / trace.len() as f64;
+        assert!((oracle - hot).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,21 @@
+//! Small deterministic mixing helper (SplitMix64 finalizer).
+
+/// Mixes a 64-bit value into a well-distributed hash.
+#[inline]
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mix_spreads_bits() {
+        let a = super::mix(1);
+        let b = super::mix(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8, "adjacent inputs should differ widely");
+    }
+}

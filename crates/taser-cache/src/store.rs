@@ -1,0 +1,243 @@
+//! The two-tier feature store: host RAM features fronted by the dynamic
+//! VRAM cache, with byte-level transfer accounting.
+
+use crate::dynamic_cache::{DynamicCache, EpochCacheReport};
+use crate::transfer::TransferModel;
+use std::time::Duration;
+use taser_graph::feats::FeatureMatrix;
+
+/// Cache policy selector for the feature store.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CachePolicy {
+    /// Every read goes over the slow tier (the paper's "Baseline" rows).
+    None,
+    /// Algorithm 3 with a capacity expressed as a fraction of all items and
+    /// a replacement threshold ε (fraction of capacity overlap).
+    Dynamic {
+        /// Cached fraction of all feature rows (0.1/0.2/0.3 in Table III).
+        ratio: f64,
+        /// Replacement threshold ε.
+        epsilon: f64,
+    },
+}
+
+/// Statistics of one gather through the store.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SliceStats {
+    /// Rows served from the fast (VRAM) tier.
+    pub hits: usize,
+    /// Rows served over the slow (PCIe) tier.
+    pub misses: usize,
+    /// Bytes moved from VRAM.
+    pub hit_bytes: u64,
+    /// Bytes moved over PCIe.
+    pub miss_bytes: u64,
+}
+
+impl SliceStats {
+    /// Hit rate of this gather.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Feature matrix fronted by a [`DynamicCache`], serving gathers and
+/// accounting transfer bytes per tier.
+pub struct FeatureStore {
+    feats: FeatureMatrix,
+    cache: Option<DynamicCache>,
+    transfer: TransferModel,
+    modeled_epoch_time: Duration,
+    policy: CachePolicy,
+    trace: Option<Vec<u32>>,
+}
+
+impl FeatureStore {
+    /// Wraps `feats` under the given policy.
+    pub fn new(feats: FeatureMatrix, policy: CachePolicy, seed: u64) -> Self {
+        let cache = match policy {
+            CachePolicy::None => None,
+            CachePolicy::Dynamic { ratio, epsilon } => {
+                let capacity = ((feats.rows() as f64) * ratio).round() as usize;
+                Some(DynamicCache::new(feats.rows(), capacity, epsilon, seed))
+            }
+        };
+        FeatureStore {
+            feats,
+            cache,
+            transfer: TransferModel::default(),
+            modeled_epoch_time: Duration::ZERO,
+            policy,
+            trace: None,
+        }
+    }
+
+    /// Enables per-epoch access-trace recording (used by the oracle-cache
+    /// comparison of Fig. 3b).
+    pub fn record_trace(&mut self, enabled: bool) {
+        self.trace = enabled.then(Vec::new);
+    }
+
+    /// Takes the recorded access trace since the last call (empty when
+    /// recording is disabled).
+    pub fn take_trace(&mut self) -> Vec<u32> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Overrides the transfer model (bench harnesses).
+    pub fn with_transfer(mut self, transfer: TransferModel) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.feats.dim()
+    }
+
+    /// Number of feature rows.
+    pub fn rows(&self) -> usize {
+        self.feats.rows()
+    }
+
+    /// Direct read-only access to the backing matrix.
+    pub fn features(&self) -> &FeatureMatrix {
+        &self.feats
+    }
+
+    /// Gathers feature rows for `ids`, recording cache accesses and tier
+    /// bytes. Returns the flat `[ids.len() * dim]` buffer and the stats.
+    pub fn gather(&mut self, ids: &[u32]) -> (Vec<f32>, SliceStats) {
+        let row_bytes = (self.feats.dim() * std::mem::size_of::<f32>()) as u64;
+        let mut stats = SliceStats::default();
+        if let Some(t) = &mut self.trace {
+            t.extend_from_slice(ids);
+        }
+        match &mut self.cache {
+            None => {
+                stats.misses = ids.len();
+                stats.miss_bytes = row_bytes * ids.len() as u64;
+            }
+            Some(c) => {
+                for &e in ids {
+                    if c.access(e) {
+                        stats.hits += 1;
+                        stats.hit_bytes += row_bytes;
+                    } else {
+                        stats.misses += 1;
+                        stats.miss_bytes += row_bytes;
+                    }
+                }
+            }
+        }
+        self.modeled_epoch_time += self.transfer.modeled_time(stats.hit_bytes, stats.miss_bytes);
+        (self.feats.gather(ids), stats)
+    }
+
+    /// Epoch-boundary maintenance: runs the cache replacement check and
+    /// returns `(cache report, modeled feature-slicing time this epoch)`.
+    pub fn end_epoch(&mut self) -> (Option<EpochCacheReport>, Duration) {
+        let mut t = self.modeled_epoch_time;
+        self.modeled_epoch_time = Duration::ZERO;
+        let report = self.cache.as_mut().map(|c| {
+            let r = c.end_epoch();
+            if r.replaced {
+                let bytes =
+                    (c.capacity() * self.feats.dim() * std::mem::size_of::<f32>()) as u64;
+                t += self.transfer.refill_time(bytes);
+            }
+            r
+        });
+        (report, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(rows: usize, dim: usize) -> FeatureMatrix {
+        FeatureMatrix::from_vec((0..rows * dim).map(|x| x as f32).collect(), dim)
+    }
+
+    #[test]
+    fn gather_returns_correct_rows() {
+        let mut s = FeatureStore::new(feats(10, 2), CachePolicy::None, 1);
+        let (buf, stats) = s.gather(&[3, 0]);
+        assert_eq!(buf, vec![6.0, 7.0, 0.0, 1.0]);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.miss_bytes, 16);
+    }
+
+    #[test]
+    fn dynamic_policy_caches_hot_rows() {
+        let mut s = FeatureStore::new(
+            feats(100, 4),
+            CachePolicy::Dynamic { ratio: 0.1, epsilon: 0.7 },
+            2,
+        );
+        // epoch 1: hammer rows 0..10
+        for _ in 0..30 {
+            s.gather(&(0..10u32).collect::<Vec<_>>());
+        }
+        let (r1, t1) = s.end_epoch();
+        assert!(r1.unwrap().replaced);
+        assert!(t1 > Duration::ZERO);
+        // epoch 2: same pattern -> all hits
+        let (_, stats) = s.gather(&(0..10u32).collect::<Vec<_>>());
+        assert_eq!(stats.hits, 10);
+        assert_eq!(stats.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn modeled_time_resets_each_epoch() {
+        let mut s = FeatureStore::new(feats(10, 4), CachePolicy::None, 1);
+        s.gather(&[1, 2, 3]);
+        let (_, t1) = s.end_epoch();
+        assert!(t1 > Duration::ZERO);
+        let (_, t2) = s.end_epoch();
+        assert_eq!(t2, Duration::ZERO);
+    }
+
+    #[test]
+    fn policy_none_has_no_report() {
+        let mut s = FeatureStore::new(feats(10, 4), CachePolicy::None, 1);
+        let (r, _) = s.end_epoch();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn trace_recording_roundtrip() {
+        let mut s = FeatureStore::new(feats(10, 2), CachePolicy::None, 1);
+        assert!(s.take_trace().is_empty(), "no trace before enabling");
+        s.record_trace(true);
+        s.gather(&[3, 0, 3]);
+        s.gather(&[7]);
+        assert_eq!(s.take_trace(), vec![3, 0, 3, 7]);
+        assert!(s.take_trace().is_empty(), "take drains the trace");
+    }
+
+    #[test]
+    fn cached_gather_is_bitwise_identical() {
+        let f = feats(50, 3);
+        let mut a = FeatureStore::new(f.clone(), CachePolicy::None, 1);
+        let mut b =
+            FeatureStore::new(f, CachePolicy::Dynamic { ratio: 0.2, epsilon: 0.7 }, 1);
+        let ids = vec![4u32, 9, 4, 31];
+        assert_eq!(a.gather(&ids).0, b.gather(&ids).0, "cache must not change data");
+    }
+}

@@ -1,0 +1,314 @@
+//! Co-training the adaptive sampler with the TGNN (§III-B, Eq. 22-26).
+//!
+//! The sampling operation is non-differentiable, so the sampler's parameters
+//! are updated by REINFORCE: `∇θ E_q[f] ≈ Σ_j f(u_j) ∇θ log q(u_j)`
+//! (Eq. 23). The per-neighbor coefficient `f(u_j)` is derived from the
+//! aggregator's internals and the gradient that reached the aggregator
+//! output during the model backward pass:
+//!
+//! * **TGAT** (Eq. 25) — attention weight × (value + β·output) · output-grad,
+//!   scaled by `1/(λα)` where `λ` estimates `E_q[e^a]`.
+//! * **GraphMixer** (Eq. 26) — post-mixer token row · pooled-output grad / n.
+//!
+//! [`CoTrainStrategy::InfluenceGate`] is a principled aggregator-agnostic
+//! alternative (not in the paper): the coefficient is the directional
+//! derivative of the loss w.r.t. an implicit per-neighbor gate
+//! `s_j = 1` multiplying neighbor `j`'s contribution, i.e.
+//! `f(u_j) = ⟨∂L/∂V_j, V_j⟩`. It needs no per-aggregator derivation and is
+//! exercised by the ablation bench.
+
+use taser_models::Feedback;
+use taser_tensor::Graph;
+
+/// How the REINFORCE coefficients are computed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CoTrainStrategy {
+    /// The paper's closed forms (Eq. 25 / Eq. 26) with variance-control
+    /// hyperparameters `α` and `β` (paper defaults: α = 2, β = 1).
+    ClosedForm {
+        /// Gradient variance control.
+        alpha: f32,
+        /// Root-vs-neighbor importance ratio.
+        beta: f32,
+    },
+    /// Aggregator-agnostic gate-gradient coefficients.
+    InfluenceGate,
+}
+
+impl Default for CoTrainStrategy {
+    fn default() -> Self {
+        CoTrainStrategy::ClosedForm { alpha: 2.0, beta: 1.0 }
+    }
+}
+
+/// Magnitude clamp applied to coefficients — REINFORCE estimates are
+/// heavy-tailed and a single outlier batch shouldn't blow up the policy.
+const COEFF_CLAMP: f32 = 10.0;
+
+/// Computes the per-(root, slot) coefficient vector `[R*n]` from an
+/// aggregator's feedback after `g.backward(...)` has run on the model tape.
+/// Returns zeros when no gradient reached the aggregator (e.g. inference).
+pub fn coefficients(g: &Graph, fb: &Feedback, strategy: CoTrainStrategy) -> Vec<f32> {
+    match fb {
+        Feedback::Tgat { scores, attn, v, attn_out, heads, n } => {
+            let h = *heads;
+            let n = *n;
+            let r = g.data(*attn_out).rows();
+            let d = g.data(*attn_out).last_dim();
+            let dh = d / h;
+            let Some(gout) = g.grad(*attn_out) else {
+                return vec![0.0; r * n];
+            };
+            let attn_d = g.data(*attn).data();
+            let scores_d = g.data(*scores).data();
+            let v_d = g.data(*v).data();
+            let out_d = g.data(*attn_out).data();
+            let mut coeffs = vec![0.0f32; r * n];
+            match strategy {
+                CoTrainStrategy::ClosedForm { alpha, beta } => {
+                    for i in 0..r {
+                        for hi in 0..h {
+                            let blk = i * h + hi; // [R*h, 1, n] block
+                            // λ = E_q[e^a], stabilized by the row max; the
+                            // shared shift is absorbed into the scale.
+                            let row = &scores_d[blk * n..(blk + 1) * n];
+                            let maxv =
+                                row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+                            let mut lambda = 0.0f32;
+                            let mut valid = 0usize;
+                            for &sc in row {
+                                if sc > -1e8 {
+                                    lambda += (sc - maxv).exp();
+                                    valid += 1;
+                                }
+                            }
+                            if valid == 0 {
+                                continue;
+                            }
+                            lambda /= valid as f32;
+                            let gh = &gout.data()[i * d + hi * dh..i * d + (hi + 1) * dh];
+                            let oh = &out_d[i * d + hi * dh..i * d + (hi + 1) * dh];
+                            let root_term: f32 =
+                                beta * gh.iter().zip(oh.iter()).map(|(a, b)| a * b).sum::<f32>();
+                            for j in 0..n {
+                                if row[j] <= -1e8 {
+                                    continue;
+                                }
+                                let a_hat = attn_d[blk * n + j];
+                                let vj = &v_d[(blk * n + j) * dh..(blk * n + j + 1) * dh];
+                                let vg: f32 =
+                                    vj.iter().zip(gh.iter()).map(|(a, b)| a * b).sum();
+                                coeffs[i * n + j] +=
+                                    a_hat * (vg + root_term) / (lambda * alpha);
+                            }
+                        }
+                    }
+                }
+                CoTrainStrategy::InfluenceGate => {
+                    let Some(gv) = g.grad(*v) else {
+                        return vec![0.0; r * n];
+                    };
+                    for i in 0..r {
+                        for hi in 0..h {
+                            let blk = i * h + hi;
+                            for j in 0..n {
+                                let base = (blk * n + j) * dh;
+                                let dot: f32 = v_d[base..base + dh]
+                                    .iter()
+                                    .zip(gv.data()[base..base + dh].iter())
+                                    .map(|(a, b)| a * b)
+                                    .sum();
+                                coeffs[i * n + j] += dot;
+                            }
+                        }
+                    }
+                }
+            }
+            clamp(coeffs)
+        }
+        Feedback::Mixer { mixed, pooled, n } => {
+            let n = *n;
+            let shp = g.shape(*mixed).to_vec();
+            let (r, d) = (shp[0], shp[2]);
+            let mixed_d = g.data(*mixed).data();
+            let mut coeffs = vec![0.0f32; r * n];
+            match strategy {
+                CoTrainStrategy::ClosedForm { alpha, .. } => {
+                    let Some(gp) = g.grad(*pooled) else {
+                        return coeffs;
+                    };
+                    for i in 0..r {
+                        let gi = &gp.data()[i * d..(i + 1) * d];
+                        for j in 0..n {
+                            let row = &mixed_d[(i * n + j) * d..(i * n + j + 1) * d];
+                            let dot: f32 =
+                                row.iter().zip(gi.iter()).map(|(a, b)| a * b).sum();
+                            coeffs[i * n + j] = dot / (n as f32 * alpha.max(1e-6));
+                        }
+                    }
+                }
+                CoTrainStrategy::InfluenceGate => {
+                    let Some(gm) = g.grad(*mixed) else {
+                        return coeffs;
+                    };
+                    for i in 0..r {
+                        for j in 0..n {
+                            let base = (i * n + j) * d;
+                            let dot: f32 = mixed_d[base..base + d]
+                                .iter()
+                                .zip(gm.data()[base..base + d].iter())
+                                .map(|(a, b)| a * b)
+                                .sum();
+                            coeffs[i * n + j] = dot;
+                        }
+                    }
+                }
+            }
+            clamp(coeffs)
+        }
+    }
+}
+
+fn clamp(mut c: Vec<f32>) -> Vec<f32> {
+    for v in &mut c {
+        if !v.is_finite() {
+            *v = 0.0;
+        }
+        *v = v.clamp(-COEFF_CLAMP, COEFF_CLAMP);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_models::batch::LayerBatch;
+    use taser_models::graphmixer::{MixerAggregator, MixerConfig};
+    use taser_models::tgat::{TgatConfig, TgatLayer};
+    use taser_models::Aggregator;
+    use taser_tensor::{init, ParamStore};
+
+    fn tgat_run(strategy: CoTrainStrategy) -> Vec<f32> {
+        let mut store = ParamStore::new();
+        let cfg = TgatConfig {
+            in_dim: 5,
+            edge_dim: 3,
+            time_dim: 4,
+            out_dim: 8,
+            heads: 2,
+            dropout: 0.0,
+        };
+        let layer = TgatLayer::new(&mut store, "t", cfg, 3);
+        let mut g = Graph::new();
+        let b = LayerBatch::from_tensors(
+            &mut g,
+            2,
+            4,
+            init::uniform(&[2, 5], -1.0, 1.0, 1),
+            init::uniform(&[8, 5], -1.0, 1.0, 2),
+            Some(init::uniform(&[8, 3], -1.0, 1.0, 3)),
+            (0..8).map(|i| i as f32).collect(),
+            vec![true; 8],
+        );
+        let out = layer.forward(&mut g, &store, &b, false, 1);
+        let sq = g.square(out.h);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        coefficients(&g, &out.feedback, strategy)
+    }
+
+    #[test]
+    fn tgat_closed_form_produces_nonzero_coeffs() {
+        let c = tgat_run(CoTrainStrategy::default());
+        assert_eq!(c.len(), 8);
+        assert!(c.iter().any(|&x| x != 0.0), "all coefficients zero");
+        assert!(c.iter().all(|x| x.is_finite()));
+        assert!(c.iter().all(|x| x.abs() <= COEFF_CLAMP));
+    }
+
+    #[test]
+    fn tgat_influence_gate_produces_nonzero_coeffs() {
+        let c = tgat_run(CoTrainStrategy::InfluenceGate);
+        assert!(c.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn alpha_scales_closed_form() {
+        let a1 = tgat_run(CoTrainStrategy::ClosedForm { alpha: 1.0, beta: 1.0 });
+        let a2 = tgat_run(CoTrainStrategy::ClosedForm { alpha: 2.0, beta: 1.0 });
+        // doubling α halves the coefficients (up to the clamp)
+        for (x, y) in a1.iter().zip(a2.iter()) {
+            if x.abs() < COEFF_CLAMP * 0.99 {
+                assert!((x / 2.0 - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    fn mixer_run(strategy: CoTrainStrategy) -> Vec<f32> {
+        let mut store = ParamStore::new();
+        let cfg = MixerConfig {
+            in_dim: 5,
+            edge_dim: 3,
+            time_dim: 4,
+            out_dim: 8,
+            tokens: 4,
+            dropout: 0.0,
+        };
+        let agg = MixerAggregator::new(&mut store, "m", cfg, 3);
+        let mut g = Graph::new();
+        let b = LayerBatch::from_tensors(
+            &mut g,
+            2,
+            4,
+            init::uniform(&[2, 5], -1.0, 1.0, 1),
+            init::uniform(&[8, 5], -1.0, 1.0, 2),
+            Some(init::uniform(&[8, 3], -1.0, 1.0, 3)),
+            (0..8).map(|i| i as f32).collect(),
+            vec![true; 8],
+        );
+        let out = agg.forward(&mut g, &store, &b, false, 1);
+        let sq = g.square(out.h);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        coefficients(&g, &out.feedback, strategy)
+    }
+
+    #[test]
+    fn mixer_both_strategies_nonzero() {
+        for s in [CoTrainStrategy::default(), CoTrainStrategy::InfluenceGate] {
+            let c = mixer_run(s);
+            assert_eq!(c.len(), 8);
+            assert!(c.iter().any(|&x| x != 0.0), "{s:?} all zero");
+            assert!(c.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn no_backward_gives_zeros() {
+        let mut store = ParamStore::new();
+        let cfg = MixerConfig {
+            in_dim: 5,
+            edge_dim: 3,
+            time_dim: 4,
+            out_dim: 8,
+            tokens: 4,
+            dropout: 0.0,
+        };
+        let agg = MixerAggregator::new(&mut store, "m", cfg, 3);
+        let mut g = Graph::new();
+        let b = LayerBatch::from_tensors(
+            &mut g,
+            1,
+            4,
+            init::uniform(&[1, 5], -1.0, 1.0, 1),
+            init::uniform(&[4, 5], -1.0, 1.0, 2),
+            Some(init::uniform(&[4, 3], -1.0, 1.0, 3)),
+            vec![0.0; 4],
+            vec![true; 4],
+        );
+        let out = agg.forward(&mut g, &store, &b, false, 1);
+        // no backward call
+        let c = coefficients(&g, &out.feedback, CoTrainStrategy::default());
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,292 @@
+//! The neighbor decoder of TASER's adaptive sampler (§III-B, Eq. 16-20).
+//!
+//! A 1-layer MLP-Mixer first lets every candidate's embedding attend to the
+//! rest of its neighborhood (Eq. 16), then one of four predictor heads maps
+//! the mixed embeddings to a per-neighborhood importance distribution
+//! `q(u|v)`:
+//!
+//! * [`DecoderHead::Linear`] — `σ(w·Z)` (Eq. 17),
+//! * [`DecoderHead::Gat`] — GAT-style additive attention (Eq. 18),
+//! * [`DecoderHead::GatV2`] — GATv2's fixed-order variant (Eq. 19),
+//! * [`DecoderHead::Trans`] — transformer dot-product scoring (Eq. 20).
+//!
+//! The paper observes each backbone prefers a different head (TGAT → GATv2,
+//! GraphMixer → MLP-Mixer-friendly linear); the head is a config knob.
+
+use taser_tensor::nn::{Linear, MixerBlock};
+use taser_tensor::{Graph, ParamStore, Tensor, VarId};
+
+/// Predictor head choices (Eq. 17-20).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecoderHead {
+    /// Linear scoring head.
+    Linear,
+    /// GAT additive attention head.
+    Gat,
+    /// GATv2 head (LeakyReLU inside the projection).
+    GatV2,
+    /// Transformer dot-product head.
+    Trans,
+}
+
+impl DecoderHead {
+    /// Name used in reports/ablations.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecoderHead::Linear => "linear",
+            DecoderHead::Gat => "gat",
+            DecoderHead::GatV2 => "gatv2",
+            DecoderHead::Trans => "trans",
+        }
+    }
+
+    /// All heads, for the ablation bench.
+    pub fn all() -> [DecoderHead; 4] {
+        [DecoderHead::Linear, DecoderHead::Gat, DecoderHead::GatV2, DecoderHead::Trans]
+    }
+}
+
+/// Decoder configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DecoderConfig {
+    /// Neighbor embedding dimension `d_enc` (from the encoder).
+    pub enc_dim: usize,
+    /// Candidate slots per root `m` (mixer token count).
+    pub m: usize,
+    /// Hidden dimension of the attention heads.
+    pub head_dim: usize,
+    /// Which predictor head to use.
+    pub head: DecoderHead,
+}
+
+enum HeadParams {
+    Linear { w: Linear },
+    Gat { proj: Linear, att: Linear },
+    GatV2 { proj: Linear, att: Linear },
+    Trans { wq: Linear, wk: Linear },
+}
+
+/// The decoder: mixer + predictor head producing `q(u|v)` per neighborhood.
+pub struct NeighborDecoder {
+    mixer: MixerBlock,
+    head: HeadParams,
+    cfg: DecoderConfig,
+}
+
+/// Decoder output: sampling distribution and its log, on the sampler tape.
+pub struct DecodedPolicy {
+    /// `q(u|v)` per candidate slot, `[R, m]` (softmax over valid slots).
+    pub q: VarId,
+    /// `log q(u|v)`, `[R, m]` — the REINFORCE term of Eq. 23.
+    pub log_q: VarId,
+    /// Raw pre-softmax scores `[R, m]`.
+    pub scores: VarId,
+}
+
+impl NeighborDecoder {
+    /// Builds the decoder; `name` scopes its parameters.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: DecoderConfig, seed: u64) -> Self {
+        // 1-layer mixer with 0.5× token and 1× channel hidden dims — the
+        // decoder scores neighborhoods, it does not need the 4× expansion
+        // used for representation learning.
+        let mixer = MixerBlock::new(
+            store,
+            &format!("{name}.mixer"),
+            cfg.m,
+            cfg.enc_dim,
+            (cfg.m / 2).max(2),
+            cfg.enc_dim,
+            seed ^ 0x31,
+        );
+        let head = match cfg.head {
+            DecoderHead::Linear => HeadParams::Linear {
+                w: Linear::new(store, &format!("{name}.lin"), cfg.enc_dim, 1, seed ^ 0x32),
+            },
+            DecoderHead::Gat => HeadParams::Gat {
+                proj: Linear::new(store, &format!("{name}.gproj"), cfg.enc_dim, cfg.head_dim, seed ^ 0x33),
+                att: Linear::with_bias(store, &format!("{name}.gatt"), 2 * cfg.head_dim, 1, false, seed ^ 0x34),
+            },
+            DecoderHead::GatV2 => HeadParams::GatV2 {
+                proj: Linear::new(store, &format!("{name}.g2proj"), 2 * cfg.enc_dim, cfg.head_dim, seed ^ 0x35),
+                att: Linear::with_bias(store, &format!("{name}.g2att"), cfg.head_dim, 1, false, seed ^ 0x36),
+            },
+            DecoderHead::Trans => HeadParams::Trans {
+                wq: Linear::new(store, &format!("{name}.tq"), cfg.enc_dim, cfg.head_dim, seed ^ 0x37),
+                wk: Linear::new(store, &format!("{name}.tk"), cfg.enc_dim, cfg.head_dim, seed ^ 0x38),
+            },
+        };
+        NeighborDecoder { mixer, head, cfg }
+    }
+
+    /// The decoder configuration.
+    pub fn config(&self) -> &DecoderConfig {
+        &self.cfg
+    }
+
+    /// Computes `q(·|v)` for `R` neighborhoods.
+    ///
+    /// * `z` — candidate embeddings `[R*m, d_enc]`,
+    /// * `z_root` — root embeddings `[R, d_enc]`,
+    /// * `mask` — candidate validity, `[R*m]`.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        z: VarId,
+        z_root: VarId,
+        mask: &[bool],
+    ) -> DecodedPolicy {
+        let m = self.cfg.m;
+        let d = self.cfg.enc_dim;
+        let r = g.data(z).rows() / m;
+        assert_eq!(g.data(z).last_dim(), d, "encoder dim mismatch");
+        assert_eq!(mask.len(), r * m, "mask length");
+
+        // Eq. 16: neighborhood-correlated embeddings via the mixer.
+        let tokens = g.reshape(z, &[r, m, d]);
+        let mixed3 = self.mixer.forward(g, store, tokens);
+        let mixed = g.reshape(mixed3, &[r * m, d]);
+
+        // Predictor head → raw scores [R, m].
+        let raw = match &self.head {
+            HeadParams::Linear { w } => {
+                let s = w.forward(g, store, mixed);
+                g.reshape(s, &[r, m])
+            }
+            HeadParams::Gat { proj, att } => {
+                // LeakyReLU(aᵀ [W z_u || W z_v])   (Eq. 18)
+                let zu = proj.forward(g, store, mixed);
+                let zv = proj.forward(g, store, z_root);
+                let idx: Vec<usize> = (0..r * m).map(|s| s / m).collect();
+                let zv_rep = g.gather_rows(zv, &idx);
+                let cat = g.concat_cols(&[zu, zv_rep]);
+                let s = att.forward(g, store, cat);
+                let s = g.leaky_relu(s, 0.2);
+                g.reshape(s, &[r, m])
+            }
+            HeadParams::GatV2 { proj, att } => {
+                // aᵀ LeakyReLU(W [z_u || z_v])   (Eq. 19)
+                let idx: Vec<usize> = (0..r * m).map(|s| s / m).collect();
+                let zv_rep = g.gather_rows(z_root, &idx);
+                let cat = g.concat_cols(&[mixed, zv_rep]);
+                let h = proj.forward(g, store, cat);
+                let h = g.leaky_relu(h, 0.2);
+                let s = att.forward(g, store, h);
+                g.reshape(s, &[r, m])
+            }
+            HeadParams::Trans { wq, wk } => {
+                // (W_t z_v)(W'_t Z)ᵀ / sqrt(m)   (Eq. 20)
+                let q = wq.forward(g, store, z_root); // [R, dh]
+                let k = wk.forward(g, store, mixed); // [R*m, dh]
+                let q3 = g.reshape(q, &[r, 1, self.cfg.head_dim]);
+                let k3 = g.reshape(k, &[r, m, self.cfg.head_dim]);
+                let s = g.bmm(q3, k3, true); // [R, 1, m]
+                let s = g.mul_scalar(s, 1.0 / (m as f32).sqrt());
+                g.reshape(s, &[r, m])
+            }
+        };
+
+        // Mask invalid slots, then normalize.
+        let bias: Vec<f32> = mask.iter().map(|&v| if v { 0.0 } else { -1e9 }).collect();
+        let bias_leaf = g.leaf(Tensor::from_vec(bias, &[r, m]));
+        let scores = g.add(raw, bias_leaf);
+        let q = g.softmax(scores);
+        let log_q = g.log_softmax(scores);
+        DecodedPolicy { q, log_q, scores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_tensor::init;
+
+    fn run_head(head: DecoderHead) -> (Graph, DecodedPolicy, ParamStore) {
+        let mut store = ParamStore::new();
+        let cfg = DecoderConfig { enc_dim: 12, m: 4, head_dim: 8, head };
+        let dec = NeighborDecoder::new(&mut store, "dec", cfg, 3);
+        let mut g = Graph::new();
+        let z = g.leaf(init::uniform(&[3 * 4, 12], -1.0, 1.0, 1));
+        let zr = g.leaf(init::uniform(&[3, 12], -1.0, 1.0, 2));
+        let mut mask = vec![true; 12];
+        mask[7] = false; // root 1 slot 3 invalid
+        let out = dec.forward(&mut g, &store, z, zr, &mask);
+        (g, out, store)
+    }
+
+    #[test]
+    fn all_heads_produce_distributions() {
+        for head in DecoderHead::all() {
+            let (g, out, _) = run_head(head);
+            let q = g.data(out.q);
+            assert_eq!(q.shape(), &[3, 4], "{}", head.name());
+            for i in 0..3 {
+                let row: f32 = (0..4).map(|j| q.at2(i, j)).sum();
+                assert!((row - 1.0).abs() < 1e-5, "{} row {i} sums to {row}", head.name());
+            }
+            // masked slot carries ~zero probability
+            assert!(q.at2(1, 3) < 1e-6, "{} leaked mass to masked slot", head.name());
+        }
+    }
+
+    #[test]
+    fn log_q_consistent_with_q() {
+        let (g, out, _) = run_head(DecoderHead::Trans);
+        let q = g.data(out.q);
+        let lq = g.data(out.log_q);
+        for s in 0..8 {
+            // skip the masked slot where log q ~ -inf
+            if q.data()[s] > 1e-6 {
+                assert!((lq.data()[s].exp() - q.data()[s]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_every_head() {
+        for head in DecoderHead::all() {
+            let mut store = ParamStore::new();
+            let cfg = DecoderConfig { enc_dim: 12, m: 4, head_dim: 8, head };
+            let dec = NeighborDecoder::new(&mut store, "dec", cfg, 3);
+            let mut g = Graph::new();
+            let z = g.leaf(init::uniform(&[8, 12], -1.0, 1.0, 1));
+            let zr = g.leaf(init::uniform(&[2, 12], -1.0, 1.0, 2));
+            let out = dec.forward(&mut g, &store, z, zr, &vec![true; 8]);
+            // REINFORCE-style objective: weighted sum of log q
+            let w = g.leaf(init::uniform(&[2, 4], -1.0, 1.0, 5));
+            let prod = g.mul(out.log_q, w);
+            let loss = g.sum_all(prod);
+            g.backward(loss);
+            g.flush_grads(&mut store);
+            assert!(store.grad_norm_total() > 0.0, "{} got no gradient", head.name());
+        }
+    }
+
+    #[test]
+    fn policy_is_learnable_toward_target() {
+        // train the linear head so that q concentrates on slot 0
+        use taser_tensor::AdamConfig;
+        let mut store = ParamStore::new();
+        let cfg = DecoderConfig { enc_dim: 6, m: 3, head_dim: 4, head: DecoderHead::Linear };
+        let dec = NeighborDecoder::new(&mut store, "dec", cfg, 7);
+        let zdata = init::uniform(&[3, 6], -1.0, 1.0, 11); // one root, 3 candidates
+        let zrdata = init::uniform(&[1, 6], -1.0, 1.0, 12);
+        let adam = AdamConfig { lr: 0.02, ..AdamConfig::default() };
+        let mut final_q0 = 0.0;
+        for _ in 0..200 {
+            let mut g = Graph::new();
+            let z = g.leaf(zdata.clone());
+            let zr = g.leaf(zrdata.clone());
+            let out = dec.forward(&mut g, &store, z, zr, &[true, true, true]);
+            final_q0 = g.data(out.q).data()[0];
+            // maximize log q(slot 0): coefficients (-1, 0, 0)
+            let c = g.leaf(Tensor::from_vec(vec![-1.0, 0.0, 0.0], &[1, 3]));
+            let prod = g.mul(out.log_q, c);
+            let loss = g.sum_all(prod);
+            g.backward(loss);
+            g.flush_grads(&mut store);
+            store.adam_step(adam);
+        }
+        assert!(final_q0 > 0.9, "policy failed to concentrate: q0 = {final_q0}");
+    }
+}

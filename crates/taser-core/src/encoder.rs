@@ -1,0 +1,368 @@
+//! The neighbor encoder of TASER's adaptive sampler (§III-B, Eq. 12-15, 21).
+//!
+//! For each candidate temporal neighbor `(u, t_k)` of a root `(v, t_0)` it
+//! concatenates:
+//!
+//! * `TE(Δt)` — GraphMixer's fixed time encoding of `t_0 - t_k` (Eq. 8),
+//! * `FE(freq(u))` — sinusoidal encoding of how often `u` reappears inside
+//!   the candidate neighborhood (Eq. 12) — flags redundant neighbors,
+//! * `IE(u_j)` — identity encoding: the 0/1 pattern of which other slots
+//!   hold the same node (Eq. 13) — distinguishes equal-frequency nodes,
+//! * `GeLU(W_n x_u)` and `GeLU(W_e x_vut)` — projected node/edge features
+//!   (Eq. 14).
+//!
+//! The root's own embedding (Eq. 21) is `{h(v) || TE(0) || FE(1)}` with the
+//! edge and identity blocks zero-filled so root and neighbor embeddings
+//! share one dimensionality (required by the GAT/GATv2/transformer heads).
+
+use taser_graph::feats::FeatureMatrix;
+use taser_models::time_encoding::FixedTimeEncoding;
+use taser_sample::{SampledNeighbors, PAD};
+use taser_tensor::nn::Linear;
+use taser_tensor::{Graph, ParamStore, Tensor, VarId};
+
+/// Dimensions of the encoder blocks. The paper sets
+/// `d_feat = d_time = d_freq` across all datasets.
+#[derive(Clone, Copy, Debug)]
+pub struct EncoderConfig {
+    /// Projected feature dimension `d_feat`.
+    pub feat_dim: usize,
+    /// Time encoding dimension `d_time`.
+    pub time_dim: usize,
+    /// Frequency encoding dimension `d_freq`.
+    pub freq_dim: usize,
+    /// Candidate slots per root `m` (the identity encoding width).
+    pub m: usize,
+    /// Raw node feature dimension (0 = dataset has none).
+    pub node_in: usize,
+    /// Raw edge feature dimension (0 = dataset has none).
+    pub edge_in: usize,
+}
+
+impl EncoderConfig {
+    /// The paper's balanced configuration: all blocks share `dim`.
+    pub fn balanced(dim: usize, m: usize, node_in: usize, edge_in: usize) -> Self {
+        EncoderConfig { feat_dim: dim, time_dim: dim, freq_dim: dim, m, node_in, edge_in }
+    }
+
+    /// Total neighbor embedding dimension `d_enc`.
+    pub fn enc_dim(&self) -> usize {
+        let mut d = self.time_dim + self.freq_dim + self.m;
+        if self.node_in > 0 {
+            d += self.feat_dim;
+        }
+        if self.edge_in > 0 {
+            d += self.feat_dim;
+        }
+        d
+    }
+}
+
+/// Sinusoidal positional encoding of a discrete frequency value (Eq. 12).
+pub fn frequency_encoding(freq: usize, dim: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(dim);
+    let f = freq as f32;
+    for k in 0..dim {
+        let pair = (k / 2) as f32;
+        let denom = 10_000f32.powf(2.0 * pair / dim as f32);
+        if k % 2 == 0 {
+            out.push((f / denom).sin());
+        } else {
+            out.push((f / denom).cos());
+        }
+    }
+    out
+}
+
+/// The learnable neighbor encoder.
+pub struct NeighborEncoder {
+    time_enc: FixedTimeEncoding,
+    node_proj: Option<Linear>,
+    edge_proj: Option<Linear>,
+    cfg: EncoderConfig,
+}
+
+/// Encoder output: candidate embeddings plus the root embedding.
+pub struct EncodedNeighborhood {
+    /// Candidate embeddings `[R*m, d_enc]`.
+    pub z: VarId,
+    /// Root embeddings `[R, d_enc]` (Eq. 21).
+    pub z_root: VarId,
+    /// Valid-candidate mask `[R*m]`.
+    pub mask: Vec<bool>,
+}
+
+impl NeighborEncoder {
+    /// Builds the encoder; projections are created only for feature blocks
+    /// the dataset actually has.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: EncoderConfig, seed: u64) -> Self {
+        let node_proj = (cfg.node_in > 0).then(|| {
+            Linear::new(store, &format!("{name}.wn"), cfg.node_in, cfg.feat_dim, seed ^ 0xA)
+        });
+        let edge_proj = (cfg.edge_in > 0).then(|| {
+            Linear::new(store, &format!("{name}.we"), cfg.edge_in, cfg.feat_dim, seed ^ 0xB)
+        });
+        NeighborEncoder { time_enc: FixedTimeEncoding::new(cfg.time_dim), node_proj, edge_proj, cfg }
+    }
+
+    /// The encoder configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.cfg
+    }
+
+    /// Encodes candidate neighborhoods.
+    ///
+    /// * `roots` — `(node, time)` per root, defining `t_0`.
+    /// * `candidates` — the `m`-budget output of the neighbor finder.
+    /// * `node_feats` — raw node feature table (if the dataset has one).
+    /// * `edge_buf` — pre-sliced candidate edge features `[R*m * edge_in]`
+    ///   (zeros in padded slots), from the feature cache.
+    pub fn encode(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        roots: &[(u32, f64)],
+        candidates: &SampledNeighbors,
+        node_feats: Option<&FeatureMatrix>,
+        edge_buf: Option<&[f32]>,
+    ) -> EncodedNeighborhood {
+        let r = roots.len();
+        let m = self.cfg.m;
+        assert_eq!(candidates.roots, r, "candidate batch mismatch");
+        assert_eq!(candidates.budget, m, "finder budget must equal encoder m");
+
+        // Host-side blocks: Δt, frequency, identity, validity.
+        let mut dts = vec![0.0f32; r * m];
+        let mut freqs = vec![0usize; r * m];
+        let mut identity = vec![0.0f32; r * m * m];
+        let mut mask = vec![false; r * m];
+        for i in 0..r {
+            let t0 = roots[i].1;
+            let count = candidates.counts[i];
+            let base = i * m;
+            // frequency of each node within this neighborhood
+            for j in 0..count {
+                let uj = candidates.nodes[base + j];
+                if uj == PAD {
+                    continue;
+                }
+                mask[base + j] = true;
+                dts[base + j] = (t0 - candidates.times[base + j]) as f32;
+                let mut f = 0usize;
+                for k in 0..count {
+                    if candidates.nodes[base + k] == uj {
+                        f += 1;
+                        identity[(base + j) * m + k] = 1.0;
+                    }
+                }
+                freqs[base + j] = f;
+            }
+        }
+
+        // TE(Δt) and FE(freq) as leaves (fixed encodings).
+        let te = self.time_enc.encode_leaf(g, &dts);
+        let mut fe_data = Vec::with_capacity(r * m * self.cfg.freq_dim);
+        for &f in &freqs {
+            fe_data.extend(frequency_encoding(f, self.cfg.freq_dim));
+        }
+        let fe = g.leaf(Tensor::from_vec(fe_data, &[r * m, self.cfg.freq_dim]));
+        let ie = g.leaf(Tensor::from_vec(identity, &[r * m, m]));
+
+        // Projected contextual features (Eq. 14).
+        let mut parts: Vec<VarId> = Vec::with_capacity(5);
+        if let Some(proj) = &self.node_proj {
+            let nf = node_feats.expect("encoder built with node features");
+            let mut data = vec![0.0f32; r * m * self.cfg.node_in];
+            for (s, &u) in candidates.nodes.iter().enumerate() {
+                if u != PAD {
+                    data[s * self.cfg.node_in..(s + 1) * self.cfg.node_in]
+                        .copy_from_slice(nf.row(u as usize));
+                }
+            }
+            let x = g.leaf(Tensor::from_vec(data, &[r * m, self.cfg.node_in]));
+            let h = proj.forward(g, store, x);
+            parts.push(g.gelu(h));
+        }
+        if let Some(proj) = &self.edge_proj {
+            let buf = edge_buf.expect("encoder built with edge features");
+            assert_eq!(buf.len(), r * m * self.cfg.edge_in, "edge buffer size");
+            let x = g.leaf(Tensor::from_vec(buf.to_vec(), &[r * m, self.cfg.edge_in]));
+            let h = proj.forward(g, store, x);
+            parts.push(g.gelu(h));
+        }
+        parts.push(te);
+        parts.push(fe);
+        parts.push(ie);
+        let z = g.concat_cols(&parts);
+
+        // Root embedding (Eq. 21): {h(v) || TE(0) || FE(1)}, zero elsewhere.
+        let mut root_parts: Vec<VarId> = Vec::with_capacity(5);
+        if let Some(proj) = &self.node_proj {
+            let nf = node_feats.expect("encoder built with node features");
+            let mut data = vec![0.0f32; r * self.cfg.node_in];
+            for (i, &(v, _)) in roots.iter().enumerate() {
+                // deeper-hop target lists contain PAD placeholders for
+                // empty neighborhoods — their rows stay zero
+                if v != PAD {
+                    data[i * self.cfg.node_in..(i + 1) * self.cfg.node_in]
+                        .copy_from_slice(nf.row(v as usize));
+                }
+            }
+            let x = g.leaf(Tensor::from_vec(data, &[r, self.cfg.node_in]));
+            let h = proj.forward(g, store, x);
+            root_parts.push(g.gelu(h));
+        }
+        if self.edge_proj.is_some() {
+            root_parts.push(g.leaf(Tensor::zeros(&[r, self.cfg.feat_dim])));
+        }
+        root_parts.push(self.time_enc.encode_leaf(g, &vec![0.0; r]));
+        let fe1: Vec<f32> = (0..r).flat_map(|_| frequency_encoding(1, self.cfg.freq_dim)).collect();
+        root_parts.push(g.leaf(Tensor::from_vec(fe1, &[r, self.cfg.freq_dim])));
+        root_parts.push(g.leaf(Tensor::zeros(&[r, m])));
+        let z_root = g.concat_cols(&root_parts);
+
+        debug_assert_eq!(g.data(z).last_dim(), self.cfg.enc_dim());
+        debug_assert_eq!(g.data(z_root).last_dim(), self.cfg.enc_dim());
+        EncodedNeighborhood { z, z_root, mask }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_candidates(r: usize, m: usize, counts: &[usize]) -> SampledNeighbors {
+        let mut c = SampledNeighbors::empty(r, m);
+        for i in 0..r {
+            for j in 0..counts[i] {
+                let s = i * m + j;
+                c.nodes[s] = (j % 3) as u32; // repeats: nodes 0,1,2,0,1,...
+                c.times[s] = 10.0 - j as f64;
+                c.eids[s] = s as u32;
+            }
+            c.counts[i] = counts[i];
+        }
+        c
+    }
+
+    #[test]
+    fn frequency_encoding_properties() {
+        let a = frequency_encoding(1, 8);
+        let b = frequency_encoding(5, 8);
+        assert_eq!(a.len(), 8);
+        assert_ne!(a, b, "different frequencies must encode differently");
+        // values bounded in [-1, 1]
+        assert!(a.iter().chain(b.iter()).all(|v| v.abs() <= 1.0));
+        // deterministic
+        assert_eq!(frequency_encoding(5, 8), b);
+    }
+
+    #[test]
+    fn enc_dim_accounts_for_present_blocks() {
+        let full = EncoderConfig::balanced(16, 10, 8, 12);
+        assert_eq!(full.enc_dim(), 16 + 16 + 16 + 16 + 10);
+        let no_node = EncoderConfig::balanced(16, 10, 0, 12);
+        assert_eq!(no_node.enc_dim(), 16 + 16 + 16 + 10);
+        let bare = EncoderConfig::balanced(16, 10, 0, 0);
+        assert_eq!(bare.enc_dim(), 16 + 16 + 10);
+    }
+
+    #[test]
+    fn encode_shapes_and_mask() {
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig::balanced(8, 5, 0, 4);
+        let enc = NeighborEncoder::new(&mut store, "enc", cfg, 1);
+        let cands = fake_candidates(2, 5, &[5, 2]);
+        let edge_buf = vec![0.1f32; 2 * 5 * 4];
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &store, &[(9, 20.0), (8, 15.0)], &cands, None, Some(&edge_buf));
+        assert_eq!(g.shape(out.z), &[10, cfg.enc_dim()]);
+        assert_eq!(g.shape(out.z_root), &[2, cfg.enc_dim()]);
+        assert_eq!(out.mask, vec![true, true, true, true, true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn identity_encoding_marks_repeats() {
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig::balanced(4, 4, 0, 0);
+        let enc = NeighborEncoder::new(&mut store, "enc", cfg, 1);
+        // candidates: nodes 0,1,2,0 -> slot 0 and slot 3 share identity
+        let cands = fake_candidates(1, 4, &[4]);
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &store, &[(9, 20.0)], &cands, None, None);
+        let z = g.data(out.z);
+        let d = cfg.enc_dim();
+        let ie_off = d - 4; // identity block is last
+        // slot 0 (node 0): identity pattern 1,0,0,1
+        assert_eq!(z.data()[ie_off], 1.0);
+        assert_eq!(z.data()[ie_off + 1], 0.0);
+        assert_eq!(z.data()[ie_off + 3], 1.0);
+        // slot 1 (node 1): pattern 0,1,0,0
+        assert_eq!(z.data()[d + ie_off + 1], 1.0);
+        assert_eq!(z.data()[d + ie_off + 3], 0.0);
+    }
+
+    #[test]
+    fn gradients_reach_projections() {
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig::balanced(8, 3, 6, 4);
+        let enc = NeighborEncoder::new(&mut store, "enc", cfg, 1);
+        let cands = fake_candidates(2, 3, &[3, 3]);
+        let nf = FeatureMatrix::from_vec(vec![0.3; 12 * 6], 6);
+        let edge_buf = vec![0.2f32; 2 * 3 * 4];
+        let mut g = Graph::new();
+        let out =
+            enc.encode(&mut g, &store, &[(9, 20.0), (8, 15.0)], &cands, Some(&nf), Some(&edge_buf));
+        let sq = g.square(out.z);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.flush_grads(&mut store);
+        assert!(store.grad_norm_total() > 0.0, "encoder projections got no gradient");
+    }
+
+    #[test]
+    fn pad_roots_with_node_features_encode_as_zeros() {
+        // Regression: hop-1 target lists contain PAD placeholders; with
+        // node features present these must not index the feature table.
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig::balanced(4, 3, 5, 0);
+        let enc = NeighborEncoder::new(&mut store, "enc", cfg, 1);
+        let cands = fake_candidates(2, 3, &[3, 0]);
+        let nf = FeatureMatrix::from_vec(vec![0.5; 10 * 5], 5);
+        let mut g = Graph::new();
+        let out = enc.encode(
+            &mut g,
+            &store,
+            &[(9, 20.0), (taser_sample::PAD, 0.0)],
+            &cands,
+            Some(&nf),
+            None,
+        );
+        assert!(g.data(out.z_root).all_finite());
+        assert_eq!(out.mask[3..6], [false, false, false], "PAD root has no candidates");
+    }
+
+    #[test]
+    fn root_embedding_has_te0_and_fe1() {
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig::balanced(6, 3, 0, 0);
+        let enc = NeighborEncoder::new(&mut store, "enc", cfg, 1);
+        let cands = fake_candidates(1, 3, &[3]);
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &store, &[(9, 20.0)], &cands, None, None);
+        let zr = g.data(out.z_root);
+        // TE(0) = cos(0) = all ones (first 6 entries)
+        for k in 0..6 {
+            assert!((zr.data()[k] - 1.0).abs() < 1e-6, "TE(0)[{k}]");
+        }
+        // FE(1) block next
+        let fe1 = frequency_encoding(1, 6);
+        for k in 0..6 {
+            assert!((zr.data()[6 + k] - fe1[k]).abs() < 1e-6, "FE(1)[{k}]");
+        }
+        // identity block is zero
+        for k in 0..3 {
+            assert_eq!(zr.data()[12 + k], 0.0);
+        }
+    }
+}

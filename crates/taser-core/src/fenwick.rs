@@ -1,0 +1,225 @@
+//! Fenwick (binary indexed) tree over non-negative weights, supporting
+//! O(log n) point updates and O(log n) weighted draws — the engine behind
+//! adaptive mini-batch selection over hundreds of thousands of training
+//! edges.
+
+/// Fenwick tree over `f64` weights.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl Fenwick {
+    /// A tree of `n` zero weights.
+    pub fn new(n: usize) -> Self {
+        Fenwick { tree: vec![0.0; n + 1], weights: vec![0.0; n] }
+    }
+
+    /// Builds from initial weights in O(n).
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let n = weights.len();
+        let mut tree = vec![0.0; n + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w >= 0.0 && w.is_finite(), "weight {w} at {i} invalid");
+            tree[i + 1] += w;
+            let parent = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
+            if parent <= n {
+                let v = tree[i + 1];
+                tree[parent] += v;
+            }
+        }
+        Fenwick { tree, weights: weights.to_vec() }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Current weight of item `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Sets the weight of item `i`.
+    pub fn set(&mut self, i: usize, w: f64) {
+        assert!(w >= 0.0 && w.is_finite(), "weight {w} invalid");
+        let delta = w - self.weights[i];
+        self.weights[i] = w;
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] += delta;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        self.prefix_sum(self.len())
+    }
+
+    /// Sum of weights of items `< end`.
+    pub fn prefix_sum(&self, end: usize) -> f64 {
+        let mut s = 0.0;
+        let mut j = end;
+        while j > 0 {
+            s += self.tree[j];
+            j -= j & j.wrapping_neg();
+        }
+        s
+    }
+
+    /// Finds the item whose cumulative weight interval contains `x`
+    /// (`0 <= x < total`): the smallest index with `prefix_sum(i+1) > x`.
+    /// Zero-weight items are skipped by construction. O(log n) descent.
+    pub fn find(&self, x: f64) -> usize {
+        let n = self.len();
+        let mut pos = 0usize;
+        let mut rem = x;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] <= rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            step /= 2;
+        }
+        pos.min(n - 1)
+    }
+
+    /// Draws one index with probability proportional to its weight, using
+    /// uniform `u ∈ [0, 1)`.
+    pub fn sample(&self, u: f64) -> usize {
+        let t = self.total();
+        assert!(t > 0.0, "cannot sample from all-zero weights");
+        self.find(u * t)
+    }
+
+    /// Draws `k` distinct indices proportional to weight (without
+    /// replacement): weights are zeroed during the draw and restored after.
+    pub fn sample_without_replacement(
+        &mut self,
+        k: usize,
+        mut uniform: impl FnMut() -> f64,
+    ) -> Vec<usize> {
+        let k = k.min(self.len());
+        let mut out = Vec::with_capacity(k);
+        let mut saved = Vec::with_capacity(k);
+        for _ in 0..k {
+            if self.total() <= 0.0 {
+                break;
+            }
+            let i = self.sample(uniform());
+            saved.push((i, self.get(i)));
+            self.set(i, 0.0);
+            out.push(i);
+        }
+        for (i, w) in saved {
+            self.set(i, w);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let w = [1.0, 2.0, 0.5, 4.0, 0.0, 3.0];
+        let f = Fenwick::from_weights(&w);
+        let mut acc = 0.0;
+        for i in 0..=w.len() {
+            assert!((f.prefix_sum(i) - acc).abs() < 1e-12, "prefix {i}");
+            if i < w.len() {
+                acc += w[i];
+            }
+        }
+        assert!((f.total() - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_updates_sums() {
+        let mut f = Fenwick::from_weights(&[1.0, 1.0, 1.0]);
+        f.set(1, 5.0);
+        assert!((f.total() - 7.0).abs() < 1e-12);
+        assert!((f.prefix_sum(2) - 6.0).abs() < 1e-12);
+        assert_eq!(f.get(1), 5.0);
+    }
+
+    #[test]
+    fn find_maps_intervals_to_indices() {
+        let f = Fenwick::from_weights(&[1.0, 0.0, 2.0, 1.0]);
+        // intervals: [0,1) -> 0, [1,3) -> 2, [3,4) -> 3
+        assert_eq!(f.find(0.0), 0);
+        assert_eq!(f.find(0.99), 0);
+        assert_eq!(f.find(1.0), 2);
+        assert_eq!(f.find(2.5), 2);
+        assert_eq!(f.find(3.2), 3);
+    }
+
+    #[test]
+    fn sampling_distribution_tracks_weights() {
+        let f = Fenwick::from_weights(&[1.0, 3.0, 6.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits = [0usize; 3];
+        for _ in 0..30_000 {
+            hits[f.sample(rng.gen())] += 1;
+        }
+        let ratios: Vec<f64> = hits.iter().map(|&h| h as f64 / 30_000.0).collect();
+        assert!((ratios[0] - 0.1).abs() < 0.02, "{ratios:?}");
+        assert!((ratios[1] - 0.3).abs() < 0.02, "{ratios:?}");
+        assert!((ratios[2] - 0.6).abs() < 0.02, "{ratios:?}");
+    }
+
+    #[test]
+    fn without_replacement_distinct_and_restores() {
+        let mut f = Fenwick::from_weights(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let before = f.total();
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks = f.sample_without_replacement(3, || rng.gen());
+        assert_eq!(picks.len(), 3);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "duplicates in {picks:?}");
+        assert!((f.total() - before).abs() < 1e-9, "weights not restored");
+    }
+
+    #[test]
+    fn without_replacement_stops_on_exhaustion() {
+        let mut f = Fenwick::from_weights(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let picks = f.sample_without_replacement(3, || rng.gen());
+        assert_eq!(picks, vec![1]);
+    }
+
+    #[test]
+    fn zero_weight_items_never_sampled() {
+        let f = Fenwick::from_weights(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let i = f.sample(rng.gen());
+            assert!(i == 1 || i == 3, "sampled zero-weight item {i}");
+        }
+    }
+
+    #[test]
+    fn large_tree_consistency() {
+        let w: Vec<f64> = (0..10_000).map(|i| (i % 17) as f64).collect();
+        let f = Fenwick::from_weights(&w);
+        let naive: f64 = w.iter().sum();
+        assert!((f.total() - naive).abs() < 1e-6);
+        assert!((f.prefix_sum(7777) - w[..7777].iter().sum::<f64>()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,30 @@
+//! # taser-core
+//!
+//! TASER's primary contribution: the two-fold temporal adaptive sampling
+//! method and the training pipeline that co-trains it with a backbone TGNN.
+//!
+//! * [`minibatch`] — temporal adaptive mini-batch selection (§III-A,
+//!   Eq. 11) over a [`fenwick`] tree for O(log n) weighted draws.
+//! * [`encoder`] / [`decoder`] — the adaptive neighbor sampler's
+//!   encoder-decoder network (§III-B, Eq. 12-21).
+//! * [`sampler`] — bi-level candidate→support selection (Algorithm 1).
+//! * [`cotrain`] — REINFORCE gradient estimators for co-training the
+//!   sampler through the non-differentiable selection (Eq. 22-26).
+//! * [`trainer`] — the end-to-end pipeline of Fig. 2, instrumented with the
+//!   NF/AS/FS/PP phase timers of Table III.
+
+pub mod cotrain;
+pub mod decoder;
+pub mod encoder;
+pub mod fenwick;
+pub mod minibatch;
+pub mod sampler;
+pub mod trainer;
+
+pub use cotrain::CoTrainStrategy;
+pub use decoder::{DecoderConfig, DecoderHead, NeighborDecoder};
+pub use encoder::{EncoderConfig, NeighborEncoder};
+pub use fenwick::Fenwick;
+pub use minibatch::MiniBatchSelector;
+pub use sampler::AdaptiveNeighborSampler;
+pub use trainer::{Backbone, EpochReport, PhaseTimings, TrainReport, Trainer, TrainerConfig, Variant};

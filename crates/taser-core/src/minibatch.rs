@@ -1,0 +1,147 @@
+//! Temporal adaptive mini-batch selection (§III-A).
+//!
+//! Instead of consuming training edges chronologically, TASER keeps an
+//! importance score `P(e)` per training edge and draws each mini-batch with
+//! probability proportional to `P`. After the forward pass, scores of the
+//! drawn positives are refreshed to `sigmoid(ŷ_e) + γ` (Eq. 11): confident
+//! (low-noise) samples keep high probability; `γ` mixes in a uniform floor
+//! so noisy-but-informative samples are still explored.
+
+use crate::fenwick::Fenwick;
+use rand::Rng;
+
+/// Importance-weighted mini-batch sampler over the training edges.
+#[derive(Clone, Debug)]
+pub struct MiniBatchSelector {
+    fenwick: Fenwick,
+    gamma: f64,
+}
+
+impl MiniBatchSelector {
+    /// Uniform initial importance over `n` training edges (the paper
+    /// initializes `P` uniformly).
+    pub fn new(n: usize, gamma: f64) -> Self {
+        assert!(n > 0, "empty training set");
+        MiniBatchSelector { fenwick: Fenwick::from_weights(&vec![1.0; n]), gamma }
+    }
+
+    /// Number of training edges tracked.
+    pub fn len(&self) -> usize {
+        self.fenwick.len()
+    }
+
+    /// True when no edges are tracked (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.fenwick.is_empty()
+    }
+
+    /// The `γ` exploration floor.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Current importance score of edge `i`.
+    pub fn score(&self, i: usize) -> f64 {
+        self.fenwick.get(i)
+    }
+
+    /// Draws a batch of `b` distinct edge indices `∝ P` (without
+    /// replacement).
+    pub fn sample_batch(&mut self, b: usize, rng: &mut impl Rng) -> Vec<usize> {
+        self.fenwick.sample_without_replacement(b, || rng.gen::<f64>())
+    }
+
+    /// Applies Eq. (11): `P(e) = sigmoid(ŷ_e) + γ` for each drawn positive,
+    /// where `probs[j]` is the model's sigmoid output for `batch[j]`.
+    pub fn update(&mut self, batch: &[usize], probs: &[f32]) {
+        assert_eq!(batch.len(), probs.len(), "batch/probs length mismatch");
+        for (&i, &p) in batch.iter().zip(probs.iter()) {
+            let p = p.clamp(0.0, 1.0) as f64;
+            self.fenwick.set(i, p + self.gamma);
+        }
+    }
+
+    /// Mean importance across all edges (diagnostics).
+    pub fn mean_score(&self) -> f64 {
+        self.fenwick.total() / self.fenwick.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_sampling_is_uniformish() {
+        let mut s = MiniBatchSelector::new(100, 0.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = vec![0usize; 100];
+        for _ in 0..500 {
+            for i in s.sample_batch(10, &mut rng) {
+                hits[i] += 1;
+            }
+        }
+        // 5000 draws over 100 edges -> 50 each
+        assert!(hits.iter().all(|&h| h > 20 && h < 90), "skew: {:?}", hits.iter().max());
+    }
+
+    #[test]
+    fn batches_have_distinct_indices() {
+        let mut s = MiniBatchSelector::new(50, 0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = s.sample_batch(20, &mut rng);
+        let mut u = b.clone();
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), 20);
+    }
+
+    #[test]
+    fn update_shifts_distribution_toward_confident() {
+        let mut s = MiniBatchSelector::new(10, 0.1);
+        // edge 0 very confident, edges 1..10 hopeless
+        s.update(&[0], &[1.0]);
+        for i in 1..10 {
+            s.update(&[i], &[0.0]);
+        }
+        assert!((s.score(0) - 1.1).abs() < 1e-9);
+        assert!((s.score(5) - 0.1).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut zero_hits = 0;
+        for _ in 0..1000 {
+            if s.sample_batch(1, &mut rng)[0] == 0 {
+                zero_hits += 1;
+            }
+        }
+        // P(edge 0) = 1.1 / (1.1 + 9*0.1) = 0.55
+        assert!((zero_hits as f64 / 1000.0 - 0.55).abs() < 0.06, "{zero_hits}");
+    }
+
+    #[test]
+    fn gamma_keeps_exploration_alive() {
+        let mut s = MiniBatchSelector::new(4, 0.1);
+        s.update(&[0, 1, 2, 3], &[0.0, 0.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[s.sample_batch(1, &mut rng)[0]] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "γ floor must keep all edges reachable");
+    }
+
+    #[test]
+    fn probs_are_clamped() {
+        let mut s = MiniBatchSelector::new(2, 0.1);
+        s.update(&[0], &[7.5]); // out-of-range input clamped to 1
+        assert!((s.score(0) - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn update_length_mismatch_panics() {
+        let mut s = MiniBatchSelector::new(2, 0.1);
+        s.update(&[0, 1], &[0.5]);
+    }
+}

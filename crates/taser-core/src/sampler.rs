@@ -1,0 +1,327 @@
+//! Temporal adaptive neighbor sampling: encoder + decoder + Plackett-Luce
+//! selection of `n` supporting neighbors out of `m` candidates (§III-B,
+//! Algorithm 1 lines 5-6).
+
+use crate::decoder::{DecodedPolicy, DecoderConfig, NeighborDecoder};
+use crate::encoder::{EncoderConfig, NeighborEncoder};
+use taser_graph::feats::FeatureMatrix;
+use taser_sample::rng::{counter_rng, mix};
+use taser_sample::SampledNeighbors;
+use taser_tensor::{Graph, ParamStore, VarId};
+
+/// Slot marker for unfilled selections.
+pub const NO_SLOT: usize = usize::MAX;
+
+/// The bi-level adaptive sampler: scope of `m` candidates from the neighbor
+/// finder, adaptively narrowed to `n` supporting neighbors (PASS-style
+/// two-step sampling, §III).
+pub struct AdaptiveNeighborSampler {
+    /// The neighbor encoder (Eq. 12-15).
+    pub encoder: NeighborEncoder,
+    /// The neighbor decoder (Eq. 16-20).
+    pub decoder: NeighborDecoder,
+    n: usize,
+}
+
+/// Result of one adaptive selection pass.
+pub struct Selection {
+    /// The `n`-budget supporting neighborhoods handed to the TGNN.
+    pub selected: SampledNeighbors,
+    /// Candidate slot chosen for each selection, `[R*n]` (`NO_SLOT` = pad).
+    pub slots: Vec<usize>,
+    /// The sampling policy vars on the sampler tape (for co-training).
+    pub policy: DecodedPolicy,
+    /// Host copy of `q`, `[R*m]`.
+    pub q_host: Vec<f32>,
+}
+
+impl AdaptiveNeighborSampler {
+    /// Builds encoder + decoder inside `store`. `n` is the number of
+    /// supporting neighbors selected per root.
+    pub fn new(
+        store: &mut ParamStore,
+        enc_cfg: EncoderConfig,
+        dec_cfg: DecoderConfig,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(enc_cfg.enc_dim(), dec_cfg.enc_dim, "encoder/decoder dim mismatch");
+        assert_eq!(enc_cfg.m, dec_cfg.m, "encoder/decoder m mismatch");
+        assert!(n <= enc_cfg.m, "cannot select n={n} from m={} candidates", enc_cfg.m);
+        AdaptiveNeighborSampler {
+            encoder: NeighborEncoder::new(store, "sampler.enc", enc_cfg, seed),
+            decoder: NeighborDecoder::new(store, "sampler.dec", dec_cfg, seed ^ 0x77),
+            n,
+        }
+    }
+
+    /// Selected supporting neighbors per root.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Candidate budget `m`.
+    pub fn m(&self) -> usize {
+        self.encoder.config().m
+    }
+
+    /// Runs encode → decode → sample-without-replacement.
+    ///
+    /// Selection uses Gumbel-top-n over `log q`, which draws an ordered
+    /// sample from the Plackett-Luce distribution induced by `q` — the
+    /// standard reparameterization of sequential sampling without
+    /// replacement. `seed` makes the draw deterministic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        roots: &[(u32, f64)],
+        candidates: &SampledNeighbors,
+        node_feats: Option<&FeatureMatrix>,
+        edge_buf: Option<&[f32]>,
+        seed: u64,
+    ) -> Selection {
+        let r = roots.len();
+        let m = self.m();
+        let n = self.n;
+
+        let enc = self.encoder.encode(g, store, roots, candidates, node_feats, edge_buf);
+        let policy = self.decoder.forward(g, store, enc.z, enc.z_root, &enc.mask);
+        let q_host = g.data(policy.q).data().to_vec();
+        let log_q = g.data(policy.log_q).data();
+
+        let mut selected = SampledNeighbors::empty(r, n);
+        let mut slots = vec![NO_SLOT; r * n];
+        for i in 0..r {
+            // Gumbel keys over valid slots
+            let mut keys: Vec<(f32, usize)> = (0..candidates.counts[i])
+                .filter(|&j| enc.mask[i * m + j])
+                .map(|j| {
+                    let raw = counter_rng(seed, i as u64, j as u64, 0);
+                    let u = ((mix(raw) >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+                    let gumbel = -(-(u.ln())).ln();
+                    (log_q[i * m + j] + gumbel as f32, j)
+                })
+                .collect();
+            keys.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let k = keys.len().min(n);
+            for (out_j, &(_, slot)) in keys.iter().take(k).enumerate() {
+                let s = i * m + slot;
+                let d = i * n + out_j;
+                selected.nodes[d] = candidates.nodes[s];
+                selected.times[d] = candidates.times[s];
+                selected.eids[d] = candidates.eids[s];
+                slots[d] = slot;
+            }
+            selected.counts[i] = k;
+        }
+
+        Selection { selected, slots, policy, q_host }
+    }
+}
+
+/// Builds the REINFORCE sample loss `L_sample = Σ c_j · log q(u_j)` from one
+/// or more `(log_q, slots, coeffs)` terms (Eq. 25-26 freeze everything but
+/// the log-probability). Returns `None` when no valid term contributes.
+pub struct SampleLossTerm<'a> {
+    /// `log q` var, `[R, m]`, on the sampler tape.
+    pub log_q: VarId,
+    /// Candidate slot per selection, `[R*n]` (`NO_SLOT` skipped).
+    pub slots: &'a [usize],
+    /// Frozen coefficient per selection, `[R*n]`.
+    pub coeffs: &'a [f32],
+    /// Candidate budget of this term.
+    pub m: usize,
+    /// Selections per root of this term.
+    pub n: usize,
+}
+
+/// Assembles the total sample loss on the sampler tape.
+pub fn sample_loss(g: &mut Graph, terms: &[SampleLossTerm<'_>]) -> Option<VarId> {
+    let mut total: Option<VarId> = None;
+    for term in terms {
+        let r = g.data(term.log_q).rows();
+        debug_assert_eq!(term.slots.len(), r * term.n);
+        let mut idx = Vec::new();
+        let mut cs = Vec::new();
+        for (s, (&slot, &c)) in term.slots.iter().zip(term.coeffs.iter()).enumerate() {
+            if slot == NO_SLOT || c == 0.0 {
+                continue;
+            }
+            let root = s / term.n;
+            idx.push(root * term.m + slot);
+            cs.push(c);
+        }
+        if idx.is_empty() {
+            continue;
+        }
+        let flat = g.reshape(term.log_q, &[r * term.m, 1]);
+        let picked = g.gather_rows(flat, &idx);
+        let k = cs.len();
+        let coeff_leaf = g.leaf(taser_tensor::Tensor::from_vec(cs, &[k]));
+        let weighted = g.scale_rows(picked, coeff_leaf);
+        let s = g.sum_all(weighted);
+        total = Some(match total {
+            Some(t) => g.add(t, s),
+            None => s,
+        });
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::DecoderHead;
+    use taser_sample::PAD;
+
+    fn candidates(r: usize, m: usize, count: usize) -> SampledNeighbors {
+        let mut c = SampledNeighbors::empty(r, m);
+        for i in 0..r {
+            for j in 0..count {
+                let s = i * m + j;
+                c.nodes[s] = j as u32;
+                c.times[s] = 100.0 - j as f64;
+                c.eids[s] = s as u32;
+            }
+            c.counts[i] = count;
+        }
+        c
+    }
+
+    fn build(m: usize, n: usize) -> (AdaptiveNeighborSampler, ParamStore) {
+        let mut store = ParamStore::new();
+        let enc = EncoderConfig::balanced(8, m, 0, 4);
+        let dec = DecoderConfig {
+            enc_dim: enc.enc_dim(),
+            m,
+            head_dim: 8,
+            head: DecoderHead::Linear,
+        };
+        let s = AdaptiveNeighborSampler::new(&mut store, enc, dec, n, 5);
+        (s, store)
+    }
+
+    #[test]
+    fn selects_n_distinct_slots() {
+        let (s, store) = build(8, 3);
+        let cands = candidates(2, 8, 8);
+        let buf = vec![0.1f32; 2 * 8 * 4];
+        let mut g = Graph::new();
+        let sel = s.select(&mut g, &store, &[(0, 200.0), (1, 150.0)], &cands, None, Some(&buf), 3);
+        assert_eq!(sel.selected.counts, vec![3, 3]);
+        for i in 0..2 {
+            let mut sl: Vec<usize> = (0..3).map(|j| sel.slots[i * 3 + j]).collect();
+            sl.sort_unstable();
+            sl.dedup();
+            assert_eq!(sl.len(), 3, "duplicate slots selected");
+            assert!(sl.iter().all(|&x| x < 8));
+        }
+        assert_eq!(sel.q_host.len(), 16);
+    }
+
+    #[test]
+    fn short_neighborhood_takes_all() {
+        let (s, store) = build(8, 5);
+        let cands = candidates(1, 8, 2);
+        let buf = vec![0.0f32; 8 * 4];
+        let mut g = Graph::new();
+        let sel = s.select(&mut g, &store, &[(0, 200.0)], &cands, None, Some(&buf), 1);
+        assert_eq!(sel.selected.counts[0], 2);
+        assert_eq!(sel.slots[2], NO_SLOT);
+        assert_eq!(sel.selected.nodes[2], PAD);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (s, store) = build(10, 4);
+        let cands = candidates(3, 10, 10);
+        let buf = vec![0.2f32; 3 * 10 * 4];
+        let run = |seed| {
+            let mut g = Graph::new();
+            s.select(
+                &mut g,
+                &store,
+                &[(0, 99.0), (1, 98.0), (2, 97.0)],
+                &cands,
+                None,
+                Some(&buf),
+                seed,
+            )
+            .slots
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn selection_follows_policy_distribution() {
+        // With an untrained (near-uniform) policy, every slot should get
+        // picked sometimes; selection respects q's support.
+        let (s, store) = build(6, 2);
+        let cands = candidates(1, 6, 6);
+        let buf = vec![0.3f32; 6 * 4];
+        let mut hit = [0usize; 6];
+        for seed in 0..300 {
+            let mut g = Graph::new();
+            let sel = s.select(&mut g, &store, &[(0, 50.0)], &cands, None, Some(&buf), seed);
+            for j in 0..2 {
+                hit[sel.slots[j]] += 1;
+            }
+        }
+        assert!(hit.iter().all(|&h| h > 20), "hits {hit:?}");
+    }
+
+    #[test]
+    fn sample_loss_combines_terms() {
+        let (s, store) = build(6, 2);
+        let cands = candidates(2, 6, 6);
+        let buf = vec![0.1f32; 2 * 6 * 4];
+        let mut g = Graph::new();
+        let sel =
+            s.select(&mut g, &store, &[(0, 99.0), (1, 88.0)], &cands, None, Some(&buf), 11);
+        let coeffs = vec![0.5f32, -0.25, 1.0, 0.0];
+        let loss = sample_loss(
+            &mut g,
+            &[SampleLossTerm {
+                log_q: sel.policy.log_q,
+                slots: &sel.slots,
+                coeffs: &coeffs,
+                m: 6,
+                n: 2,
+            }],
+        )
+        .expect("non-empty loss");
+        // manual: sum over selections with non-zero coeff of c * log q
+        let lq = g.data(sel.policy.log_q).clone();
+        let want: f32 = [(0usize, 0.5f32), (1, -0.25), (2, 1.0)]
+            .iter()
+            .map(|&(k, c)| {
+                let root = k / 2;
+                c * lq.data()[root * 6 + sel.slots[k]]
+            })
+            .sum();
+        assert!((g.data(loss).item() - want).abs() < 1e-5);
+        // and it back-propagates into the sampler parameters
+        let mut store2 = store;
+        g.backward(loss);
+        g.flush_grads(&mut store2);
+        assert!(store2.grad_norm_total() > 0.0);
+    }
+
+    #[test]
+    fn sample_loss_empty_terms_none() {
+        let mut g = Graph::new();
+        assert!(sample_loss(&mut g, &[]).is_none());
+        // all-pad term also collapses to None
+        let lq = g.leaf(taser_tensor::Tensor::zeros(&[1, 4]));
+        let slots = vec![NO_SLOT; 2];
+        let coeffs = vec![1.0f32; 2];
+        assert!(sample_loss(
+            &mut g,
+            &[SampleLossTerm { log_q: lq, slots: &slots, coeffs: &coeffs, m: 4, n: 2 }]
+        )
+        .is_none());
+    }
+}

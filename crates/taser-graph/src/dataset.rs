@@ -1,0 +1,200 @@
+//! Temporal datasets: an event log, optional node/edge features, and
+//! chronological train/val/test splits.
+
+use crate::events::{Event, EventLog};
+use crate::feats::FeatureMatrix;
+use crate::tcsr::TCsr;
+use rand::Rng;
+use std::ops::Range;
+
+/// A continuous-time dynamic graph dataset for self-supervised link
+/// prediction, mirroring §IV-A of the paper.
+#[derive(Clone, Debug)]
+pub struct TemporalDataset {
+    /// Dataset name (used in reports).
+    pub name: String,
+    /// All events, chronologically sorted. Neighbor finding may traverse the
+    /// full log even when training uses only a tail window.
+    pub log: EventLog,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Node features, if the dataset has them.
+    pub node_feats: Option<FeatureMatrix>,
+    /// Edge features, if the dataset has them (row = edge id).
+    pub edge_feats: Option<FeatureMatrix>,
+    /// Event-index range used for training.
+    pub train_range: Range<usize>,
+    /// Event-index range used for validation.
+    pub val_range: Range<usize>,
+    /// Event-index range used for testing.
+    pub test_range: Range<usize>,
+    /// For bipartite graphs: nodes `< boundary` are sources, the rest are
+    /// destinations. Negative sampling respects this.
+    pub bipartite_boundary: Option<u32>,
+    /// Ground-truth noise labels per event (synthetic datasets only):
+    /// `true` marks an injected irrelevant interaction.
+    pub noise_labels: Option<Vec<bool>>,
+}
+
+impl TemporalDataset {
+    /// Splits a log chronologically into train/val/test by fractions.
+    ///
+    /// When `latest` is set and the log is longer, only the latest `latest`
+    /// events are split (the paper's "latest one million edges" rule); the
+    /// full log still backs neighbor finding.
+    pub fn with_chronological_split(
+        name: impl Into<String>,
+        log: EventLog,
+        num_nodes: usize,
+        train_frac: f64,
+        val_frac: f64,
+        latest: Option<usize>,
+    ) -> Self {
+        let n = log.len();
+        let window_start = match latest {
+            Some(k) if k < n => n - k,
+            _ => 0,
+        };
+        let w = n - window_start;
+        let train_end = window_start + (w as f64 * train_frac) as usize;
+        let val_end = train_end + (w as f64 * val_frac) as usize;
+        TemporalDataset {
+            name: name.into(),
+            log,
+            num_nodes,
+            node_feats: None,
+            edge_feats: None,
+            train_range: window_start..train_end,
+            val_range: train_end..val_end,
+            test_range: val_end..n,
+            bipartite_boundary: None,
+            noise_labels: None,
+        }
+    }
+
+    /// Number of events in the full log.
+    pub fn num_events(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Training events slice.
+    pub fn train_events(&self) -> &[Event] {
+        &self.log.events()[self.train_range.clone()]
+    }
+
+    /// Validation events slice.
+    pub fn val_events(&self) -> &[Event] {
+        &self.log.events()[self.val_range.clone()]
+    }
+
+    /// Test events slice.
+    pub fn test_events(&self) -> &[Event] {
+        &self.log.events()[self.test_range.clone()]
+    }
+
+    /// Builds the T-CSR index over the full log.
+    pub fn tcsr(&self) -> TCsr {
+        TCsr::build(&self.log, self.num_nodes)
+    }
+
+    /// Node feature dimension (0 when absent).
+    pub fn node_dim(&self) -> usize {
+        self.node_feats.as_ref().map_or(0, |f| f.dim())
+    }
+
+    /// Edge feature dimension (0 when absent).
+    pub fn edge_dim(&self) -> usize {
+        self.edge_feats.as_ref().map_or(0, |f| f.dim())
+    }
+
+    /// Samples a negative destination node uniformly — restricted to the
+    /// destination partition on bipartite graphs, as in the standard dynamic
+    /// link-prediction protocol.
+    pub fn sample_negative_dst(&self, rng: &mut impl Rng) -> u32 {
+        match self.bipartite_boundary {
+            Some(b) => rng.gen_range(b..self.num_nodes as u32),
+            None => rng.gen_range(0..self.num_nodes as u32),
+        }
+    }
+
+    /// Samples `k` distinct negative destinations, excluding `positive`.
+    /// Used by the MRR@k evaluation (49 negatives in the paper).
+    pub fn sample_negatives(&self, k: usize, positive: u32, rng: &mut impl Rng) -> Vec<u32> {
+        let lo = self.bipartite_boundary.unwrap_or(0);
+        let hi = self.num_nodes as u32;
+        let pool = (hi - lo) as usize;
+        assert!(pool > k, "not enough destination nodes for {k} negatives");
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let c = rng.gen_range(lo..hi);
+            if c != positive && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn log_of(n: usize) -> EventLog {
+        EventLog::from_unsorted((0..n).map(|i| (0u32, 1u32, i as f64)).collect())
+    }
+
+    #[test]
+    fn split_fractions() {
+        let ds = TemporalDataset::with_chronological_split("t", log_of(100), 2, 0.6, 0.2, None);
+        assert_eq!(ds.train_range, 0..60);
+        assert_eq!(ds.val_range, 60..80);
+        assert_eq!(ds.test_range, 80..100);
+        assert_eq!(ds.train_events().len(), 60);
+    }
+
+    #[test]
+    fn latest_window_restricts_split() {
+        let ds =
+            TemporalDataset::with_chronological_split("t", log_of(100), 2, 0.6, 0.2, Some(50));
+        assert_eq!(ds.train_range, 50..80);
+        assert_eq!(ds.val_range, 80..90);
+        assert_eq!(ds.test_range, 90..100);
+        // full log still present for neighbor finding
+        assert_eq!(ds.num_events(), 100);
+    }
+
+    #[test]
+    fn splits_are_chronological() {
+        let ds = TemporalDataset::with_chronological_split("t", log_of(30), 2, 0.5, 0.25, None);
+        let tmax = ds.train_events().last().unwrap().t;
+        let vmin = ds.val_events().first().unwrap().t;
+        let vmax = ds.val_events().last().unwrap().t;
+        let smin = ds.test_events().first().unwrap().t;
+        assert!(tmax <= vmin && vmax <= smin);
+    }
+
+    #[test]
+    fn negative_sampling_respects_bipartite() {
+        let mut ds = TemporalDataset::with_chronological_split("t", log_of(10), 20, 0.6, 0.2, None);
+        ds.bipartite_boundary = Some(15);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(ds.sample_negative_dst(&mut rng) >= 15);
+        }
+    }
+
+    #[test]
+    fn sample_negatives_distinct_and_exclude_positive() {
+        let ds = TemporalDataset::with_chronological_split("t", log_of(10), 50, 0.6, 0.2, None);
+        let mut rng = StdRng::seed_from_u64(2);
+        let negs = ds.sample_negatives(20, 7, &mut rng);
+        assert_eq!(negs.len(), 20);
+        assert!(!negs.contains(&7));
+        let mut sorted = negs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "negatives must be distinct");
+    }
+}

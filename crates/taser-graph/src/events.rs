@@ -1,0 +1,138 @@
+//! Timestamped interaction events — the raw form of a continuous-time
+//! dynamic graph (CTDG).
+
+/// A single timestamped interaction `(u, v, t)` with its edge id.
+///
+/// Edge ids index into the dataset's edge-feature matrix and are assigned in
+/// chronological order, matching the quadruplet representation
+/// `(u, v, x_uvt, t)` of §II.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Timestamp (monotonically non-decreasing within an [`EventLog`]).
+    pub t: f64,
+    /// Edge id (chronological index).
+    pub eid: u32,
+}
+
+/// A chronologically sorted list of events.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Builds a log from events, sorting by timestamp (stable, so
+    /// equal-timestamp events keep insertion order) and assigning edge ids.
+    pub fn from_unsorted(mut raw: Vec<(u32, u32, f64)>) -> Self {
+        raw.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN timestamp"));
+        let events = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (src, dst, t))| Event { src, dst, t, eid: i as u32 })
+            .collect();
+        EventLog { events }
+    }
+
+    /// Wraps pre-sorted events.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the events are not sorted by time.
+    pub fn from_sorted(events: Vec<Event>) -> Self {
+        debug_assert!(
+            events.windows(2).all(|w| w[0].t <= w[1].t),
+            "events must be time-sorted"
+        );
+        EventLog { events }
+    }
+
+    /// All events in chronological order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Event by index.
+    pub fn get(&self, i: usize) -> Event {
+        self.events[i]
+    }
+
+    /// Index of the first event with `t >= cutoff` (binary search).
+    pub fn first_at_or_after(&self, cutoff: f64) -> usize {
+        self.events.partition_point(|e| e.t < cutoff)
+    }
+
+    /// Keeps only the final `n` events (the paper trains on the latest 1M
+    /// edges of large datasets). Edge ids are preserved.
+    pub fn tail(&self, n: usize) -> EventLog {
+        let start = self.events.len().saturating_sub(n);
+        EventLog { events: self.events[start..].to_vec() }
+    }
+
+    /// Largest node id mentioned, plus one. Zero for an empty log.
+    pub fn num_nodes(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.src.max(e.dst) as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_assigns_eids() {
+        let log = EventLog::from_unsorted(vec![(0, 1, 5.0), (2, 3, 1.0), (1, 2, 3.0)]);
+        let ts: Vec<f64> = log.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![1.0, 3.0, 5.0]);
+        let eids: Vec<u32> = log.events().iter().map(|e| e.eid).collect();
+        assert_eq!(eids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stable_sort_preserves_simultaneous_order() {
+        let log = EventLog::from_unsorted(vec![(0, 1, 2.0), (5, 6, 2.0), (7, 8, 1.0)]);
+        assert_eq!(log.get(1).src, 0);
+        assert_eq!(log.get(2).src, 5);
+    }
+
+    #[test]
+    fn first_at_or_after_boundaries() {
+        let log = EventLog::from_unsorted(vec![(0, 1, 1.0), (0, 1, 2.0), (0, 1, 4.0)]);
+        assert_eq!(log.first_at_or_after(0.0), 0);
+        assert_eq!(log.first_at_or_after(2.0), 1);
+        assert_eq!(log.first_at_or_after(2.5), 2);
+        assert_eq!(log.first_at_or_after(9.0), 3);
+    }
+
+    #[test]
+    fn tail_keeps_latest() {
+        let log = EventLog::from_unsorted(vec![(0, 1, 1.0), (0, 1, 2.0), (0, 1, 3.0)]);
+        let t = log.tail(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0).t, 2.0);
+        assert_eq!(t.get(0).eid, 1, "edge ids preserved across tail()");
+    }
+
+    #[test]
+    fn num_nodes_counts_max_id() {
+        let log = EventLog::from_unsorted(vec![(0, 7, 1.0)]);
+        assert_eq!(log.num_nodes(), 8);
+        assert_eq!(EventLog::default().num_nodes(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Dense feature matrices for nodes and edges.
+
+/// A row-major `[rows, dim]` feature matrix (node or edge features).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureMatrix {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl FeatureMatrix {
+    /// Builds a feature matrix from flat data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim`.
+    pub fn from_vec(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "feature dim must be positive");
+        assert_eq!(data.len() % dim, 0, "data not a multiple of dim");
+        FeatureMatrix { data, dim }
+    }
+
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        FeatureMatrix { data: vec![0.0; rows * dim], dim }
+    }
+
+    /// Feature dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable row access.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Flat data view.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Gathers rows into a new flat buffer (`out.len() == idx.len() * dim`).
+    pub fn gather(&self, idx: &[u32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; idx.len() * self.dim];
+        for (i, &j) in idx.iter().enumerate() {
+            out[i * self.dim..(i + 1) * self.dim].copy_from_slice(self.row(j as usize));
+        }
+        out
+    }
+
+    /// Total size of the matrix in bytes (for cache budgeting).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_dim() {
+        let f = FeatureMatrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.dim(), 3);
+        assert_eq!(f.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn bad_length_panics() {
+        let _ = FeatureMatrix::from_vec(vec![1.0; 5], 3);
+    }
+
+    #[test]
+    fn gather_rows() {
+        let f = FeatureMatrix::from_vec((0..9).map(|x| x as f32).collect(), 3);
+        let out = f.gather(&[2, 0]);
+        assert_eq!(out, vec![6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let f = FeatureMatrix::zeros(10, 4);
+        assert_eq!(f.bytes(), 160);
+    }
+}

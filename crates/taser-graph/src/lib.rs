@@ -1,0 +1,38 @@
+//! # taser-graph
+//!
+//! Continuous-time dynamic graph (CTDG) storage and datasets for taser-rs.
+//!
+//! * [`events`] — timestamped interaction events and chronological logs.
+//! * [`tcsr`] — the T-CSR index (TGL): per-node adjacency sorted by
+//!   timestamp, giving `N(v, t)` as a binary-searchable prefix.
+//! * [`feats`] — dense node/edge feature matrices.
+//! * [`dataset`] — train/val/test-split datasets with negative sampling.
+//! * [`synth`] — synthetic analogs of the paper's five datasets with
+//!   ground-truth noise injection (deprecated links, skewed neighborhoods).
+//! * [`stats`] — Table II-style dataset statistics.
+//!
+//! ```
+//! use taser_graph::synth::SynthConfig;
+//!
+//! let ds = SynthConfig::wikipedia().scale(0.01).seed(1).build();
+//! let csr = ds.tcsr();
+//! let e = ds.log.get(ds.num_events() - 1);
+//! // every temporal neighbor strictly precedes the query time
+//! assert!(csr.temporal_neighbors(e.src, e.t).all(|n| n.t < e.t));
+//! ```
+
+pub mod dataset;
+pub mod events;
+pub mod feats;
+pub mod stats;
+pub mod stream;
+pub mod synth;
+pub mod tcsr;
+
+pub use dataset::TemporalDataset;
+pub use events::{Event, EventLog};
+pub use feats::FeatureMatrix;
+pub use stats::DatasetStats;
+pub use stream::StreamingGraph;
+pub use synth::{SynthConfig, SynthMeta};
+pub use tcsr::{TCsr, TemporalNeighbor};

@@ -1,0 +1,167 @@
+//! Streaming ingestion for continuously growing dynamic graphs.
+//!
+//! Real systems append interactions as they happen (§I: "dynamic graphs
+//! accumulate an increasing number of interactions over time").
+//! [`StreamingGraph`] buffers appended events and rebuilds its T-CSR index
+//! lazily with doubling amortization, so an append costs O(1) amortized and
+//! readers always see a consistent index.
+
+use crate::events::{Event, EventLog};
+use crate::tcsr::TCsr;
+
+/// An event log plus a lazily maintained T-CSR index.
+pub struct StreamingGraph {
+    events: Vec<Event>,
+    csr: TCsr,
+    indexed: usize,
+    num_nodes: usize,
+}
+
+impl StreamingGraph {
+    /// Starts from an existing log (may be empty).
+    pub fn new(log: EventLog, num_nodes: usize) -> Self {
+        let events = log.events().to_vec();
+        let csr = TCsr::build(&log, num_nodes);
+        let indexed = events.len();
+        StreamingGraph { events, csr, indexed, num_nodes }
+    }
+
+    /// An empty stream over `num_nodes` nodes.
+    pub fn empty(num_nodes: usize) -> Self {
+        Self::new(EventLog::default(), num_nodes)
+    }
+
+    /// Appends one interaction. Events must arrive in chronological order;
+    /// node ids beyond the current node count grow the graph.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last appended timestamp.
+    pub fn append(&mut self, src: u32, dst: u32, t: f64) -> Event {
+        if let Some(last) = self.events.last() {
+            assert!(t >= last.t, "stream must be chronological: {t} < {}", last.t);
+        }
+        self.num_nodes = self.num_nodes.max(src.max(dst) as usize + 1);
+        let e = Event { src, dst, t, eid: self.events.len() as u32 };
+        self.events.push(e);
+        e
+    }
+
+    /// Number of events ingested so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were ingested.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events not yet reflected in the index.
+    pub fn pending(&self) -> usize {
+        self.events.len() - self.indexed
+    }
+
+    /// Current node count.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The index, rebuilt only when the unindexed tail has grown past 50%
+    /// of the indexed portion (doubling amortization: total rebuild work is
+    /// O(E log E) over any append sequence). Use [`StreamingGraph::csr_fresh`]
+    /// to force exactness.
+    pub fn csr(&mut self) -> &TCsr {
+        let stale = self.pending();
+        if stale > 0 && (stale * 2 >= self.indexed.max(1) || self.indexed == 0) {
+            self.rebuild();
+        }
+        &self.csr
+    }
+
+    /// The index with *all* appended events reflected.
+    pub fn csr_fresh(&mut self) -> &TCsr {
+        if self.pending() > 0 {
+            self.rebuild();
+        }
+        &self.csr
+    }
+
+    fn rebuild(&mut self) {
+        let log = EventLog::from_sorted(self.events.clone());
+        self.csr = TCsr::build(&log, self.num_nodes);
+        self.indexed = self.events.len();
+    }
+
+    /// A snapshot of the current log (for dataset construction).
+    pub fn snapshot(&self) -> EventLog {
+        EventLog::from_sorted(self.events.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_query() {
+        let mut g = StreamingGraph::empty(0);
+        g.append(0, 1, 1.0);
+        g.append(1, 2, 2.0);
+        g.append(0, 2, 3.0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_nodes(), 3);
+        let csr = g.csr_fresh();
+        assert_eq!(csr.temporal_degree(0, 10.0), 2);
+        assert_eq!(csr.temporal_degree(2, 10.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn rejects_time_regression() {
+        let mut g = StreamingGraph::empty(0);
+        g.append(0, 1, 5.0);
+        g.append(0, 1, 4.0);
+    }
+
+    #[test]
+    fn lazy_rebuild_amortizes() {
+        let mut g = StreamingGraph::empty(0);
+        for i in 0..100 {
+            g.append(0, 1, i as f64);
+        }
+        let _ = g.csr_fresh();
+        assert_eq!(g.pending(), 0);
+        // a few more appends stay pending under the 50% threshold
+        for i in 100..110 {
+            g.append(0, 1, i as f64);
+        }
+        let _ = g.csr();
+        assert!(g.pending() > 0, "small tail must not trigger rebuild");
+        // but a large tail does
+        for i in 110..200 {
+            g.append(0, 1, i as f64);
+        }
+        let _ = g.csr();
+        assert_eq!(g.pending(), 0, "doubling threshold must rebuild");
+    }
+
+    #[test]
+    fn snapshot_matches_appends() {
+        let mut g = StreamingGraph::empty(0);
+        g.append(3, 4, 1.5);
+        g.append(4, 5, 2.5);
+        let log = g.snapshot();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.get(0).eid, 0);
+        assert_eq!(log.get(1).dst, 5);
+    }
+
+    #[test]
+    fn seeded_from_existing_log() {
+        let log = EventLog::from_unsorted(vec![(0, 1, 1.0), (1, 2, 2.0)]);
+        let mut g = StreamingGraph::new(log, 3);
+        assert_eq!(g.pending(), 0);
+        g.append(2, 0, 3.0);
+        assert_eq!(g.csr_fresh().temporal_degree(0, 10.0), 2);
+    }
+}

@@ -1,0 +1,537 @@
+//! Synthetic CTDG generators standing in for the paper's five datasets.
+//!
+//! The real Wikipedia/Reddit/Flights/MovieLens/GDELT traces are not available
+//! offline, so each preset generates a graph matched to the dataset's *shape*
+//! (Table II: bipartiteness, node/edge counts, feature dimensions) with the
+//! two noise processes the paper targets injected as ground truth:
+//!
+//! * **Deprecated links** — a fraction of source nodes *drift*: their
+//!   community changes at a node-specific switch time, so their earlier
+//!   interactions contradict their current preference.
+//! * **Skewed neighborhoods** — partner choice follows a Pólya-urn repeat
+//!   process plus Zipf-distributed node activity, yielding heavy-tailed,
+//!   repetitive neighbor distributions.
+//!
+//! A configurable fraction of events are pure noise (uniformly random partner,
+//! featureless content), labeled in [`TemporalDataset::noise_labels`] so tests
+//! and benches can measure whether adaptive sampling avoids them.
+
+use crate::dataset::TemporalDataset;
+use crate::events::EventLog;
+use crate::feats::FeatureMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a synthetic dynamic graph.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Dataset name used in reports.
+    pub name: String,
+    /// Number of source nodes (users).
+    pub num_src: usize,
+    /// Number of destination nodes (items); `0` makes the graph unipartite.
+    pub num_dst: usize,
+    /// Number of interaction events.
+    pub num_events: usize,
+    /// Node feature dimension (`0` = no node features).
+    pub node_feat_dim: usize,
+    /// Edge feature dimension (`0` = no edge features).
+    pub edge_feat_dim: usize,
+    /// Number of latent communities driving interactions.
+    pub communities: usize,
+    /// Zipf exponent for source activity (higher = more skew).
+    pub zipf_exponent: f64,
+    /// Probability of repeating a previous partner (Pólya urn).
+    pub p_repeat: f64,
+    /// Probability of an injected noise interaction.
+    pub p_noise: f64,
+    /// Fraction of source nodes whose community drifts mid-stream.
+    pub drift_fraction: f64,
+    /// Std-dev of Gaussian noise added to informative features.
+    pub feature_noise: f32,
+    /// Train fraction of the (windowed) event stream.
+    pub train_frac: f64,
+    /// Validation fraction.
+    pub val_frac: f64,
+    /// The paper's "latest 1M edges" rule, scaled alongside the dataset.
+    pub latest_window: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Ground truth of the generator, for tests and diagnostics.
+#[derive(Clone, Debug)]
+pub struct SynthMeta {
+    /// Community of each node at birth.
+    pub community: Vec<u16>,
+    /// Drift time per node (`None` = never drifts).
+    pub drift_time: Vec<Option<f64>>,
+    /// Community after drift (same as `community` when no drift).
+    pub post_drift_community: Vec<u16>,
+    /// Per-event: was the destination drawn from the source's *current*
+    /// community (informative) or not (noise / deprecated-style)?
+    pub informative: Vec<bool>,
+}
+
+impl SynthConfig {
+    fn base(name: &str) -> Self {
+        SynthConfig {
+            name: name.into(),
+            num_src: 1000,
+            num_dst: 200,
+            num_events: 20_000,
+            node_feat_dim: 0,
+            edge_feat_dim: 32,
+            communities: 8,
+            zipf_exponent: 1.1,
+            p_repeat: 0.3,
+            p_noise: 0.15,
+            drift_fraction: 0.3,
+            feature_noise: 0.6,
+            train_frac: 0.6,
+            val_frac: 0.2,
+            latest_window: None,
+            seed: 42,
+        }
+    }
+
+    /// Wikipedia analog: bipartite user-page edits, 172-d edge features,
+    /// no node features (Table II row 1).
+    pub fn wikipedia() -> Self {
+        SynthConfig {
+            num_src: 8_227,
+            num_dst: 1_000,
+            num_events: 157_474,
+            edge_feat_dim: 172,
+            node_feat_dim: 0,
+            ..Self::base("wikipedia")
+        }
+    }
+
+    /// Reddit analog: bipartite user-subreddit posts, 172-d edge features.
+    pub fn reddit() -> Self {
+        SynthConfig {
+            num_src: 10_000,
+            num_dst: 984,
+            num_events: 672_447,
+            edge_feat_dim: 172,
+            node_feat_dim: 0,
+            ..Self::base("reddit")
+        }
+    }
+
+    /// Flights analog: unipartite traffic graph, 100-d node features, no
+    /// edge features.
+    pub fn flights() -> Self {
+        SynthConfig {
+            num_src: 13_169,
+            num_dst: 0,
+            num_events: 1_927_145,
+            edge_feat_dim: 0,
+            node_feat_dim: 100,
+            latest_window: Some(1_000_000),
+            ..Self::base("flights")
+        }
+    }
+
+    /// MovieLens analog: bipartite user-movie tags, 266-d edge features.
+    pub fn movielens() -> Self {
+        SynthConfig {
+            num_src: 310_000,
+            num_dst: 61_715,
+            num_events: 48_990_832,
+            edge_feat_dim: 266,
+            node_feat_dim: 0,
+            latest_window: Some(1_000_000),
+            ..Self::base("movielens")
+        }
+    }
+
+    /// GDELT analog: unipartite knowledge graph with both node (413-d) and
+    /// edge (130-d) features.
+    pub fn gdelt() -> Self {
+        SynthConfig {
+            num_src: 16_682,
+            num_dst: 0,
+            num_events: 191_290_882,
+            edge_feat_dim: 130,
+            node_feat_dim: 413,
+            latest_window: Some(1_000_000),
+            ..Self::base("gdelt")
+        }
+    }
+
+    /// All five presets, in the paper's order.
+    pub fn all_presets() -> Vec<SynthConfig> {
+        vec![
+            Self::wikipedia(),
+            Self::reddit(),
+            Self::flights(),
+            Self::movielens(),
+            Self::gdelt(),
+        ]
+    }
+
+    /// Scales node and event counts by `f` (feature dims unchanged), keeping
+    /// sensible minimums so tiny scales stay well-formed.
+    pub fn scale(mut self, f: f64) -> Self {
+        let s = |x: usize, min: usize| ((x as f64 * f) as usize).max(min);
+        self.num_src = s(self.num_src, 50);
+        if self.num_dst > 0 {
+            self.num_dst = s(self.num_dst, 60);
+        }
+        self.num_events = s(self.num_events, 2_000);
+        self.latest_window = self.latest_window.map(|w| s(w, 2_000));
+        self
+    }
+
+    /// Overrides feature dimensions (for fast CI-scale experiments; recorded
+    /// in EXPERIMENTS.md when used).
+    pub fn feat_dims(mut self, node: usize, edge: usize) -> Self {
+        self.node_feat_dim = node;
+        self.edge_feat_dim = edge;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the noise-event probability.
+    pub fn noise(mut self, p: f64) -> Self {
+        self.p_noise = p;
+        self
+    }
+
+    /// Total node count (sources + destinations).
+    pub fn num_nodes(&self) -> usize {
+        self.num_src + self.num_dst
+    }
+
+    /// Generates the dataset, discarding ground-truth metadata.
+    pub fn build(&self) -> TemporalDataset {
+        self.build_with_meta().0
+    }
+
+    /// Generates the dataset plus its ground truth.
+    pub fn build_with_meta(&self) -> (TemporalDataset, SynthMeta) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let num_nodes = self.num_nodes();
+        let bipartite = self.num_dst > 0;
+        let dst_lo = if bipartite { self.num_src } else { 0 };
+        let dst_hi = num_nodes;
+        let c = self.communities.max(1);
+
+        // Latent structure: community per node, drift for a fraction of sources.
+        let community: Vec<u16> = (0..num_nodes).map(|_| rng.gen_range(0..c) as u16).collect();
+        let span = self.num_events as f64;
+        let mut drift_time = vec![None; num_nodes];
+        let mut post_drift = community.clone();
+        for v in 0..self.num_src {
+            if rng.gen_bool(self.drift_fraction) {
+                // drift somewhere in the middle half so both regimes are seen
+                drift_time[v] = Some(rng.gen_range(0.25..0.75) * span);
+                let mut nc = rng.gen_range(0..c) as u16;
+                if c > 1 {
+                    while nc == community[v] {
+                        nc = rng.gen_range(0..c) as u16;
+                    }
+                }
+                post_drift[v] = nc;
+            }
+        }
+
+        // Destination pools per community.
+        let mut pools: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for v in dst_lo..dst_hi {
+            pools[community[v] as usize].push(v as u32);
+        }
+        // Guarantee non-empty pools.
+        for pool in pools.iter_mut() {
+            if pool.is_empty() {
+                pool.push(rng.gen_range(dst_lo..dst_hi) as u32);
+            }
+        }
+
+        // Zipf activity over sources (shuffled ranks).
+        let mut ranks: Vec<usize> = (0..self.num_src).collect();
+        for i in (1..ranks.len()).rev() {
+            ranks.swap(i, rng.gen_range(0..=i));
+        }
+        let mut cum = Vec::with_capacity(self.num_src);
+        let mut acc = 0.0f64;
+        for i in 0..self.num_src {
+            acc += 1.0 / ((ranks[i] + 1) as f64).powf(self.zipf_exponent);
+            cum.push(acc);
+        }
+        let total_w = acc;
+
+        // Community content embeddings for features.
+        let embed = |comm: usize, dim: usize, salt: u64| -> Vec<f32> {
+            let mut r = StdRng::seed_from_u64(self.seed ^ salt ^ (comm as u64) << 17);
+            (0..dim).map(|_| r.gen_range(-1.0f32..1.0)).collect()
+        };
+        let edge_embs: Vec<Vec<f32>> = if self.edge_feat_dim > 0 {
+            (0..c).map(|k| embed(k, self.edge_feat_dim, 0xE)).collect()
+        } else {
+            Vec::new()
+        };
+
+        // Event stream.
+        let mut raw: Vec<(u32, u32, f64)> = Vec::with_capacity(self.num_events);
+        let mut informative = Vec::with_capacity(self.num_events);
+        let mut noise_labels = Vec::with_capacity(self.num_events);
+        let mut history: Vec<Vec<u32>> = vec![Vec::new(); self.num_src];
+        let mut edge_feat_data: Vec<f32> =
+            Vec::with_capacity(self.num_events * self.edge_feat_dim);
+
+        for i in 0..self.num_events {
+            let t = i as f64 + 1.0;
+            // source by Zipf weight
+            let x = rng.gen_range(0.0..total_w);
+            let src = cum.partition_point(|&w| w < x).min(self.num_src - 1);
+            let cur_comm = match drift_time[src] {
+                Some(d) if t >= d => post_drift[src],
+                _ => community[src],
+            } as usize;
+
+            let u: f64 = rng.gen();
+            let (dst, is_informative, is_noise) = if u < self.p_noise {
+                // pure noise interaction: uniform partner
+                let d = loop {
+                    let cand = rng.gen_range(dst_lo..dst_hi) as u32;
+                    if cand as usize != src {
+                        break cand;
+                    }
+                };
+                (d, false, true)
+            } else if u < self.p_noise + self.p_repeat && !history[src].is_empty() {
+                // Pólya-urn repeat: uniform over past partners (duplicates
+                // bias toward frequent ones). Repeating a partner from the
+                // old community after drift is a deprecated link.
+                let d = history[src][rng.gen_range(0..history[src].len())];
+                let inf = community[d as usize] as usize == cur_comm;
+                (d, inf, false)
+            } else {
+                // fresh in-community interaction
+                let pool = &pools[cur_comm];
+                let d = pool[rng.gen_range(0..pool.len())];
+                (d, true, false)
+            };
+            history[src].push(dst);
+            raw.push((src as u32, dst, t));
+            informative.push(is_informative);
+            noise_labels.push(is_noise);
+
+            if self.edge_feat_dim > 0 {
+                if is_informative {
+                    let base = &edge_embs[community[dst as usize] as usize];
+                    for &b in base {
+                        edge_feat_data.push(b + rng.gen_range(-1.0f32..1.0) * self.feature_noise);
+                    }
+                } else {
+                    for _ in 0..self.edge_feat_dim {
+                        edge_feat_data.push(rng.gen_range(-1.0f32..1.0));
+                    }
+                }
+            }
+        }
+
+        let log = EventLog::from_unsorted(raw);
+        let mut ds = TemporalDataset::with_chronological_split(
+            self.name.clone(),
+            log,
+            num_nodes,
+            self.train_frac,
+            self.val_frac,
+            self.latest_window,
+        );
+        ds.bipartite_boundary = bipartite.then_some(self.num_src as u32);
+        ds.noise_labels = Some(noise_labels);
+        if self.edge_feat_dim > 0 {
+            ds.edge_feats = Some(FeatureMatrix::from_vec(edge_feat_data, self.edge_feat_dim));
+        }
+        if self.node_feat_dim > 0 {
+            let node_embs: Vec<Vec<f32>> =
+                (0..c).map(|k| embed(k, self.node_feat_dim, 0xF)).collect();
+            let mut data = Vec::with_capacity(num_nodes * self.node_feat_dim);
+            for v in 0..num_nodes {
+                let base = &node_embs[community[v] as usize];
+                for &b in base {
+                    data.push(b + rng.gen_range(-1.0f32..1.0) * self.feature_noise);
+                }
+            }
+            ds.node_feats = Some(FeatureMatrix::from_vec(data, self.node_feat_dim));
+        }
+
+        let meta = SynthMeta {
+            community,
+            drift_time,
+            post_drift_community: post_drift,
+            informative,
+        };
+        (ds, meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SynthConfig {
+        SynthConfig {
+            num_src: 100,
+            num_dst: 40,
+            num_events: 3_000,
+            edge_feat_dim: 8,
+            node_feat_dim: 4,
+            ..SynthConfig::base("tiny")
+        }
+    }
+
+    #[test]
+    fn builds_requested_sizes() {
+        let ds = tiny().build();
+        assert_eq!(ds.num_events(), 3_000);
+        assert_eq!(ds.num_nodes, 140);
+        assert_eq!(ds.edge_dim(), 8);
+        assert_eq!(ds.node_dim(), 4);
+        assert_eq!(ds.bipartite_boundary, Some(100));
+        assert_eq!(ds.edge_feats.as_ref().unwrap().rows(), 3_000);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = tiny().seed(5).build();
+        let b = tiny().seed(5).build();
+        assert_eq!(a.log.events(), b.log.events());
+        assert_eq!(a.edge_feats.as_ref().unwrap().data(), b.edge_feats.as_ref().unwrap().data());
+        let c = tiny().seed(6).build();
+        assert_ne!(a.log.events(), c.log.events());
+    }
+
+    #[test]
+    fn bipartite_edges_go_src_to_dst() {
+        let ds = tiny().build();
+        for e in ds.log.events() {
+            assert!(e.src < 100, "source {} outside src partition", e.src);
+            assert!(e.dst >= 100 && e.dst < 140, "dst {} outside partition", e.dst);
+        }
+    }
+
+    #[test]
+    fn unipartite_when_no_dst() {
+        let mut cfg = tiny();
+        cfg.num_dst = 0;
+        let ds = cfg.build();
+        assert_eq!(ds.bipartite_boundary, None);
+        assert_eq!(ds.num_nodes, 100);
+    }
+
+    #[test]
+    fn noise_rate_close_to_config() {
+        let (ds, _) = tiny().noise(0.2).build_with_meta();
+        let labels = ds.noise_labels.as_ref().unwrap();
+        let rate = labels.iter().filter(|&&b| b).count() as f64 / labels.len() as f64;
+        assert!((rate - 0.2).abs() < 0.03, "noise rate {rate}");
+    }
+
+    #[test]
+    fn drift_creates_deprecated_repeats() {
+        let (_, meta) = tiny().seed(3).build_with_meta();
+        // some events must be non-informative non-noise (deprecated repeats)
+        let drifted: usize = meta.drift_time.iter().filter(|d| d.is_some()).count();
+        assert!(drifted > 10, "expected drifting nodes, got {drifted}");
+        let dep = meta.informative.iter().filter(|&&i| !i).count();
+        assert!(dep > 0);
+    }
+
+    #[test]
+    fn activity_is_skewed() {
+        let ds = tiny().build();
+        let mut deg = vec![0usize; 100];
+        for e in ds.log.events() {
+            deg[e.src as usize] += 1;
+        }
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = deg[..10].iter().sum();
+        // Zipf 1.1 over 100 sources: top-10 should dominate
+        assert!(top10 as f64 > 0.35 * 3_000.0, "top-10 sources only {top10} events");
+    }
+
+    #[test]
+    fn repeats_exist() {
+        let ds = tiny().build();
+        let mut seen = std::collections::HashSet::new();
+        let mut repeats = 0usize;
+        for e in ds.log.events() {
+            if !seen.insert((e.src, e.dst)) {
+                repeats += 1;
+            }
+        }
+        assert!(repeats > 300, "expected heavy repetition, got {repeats}");
+    }
+
+    #[test]
+    fn scale_shrinks_counts_keeps_dims() {
+        let cfg = SynthConfig::wikipedia().scale(0.02);
+        assert_eq!(cfg.edge_feat_dim, 172);
+        assert!(cfg.num_events >= 2_000 && cfg.num_events < 157_474 / 10);
+        assert!(cfg.num_src >= 50);
+    }
+
+    #[test]
+    fn presets_match_table2_shapes() {
+        let w = SynthConfig::wikipedia();
+        assert_eq!(w.num_src + w.num_dst, 9_227);
+        assert_eq!(w.num_events, 157_474);
+        assert_eq!(w.edge_feat_dim, 172);
+        let f = SynthConfig::flights();
+        assert_eq!(f.num_dst, 0);
+        assert_eq!(f.node_feat_dim, 100);
+        assert_eq!(f.edge_feat_dim, 0);
+        let g = SynthConfig::gdelt();
+        assert_eq!(g.node_feat_dim, 413);
+        assert_eq!(g.edge_feat_dim, 130);
+        assert_eq!(SynthConfig::all_presets().len(), 5);
+    }
+
+    #[test]
+    fn informative_edges_carry_community_signal() {
+        let (ds, meta) = tiny().seed(9).build_with_meta();
+        let feats = ds.edge_feats.as_ref().unwrap();
+        // informative edges to the same community should correlate more than
+        // edges to different communities
+        let events = ds.log.events();
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for i in 0..events.len().min(500) {
+            for j in (i + 1)..events.len().min(500) {
+                if !meta.informative[events[i].eid as usize]
+                    || !meta.informative[events[j].eid as usize]
+                {
+                    continue;
+                }
+                let ci = meta.community[events[i].dst as usize];
+                let cj = meta.community[events[j].dst as usize];
+                let a = feats.row(events[i].eid as usize);
+                let b = feats.row(events[j].eid as usize);
+                let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                if ci == cj {
+                    same.push(dot);
+                } else {
+                    diff.push(dot);
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+        assert!(
+            mean(&same) > mean(&diff) + 0.1,
+            "same-community similarity {} vs cross {}",
+            mean(&same),
+            mean(&diff)
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! The T-CSR data structure (TGL [33], §III-C of the paper).
+//!
+//! T-CSR stores, per node, its temporal neighbors sorted by interaction
+//! timestamp, so the candidate set `N(v, t)` — neighbors that interacted
+//! strictly before `t` — is always the prefix `[0, pivot)` of the node's
+//! adjacency slab, where `pivot` is found by binary search.
+
+use crate::events::EventLog;
+
+/// Timestamp-sorted compressed sparse row structure for dynamic graphs.
+///
+/// Each interaction `(u, v, t)` is inserted in both directions (TGNN
+/// convention: temporal neighborhoods are over the undirected interaction
+/// history), so `neighbor_count(u)` counts every event touching `u`.
+#[derive(Clone, Debug)]
+pub struct TCsr {
+    indptr: Vec<usize>,
+    neigh: Vec<u32>,
+    ts: Vec<f64>,
+    eid: Vec<u32>,
+    num_nodes: usize,
+}
+
+/// One temporal neighbor entry: `(node, timestamp, edge id)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TemporalNeighbor {
+    /// The neighboring node.
+    pub node: u32,
+    /// Interaction timestamp.
+    pub t: f64,
+    /// Edge id of the interaction (for feature lookup).
+    pub eid: u32,
+}
+
+impl TCsr {
+    /// Builds a T-CSR from an event log over `num_nodes` nodes. Self-loop
+    /// events are inserted once (a single interaction = a single slab entry).
+    pub fn build(log: &EventLog, num_nodes: usize) -> Self {
+        let mut degree = vec![0usize; num_nodes];
+        for e in log.events() {
+            degree[e.src as usize] += 1;
+            if e.src != e.dst {
+                degree[e.dst as usize] += 1;
+            }
+        }
+        let mut indptr = vec![0usize; num_nodes + 1];
+        for v in 0..num_nodes {
+            indptr[v + 1] = indptr[v] + degree[v];
+        }
+        let total = indptr[num_nodes];
+        let mut neigh = vec![0u32; total];
+        let mut ts = vec![0.0f64; total];
+        let mut eid = vec![0u32; total];
+        let mut cursor = indptr.clone();
+        // Events are time-sorted, so appending in order keeps each node's
+        // slab sorted by timestamp without a per-node sort.
+        for e in log.events() {
+            let s = cursor[e.src as usize];
+            neigh[s] = e.dst;
+            ts[s] = e.t;
+            eid[s] = e.eid;
+            cursor[e.src as usize] += 1;
+            if e.src != e.dst {
+                let d = cursor[e.dst as usize];
+                neigh[d] = e.src;
+                ts[d] = e.t;
+                eid[d] = e.eid;
+                cursor[e.dst as usize] += 1;
+            }
+        }
+        TCsr { indptr, neigh, ts, eid, num_nodes }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total number of adjacency entries (2 × events, minus self-loops,
+    /// which occupy a single entry).
+    pub fn num_entries(&self) -> usize {
+        self.neigh.len()
+    }
+
+    /// Full (time-unbounded) neighbor count of `v`.
+    pub fn neighbor_count(&self, v: u32) -> usize {
+        self.indptr[v as usize + 1] - self.indptr[v as usize]
+    }
+
+    /// The pivot index for `(v, t)`: entries `[0, pivot)` of `v`'s slab have
+    /// timestamp strictly less than `t`. This is the binary search a single
+    /// GPU lane performs in Algorithm 2.
+    pub fn pivot(&self, v: u32, t: f64) -> usize {
+        let lo = self.indptr[v as usize];
+        let hi = self.indptr[v as usize + 1];
+        // partition_point over the slab
+        let slab = &self.ts[lo..hi];
+        slab.partition_point(|&x| x < t)
+    }
+
+    /// Size of the temporal neighborhood `|N(v, t)|`.
+    pub fn temporal_degree(&self, v: u32, t: f64) -> usize {
+        self.pivot(v, t)
+    }
+
+    /// The `i`-th temporal neighbor of `v` (index into the node's slab).
+    #[inline]
+    pub fn entry(&self, v: u32, i: usize) -> TemporalNeighbor {
+        let base = self.indptr[v as usize];
+        TemporalNeighbor { node: self.neigh[base + i], t: self.ts[base + i], eid: self.eid[base + i] }
+    }
+
+    /// All neighbors of `v` before time `t`, oldest first.
+    pub fn temporal_neighbors(&self, v: u32, t: f64) -> impl Iterator<Item = TemporalNeighbor> + '_ {
+        let p = self.pivot(v, t);
+        (0..p).map(move |i| self.entry(v, i))
+    }
+
+    /// Raw timestamp slab for `v` (used by the simulated GPU kernel, which
+    /// performs its own binary search).
+    pub fn ts_slab(&self, v: u32) -> &[f64] {
+        &self.ts[self.indptr[v as usize]..self.indptr[v as usize + 1]]
+    }
+
+    /// Bytes consumed by the structure (for reporting).
+    pub fn bytes(&self) -> usize {
+        self.indptr.len() * 8 + self.neigh.len() * 4 + self.ts.len() * 8 + self.eid.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventLog;
+
+    fn small_log() -> EventLog {
+        EventLog::from_unsorted(vec![
+            (0, 1, 1.0),
+            (0, 2, 2.0),
+            (1, 2, 3.0),
+            (0, 1, 4.0),
+            (3, 0, 5.0),
+        ])
+    }
+
+    #[test]
+    fn degrees_count_both_directions() {
+        let csr = TCsr::build(&small_log(), 4);
+        assert_eq!(csr.neighbor_count(0), 4); // events 0,1,3,4
+        assert_eq!(csr.neighbor_count(1), 3);
+        assert_eq!(csr.neighbor_count(2), 2);
+        assert_eq!(csr.neighbor_count(3), 1);
+        assert_eq!(csr.num_entries(), 10);
+    }
+
+    #[test]
+    fn slabs_are_time_sorted() {
+        let csr = TCsr::build(&small_log(), 4);
+        for v in 0..4u32 {
+            let n = csr.neighbor_count(v);
+            for i in 1..n {
+                assert!(csr.entry(v, i - 1).t <= csr.entry(v, i).t);
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_excludes_current_time() {
+        let csr = TCsr::build(&small_log(), 4);
+        // node 0 at t=4.0: strictly-before events are t=1,2 -> pivot 2
+        assert_eq!(csr.pivot(0, 4.0), 2);
+        assert_eq!(csr.pivot(0, 4.5), 3);
+        assert_eq!(csr.pivot(0, 0.5), 0);
+        assert_eq!(csr.pivot(0, 100.0), 4);
+    }
+
+    #[test]
+    fn temporal_neighbors_respect_time() {
+        let csr = TCsr::build(&small_log(), 4);
+        let ns: Vec<_> = csr.temporal_neighbors(0, 4.5).collect();
+        assert_eq!(ns.len(), 3);
+        assert!(ns.iter().all(|n| n.t < 4.5));
+        // neighbor at t=4.0 is node 1 with eid 3
+        assert_eq!(ns[2].node, 1);
+        assert_eq!(ns[2].eid, 3);
+    }
+
+    #[test]
+    fn eids_match_event_log() {
+        let log = small_log();
+        let csr = TCsr::build(&log, 4);
+        // reverse direction carries the same eid
+        let ns: Vec<_> = csr.temporal_neighbors(2, 10.0).collect();
+        let eids: Vec<u32> = ns.iter().map(|n| n.eid).collect();
+        assert_eq!(eids, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_node_has_no_neighbors() {
+        let log = EventLog::from_unsorted(vec![(0, 1, 1.0)]);
+        let csr = TCsr::build(&log, 5);
+        assert_eq!(csr.neighbor_count(4), 0);
+        assert_eq!(csr.temporal_neighbors(4, 10.0).count(), 0);
+    }
+
+    #[test]
+    fn self_loop_inserted_once() {
+        let log = EventLog::from_unsorted(vec![(0, 0, 1.0), (0, 1, 2.0)]);
+        let csr = TCsr::build(&log, 2);
+        assert_eq!(csr.neighbor_count(0), 2, "self-loop counted once");
+        assert_eq!(csr.num_entries(), 3);
+        let ns: Vec<_> = csr.temporal_neighbors(0, 10.0).collect();
+        assert_eq!(ns[0].node, 0);
+        assert_eq!(ns[1].node, 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! The per-layer input batch consumed by temporal aggregators.
+
+use taser_tensor::{Graph, Tensor, VarId};
+
+/// One aggregation layer's input: `roots` target nodes, each with exactly
+/// `n` neighbor slots (shorter neighborhoods are zero-padded and masked).
+///
+/// This is the tensorized form of `(v, N_s(v,t))` from Eq. (1)-(2). Root and
+/// neighbor embeddings are tape variables so upper layers can consume lower
+/// layers' outputs with gradients intact; level-0 inputs are registered as
+/// leaves by the caller.
+#[derive(Clone, Debug)]
+pub struct LayerBatch {
+    /// Number of target nodes `R`.
+    pub roots: usize,
+    /// Neighbor slots per root `n`.
+    pub n: usize,
+    /// Root input embeddings `[R, d_in]` (tape var).
+    pub root_feat: VarId,
+    /// Neighbor input embeddings `[R*n, d_in]` (tape var; padded rows zeros).
+    pub neigh_feat: VarId,
+    /// Edge features `[R*n, d_e]` (tape var), if the dataset has them.
+    pub edge_feat: Option<VarId>,
+    /// Timespans `Δt` per neighbor slot, `[R*n]` (padded slots are 0).
+    pub delta_t: Vec<f32>,
+    /// Validity mask per neighbor slot, `[R*n]`.
+    pub mask: Vec<bool>,
+}
+
+impl LayerBatch {
+    /// Validates shapes against the tape and wraps the parts.
+    pub fn new(
+        g: &Graph,
+        roots: usize,
+        n: usize,
+        root_feat: VarId,
+        neigh_feat: VarId,
+        edge_feat: Option<VarId>,
+        delta_t: Vec<f32>,
+        mask: Vec<bool>,
+    ) -> Self {
+        assert_eq!(g.data(root_feat).rows(), roots, "root_feat rows");
+        assert_eq!(g.data(neigh_feat).rows(), roots * n, "neigh_feat rows");
+        if let Some(e) = edge_feat {
+            assert_eq!(g.data(e).rows(), roots * n, "edge_feat rows");
+        }
+        assert_eq!(delta_t.len(), roots * n, "delta_t len");
+        assert_eq!(mask.len(), roots * n, "mask len");
+        LayerBatch { roots, n, root_feat, neigh_feat, edge_feat, delta_t, mask }
+    }
+
+    /// Convenience constructor registering host tensors as leaves (level-0
+    /// inputs and tests).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_tensors(
+        g: &mut Graph,
+        roots: usize,
+        n: usize,
+        root_feat: Tensor,
+        neigh_feat: Tensor,
+        edge_feat: Option<Tensor>,
+        delta_t: Vec<f32>,
+        mask: Vec<bool>,
+    ) -> Self {
+        let rf = g.leaf(root_feat);
+        let nf = g.leaf(neigh_feat);
+        let ef = edge_feat.map(|e| g.leaf(e));
+        Self::new(g, roots, n, rf, nf, ef, delta_t, mask)
+    }
+
+    /// Input embedding dimension.
+    pub fn in_dim(&self, g: &Graph) -> usize {
+        g.data(self.root_feat).last_dim()
+    }
+
+    /// Edge feature dimension (0 when absent).
+    pub fn edge_dim(&self, g: &Graph) -> usize {
+        self.edge_feat.map_or(0, |e| g.data(e).last_dim())
+    }
+
+    /// The mask as a 0/1 `f32` vector (for `scale_rows`).
+    pub fn mask_f32(&self) -> Vec<f32> {
+        self.mask.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// The mask as additive attention bias (`0` valid / `-1e9` padded).
+    pub fn mask_bias(&self) -> Vec<f32> {
+        self.mask.iter().map(|&m| if m { 0.0 } else { -1e9 }).collect()
+    }
+
+    /// Number of valid (unpadded) neighbor slots.
+    pub fn valid_count(&self) -> usize {
+        self.mask.iter().filter(|&&m| m).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_with_valid_shapes() {
+        let mut g = Graph::new();
+        let b = LayerBatch::from_tensors(
+            &mut g,
+            2,
+            3,
+            Tensor::zeros(&[2, 4]),
+            Tensor::zeros(&[6, 4]),
+            Some(Tensor::zeros(&[6, 5])),
+            vec![0.0; 6],
+            vec![true, true, false, true, false, false],
+        );
+        assert_eq!(b.in_dim(&g), 4);
+        assert_eq!(b.edge_dim(&g), 5);
+        assert_eq!(b.valid_count(), 3);
+        assert_eq!(b.mask_f32(), vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(b.mask_bias()[2], -1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "neigh_feat rows")]
+    fn rejects_bad_neighbor_shape() {
+        let mut g = Graph::new();
+        let _ = LayerBatch::from_tensors(
+            &mut g,
+            2,
+            3,
+            Tensor::zeros(&[2, 4]),
+            Tensor::zeros(&[5, 4]),
+            None,
+            vec![0.0; 6],
+            vec![true; 6],
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Transductive temporal link prediction evaluation: Mean Reciprocal Rank
+//! against 49 randomly sampled negative destinations, following DistTGL
+//! (§IV-A).
+
+/// Number of negatives used by the paper's MRR protocol.
+pub const PAPER_NUM_NEGATIVES: usize = 49;
+
+/// 1-based rank of the positive among the negatives. Ties count against the
+/// positive (pessimistic), so a constant scorer gets the worst rank.
+pub fn rank_of_positive(pos_score: f32, neg_scores: &[f32]) -> usize {
+    1 + neg_scores.iter().filter(|&&s| s >= pos_score).count()
+}
+
+/// Mean reciprocal rank of a set of 1-based ranks.
+pub fn mrr(ranks: &[usize]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / ranks.len() as f64
+}
+
+/// MRR directly from `(positive score, negative scores)` groups.
+pub fn mrr_from_scores(groups: &[(f32, Vec<f32>)]) -> f64 {
+    let ranks: Vec<usize> =
+        groups.iter().map(|(p, n)| rank_of_positive(*p, n)).collect();
+    mrr(&ranks)
+}
+
+/// Hit-rate@k companion metric (fraction of positives ranked in the top k).
+pub fn hits_at(ranks: &[usize], k: usize) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().filter(|&&r| r <= k).count() as f64 / ranks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_better_negatives() {
+        assert_eq!(rank_of_positive(0.9, &[0.1, 0.5, 0.95]), 2);
+        assert_eq!(rank_of_positive(1.0, &[0.0, 0.5]), 1);
+        assert_eq!(rank_of_positive(0.0, &[0.5, 0.6]), 3);
+    }
+
+    #[test]
+    fn ties_are_pessimistic() {
+        assert_eq!(rank_of_positive(0.5, &[0.5, 0.5]), 3);
+    }
+
+    #[test]
+    fn mrr_perfect_and_worst() {
+        assert_eq!(mrr(&[1, 1, 1]), 1.0);
+        assert!((mrr(&[2, 4]) - (0.5 + 0.25) / 2.0).abs() < 1e-12);
+        assert_eq!(mrr(&[]), 0.0);
+    }
+
+    #[test]
+    fn random_scorer_mrr_near_expected() {
+        // with 49 negatives and random scores, E[MRR] = H(50)/50 ≈ 0.09
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let groups: Vec<(f32, Vec<f32>)> = (0..2000)
+            .map(|_| {
+                (
+                    rng.gen::<f32>(),
+                    (0..PAPER_NUM_NEGATIVES).map(|_| rng.gen()).collect(),
+                )
+            })
+            .collect();
+        let m = mrr_from_scores(&groups);
+        let expected = (1..=50).map(|r| 1.0 / r as f64).sum::<f64>() / 50.0;
+        assert!((m - expected).abs() < 0.02, "random MRR {m} vs expected {expected}");
+    }
+
+    #[test]
+    fn hits_at_k() {
+        let ranks = [1, 3, 10, 50];
+        assert_eq!(hits_at(&ranks, 1), 0.25);
+        assert_eq!(hits_at(&ranks, 10), 0.75);
+        assert_eq!(hits_at(&[], 5), 0.0);
+    }
+}

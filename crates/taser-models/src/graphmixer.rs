@@ -1,0 +1,258 @@
+//! The GraphMixer temporal aggregator (Eq. 9): fixed time encoding, a
+//! 1-layer MLP-Mixer over the most-recent neighbors, mean pooling.
+
+use crate::batch::LayerBatch;
+use crate::time_encoding::FixedTimeEncoding;
+use crate::{AggOut, Aggregator, Feedback};
+use taser_tensor::nn::{Linear, MixerBlock};
+use taser_tensor::{Graph, ParamStore, Tensor};
+
+/// Configuration of the GraphMixer aggregator.
+#[derive(Clone, Copy, Debug)]
+pub struct MixerConfig {
+    /// Input embedding dimension.
+    pub in_dim: usize,
+    /// Edge feature dimension (0 = none).
+    pub edge_dim: usize,
+    /// Fixed time encoding dimension.
+    pub time_dim: usize,
+    /// Model/output dimension.
+    pub out_dim: usize,
+    /// Neighbor slots per root (the mixer's token count is fixed).
+    pub tokens: usize,
+    /// Dropout probability during training.
+    pub dropout: f32,
+}
+
+/// GraphMixer's link-encoder + mixer + mean pooling, with a linear skip from
+/// the root's own features (the "node encoder" of the paper).
+pub struct MixerAggregator {
+    time_enc: FixedTimeEncoding,
+    input_proj: Linear,
+    mixer: MixerBlock,
+    root_proj: Linear,
+    cfg: MixerConfig,
+}
+
+impl MixerAggregator {
+    /// Builds the aggregator; `name` scopes its parameters.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: MixerConfig, seed: u64) -> Self {
+        let d_msg = cfg.in_dim + cfg.edge_dim + cfg.time_dim;
+        MixerAggregator {
+            time_enc: FixedTimeEncoding::new(cfg.time_dim),
+            input_proj: Linear::new(store, &format!("{name}.in"), d_msg, cfg.out_dim, seed ^ 0x1),
+            mixer: MixerBlock::new(
+                store,
+                &format!("{name}.mixer"),
+                cfg.tokens,
+                cfg.out_dim,
+                (cfg.tokens / 2).max(2),
+                cfg.out_dim * 2,
+                seed ^ 0x2,
+            ),
+            root_proj: Linear::new(store, &format!("{name}.root"), cfg.in_dim, cfg.out_dim, seed ^ 0x3),
+            cfg,
+        }
+    }
+
+    /// The aggregator's configuration.
+    pub fn config(&self) -> &MixerConfig {
+        &self.cfg
+    }
+}
+
+impl Aggregator for MixerAggregator {
+    fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        batch: &LayerBatch,
+        training: bool,
+        seed: u64,
+    ) -> AggOut {
+        let (r, n) = (batch.roots, batch.n);
+        assert_eq!(n, self.cfg.tokens, "mixer built for {} tokens, got {n}", self.cfg.tokens);
+        assert_eq!(batch.in_dim(g), self.cfg.in_dim, "input dim mismatch");
+        let d = self.cfg.out_dim;
+
+        // Link encoder: project [h_u || x_uvt || TE(Δt)] to the model dim.
+        let neigh = batch.neigh_feat;
+        let te = self.time_enc.encode_leaf(g, &batch.delta_t);
+        let msg = match batch.edge_feat {
+            Some(ef) => g.concat_cols(&[neigh, ef, te]),
+            None => g.concat_cols(&[neigh, te]),
+        };
+        let proj = self.input_proj.forward(g, store, msg); // [R*n, d]
+        let proj = g.dropout(proj, self.cfg.dropout, training, seed ^ 0x6D);
+
+        // Zero-pad invalid slots (GraphMixer's fixed-length zero padding).
+        let mask = g.leaf(Tensor::from_vec(batch.mask_f32(), &[r * n]));
+        let masked = g.scale_rows(proj, mask);
+
+        // Token/channel mixing over the neighborhood, then mean pooling.
+        let tokens = g.reshape(masked, &[r, n, d]);
+        let mixed = self.mixer.forward(g, store, tokens); // [R, n, d]
+        let pooled = g.mean_tokens(mixed); // [R, d]
+
+        // Node encoder: linear skip from the root's own features.
+        let skip = self.root_proj.forward(g, store, batch.root_feat);
+        let out = g.add(pooled, skip);
+
+        AggOut { h: out, feedback: Feedback::Mixer { mixed, pooled, n } }
+    }
+
+    fn in_dim(&self) -> usize {
+        self.cfg.in_dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.cfg.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_tensor::init;
+
+    fn cfg() -> MixerConfig {
+        MixerConfig { in_dim: 5, edge_dim: 3, time_dim: 6, out_dim: 10, tokens: 4, dropout: 0.0 }
+    }
+
+    fn batch(g: &mut Graph, r: usize) -> LayerBatch {
+        LayerBatch::from_tensors(
+            g,
+            r,
+            4,
+            init::uniform(&[r, 5], -1.0, 1.0, 1),
+            init::uniform(&[r * 4, 5], -1.0, 1.0, 2),
+            Some(init::uniform(&[r * 4, 3], -1.0, 1.0, 3)),
+            (0..r * 4).map(|i| (i % 7) as f32).collect(),
+            vec![true; r * 4],
+        )
+    }
+
+    #[test]
+    fn forward_shape_and_feedback() {
+        let mut store = ParamStore::new();
+        let agg = MixerAggregator::new(&mut store, "gm", cfg(), 3);
+        let mut g = Graph::new();
+        let b = batch(&mut g, 3);
+        let out = agg.forward(&mut g, &store, &b, false, 1);
+        assert_eq!(g.shape(out.h), &[3, 10]);
+        match out.feedback {
+            Feedback::Mixer { mixed, pooled, n } => {
+                assert_eq!(g.shape(mixed), &[3, 4, 10]);
+                assert_eq!(g.shape(pooled), &[3, 10]);
+                assert_eq!(n, 4);
+            }
+            _ => panic!("wrong feedback"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mixer built for")]
+    fn rejects_wrong_token_count() {
+        let mut store = ParamStore::new();
+        let agg = MixerAggregator::new(&mut store, "gm", cfg(), 3);
+        let mut g = Graph::new();
+        let b = LayerBatch::from_tensors(
+            &mut g,
+            1,
+            3,
+            Tensor::zeros(&[1, 5]),
+            Tensor::zeros(&[3, 5]),
+            Some(Tensor::zeros(&[3, 3])),
+            vec![0.0; 3],
+            vec![true; 3],
+        );
+        let _ = agg.forward(&mut g, &store, &b, false, 1);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut store = ParamStore::new();
+        let agg = MixerAggregator::new(&mut store, "gm", cfg(), 3);
+        let mut g = Graph::new();
+        let b = batch(&mut g, 2);
+        let out = agg.forward(&mut g, &store, &b, true, 5);
+        let sq = g.square(out.h);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.flush_grads(&mut store);
+        assert!(store.grad_norm_total() > 0.0);
+        assert!(store.grad(agg.input_proj.weight()).norm() > 0.0);
+        assert!(store.grad(agg.root_proj.weight()).norm() > 0.0);
+    }
+
+    #[test]
+    fn full_aggregator_gradcheck_wrt_inputs() {
+        use taser_tensor::gradcheck::gradcheck;
+        let mut store = ParamStore::new();
+        let small = MixerConfig {
+            in_dim: 3,
+            edge_dim: 2,
+            time_dim: 4,
+            out_dim: 4,
+            tokens: 2,
+            dropout: 0.0,
+        };
+        let agg = MixerAggregator::new(&mut store, "gc", small, 11);
+        gradcheck(
+            &[&[2, 3], &[4, 3], &[4, 2]],
+            move |g, vars| {
+                let batch = LayerBatch::new(
+                    g,
+                    2,
+                    2,
+                    vars[0],
+                    vars[1],
+                    Some(vars[2]),
+                    vec![1.0, 2.0, 3.0, 4.0],
+                    vec![true; 4],
+                );
+                let out = agg.forward(g, &store, &batch, false, 1);
+                let sq = g.square(out.h);
+                g.sum_all(sq)
+            },
+            5e-2,
+            29,
+        );
+    }
+
+    #[test]
+    fn all_padded_root_uses_only_skip_path() {
+        let mut store = ParamStore::new();
+        let agg = MixerAggregator::new(&mut store, "gm", cfg(), 3);
+        let build = |g: &mut Graph, bump: f32| {
+            let mut neigh = init::uniform(&[8, 5], -1.0, 1.0, 2);
+            // root 1's (masked) neighbor features get perturbed by `bump`
+            for v in neigh.data_mut()[4 * 5..8 * 5].iter_mut() {
+                *v += bump;
+            }
+            let mut mask = vec![true; 8];
+            for m in mask.iter_mut().skip(4) {
+                *m = false;
+            }
+            LayerBatch::from_tensors(
+                g,
+                2,
+                4,
+                init::uniform(&[2, 5], -1.0, 1.0, 1),
+                neigh,
+                Some(init::uniform(&[8, 3], -1.0, 1.0, 3)),
+                (0..8).map(|i| (i % 7) as f32).collect(),
+                mask,
+            )
+        };
+        let mut g = Graph::new();
+        let b = build(&mut g, 0.0);
+        let out = agg.forward(&mut g, &store, &b, false, 1);
+        assert!(g.data(out.h).all_finite());
+        // masked rows are zeroed before mixing, so the bump must not matter
+        let mut g2 = Graph::new();
+        let b2 = build(&mut g2, 3.0);
+        let out2 = agg.forward(&mut g2, &store, &b2, false, 1);
+        assert!(g.data(out.h).allclose(g2.data(out2.h), 1e-5));
+    }
+}

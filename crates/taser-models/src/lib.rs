@@ -1,0 +1,86 @@
+//! # taser-models
+//!
+//! Backbone TGNNs for taser-rs (§II-B of the paper):
+//!
+//! * [`tgat::TgatLayer`] — self-attention temporal aggregator with a
+//!   learnable time encoding (Eq. 3-7); stacked twice in the paper's TGAT.
+//! * [`graphmixer::MixerAggregator`] — the GraphMixer aggregator: fixed time
+//!   encoding + 1-layer MLP-Mixer + mean pooling (Eq. 8-9).
+//! * [`time_encoding`] — both time encodings.
+//! * [`predictor`] — edge predictor and the link-prediction loss (Eq. 10).
+//! * [`eval`] — MRR@49-negatives, the paper's metric.
+//!
+//! Both aggregators implement [`Aggregator`] over a common [`batch::LayerBatch`],
+//! and return [`Feedback`] — the internal quantities (attention weights and
+//! values for TGAT, mixed token rows for GraphMixer) that TASER's REINFORCE
+//! co-training (Eq. 25-26) reads after the backward pass.
+
+pub mod batch;
+pub mod eval;
+pub mod graphmixer;
+pub mod predictor;
+pub mod tgat;
+pub mod time_encoding;
+
+pub use batch::LayerBatch;
+pub use graphmixer::{MixerAggregator, MixerConfig};
+pub use predictor::{link_prediction_loss, EdgePredictor};
+pub use tgat::{TgatConfig, TgatLayer};
+
+use taser_tensor::{Graph, ParamStore, VarId};
+
+/// Aggregator internals captured during the forward pass for the sampler's
+/// gradient estimators (Eq. 25 for TGAT, Eq. 26 for GraphMixer).
+pub enum Feedback {
+    /// TGAT internals.
+    Tgat {
+        /// Pre-softmax attention scores `[R*heads, 1, n]` (masked slots at -1e9).
+        scores: VarId,
+        /// Post-softmax attention weights `â` `[R*heads, 1, n]`.
+        attn: VarId,
+        /// Head-packed value matrix `V` `[R*heads, n, d/heads]`.
+        v: VarId,
+        /// Merged attention output `[R, d]` (the `h_v^(l)` of Eq. 24-25).
+        attn_out: VarId,
+        /// Number of attention heads.
+        heads: usize,
+        /// Neighbor slots per root.
+        n: usize,
+    },
+    /// GraphMixer internals.
+    Mixer {
+        /// Post-mixer token rows `[R, n, d]` (neighbor contributions).
+        mixed: VarId,
+        /// Mean-pooled output `[R, d]` (the `h_v^(l)` of Eq. 26).
+        pooled: VarId,
+        /// Neighbor slots per root.
+        n: usize,
+    },
+}
+
+/// Output of one aggregation layer.
+pub struct AggOut {
+    /// Dynamic node embeddings of the roots, `[R, out_dim]`.
+    pub h: VarId,
+    /// Captured internals for sampler co-training.
+    pub feedback: Feedback,
+}
+
+/// A temporal aggregator: turns a [`LayerBatch`] into root embeddings.
+pub trait Aggregator {
+    /// Runs the layer on the tape.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        batch: &LayerBatch,
+        training: bool,
+        seed: u64,
+    ) -> AggOut;
+
+    /// Expected input embedding dimension.
+    fn in_dim(&self) -> usize;
+
+    /// Produced embedding dimension.
+    fn out_dim(&self) -> usize;
+}

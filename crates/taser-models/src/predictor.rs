@@ -1,0 +1,107 @@
+//! The edge predictor producing link logits from a pair of dynamic node
+//! embeddings, and the model loss of Eq. (10).
+
+use taser_tensor::nn::Mlp;
+use taser_tensor::{Graph, ParamStore, Tensor, VarId};
+
+/// Two-layer MLP over `[h_src || h_dst]` producing one logit per pair.
+pub struct EdgePredictor {
+    mlp: Mlp,
+    dim: usize,
+}
+
+impl EdgePredictor {
+    /// Creates a predictor for `dim`-dimensional embeddings.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, seed: u64) -> Self {
+        EdgePredictor { mlp: Mlp::new(store, name, 2 * dim, dim, 1, seed), dim }
+    }
+
+    /// Embedding dimension the predictor expects.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Logits for `B` pairs: `h_src`, `h_dst` are `[B, dim]`; returns `[B, 1]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, h_src: VarId, h_dst: VarId) -> VarId {
+        let cat = g.concat_cols(&[h_src, h_dst]);
+        self.mlp.forward(g, store, cat)
+    }
+}
+
+/// The self-supervised model loss (Eq. 10): mean BCE over positive and
+/// negative logits. Returns `(loss_var, positive_probabilities)` — the
+/// probabilities feed the importance-score update of adaptive mini-batch
+/// selection (Eq. 11).
+pub fn link_prediction_loss(
+    g: &mut Graph,
+    pos_logits: VarId,
+    neg_logits: VarId,
+) -> (VarId, Vec<f32>) {
+    let np = g.data(pos_logits).numel();
+    let nn = g.data(neg_logits).numel();
+    let probs: Vec<f32> = g
+        .data(pos_logits)
+        .data()
+        .iter()
+        .map(|&x| taser_tensor::ops::sigmoid(x))
+        .collect();
+    let pos_loss = g.bce_with_logits(pos_logits, &Tensor::ones(&[np, 1]));
+    let neg_loss = g.bce_with_logits(neg_logits, &Tensor::zeros(&[nn, 1]));
+    let loss = g.add(pos_loss, neg_loss);
+    (loss, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_tensor::{init, AdamConfig};
+
+    #[test]
+    fn forward_shape() {
+        let mut store = ParamStore::new();
+        let p = EdgePredictor::new(&mut store, "pred", 8, 1);
+        let mut g = Graph::new();
+        let a = g.leaf(init::uniform(&[5, 8], -1.0, 1.0, 1));
+        let b = g.leaf(init::uniform(&[5, 8], -1.0, 1.0, 2));
+        let y = p.forward(&mut g, &store, a, b);
+        assert_eq!(g.shape(y), &[5, 1]);
+        assert_eq!(p.dim(), 8);
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        // learn to score identical pairs positive, mismatched pairs negative
+        let mut store = ParamStore::new();
+        let p = EdgePredictor::new(&mut store, "pred", 4, 3);
+        let pos_a = init::uniform(&[16, 4], -1.0, 1.0, 5);
+        let neg_b = init::uniform(&[16, 4], -1.0, 1.0, 7);
+        let cfg = AdamConfig { lr: 0.01, ..AdamConfig::default() };
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..300 {
+            let mut g = Graph::new();
+            let a = g.leaf(pos_a.clone());
+            let b = g.leaf(neg_b.clone());
+            let pos = p.forward(&mut g, &store, a, a);
+            let neg = p.forward(&mut g, &store, a, b);
+            let (loss, probs) = link_prediction_loss(&mut g, pos, neg);
+            last = g.data(loss).item();
+            first.get_or_insert(last);
+            assert_eq!(probs.len(), 16);
+            g.backward(loss);
+            g.flush_grads(&mut store);
+            store.adam_step(cfg);
+        }
+        assert!(last < first.unwrap() * 0.5, "{} -> {last}", first.unwrap());
+    }
+
+    #[test]
+    fn probs_match_sigmoid_of_logits() {
+        let mut g = Graph::new();
+        let pos = g.leaf(Tensor::from_vec(vec![0.0, 2.0], &[2, 1]));
+        let neg = g.leaf(Tensor::from_vec(vec![-1.0], &[1, 1]));
+        let (_, probs) = link_prediction_loss(&mut g, pos, neg);
+        assert!((probs[0] - 0.5).abs() < 1e-6);
+        assert!((probs[1] - taser_tensor::ops::sigmoid(2.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,311 @@
+//! The TGAT temporal aggregator (Eq. 4-7): self-attention over the sampled
+//! temporal neighborhood with a learnable time encoding.
+
+use crate::batch::LayerBatch;
+use crate::time_encoding::LearnableTimeEncoding;
+use crate::{AggOut, Aggregator, Feedback};
+use taser_tensor::nn::{Linear, Mlp};
+use taser_tensor::{Graph, ParamStore, Tensor};
+
+/// Configuration of one TGAT layer.
+#[derive(Clone, Copy, Debug)]
+pub struct TgatConfig {
+    /// Input embedding dimension (`d_in`, = previous layer output or raw
+    /// node feature dim).
+    pub in_dim: usize,
+    /// Edge feature dimension (0 = none).
+    pub edge_dim: usize,
+    /// Time encoding dimension.
+    pub time_dim: usize,
+    /// Model/output dimension `d`.
+    pub out_dim: usize,
+    /// Attention heads (TGL default: 2).
+    pub heads: usize,
+    /// Dropout probability during training.
+    pub dropout: f32,
+}
+
+/// One TGAT self-attention layer.
+pub struct TgatLayer {
+    time_enc: LearnableTimeEncoding,
+    w_q: Linear,
+    w_k: Linear,
+    w_v: Linear,
+    out_mlp: Mlp,
+    cfg: TgatConfig,
+}
+
+impl TgatLayer {
+    /// Builds a layer; `name` scopes its parameters inside `store`.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: TgatConfig, seed: u64) -> Self {
+        assert!(cfg.out_dim % cfg.heads == 0, "out_dim must divide into heads");
+        let d_msg = cfg.in_dim + cfg.edge_dim + cfg.time_dim;
+        let d_q = cfg.in_dim + cfg.time_dim;
+        TgatLayer {
+            time_enc: LearnableTimeEncoding::new(store, &format!("{name}.te"), cfg.time_dim),
+            w_q: Linear::new(store, &format!("{name}.wq"), d_q, cfg.out_dim, seed ^ 0x11),
+            w_k: Linear::new(store, &format!("{name}.wk"), d_msg, cfg.out_dim, seed ^ 0x22),
+            w_v: Linear::new(store, &format!("{name}.wv"), d_msg, cfg.out_dim, seed ^ 0x33),
+            out_mlp: Mlp::new(
+                store,
+                &format!("{name}.out"),
+                cfg.out_dim + cfg.in_dim,
+                cfg.out_dim * 2,
+                cfg.out_dim,
+                seed ^ 0x44,
+            ),
+            cfg,
+        }
+    }
+
+    /// The layer's configuration.
+    pub fn config(&self) -> &TgatConfig {
+        &self.cfg
+    }
+}
+
+impl Aggregator for TgatLayer {
+    fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        batch: &LayerBatch,
+        training: bool,
+        seed: u64,
+    ) -> AggOut {
+        let (r, n, h) = (batch.roots, batch.n, self.cfg.heads);
+        let d = self.cfg.out_dim;
+        assert_eq!(batch.in_dim(g), self.cfg.in_dim, "input dim mismatch");
+
+        // Message matrix M = [h_u || x_uvt || Φ(Δt)]  (Eq. 1)
+        let neigh = batch.neigh_feat;
+        let phi = self.time_enc.encode_host(g, store, &batch.delta_t);
+        let msg = match batch.edge_feat {
+            Some(ef) => g.concat_cols(&[neigh, ef, phi]),
+            None => g.concat_cols(&[neigh, phi]),
+        };
+        let msg = g.dropout(msg, self.cfg.dropout, training, seed ^ 0xD0);
+
+        // Query from the root at Δt = 0  (Eq. 4)
+        let root = batch.root_feat;
+        let phi0 = self.time_enc.encode_host(g, store, &vec![0.0; r]);
+        let q_in = g.concat_cols(&[root, phi0]);
+        let q = self.w_q.forward(g, store, q_in); // [R, d]
+        let k = self.w_k.forward(g, store, msg); // [R*n, d]
+        let v = self.w_v.forward(g, store, msg); // [R*n, d]
+
+        // Head-packed attention  (Eq. 5-7)
+        let q3 = g.split_heads(q, 1, h); // [R*h, 1, dh]
+        let k3 = g.split_heads(k, n, h); // [R*h, n, dh]
+        let v3 = g.split_heads(v, n, h); // [R*h, n, dh]
+        let raw = g.bmm(q3, k3, true); // [R*h, 1, n]
+        let scaled = g.mul_scalar(raw, 1.0 / (n as f32).sqrt());
+
+        // Additive mask: padded slots get -1e9 before the softmax.
+        let bias = batch.mask_bias();
+        let mut bias_h = Vec::with_capacity(r * h * n);
+        for ri in 0..r {
+            for _ in 0..h {
+                bias_h.extend_from_slice(&bias[ri * n..(ri + 1) * n]);
+            }
+        }
+        let bias_leaf = g.leaf(Tensor::from_vec(bias_h, &[r * h, 1, n]));
+        let scores = g.add(scaled, bias_leaf);
+        let attn = g.softmax(scores); // [R*h, 1, n]
+        let attn = g.dropout(attn, self.cfg.dropout, training, seed ^ 0xA7);
+
+        let ctx = g.bmm(attn, v3, false); // [R*h, 1, dh]
+        let merged = g.merge_heads(ctx, h); // [R, h*dh] = [R, d]
+        let merged2 = g.reshape(merged, &[r, d]);
+
+        // Roots with empty neighborhoods produce zeros, not softmax garbage.
+        let root_valid: Vec<f32> = (0..r)
+            .map(|ri| {
+                if batch.mask[ri * n..(ri + 1) * n].iter().any(|&m| m) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let valid_leaf = g.leaf(Tensor::from_vec(root_valid, &[r]));
+        let attn_out = g.scale_rows(merged2, valid_leaf);
+
+        // Output head combines attention context with the root state.
+        let cat = g.concat_cols(&[attn_out, batch.root_feat]);
+        let out = self.out_mlp.forward(g, store, cat);
+
+        AggOut {
+            h: out,
+            feedback: Feedback::Tgat {
+                scores,
+                attn,
+                v: v3,
+                attn_out,
+                heads: h,
+                n,
+            },
+        }
+    }
+
+    fn in_dim(&self) -> usize {
+        self.cfg.in_dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.cfg.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_tensor::init;
+
+    fn cfg() -> TgatConfig {
+        TgatConfig { in_dim: 6, edge_dim: 4, time_dim: 8, out_dim: 12, heads: 2, dropout: 0.0 }
+    }
+
+    fn batch(g: &mut Graph, r: usize, n: usize) -> LayerBatch {
+        LayerBatch::from_tensors(
+            g,
+            r,
+            n,
+            init::uniform(&[r, 6], -1.0, 1.0, 1),
+            init::uniform(&[r * n, 6], -1.0, 1.0, 2),
+            Some(init::uniform(&[r * n, 4], -1.0, 1.0, 3)),
+            (0..r * n).map(|i| i as f32).collect(),
+            vec![true; r * n],
+        )
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut store = ParamStore::new();
+        let layer = TgatLayer::new(&mut store, "l1", cfg(), 7);
+        let mut g = Graph::new();
+        let b = batch(&mut g, 3, 5);
+        let out = layer.forward(&mut g, &store, &b, false, 1);
+        assert_eq!(g.shape(out.h), &[3, 12]);
+        match out.feedback {
+            Feedback::Tgat { attn, v, heads, n, .. } => {
+                assert_eq!(g.shape(attn), &[6, 1, 5]);
+                assert_eq!(g.shape(v), &[6, 5, 6]);
+                assert_eq!(heads, 2);
+                assert_eq!(n, 5);
+            }
+            _ => panic!("wrong feedback kind"),
+        }
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one_over_valid() {
+        let mut store = ParamStore::new();
+        let layer = TgatLayer::new(&mut store, "l1", cfg(), 7);
+        let mut g = Graph::new();
+        let mut b = batch(&mut g, 2, 4);
+        // root 1: mask out slots 1..4, leaving only its first neighbor
+        b.mask[5] = false;
+        b.mask[6] = false;
+        b.mask[7] = false;
+        let out = layer.forward(&mut g, &store, &b, false, 1);
+        if let Feedback::Tgat { attn, .. } = out.feedback {
+            let a = g.data(attn); // [r*h, 1, n] = [4, 1, 4]
+            // block 2 = (root 1, head 0): all weight must sit on slot 0
+            let row = &a.data()[2 * 4..3 * 4];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row[0] > 0.999, "masked slots leaked attention: {row:?}");
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn empty_neighborhood_root_outputs_through_root_path_only() {
+        let mut store = ParamStore::new();
+        let layer = TgatLayer::new(&mut store, "l1", cfg(), 7);
+        let mut g = Graph::new();
+        let mut b = batch(&mut g, 2, 3);
+        for i in 3..6 {
+            b.mask[i] = false;
+        }
+        let out = layer.forward(&mut g, &store, &b, false, 1);
+        if let Feedback::Tgat { attn_out, .. } = out.feedback {
+            let a = g.data(attn_out);
+            for c in 0..12 {
+                assert_eq!(a.at2(1, c), 0.0, "empty root must contribute zero context");
+            }
+            assert!(g.data(out.h).all_finite());
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_all_weights() {
+        let mut store = ParamStore::new();
+        let layer = TgatLayer::new(&mut store, "l1", cfg(), 7);
+        let mut g = Graph::new();
+        let b = batch(&mut g, 4, 3);
+        let out = layer.forward(&mut g, &store, &b, true, 9);
+        let sq = g.square(out.h);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.flush_grads(&mut store);
+        assert!(store.grad_norm_total() > 0.0);
+        assert!(store.grad(layer.w_k.weight()).norm() > 0.0, "W_k untouched");
+        assert!(store.grad(layer.w_q.weight()).norm() > 0.0, "W_q untouched");
+        assert!(store.grad(layer.w_v.weight()).norm() > 0.0, "W_v untouched");
+    }
+
+    #[test]
+    fn full_layer_gradcheck_wrt_inputs() {
+        // Finite-difference check of the whole attention layer's gradient
+        // with respect to its root/neighbor/edge inputs.
+        use taser_tensor::gradcheck::gradcheck;
+        let mut store = ParamStore::new();
+        let small = TgatConfig {
+            in_dim: 3,
+            edge_dim: 2,
+            time_dim: 4,
+            out_dim: 4,
+            heads: 2,
+            dropout: 0.0,
+        };
+        let layer = TgatLayer::new(&mut store, "gc", small, 11);
+        gradcheck(
+            &[&[2, 3], &[4, 3], &[4, 2]],
+            move |g, vars| {
+                let batch = LayerBatch::new(
+                    g,
+                    2,
+                    2,
+                    vars[0],
+                    vars[1],
+                    Some(vars[2]),
+                    vec![1.0, 2.0, 3.0, 4.0],
+                    vec![true; 4],
+                );
+                let out = layer.forward(g, &store, &batch, false, 1);
+                let sq = g.square(out.h);
+                g.sum_all(sq)
+            },
+            5e-2,
+            23,
+        );
+    }
+
+    #[test]
+    fn deterministic_forward() {
+        let mut store = ParamStore::new();
+        let layer = TgatLayer::new(&mut store, "l1", cfg(), 7);
+        let mut g1 = Graph::new();
+        let b1 = batch(&mut g1, 3, 5);
+        let o1 = layer.forward(&mut g1, &store, &b1, false, 1);
+        let mut g2 = Graph::new();
+        let b2 = batch(&mut g2, 3, 5);
+        let o2 = layer.forward(&mut g2, &store, &b2, false, 1);
+        assert!(g1.data(o1.h).allclose(g2.data(o2.h), 0.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Time encodings mapping continuous timespans to vectors (§II-B).
+//!
+//! * [`LearnableTimeEncoding`] — TGAT's `Φ(Δt) = cos(Δt·w + b)` with
+//!   learnable `w, b` (Eq. 3).
+//! * [`FixedTimeEncoding`] — GraphMixer's fixed `Φ(Δt) = cos(Δt·ω)` with
+//!   geometric frequencies `ω_i = α^{-(i-1)/β}` (Eq. 8); also used by the
+//!   TASER neighbor encoder (Eq. 15).
+
+use taser_tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+
+/// Geometric frequency ladder `ω_i = α^{-(i-1)/β}`, spanning timescales from
+/// 1 down to `α^{-(d-1)/β}`.
+pub fn geometric_frequencies(dim: usize, alpha: f32, beta: f32) -> Vec<f32> {
+    (0..dim)
+        .map(|i| alpha.powf(-(i as f32) / beta))
+        .collect()
+}
+
+/// GraphMixer's default frequencies: timescales 1 → 1e-9 across the dims
+/// (`α = 10`, `β = (d-1)/9`), matching the reference implementation.
+pub fn graphmixer_frequencies(dim: usize) -> Vec<f32> {
+    if dim == 1 {
+        return vec![1.0];
+    }
+    geometric_frequencies(dim, 10.0, (dim as f32 - 1.0) / 9.0)
+}
+
+/// Fixed (non-learnable) time encoding (Eq. 8).
+#[derive(Clone, Debug)]
+pub struct FixedTimeEncoding {
+    omega: Vec<f32>,
+}
+
+impl FixedTimeEncoding {
+    /// GraphMixer-style encoding of the given dimension.
+    pub fn new(dim: usize) -> Self {
+        FixedTimeEncoding { omega: graphmixer_frequencies(dim) }
+    }
+
+    /// Custom frequency ladder.
+    pub fn with_frequencies(omega: Vec<f32>) -> Self {
+        assert!(!omega.is_empty());
+        FixedTimeEncoding { omega }
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.omega.len()
+    }
+
+    /// Encodes a batch of timespans into a `[n, dim]` tensor (host side —
+    /// the encoding is constant, so it enters the tape as a leaf).
+    pub fn encode(&self, dts: &[f32]) -> Tensor {
+        let d = self.omega.len();
+        let mut data = Vec::with_capacity(dts.len() * d);
+        for &dt in dts {
+            for &w in &self.omega {
+                data.push((dt * w).cos());
+            }
+        }
+        Tensor::from_vec(data, &[dts.len(), d])
+    }
+
+    /// Encodes and registers as a leaf on the tape.
+    pub fn encode_leaf(&self, g: &mut Graph, dts: &[f32]) -> VarId {
+        let t = self.encode(dts);
+        g.leaf(t)
+    }
+}
+
+/// TGAT's learnable time encoding (Eq. 3).
+pub struct LearnableTimeEncoding {
+    w: ParamId,
+    b: ParamId,
+    dim: usize,
+}
+
+impl LearnableTimeEncoding {
+    /// Creates the encoding with frequencies initialized to the GraphMixer
+    /// ladder (the init used by TGAT's reference code) and zero phase.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let omega = graphmixer_frequencies(dim);
+        let w = store.add(format!("{name}.w"), Tensor::from_vec(omega, &[1, dim]));
+        let b = store.add(format!("{name}.b"), Tensor::zeros(&[dim]));
+        LearnableTimeEncoding { w, b, dim }
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes a `[n, 1]` timespan column into `[n, dim]`: `cos(Δt·w + b)`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, dt_col: VarId) -> VarId {
+        assert_eq!(g.data(dt_col).last_dim(), 1, "expect a [n,1] Δt column");
+        let w = g.param(store, self.w);
+        let scaled = g.matmul(dt_col, w);
+        let b = g.param(store, self.b);
+        let shifted = g.add_bias(scaled, b);
+        g.cos(shifted)
+    }
+
+    /// Convenience: encodes host timespans.
+    pub fn encode_host(&self, g: &mut Graph, store: &ParamStore, dts: &[f32]) -> VarId {
+        let col = g.leaf(Tensor::from_vec(dts.to_vec(), &[dts.len(), 1]));
+        self.forward(g, store, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_decay_geometrically() {
+        let w = geometric_frequencies(4, 10.0, 1.0);
+        assert!((w[0] - 1.0).abs() < 1e-6);
+        assert!((w[1] - 0.1).abs() < 1e-6);
+        assert!((w[3] - 1e-3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn graphmixer_ladder_spans_nine_decades() {
+        let w = graphmixer_frequencies(100);
+        assert!((w[0] - 1.0).abs() < 1e-6);
+        assert!((w[99].log10() + 9.0).abs() < 1e-3, "last freq {}", w[99]);
+    }
+
+    #[test]
+    fn fixed_encoding_zero_is_all_ones() {
+        let enc = FixedTimeEncoding::new(8);
+        let t = enc.encode(&[0.0]);
+        assert!(t.allclose(&Tensor::ones(&[1, 8]), 1e-6));
+    }
+
+    #[test]
+    fn fixed_encoding_distinguishes_timescales() {
+        let enc = FixedTimeEncoding::new(16);
+        let near = enc.encode(&[1.0]);
+        let far = enc.encode(&[100_000.0]);
+        assert!(!near.allclose(&far, 0.1));
+    }
+
+    #[test]
+    fn learnable_encoding_trains() {
+        use taser_tensor::AdamConfig;
+        // fit Φ(Δt) ≈ target for two timespans by moving w,b
+        let mut store = ParamStore::new();
+        let enc = LearnableTimeEncoding::new(&mut store, "te", 4);
+        let target = Tensor::from_vec(vec![0.5; 8], &[2, 4]);
+        let mut last = f32::MAX;
+        for _ in 0..200 {
+            let mut g = Graph::new();
+            let y = enc.encode_host(&mut g, &store, &[1.0, 2.0]);
+            let t = g.leaf(target.clone());
+            let d = g.sub(y, t);
+            let sq = g.square(d);
+            let loss = g.mean_all(sq);
+            last = g.data(loss).item();
+            g.backward(loss);
+            g.flush_grads(&mut store);
+            store.adam_step(AdamConfig { lr: 0.05, ..AdamConfig::default() });
+        }
+        assert!(last < 0.05, "time encoding failed to fit: {last}");
+    }
+
+    #[test]
+    fn learnable_zero_timespan_gives_cos_b() {
+        let mut store = ParamStore::new();
+        let enc = LearnableTimeEncoding::new(&mut store, "te", 4);
+        let mut g = Graph::new();
+        let y = enc.encode_host(&mut g, &store, &[0.0]);
+        // b starts at zero -> cos(0) = 1
+        assert!(g.data(y).allclose(&Tensor::ones(&[1, 4]), 1e-6));
+    }
+}

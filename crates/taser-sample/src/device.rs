@@ -1,0 +1,171 @@
+//! Simulated SIMD device model.
+//!
+//! No GPU is available in this reproduction, so the block-centric kernel of
+//! Algorithm 2 runs on a *simulated device*: rayon supplies the real
+//! block-level parallelism, and this module supplies a cycle-level cost model
+//! so harnesses can report a modeled device time next to measured wall time.
+//!
+//! The model is deliberately coarse — enough to preserve the paper's claims
+//! (workload balance across blocks, order-of-magnitude gap to CPU finders),
+//! not a microarchitectural simulator:
+//!
+//! * one thread block per target node, `warp_size`-lane execution,
+//! * a binary-search step costs one global-memory transaction,
+//! * claiming a bitmap slot costs a shared-memory transaction; collisions
+//!   retry,
+//! * block cycles = search + sampling + retry costs; device time =
+//!   total block cycles spread over `sm_count` SMs at `clock_ghz`.
+
+use std::time::Duration;
+
+/// Parameters of the simulated device.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceModel {
+    /// Number of streaming multiprocessors (concurrent blocks).
+    pub sm_count: usize,
+    /// Lanes per warp; sampling lanes execute in warp-sized groups.
+    pub warp_size: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Cycles per global-memory transaction (binary search reads, neighbor
+    /// writes).
+    pub global_mem_cycles: u64,
+    /// Cycles per shared-memory transaction (bitmap check/claim).
+    pub shared_mem_cycles: u64,
+}
+
+impl DeviceModel {
+    /// Roughly an RTX 6000 Ada (the paper's GPU): 142 SMs, 32-lane warps.
+    pub fn rtx6000ada() -> Self {
+        DeviceModel {
+            sm_count: 142,
+            warp_size: 32,
+            clock_ghz: 2.5,
+            global_mem_cycles: 400,
+            shared_mem_cycles: 30,
+        }
+    }
+
+    /// A small laptop-class device, useful in tests.
+    pub fn laptop() -> Self {
+        DeviceModel {
+            sm_count: 16,
+            warp_size: 32,
+            clock_ghz: 1.5,
+            global_mem_cycles: 500,
+            shared_mem_cycles: 40,
+        }
+    }
+
+    /// Converts kernel statistics into modeled execution time: blocks are
+    /// spread across SMs; each SM executes its blocks back-to-back.
+    pub fn simulated_time(&self, stats: &KernelStats) -> Duration {
+        if stats.blocks == 0 {
+            return Duration::ZERO;
+        }
+        // Greedy longest-processing-time bound: max(avg load, longest block).
+        let avg = stats.total_block_cycles as f64 / self.sm_count as f64;
+        let bound = avg.max(stats.max_block_cycles as f64);
+        Duration::from_secs_f64(bound / (self.clock_ghz * 1e9))
+    }
+}
+
+/// Per-launch statistics of the simulated kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    /// Number of thread blocks launched (= targets).
+    pub blocks: usize,
+    /// Sum of modeled cycles across blocks.
+    pub total_block_cycles: u64,
+    /// Longest single block, for the makespan bound.
+    pub max_block_cycles: u64,
+    /// Binary-search steps performed (one lane per block).
+    pub binary_search_steps: u64,
+    /// Global-memory transactions (neighbor reads/writes).
+    pub mem_transactions: u64,
+    /// Bitmap collision retries during uniform sampling.
+    pub bitmap_retries: u64,
+}
+
+impl KernelStats {
+    /// Merges stats from another block group (used by the parallel reduce).
+    pub fn merge(mut self, other: KernelStats) -> KernelStats {
+        self.blocks += other.blocks;
+        self.total_block_cycles += other.total_block_cycles;
+        self.max_block_cycles = self.max_block_cycles.max(other.max_block_cycles);
+        self.binary_search_steps += other.binary_search_steps;
+        self.mem_transactions += other.mem_transactions;
+        self.bitmap_retries += other.bitmap_retries;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_blocks_take_no_time() {
+        let m = DeviceModel::laptop();
+        assert_eq!(m.simulated_time(&KernelStats::default()), Duration::ZERO);
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let m = DeviceModel::laptop();
+        let small = KernelStats {
+            blocks: 10,
+            total_block_cycles: 10_000,
+            max_block_cycles: 1_000,
+            ..Default::default()
+        };
+        let big = KernelStats {
+            blocks: 1000,
+            total_block_cycles: 1_000_000,
+            max_block_cycles: 1_000,
+            ..Default::default()
+        };
+        assert!(m.simulated_time(&big) > m.simulated_time(&small));
+    }
+
+    #[test]
+    fn makespan_bounded_by_longest_block() {
+        let m = DeviceModel::laptop();
+        let stats = KernelStats {
+            blocks: 2,
+            total_block_cycles: 1_000,
+            max_block_cycles: 900,
+            ..Default::default()
+        };
+        // longest block dominates avg (1000/16)
+        let t = m.simulated_time(&stats).as_secs_f64();
+        assert!((t - 900.0 / (1.5e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = KernelStats {
+            blocks: 1,
+            total_block_cycles: 5,
+            max_block_cycles: 5,
+            binary_search_steps: 2,
+            mem_transactions: 3,
+            bitmap_retries: 1,
+        };
+        let b = KernelStats {
+            blocks: 2,
+            total_block_cycles: 7,
+            max_block_cycles: 6,
+            binary_search_steps: 1,
+            mem_transactions: 4,
+            bitmap_retries: 0,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.blocks, 3);
+        assert_eq!(m.total_block_cycles, 12);
+        assert_eq!(m.max_block_cycles, 6);
+        assert_eq!(m.binary_search_steps, 3);
+        assert_eq!(m.mem_transactions, 7);
+        assert_eq!(m.bitmap_retries, 1);
+    }
+}

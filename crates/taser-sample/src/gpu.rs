@@ -1,0 +1,455 @@
+//! TASER's block-centric temporal neighbor finder (Algorithm 2), executed on
+//! the simulated SIMD device of [`crate::device`].
+//!
+//! Faithful to the paper's kernel:
+//!
+//! 1. one thread block per target `(v, t)`;
+//! 2. a single lane binary-searches the T-CSR timestamp slab for the pivot
+//!    (`SyncThreads` barrier = end of phase 1);
+//! 3. *most-recent* policy: lane `j` copies entry `pivot-1-j`;
+//!    *uniform* policy: every lane repeatedly draws `r ∈ [0, pivot)` and
+//!    claims it in a shared-memory bitmap with an atomic compare-and-update,
+//!    retrying on collision — uniform sampling **without replacement**.
+//!
+//! Rayon provides real block-level parallelism (each block is independent,
+//! exactly as on the GPU), and per-block cycle counts feed the device model.
+//! Unlike the TGL finder, queries may arrive in **any order** — the property
+//! that makes adaptive mini-batch selection affordable (§III-C).
+
+use crate::device::{DeviceModel, KernelStats};
+use crate::policy::SamplePolicy;
+use crate::result::SampledNeighbors;
+use crate::rng::{bounded, counter_rng};
+use rayon::prelude::*;
+use taser_graph::tcsr::TCsr;
+
+/// Shared-memory bitmap for collision detection (Algorithm 2, line 11).
+/// One `u64` word per 64 candidate slots, like a CUDA shared-memory array.
+struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    fn new(bits: usize) -> Self {
+        Bitmap { words: vec![0; bits.div_ceil(64)] }
+    }
+
+    /// Attempts to claim bit `i`; returns `true` when this call set it
+    /// (models `atomicCAS` on shared memory).
+    #[inline]
+    fn try_claim(&mut self, i: usize) -> bool {
+        let w = i / 64;
+        let b = 1u64 << (i % 64);
+        if self.words[w] & b != 0 {
+            false
+        } else {
+            self.words[w] |= b;
+            true
+        }
+    }
+}
+
+/// The block-centric GPU neighbor finder.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuFinder {
+    /// Device parameters used for the modeled execution time.
+    pub device: DeviceModel,
+}
+
+impl Default for GpuFinder {
+    fn default() -> Self {
+        GpuFinder { device: DeviceModel::rtx6000ada() }
+    }
+}
+
+impl GpuFinder {
+    /// Creates a finder with an explicit device model.
+    pub fn new(device: DeviceModel) -> Self {
+        GpuFinder { device }
+    }
+
+    /// Samples neighborhoods for a batch of targets in arbitrary order.
+    /// Returns the samples plus the kernel statistics of the launch.
+    pub fn sample_with_stats(
+        &self,
+        csr: &TCsr,
+        targets: &[(u32, f64)],
+        budget: usize,
+        policy: SamplePolicy,
+        seed: u64,
+    ) -> (SampledNeighbors, KernelStats) {
+        let mut out = SampledNeighbors::empty(targets.len(), budget);
+        let dev = self.device;
+        let stats = {
+            let nodes = &mut out.nodes;
+            let times = &mut out.times;
+            let eids = &mut out.eids;
+            let counts = &mut out.counts;
+            nodes
+                .par_chunks_mut(budget)
+                .zip(times.par_chunks_mut(budget))
+                .zip(eids.par_chunks_mut(budget))
+                .zip(counts.par_iter_mut())
+                .enumerate()
+                .map(|(block, (((ns, ts), es), count))| {
+                    run_block(BlockArgs {
+                        csr,
+                        v: targets[block].0,
+                        t: targets[block].1,
+                        budget,
+                        policy,
+                        seed,
+                        block,
+                        dev,
+                        ns,
+                        ts,
+                        es,
+                        count,
+                    })
+                })
+                .reduce(KernelStats::default, KernelStats::merge)
+        };
+        (out, stats)
+    }
+
+    /// Convenience wrapper discarding the kernel statistics.
+    pub fn sample(
+        &self,
+        csr: &TCsr,
+        targets: &[(u32, f64)],
+        budget: usize,
+        policy: SamplePolicy,
+        seed: u64,
+    ) -> SampledNeighbors {
+        self.sample_with_stats(csr, targets, budget, policy, seed).0
+    }
+}
+
+struct BlockArgs<'a> {
+    csr: &'a TCsr,
+    v: u32,
+    t: f64,
+    budget: usize,
+    policy: SamplePolicy,
+    seed: u64,
+    block: usize,
+    dev: DeviceModel,
+    ns: &'a mut [u32],
+    ts: &'a mut [f64],
+    es: &'a mut [u32],
+    count: &'a mut usize,
+}
+
+/// Executes one thread block: pivot search by lane 0, then sampling by
+/// `budget` lanes in warp-sized groups.
+fn run_block(args: BlockArgs<'_>) -> KernelStats {
+    let BlockArgs { csr, v, t, budget, policy, seed, block, dev, ns, ts, es, count } = args;
+    let mut cycles = 0u64;
+    let mut stats = KernelStats { blocks: 1, ..Default::default() };
+
+    // Phase 1 (lane 0): binary search for the pivot. Each probe is a global
+    // memory read.
+    let slab = csr.ts_slab(v);
+    let mut lo = 0usize;
+    let mut hi = slab.len();
+    let mut steps = 0u64;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if slab[mid] < t {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+        steps += 1;
+    }
+    let pivot = lo;
+    stats.binary_search_steps = steps;
+    stats.mem_transactions += steps;
+    cycles += steps * dev.global_mem_cycles;
+    // SyncThreads(): all lanes wait for the pivot — modeled as a barrier of
+    // one shared-memory transaction per warp.
+    let warps = budget.div_ceil(dev.warp_size).max(1) as u64;
+    cycles += warps * dev.shared_mem_cycles;
+
+    let k = pivot.min(budget);
+    match policy {
+        SamplePolicy::MostRecent => {
+            // Lane j copies entry pivot-1-j. Lanes in a warp read adjacent
+            // entries — coalesced: one transaction per warp of lanes.
+            for j in 0..k {
+                let e = csr.entry(v, pivot - 1 - j);
+                ns[j] = e.node;
+                ts[j] = e.t;
+                es[j] = e.eid;
+            }
+            let coalesced = (k as u64).div_ceil(dev.warp_size as u64);
+            stats.mem_transactions += coalesced;
+            cycles += coalesced * dev.global_mem_cycles;
+        }
+        SamplePolicy::Uniform | SamplePolicy::InverseTimespan { .. } => {
+            if pivot <= budget {
+                for j in 0..k {
+                    let e = csr.entry(v, j);
+                    ns[j] = e.node;
+                    ts[j] = e.t;
+                    es[j] = e.eid;
+                }
+                let coalesced = (k as u64).div_ceil(dev.warp_size as u64);
+                stats.mem_transactions += coalesced;
+                cycles += coalesced * dev.global_mem_cycles;
+            } else {
+                // Every lane draws until it claims an unclaimed slot in the
+                // shared-memory bitmap (atomic compare-and-update). Uniform
+                // draws are symmetric over slots ⇒ uniform k-subsets. The
+                // weighted policy adds C-SAW-style rejection [30]: a draw is
+                // accepted with probability w_r / w_max before claiming.
+                let weighted = matches!(policy, SamplePolicy::InverseTimespan { .. });
+                // most-recent neighbor has the smallest Δt ⇒ maximal weight
+                let w_max = if weighted {
+                    policy.weight(t - slab[pivot - 1]).max(1e-300)
+                } else {
+                    1.0
+                };
+                let mut bitmap = Bitmap::new(pivot);
+                let mut retries = 0u64;
+                for j in 0..k {
+                    let mut attempt = 0u64;
+                    loop {
+                        let raw = counter_rng(seed, block as u64, j as u64, attempt);
+                        let r = bounded(raw, pivot);
+                        cycles += dev.shared_mem_cycles;
+                        attempt += 1;
+                        if weighted {
+                            let accept_u = (counter_rng(seed, block as u64, j as u64, attempt)
+                                >> 11) as f64
+                                / (1u64 << 53) as f64;
+                            attempt += 1;
+                            let w = policy.weight(t - slab[r]);
+                            if accept_u >= w / w_max {
+                                retries += 1;
+                                continue;
+                            }
+                        }
+                        if bitmap.try_claim(r) {
+                            let e = csr.entry(v, r);
+                            ns[j] = e.node;
+                            ts[j] = e.t;
+                            es[j] = e.eid;
+                            stats.mem_transactions += 1;
+                            cycles += dev.global_mem_cycles;
+                            break;
+                        }
+                        retries += 1;
+                    }
+                }
+                stats.bitmap_retries = retries;
+            }
+        }
+    }
+    *count = k;
+    stats.total_block_cycles = cycles;
+    stats.max_block_cycles = cycles;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::OriginFinder;
+    use taser_graph::events::EventLog;
+
+    fn chain_csr(n_events: usize) -> TCsr {
+        let log = EventLog::from_unsorted(
+            (0..n_events).map(|i| (0u32, (i + 1) as u32, (i + 1) as f64)).collect(),
+        );
+        TCsr::build(&log, n_events + 1)
+    }
+
+    fn finder() -> GpuFinder {
+        GpuFinder::new(DeviceModel::laptop())
+    }
+
+    #[test]
+    fn most_recent_matches_origin_exactly() {
+        let csr = chain_csr(40);
+        let targets = vec![(0u32, 35.5), (0, 12.5), (3, 100.0)];
+        let gpu = finder().sample(&csr, &targets, 5, SamplePolicy::MostRecent, 9);
+        let origin = OriginFinder.sample(&csr, &targets, 5, SamplePolicy::MostRecent, 9);
+        assert_eq!(gpu.nodes, origin.nodes);
+        assert_eq!(gpu.times, origin.times);
+        assert_eq!(gpu.eids, origin.eids);
+        assert_eq!(gpu.counts, origin.counts);
+    }
+
+    #[test]
+    fn uniform_no_duplicates_time_respecting() {
+        let csr = chain_csr(200);
+        let out = finder().sample(&csr, &[(0, 150.5)], 20, SamplePolicy::Uniform, 3);
+        let mut eids: Vec<u32> = out.samples(0).map(|(_, _, e)| e).collect();
+        assert_eq!(eids.len(), 20);
+        eids.sort_unstable();
+        eids.dedup();
+        assert_eq!(eids.len(), 20, "bitmap failed to prevent duplicates");
+        assert!(out.samples(0).all(|(_, t, _)| t < 150.5));
+    }
+
+    #[test]
+    fn arbitrary_order_supported() {
+        // decreasing times — rejected by TGL, fine here
+        let csr = chain_csr(50);
+        let out = finder().sample(
+            &csr,
+            &[(0, 45.0), (0, 10.0), (0, 30.0)],
+            5,
+            SamplePolicy::Uniform,
+            1,
+        );
+        assert_eq!(out.counts, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn uniform_distribution_matches_origin_distribution() {
+        // Compare per-candidate hit frequencies of GPU vs Origin uniform
+        // sampling over many seeds (same kernel semantics, different code).
+        let csr = chain_csr(60);
+        let mut gpu_hits = vec![0f64; 60];
+        let mut org_hits = vec![0f64; 60];
+        let runs = 600;
+        for s in 0..runs {
+            let g = finder().sample(&csr, &[(0, 1000.0)], 10, SamplePolicy::Uniform, s);
+            for (_, _, e) in g.samples(0) {
+                gpu_hits[e as usize] += 1.0;
+            }
+            let o = OriginFinder.sample(&csr, &[(0, 1000.0)], 10, SamplePolicy::Uniform, s);
+            for (_, _, e) in o.samples(0) {
+                org_hits[e as usize] += 1.0;
+            }
+        }
+        let expected = runs as f64 * 10.0 / 60.0;
+        for i in 0..60 {
+            assert!(
+                (gpu_hits[i] - expected).abs() < expected * 0.5,
+                "gpu bucket {i}: {} vs expected {expected}",
+                gpu_hits[i]
+            );
+            assert!(
+                (org_hits[i] - expected).abs() < expected * 0.5,
+                "origin bucket {i}: {} vs expected {expected}",
+                org_hits[i]
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let csr = chain_csr(100);
+        let (_, stats) =
+            finder().sample_with_stats(&csr, &[(0, 90.5), (0, 50.5)], 10, SamplePolicy::Uniform, 1);
+        assert_eq!(stats.blocks, 2);
+        assert!(stats.binary_search_steps > 0);
+        assert!(stats.mem_transactions > 0);
+        assert!(stats.total_block_cycles >= stats.max_block_cycles);
+        let t = DeviceModel::laptop().simulated_time(&stats);
+        assert!(t.as_nanos() > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // rayon scheduling must not affect results (counter-based RNG)
+        let csr = chain_csr(500);
+        let targets: Vec<(u32, f64)> = (0..64).map(|i| (0u32, 400.0 + i as f64 * 0.1)).collect();
+        let a = finder().sample(&csr, &targets, 15, SamplePolicy::Uniform, 5);
+        let b = finder().sample(&csr, &targets, 15, SamplePolicy::Uniform, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_neighborhood_yields_padding() {
+        let csr = chain_csr(5);
+        let out = finder().sample(&csr, &[(0, 0.5)], 4, SamplePolicy::Uniform, 1);
+        assert_eq!(out.counts[0], 0);
+        assert!(out.nodes.iter().all(|&n| n == crate::result::PAD));
+    }
+
+    #[test]
+    fn bitmap_claims_once() {
+        let mut b = Bitmap::new(130);
+        assert!(b.try_claim(0));
+        assert!(!b.try_claim(0));
+        assert!(b.try_claim(64));
+        assert!(b.try_claim(129));
+        assert!(!b.try_claim(129));
+    }
+
+    #[test]
+    fn inverse_timespan_prefers_recent() {
+        // Neighborhood with timespans 1..=100: inverse-timespan sampling
+        // must hit recent (small Δt) entries far more often than old ones.
+        let csr = chain_csr(100);
+        let mut recent = 0usize; // among the latest 10 interactions
+        let mut old = 0usize; // among the earliest 10
+        for s in 0..300 {
+            let out = finder().sample(
+                &csr,
+                &[(0, 101.0)],
+                10,
+                SamplePolicy::inverse_timespan(),
+                s,
+            );
+            assert_eq!(out.counts[0], 10);
+            let mut eids: Vec<u32> = out.samples(0).map(|(_, _, e)| e).collect();
+            let len = eids.len();
+            eids.sort_unstable();
+            eids.dedup();
+            assert_eq!(eids.len(), len, "weighted sampling must not repeat");
+            for (_, t, _) in out.samples(0) {
+                if t > 90.0 {
+                    recent += 1;
+                }
+                if t <= 10.0 {
+                    old += 1;
+                }
+            }
+        }
+        assert!(
+            recent > old * 2,
+            "recent {recent} vs old {old}: inverse-timespan bias missing"
+        );
+    }
+
+    #[test]
+    fn inverse_timespan_matches_origin_direction() {
+        let csr = chain_csr(80);
+        let mut gpu_recent = 0usize;
+        let mut org_recent = 0usize;
+        for s in 0..200 {
+            let p = SamplePolicy::inverse_timespan();
+            for (_, t, _) in finder().sample(&csr, &[(0, 81.0)], 8, p, s).samples(0) {
+                if t > 70.0 {
+                    gpu_recent += 1;
+                }
+            }
+            for (_, t, _) in OriginFinder.sample(&csr, &[(0, 81.0)], 8, p, s).samples(0) {
+                if t > 70.0 {
+                    org_recent += 1;
+                }
+            }
+        }
+        // same qualitative bias from both implementations
+        let ratio = gpu_recent as f64 / org_recent.max(1) as f64;
+        assert!((0.5..2.0).contains(&ratio), "gpu {gpu_recent} vs origin {org_recent}");
+    }
+
+    #[test]
+    fn retries_recorded_under_contention() {
+        // small pivot with budget close to it forces collisions
+        let csr = chain_csr(12);
+        let mut total_retries = 0;
+        for s in 0..50 {
+            let (_, stats) =
+                finder().sample_with_stats(&csr, &[(0, 100.0)], 11, SamplePolicy::Uniform, s);
+            total_retries += stats.bitmap_retries;
+        }
+        assert!(total_retries > 0, "expected some bitmap collisions");
+    }
+}

@@ -1,0 +1,191 @@
+//! # taser-sample
+//!
+//! Temporal neighbor finders for taser-rs, reproducing §III-C of the paper
+//! and the three-way comparison of Fig. 3a:
+//!
+//! * [`origin::OriginFinder`] — the sequential per-query baseline (the
+//!   original TGAT/GraphMixer finder).
+//! * [`tgl::TglFinder`] — TGL's multi-core pointer-array finder; fast but
+//!   restricted to chronological query order.
+//! * [`gpu::GpuFinder`] — TASER's block-centric kernel (Algorithm 2) on a
+//!   simulated SIMD device with a cycle cost model ([`device`]); supports
+//!   arbitrary query order, which adaptive mini-batch selection requires.
+//!
+//! All finders emit the same [`SampledNeighbors`] layout and draw identical
+//! distributions for the same policy, so they are interchangeable inside the
+//! training pipeline.
+
+pub mod device;
+pub mod gpu;
+pub mod origin;
+pub mod policy;
+pub mod result;
+pub mod rng;
+pub mod tgl;
+
+pub use device::{DeviceModel, KernelStats};
+pub use gpu::GpuFinder;
+pub use origin::OriginFinder;
+pub use policy::SamplePolicy;
+pub use result::{SampledNeighbors, PAD};
+pub use tgl::{ChronologyError, TglFinder};
+
+use taser_graph::tcsr::TCsr;
+
+/// Which finder implementation to use (selector for harnesses and configs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FinderKind {
+    /// Sequential baseline.
+    Origin,
+    /// TGL-style chronological CPU finder.
+    Tgl,
+    /// TASER block-centric finder on the simulated device.
+    Gpu,
+}
+
+impl FinderKind {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FinderKind::Origin => "origin",
+            FinderKind::Tgl => "tgl-cpu",
+            FinderKind::Gpu => "taser-gpu",
+        }
+    }
+}
+
+/// A unified front-end over the three finders.
+///
+/// The TGL variant carries its pointer state and therefore must be fed
+/// chronologically ordered batches; `sample` panics if that contract is
+/// violated (use [`TglFinder`] directly for fallible handling).
+pub enum NeighborFinder {
+    /// Sequential baseline.
+    Origin(OriginFinder),
+    /// Chronological pointer finder (stateful).
+    Tgl(TglFinder),
+    /// Block-centric simulated-GPU finder.
+    Gpu(GpuFinder),
+}
+
+impl NeighborFinder {
+    /// Builds a finder of the requested kind for a `num_nodes`-node graph.
+    pub fn new(kind: FinderKind, num_nodes: usize) -> Self {
+        match kind {
+            FinderKind::Origin => NeighborFinder::Origin(OriginFinder),
+            FinderKind::Tgl => NeighborFinder::Tgl(TglFinder::new(num_nodes)),
+            FinderKind::Gpu => NeighborFinder::Gpu(GpuFinder::default()),
+        }
+    }
+
+    /// The finder's kind.
+    pub fn kind(&self) -> FinderKind {
+        match self {
+            NeighborFinder::Origin(_) => FinderKind::Origin,
+            NeighborFinder::Tgl(_) => FinderKind::Tgl,
+            NeighborFinder::Gpu(_) => FinderKind::Gpu,
+        }
+    }
+
+    /// True when the finder accepts queries in arbitrary (non-chronological)
+    /// order — required by adaptive mini-batch selection.
+    pub fn supports_random_order(&self) -> bool {
+        !matches!(self, NeighborFinder::Tgl(_))
+    }
+
+    /// Samples `budget` neighbors per target.
+    ///
+    /// # Panics
+    /// Panics when a TGL finder receives out-of-order queries.
+    pub fn sample(
+        &mut self,
+        csr: &TCsr,
+        targets: &[(u32, f64)],
+        budget: usize,
+        policy: SamplePolicy,
+        seed: u64,
+    ) -> SampledNeighbors {
+        self.sample_with_stats(csr, targets, budget, policy, seed).0
+    }
+
+    /// Like [`NeighborFinder::sample`], additionally returning the simulated
+    /// kernel statistics for the GPU finder (`None` for CPU finders).
+    pub fn sample_with_stats(
+        &mut self,
+        csr: &TCsr,
+        targets: &[(u32, f64)],
+        budget: usize,
+        policy: SamplePolicy,
+        seed: u64,
+    ) -> (SampledNeighbors, Option<KernelStats>) {
+        match self {
+            NeighborFinder::Origin(f) => (f.sample(csr, targets, budget, policy, seed), None),
+            NeighborFinder::Tgl(f) => (
+                f.sample(csr, targets, budget, policy, seed)
+                    .expect("TGL finder requires chronological query order"),
+                None,
+            ),
+            NeighborFinder::Gpu(f) => {
+                let (out, stats) = f.sample_with_stats(csr, targets, budget, policy, seed);
+                (out, Some(stats))
+            }
+        }
+    }
+
+    /// Resets per-epoch state (no-op for stateless finders).
+    pub fn reset_epoch(&mut self) {
+        if let NeighborFinder::Tgl(f) = self {
+            f.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_graph::events::EventLog;
+
+    fn csr() -> TCsr {
+        let log = EventLog::from_unsorted(
+            (0..30).map(|i| (0u32, (i + 1) as u32, (i + 1) as f64)).collect(),
+        );
+        TCsr::build(&log, 31)
+    }
+
+    #[test]
+    fn all_kinds_construct_and_sample() {
+        let csr = csr();
+        for kind in [FinderKind::Origin, FinderKind::Tgl, FinderKind::Gpu] {
+            let mut f = NeighborFinder::new(kind, 31);
+            let out = f.sample(&csr, &[(0, 20.5)], 5, SamplePolicy::MostRecent, 1);
+            assert_eq!(out.counts[0], 5, "{}", kind.name());
+            assert_eq!(f.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn random_order_support_flags() {
+        assert!(NeighborFinder::new(FinderKind::Origin, 4).supports_random_order());
+        assert!(NeighborFinder::new(FinderKind::Gpu, 4).supports_random_order());
+        assert!(!NeighborFinder::new(FinderKind::Tgl, 4).supports_random_order());
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn tgl_panics_on_random_order() {
+        let csr = csr();
+        let mut f = NeighborFinder::new(FinderKind::Tgl, 31);
+        f.sample(&csr, &[(0, 20.0)], 3, SamplePolicy::Uniform, 1);
+        f.sample(&csr, &[(0, 5.0)], 3, SamplePolicy::Uniform, 1);
+    }
+
+    #[test]
+    fn reset_epoch_restores_tgl() {
+        let csr = csr();
+        let mut f = NeighborFinder::new(FinderKind::Tgl, 31);
+        f.sample(&csr, &[(0, 20.0)], 3, SamplePolicy::Uniform, 1);
+        f.reset_epoch();
+        let out = f.sample(&csr, &[(0, 5.0)], 3, SamplePolicy::Uniform, 1);
+        assert_eq!(out.counts[0], 3);
+    }
+}

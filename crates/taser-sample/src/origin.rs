@@ -1,0 +1,148 @@
+//! The "original" baseline neighbor finder.
+//!
+//! Models the reference Python implementation shipped with TGAT and
+//! GraphMixer: strictly sequential, one query at a time, materializing the
+//! whole temporal neighborhood into a fresh buffer before sampling from it.
+//! Fig. 3a's slowest curve. The Rust version is of course much faster than
+//! Python in absolute terms; what it preserves is the *relative* design —
+//! no parallelism, no index reuse, per-query allocation.
+
+use crate::policy::SamplePolicy;
+use crate::result::SampledNeighbors;
+use crate::rng::{bounded, counter_rng};
+use taser_graph::tcsr::TCsr;
+
+/// Sequential per-query neighbor finder (baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OriginFinder;
+
+impl OriginFinder {
+    /// Samples `budget` neighbors for every target, sequentially.
+    pub fn sample(
+        &self,
+        csr: &TCsr,
+        targets: &[(u32, f64)],
+        budget: usize,
+        policy: SamplePolicy,
+        seed: u64,
+    ) -> SampledNeighbors {
+        let mut out = SampledNeighbors::empty(targets.len(), budget);
+        for (i, &(v, t)) in targets.iter().enumerate() {
+            // Materialize the full candidate list, as the Python code does
+            // with numpy slicing — a fresh allocation per query.
+            let candidates: Vec<_> = csr.temporal_neighbors(v, t).collect();
+            let p = candidates.len();
+            let k = p.min(budget);
+            match policy {
+                SamplePolicy::MostRecent => {
+                    for j in 0..k {
+                        let n = candidates[p - 1 - j];
+                        out.set(i, j, n.node, n.t, n.eid);
+                    }
+                }
+                SamplePolicy::Uniform => {
+                    if p <= budget {
+                        for (j, n) in candidates.iter().enumerate() {
+                            out.set(i, j, n.node, n.t, n.eid);
+                        }
+                    } else {
+                        // partial Fisher-Yates over candidate indices
+                        let mut idx: Vec<usize> = (0..p).collect();
+                        for j in 0..k {
+                            let r = j + bounded(counter_rng(seed, i as u64, j as u64, 0), p - j);
+                            idx.swap(j, r);
+                            let n = candidates[idx[j]];
+                            out.set(i, j, n.node, n.t, n.eid);
+                        }
+                    }
+                }
+                SamplePolicy::InverseTimespan { .. } => {
+                    // Efraimidis-Spirakis weighted reservoir keys:
+                    // key_j = ln(u_j) / w_j, take the k largest — an exact
+                    // weighted sample without replacement.
+                    let mut keys: Vec<(f64, usize)> = (0..p)
+                        .map(|j| {
+                            let w = policy.weight(t - candidates[j].t).max(1e-300);
+                            let raw = counter_rng(seed, i as u64, j as u64, 1);
+                            let u = ((raw >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+                            (u.ln() / w, j)
+                        })
+                        .collect();
+                    keys.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                    for (out_j, &(_, j)) in keys.iter().take(k).enumerate() {
+                        let n = candidates[j];
+                        out.set(i, out_j, n.node, n.t, n.eid);
+                    }
+                }
+            }
+            out.counts[i] = k;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_graph::events::EventLog;
+
+    fn chain_csr(n_events: usize) -> TCsr {
+        // node 0 interacts with node i+1 at time i+1
+        let log = EventLog::from_unsorted(
+            (0..n_events).map(|i| (0u32, (i + 1) as u32, (i + 1) as f64)).collect(),
+        );
+        TCsr::build(&log, n_events + 1)
+    }
+
+    #[test]
+    fn most_recent_takes_latest_descending() {
+        let csr = chain_csr(10);
+        let out = OriginFinder.sample(&csr, &[(0, 8.5)], 3, SamplePolicy::MostRecent, 1);
+        // neighbors before 8.5 are times 1..=8; latest 3: 8,7,6
+        let got: Vec<f64> = out.samples(0).map(|(_, t, _)| t).collect();
+        assert_eq!(got, vec![8.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn uniform_no_duplicates_and_time_respecting() {
+        let csr = chain_csr(50);
+        let out = OriginFinder.sample(&csr, &[(0, 40.5)], 10, SamplePolicy::Uniform, 3);
+        let eids: Vec<u32> = out.samples(0).map(|(_, _, e)| e).collect();
+        assert_eq!(eids.len(), 10);
+        let mut uniq = eids.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10, "duplicate samples");
+        assert!(out.samples(0).all(|(_, t, _)| t < 40.5));
+    }
+
+    #[test]
+    fn small_neighborhood_returns_all() {
+        let csr = chain_csr(3);
+        let out = OriginFinder.sample(&csr, &[(0, 10.0)], 8, SamplePolicy::Uniform, 1);
+        assert_eq!(out.counts[0], 3);
+    }
+
+    #[test]
+    fn no_history_returns_empty() {
+        let csr = chain_csr(3);
+        let out = OriginFinder.sample(&csr, &[(0, 0.5), (2, 2.5)], 4, SamplePolicy::Uniform, 1);
+        assert_eq!(out.counts[0], 0, "no interaction strictly before t=0.5");
+        assert_eq!(out.counts[1], 1, "node 2 interacted with node 0 at t=2");
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let csr = chain_csr(100);
+        let mut hits = vec![0usize; 100];
+        for s in 0..400 {
+            let out = OriginFinder.sample(&csr, &[(0, 1000.0)], 10, SamplePolicy::Uniform, s);
+            for (_, _, e) in out.samples(0) {
+                hits[e as usize] += 1;
+            }
+        }
+        // 4000 draws over 100 candidates -> mean 40 per bucket
+        assert!(hits.iter().all(|&h| h > 10), "min {:?}", hits.iter().min());
+        assert!(hits.iter().all(|&h| h < 90), "max {:?}", hits.iter().max());
+    }
+}

@@ -1,0 +1,67 @@
+//! Neighbor-finding policies (§II-A and the denoising heuristics of §II-C).
+
+/// How supporting neighbors are drawn from the temporal neighborhood.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SamplePolicy {
+    /// Uniform over `N(v, t)` without replacement — unbiased approximation
+    /// of the full neighborhood (TGAT's default).
+    Uniform,
+    /// The most recent interactions first (GraphMixer/TGN's default).
+    MostRecent,
+    /// TGAT's inverse-timespan heuristic: neighbors drawn with probability
+    /// ∝ `1 / (Δt + δ)`. The paper notes this human-defined denoising rule
+    /// *underperforms* uniform sampling (§I, §II-C) — reproduced by the
+    /// `ablation_policies` bench. `delta` regularizes zero timespans.
+    InverseTimespan {
+        /// Additive timespan regularizer δ.
+        delta: f64,
+    },
+}
+
+impl SamplePolicy {
+    /// The inverse-timespan policy with the conventional δ = 1.
+    pub fn inverse_timespan() -> Self {
+        SamplePolicy::InverseTimespan { delta: 1.0 }
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SamplePolicy::Uniform => "uniform",
+            SamplePolicy::MostRecent => "most-recent",
+            SamplePolicy::InverseTimespan { .. } => "inverse-timespan",
+        }
+    }
+
+    /// Sampling weight of a neighbor at timespan `dt = t_query - t_neighbor`
+    /// (only meaningful for weighted policies).
+    #[inline]
+    pub fn weight(&self, dt: f64) -> f64 {
+        match self {
+            SamplePolicy::InverseTimespan { delta } => 1.0 / (dt.max(0.0) + delta),
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(SamplePolicy::Uniform.name(), "uniform");
+        assert_eq!(SamplePolicy::MostRecent.name(), "most-recent");
+        assert_eq!(SamplePolicy::inverse_timespan().name(), "inverse-timespan");
+    }
+
+    #[test]
+    fn inverse_weights_decay_with_age() {
+        let p = SamplePolicy::inverse_timespan();
+        assert!(p.weight(0.0) > p.weight(10.0));
+        assert!(p.weight(10.0) > p.weight(1000.0));
+        assert!(p.weight(0.0).is_finite());
+        // uniform policy weight is flat
+        assert_eq!(SamplePolicy::Uniform.weight(5.0), 1.0);
+    }
+}

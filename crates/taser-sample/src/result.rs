@@ -1,0 +1,97 @@
+//! The common output format of every neighbor finder.
+
+/// Sentinel node id marking an unused (padded) sample slot.
+pub const PAD: u32 = u32::MAX;
+
+/// Fixed-budget sampled neighborhoods for a batch of `(node, time)` targets.
+///
+/// Every target owns `budget` slots in the flat arrays; slots beyond
+/// `counts[i]` are padding (`nodes == PAD`, `times == 0`, `eids == PAD`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampledNeighbors {
+    /// Number of targets.
+    pub roots: usize,
+    /// Per-target slot budget (`m` in the paper).
+    pub budget: usize,
+    /// Sampled neighbor node ids, `[roots * budget]`.
+    pub nodes: Vec<u32>,
+    /// Interaction timestamps of the samples.
+    pub times: Vec<f64>,
+    /// Edge ids of the samples (feature lookup keys).
+    pub eids: Vec<u32>,
+    /// Number of real (non-pad) samples per target.
+    pub counts: Vec<usize>,
+}
+
+impl SampledNeighbors {
+    /// An all-padding result for `roots` targets.
+    pub fn empty(roots: usize, budget: usize) -> Self {
+        SampledNeighbors {
+            roots,
+            budget,
+            nodes: vec![PAD; roots * budget],
+            times: vec![0.0; roots * budget],
+            eids: vec![PAD; roots * budget],
+            counts: vec![0; roots],
+        }
+    }
+
+    /// The slot range of target `i`.
+    #[inline]
+    pub fn slots(&self, i: usize) -> std::ops::Range<usize> {
+        i * self.budget..i * self.budget + self.counts[i]
+    }
+
+    /// Iterates the real samples of target `i` as `(node, t, eid)`.
+    pub fn samples(&self, i: usize) -> impl Iterator<Item = (u32, f64, u32)> + '_ {
+        self.slots(i).map(move |s| (self.nodes[s], self.times[s], self.eids[s]))
+    }
+
+    /// Total number of real samples across all targets.
+    pub fn total_samples(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// All non-pad edge ids (for feature slicing / cache accounting).
+    pub fn all_eids(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.total_samples());
+        for i in 0..self.roots {
+            out.extend(self.slots(i).map(|s| self.eids[s]));
+        }
+        out
+    }
+
+    /// Writes one sample into slot `j` of target `i`, bumping the count.
+    /// Used by finder implementations.
+    pub(crate) fn set(&mut self, i: usize, j: usize, node: u32, t: f64, eid: u32) {
+        let s = i * self.budget + j;
+        self.nodes[s] = node;
+        self.times[s] = t;
+        self.eids[s] = eid;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_pad() {
+        let r = SampledNeighbors::empty(2, 3);
+        assert_eq!(r.total_samples(), 0);
+        assert!(r.nodes.iter().all(|&n| n == PAD));
+        assert_eq!(r.samples(0).count(), 0);
+    }
+
+    #[test]
+    fn set_and_iterate() {
+        let mut r = SampledNeighbors::empty(2, 3);
+        r.set(1, 0, 7, 3.5, 11);
+        r.set(1, 1, 8, 2.5, 12);
+        r.counts[1] = 2;
+        let got: Vec<_> = r.samples(1).collect();
+        assert_eq!(got, vec![(7, 3.5, 11), (8, 2.5, 12)]);
+        assert_eq!(r.total_samples(), 2);
+        assert_eq!(r.all_eids(), vec![11, 12]);
+    }
+}

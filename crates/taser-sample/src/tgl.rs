@@ -1,0 +1,248 @@
+//! TGL-style parallel CPU neighbor finder.
+//!
+//! TGL [33] keeps a per-node *pointer array* into the T-CSR slabs. Because
+//! training proceeds chronologically, each node's pointer only ever advances,
+//! so locating the candidate window is O(1) amortized instead of a binary
+//! search. The price is the paper's key limitation: **the finder only
+//! supports chronologically ordered queries**, which rules out TASER's
+//! adaptive mini-batch selection (§III-C, Table III discussion).
+
+use crate::policy::SamplePolicy;
+use crate::result::SampledNeighbors;
+use crate::rng::{bounded, counter_rng};
+use rayon::prelude::*;
+use taser_graph::tcsr::TCsr;
+
+/// Error returned when queries violate chronological order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChronologyError {
+    /// The regressed timestamp that was requested.
+    pub requested: f64,
+    /// The high-water mark already reached.
+    pub watermark: f64,
+}
+
+impl std::fmt::Display for ChronologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TGL finder requires chronological order: requested t={} after watermark t={}",
+            self.requested, self.watermark
+        )
+    }
+}
+
+impl std::error::Error for ChronologyError {}
+
+/// Stateful chronological finder with per-node advancing pointers.
+pub struct TglFinder {
+    pointers: Vec<usize>,
+    watermark: f64,
+}
+
+impl TglFinder {
+    /// Creates a finder for a graph with `num_nodes` nodes. Pointers start
+    /// at the beginning of every slab.
+    pub fn new(num_nodes: usize) -> Self {
+        TglFinder { pointers: vec![0; num_nodes], watermark: f64::NEG_INFINITY }
+    }
+
+    /// Resets all pointers (start of a new chronological epoch).
+    pub fn reset(&mut self) {
+        self.pointers.iter_mut().for_each(|p| *p = 0);
+        self.watermark = f64::NEG_INFINITY;
+    }
+
+    /// Samples neighborhoods for a chronologically ordered batch.
+    ///
+    /// Returns an error if any target time precedes the watermark reached by
+    /// earlier calls — the restriction that makes TGL incompatible with
+    /// adaptive mini-batch selection.
+    pub fn sample(
+        &mut self,
+        csr: &TCsr,
+        targets: &[(u32, f64)],
+        budget: usize,
+        policy: SamplePolicy,
+        seed: u64,
+    ) -> Result<SampledNeighbors, ChronologyError> {
+        // Validate order: batch must be internally sorted and after watermark.
+        let mut prev = self.watermark;
+        for &(_, t) in targets {
+            if t < prev {
+                return Err(ChronologyError { requested: t, watermark: prev });
+            }
+            prev = t;
+        }
+
+        // Sequential pointer advance (amortized O(new events) per epoch).
+        let mut pivots = Vec::with_capacity(targets.len());
+        for &(v, t) in targets {
+            let slab = csr.ts_slab(v);
+            let p = &mut self.pointers[v as usize];
+            while *p < slab.len() && slab[*p] < t {
+                *p += 1;
+            }
+            pivots.push(*p);
+            self.watermark = self.watermark.max(t);
+        }
+
+        // Parallel sampling over targets — TGL's multi-core phase.
+        let mut out = SampledNeighbors::empty(targets.len(), budget);
+        let counts: Vec<usize> = {
+            let nodes = &mut out.nodes;
+            let times = &mut out.times;
+            let eids = &mut out.eids;
+            nodes
+                .par_chunks_mut(budget)
+                .zip(times.par_chunks_mut(budget))
+                .zip(eids.par_chunks_mut(budget))
+                .enumerate()
+                .map(|(i, ((ns, ts), es))| {
+                    let (v, _) = targets[i];
+                    let p = pivots[i];
+                    let k = p.min(budget);
+                    match policy {
+                        SamplePolicy::MostRecent => {
+                            for j in 0..k {
+                                let e = csr.entry(v, p - 1 - j);
+                                ns[j] = e.node;
+                                ts[j] = e.t;
+                                es[j] = e.eid;
+                            }
+                        }
+                        SamplePolicy::Uniform => {
+                            if p <= budget {
+                                for j in 0..k {
+                                    let e = csr.entry(v, j);
+                                    ns[j] = e.node;
+                                    ts[j] = e.t;
+                                    es[j] = e.eid;
+                                }
+                            } else {
+                                // Floyd's algorithm for a k-subset of [0,p)
+                                let mut chosen: Vec<usize> = Vec::with_capacity(k);
+                                for (a, top) in ((p - k)..p).enumerate() {
+                                    let r = bounded(
+                                        counter_rng(seed, i as u64, a as u64, 0),
+                                        top + 1,
+                                    );
+                                    let pick = if chosen.contains(&r) { top } else { r };
+                                    chosen.push(pick);
+                                }
+                                for (j, &c) in chosen.iter().enumerate() {
+                                    let e = csr.entry(v, c);
+                                    ns[j] = e.node;
+                                    ts[j] = e.t;
+                                    es[j] = e.eid;
+                                }
+                            }
+                        }
+                        SamplePolicy::InverseTimespan { .. } => {
+                            // Efraimidis-Spirakis keys (weighted w/o repl.)
+                            let (_, t) = targets[i];
+                            let mut keys: Vec<(f64, usize)> = (0..p)
+                                .map(|c| {
+                                    let e = csr.entry(v, c);
+                                    let w = policy.weight(t - e.t).max(1e-300);
+                                    let raw = counter_rng(seed, i as u64, c as u64, 1);
+                                    let u =
+                                        ((raw >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+                                    (u.ln() / w, c)
+                                })
+                                .collect();
+                            keys.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                            for (j, &(_, c)) in keys.iter().take(k).enumerate() {
+                                let e = csr.entry(v, c);
+                                ns[j] = e.node;
+                                ts[j] = e.t;
+                                es[j] = e.eid;
+                            }
+                        }
+                    }
+                    k
+                })
+                .collect()
+        };
+        out.counts = counts;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_graph::events::EventLog;
+
+    fn chain_csr(n_events: usize) -> TCsr {
+        let log = EventLog::from_unsorted(
+            (0..n_events).map(|i| (0u32, (i + 1) as u32, (i + 1) as f64)).collect(),
+        );
+        TCsr::build(&log, n_events + 1)
+    }
+
+    #[test]
+    fn chronological_batches_work() {
+        let csr = chain_csr(20);
+        let mut f = TglFinder::new(21);
+        let a = f.sample(&csr, &[(0, 5.5)], 3, SamplePolicy::MostRecent, 1).unwrap();
+        assert_eq!(a.counts[0], 3);
+        let got: Vec<f64> = a.samples(0).map(|(_, t, _)| t).collect();
+        assert_eq!(got, vec![5.0, 4.0, 3.0]);
+        let b = f.sample(&csr, &[(0, 10.5)], 3, SamplePolicy::MostRecent, 1).unwrap();
+        let got: Vec<f64> = b.samples(0).map(|(_, t, _)| t).collect();
+        assert_eq!(got, vec![10.0, 9.0, 8.0]);
+    }
+
+    #[test]
+    fn rejects_time_regression() {
+        let csr = chain_csr(20);
+        let mut f = TglFinder::new(21);
+        f.sample(&csr, &[(0, 10.0)], 3, SamplePolicy::Uniform, 1).unwrap();
+        let err = f.sample(&csr, &[(0, 5.0)], 3, SamplePolicy::Uniform, 1).unwrap_err();
+        assert_eq!(err.watermark, 10.0);
+        assert!(err.to_string().contains("chronological"));
+    }
+
+    #[test]
+    fn rejects_unsorted_batch() {
+        let csr = chain_csr(20);
+        let mut f = TglFinder::new(21);
+        assert!(f
+            .sample(&csr, &[(0, 9.0), (0, 3.0)], 3, SamplePolicy::Uniform, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn reset_allows_new_epoch() {
+        let csr = chain_csr(20);
+        let mut f = TglFinder::new(21);
+        f.sample(&csr, &[(0, 15.0)], 3, SamplePolicy::Uniform, 1).unwrap();
+        f.reset();
+        assert!(f.sample(&csr, &[(0, 2.0)], 3, SamplePolicy::Uniform, 1).is_ok());
+    }
+
+    #[test]
+    fn uniform_no_duplicates() {
+        let csr = chain_csr(100);
+        let mut f = TglFinder::new(101);
+        let out = f.sample(&csr, &[(0, 90.5)], 10, SamplePolicy::Uniform, 7).unwrap();
+        let mut eids: Vec<u32> = out.samples(0).map(|(_, _, e)| e).collect();
+        assert_eq!(eids.len(), 10);
+        eids.sort_unstable();
+        eids.dedup();
+        assert_eq!(eids.len(), 10);
+        assert!(out.samples(0).all(|(_, t, _)| t < 90.5));
+    }
+
+    #[test]
+    fn matches_binary_search_pivot() {
+        // pointer advance must agree with TCsr::pivot
+        let csr = chain_csr(50);
+        let mut f = TglFinder::new(51);
+        for t in [3.0, 17.5, 42.0] {
+            f.sample(&csr, &[(0, t)], 5, SamplePolicy::MostRecent, 1).unwrap();
+            assert_eq!(f.pointers[0], csr.pivot(0, t), "pointer vs pivot at t={t}");
+        }
+    }
+}

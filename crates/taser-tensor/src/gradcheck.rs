@@ -1,0 +1,134 @@
+//! Finite-difference gradient checking, shared by every crate's tests.
+
+use crate::graph::{Graph, VarId};
+use crate::tensor::Tensor;
+
+/// Deterministic test tensors with magnitudes in `[0.3, 1.3]` — bounded away
+/// from zero so kinked activations (ReLU, LeakyReLU) don't sit on their
+/// non-differentiable point.
+fn seeded_inputs(shapes: &[&[usize]], seed: u64) -> Vec<Tensor> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 40) as f32 / (1u64 << 24) as f32
+    };
+    shapes
+        .iter()
+        .map(|shape| {
+            let n: usize = shape.iter().product();
+            let data: Vec<f32> = (0..n)
+                .map(|_| {
+                    let mag = 0.3 + next();
+                    if next() < 0.5 {
+                        -mag
+                    } else {
+                        mag
+                    }
+                })
+                .collect();
+            Tensor::from_vec(data, shape)
+        })
+        .collect()
+}
+
+/// Checks analytic gradients of `f` (which must return a scalar var) against
+/// central finite differences at every coordinate of every input.
+///
+/// Inputs are deterministic functions of `seed`. `tol` is a combined
+/// absolute/relative tolerance: the check fails when
+/// `|analytic - fd| > tol * max(1, |analytic|, |fd|)`.
+///
+/// # Panics
+/// Panics (with coordinates) on the first mismatching entry.
+pub fn gradcheck(
+    shapes: &[&[usize]],
+    f: impl Fn(&mut Graph, &[VarId]) -> VarId,
+    tol: f32,
+    seed: u64,
+) {
+    let inputs = seeded_inputs(shapes, seed);
+
+    // Analytic gradients.
+    let mut g = Graph::new();
+    let vars: Vec<VarId> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
+    let loss = f(&mut g, &vars);
+    assert_eq!(g.data(loss).numel(), 1, "gradcheck target must be scalar");
+    g.backward(loss);
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .zip(inputs.iter())
+        .map(|(&v, t)| g.grad(v).cloned().unwrap_or_else(|| Tensor::zeros(t.shape())))
+        .collect();
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let mut g = Graph::new();
+        let vars: Vec<VarId> = perturbed.iter().map(|t| g.leaf(t.clone())).collect();
+        let l = f(&mut g, &vars);
+        g.data(l).item()
+    };
+
+    let eps = 1e-2f32;
+    for (ti, input) in inputs.iter().enumerate() {
+        for ci in 0..input.numel() {
+            let mut plus = inputs.clone();
+            plus[ti].data_mut()[ci] += eps;
+            let mut minus = inputs.clone();
+            minus[ti].data_mut()[ci] -= eps;
+            let fd = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let ana = analytic[ti].data()[ci];
+            let scale = 1.0f32.max(ana.abs()).max(fd.abs());
+            assert!(
+                (ana - fd).abs() <= tol * scale,
+                "gradcheck failed at input {ti} coord {ci}: analytic {ana} vs fd {fd}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_on_simple_quadratic() {
+        gradcheck(
+            &[&[2, 2]],
+            |g, vars| {
+                let sq = g.square(vars[0]);
+                g.sum_all(sq)
+            },
+            1e-3,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gradcheck failed")]
+    fn catches_wrong_gradient() {
+        // exp's true derivative is exp(x); pretend the loss is sum(exp) but
+        // sneak in a detach so the analytic gradient is zero.
+        gradcheck(
+            &[&[2]],
+            |g, vars| {
+                let d = g.detach(vars[0]);
+                let e = g.exp(d);
+                g.sum_all(e)
+            },
+            1e-3,
+            2,
+        );
+    }
+
+    #[test]
+    fn deterministic_inputs() {
+        let a = seeded_inputs(&[&[4]], 9);
+        let b = seeded_inputs(&[&[4]], 9);
+        assert_eq!(a[0].data(), b[0].data());
+        let c = seeded_inputs(&[&[4]], 10);
+        assert_ne!(a[0].data(), c[0].data());
+    }
+}

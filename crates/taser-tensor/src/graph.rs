@@ -1,0 +1,1039 @@
+//! Tape-based reverse-mode autograd.
+//!
+//! A [`Graph`] is a define-by-run tape: every op appends a node holding the
+//! forward result and a backward closure. Training code builds a fresh tape
+//! per iteration, calls [`Graph::backward`] on the scalar loss, then flushes
+//! parameter gradients into a [`crate::optim::ParamStore`] with
+//! [`Graph::flush_grads`].
+//!
+//! Ops only ever reference earlier nodes, so insertion order is a valid
+//! topological order and backward is a single reverse sweep.
+
+use crate::ops;
+use crate::optim::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct VarId(pub(crate) usize);
+
+type BackFn = Box<dyn Fn(&Graph, &Tensor, &mut Vec<Option<Tensor>>) + Send>;
+
+struct Node {
+    data: Tensor,
+    back: Option<BackFn>,
+    param: Option<ParamId>,
+}
+
+/// A single-use autograd tape.
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+    grad_enabled: bool,
+}
+
+fn acc(grads: &mut Vec<Option<Tensor>>, id: VarId, g: Tensor) {
+    match &mut grads[id.0] {
+        Some(t) => t.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape with gradients enabled.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new(), grads: Vec::new(), grad_enabled: true }
+    }
+
+    /// An inference-only tape: backward closures are never built, which makes
+    /// forward passes cheaper. [`Graph::backward`] on such a tape only
+    /// produces the root gradient.
+    pub fn inference() -> Self {
+        Graph { nodes: Vec::new(), grads: Vec::new(), grad_enabled: false }
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn data(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].data
+    }
+
+    /// The gradient of a node, if backward has been run and the node
+    /// participated in the loss.
+    pub fn grad(&self, id: VarId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, id: VarId) -> &[usize] {
+        self.nodes[id.0].data.shape()
+    }
+
+    fn push(&mut self, data: Tensor, back: Option<BackFn>) -> VarId {
+        let back = if self.grad_enabled { back } else { None };
+        self.nodes.push(Node { data, back, param: None });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Records a constant leaf (no gradient flows into it).
+    pub fn leaf(&mut self, t: Tensor) -> VarId {
+        self.push(t, None)
+    }
+
+    /// Binds a parameter from `store` as a leaf; after backward,
+    /// [`Graph::flush_grads`] routes its gradient back into the store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        let v = self.push(store.value(id).clone(), None);
+        self.nodes[v.0].param = Some(id);
+        v
+    }
+
+    /// A new leaf carrying a copy of `x`'s value — gradient flow stops here.
+    pub fn detach(&mut self, x: VarId) -> VarId {
+        let t = self.data(x).clone();
+        self.leaf(t)
+    }
+
+    // ---- element-wise binary ----
+
+    /// Element-wise sum of same-shape tensors.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let out = self.data(a).zip_map(self.data(b), |x, y| x + y);
+        self.push(
+            out,
+            Some(Box::new(move |_g, gout, grads| {
+                acc(grads, a, gout.clone());
+                acc(grads, b, gout.clone());
+            })),
+        )
+    }
+
+    /// Element-wise difference of same-shape tensors.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let out = self.data(a).zip_map(self.data(b), |x, y| x - y);
+        self.push(
+            out,
+            Some(Box::new(move |_g, gout, grads| {
+                acc(grads, a, gout.clone());
+                acc(grads, b, gout.map(|v| -v));
+            })),
+        )
+    }
+
+    /// Element-wise (Hadamard) product of same-shape tensors.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let out = self.data(a).zip_map(self.data(b), |x, y| x * y);
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                acc(grads, a, gout.zip_map(g.data(b), |go, y| go * y));
+                acc(grads, b, gout.zip_map(g.data(a), |go, x| go * x));
+            })),
+        )
+    }
+
+    /// Element-wise quotient of same-shape tensors.
+    pub fn div(&mut self, a: VarId, b: VarId) -> VarId {
+        let out = self.data(a).zip_map(self.data(b), |x, y| x / y);
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let bd = g.data(b);
+                acc(grads, a, gout.zip_map(bd, |go, y| go / y));
+                let ad = g.data(a);
+                let mut gb = gout.clone();
+                for ((gv, &x), &y) in gb
+                    .data_mut()
+                    .iter_mut()
+                    .zip(ad.data().iter())
+                    .zip(bd.data().iter())
+                {
+                    *gv = -*gv * x / (y * y);
+                }
+                acc(grads, b, gb);
+            })),
+        )
+    }
+
+    // ---- scalar ----
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&mut self, a: VarId, c: f32) -> VarId {
+        let out = self.data(a).map(|x| x + c);
+        self.push(
+            out,
+            Some(Box::new(move |_g, gout, grads| acc(grads, a, gout.clone()))),
+        )
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&mut self, a: VarId, c: f32) -> VarId {
+        let out = self.data(a).map(|x| x * c);
+        self.push(
+            out,
+            Some(Box::new(move |_g, gout, grads| acc(grads, a, gout.map(|v| v * c)))),
+        )
+    }
+
+    // ---- broadcast helpers ----
+
+    /// Adds a `[d]` bias vector to every row of a `[.., d]` tensor.
+    pub fn add_bias(&mut self, x: VarId, bias: VarId) -> VarId {
+        let d = self.data(x).last_dim();
+        assert_eq!(self.data(bias).numel(), d, "bias length mismatch");
+        let mut out = self.data(x).clone();
+        let bd = self.data(bias).data().to_vec();
+        for row in out.data_mut().chunks_mut(d) {
+            for (v, b) in row.iter_mut().zip(bd.iter()) {
+                *v += b;
+            }
+        }
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                acc(grads, x, gout.clone());
+                let d = g.data(bias).numel();
+                let mut gb = Tensor::zeros(g.data(bias).shape());
+                for row in gout.data().chunks(d) {
+                    for (b, v) in gb.data_mut().iter_mut().zip(row.iter()) {
+                        *b += v;
+                    }
+                }
+                acc(grads, bias, gb);
+            })),
+        )
+    }
+
+    /// Scales each row `i` of `x` (`[n, d]`) by scalar `s[i]` (`[n]`).
+    pub fn scale_rows(&mut self, x: VarId, s: VarId) -> VarId {
+        let d = self.data(x).last_dim();
+        let n = self.data(x).rows();
+        assert_eq!(self.data(s).numel(), n, "scale_rows length mismatch");
+        let mut out = self.data(x).clone();
+        let sd = self.data(s).data().to_vec();
+        for (i, row) in out.data_mut().chunks_mut(d).enumerate() {
+            for v in row.iter_mut() {
+                *v *= sd[i];
+            }
+        }
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let d = g.data(x).last_dim();
+                let sd = g.data(s).data();
+                let mut gx = gout.clone();
+                for (i, row) in gx.data_mut().chunks_mut(d).enumerate() {
+                    for v in row.iter_mut() {
+                        *v *= sd[i];
+                    }
+                }
+                acc(grads, x, gx);
+                let xd = g.data(x).data();
+                let mut gs = Tensor::zeros(g.data(s).shape());
+                for (i, gv) in gs.data_mut().iter_mut().enumerate() {
+                    let row = i * d;
+                    *gv = gout.data()[row..row + d]
+                        .iter()
+                        .zip(xd[row..row + d].iter())
+                        .map(|(a, b)| a * b)
+                        .sum();
+                }
+                acc(grads, s, gs);
+            })),
+        )
+    }
+
+    // ---- unary ----
+
+    fn unary(
+        &mut self,
+        a: VarId,
+        f: impl Fn(f32) -> f32 + Sync,
+        dfdx: impl Fn(f32) -> f32 + Send + Sync + 'static,
+    ) -> VarId {
+        let out = self.data(a).map(f);
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                acc(grads, a, gout.zip_map(g.data(a), |go, x| go * dfdx(x)));
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        self.unary(a, |x| x.max(0.0), |x| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: VarId, slope: f32) -> VarId {
+        self.unary(
+            a,
+            move |x| if x > 0.0 { x } else { slope * x },
+            move |x| if x > 0.0 { 1.0 } else { slope },
+        )
+    }
+
+    /// GeLU (tanh approximation).
+    pub fn gelu(&mut self, a: VarId) -> VarId {
+        self.unary(a, ops::gelu, ops::gelu_grad)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let out = self.data(a).map(ops::sigmoid);
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                // use the saved output: σ' = σ(1-σ)
+                let s = g.data(a).map(ops::sigmoid);
+                acc(grads, a, gout.zip_map(&s, |go, sv| go * sv * (1.0 - sv)));
+            })),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        self.unary(a, |x| x.tanh(), |x| {
+            let t = x.tanh();
+            1.0 - t * t
+        })
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: VarId) -> VarId {
+        self.unary(a, |x| x.exp(), |x| x.exp())
+    }
+
+    /// Element-wise natural log (inputs must be positive).
+    pub fn ln(&mut self, a: VarId) -> VarId {
+        self.unary(a, |x| x.ln(), |x| 1.0 / x)
+    }
+
+    /// Element-wise cosine — used by the learnable time encoding (Eq. 3).
+    pub fn cos(&mut self, a: VarId) -> VarId {
+        self.unary(a, |x| x.cos(), |x| -x.sin())
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: VarId) -> VarId {
+        self.unary(a, |x| x * x, |x| 2.0 * x)
+    }
+
+    // ---- linear algebra ----
+
+    /// 2-D matrix product `[n,k] · [k,m] -> [n,m]`.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let out = ops::matmul(self.data(a), self.data(b));
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let gout2 = if gout.shape().len() == 2 {
+                    gout.clone()
+                } else {
+                    gout.reshape(&[gout.rows(), gout.last_dim()])
+                };
+                acc(grads, a, {
+                    let ga = ops::matmul_bt(&gout2, g.data(b));
+                    ga.reshape(g.data(a).shape())
+                });
+                acc(grads, b, ops::matmul_at(g.data(a), &gout2));
+            })),
+        )
+    }
+
+    /// Batched matmul `[b,n,k] · [b,k,m]`; with `tb` the rhs is `[b,m,k]`
+    /// and used transposed.
+    pub fn bmm(&mut self, a: VarId, b: VarId, tb: bool) -> VarId {
+        let out = ops::bmm(self.data(a), self.data(b), tb);
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                if tb {
+                    acc(grads, a, ops::bmm(gout, g.data(b), false));
+                    acc(grads, b, ops::bmm_at(gout, g.data(a)));
+                } else {
+                    acc(grads, a, ops::bmm(gout, g.data(b), true));
+                    acc(grads, b, ops::bmm_at(g.data(a), gout));
+                }
+            })),
+        )
+    }
+
+    // ---- shape ----
+
+    /// Reinterprets the value under a new shape (free — row-major layout).
+    pub fn reshape(&mut self, a: VarId, shape: &[usize]) -> VarId {
+        let out = self.data(a).reshape(shape);
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                acc(grads, a, gout.reshape(g.data(a).shape()));
+            })),
+        )
+    }
+
+    /// Permutes `[b,n,d]` to `[b,d,n]`.
+    pub fn transpose12(&mut self, a: VarId) -> VarId {
+        let out = ops::transpose12(self.data(a));
+        self.push(
+            out,
+            Some(Box::new(move |_g, gout, grads| {
+                acc(grads, a, ops::transpose12(gout));
+            })),
+        )
+    }
+
+    /// Groups heads: `[r*n, h*dh] -> [r*h, n, dh]`.
+    pub fn split_heads(&mut self, a: VarId, n: usize, h: usize) -> VarId {
+        let out = ops::split_heads(self.data(a), n, h);
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let merged = ops::merge_heads(gout, h);
+                acc(grads, a, merged.reshape(g.data(a).shape()));
+            })),
+        )
+    }
+
+    /// Ungroups heads: `[r*h, n, dh] -> [r*n, h*dh]`.
+    pub fn merge_heads(&mut self, a: VarId, h: usize) -> VarId {
+        let n = self.data(a).shape()[1];
+        let out = ops::merge_heads(self.data(a), h);
+        self.push(
+            out,
+            Some(Box::new(move |_g, gout, grads| {
+                acc(grads, a, ops::split_heads(gout, n, h));
+            })),
+        )
+    }
+
+    /// Concatenates 2-D-viewed tensors along the trailing dimension.
+    pub fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty());
+        let rows = self.data(parts[0]).rows();
+        let widths: Vec<usize> = parts.iter().map(|&p| self.data(p).last_dim()).collect();
+        for &p in parts {
+            assert_eq!(self.data(p).rows(), rows, "concat_cols row mismatch");
+        }
+        let total: usize = widths.iter().sum();
+        let mut out = Tensor::zeros(&[rows, total]);
+        {
+            let od = out.data_mut();
+            let mut off = 0;
+            for (pi, &p) in parts.iter().enumerate() {
+                let w = widths[pi];
+                let pd = self.nodes[p.0].data.data();
+                for r in 0..rows {
+                    od[r * total + off..r * total + off + w]
+                        .copy_from_slice(&pd[r * w..(r + 1) * w]);
+                }
+                off += w;
+            }
+        }
+        let parts_owned: Vec<VarId> = parts.to_vec();
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let total = gout.last_dim();
+                let rows = gout.rows();
+                let mut off = 0;
+                for &p in &parts_owned {
+                    let w = g.data(p).last_dim();
+                    let mut gp = Tensor::zeros(&[rows, w]);
+                    for r in 0..rows {
+                        gp.data_mut()[r * w..(r + 1) * w]
+                            .copy_from_slice(&gout.data()[r * total + off..r * total + off + w]);
+                    }
+                    acc(grads, p, gp.reshape(g.data(p).shape()));
+                    off += w;
+                }
+            })),
+        )
+    }
+
+    /// Extracts columns `[start, end)` of a 2-D-viewed tensor.
+    pub fn slice_cols(&mut self, a: VarId, start: usize, end: usize) -> VarId {
+        let d = self.data(a).last_dim();
+        let rows = self.data(a).rows();
+        assert!(start <= end && end <= d);
+        let w = end - start;
+        let mut out = Tensor::zeros(&[rows, w]);
+        for r in 0..rows {
+            out.data_mut()[r * w..(r + 1) * w]
+                .copy_from_slice(&self.nodes[a.0].data.data()[r * d + start..r * d + end]);
+        }
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let d = g.data(a).last_dim();
+                let rows = g.data(a).rows();
+                let mut ga = Tensor::zeros(&[rows, d]);
+                for r in 0..rows {
+                    ga.data_mut()[r * d + start..r * d + end]
+                        .copy_from_slice(&gout.data()[r * w..(r + 1) * w]);
+                }
+                acc(grads, a, ga.reshape(g.data(a).shape()));
+            })),
+        )
+    }
+
+    /// Gathers rows by index; backward scatter-adds (duplicate indices sum).
+    pub fn gather_rows(&mut self, a: VarId, idx: &[usize]) -> VarId {
+        let out = ops::gather_rows(self.data(a), idx);
+        let idx_owned = idx.to_vec();
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let d = g.data(a).last_dim();
+                let mut ga = Tensor::zeros(&[g.data(a).rows(), d]);
+                for (i, &j) in idx_owned.iter().enumerate() {
+                    let dst = &mut ga.data_mut()[j * d..(j + 1) * d];
+                    for (x, &v) in dst.iter_mut().zip(gout.data()[i * d..(i + 1) * d].iter()) {
+                        *x += v;
+                    }
+                }
+                acc(grads, a, ga.reshape(g.data(a).shape()));
+            })),
+        )
+    }
+
+    // ---- normalization / softmax ----
+
+    /// Softmax over the trailing dimension.
+    pub fn softmax(&mut self, a: VarId) -> VarId {
+        let out = ops::softmax_lastdim(self.data(a));
+        let saved = out.clone();
+        self.push(
+            out,
+            Some(Box::new(move |_g, gout, grads| {
+                let d = saved.last_dim();
+                let mut gx = gout.clone();
+                for (grow, srow) in gx.data_mut().chunks_mut(d).zip(saved.data().chunks(d)) {
+                    let inner: f32 = grow.iter().zip(srow.iter()).map(|(g, s)| g * s).sum();
+                    for (gv, &sv) in grow.iter_mut().zip(srow.iter()) {
+                        *gv = sv * (*gv - inner);
+                    }
+                }
+                acc(grads, a, gx);
+            })),
+        )
+    }
+
+    /// Log-softmax over the trailing dimension.
+    pub fn log_softmax(&mut self, a: VarId) -> VarId {
+        let out = ops::log_softmax_lastdim(self.data(a));
+        let saved = out.clone();
+        self.push(
+            out,
+            Some(Box::new(move |_g, gout, grads| {
+                let d = saved.last_dim();
+                let mut gx = gout.clone();
+                for (grow, lrow) in gx.data_mut().chunks_mut(d).zip(saved.data().chunks(d)) {
+                    let gsum: f32 = grow.iter().sum();
+                    for (gv, &lv) in grow.iter_mut().zip(lrow.iter()) {
+                        *gv -= lv.exp() * gsum;
+                    }
+                }
+                acc(grads, a, gx);
+            })),
+        )
+    }
+
+    /// LayerNorm over the trailing dimension with affine parameters.
+    pub fn layer_norm(&mut self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> VarId {
+        let (out, xhat, rstd) = ops::layer_norm(self.data(x), self.data(gamma), self.data(beta), eps);
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let d = g.data(x).last_dim();
+                let gam = g.data(gamma).data();
+                // dbeta, dgamma
+                let mut gbeta = Tensor::zeros(g.data(beta).shape());
+                let mut ggamma = Tensor::zeros(g.data(gamma).shape());
+                for (grow, hrow) in gout.data().chunks(d).zip(xhat.data().chunks(d)) {
+                    for j in 0..d {
+                        gbeta.data_mut()[j] += grow[j];
+                        ggamma.data_mut()[j] += grow[j] * hrow[j];
+                    }
+                }
+                acc(grads, beta, gbeta);
+                acc(grads, gamma, ggamma);
+                // dx = rstd * (dy*g - mean(dy*g) - xhat * mean(dy*g*xhat))
+                let mut gx = Tensor::zeros(g.data(x).shape());
+                for ((i, grow), hrow) in gout.data().chunks(d).enumerate().zip(xhat.data().chunks(d))
+                {
+                    let r = rstd[i];
+                    let mut m1 = 0.0f32;
+                    let mut m2 = 0.0f32;
+                    for j in 0..d {
+                        let dg = grow[j] * gam[j];
+                        m1 += dg;
+                        m2 += dg * hrow[j];
+                    }
+                    m1 /= d as f32;
+                    m2 /= d as f32;
+                    let dst = &mut gx.data_mut()[i * d..(i + 1) * d];
+                    for j in 0..d {
+                        let dg = grow[j] * gam[j];
+                        dst[j] = r * (dg - m1 - hrow[j] * m2);
+                    }
+                }
+                acc(grads, x, gx);
+            })),
+        )
+    }
+
+    // ---- reductions ----
+
+    /// Sum of all elements, shape `[1]`.
+    pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let out = Tensor::scalar(self.data(a).sum());
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let v = gout.item();
+                acc(grads, a, Tensor::full(g.data(a).shape(), v));
+            })),
+        )
+    }
+
+    /// Mean of all elements, shape `[1]`.
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let n = self.data(a).numel() as f32;
+        let out = Tensor::scalar(self.data(a).sum() / n);
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let v = gout.item() / n;
+                acc(grads, a, Tensor::full(g.data(a).shape(), v));
+            })),
+        )
+    }
+
+    /// Mean over the token (middle) dimension: `[b,n,d] -> [b,d]`.
+    pub fn mean_tokens(&mut self, a: VarId) -> VarId {
+        let out = ops::mean_tokens(self.data(a));
+        self.push(
+            out,
+            Some(Box::new(move |g, gout, grads| {
+                let shp = g.data(a).shape();
+                let (b, n, d) = (shp[0], shp[1], shp[2]);
+                let mut ga = Tensor::zeros(shp);
+                let inv = 1.0 / n as f32;
+                for bi in 0..b {
+                    let grow = &gout.data()[bi * d..(bi + 1) * d];
+                    for ni in 0..n {
+                        let dst = &mut ga.data_mut()[(bi * n + ni) * d..(bi * n + ni + 1) * d];
+                        for (x, &v) in dst.iter_mut().zip(grow.iter()) {
+                            *x += v * inv;
+                        }
+                    }
+                }
+                acc(grads, a, ga);
+            })),
+        )
+    }
+
+    // ---- regularization / losses ----
+
+    /// Inverted dropout. At `training=false` this is the identity.
+    pub fn dropout(&mut self, a: VarId, p: f32, training: bool, seed: u64) -> VarId {
+        if !training || p <= 0.0 {
+            let t = self.data(a).clone();
+            return self.push(
+                t,
+                Some(Box::new(move |_g, gout, grads| acc(grads, a, gout.clone()))),
+            );
+        }
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let n = self.data(a).numel();
+        let mut mask = vec![0.0f32; n];
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        for m in mask.iter_mut() {
+            // SplitMix64 — deterministic, platform-independent
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let u = (z >> 40) as f32 / (1u64 << 24) as f32;
+            *m = if u < keep { scale } else { 0.0 };
+        }
+        let mask = Tensor::from_vec(mask, self.data(a).shape());
+        let saved = mask.clone();
+        let out = self.data(a).zip_map(&mask, |x, m| x * m);
+        self.push(
+            out,
+            Some(Box::new(move |_g, gout, grads| {
+                acc(grads, a, gout.zip_map(&saved, |g, m| g * m));
+            })),
+        )
+    }
+
+    /// Mean binary cross-entropy with logits against constant targets.
+    pub fn bce_with_logits(&mut self, logits: VarId, targets: &Tensor) -> VarId {
+        let x = self.data(logits);
+        assert_eq!(x.numel(), targets.numel(), "bce target length mismatch");
+        let n = x.numel() as f32;
+        let loss = x
+            .data()
+            .iter()
+            .zip(targets.data().iter())
+            .map(|(&xv, &y)| xv.max(0.0) - xv * y + (-(xv.abs())).exp().ln_1p())
+            .sum::<f32>()
+            / n;
+        let tgt = targets.clone();
+        self.push(
+            Tensor::scalar(loss),
+            Some(Box::new(move |g, gout, grads| {
+                let s = gout.item() / n;
+                let gx = g
+                    .data(logits)
+                    .zip_map(&tgt, |xv, y| (ops::sigmoid(xv) - y) * s);
+                acc(grads, logits, gx);
+            })),
+        )
+    }
+
+    // ---- backward ----
+
+    /// Reverse sweep from a scalar (or any) root. The root's gradient is
+    /// seeded with ones. Gradients for every reachable node are retained and
+    /// can be queried with [`Graph::grad`].
+    pub fn backward(&mut self, root: VarId) {
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Tensor>> = Vec::with_capacity(n);
+        grads.resize_with(n, || None);
+        grads[root.0] = Some(Tensor::ones(self.nodes[root.0].data.shape()));
+        let mut backs: Vec<Option<BackFn>> =
+            self.nodes.iter_mut().map(|nd| nd.back.take()).collect();
+        for i in (0..=root.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            if let Some(f) = backs[i].take() {
+                f(self, &g, &mut grads);
+            }
+            grads[i] = Some(g);
+        }
+        self.grads = grads;
+    }
+
+    /// Adds the gradients of every bound parameter into `store.grads`.
+    pub fn flush_grads(&self, store: &mut ParamStore) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(pid) = node.param {
+                if let Some(g) = self.grads.get(i).and_then(|g| g.as_ref()) {
+                    store.accumulate_grad(pid, g);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::gradcheck;
+
+    #[test]
+    fn add_backward() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = g.leaf(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let c = g.add(a, b);
+        let s = g.sum_all(c);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_div_backward() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![2.0, 3.0], &[2]));
+        let b = g.leaf(Tensor::from_vec(vec![4.0, 5.0], &[2]));
+        let c = g.mul(a, b);
+        let d = g.div(c, b); // = a
+        let s = g.sum_all(d);
+        g.backward(s);
+        let ga = g.grad(a).unwrap();
+        assert!(ga.allclose(&Tensor::ones(&[2]), 1e-5));
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        gradcheck(
+            &[&[2, 3], &[3, 2]],
+            |g, vars| {
+                let c = g.matmul(vars[0], vars[1]);
+                g.sum_all(c)
+            },
+            1e-2,
+            31,
+        );
+    }
+
+    #[test]
+    fn bmm_gradcheck() {
+        gradcheck(
+            &[&[2, 2, 3], &[2, 3, 2]],
+            |g, vars| {
+                let c = g.bmm(vars[0], vars[1], false);
+                let sq = g.square(c);
+                g.sum_all(sq)
+            },
+            1e-2,
+            7,
+        );
+        gradcheck(
+            &[&[2, 2, 3], &[2, 4, 3]],
+            |g, vars| {
+                let c = g.bmm(vars[0], vars[1], true);
+                g.sum_all(c)
+            },
+            1e-2,
+            11,
+        );
+    }
+
+    #[test]
+    fn softmax_gradcheck() {
+        gradcheck(
+            &[&[3, 4]],
+            |g, vars| {
+                let s = g.softmax(vars[0]);
+                let sq = g.square(s);
+                g.sum_all(sq)
+            },
+            1e-2,
+            3,
+        );
+    }
+
+    #[test]
+    fn log_softmax_gradcheck() {
+        gradcheck(
+            &[&[2, 5]],
+            |g, vars| {
+                let s = g.log_softmax(vars[0]);
+                let sq = g.square(s);
+                g.sum_all(sq)
+            },
+            5e-2,
+            5,
+        );
+    }
+
+    #[test]
+    fn layer_norm_gradcheck() {
+        gradcheck(
+            &[&[3, 6], &[6], &[6]],
+            |g, vars| {
+                let y = g.layer_norm(vars[0], vars[1], vars[2], 1e-5);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            5e-2,
+            13,
+        );
+    }
+
+    #[test]
+    fn unary_gradchecks() {
+        for (name, f) in [
+            ("gelu", (|g: &mut Graph, v: VarId| g.gelu(v)) as fn(&mut Graph, VarId) -> VarId),
+            ("sigmoid", |g, v| g.sigmoid(v)),
+            ("tanh", |g, v| g.tanh(v)),
+            ("cos", |g, v| g.cos(v)),
+            ("relu", |g, v| g.relu(v)),
+            ("square", |g, v| g.square(v)),
+        ] {
+            gradcheck(
+                &[&[2, 3]],
+                |g, vars| {
+                    let y = f(g, vars[0]);
+                    let sq = g.square(y);
+                    g.sum_all(sq)
+                },
+                5e-2,
+                name.len() as u64 + 17,
+            );
+        }
+    }
+
+    #[test]
+    fn concat_slice_gradcheck() {
+        gradcheck(
+            &[&[2, 2], &[2, 3]],
+            |g, vars| {
+                let c = g.concat_cols(&[vars[0], vars[1]]);
+                let s = g.slice_cols(c, 1, 4);
+                let sq = g.square(s);
+                g.sum_all(sq)
+            },
+            1e-2,
+            41,
+        );
+    }
+
+    #[test]
+    fn gather_rows_gradcheck() {
+        gradcheck(
+            &[&[4, 3]],
+            |g, vars| {
+                let y = g.gather_rows(vars[0], &[0, 2, 2, 3]);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            1e-2,
+            43,
+        );
+    }
+
+    #[test]
+    fn scale_rows_gradcheck() {
+        gradcheck(
+            &[&[3, 4], &[3]],
+            |g, vars| {
+                let y = g.scale_rows(vars[0], vars[1]);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            1e-2,
+            47,
+        );
+    }
+
+    #[test]
+    fn add_bias_gradcheck() {
+        gradcheck(
+            &[&[3, 4], &[4]],
+            |g, vars| {
+                let y = g.add_bias(vars[0], vars[1]);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            1e-2,
+            53,
+        );
+    }
+
+    #[test]
+    fn heads_and_transpose_gradcheck() {
+        gradcheck(
+            &[&[6, 4]], // r=3, n=2, h=2, dh=2
+            |g, vars| {
+                let s = g.split_heads(vars[0], 2, 2);
+                let t = g.transpose12(s);
+                let t2 = g.transpose12(t);
+                let m = g.merge_heads(t2, 2);
+                let sq = g.square(m);
+                g.sum_all(sq)
+            },
+            1e-2,
+            59,
+        );
+    }
+
+    #[test]
+    fn mean_tokens_gradcheck() {
+        gradcheck(
+            &[&[2, 3, 4]],
+            |g, vars| {
+                let y = g.mean_tokens(vars[0]);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            1e-2,
+            61,
+        );
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.0, 2.0, -1.0], &[3]));
+        let t = Tensor::from_vec(vec![1.0, 1.0, 0.0], &[3]);
+        let l = g.bce_with_logits(x, &t);
+        // manual: -[ln σ(0)] - ln σ(2) - ln(1-σ(-1)) over 3
+        let want = (-(ops::sigmoid(0.0f32).ln()) - ops::sigmoid(2.0).ln()
+            - (1.0 - ops::sigmoid(-1.0)).ln())
+            / 3.0;
+        assert!((g.data(l).item() - want).abs() < 1e-5);
+        g.backward(l);
+        let gx = g.grad(x).unwrap();
+        for (i, (&xv, &y)) in [0.0f32, 2.0, -1.0].iter().zip(t.data().iter()).enumerate() {
+            let want = (ops::sigmoid(xv) - y) / 3.0;
+            assert!((gx.data()[i] - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[10]));
+        let y = g.dropout(x, 0.5, false, 1);
+        assert!(g.data(y).allclose(&Tensor::ones(&[10]), 0.0));
+    }
+
+    #[test]
+    fn dropout_train_scales_mask() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[1000]));
+        let y = g.dropout(x, 0.5, true, 7);
+        let kept: usize = g.data(y).data().iter().filter(|&&v| v != 0.0).count();
+        assert!(kept > 350 && kept < 650, "kept {kept} of 1000 at p=0.5");
+        for &v in g.data(y).data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn inference_graph_skips_closures() {
+        let mut g = Graph::inference();
+        let a = g.leaf(Tensor::ones(&[2, 2]));
+        let b = g.leaf(Tensor::ones(&[2, 2]));
+        let c = g.matmul(a, b);
+        let s = g.sum_all(c);
+        g.backward(s); // no-op for parents, must not panic
+        assert!(g.grad(a).is_none());
+        assert_eq!(g.data(s).item(), 8.0);
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![3.0], &[1]));
+        let b = g.add(a, a); // 2a
+        let c = g.mul(b, a); // 2a^2 -> d/da = 4a = 12
+        g.backward(c);
+        assert!((g.grad(a).unwrap().item() - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn detach_stops_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![2.0], &[1]));
+        let d = g.detach(a);
+        let y = g.mul(d, a);
+        g.backward(y);
+        // d/da via the detached path must not contribute; only the direct a
+        assert!((g.grad(a).unwrap().item() - 2.0).abs() < 1e-6);
+    }
+}

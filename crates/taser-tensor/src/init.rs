@@ -1,0 +1,83 @@
+//! Deterministic weight initializers.
+//!
+//! All initializers take an explicit seed so model construction is exactly
+//! reproducible across runs and platforms.
+
+use crate::tensor::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Xavier/Glorot uniform for a `[fan_in, fan_out]` weight matrix.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(&[fan_in, fan_out], -bound, bound, seed)
+}
+
+/// Kaiming/He uniform for ReLU-family networks.
+pub fn kaiming_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let bound = (3.0f32 / fan_in as f32).sqrt();
+    uniform(&[fan_in, fan_out], -bound, bound, seed)
+}
+
+/// Uniform init over `[lo, hi)`.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(lo, hi);
+    let n: usize = shape.iter().product();
+    Tensor::from_vec((0..n).map(|_| dist.sample(&mut rng)).collect(), shape)
+}
+
+/// Gaussian init via Box-Muller (keeps us off rand_distr).
+pub fn normal(shape: &[usize], mean: f32, std: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(f32::EPSILON, 1.0f32);
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = dist.sample(&mut rng);
+        let u2: f32 = dist.sample(&mut rng);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound() {
+        let t = xavier_uniform(100, 100, 1);
+        let bound = (6.0f32 / 200.0).sqrt();
+        assert!(t.max_abs() <= bound);
+        assert!(t.max_abs() > bound * 0.5, "suspiciously small spread");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(uniform(&[8], 0.0, 1.0, 3).data(), uniform(&[8], 0.0, 1.0, 3).data());
+        assert_ne!(uniform(&[8], 0.0, 1.0, 3).data(), uniform(&[8], 0.0, 1.0, 4).data());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let t = normal(&[10_000], 2.0, 0.5, 11);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.numel() as f32;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound() {
+        let t = kaiming_uniform(64, 32, 5);
+        assert!(t.max_abs() <= (3.0f32 / 64.0).sqrt());
+    }
+}

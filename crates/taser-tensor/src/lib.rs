@@ -1,0 +1,43 @@
+//! # taser-tensor
+//!
+//! The compute substrate of taser-rs: dense `f32` tensors, a tape-based
+//! reverse-mode autograd engine, neural-network layers, and an Adam
+//! optimizer. The TASER paper runs on PyTorch + CUDA; this crate replaces
+//! that stack with a self-contained CPU implementation whose matrix kernels
+//! parallelize with rayon.
+//!
+//! Layout of the crate:
+//!
+//! * [`tensor`] — the dense [`Tensor`] storage type.
+//! * [`ops`] — raw kernels (matmul, bmm, softmax, layer norm, head packing).
+//! * [`graph`] — the autograd tape: [`Graph`], [`VarId`], ~30 differentiable ops.
+//! * [`nn`] — layers: [`nn::Linear`], [`nn::Mlp`], [`nn::LayerNorm`],
+//!   [`nn::MixerBlock`] (the MLP-Mixer used by GraphMixer and by TASER's
+//!   neighbor decoder).
+//! * [`optim`] — [`ParamStore`] + Adam/SGD.
+//! * [`init`] — deterministic initializers.
+//! * [`gradcheck`] — finite-difference gradient checking used across the
+//!   workspace's test suites.
+//!
+//! ```
+//! use taser_tensor::{Graph, ParamStore, Tensor, nn::Linear};
+//!
+//! let mut store = ParamStore::new();
+//! let layer = Linear::new(&mut store, "proj", 4, 2, 42);
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::ones(&[3, 4]));
+//! let y = layer.forward(&mut g, &store, x);
+//! assert_eq!(g.shape(y), &[3, 2]);
+//! ```
+
+pub mod gradcheck;
+pub mod graph;
+pub mod init;
+pub mod nn;
+pub mod ops;
+pub mod optim;
+pub mod tensor;
+
+pub use graph::{Graph, VarId};
+pub use optim::{AdamConfig, ParamId, ParamStore};
+pub use tensor::Tensor;

@@ -1,0 +1,358 @@
+//! Dense row-major `f32` tensors.
+//!
+//! [`Tensor`] is the single storage type used throughout taser-rs: a flat
+//! `Vec<f32>` plus a shape. All autograd ops in [`crate::graph`] produce and
+//! consume `Tensor`s; the raw compute kernels live in [`crate::ops`].
+
+use rayon::prelude::*;
+use std::fmt;
+
+/// Element count above which element-wise ops fan out to rayon.
+const PAR_ELEM_THRESHOLD: usize = 65_536;
+const PAR_CHUNK: usize = 16_384;
+
+/// A dense, row-major `f32` tensor of arbitrary rank.
+///
+/// Invariant: `data.len() == shape.iter().product()`. Rank-0 tensors are not
+/// supported; scalars are represented as shape `[1]`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Builds a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    /// Panics if the element count does not match the shape.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        assert!(!shape.is_empty(), "rank-0 tensors are not supported");
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        Tensor { data: vec![0.0; numel], shape: shape.to_vec() }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel: usize = shape.iter().product();
+        Tensor { data: vec![value; numel], shape: shape.to_vec() }
+    }
+
+    /// A scalar tensor of shape `[1]`.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: vec![value], shape: vec![1] }
+    }
+
+    /// The shape of the tensor.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of rows when viewed as 2-D (product of all leading dims).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.numel() / self.last_dim()
+    }
+
+    /// Size of the trailing dimension.
+    #[inline]
+    pub fn last_dim(&self) -> usize {
+        *self.shape.last().expect("tensor has at least rank 1")
+    }
+
+    /// Immutable view of the flat data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a 2-D index. Only valid for rank-2 tensors.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Scalar value of a shape-`[1]` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires a single-element tensor");
+        self.data[0]
+    }
+
+    /// Returns the same data under a new shape (row-major reinterpretation).
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.numel(), "reshape {:?} -> {:?}", self.shape, shape);
+        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+    }
+
+    /// In-place element-wise addition. Shapes must match exactly.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled addition `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for a in self.data.iter_mut() {
+            *a *= alpha;
+        }
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|a| *a = value);
+    }
+
+    /// Returns a new tensor with `f` applied element-wise (parallel for
+    /// large tensors).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = self.data.clone();
+        if data.len() >= PAR_ELEM_THRESHOLD {
+            data.par_chunks_mut(PAR_CHUNK).for_each(|chunk| {
+                for x in chunk {
+                    *x = f(*x);
+                }
+            });
+        } else {
+            for x in &mut data {
+                *x = f(*x);
+            }
+        }
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Element-wise combination of two same-shape tensors (parallel for
+    /// large tensors).
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        let mut data = self.data.clone();
+        if data.len() >= PAR_ELEM_THRESHOLD {
+            data.par_chunks_mut(PAR_CHUNK)
+                .zip(other.data.par_chunks(PAR_CHUNK))
+                .for_each(|(chunk, bs)| {
+                    for (x, &b) in chunk.iter_mut().zip(bs.iter()) {
+                        *x = f(*x, b);
+                    }
+                });
+        } else {
+            for (x, &b) in data.iter_mut().zip(other.data.iter()) {
+                *x = f(*x, b);
+            }
+        }
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Returns 0 for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute element, or 0 for empty tensors.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// True when both tensors have identical shapes and all elements differ by
+    /// at most `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// A contiguous slice of rows `[start, end)` when viewed as 2-D.
+    pub fn rows_slice(&self, start: usize, end: usize) -> Tensor {
+        let d = self.last_dim();
+        assert!(start <= end && end <= self.rows());
+        Tensor {
+            data: self.data[start * d..end * d].to_vec(),
+            shape: vec![end - start, d],
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, .., {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.data[self.numel() - 1]
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_shape() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.last_dim(), 3);
+        assert_eq!(t.at2(1, 2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn mismatched_shape_panics() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn zeros_ones_full_scalar() {
+        assert_eq!(Tensor::zeros(&[2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[2, 2]).sum(), 4.0);
+        assert_eq!(Tensor::full(&[3], 2.5).sum(), 7.5);
+        assert_eq!(Tensor::scalar(3.0).item(), 3.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r = t.reshape(&[4]);
+        assert_eq!(r.shape(), &[4]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic]
+    fn reshape_wrong_count_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.reshape(&[3]);
+    }
+
+    #[test]
+    fn add_assign_and_axpy() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[11.0, 22.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[16.0, 32.0]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(a.map(|x| x * 2.0).data(), &[2.0, -4.0]);
+        assert_eq!(a.zip_map(&b, |x, y| x + y).data(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -3.0, 2.0], &[3]);
+        assert_eq!(t.sum(), 0.0);
+        assert!((t.mean()).abs() < 1e-6);
+        assert_eq!(t.max_abs(), 3.0);
+        assert!((t.norm() - (14.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allclose_tolerance() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0005, 2.0], &[2]);
+        assert!(a.allclose(&b, 1e-3));
+        assert!(!a.allclose(&b, 1e-5));
+        let c = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        assert!(!a.allclose(&c, 1.0), "different shapes are never close");
+    }
+
+    #[test]
+    fn rows_slice_extracts_contiguous_rows() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[4, 3]);
+        let s = t.rows_slice(1, 3);
+        assert_eq!(s.shape(), &[2, 3]);
+        assert_eq!(s.data(), &[3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut t = Tensor::ones(&[2]);
+        assert!(t.all_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: train TASER on a synthetic Wikipedia-analog dynamic graph and
+//! report MRR plus the per-phase runtime breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use taser::prelude::*;
+use taser_core::trainer::{Backbone, Variant};
+
+fn main() {
+    // A small noisy dynamic graph shaped like the paper's Wikipedia dataset
+    // (bipartite, 172-d edge features) at 2% scale, with 15% injected noise
+    // interactions and community drift (deprecated links).
+    let data = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 32).seed(7).build();
+    println!(
+        "dataset: {} — {} nodes, {} events, {}d edge features",
+        data.name,
+        data.num_nodes,
+        data.num_events(),
+        data.edge_dim()
+    );
+
+    let cfg = TrainerConfig {
+        backbone: Backbone::GraphMixer,
+        variant: Variant::Taser,
+        epochs: 3,
+        batch_size: 200,
+        hidden: 32,
+        time_dim: 16,
+        sampler_dim: 16,
+        n_neighbors: 10,
+        finder_budget: 25,
+        eval_events: Some(100),
+        ..TrainerConfig::default()
+    };
+    println!(
+        "training {} / {} for {} epochs (n={}, m={})",
+        cfg.backbone.name(),
+        cfg.variant.name(),
+        cfg.epochs,
+        cfg.n_neighbors,
+        cfg.finder_budget
+    );
+
+    let mut trainer = Trainer::new(cfg, &data);
+    println!("parameters: {}", trainer.num_params());
+    let report = trainer.fit(&data);
+
+    for e in &report.epochs {
+        let t = &e.timings;
+        println!(
+            "epoch {:>2}  loss {:.4}  NF {:>6.1?}  AS {:>6.1?}  FS {:>6.1?}  PP {:>6.1?}",
+            e.epoch, e.loss, t.neighbor_find, t.adaptive_sample, t.feature_slice, t.propagate
+        );
+    }
+    println!("validation MRR: {:.4}", report.val_mrr);
+    println!("test MRR:       {:.4}", report.test_mrr);
+    println!("(random-guess MRR with 49 negatives ≈ 0.09)");
+}

@@ -1,0 +1,62 @@
+//! Content-recommendation scenario: a MovieLens-shaped bipartite interaction
+//! graph. Trains TASER-GraphMixer, then produces top-k item recommendations
+//! for the most active users from the model's link-prediction scores.
+//!
+//! ```text
+//! cargo run --release --example recommendation
+//! ```
+
+use taser::prelude::*;
+use taser_core::trainer::{Backbone, Variant};
+
+fn main() {
+    let data = SynthConfig::movielens().scale(0.0002).feat_dims(0, 24).seed(19).build();
+    println!(
+        "interaction graph: {} users+items, {} events",
+        data.num_nodes,
+        data.num_events()
+    );
+
+    let cfg = TrainerConfig {
+        backbone: Backbone::GraphMixer,
+        variant: Variant::Taser,
+        epochs: 3,
+        batch_size: 200,
+        hidden: 32,
+        time_dim: 16,
+        sampler_dim: 12,
+        n_neighbors: 8,
+        finder_budget: 20,
+        eval_events: Some(100),
+        ..TrainerConfig::default()
+    };
+    let mut trainer = Trainer::new(cfg, &data);
+    let report = trainer.fit(&data);
+    println!("test MRR: {:.4}  (random ≈ 0.09)", report.test_mrr);
+
+    // Most active users in the training window.
+    let boundary = data.bipartite_boundary.expect("bipartite") as usize;
+    let mut activity = vec![0usize; boundary];
+    for e in data.train_events() {
+        activity[e.src as usize] += 1;
+    }
+    let mut users: Vec<usize> = (0..boundary).collect();
+    users.sort_by_key(|&u| std::cmp::Reverse(activity[u]));
+
+    // Score every item for each user at "now" (after the last event).
+    let t_now = data.log.get(data.num_events() - 1).t + 1.0;
+    let items: Vec<u32> = (boundary as u32..data.num_nodes as u32).collect();
+    println!("\ntop-5 recommendations (item: score):");
+    for &u in users.iter().take(3) {
+        let scores = trainer.link_scores(u as u32, t_now, &items);
+        let mut ranked: Vec<(u32, f32)> =
+            items.iter().copied().zip(scores.iter().copied()).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<String> = ranked
+            .iter()
+            .take(5)
+            .map(|(item, s)| format!("{item}:{s:+.2}"))
+            .collect();
+        println!("  user {u:>5} ({} past interactions): {}", activity[u], top.join("  "));
+    }
+}

@@ -1,0 +1,66 @@
+//! # taser-rs
+//!
+//! A pure-Rust reproduction of **TASER: Temporal Adaptive Sampling for Fast and
+//! Accurate Dynamic Graph Representation Learning** (IPDPS 2024).
+//!
+//! TASER trains Temporal Graph Neural Networks (TGNNs) on noisy continuous-time
+//! dynamic graphs with two adaptive sampling techniques and two system
+//! optimizations:
+//!
+//! * **Temporal adaptive mini-batch selection** — training edges are drawn with
+//!   probability proportional to a per-edge importance score updated from the
+//!   model's own logits ([`taser_core::minibatch`]).
+//! * **Temporal adaptive neighbor sampling** — an encoder-decoder network
+//!   scores every candidate temporal neighbor and is co-trained with the TGNN
+//!   through a REINFORCE estimator ([`taser_core::encoder`],
+//!   [`taser_core::decoder`], [`taser_core::cotrain`]).
+//! * **Block-centric temporal neighbor finder** — the paper's GPU kernel
+//!   (Algorithm 2) executed on a simulated SIMD device ([`taser_sample::gpu`]).
+//! * **Dynamic feature cache** — epoch-granularity top-k feature caching with
+//!   near-oracle hit rates (Algorithm 3, [`taser_cache`]).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use taser::prelude::*;
+//!
+//! // A small synthetic dynamic graph with injected temporal noise.
+//! let data = SynthConfig::wikipedia().scale(0.05).seed(7).build();
+//! let mut trainer = Trainer::new(TrainerConfig {
+//!     backbone: Backbone::GraphMixer,
+//!     variant: Variant::Taser,
+//!     epochs: 5,
+//!     ..TrainerConfig::default()
+//! }, &data);
+//! let report = trainer.fit(&data);
+//! println!("test MRR = {:.4}", report.test_mrr);
+//! ```
+//!
+//! See `examples/` for full end-to-end scenarios and `crates/taser-bench` for
+//! the harnesses that regenerate every table and figure of the paper.
+
+pub use taser_cache as cache;
+pub use taser_core as core;
+pub use taser_graph as graph;
+pub use taser_models as models;
+pub use taser_sample as sample;
+pub use taser_tensor as tensor;
+
+/// Convenience re-exports covering the common end-to-end workflow.
+pub mod prelude {
+    pub use taser_cache::{CachePolicy, FeatureStore, TransferModel};
+    pub use taser_core::{
+        cotrain::CoTrainStrategy,
+        decoder::DecoderHead,
+        minibatch::MiniBatchSelector,
+        trainer::{Backbone, Trainer, TrainerConfig, Variant},
+    };
+    pub use taser_graph::{
+        dataset::TemporalDataset,
+        synth::SynthConfig,
+        tcsr::TCsr,
+    };
+    pub use taser_models::eval::mrr;
+    pub use taser_sample::{FinderKind, NeighborFinder, SamplePolicy};
+    pub use taser_tensor::{Graph, ParamStore, Tensor};
+}

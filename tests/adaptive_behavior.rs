@@ -1,0 +1,147 @@
+//! Integration tests of the adaptive components' *behaviour*: the mini-batch
+//! selector concentrates on confident edges, and the neighbor sampler's
+//! policy departs from uniform in a direction that avoids injected noise.
+
+use taser::prelude::*;
+use taser_core::minibatch::MiniBatchSelector;
+use taser_core::trainer::{Backbone, Variant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn selector_converges_to_confident_subset() {
+    // Simulated training: half the edges always score high, half low.
+    let n = 200;
+    let mut sel = MiniBatchSelector::new(n, 0.1);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..20 {
+        let batch = sel.sample_batch(50, &mut rng);
+        let probs: Vec<f32> =
+            batch.iter().map(|&i| if i < n / 2 { 0.95 } else { 0.05 }).collect();
+        sel.update(&batch, &probs);
+    }
+    // sampling mass should now prefer the confident half
+    let mut hits_low = 0usize;
+    let mut hits_high = 0usize;
+    for _ in 0..200 {
+        for i in sel.sample_batch(10, &mut rng) {
+            if i < n / 2 {
+                hits_high += 1;
+            } else {
+                hits_low += 1;
+            }
+        }
+    }
+    assert!(
+        hits_high as f64 > hits_low as f64 * 1.5,
+        "confident edges not preferred: {hits_high} vs {hits_low}"
+    );
+    // but γ keeps the noisy half reachable
+    assert!(hits_low > 0);
+}
+
+#[test]
+fn trained_sampler_policy_departs_from_uniform() {
+    let mut synth = SynthConfig::wikipedia().scale(0.015).feat_dims(0, 16).seed(21);
+    synth.p_noise = 0.3;
+    let ds = synth.build();
+    let cfg = TrainerConfig {
+        backbone: Backbone::GraphMixer,
+        variant: Variant::AdaNeighbor,
+        epochs: 2,
+        batch_size: 150,
+        hidden: 24,
+        time_dim: 12,
+        sampler_dim: 8,
+        n_neighbors: 5,
+        finder_budget: 12,
+        eval_events: Some(10),
+        ..TrainerConfig::default()
+    };
+    let mut t = Trainer::new(cfg, &ds);
+    for e in 0..2 {
+        t.train_epoch(&ds, e);
+    }
+    let probe: Vec<(u32, f64)> = ds
+        .test_events()
+        .iter()
+        .step_by(11)
+        .take(40)
+        .map(|e| (e.src, e.t))
+        .collect();
+    let (cands, q) = t.inspect_policy(&probe).expect("adaptive variant");
+    // measure max deviation of q from uniform over full neighborhoods
+    let m = cands.budget;
+    let mut max_dev = 0.0f32;
+    for i in 0..cands.roots {
+        let c = cands.counts[i];
+        if c < m {
+            continue;
+        }
+        let uni = 1.0 / c as f32;
+        for j in 0..c {
+            max_dev = max_dev.max((q[i * m + j] - uni).abs());
+        }
+    }
+    assert!(max_dev > 0.01, "policy never departed from uniform (max dev {max_dev})");
+}
+
+#[test]
+fn adaptive_minibatch_changes_training_order() {
+    let ds = SynthConfig::wikipedia().scale(0.015).feat_dims(0, 16).seed(22).build();
+    let mk = |variant| TrainerConfig {
+        backbone: Backbone::GraphMixer,
+        variant,
+        epochs: 1,
+        batch_size: 150,
+        hidden: 16,
+        time_dim: 8,
+        n_neighbors: 5,
+        finder_budget: 10,
+        eval_events: Some(30),
+        eval_chunk: 10,
+        ..TrainerConfig::default()
+    };
+    let mut base = Trainer::new(mk(Variant::Baseline), &ds);
+    let rb = base.train_epoch(&ds, 0);
+    let mut ada = Trainer::new(mk(Variant::AdaMiniBatch), &ds);
+    let ra = ada.train_epoch(&ds, 0);
+    // same model/seed, different batch composition -> different loss path
+    assert_ne!(rb.loss, ra.loss);
+}
+
+#[test]
+fn taser_not_worse_than_baseline_on_noisy_data() {
+    // The paper's headline claim, at smoke-test scale: averaged over seeds,
+    // TASER should be at least as good as the baseline on noisy graphs.
+    let mut base_sum = 0.0;
+    let mut taser_sum = 0.0;
+    for seed in [31u64, 32] {
+        let mut synth = SynthConfig::wikipedia().scale(0.015).feat_dims(0, 16).seed(seed);
+        synth.p_noise = 0.3;
+        let ds = synth.build();
+        let mk = |variant| TrainerConfig {
+            backbone: Backbone::GraphMixer,
+            variant,
+            epochs: 3,
+            batch_size: 150,
+            hidden: 24,
+            time_dim: 12,
+            sampler_dim: 8,
+            n_neighbors: 5,
+            finder_budget: 15,
+            eval_events: Some(60),
+            eval_chunk: 12,
+            seed,
+            ..TrainerConfig::default()
+        };
+        let mut b = Trainer::new(mk(Variant::Baseline), &ds);
+        base_sum += b.fit(&ds).test_mrr;
+        let mut t = Trainer::new(mk(Variant::Taser), &ds);
+        taser_sum += t.fit(&ds).test_mrr;
+    }
+    assert!(
+        taser_sum > base_sum * 0.9,
+        "TASER ({taser_sum:.4}) catastrophically worse than baseline ({base_sum:.4})"
+    );
+}

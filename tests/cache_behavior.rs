@@ -1,0 +1,131 @@
+//! Integration tests of the dynamic feature cache inside real training:
+//! hit rates must climb toward the oracle as the access pattern stabilizes.
+
+use taser::prelude::*;
+use taser_cache::{oracle_hit_rate, DynamicCache};
+use taser_core::trainer::{Backbone, Variant};
+
+#[test]
+fn training_cache_hit_rate_improves_after_first_epoch() {
+    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 16).seed(41).build();
+    let cfg = TrainerConfig {
+        backbone: Backbone::GraphMixer,
+        variant: Variant::Baseline,
+        epochs: 3,
+        batch_size: 200,
+        hidden: 16,
+        time_dim: 8,
+        n_neighbors: 5,
+        finder_budget: 10,
+        cache: CachePolicy::Dynamic { ratio: 0.2, epsilon: 0.7 },
+        eval_events: Some(10),
+        ..TrainerConfig::default()
+    };
+    let mut t = Trainer::new(cfg, &ds);
+    let mut rates = Vec::new();
+    for e in 0..3 {
+        let rep = t.train_epoch(&ds, e);
+        rates.push(rep.cache.expect("cache configured").hit_rate);
+    }
+    // epoch 0 starts from a random cache; once the top-k is adopted, hit
+    // rate must improve
+    assert!(
+        rates[1] > rates[0] || rates[2] > rates[0],
+        "hit rate never improved: {rates:?}"
+    );
+    assert!(rates[2] > 0.15, "final hit rate implausibly low: {rates:?}");
+}
+
+#[test]
+fn dynamic_cache_approaches_oracle_on_stationary_trace() {
+    // Zipf-like stationary accesses: the cache should converge near oracle.
+    let num_items = 2000usize;
+    let capacity = 200usize;
+    let mut cache = DynamicCache::new(num_items, capacity, 0.7, 3);
+    let trace_for_epoch = |epoch: u64| -> Vec<u32> {
+        let mut v = Vec::with_capacity(20_000);
+        let mut s = epoch.wrapping_mul(0x9E37_79B9);
+        for i in 0..20_000u64 {
+            s = s.wrapping_add(i).wrapping_mul(6364136223846793005);
+            let u = ((s >> 33) as f64) / (1u64 << 31) as f64;
+            // inverse-CDF of a Zipf-ish distribution over item ranks
+            let rank = ((num_items as f64).powf(u) - 1.0).max(0.0) as usize;
+            v.push(rank.min(num_items - 1) as u32);
+        }
+        v
+    };
+    let mut last_rate = 0.0;
+    let mut oracle = 0.0;
+    for epoch in 0..5 {
+        let trace = trace_for_epoch(epoch);
+        for &e in &trace {
+            cache.access(e);
+        }
+        let rep = cache.end_epoch();
+        last_rate = rep.hit_rate;
+        oracle = oracle_hit_rate(&trace, num_items, capacity);
+    }
+    assert!(
+        last_rate > oracle * 0.9,
+        "dynamic cache {last_rate:.3} far below oracle {oracle:.3}"
+    );
+}
+
+#[test]
+fn larger_cache_ratio_gives_higher_hit_rate() {
+    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 16).seed(43).build();
+    let mut rates = Vec::new();
+    for ratio in [0.05, 0.3] {
+        let cfg = TrainerConfig {
+            backbone: Backbone::GraphMixer,
+            variant: Variant::Baseline,
+            epochs: 2,
+            batch_size: 200,
+            hidden: 16,
+            time_dim: 8,
+            n_neighbors: 5,
+            finder_budget: 10,
+            cache: CachePolicy::Dynamic { ratio, epsilon: 0.7 },
+            eval_events: Some(10),
+            ..TrainerConfig::default()
+        };
+        let mut t = Trainer::new(cfg, &ds);
+        t.train_epoch(&ds, 0);
+        let rep = t.train_epoch(&ds, 1);
+        rates.push(rep.cache.unwrap().hit_rate);
+    }
+    assert!(
+        rates[1] > rates[0],
+        "30% cache ({:.3}) should beat 5% cache ({:.3})",
+        rates[1],
+        rates[0]
+    );
+}
+
+#[test]
+fn modeled_slice_time_shrinks_with_cache() {
+    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 32).seed(44).build();
+    let mk = |cache| TrainerConfig {
+        backbone: Backbone::GraphMixer,
+        variant: Variant::Baseline,
+        epochs: 2,
+        batch_size: 200,
+        hidden: 16,
+        time_dim: 8,
+        n_neighbors: 5,
+        finder_budget: 10,
+        cache,
+        eval_events: Some(10),
+        ..TrainerConfig::default()
+    };
+    let mut none = Trainer::new(mk(CachePolicy::None), &ds);
+    none.train_epoch(&ds, 0);
+    let t_none = none.train_epoch(&ds, 1).modeled_slice_time;
+    let mut cached = Trainer::new(mk(CachePolicy::Dynamic { ratio: 0.3, epsilon: 0.7 }), &ds);
+    cached.train_epoch(&ds, 0);
+    let t_cached = cached.train_epoch(&ds, 1).modeled_slice_time;
+    assert!(
+        t_cached < t_none,
+        "modeled slicing with cache ({t_cached:?}) not below uncached ({t_none:?})"
+    );
+}

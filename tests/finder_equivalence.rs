@@ -1,0 +1,129 @@
+//! Cross-finder equivalence on realistic synthetic graphs: the three
+//! implementations must agree exactly (most-recent) or distributionally
+//! (uniform), since they are interchangeable inside the trainer.
+
+use taser::prelude::*;
+use taser_sample::{DeviceModel, GpuFinder, OriginFinder, TglFinder};
+
+fn graph() -> (TemporalDataset, TCsr) {
+    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 0).seed(13).build();
+    let csr = ds.tcsr();
+    (ds, csr)
+}
+
+#[test]
+fn most_recent_identical_across_finders() {
+    let (ds, csr) = graph();
+    let targets: Vec<(u32, f64)> =
+        ds.train_events().iter().take(500).map(|e| (e.src, e.t)).collect();
+    let origin = OriginFinder.sample(&csr, &targets, 10, SamplePolicy::MostRecent, 1);
+    let gpu = GpuFinder::new(DeviceModel::laptop()).sample(
+        &csr,
+        &targets,
+        10,
+        SamplePolicy::MostRecent,
+        1,
+    );
+    let mut tgl = TglFinder::new(ds.num_nodes);
+    let tgl_out = tgl.sample(&csr, &targets, 10, SamplePolicy::MostRecent, 1).unwrap();
+    assert_eq!(origin.eids, gpu.eids, "gpu != origin");
+    assert_eq!(origin.eids, tgl_out.eids, "tgl != origin");
+    assert_eq!(origin.counts, gpu.counts);
+}
+
+#[test]
+fn uniform_distributions_agree_between_gpu_and_origin() {
+    let (ds, csr) = graph();
+    // pick a high-degree node
+    let hot = (0..ds.num_nodes as u32)
+        .max_by_key(|&v| csr.neighbor_count(v))
+        .unwrap();
+    let deg = csr.neighbor_count(hot);
+    assert!(deg > 40, "need a hot node, got degree {deg}");
+    let t = f64::MAX;
+    let budget = 10;
+    let runs = 800u64;
+    let mut gpu_hits = vec![0f64; deg];
+    let mut org_hits = vec![0f64; deg];
+    let gpu = GpuFinder::new(DeviceModel::laptop());
+    for s in 0..runs {
+        for (_, _, e) in gpu.sample(&csr, &[(hot, t)], budget, SamplePolicy::Uniform, s).samples(0)
+        {
+            // map eid to slab position
+            let pos = csr
+                .temporal_neighbors(hot, t)
+                .position(|n| n.eid == e)
+                .unwrap();
+            gpu_hits[pos] += 1.0;
+        }
+        for (_, _, e) in
+            OriginFinder.sample(&csr, &[(hot, t)], budget, SamplePolicy::Uniform, s).samples(0)
+        {
+            let pos = csr
+                .temporal_neighbors(hot, t)
+                .position(|n| n.eid == e)
+                .unwrap();
+            org_hits[pos] += 1.0;
+        }
+    }
+    // Both should be near-uniform. Per-bucket counts are ~Binomial with
+    // mean `expected`; allow 6σ per bucket (hundreds of buckets) and check
+    // the aggregate deviation of the two finders is comparable.
+    let expected = runs as f64 * budget as f64 / deg as f64;
+    let sigma = expected.sqrt();
+    let mut gpu_dev = 0.0;
+    let mut org_dev = 0.0;
+    for i in 0..deg {
+        assert!(
+            (gpu_hits[i] - expected).abs() < 6.0 * sigma,
+            "gpu slab pos {i}: {} vs {expected}",
+            gpu_hits[i]
+        );
+        assert!(
+            (org_hits[i] - expected).abs() < 6.0 * sigma,
+            "origin slab pos {i}: {} vs {expected}",
+            org_hits[i]
+        );
+        gpu_dev += (gpu_hits[i] - expected).abs();
+        org_dev += (org_hits[i] - expected).abs();
+    }
+    let ratio = gpu_dev / org_dev.max(1e-9);
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "finders' aggregate deviations differ wildly: gpu {gpu_dev:.1} vs origin {org_dev:.1}"
+    );
+}
+
+#[test]
+fn tgl_pointers_match_binary_search_over_real_stream() {
+    let (ds, csr) = graph();
+    let mut tgl = TglFinder::new(ds.num_nodes);
+    let targets: Vec<(u32, f64)> =
+        ds.train_events().iter().map(|e| (e.src, e.t)).collect();
+    // feed in chronological chunks; per-chunk output counts must equal the
+    // binary-search temporal degree capped by the budget
+    for chunk in targets.chunks(256) {
+        let out = tgl.sample(&csr, chunk, 7, SamplePolicy::Uniform, 3).unwrap();
+        for (i, &(v, t)) in chunk.iter().enumerate() {
+            let want = csr.temporal_degree(v, t).min(7);
+            assert_eq!(out.counts[i], want, "node {v} at t={t}");
+        }
+    }
+}
+
+#[test]
+fn kernel_stats_scale_with_workload() {
+    let (ds, csr) = graph();
+    let gpu = GpuFinder::new(DeviceModel::laptop());
+    let targets: Vec<(u32, f64)> =
+        ds.train_events().iter().take(1000).map(|e| (e.src, e.t)).collect();
+    let (_, small) = gpu.sample_with_stats(&csr, &targets[..100], 10, SamplePolicy::Uniform, 1);
+    let (_, large) = gpu.sample_with_stats(&csr, &targets, 10, SamplePolicy::Uniform, 1);
+    assert_eq!(small.blocks, 100);
+    assert_eq!(large.blocks, 1000);
+    assert!(large.total_block_cycles > small.total_block_cycles);
+    assert!(
+        gpu.device.simulated_time(&large) > gpu.device.simulated_time(&small),
+        "modeled time must grow with workload"
+    );
+}

@@ -1,0 +1,211 @@
+//! Property-based tests (proptest) over the core data structures and
+//! sampling invariants.
+
+use proptest::prelude::*;
+use taser::prelude::*;
+use taser_cache::DynamicCache;
+use taser_core::fenwick::Fenwick;
+use taser_core::encoder::frequency_encoding;
+use taser_graph::events::EventLog;
+use taser_models::eval::{mrr, rank_of_positive};
+use taser_sample::{DeviceModel, GpuFinder, OriginFinder};
+
+fn arb_events(max_nodes: u32, max_events: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec(
+        (0..max_nodes, 0..max_nodes, 0.0f64..1e6),
+        1..max_events,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tcsr_slabs_always_time_sorted(raw in arb_events(40, 200)) {
+        let log = EventLog::from_unsorted(raw);
+        let n = log.num_nodes();
+        let csr = TCsr::build(&log, n);
+        for v in 0..n as u32 {
+            let cnt = csr.neighbor_count(v);
+            for i in 1..cnt {
+                prop_assert!(csr.entry(v, i - 1).t <= csr.entry(v, i).t);
+            }
+        }
+        // total entries = 2 * events minus self-loops (single entry each)
+        let loops = log.events().iter().filter(|e| e.src == e.dst).count();
+        prop_assert_eq!(csr.num_entries(), 2 * log.len() - loops);
+    }
+
+    #[test]
+    fn tcsr_pivot_matches_naive(raw in arb_events(30, 150), t in 0.0f64..1.2e6) {
+        let log = EventLog::from_unsorted(raw);
+        let n = log.num_nodes();
+        let csr = TCsr::build(&log, n);
+        for v in 0..n as u32 {
+            let naive = (0..csr.neighbor_count(v))
+                .filter(|&i| csr.entry(v, i).t < t)
+                .count();
+            prop_assert_eq!(csr.pivot(v, t), naive);
+        }
+    }
+
+    #[test]
+    fn finders_sample_valid_time_respecting_sets(
+        raw in arb_events(25, 150),
+        budget in 1usize..12,
+        seed in 0u64..50,
+    ) {
+        let log = EventLog::from_unsorted(raw);
+        let n = log.num_nodes();
+        let csr = TCsr::build(&log, n);
+        let targets: Vec<(u32, f64)> = (0..n as u32).map(|v| (v, 5e5)).collect();
+        for policy in [SamplePolicy::Uniform, SamplePolicy::MostRecent] {
+            let out = GpuFinder::new(DeviceModel::laptop())
+                .sample(&csr, &targets, budget, policy, seed);
+            for (i, &(v, t)) in targets.iter().enumerate() {
+                prop_assert_eq!(out.counts[i], csr.temporal_degree(v, t).min(budget));
+                // all samples strictly precede the query time, no duplicates
+                let mut eids: Vec<u32> = out.samples(i).map(|(_, _, e)| e).collect();
+                prop_assert!(out.samples(i).all(|(_, ts, _)| ts < t));
+                eids.sort_unstable();
+                let len = eids.len();
+                eids.dedup();
+                prop_assert_eq!(eids.len(), len, "duplicate sample");
+            }
+        }
+    }
+
+    #[test]
+    fn origin_and_gpu_most_recent_agree(
+        raw in arb_events(25, 120),
+        budget in 1usize..8,
+    ) {
+        let log = EventLog::from_unsorted(raw);
+        let n = log.num_nodes();
+        let csr = TCsr::build(&log, n);
+        let targets: Vec<(u32, f64)> = (0..n as u32).map(|v| (v, 9e5)).collect();
+        let a = OriginFinder.sample(&csr, &targets, budget, SamplePolicy::MostRecent, 1);
+        let b = GpuFinder::new(DeviceModel::laptop())
+            .sample(&csr, &targets, budget, SamplePolicy::MostRecent, 1);
+        prop_assert_eq!(a.eids, b.eids);
+    }
+
+    #[test]
+    fn fenwick_matches_naive_prefix_sums(ws in prop::collection::vec(0.0f64..10.0, 1..100)) {
+        let f = Fenwick::from_weights(&ws);
+        let mut acc = 0.0;
+        for i in 0..ws.len() {
+            prop_assert!((f.prefix_sum(i) - acc).abs() < 1e-9 * (1.0 + acc));
+            acc += ws[i];
+        }
+        prop_assert!((f.total() - acc).abs() < 1e-9 * (1.0 + acc));
+    }
+
+    #[test]
+    fn fenwick_find_is_inverse_of_prefix(
+        ws in prop::collection::vec(0.01f64..10.0, 2..60),
+        u in 0.0f64..1.0,
+    ) {
+        let f = Fenwick::from_weights(&ws);
+        let x = u * f.total() * 0.999_999;
+        let i = f.find(x);
+        // x must fall inside item i's cumulative interval
+        prop_assert!(f.prefix_sum(i) <= x + 1e-9);
+        prop_assert!(x < f.prefix_sum(i + 1) + 1e-9);
+    }
+
+    #[test]
+    fn frequency_encoding_bounded_and_deterministic(freq in 0usize..500, dim in 1usize..64) {
+        let a = frequency_encoding(freq, dim);
+        prop_assert_eq!(a.len(), dim);
+        prop_assert!(a.iter().all(|v| v.abs() <= 1.0 + 1e-6));
+        prop_assert_eq!(frequency_encoding(freq, dim), a);
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity(
+        capacity in 0usize..50,
+        accesses in prop::collection::vec(0u32..200, 0..500),
+    ) {
+        let mut c = DynamicCache::new(200, capacity, 0.7, 1);
+        for &e in &accesses {
+            let hit = c.access(e);
+            // hit implies cached
+            prop_assert_eq!(hit, c.contains(e));
+        }
+        c.end_epoch();
+        let cached = (0..200u32).filter(|&e| c.contains(e)).count();
+        prop_assert!(cached <= capacity.min(200));
+        prop_assert_eq!(c.len(), cached);
+    }
+
+    #[test]
+    fn weighted_policy_also_time_respecting_no_dups(
+        raw in arb_events(20, 120),
+        budget in 1usize..10,
+        seed in 0u64..30,
+    ) {
+        let log = EventLog::from_unsorted(raw);
+        let n = log.num_nodes();
+        let csr = TCsr::build(&log, n);
+        let targets: Vec<(u32, f64)> = (0..n as u32).map(|v| (v, 8e5)).collect();
+        let policy = SamplePolicy::inverse_timespan();
+        for finder_out in [
+            OriginFinder.sample(&csr, &targets, budget, policy, seed),
+            GpuFinder::new(DeviceModel::laptop()).sample(&csr, &targets, budget, policy, seed),
+        ] {
+            for (i, &(v, t)) in targets.iter().enumerate() {
+                prop_assert_eq!(finder_out.counts[i], csr.temporal_degree(v, t).min(budget));
+                prop_assert!(finder_out.samples(i).all(|(_, ts, _)| ts < t));
+                let mut eids: Vec<u32> = finder_out.samples(i).map(|(_, _, e)| e).collect();
+                let len = eids.len();
+                eids.sort_unstable();
+                eids.dedup();
+                prop_assert_eq!(eids.len(), len, "duplicate weighted sample");
+            }
+        }
+    }
+
+    #[test]
+    fn line_cache_capacity_invariant(
+        line in 1usize..64,
+        capacity in 0usize..128,
+        accesses in prop::collection::vec(0u32..500, 0..300),
+    ) {
+        let mut c = DynamicCache::with_line_size(500, capacity, line, 0.7, 2);
+        for &e in &accesses {
+            let hit = c.access(e);
+            prop_assert_eq!(hit, c.contains(e));
+            // line coherence: all members of a cached line are cached
+            let base = (e as usize / line * line) as u32;
+            if c.contains(e) {
+                prop_assert!(c.contains(base));
+            }
+        }
+        c.end_epoch();
+        let cached_lines = (0..500u32).step_by(line).filter(|&e| c.contains(e)).count();
+        prop_assert!(cached_lines * line <= capacity.max(0) + line - 1);
+        prop_assert!(cached_lines <= capacity / line.max(1) + 1);
+    }
+
+    #[test]
+    fn rank_and_mrr_bounds(pos in -5.0f32..5.0, negs in prop::collection::vec(-5.0f32..5.0, 0..60)) {
+        let r = rank_of_positive(pos, &negs);
+        prop_assert!(r >= 1 && r <= negs.len() + 1);
+        let m = mrr(&[r]);
+        prop_assert!(m > 0.0 && m <= 1.0);
+    }
+
+    #[test]
+    fn event_log_tail_and_window(raw in arb_events(20, 100), keep in 1usize..120) {
+        let log = EventLog::from_unsorted(raw);
+        let t = log.tail(keep);
+        prop_assert_eq!(t.len(), keep.min(log.len()));
+        if !t.is_empty() {
+            // tail preserves chronology and edge ids
+            let first = t.get(0);
+            let orig = log.get(log.len() - t.len());
+            prop_assert_eq!(first.eid, orig.eid);
+        }
+    }
+}
