@@ -41,7 +41,10 @@ fn bench_cache(c: &mut Criterion) {
     c.bench_function("store_gather_2k_rows_x172d_cached", |b| {
         let mut store = FeatureStore::new(
             feats.clone(),
-            CachePolicy::Dynamic { ratio: 0.2, epsilon: 0.7 },
+            CachePolicy::Dynamic {
+                ratio: 0.2,
+                epsilon: 0.7,
+            },
             3,
         );
         b.iter(|| store.gather(&ids))

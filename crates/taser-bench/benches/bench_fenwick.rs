@@ -10,20 +10,16 @@ use taser_core::minibatch::MiniBatchSelector;
 fn bench_fenwick(c: &mut Criterion) {
     let mut group = c.benchmark_group("minibatch_selection");
     for n in [10_000usize, 100_000, 600_000] {
-        group.bench_with_input(
-            BenchmarkId::new("draw600_update", n),
-            &n,
-            |b, &n| {
-                let mut sel = MiniBatchSelector::new(n, 0.1);
-                let mut rng = StdRng::seed_from_u64(1);
-                b.iter(|| {
-                    let batch = sel.sample_batch(600, &mut rng);
-                    let probs: Vec<f32> = batch.iter().map(|_| rng.gen()).collect();
-                    sel.update(&batch, &probs);
-                    batch.len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("draw600_update", n), &n, |b, &n| {
+            let mut sel = MiniBatchSelector::new(n, 0.1);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let batch = sel.sample_batch(600, &mut rng);
+                let probs: Vec<f32> = batch.iter().map(|_| rng.gen()).collect();
+                sel.update(&batch, &probs);
+                batch.len()
+            })
+        });
     }
     group.finish();
 }

@@ -5,10 +5,18 @@ use taser_graph::synth::SynthConfig;
 use taser_sample::{DeviceModel, GpuFinder, OriginFinder, SamplePolicy, TglFinder};
 
 fn bench_finders(c: &mut Criterion) {
-    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 0).seed(1).build();
+    let ds = SynthConfig::wikipedia()
+        .scale(0.02)
+        .feat_dims(0, 0)
+        .seed(1)
+        .build();
     let csr = ds.tcsr();
-    let targets: Vec<(u32, f64)> =
-        ds.train_events().iter().take(2000).map(|e| (e.src, e.t)).collect();
+    let targets: Vec<(u32, f64)> = ds
+        .train_events()
+        .iter()
+        .take(2000)
+        .map(|e| (e.src, e.t))
+        .collect();
 
     let mut group = c.benchmark_group("neighbor_finders");
     for m in [10usize, 25] {
@@ -18,7 +26,8 @@ fn bench_finders(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tgl", m), &m, |b, &m| {
             b.iter(|| {
                 let mut f = TglFinder::new(ds.num_nodes);
-                f.sample(&csr, &targets, m, SamplePolicy::Uniform, 7).unwrap()
+                f.sample(&csr, &targets, m, SamplePolicy::Uniform, 7)
+                    .unwrap()
             })
         });
         let gpu = GpuFinder::new(DeviceModel::rtx6000ada());

@@ -28,7 +28,12 @@ fn bench_sampler(c: &mut Criterion) {
         for head in [DecoderHead::Linear, DecoderHead::GatV2] {
             let mut store = ParamStore::new();
             let enc = EncoderConfig::balanced(12, m, 0, 32);
-            let dec = DecoderConfig { enc_dim: enc.enc_dim(), m, head_dim: 12, head };
+            let dec = DecoderConfig {
+                enc_dim: enc.enc_dim(),
+                m,
+                head_dim: 12,
+                head,
+            };
             let sampler = AdaptiveNeighborSampler::new(&mut store, enc, dec, 10, 1);
             let cands = candidates(r, m);
             let roots: Vec<(u32, f64)> = (0..r).map(|i| (i as u32, 20_000.0)).collect();

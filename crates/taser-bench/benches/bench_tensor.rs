@@ -12,7 +12,9 @@ fn bench_tensor(c: &mut Criterion) {
         let g = init::uniform(&[4096, 64], -1.0, 1.0, 3);
         bch.iter(|| ops::matmul_at(&a, &g))
     });
-    c.bench_function("softmax_4096x64", |bch| bch.iter(|| ops::softmax_lastdim(&a)));
+    c.bench_function("softmax_4096x64", |bch| {
+        bch.iter(|| ops::softmax_lastdim(&a))
+    });
     c.bench_function("gelu_map_262k", |bch| bch.iter(|| a.map(ops::gelu)));
     let x3 = init::uniform(&[128, 25, 64], -1.0, 1.0, 4);
     c.bench_function("bmm_tb_128x25x64", |bch| {

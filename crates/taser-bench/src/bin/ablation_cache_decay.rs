@@ -6,15 +6,17 @@
 //! cargo run --release -p taser-bench --bin ablation_cache_decay [--epochs 6] [--scale 0.015]
 //! ```
 
-use taser_bench::{bench_dataset, arg_value, scale_arg};
-use taser_cache::{DynamicCache, oracle_hit_rate};
 use taser_bench::accuracy_config;
-use taser_core::trainer::{Backbone, Trainer, Variant};
+use taser_bench::{arg_value, bench_dataset, scale_arg};
 use taser_cache::CachePolicy;
+use taser_cache::{oracle_hit_rate, DynamicCache};
+use taser_core::trainer::{Backbone, Trainer, Variant};
 
 fn main() {
     let scale = scale_arg();
-    let epochs: usize = arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(6);
+    let epochs: usize = arg_value("--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
     let ds = bench_dataset("wikipedia", scale, 42);
     let num_edges = ds.num_events();
     let capacity = (num_edges as f64 * 0.2) as usize;
@@ -24,7 +26,10 @@ fn main() {
     cfg.cache = CachePolicy::None;
     cfg.eval_events = Some(1);
     let mut trainer = Trainer::new(cfg, &ds);
-    trainer.edge_store_mut().expect("edge features").record_trace(true);
+    trainer
+        .edge_store_mut()
+        .expect("edge features")
+        .record_trace(true);
     let mut traces = Vec::with_capacity(epochs);
     for e in 0..epochs {
         trainer.train_epoch(&ds, e);
@@ -33,7 +38,10 @@ fn main() {
 
     // …then replay them through caches with different decay factors.
     println!("Cache decay ablation (20% capacity, {epochs} epochs, wikipedia analog)");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "epoch", "decay=1.0", "decay=0.5", "decay=0.0", "oracle");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "epoch", "decay=1.0", "decay=0.5", "decay=0.0", "oracle"
+    );
     let mut caches: Vec<DynamicCache> = [1.0, 0.5, 0.0]
         .iter()
         .map(|&d| DynamicCache::new(num_edges, capacity, 0.7, 7).with_decay(d))

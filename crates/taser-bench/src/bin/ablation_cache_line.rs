@@ -13,7 +13,9 @@ use taser_core::trainer::{Backbone, Trainer, Variant};
 
 fn main() {
     let scale = scale_arg();
-    let epochs: usize = arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let epochs: usize = arg_value("--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     let ds = bench_dataset("wikipedia", scale, 42);
     let num_edges = ds.num_events();
     let capacity = (num_edges as f64 * 0.2) as usize;
@@ -23,7 +25,10 @@ fn main() {
     cfg.cache = CachePolicy::None;
     cfg.eval_events = Some(1);
     let mut trainer = Trainer::new(cfg, &ds);
-    trainer.edge_store_mut().expect("edge features").record_trace(true);
+    trainer
+        .edge_store_mut()
+        .expect("edge features")
+        .record_trace(true);
     let mut traces = Vec::with_capacity(epochs);
     for e in 0..epochs {
         trainer.train_epoch(&ds, e);

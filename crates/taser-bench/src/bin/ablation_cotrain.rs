@@ -12,11 +12,25 @@ use taser_core::trainer::{Backbone, Trainer, Variant};
 
 fn main() {
     let scale = scale_arg();
-    let epochs: usize = arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let epochs: usize = arg_value("--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
     let ds = bench_dataset("wikipedia", scale, 42);
     let strategies = [
-        ("closed-form α=2 β=1", CoTrainStrategy::ClosedForm { alpha: 2.0, beta: 1.0 }),
-        ("closed-form α=1 β=0", CoTrainStrategy::ClosedForm { alpha: 1.0, beta: 0.0 }),
+        (
+            "closed-form α=2 β=1",
+            CoTrainStrategy::ClosedForm {
+                alpha: 2.0,
+                beta: 1.0,
+            },
+        ),
+        (
+            "closed-form α=1 β=0",
+            CoTrainStrategy::ClosedForm {
+                alpha: 1.0,
+                beta: 0.0,
+            },
+        ),
         ("influence-gate", CoTrainStrategy::InfluenceGate),
     ];
     println!("Co-training strategy ablation on wikipedia analog ({epochs} epochs)");

@@ -14,7 +14,9 @@ use taser_core::DecoderHead;
 
 fn main() {
     let scale = scale_arg();
-    let epochs: usize = arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let epochs: usize = arg_value("--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
     let ds = bench_dataset("wikipedia", scale, 42);
     println!("Decoder-head ablation on wikipedia analog ({epochs} epochs)");
     println!("{:>12} {:>12} {:>12}", "head", "TGAT", "GraphMixer");

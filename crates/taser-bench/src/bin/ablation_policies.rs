@@ -15,7 +15,9 @@ use taser_sample::SamplePolicy;
 
 fn main() {
     let scale = scale_arg();
-    let epochs: usize = arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let epochs: usize = arg_value("--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
     let ds = bench_dataset("wikipedia", scale, 42);
     println!("Static-policy ablation, TGAT on wikipedia analog ({epochs} epochs)");
     let policies = [
@@ -38,7 +40,10 @@ fn main() {
     };
     let mut trainer = Trainer::new(cfg, &ds);
     let report = trainer.fit(&ds);
-    println!("  TASER (adaptive)                     MRR {:.4}", report.test_mrr);
+    println!(
+        "  TASER (adaptive)                     MRR {:.4}",
+        report.test_mrr
+    );
     println!("\nPaper shape: the inverse-timespan heuristic does not beat uniform (TGAT's");
     println!("own finding, cited in §I); the learned adaptive sampler subsumes both.");
 }

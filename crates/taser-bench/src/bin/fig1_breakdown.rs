@@ -23,7 +23,10 @@ fn main() {
     for name in &datasets {
         let ds = bench_dataset(name, scale, 42);
         println!("\n=== {name} ({} events) ===", ds.num_events());
-        println!("  {:>10} {:>10} {:>10} {:>8}", "#neigh", "Prep(s)", "Prop(s)", "Prep%");
+        println!(
+            "  {:>10} {:>10} {:>10} {:>8}",
+            "#neigh", "Prep(s)", "Prop(s)", "Prep%"
+        );
         for &n in &neighbor_counts {
             let mut cfg = accuracy_config(Backbone::Tgat, Variant::Baseline, 1, 42);
             cfg.n_neighbors = n;

@@ -48,12 +48,16 @@ fn main() {
 
             let mut tgl = TglFinder::new(ds.num_nodes);
             let t1 = Instant::now();
-            let l0 = tgl.sample(&csr, &roots, m, SamplePolicy::Uniform, 1).unwrap();
+            let l0 = tgl
+                .sample(&csr, &roots, m, SamplePolicy::Uniform, 1)
+                .unwrap();
             // the fan-out targets are not chronological; TGL would reject
             // them — the paper notes exactly this restriction, so its level-1
             // pass reuses a fresh chronological pointer sweep over the roots.
             tgl.reset();
-            let _ = tgl.sample(&csr, &roots, m, SamplePolicy::Uniform, 2).unwrap();
+            let _ = tgl
+                .sample(&csr, &roots, m, SamplePolicy::Uniform, 2)
+                .unwrap();
             let tgl_t = t1.elapsed();
             let _ = l0;
 

@@ -2,8 +2,8 @@
 //! cache across training epochs, at 10% / 20% / 30% capacity.
 //!
 //! The access traces come from real adaptive training (mini-batch selection
-//! + adaptive neighbor sampling), so the access pattern drifts exactly as in
-//! the paper; the oracle is computed per epoch from the recorded trace.
+//! and adaptive neighbor sampling), so the access pattern drifts exactly as
+//! in the paper; the oracle is computed per epoch from the recorded trace.
 //!
 //! ```text
 //! cargo run --release -p taser-bench --bin fig3b_cache \
@@ -16,8 +16,9 @@ use taser_core::trainer::{Backbone, Trainer, Variant};
 
 fn main() {
     let scale = scale_arg();
-    let epochs: usize =
-        arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let epochs: usize = arg_value("--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
     let dataset = arg_value("--dataset").unwrap_or_else(|| "wikipedia".into());
     let ds = bench_dataset(&dataset, scale, 42);
     let num_edges = ds.num_events();
@@ -32,10 +33,15 @@ fn main() {
     let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
     for ratio in [0.1, 0.2, 0.3] {
         let mut cfg = accuracy_config(Backbone::GraphMixer, Variant::Taser, epochs, 42);
-        cfg.cache = CachePolicy::Dynamic { ratio, epsilon: 0.7 };
+        cfg.cache = CachePolicy::Dynamic {
+            ratio,
+            epsilon: 0.7,
+        };
         cfg.eval_events = Some(1);
         let mut t = Trainer::new(cfg, &ds);
-        t.edge_store_mut().expect("edge features").record_trace(true);
+        t.edge_store_mut()
+            .expect("edge features")
+            .record_trace(true);
         let mut points = Vec::new();
         for e in 0..epochs {
             let rep = t.train_epoch(&ds, e);
@@ -45,16 +51,16 @@ fn main() {
         }
         series.push(points);
     }
-    for e in 0..epochs {
+    for (e, ((s0, s1), s2)) in series[0].iter().zip(&series[1]).zip(&series[2]).enumerate() {
         println!(
             "  {:>5}        | {:>8.1}% {:>8.1}% | {:>8.1}% {:>8.1}% | {:>8.1}% {:>8.1}%",
             e,
-            series[0][e].0 * 100.0,
-            series[0][e].1 * 100.0,
-            series[1][e].0 * 100.0,
-            series[1][e].1 * 100.0,
-            series[2][e].0 * 100.0,
-            series[2][e].1 * 100.0,
+            s0.0 * 100.0,
+            s0.1 * 100.0,
+            s1.0 * 100.0,
+            s1.1 * 100.0,
+            s2.0 * 100.0,
+            s2.1 * 100.0,
         );
     }
     println!("\nPaper shape: after the first epoch the dynamic cache tracks the oracle");

@@ -12,7 +12,9 @@ use taser_core::trainer::{Backbone, Trainer, Variant};
 fn main() {
     let quick = arg_flag("--quick");
     let scale = scale_arg();
-    let epochs: usize = arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let epochs: usize = arg_value("--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
     let backbone = match arg_value("--backbone").as_deref() {
         Some("tgat") => Backbone::Tgat,
         _ => Backbone::GraphMixer,
@@ -51,5 +53,7 @@ fn main() {
         println!();
     }
     println!("\nPaper shape: MRR grows down the diagonal — larger candidate scopes m let the");
-    println!("adaptive sampler find more informative neighbors, and larger n helps when m is large.");
+    println!(
+        "adaptive sampler find more informative neighbors, and larger n helps when m is large."
+    );
 }

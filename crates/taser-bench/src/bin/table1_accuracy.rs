@@ -8,7 +8,9 @@
 //!
 //! `--quick` runs one dataset, one backbone, fewer epochs.
 
-use taser_bench::{accuracy_config, arg_flag, arg_value, bench_dataset, dataset_names, epochs_arg, scale_arg};
+use taser_bench::{
+    accuracy_config, arg_flag, arg_value, bench_dataset, dataset_names, epochs_arg, scale_arg,
+};
 use taser_core::trainer::{Backbone, Trainer, Variant};
 
 fn main() {

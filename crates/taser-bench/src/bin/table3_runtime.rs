@@ -34,7 +34,12 @@ fn main() {
     let datasets: Vec<String> = match arg_value("--datasets") {
         Some(s) => s.split(',').map(|x| x.trim().to_string()).collect(),
         None if quick => vec!["wikipedia".into()],
-        None => vec!["wikipedia".into(), "reddit".into(), "movielens".into(), "gdelt".into()],
+        None => vec![
+            "wikipedia".into(),
+            "reddit".into(),
+            "movielens".into(),
+            "gdelt".into(),
+        ],
     };
     let backbones: Vec<Backbone> = match arg_value("--backbone").as_deref() {
         Some("tgat") => vec![Backbone::Tgat],
@@ -46,9 +51,30 @@ fn main() {
     let ladder: &[(&str, FinderKind, CachePolicy)] = &[
         ("Baseline", FinderKind::Origin, CachePolicy::None),
         ("+GPU NF", FinderKind::Gpu, CachePolicy::None),
-        ("+10% Cache", FinderKind::Gpu, CachePolicy::Dynamic { ratio: 0.1, epsilon: 0.7 }),
-        ("+20% Cache", FinderKind::Gpu, CachePolicy::Dynamic { ratio: 0.2, epsilon: 0.7 }),
-        ("+30% Cache", FinderKind::Gpu, CachePolicy::Dynamic { ratio: 0.3, epsilon: 0.7 }),
+        (
+            "+10% Cache",
+            FinderKind::Gpu,
+            CachePolicy::Dynamic {
+                ratio: 0.1,
+                epsilon: 0.7,
+            },
+        ),
+        (
+            "+20% Cache",
+            FinderKind::Gpu,
+            CachePolicy::Dynamic {
+                ratio: 0.2,
+                epsilon: 0.7,
+            },
+        ),
+        (
+            "+30% Cache",
+            FinderKind::Gpu,
+            CachePolicy::Dynamic {
+                ratio: 0.3,
+                epsilon: 0.7,
+            },
+        ),
     ];
 
     println!("Table III — per-epoch runtime breakdown, full TASER pipeline (scale {scale})");

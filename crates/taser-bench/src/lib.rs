@@ -27,7 +27,9 @@ pub const DEFAULT_EPOCHS: usize = 4;
 /// Parses `--key value` style arguments; returns the value for `key`.
 pub fn arg_value(key: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// True when `--flag` is present.
@@ -37,12 +39,16 @@ pub fn arg_flag(flag: &str) -> bool {
 
 /// `--scale` override or the default.
 pub fn scale_arg() -> f64 {
-    arg_value("--scale").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_SCALE)
+    arg_value("--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
 }
 
 /// `--epochs` override or the default.
 pub fn epochs_arg() -> usize {
-    arg_value("--epochs").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_EPOCHS)
+    arg_value("--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_EPOCHS)
 }
 
 /// The five paper datasets as scaled synthetic analogs. Feature dimensions

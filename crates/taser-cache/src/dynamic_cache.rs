@@ -206,7 +206,12 @@ impl DynamicCache {
                 *f = (*f as f64 * self.decay) as u64;
             }
         }
-        EpochCacheReport { hit_rate, accesses, overlap, replaced }
+        EpochCacheReport {
+            hit_rate,
+            accesses,
+            overlap,
+            replaced,
+        }
     }
 }
 
@@ -381,7 +386,10 @@ mod tests {
         };
         let fine = run(1);
         let coarse = run(64);
-        assert!(fine > 0.9, "fine-grained cache should cover hot set: {fine}");
+        assert!(
+            fine > 0.9,
+            "fine-grained cache should cover hot set: {fine}"
+        );
         assert!(
             fine > coarse + 0.2,
             "paper's >20% drop not reproduced: fine {fine} vs coarse {coarse}"

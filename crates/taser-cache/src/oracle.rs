@@ -27,7 +27,10 @@ pub fn oracle_hit_rate(accesses: &[u32], num_items: usize, capacity: usize) -> f
 
 /// Epoch-by-epoch oracle hit rates for a sequence of traces.
 pub fn oracle_hit_rates(traces: &[Vec<u32>], num_items: usize, capacity: usize) -> Vec<f64> {
-    traces.iter().map(|t| oracle_hit_rate(t, num_items, capacity)).collect()
+    traces
+        .iter()
+        .map(|t| oracle_hit_rate(t, num_items, capacity))
+        .collect()
 }
 
 #[cfg(test)]

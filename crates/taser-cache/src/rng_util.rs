@@ -16,6 +16,9 @@ mod tests {
         let a = super::mix(1);
         let b = super::mix(2);
         assert_ne!(a, b);
-        assert!((a ^ b).count_ones() > 8, "adjacent inputs should differ widely");
+        assert!(
+            (a ^ b).count_ones() > 8,
+            "adjacent inputs should differ widely"
+        );
     }
 }

@@ -143,7 +143,9 @@ impl FeatureStore {
                 }
             }
         }
-        self.modeled_epoch_time += self.transfer.modeled_time(stats.hit_bytes, stats.miss_bytes);
+        self.modeled_epoch_time += self
+            .transfer
+            .modeled_time(stats.hit_bytes, stats.miss_bytes);
         (self.feats.gather(ids), stats)
     }
 
@@ -155,8 +157,7 @@ impl FeatureStore {
         let report = self.cache.as_mut().map(|c| {
             let r = c.end_epoch();
             if r.replaced {
-                let bytes =
-                    (c.capacity() * self.feats.dim() * std::mem::size_of::<f32>()) as u64;
+                let bytes = (c.capacity() * self.feats.dim() * std::mem::size_of::<f32>()) as u64;
                 t += self.transfer.refill_time(bytes);
             }
             r
@@ -187,7 +188,10 @@ mod tests {
     fn dynamic_policy_caches_hot_rows() {
         let mut s = FeatureStore::new(
             feats(100, 4),
-            CachePolicy::Dynamic { ratio: 0.1, epsilon: 0.7 },
+            CachePolicy::Dynamic {
+                ratio: 0.1,
+                epsilon: 0.7,
+            },
             2,
         );
         // epoch 1: hammer rows 0..10
@@ -235,9 +239,19 @@ mod tests {
     fn cached_gather_is_bitwise_identical() {
         let f = feats(50, 3);
         let mut a = FeatureStore::new(f.clone(), CachePolicy::None, 1);
-        let mut b =
-            FeatureStore::new(f, CachePolicy::Dynamic { ratio: 0.2, epsilon: 0.7 }, 1);
+        let mut b = FeatureStore::new(
+            f,
+            CachePolicy::Dynamic {
+                ratio: 0.2,
+                epsilon: 0.7,
+            },
+            1,
+        );
         let ids = vec![4u32, 9, 4, 31];
-        assert_eq!(a.gather(&ids).0, b.gather(&ids).0, "cache must not change data");
+        assert_eq!(
+            a.gather(&ids).0,
+            b.gather(&ids).0,
+            "cache must not change data"
+        );
     }
 }

@@ -21,7 +21,11 @@ pub struct TransferModel {
 impl Default for TransferModel {
     fn default() -> Self {
         // RTX 6000 Ada-class VRAM vs PCIe 4.0 x16 effective zero-copy rate.
-        TransferModel { vram_gbps: 960.0, pcie_gbps: 22.0, per_batch_us: 10.0 }
+        TransferModel {
+            vram_gbps: 960.0,
+            pcie_gbps: 22.0,
+            per_batch_us: 10.0,
+        }
     }
 }
 

@@ -37,7 +37,10 @@ pub enum CoTrainStrategy {
 
 impl Default for CoTrainStrategy {
     fn default() -> Self {
-        CoTrainStrategy::ClosedForm { alpha: 2.0, beta: 1.0 }
+        CoTrainStrategy::ClosedForm {
+            alpha: 2.0,
+            beta: 1.0,
+        }
     }
 }
 
@@ -50,7 +53,14 @@ const COEFF_CLAMP: f32 = 10.0;
 /// Returns zeros when no gradient reached the aggregator (e.g. inference).
 pub fn coefficients(g: &Graph, fb: &Feedback, strategy: CoTrainStrategy) -> Vec<f32> {
     match fb {
-        Feedback::Tgat { scores, attn, v, attn_out, heads, n } => {
+        Feedback::Tgat {
+            scores,
+            attn,
+            v,
+            attn_out,
+            heads,
+            n,
+        } => {
             let h = *heads;
             let n = *n;
             let r = g.data(*attn_out).rows();
@@ -69,11 +79,10 @@ pub fn coefficients(g: &Graph, fb: &Feedback, strategy: CoTrainStrategy) -> Vec<
                     for i in 0..r {
                         for hi in 0..h {
                             let blk = i * h + hi; // [R*h, 1, n] block
-                            // λ = E_q[e^a], stabilized by the row max; the
-                            // shared shift is absorbed into the scale.
+                                                  // λ = E_q[e^a], stabilized by the row max; the
+                                                  // shared shift is absorbed into the scale.
                             let row = &scores_d[blk * n..(blk + 1) * n];
-                            let maxv =
-                                row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+                            let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
                             let mut lambda = 0.0f32;
                             let mut valid = 0usize;
                             for &sc in row {
@@ -96,10 +105,8 @@ pub fn coefficients(g: &Graph, fb: &Feedback, strategy: CoTrainStrategy) -> Vec<
                                 }
                                 let a_hat = attn_d[blk * n + j];
                                 let vj = &v_d[(blk * n + j) * dh..(blk * n + j + 1) * dh];
-                                let vg: f32 =
-                                    vj.iter().zip(gh.iter()).map(|(a, b)| a * b).sum();
-                                coeffs[i * n + j] +=
-                                    a_hat * (vg + root_term) / (lambda * alpha);
+                                let vg: f32 = vj.iter().zip(gh.iter()).map(|(a, b)| a * b).sum();
+                                coeffs[i * n + j] += a_hat * (vg + root_term) / (lambda * alpha);
                             }
                         }
                     }
@@ -141,8 +148,7 @@ pub fn coefficients(g: &Graph, fb: &Feedback, strategy: CoTrainStrategy) -> Vec<
                         let gi = &gp.data()[i * d..(i + 1) * d];
                         for j in 0..n {
                             let row = &mixed_d[(i * n + j) * d..(i * n + j + 1) * d];
-                            let dot: f32 =
-                                row.iter().zip(gi.iter()).map(|(a, b)| a * b).sum();
+                            let dot: f32 = row.iter().zip(gi.iter()).map(|(a, b)| a * b).sum();
                             coeffs[i * n + j] = dot / (n as f32 * alpha.max(1e-6));
                         }
                     }
@@ -234,8 +240,14 @@ mod tests {
 
     #[test]
     fn alpha_scales_closed_form() {
-        let a1 = tgat_run(CoTrainStrategy::ClosedForm { alpha: 1.0, beta: 1.0 });
-        let a2 = tgat_run(CoTrainStrategy::ClosedForm { alpha: 2.0, beta: 1.0 });
+        let a1 = tgat_run(CoTrainStrategy::ClosedForm {
+            alpha: 1.0,
+            beta: 1.0,
+        });
+        let a2 = tgat_run(CoTrainStrategy::ClosedForm {
+            alpha: 2.0,
+            beta: 1.0,
+        });
         // doubling α halves the coefficients (up to the clamp)
         for (x, y) in a1.iter().zip(a2.iter()) {
             if x.abs() < COEFF_CLAMP * 0.99 {

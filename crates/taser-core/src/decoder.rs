@@ -42,7 +42,12 @@ impl DecoderHead {
 
     /// All heads, for the ablation bench.
     pub fn all() -> [DecoderHead; 4] {
-        [DecoderHead::Linear, DecoderHead::Gat, DecoderHead::GatV2, DecoderHead::Trans]
+        [
+            DecoderHead::Linear,
+            DecoderHead::Gat,
+            DecoderHead::GatV2,
+            DecoderHead::Trans,
+        ]
     }
 }
 
@@ -103,16 +108,54 @@ impl NeighborDecoder {
                 w: Linear::new(store, &format!("{name}.lin"), cfg.enc_dim, 1, seed ^ 0x32),
             },
             DecoderHead::Gat => HeadParams::Gat {
-                proj: Linear::new(store, &format!("{name}.gproj"), cfg.enc_dim, cfg.head_dim, seed ^ 0x33),
-                att: Linear::with_bias(store, &format!("{name}.gatt"), 2 * cfg.head_dim, 1, false, seed ^ 0x34),
+                proj: Linear::new(
+                    store,
+                    &format!("{name}.gproj"),
+                    cfg.enc_dim,
+                    cfg.head_dim,
+                    seed ^ 0x33,
+                ),
+                att: Linear::with_bias(
+                    store,
+                    &format!("{name}.gatt"),
+                    2 * cfg.head_dim,
+                    1,
+                    false,
+                    seed ^ 0x34,
+                ),
             },
             DecoderHead::GatV2 => HeadParams::GatV2 {
-                proj: Linear::new(store, &format!("{name}.g2proj"), 2 * cfg.enc_dim, cfg.head_dim, seed ^ 0x35),
-                att: Linear::with_bias(store, &format!("{name}.g2att"), cfg.head_dim, 1, false, seed ^ 0x36),
+                proj: Linear::new(
+                    store,
+                    &format!("{name}.g2proj"),
+                    2 * cfg.enc_dim,
+                    cfg.head_dim,
+                    seed ^ 0x35,
+                ),
+                att: Linear::with_bias(
+                    store,
+                    &format!("{name}.g2att"),
+                    cfg.head_dim,
+                    1,
+                    false,
+                    seed ^ 0x36,
+                ),
             },
             DecoderHead::Trans => HeadParams::Trans {
-                wq: Linear::new(store, &format!("{name}.tq"), cfg.enc_dim, cfg.head_dim, seed ^ 0x37),
-                wk: Linear::new(store, &format!("{name}.tk"), cfg.enc_dim, cfg.head_dim, seed ^ 0x38),
+                wq: Linear::new(
+                    store,
+                    &format!("{name}.tq"),
+                    cfg.enc_dim,
+                    cfg.head_dim,
+                    seed ^ 0x37,
+                ),
+                wk: Linear::new(
+                    store,
+                    &format!("{name}.tk"),
+                    cfg.enc_dim,
+                    cfg.head_dim,
+                    seed ^ 0x38,
+                ),
             },
         };
         NeighborDecoder { mixer, head, cfg }
@@ -203,7 +246,12 @@ mod tests {
 
     fn run_head(head: DecoderHead) -> (Graph, DecodedPolicy, ParamStore) {
         let mut store = ParamStore::new();
-        let cfg = DecoderConfig { enc_dim: 12, m: 4, head_dim: 8, head };
+        let cfg = DecoderConfig {
+            enc_dim: 12,
+            m: 4,
+            head_dim: 8,
+            head,
+        };
         let dec = NeighborDecoder::new(&mut store, "dec", cfg, 3);
         let mut g = Graph::new();
         let z = g.leaf(init::uniform(&[3 * 4, 12], -1.0, 1.0, 1));
@@ -222,10 +270,18 @@ mod tests {
             assert_eq!(q.shape(), &[3, 4], "{}", head.name());
             for i in 0..3 {
                 let row: f32 = (0..4).map(|j| q.at2(i, j)).sum();
-                assert!((row - 1.0).abs() < 1e-5, "{} row {i} sums to {row}", head.name());
+                assert!(
+                    (row - 1.0).abs() < 1e-5,
+                    "{} row {i} sums to {row}",
+                    head.name()
+                );
             }
             // masked slot carries ~zero probability
-            assert!(q.at2(1, 3) < 1e-6, "{} leaked mass to masked slot", head.name());
+            assert!(
+                q.at2(1, 3) < 1e-6,
+                "{} leaked mass to masked slot",
+                head.name()
+            );
         }
     }
 
@@ -246,19 +302,28 @@ mod tests {
     fn gradients_flow_through_every_head() {
         for head in DecoderHead::all() {
             let mut store = ParamStore::new();
-            let cfg = DecoderConfig { enc_dim: 12, m: 4, head_dim: 8, head };
+            let cfg = DecoderConfig {
+                enc_dim: 12,
+                m: 4,
+                head_dim: 8,
+                head,
+            };
             let dec = NeighborDecoder::new(&mut store, "dec", cfg, 3);
             let mut g = Graph::new();
             let z = g.leaf(init::uniform(&[8, 12], -1.0, 1.0, 1));
             let zr = g.leaf(init::uniform(&[2, 12], -1.0, 1.0, 2));
-            let out = dec.forward(&mut g, &store, z, zr, &vec![true; 8]);
+            let out = dec.forward(&mut g, &store, z, zr, &[true; 8]);
             // REINFORCE-style objective: weighted sum of log q
             let w = g.leaf(init::uniform(&[2, 4], -1.0, 1.0, 5));
             let prod = g.mul(out.log_q, w);
             let loss = g.sum_all(prod);
             g.backward(loss);
             g.flush_grads(&mut store);
-            assert!(store.grad_norm_total() > 0.0, "{} got no gradient", head.name());
+            assert!(
+                store.grad_norm_total() > 0.0,
+                "{} got no gradient",
+                head.name()
+            );
         }
     }
 
@@ -267,11 +332,19 @@ mod tests {
         // train the linear head so that q concentrates on slot 0
         use taser_tensor::AdamConfig;
         let mut store = ParamStore::new();
-        let cfg = DecoderConfig { enc_dim: 6, m: 3, head_dim: 4, head: DecoderHead::Linear };
+        let cfg = DecoderConfig {
+            enc_dim: 6,
+            m: 3,
+            head_dim: 4,
+            head: DecoderHead::Linear,
+        };
         let dec = NeighborDecoder::new(&mut store, "dec", cfg, 7);
         let zdata = init::uniform(&[3, 6], -1.0, 1.0, 11); // one root, 3 candidates
         let zrdata = init::uniform(&[1, 6], -1.0, 1.0, 12);
-        let adam = AdamConfig { lr: 0.02, ..AdamConfig::default() };
+        let adam = AdamConfig {
+            lr: 0.02,
+            ..AdamConfig::default()
+        };
         let mut final_q0 = 0.0;
         for _ in 0..200 {
             let mut g = Graph::new();
@@ -287,6 +360,9 @@ mod tests {
             g.flush_grads(&mut store);
             store.adam_step(adam);
         }
-        assert!(final_q0 > 0.9, "policy failed to concentrate: q0 = {final_q0}");
+        assert!(
+            final_q0 > 0.9,
+            "policy failed to concentrate: q0 = {final_q0}"
+        );
     }
 }

@@ -42,7 +42,14 @@ pub struct EncoderConfig {
 impl EncoderConfig {
     /// The paper's balanced configuration: all blocks share `dim`.
     pub fn balanced(dim: usize, m: usize, node_in: usize, edge_in: usize) -> Self {
-        EncoderConfig { feat_dim: dim, time_dim: dim, freq_dim: dim, m, node_in, edge_in }
+        EncoderConfig {
+            feat_dim: dim,
+            time_dim: dim,
+            freq_dim: dim,
+            m,
+            node_in,
+            edge_in,
+        }
     }
 
     /// Total neighbor embedding dimension `d_enc`.
@@ -97,12 +104,29 @@ impl NeighborEncoder {
     /// the dataset actually has.
     pub fn new(store: &mut ParamStore, name: &str, cfg: EncoderConfig, seed: u64) -> Self {
         let node_proj = (cfg.node_in > 0).then(|| {
-            Linear::new(store, &format!("{name}.wn"), cfg.node_in, cfg.feat_dim, seed ^ 0xA)
+            Linear::new(
+                store,
+                &format!("{name}.wn"),
+                cfg.node_in,
+                cfg.feat_dim,
+                seed ^ 0xA,
+            )
         });
         let edge_proj = (cfg.edge_in > 0).then(|| {
-            Linear::new(store, &format!("{name}.we"), cfg.edge_in, cfg.feat_dim, seed ^ 0xB)
+            Linear::new(
+                store,
+                &format!("{name}.we"),
+                cfg.edge_in,
+                cfg.feat_dim,
+                seed ^ 0xB,
+            )
         });
-        NeighborEncoder { time_enc: FixedTimeEncoding::new(cfg.time_dim), node_proj, edge_proj, cfg }
+        NeighborEncoder {
+            time_enc: FixedTimeEncoding::new(cfg.time_dim),
+            node_proj,
+            edge_proj,
+            cfg,
+        }
     }
 
     /// The encoder configuration.
@@ -136,8 +160,7 @@ impl NeighborEncoder {
         let mut freqs = vec![0usize; r * m];
         let mut identity = vec![0.0f32; r * m * m];
         let mut mask = vec![false; r * m];
-        for i in 0..r {
-            let t0 = roots[i].1;
+        for (i, &(_, t0)) in roots.iter().enumerate() {
             let count = candidates.counts[i];
             let base = i * m;
             // frequency of each node within this neighborhood
@@ -216,7 +239,9 @@ impl NeighborEncoder {
             root_parts.push(g.leaf(Tensor::zeros(&[r, self.cfg.feat_dim])));
         }
         root_parts.push(self.time_enc.encode_leaf(g, &vec![0.0; r]));
-        let fe1: Vec<f32> = (0..r).flat_map(|_| frequency_encoding(1, self.cfg.freq_dim)).collect();
+        let fe1: Vec<f32> = (0..r)
+            .flat_map(|_| frequency_encoding(1, self.cfg.freq_dim))
+            .collect();
         root_parts.push(g.leaf(Tensor::from_vec(fe1, &[r, self.cfg.freq_dim])));
         root_parts.push(g.leaf(Tensor::zeros(&[r, m])));
         let z_root = g.concat_cols(&root_parts);
@@ -233,8 +258,8 @@ mod tests {
 
     fn fake_candidates(r: usize, m: usize, counts: &[usize]) -> SampledNeighbors {
         let mut c = SampledNeighbors::empty(r, m);
-        for i in 0..r {
-            for j in 0..counts[i] {
+        for (i, &cnt) in counts.iter().enumerate().take(r) {
+            for j in 0..cnt {
                 let s = i * m + j;
                 c.nodes[s] = (j % 3) as u32; // repeats: nodes 0,1,2,0,1,...
                 c.times[s] = 10.0 - j as f64;
@@ -275,10 +300,20 @@ mod tests {
         let cands = fake_candidates(2, 5, &[5, 2]);
         let edge_buf = vec![0.1f32; 2 * 5 * 4];
         let mut g = Graph::new();
-        let out = enc.encode(&mut g, &store, &[(9, 20.0), (8, 15.0)], &cands, None, Some(&edge_buf));
+        let out = enc.encode(
+            &mut g,
+            &store,
+            &[(9, 20.0), (8, 15.0)],
+            &cands,
+            None,
+            Some(&edge_buf),
+        );
         assert_eq!(g.shape(out.z), &[10, cfg.enc_dim()]);
         assert_eq!(g.shape(out.z_root), &[2, cfg.enc_dim()]);
-        assert_eq!(out.mask, vec![true, true, true, true, true, true, true, false, false, false]);
+        assert_eq!(
+            out.mask,
+            vec![true, true, true, true, true, true, true, false, false, false]
+        );
     }
 
     #[test]
@@ -293,7 +328,7 @@ mod tests {
         let z = g.data(out.z);
         let d = cfg.enc_dim();
         let ie_off = d - 4; // identity block is last
-        // slot 0 (node 0): identity pattern 1,0,0,1
+                            // slot 0 (node 0): identity pattern 1,0,0,1
         assert_eq!(z.data()[ie_off], 1.0);
         assert_eq!(z.data()[ie_off + 1], 0.0);
         assert_eq!(z.data()[ie_off + 3], 1.0);
@@ -311,13 +346,22 @@ mod tests {
         let nf = FeatureMatrix::from_vec(vec![0.3; 12 * 6], 6);
         let edge_buf = vec![0.2f32; 2 * 3 * 4];
         let mut g = Graph::new();
-        let out =
-            enc.encode(&mut g, &store, &[(9, 20.0), (8, 15.0)], &cands, Some(&nf), Some(&edge_buf));
+        let out = enc.encode(
+            &mut g,
+            &store,
+            &[(9, 20.0), (8, 15.0)],
+            &cands,
+            Some(&nf),
+            Some(&edge_buf),
+        );
         let sq = g.square(out.z);
         let loss = g.sum_all(sq);
         g.backward(loss);
         g.flush_grads(&mut store);
-        assert!(store.grad_norm_total() > 0.0, "encoder projections got no gradient");
+        assert!(
+            store.grad_norm_total() > 0.0,
+            "encoder projections got no gradient"
+        );
     }
 
     #[test]
@@ -339,7 +383,11 @@ mod tests {
             None,
         );
         assert!(g.data(out.z_root).all_finite());
-        assert_eq!(out.mask[3..6], [false, false, false], "PAD root has no candidates");
+        assert_eq!(
+            out.mask[3..6],
+            [false, false, false],
+            "PAD root has no candidates"
+        );
     }
 
     #[test]
@@ -357,8 +405,8 @@ mod tests {
         }
         // FE(1) block next
         let fe1 = frequency_encoding(1, 6);
-        for k in 0..6 {
-            assert!((zr.data()[6 + k] - fe1[k]).abs() < 1e-6, "FE(1)[{k}]");
+        for (k, &f) in fe1.iter().enumerate().take(6) {
+            assert!((zr.data()[6 + k] - f).abs() < 1e-6, "FE(1)[{k}]");
         }
         // identity block is zero
         for k in 0..3 {

@@ -13,7 +13,10 @@ pub struct Fenwick {
 impl Fenwick {
     /// A tree of `n` zero weights.
     pub fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0.0; n + 1], weights: vec![0.0; n] }
+        Fenwick {
+            tree: vec![0.0; n + 1],
+            weights: vec![0.0; n],
+        }
     }
 
     /// Builds from initial weights in O(n).
@@ -29,7 +32,10 @@ impl Fenwick {
                 tree[parent] += v;
             }
         }
-        Fenwick { tree, weights: weights.to_vec() }
+        Fenwick {
+            tree,
+            weights: weights.to_vec(),
+        }
     }
 
     /// Number of items.

@@ -27,4 +27,6 @@ pub use encoder::{EncoderConfig, NeighborEncoder};
 pub use fenwick::Fenwick;
 pub use minibatch::MiniBatchSelector;
 pub use sampler::AdaptiveNeighborSampler;
-pub use trainer::{Backbone, EpochReport, PhaseTimings, TrainReport, Trainer, TrainerConfig, Variant};
+pub use trainer::{
+    Backbone, EpochReport, PhaseTimings, TrainReport, Trainer, TrainerConfig, Variant,
+};

@@ -22,7 +22,10 @@ impl MiniBatchSelector {
     /// initializes `P` uniformly).
     pub fn new(n: usize, gamma: f64) -> Self {
         assert!(n > 0, "empty training set");
-        MiniBatchSelector { fenwick: Fenwick::from_weights(&vec![1.0; n]), gamma }
+        MiniBatchSelector {
+            fenwick: Fenwick::from_weights(&vec![1.0; n]),
+            gamma,
+        }
     }
 
     /// Number of training edges tracked.
@@ -48,7 +51,8 @@ impl MiniBatchSelector {
     /// Draws a batch of `b` distinct edge indices `∝ P` (without
     /// replacement).
     pub fn sample_batch(&mut self, b: usize, rng: &mut impl Rng) -> Vec<usize> {
-        self.fenwick.sample_without_replacement(b, || rng.gen::<f64>())
+        self.fenwick
+            .sample_without_replacement(b, || rng.gen::<f64>())
     }
 
     /// Applies Eq. (11): `P(e) = sigmoid(ŷ_e) + γ` for each drawn positive,
@@ -84,7 +88,11 @@ mod tests {
             }
         }
         // 5000 draws over 100 edges -> 50 each
-        assert!(hits.iter().all(|&h| h > 20 && h < 90), "skew: {:?}", hits.iter().max());
+        assert!(
+            hits.iter().all(|&h| h > 20 && h < 90),
+            "skew: {:?}",
+            hits.iter().max()
+        );
     }
 
     #[test]
@@ -116,7 +124,10 @@ mod tests {
             }
         }
         // P(edge 0) = 1.1 / (1.1 + 9*0.1) = 0.55
-        assert!((zero_hits as f64 / 1000.0 - 0.55).abs() < 0.06, "{zero_hits}");
+        assert!(
+            (zero_hits as f64 / 1000.0 - 0.55).abs() < 0.06,
+            "{zero_hits}"
+        );
     }
 
     #[test]
@@ -128,7 +139,10 @@ mod tests {
         for _ in 0..500 {
             seen[s.sample_batch(1, &mut rng)[0]] = true;
         }
-        assert!(seen.iter().all(|&s| s), "γ floor must keep all edges reachable");
+        assert!(
+            seen.iter().all(|&s| s),
+            "γ floor must keep all edges reachable"
+        );
     }
 
     #[test]

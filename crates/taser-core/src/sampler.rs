@@ -45,9 +45,17 @@ impl AdaptiveNeighborSampler {
         n: usize,
         seed: u64,
     ) -> Self {
-        assert_eq!(enc_cfg.enc_dim(), dec_cfg.enc_dim, "encoder/decoder dim mismatch");
+        assert_eq!(
+            enc_cfg.enc_dim(),
+            dec_cfg.enc_dim,
+            "encoder/decoder dim mismatch"
+        );
         assert_eq!(enc_cfg.m, dec_cfg.m, "encoder/decoder m mismatch");
-        assert!(n <= enc_cfg.m, "cannot select n={n} from m={} candidates", enc_cfg.m);
+        assert!(
+            n <= enc_cfg.m,
+            "cannot select n={n} from m={} candidates",
+            enc_cfg.m
+        );
         AdaptiveNeighborSampler {
             encoder: NeighborEncoder::new(store, "sampler.enc", enc_cfg, seed),
             decoder: NeighborDecoder::new(store, "sampler.dec", dec_cfg, seed ^ 0x77),
@@ -86,7 +94,9 @@ impl AdaptiveNeighborSampler {
         let m = self.m();
         let n = self.n;
 
-        let enc = self.encoder.encode(g, store, roots, candidates, node_feats, edge_buf);
+        let enc = self
+            .encoder
+            .encode(g, store, roots, candidates, node_feats, edge_buf);
         let policy = self.decoder.forward(g, store, enc.z, enc.z_root, &enc.mask);
         let q_host = g.data(policy.q).data().to_vec();
         let log_q = g.data(policy.log_q).data();
@@ -117,7 +127,12 @@ impl AdaptiveNeighborSampler {
             selected.counts[i] = k;
         }
 
-        Selection { selected, slots, policy, q_host }
+        Selection {
+            selected,
+            slots,
+            policy,
+            q_host,
+        }
     }
 }
 
@@ -209,7 +224,15 @@ mod tests {
         let cands = candidates(2, 8, 8);
         let buf = vec![0.1f32; 2 * 8 * 4];
         let mut g = Graph::new();
-        let sel = s.select(&mut g, &store, &[(0, 200.0), (1, 150.0)], &cands, None, Some(&buf), 3);
+        let sel = s.select(
+            &mut g,
+            &store,
+            &[(0, 200.0), (1, 150.0)],
+            &cands,
+            None,
+            Some(&buf),
+            3,
+        );
         assert_eq!(sel.selected.counts, vec![3, 3]);
         for i in 0..2 {
             let mut sl: Vec<usize> = (0..3).map(|j| sel.slots[i * 3 + j]).collect();
@@ -279,8 +302,15 @@ mod tests {
         let cands = candidates(2, 6, 6);
         let buf = vec![0.1f32; 2 * 6 * 4];
         let mut g = Graph::new();
-        let sel =
-            s.select(&mut g, &store, &[(0, 99.0), (1, 88.0)], &cands, None, Some(&buf), 11);
+        let sel = s.select(
+            &mut g,
+            &store,
+            &[(0, 99.0), (1, 88.0)],
+            &cands,
+            None,
+            Some(&buf),
+            11,
+        );
         let coeffs = vec![0.5f32, -0.25, 1.0, 0.0];
         let loss = sample_loss(
             &mut g,
@@ -320,7 +350,13 @@ mod tests {
         let coeffs = vec![1.0f32; 2];
         assert!(sample_loss(
             &mut g,
-            &[SampleLossTerm { log_q: lq, slots: &slots, coeffs: &coeffs, m: 4, n: 2 }]
+            &[SampleLossTerm {
+                log_q: lq,
+                slots: &slots,
+                coeffs: &coeffs,
+                m: 4,
+                n: 2
+            }]
         )
         .is_none());
     }

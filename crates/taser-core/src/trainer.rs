@@ -103,7 +103,12 @@ impl Variant {
 
     /// All four variants in Table I order.
     pub fn all() -> [Variant; 4] {
-        [Variant::Baseline, Variant::AdaMiniBatch, Variant::AdaNeighbor, Variant::Taser]
+        [
+            Variant::Baseline,
+            Variant::AdaMiniBatch,
+            Variant::AdaNeighbor,
+            Variant::Taser,
+        ]
     }
 }
 
@@ -247,8 +252,15 @@ pub struct TrainReport {
 }
 
 enum Model {
-    Tgat { l1: TgatLayer, l2: TgatLayer, predictor: EdgePredictor },
-    Mixer { agg: MixerAggregator, predictor: EdgePredictor },
+    Tgat {
+        l1: TgatLayer,
+        l2: TgatLayer,
+        predictor: EdgePredictor,
+    },
+    Mixer {
+        agg: MixerAggregator,
+        predictor: EdgePredictor,
+    },
 }
 
 /// One sampling hop of the support tree.
@@ -451,7 +463,10 @@ impl Trainer {
 
     fn next_seed(&mut self) -> u64 {
         self.step += 1;
-        self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.step)
+        self.cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.step)
     }
 
     /// Raw input embeddings (`h^(0)`) for a list of nodes; PAD rows zero.
@@ -460,7 +475,8 @@ impl Trainer {
         if let Some(nf) = &self.node_feats {
             for (i, &v) in nodes.iter().enumerate() {
                 if v != PAD {
-                    t.data_mut()[i * self.d0..(i + 1) * self.d0].copy_from_slice(nf.row(v as usize));
+                    t.data_mut()[i * self.d0..(i + 1) * self.d0]
+                        .copy_from_slice(nf.row(v as usize));
                 }
             }
         }
@@ -475,7 +491,10 @@ impl Trainer {
         if de == 0 {
             return buf;
         }
-        let store = self.edge_store.as_mut().expect("edge store present when edge_dim > 0");
+        let store = self
+            .edge_store
+            .as_mut()
+            .expect("edge store present when edge_dim > 0");
         let valid: Vec<u32> = eids.iter().copied().filter(|&e| e != PAD).collect();
         if valid.is_empty() {
             return buf;
@@ -499,11 +518,13 @@ impl Trainer {
         policy: SamplePolicy,
         seed: u64,
     ) -> SampledNeighbors {
-        let valid_idx: Vec<usize> =
-            (0..targets.len()).filter(|&i| targets[i].0 != PAD).collect();
+        let valid_idx: Vec<usize> = (0..targets.len())
+            .filter(|&i| targets[i].0 != PAD)
+            .collect();
         let queries: Vec<(u32, f64)> = valid_idx.iter().map(|&i| targets[i]).collect();
-        let (sub, stats) =
-            self.finder.sample_with_stats(&self.csr, &queries, budget, policy, seed);
+        let (sub, stats) = self
+            .finder
+            .sample_with_stats(&self.csr, &queries, budget, policy, seed);
         if let Some(s) = stats {
             self.epoch_kernel = Some(match self.epoch_kernel {
                 Some(acc) => acc.merge(s),
@@ -534,7 +555,10 @@ impl Trainer {
     ) -> Vec<Hop> {
         let layers = self.cfg.backbone.layers();
         let n = self.cfg.n_neighbors;
-        let policy = self.cfg.policy_override.unwrap_or_else(|| self.cfg.backbone.policy());
+        let policy = self
+            .cfg
+            .policy_override
+            .unwrap_or_else(|| self.cfg.backbone.policy());
         let adaptive = self.sampler.is_some();
         let mut hops = Vec::with_capacity(layers);
         let mut targets = roots;
@@ -565,7 +589,13 @@ impl Trainer {
                     seed ^ 0x5E1,
                 );
                 timings.adaptive_sample += t2.elapsed();
-                (sel.selected, Some(sel.slots), Some(sel.policy.log_q), m, cand_buf)
+                (
+                    sel.selected,
+                    Some(sel.slots),
+                    Some(sel.policy.log_q),
+                    m,
+                    cand_buf,
+                )
             } else {
                 let t0 = Instant::now();
                 let sel = self.find(&targets, n, policy, seed);
@@ -619,7 +649,16 @@ impl Trainer {
                     }
                 })
                 .collect();
-            hops.push(Hop { targets, selected, slots, log_q, m, edge_buf, delta_t, mask });
+            hops.push(Hop {
+                targets,
+                selected,
+                slots,
+                log_q,
+                m,
+                edge_buf,
+                delta_t,
+                mask,
+            });
             targets = next_targets;
         }
         hops
@@ -667,8 +706,7 @@ impl Trainer {
                 let r1 = hop1.targets.len(); // = r0 * n
 
                 // Layer 1 runs on T1 = L0 ++ L1 with neighbors [S0 | S1].
-                let mut t1_nodes: Vec<u32> =
-                    hop0.targets.iter().map(|&(v, _)| v).collect();
+                let mut t1_nodes: Vec<u32> = hop0.targets.iter().map(|&(v, _)| v).collect();
                 t1_nodes.extend(hop1.targets.iter().map(|&(v, _)| v));
                 let root_feat1 = g.leaf(self.h0(&t1_nodes));
                 let mut neigh_nodes = hop0.selected.nodes.clone();
@@ -769,15 +807,22 @@ impl Trainer {
         let h_src = mg.gather_rows(h, &src_idx);
         let h_dst = mg.gather_rows(h, &dst_idx);
         let h_neg = mg.gather_rows(h, &neg_idx);
-        let pos = self.predictor().forward(&mut mg, &self.model_store, h_src, h_dst);
+        let pos = self
+            .predictor()
+            .forward(&mut mg, &self.model_store, h_src, h_dst);
         let h_src2 = mg.gather_rows(h, &src_idx);
-        let neg_logits = self.predictor().forward(&mut mg, &self.model_store, h_src2, h_neg);
+        let neg_logits = self
+            .predictor()
+            .forward(&mut mg, &self.model_store, h_src2, h_neg);
         let (loss, probs) = link_prediction_loss(&mut mg, pos, neg_logits);
         let loss_val = mg.data(loss).item();
         mg.backward(loss);
         mg.flush_grads(&mut self.model_store);
         self.model_store.clip_grad_norm(5.0);
-        self.model_store.adam_step(AdamConfig { lr: self.cfg.lr, ..AdamConfig::default() });
+        self.model_store.adam_step(AdamConfig {
+            lr: self.cfg.lr,
+            ..AdamConfig::default()
+        });
         timings.propagate += tp.elapsed();
 
         // REINFORCE update of the sampler (Algorithm 1, lines 12-13).
@@ -824,8 +869,10 @@ impl Trainer {
                 sg.backward(sl);
                 sg.flush_grads(&mut self.sampler_store);
                 self.sampler_store.clip_grad_norm(5.0);
-                self.sampler_store
-                    .adam_step(AdamConfig { lr: self.cfg.lr, ..AdamConfig::default() });
+                self.sampler_store.adam_step(AdamConfig {
+                    lr: self.cfg.lr,
+                    ..AdamConfig::default()
+                });
             }
             timings.adaptive_sample += ta.elapsed();
         }
@@ -848,7 +895,11 @@ impl Trainer {
         }
         let val_mrr = self.evaluate(ds, ds.val_events());
         let test_mrr = self.evaluate(ds, ds.test_events());
-        TrainReport { epochs: reports, val_mrr, test_mrr }
+        TrainReport {
+            epochs: reports,
+            val_mrr,
+            test_mrr,
+        }
     }
 
     /// Runs one training epoch and returns its report.
@@ -903,7 +954,10 @@ impl Trainer {
     ) -> Option<(SampledNeighbors, Vec<f32>)> {
         self.sampler.as_ref()?;
         let m = self.cfg.finder_budget;
-        let policy = self.cfg.policy_override.unwrap_or_else(|| self.cfg.backbone.policy());
+        let policy = self
+            .cfg
+            .policy_override
+            .unwrap_or_else(|| self.cfg.backbone.policy());
         let seed = self.next_seed();
         let cands = self.find(targets, m, policy, seed);
         let cand_buf = (self.edge_dim > 0).then(|| self.slice_edges(&cands.eids));
@@ -946,7 +1000,9 @@ impl Trainer {
         let dst_idx: Vec<usize> = (1..=candidates.len()).collect();
         let h_src = mg.gather_rows(all, &src_rep);
         let h_dst = mg.gather_rows(all, &dst_idx);
-        let logits = self.predictor().forward(&mut mg, &self.model_store, h_src, h_dst);
+        let logits = self
+            .predictor()
+            .forward(&mut mg, &self.model_store, h_src, h_dst);
         mg.data(logits).data().to_vec()
     }
 
@@ -961,7 +1017,9 @@ impl Trainer {
         let picked: Vec<Event> = match self.cfg.eval_events {
             Some(cap) if events.len() > cap => {
                 let stride = events.len() as f64 / cap as f64;
-                (0..cap).map(|i| events[(i as f64 * stride) as usize]).collect()
+                (0..cap)
+                    .map(|i| events[(i as f64 * stride) as usize])
+                    .collect()
             }
             _ => events.to_vec(),
         };
@@ -994,12 +1052,16 @@ impl Trainer {
             let dst_idx: Vec<usize> = (cb..2 * cb).collect();
             let h_src = mg.gather_rows(h, &src_idx);
             let h_dst = mg.gather_rows(h, &dst_idx);
-            let pos = self.predictor().forward(&mut mg, &self.model_store, h_src, h_dst);
-            let src_rep: Vec<usize> = (0..cb).flat_map(|i| std::iter::repeat(i).take(k)).collect();
+            let pos = self
+                .predictor()
+                .forward(&mut mg, &self.model_store, h_src, h_dst);
+            let src_rep: Vec<usize> = (0..cb).flat_map(|i| std::iter::repeat_n(i, k)).collect();
             let neg_rows: Vec<usize> = (0..cb * k).map(|j| 2 * cb + j).collect();
             let h_src_rep = mg.gather_rows(h, &src_rep);
             let h_negs = mg.gather_rows(h, &neg_rows);
-            let negs = self.predictor().forward(&mut mg, &self.model_store, h_src_rep, h_negs);
+            let negs = self
+                .predictor()
+                .forward(&mut mg, &self.model_store, h_src_rep, h_negs);
             let pos_d = mg.data(pos).data();
             let neg_d = mg.data(negs).data();
             for i in 0..cb {
@@ -1103,7 +1165,10 @@ mod tests {
     fn cache_policy_reports_epochs() {
         let ds = tiny_ds();
         let mut cfg = tiny_cfg(Backbone::GraphMixer, Variant::Baseline);
-        cfg.cache = CachePolicy::Dynamic { ratio: 0.2, epsilon: 0.7 };
+        cfg.cache = CachePolicy::Dynamic {
+            ratio: 0.2,
+            epsilon: 0.7,
+        };
         let mut t = Trainer::new(cfg, &ds);
         let rep = t.train_epoch(&ds, 0);
         let cache = rep.cache.expect("cache report");

@@ -156,8 +156,7 @@ mod tests {
 
     #[test]
     fn latest_window_restricts_split() {
-        let ds =
-            TemporalDataset::with_chronological_split("t", log_of(100), 2, 0.6, 0.2, Some(50));
+        let ds = TemporalDataset::with_chronological_split("t", log_of(100), 2, 0.6, 0.2, Some(50));
         assert_eq!(ds.train_range, 50..80);
         assert_eq!(ds.val_range, 80..90);
         assert_eq!(ds.test_range, 90..100);

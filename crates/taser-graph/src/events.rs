@@ -32,7 +32,12 @@ impl EventLog {
         let events = raw
             .into_iter()
             .enumerate()
-            .map(|(i, (src, dst, t))| Event { src, dst, t, eid: i as u32 })
+            .map(|(i, (src, dst, t))| Event {
+                src,
+                dst,
+                t,
+                eid: i as u32,
+            })
             .collect();
         EventLog { events }
     }
@@ -78,7 +83,9 @@ impl EventLog {
     /// edges of large datasets). Edge ids are preserved.
     pub fn tail(&self, n: usize) -> EventLog {
         let start = self.events.len().saturating_sub(n);
-        EventLog { events: self.events[start..].to_vec() }
+        EventLog {
+            events: self.events[start..].to_vec(),
+        }
     }
 
     /// Largest node id mentioned, plus one. Zero for an empty log.

@@ -20,7 +20,10 @@ impl FeatureMatrix {
 
     /// An all-zeros matrix.
     pub fn zeros(rows: usize, dim: usize) -> Self {
-        FeatureMatrix { data: vec![0.0; rows * dim], dim }
+        FeatureMatrix {
+            data: vec![0.0; rows * dim],
+            dim,
+        }
     }
 
     /// Feature dimensionality.

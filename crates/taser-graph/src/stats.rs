@@ -61,7 +61,13 @@ impl DatasetStats {
 
     /// One row formatted like Table II.
     pub fn table_row(&self) -> String {
-        let dim = |d: usize| if d == 0 { "-".to_string() } else { d.to_string() };
+        let dim = |d: usize| {
+            if d == 0 {
+                "-".to_string()
+            } else {
+                d.to_string()
+            }
+        };
         format!(
             "{:<12} {:>9} {:>11} {:>6} {:>6}  {:>8}/{:>7}/{:>7}  repeat={:.2} gini={:.2}",
             self.name,
@@ -90,7 +96,11 @@ pub fn gini(values: &[usize]) -> f64 {
     if sum == 0.0 {
         return 0.0;
     }
-    let weighted: f64 = v.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
     (2.0 * weighted) / (n * sum) - (n + 1.0) / n
 }
 

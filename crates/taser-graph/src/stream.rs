@@ -23,7 +23,12 @@ impl StreamingGraph {
         let events = log.events().to_vec();
         let csr = TCsr::build(&log, num_nodes);
         let indexed = events.len();
-        StreamingGraph { events, csr, indexed, num_nodes }
+        StreamingGraph {
+            events,
+            csr,
+            indexed,
+            num_nodes,
+        }
     }
 
     /// An empty stream over `num_nodes` nodes.
@@ -38,10 +43,19 @@ impl StreamingGraph {
     /// Panics if `t` precedes the last appended timestamp.
     pub fn append(&mut self, src: u32, dst: u32, t: f64) -> Event {
         if let Some(last) = self.events.last() {
-            assert!(t >= last.t, "stream must be chronological: {t} < {}", last.t);
+            assert!(
+                t >= last.t,
+                "stream must be chronological: {t} < {}",
+                last.t
+            );
         }
         self.num_nodes = self.num_nodes.max(src.max(dst) as usize + 1);
-        let e = Event { src, dst, t, eid: self.events.len() as u32 };
+        let e = Event {
+            src,
+            dst,
+            t,
+            eid: self.events.len() as u32,
+        };
         self.events.push(e);
         e
     }

@@ -262,8 +262,8 @@ impl SynthConfig {
         }
         let mut cum = Vec::with_capacity(self.num_src);
         let mut acc = 0.0f64;
-        for i in 0..self.num_src {
-            acc += 1.0 / ((ranks[i] + 1) as f64).powf(self.zipf_exponent);
+        for &rank in ranks.iter().take(self.num_src) {
+            acc += 1.0 / ((rank + 1) as f64).powf(self.zipf_exponent);
             cum.push(acc);
         }
         let total_w = acc;
@@ -284,8 +284,7 @@ impl SynthConfig {
         let mut informative = Vec::with_capacity(self.num_events);
         let mut noise_labels = Vec::with_capacity(self.num_events);
         let mut history: Vec<Vec<u32>> = vec![Vec::new(); self.num_src];
-        let mut edge_feat_data: Vec<f32> =
-            Vec::with_capacity(self.num_events * self.edge_feat_dim);
+        let mut edge_feat_data: Vec<f32> = Vec::with_capacity(self.num_events * self.edge_feat_dim);
 
         for i in 0..self.num_events {
             let t = i as f64 + 1.0;
@@ -407,7 +406,10 @@ mod tests {
         let a = tiny().seed(5).build();
         let b = tiny().seed(5).build();
         assert_eq!(a.log.events(), b.log.events());
-        assert_eq!(a.edge_feats.as_ref().unwrap().data(), b.edge_feats.as_ref().unwrap().data());
+        assert_eq!(
+            a.edge_feats.as_ref().unwrap().data(),
+            b.edge_feats.as_ref().unwrap().data()
+        );
         let c = tiny().seed(6).build();
         assert_ne!(a.log.events(), c.log.events());
     }
@@ -417,7 +419,11 @@ mod tests {
         let ds = tiny().build();
         for e in ds.log.events() {
             assert!(e.src < 100, "source {} outside src partition", e.src);
-            assert!(e.dst >= 100 && e.dst < 140, "dst {} outside partition", e.dst);
+            assert!(
+                e.dst >= 100 && e.dst < 140,
+                "dst {} outside partition",
+                e.dst
+            );
         }
     }
 
@@ -458,7 +464,10 @@ mod tests {
         deg.sort_unstable_by(|a, b| b.cmp(a));
         let top10: usize = deg[..10].iter().sum();
         // Zipf 1.1 over 100 sources: top-10 should dominate
-        assert!(top10 as f64 > 0.35 * 3_000.0, "top-10 sources only {top10} events");
+        assert!(
+            top10 as f64 > 0.35 * 3_000.0,
+            "top-10 sources only {top10} events"
+        );
     }
 
     #[test]

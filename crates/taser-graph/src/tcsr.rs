@@ -68,7 +68,13 @@ impl TCsr {
                 cursor[e.dst as usize] += 1;
             }
         }
-        TCsr { indptr, neigh, ts, eid, num_nodes }
+        TCsr {
+            indptr,
+            neigh,
+            ts,
+            eid,
+            num_nodes,
+        }
     }
 
     /// Number of nodes.
@@ -107,11 +113,19 @@ impl TCsr {
     #[inline]
     pub fn entry(&self, v: u32, i: usize) -> TemporalNeighbor {
         let base = self.indptr[v as usize];
-        TemporalNeighbor { node: self.neigh[base + i], t: self.ts[base + i], eid: self.eid[base + i] }
+        TemporalNeighbor {
+            node: self.neigh[base + i],
+            t: self.ts[base + i],
+            eid: self.eid[base + i],
+        }
     }
 
     /// All neighbors of `v` before time `t`, oldest first.
-    pub fn temporal_neighbors(&self, v: u32, t: f64) -> impl Iterator<Item = TemporalNeighbor> + '_ {
+    pub fn temporal_neighbors(
+        &self,
+        v: u32,
+        t: f64,
+    ) -> impl Iterator<Item = TemporalNeighbor> + '_ {
         let p = self.pivot(v, t);
         (0..p).map(move |i| self.entry(v, i))
     }

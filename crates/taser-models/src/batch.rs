@@ -29,6 +29,9 @@ pub struct LayerBatch {
 
 impl LayerBatch {
     /// Validates shapes against the tape and wraps the parts.
+    // The argument list mirrors the batch's fields one-to-one; a builder
+    // would only add indirection for a constructor called from two places.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         g: &Graph,
         roots: usize,
@@ -46,7 +49,15 @@ impl LayerBatch {
         }
         assert_eq!(delta_t.len(), roots * n, "delta_t len");
         assert_eq!(mask.len(), roots * n, "mask len");
-        LayerBatch { roots, n, root_feat, neigh_feat, edge_feat, delta_t, mask }
+        LayerBatch {
+            roots,
+            n,
+            root_feat,
+            neigh_feat,
+            edge_feat,
+            delta_t,
+            mask,
+        }
     }
 
     /// Convenience constructor registering host tensors as leaves (level-0
@@ -80,12 +91,18 @@ impl LayerBatch {
 
     /// The mask as a 0/1 `f32` vector (for `scale_rows`).
     pub fn mask_f32(&self) -> Vec<f32> {
-        self.mask.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect()
+        self.mask
+            .iter()
+            .map(|&m| if m { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// The mask as additive attention bias (`0` valid / `-1e9` padded).
     pub fn mask_bias(&self) -> Vec<f32> {
-        self.mask.iter().map(|&m| if m { 0.0 } else { -1e9 }).collect()
+        self.mask
+            .iter()
+            .map(|&m| if m { 0.0 } else { -1e9 })
+            .collect()
     }
 
     /// Number of valid (unpadded) neighbor slots.

@@ -21,8 +21,10 @@ pub fn mrr(ranks: &[usize]) -> f64 {
 
 /// MRR directly from `(positive score, negative scores)` groups.
 pub fn mrr_from_scores(groups: &[(f32, Vec<f32>)]) -> f64 {
-    let ranks: Vec<usize> =
-        groups.iter().map(|(p, n)| rank_of_positive(*p, n)).collect();
+    let ranks: Vec<usize> = groups
+        .iter()
+        .map(|(p, n)| rank_of_positive(*p, n))
+        .collect();
     mrr(&ranks)
 }
 
@@ -73,7 +75,10 @@ mod tests {
             .collect();
         let m = mrr_from_scores(&groups);
         let expected = (1..=50).map(|r| 1.0 / r as f64).sum::<f64>() / 50.0;
-        assert!((m - expected).abs() < 0.02, "random MRR {m} vs expected {expected}");
+        assert!(
+            (m - expected).abs() < 0.02,
+            "random MRR {m} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -50,7 +50,13 @@ impl MixerAggregator {
                 cfg.out_dim * 2,
                 seed ^ 0x2,
             ),
-            root_proj: Linear::new(store, &format!("{name}.root"), cfg.in_dim, cfg.out_dim, seed ^ 0x3),
+            root_proj: Linear::new(
+                store,
+                &format!("{name}.root"),
+                cfg.in_dim,
+                cfg.out_dim,
+                seed ^ 0x3,
+            ),
             cfg,
         }
     }
@@ -71,7 +77,11 @@ impl Aggregator for MixerAggregator {
         seed: u64,
     ) -> AggOut {
         let (r, n) = (batch.roots, batch.n);
-        assert_eq!(n, self.cfg.tokens, "mixer built for {} tokens, got {n}", self.cfg.tokens);
+        assert_eq!(
+            n, self.cfg.tokens,
+            "mixer built for {} tokens, got {n}",
+            self.cfg.tokens
+        );
         assert_eq!(batch.in_dim(g), self.cfg.in_dim, "input dim mismatch");
         let d = self.cfg.out_dim;
 
@@ -98,7 +108,10 @@ impl Aggregator for MixerAggregator {
         let skip = self.root_proj.forward(g, store, batch.root_feat);
         let out = g.add(pooled, skip);
 
-        AggOut { h: out, feedback: Feedback::Mixer { mixed, pooled, n } }
+        AggOut {
+            h: out,
+            feedback: Feedback::Mixer { mixed, pooled, n },
+        }
     }
 
     fn in_dim(&self) -> usize {
@@ -116,7 +129,14 @@ mod tests {
     use taser_tensor::init;
 
     fn cfg() -> MixerConfig {
-        MixerConfig { in_dim: 5, edge_dim: 3, time_dim: 6, out_dim: 10, tokens: 4, dropout: 0.0 }
+        MixerConfig {
+            in_dim: 5,
+            edge_dim: 3,
+            time_dim: 6,
+            out_dim: 10,
+            tokens: 4,
+            dropout: 0.0,
+        }
     }
 
     fn batch(g: &mut Graph, r: usize) -> LayerBatch {

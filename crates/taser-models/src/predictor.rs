@@ -13,7 +13,10 @@ pub struct EdgePredictor {
 impl EdgePredictor {
     /// Creates a predictor for `dim`-dimensional embeddings.
     pub fn new(store: &mut ParamStore, name: &str, dim: usize, seed: u64) -> Self {
-        EdgePredictor { mlp: Mlp::new(store, name, 2 * dim, dim, 1, seed), dim }
+        EdgePredictor {
+            mlp: Mlp::new(store, name, 2 * dim, dim, 1, seed),
+            dim,
+        }
     }
 
     /// Embedding dimension the predictor expects.
@@ -75,7 +78,10 @@ mod tests {
         let p = EdgePredictor::new(&mut store, "pred", 4, 3);
         let pos_a = init::uniform(&[16, 4], -1.0, 1.0, 5);
         let neg_b = init::uniform(&[16, 4], -1.0, 1.0, 7);
-        let cfg = AdamConfig { lr: 0.01, ..AdamConfig::default() };
+        let cfg = AdamConfig {
+            lr: 0.01,
+            ..AdamConfig::default()
+        };
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..300 {

@@ -38,14 +38,29 @@ pub struct TgatLayer {
 impl TgatLayer {
     /// Builds a layer; `name` scopes its parameters inside `store`.
     pub fn new(store: &mut ParamStore, name: &str, cfg: TgatConfig, seed: u64) -> Self {
-        assert!(cfg.out_dim % cfg.heads == 0, "out_dim must divide into heads");
+        assert!(
+            cfg.out_dim.is_multiple_of(cfg.heads),
+            "out_dim must divide into heads"
+        );
         let d_msg = cfg.in_dim + cfg.edge_dim + cfg.time_dim;
         let d_q = cfg.in_dim + cfg.time_dim;
         TgatLayer {
             time_enc: LearnableTimeEncoding::new(store, &format!("{name}.te"), cfg.time_dim),
             w_q: Linear::new(store, &format!("{name}.wq"), d_q, cfg.out_dim, seed ^ 0x11),
-            w_k: Linear::new(store, &format!("{name}.wk"), d_msg, cfg.out_dim, seed ^ 0x22),
-            w_v: Linear::new(store, &format!("{name}.wv"), d_msg, cfg.out_dim, seed ^ 0x33),
+            w_k: Linear::new(
+                store,
+                &format!("{name}.wk"),
+                d_msg,
+                cfg.out_dim,
+                seed ^ 0x22,
+            ),
+            w_v: Linear::new(
+                store,
+                &format!("{name}.wv"),
+                d_msg,
+                cfg.out_dim,
+                seed ^ 0x33,
+            ),
             out_mlp: Mlp::new(
                 store,
                 &format!("{name}.out"),
@@ -163,7 +178,14 @@ mod tests {
     use taser_tensor::init;
 
     fn cfg() -> TgatConfig {
-        TgatConfig { in_dim: 6, edge_dim: 4, time_dim: 8, out_dim: 12, heads: 2, dropout: 0.0 }
+        TgatConfig {
+            in_dim: 6,
+            edge_dim: 4,
+            time_dim: 8,
+            out_dim: 12,
+            heads: 2,
+            dropout: 0.0,
+        }
     }
 
     fn batch(g: &mut Graph, r: usize, n: usize) -> LayerBatch {
@@ -188,7 +210,9 @@ mod tests {
         let out = layer.forward(&mut g, &store, &b, false, 1);
         assert_eq!(g.shape(out.h), &[3, 12]);
         match out.feedback {
-            Feedback::Tgat { attn, v, heads, n, .. } => {
+            Feedback::Tgat {
+                attn, v, heads, n, ..
+            } => {
                 assert_eq!(g.shape(attn), &[6, 1, 5]);
                 assert_eq!(g.shape(v), &[6, 5, 6]);
                 assert_eq!(heads, 2);
@@ -211,7 +235,7 @@ mod tests {
         let out = layer.forward(&mut g, &store, &b, false, 1);
         if let Feedback::Tgat { attn, .. } = out.feedback {
             let a = g.data(attn); // [r*h, 1, n] = [4, 1, 4]
-            // block 2 = (root 1, head 0): all weight must sit on slot 0
+                                  // block 2 = (root 1, head 0): all weight must sit on slot 0
             let row = &a.data()[2 * 4..3 * 4];
             let sum: f32 = row.iter().sum();
             assert!((sum - 1.0).abs() < 1e-5);

@@ -11,9 +11,7 @@ use taser_tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
 /// Geometric frequency ladder `ω_i = α^{-(i-1)/β}`, spanning timescales from
 /// 1 down to `α^{-(d-1)/β}`.
 pub fn geometric_frequencies(dim: usize, alpha: f32, beta: f32) -> Vec<f32> {
-    (0..dim)
-        .map(|i| alpha.powf(-(i as f32) / beta))
-        .collect()
+    (0..dim).map(|i| alpha.powf(-(i as f32) / beta)).collect()
 }
 
 /// GraphMixer's default frequencies: timescales 1 → 1e-9 across the dims
@@ -34,7 +32,9 @@ pub struct FixedTimeEncoding {
 impl FixedTimeEncoding {
     /// GraphMixer-style encoding of the given dimension.
     pub fn new(dim: usize) -> Self {
-        FixedTimeEncoding { omega: graphmixer_frequencies(dim) }
+        FixedTimeEncoding {
+            omega: graphmixer_frequencies(dim),
+        }
     }
 
     /// Custom frequency ladder.
@@ -159,7 +159,10 @@ mod tests {
             last = g.data(loss).item();
             g.backward(loss);
             g.flush_grads(&mut store);
-            store.adam_step(AdamConfig { lr: 0.05, ..AdamConfig::default() });
+            store.adam_step(AdamConfig {
+                lr: 0.05,
+                ..AdamConfig::default()
+            });
         }
         assert!(last < 0.05, "time encoding failed to fit: {last}");
     }

@@ -31,7 +31,9 @@ struct Bitmap {
 
 impl Bitmap {
     fn new(bits: usize) -> Self {
-        Bitmap { words: vec![0; bits.div_ceil(64)] }
+        Bitmap {
+            words: vec![0; bits.div_ceil(64)],
+        }
     }
 
     /// Attempts to claim bit `i`; returns `true` when this call set it
@@ -58,7 +60,9 @@ pub struct GpuFinder {
 
 impl Default for GpuFinder {
     fn default() -> Self {
-        GpuFinder { device: DeviceModel::rtx6000ada() }
+        GpuFinder {
+            device: DeviceModel::rtx6000ada(),
+        }
     }
 }
 
@@ -143,9 +147,25 @@ struct BlockArgs<'a> {
 /// Executes one thread block: pivot search by lane 0, then sampling by
 /// `budget` lanes in warp-sized groups.
 fn run_block(args: BlockArgs<'_>) -> KernelStats {
-    let BlockArgs { csr, v, t, budget, policy, seed, block, dev, ns, ts, es, count } = args;
+    let BlockArgs {
+        csr,
+        v,
+        t,
+        budget,
+        policy,
+        seed,
+        block,
+        dev,
+        ns,
+        ts,
+        es,
+        count,
+    } = args;
     let mut cycles = 0u64;
-    let mut stats = KernelStats { blocks: 1, ..Default::default() };
+    let mut stats = KernelStats {
+        blocks: 1,
+        ..Default::default()
+    };
 
     // Phase 1 (lane 0): binary search for the pivot. Each probe is a global
     // memory read.
@@ -260,7 +280,9 @@ mod tests {
 
     fn chain_csr(n_events: usize) -> TCsr {
         let log = EventLog::from_unsorted(
-            (0..n_events).map(|i| (0u32, (i + 1) as u32, (i + 1) as f64)).collect(),
+            (0..n_events)
+                .map(|i| (0u32, (i + 1) as u32, (i + 1) as f64))
+                .collect(),
         );
         TCsr::build(&log, n_events + 1)
     }
@@ -389,13 +411,7 @@ mod tests {
         let mut recent = 0usize; // among the latest 10 interactions
         let mut old = 0usize; // among the earliest 10
         for s in 0..300 {
-            let out = finder().sample(
-                &csr,
-                &[(0, 101.0)],
-                10,
-                SamplePolicy::inverse_timespan(),
-                s,
-            );
+            let out = finder().sample(&csr, &[(0, 101.0)], 10, SamplePolicy::inverse_timespan(), s);
             assert_eq!(out.counts[0], 10);
             let mut eids: Vec<u32> = out.samples(0).map(|(_, _, e)| e).collect();
             let len = eids.len();
@@ -437,7 +453,10 @@ mod tests {
         }
         // same qualitative bias from both implementations
         let ratio = gpu_recent as f64 / org_recent.max(1) as f64;
-        assert!((0.5..2.0).contains(&ratio), "gpu {gpu_recent} vs origin {org_recent}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "gpu {gpu_recent} vs origin {org_recent}"
+        );
     }
 
     #[test]

@@ -147,7 +147,9 @@ mod tests {
 
     fn csr() -> TCsr {
         let log = EventLog::from_unsorted(
-            (0..30).map(|i| (0u32, (i + 1) as u32, (i + 1) as f64)).collect(),
+            (0..30)
+                .map(|i| (0u32, (i + 1) as u32, (i + 1) as f64))
+                .collect(),
         );
         TCsr::build(&log, 31)
     }

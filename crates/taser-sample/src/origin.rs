@@ -89,7 +89,9 @@ mod tests {
     fn chain_csr(n_events: usize) -> TCsr {
         // node 0 interacts with node i+1 at time i+1
         let log = EventLog::from_unsorted(
-            (0..n_events).map(|i| (0u32, (i + 1) as u32, (i + 1) as f64)).collect(),
+            (0..n_events)
+                .map(|i| (0u32, (i + 1) as u32, (i + 1) as f64))
+                .collect(),
         );
         TCsr::build(&log, n_events + 1)
     }

@@ -44,7 +44,8 @@ impl SampledNeighbors {
 
     /// Iterates the real samples of target `i` as `(node, t, eid)`.
     pub fn samples(&self, i: usize) -> impl Iterator<Item = (u32, f64, u32)> + '_ {
-        self.slots(i).map(move |s| (self.nodes[s], self.times[s], self.eids[s]))
+        self.slots(i)
+            .map(move |s| (self.nodes[s], self.times[s], self.eids[s]))
     }
 
     /// Total number of real samples across all targets.

@@ -17,7 +17,9 @@ pub fn mix(mut z: u64) -> u64 {
 /// Deterministic value for a (seed, block, lane, attempt) coordinate.
 #[inline]
 pub fn counter_rng(seed: u64, block: u64, lane: u64, attempt: u64) -> u64 {
-    mix(seed ^ mix(block).wrapping_mul(0xD2B7_4407_B1CE_6E93) ^ mix(lane).rotate_left(17)
+    mix(seed
+        ^ mix(block).wrapping_mul(0xD2B7_4407_B1CE_6E93)
+        ^ mix(lane).rotate_left(17)
         ^ mix(attempt).rotate_left(39))
 }
 

@@ -44,7 +44,10 @@ impl TglFinder {
     /// Creates a finder for a graph with `num_nodes` nodes. Pointers start
     /// at the beginning of every slab.
     pub fn new(num_nodes: usize) -> Self {
-        TglFinder { pointers: vec![0; num_nodes], watermark: f64::NEG_INFINITY }
+        TglFinder {
+            pointers: vec![0; num_nodes],
+            watermark: f64::NEG_INFINITY,
+        }
     }
 
     /// Resets all pointers (start of a new chronological epoch).
@@ -70,7 +73,10 @@ impl TglFinder {
         let mut prev = self.watermark;
         for &(_, t) in targets {
             if t < prev {
-                return Err(ChronologyError { requested: t, watermark: prev });
+                return Err(ChronologyError {
+                    requested: t,
+                    watermark: prev,
+                });
             }
             prev = t;
         }
@@ -123,10 +129,8 @@ impl TglFinder {
                                 // Floyd's algorithm for a k-subset of [0,p)
                                 let mut chosen: Vec<usize> = Vec::with_capacity(k);
                                 for (a, top) in ((p - k)..p).enumerate() {
-                                    let r = bounded(
-                                        counter_rng(seed, i as u64, a as u64, 0),
-                                        top + 1,
-                                    );
+                                    let r =
+                                        bounded(counter_rng(seed, i as u64, a as u64, 0), top + 1);
                                     let pick = if chosen.contains(&r) { top } else { r };
                                     chosen.push(pick);
                                 }
@@ -146,8 +150,7 @@ impl TglFinder {
                                     let e = csr.entry(v, c);
                                     let w = policy.weight(t - e.t).max(1e-300);
                                     let raw = counter_rng(seed, i as u64, c as u64, 1);
-                                    let u =
-                                        ((raw >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+                                    let u = ((raw >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
                                     (u.ln() / w, c)
                                 })
                                 .collect();
@@ -176,7 +179,9 @@ mod tests {
 
     fn chain_csr(n_events: usize) -> TCsr {
         let log = EventLog::from_unsorted(
-            (0..n_events).map(|i| (0u32, (i + 1) as u32, (i + 1) as f64)).collect(),
+            (0..n_events)
+                .map(|i| (0u32, (i + 1) as u32, (i + 1) as f64))
+                .collect(),
         );
         TCsr::build(&log, n_events + 1)
     }
@@ -185,11 +190,15 @@ mod tests {
     fn chronological_batches_work() {
         let csr = chain_csr(20);
         let mut f = TglFinder::new(21);
-        let a = f.sample(&csr, &[(0, 5.5)], 3, SamplePolicy::MostRecent, 1).unwrap();
+        let a = f
+            .sample(&csr, &[(0, 5.5)], 3, SamplePolicy::MostRecent, 1)
+            .unwrap();
         assert_eq!(a.counts[0], 3);
         let got: Vec<f64> = a.samples(0).map(|(_, t, _)| t).collect();
         assert_eq!(got, vec![5.0, 4.0, 3.0]);
-        let b = f.sample(&csr, &[(0, 10.5)], 3, SamplePolicy::MostRecent, 1).unwrap();
+        let b = f
+            .sample(&csr, &[(0, 10.5)], 3, SamplePolicy::MostRecent, 1)
+            .unwrap();
         let got: Vec<f64> = b.samples(0).map(|(_, t, _)| t).collect();
         assert_eq!(got, vec![10.0, 9.0, 8.0]);
     }
@@ -198,8 +207,11 @@ mod tests {
     fn rejects_time_regression() {
         let csr = chain_csr(20);
         let mut f = TglFinder::new(21);
-        f.sample(&csr, &[(0, 10.0)], 3, SamplePolicy::Uniform, 1).unwrap();
-        let err = f.sample(&csr, &[(0, 5.0)], 3, SamplePolicy::Uniform, 1).unwrap_err();
+        f.sample(&csr, &[(0, 10.0)], 3, SamplePolicy::Uniform, 1)
+            .unwrap();
+        let err = f
+            .sample(&csr, &[(0, 5.0)], 3, SamplePolicy::Uniform, 1)
+            .unwrap_err();
         assert_eq!(err.watermark, 10.0);
         assert!(err.to_string().contains("chronological"));
     }
@@ -217,16 +229,21 @@ mod tests {
     fn reset_allows_new_epoch() {
         let csr = chain_csr(20);
         let mut f = TglFinder::new(21);
-        f.sample(&csr, &[(0, 15.0)], 3, SamplePolicy::Uniform, 1).unwrap();
+        f.sample(&csr, &[(0, 15.0)], 3, SamplePolicy::Uniform, 1)
+            .unwrap();
         f.reset();
-        assert!(f.sample(&csr, &[(0, 2.0)], 3, SamplePolicy::Uniform, 1).is_ok());
+        assert!(f
+            .sample(&csr, &[(0, 2.0)], 3, SamplePolicy::Uniform, 1)
+            .is_ok());
     }
 
     #[test]
     fn uniform_no_duplicates() {
         let csr = chain_csr(100);
         let mut f = TglFinder::new(101);
-        let out = f.sample(&csr, &[(0, 90.5)], 10, SamplePolicy::Uniform, 7).unwrap();
+        let out = f
+            .sample(&csr, &[(0, 90.5)], 10, SamplePolicy::Uniform, 7)
+            .unwrap();
         let mut eids: Vec<u32> = out.samples(0).map(|(_, _, e)| e).collect();
         assert_eq!(eids.len(), 10);
         eids.sort_unstable();
@@ -241,7 +258,8 @@ mod tests {
         let csr = chain_csr(50);
         let mut f = TglFinder::new(51);
         for t in [3.0, 17.5, 42.0] {
-            f.sample(&csr, &[(0, t)], 5, SamplePolicy::MostRecent, 1).unwrap();
+            f.sample(&csr, &[(0, t)], 5, SamplePolicy::MostRecent, 1)
+                .unwrap();
             assert_eq!(f.pointers[0], csr.pivot(0, t), "pointer vs pivot at t={t}");
         }
     }

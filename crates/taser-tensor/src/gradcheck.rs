@@ -61,7 +61,11 @@ pub fn gradcheck(
     let analytic: Vec<Tensor> = vars
         .iter()
         .zip(inputs.iter())
-        .map(|(&v, t)| g.grad(v).cloned().unwrap_or_else(|| Tensor::zeros(t.shape())))
+        .map(|(&v, t)| {
+            g.grad(v)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(t.shape()))
+        })
         .collect();
 
     let eval = |perturbed: &[Tensor]| -> f32 {

@@ -32,7 +32,7 @@ pub struct Graph {
     grad_enabled: bool,
 }
 
-fn acc(grads: &mut Vec<Option<Tensor>>, id: VarId, g: Tensor) {
+fn acc(grads: &mut [Option<Tensor>], id: VarId, g: Tensor) {
     match &mut grads[id.0] {
         Some(t) => t.add_assign(&g),
         slot @ None => *slot = Some(g),
@@ -48,14 +48,22 @@ impl Default for Graph {
 impl Graph {
     /// Creates an empty tape with gradients enabled.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new(), grads: Vec::new(), grad_enabled: true }
+        Graph {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            grad_enabled: true,
+        }
     }
 
     /// An inference-only tape: backward closures are never built, which makes
     /// forward passes cheaper. [`Graph::backward`] on such a tape only
     /// produces the root gradient.
     pub fn inference() -> Self {
-        Graph { nodes: Vec::new(), grads: Vec::new(), grad_enabled: false }
+        Graph {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            grad_enabled: false,
+        }
     }
 
     /// Number of nodes currently on the tape.
@@ -86,7 +94,11 @@ impl Graph {
 
     fn push(&mut self, data: Tensor, back: Option<BackFn>) -> VarId {
         let back = if self.grad_enabled { back } else { None };
-        self.nodes.push(Node { data, back, param: None });
+        self.nodes.push(Node {
+            data,
+            back,
+            param: None,
+        });
         VarId(self.nodes.len() - 1)
     }
 
@@ -186,7 +198,9 @@ impl Graph {
         let out = self.data(a).map(|x| x * c);
         self.push(
             out,
-            Some(Box::new(move |_g, gout, grads| acc(grads, a, gout.map(|v| v * c)))),
+            Some(Box::new(move |_g, gout, grads| {
+                acc(grads, a, gout.map(|v| v * c))
+            })),
         )
     }
 
@@ -309,10 +323,14 @@ impl Graph {
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: VarId) -> VarId {
-        self.unary(a, |x| x.tanh(), |x| {
-            let t = x.tanh();
-            1.0 - t * t
-        })
+        self.unary(
+            a,
+            |x| x.tanh(),
+            |x| {
+                let t = x.tanh();
+                1.0 - t * t
+            },
+        )
     }
 
     /// Element-wise exponential.
@@ -557,7 +575,8 @@ impl Graph {
 
     /// LayerNorm over the trailing dimension with affine parameters.
     pub fn layer_norm(&mut self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> VarId {
-        let (out, xhat, rstd) = ops::layer_norm(self.data(x), self.data(gamma), self.data(beta), eps);
+        let (out, xhat, rstd) =
+            ops::layer_norm(self.data(x), self.data(gamma), self.data(beta), eps);
         self.push(
             out,
             Some(Box::new(move |g, gout, grads| {
@@ -576,7 +595,8 @@ impl Graph {
                 acc(grads, gamma, ggamma);
                 // dx = rstd * (dy*g - mean(dy*g) - xhat * mean(dy*g*xhat))
                 let mut gx = Tensor::zeros(g.data(x).shape());
-                for ((i, grow), hrow) in gout.data().chunks(d).enumerate().zip(xhat.data().chunks(d))
+                for ((i, grow), hrow) in
+                    gout.data().chunks(d).enumerate().zip(xhat.data().chunks(d))
                 {
                     let r = rstd[i];
                     let mut m1 = 0.0f32;
@@ -857,7 +877,10 @@ mod tests {
     #[test]
     fn unary_gradchecks() {
         for (name, f) in [
-            ("gelu", (|g: &mut Graph, v: VarId| g.gelu(v)) as fn(&mut Graph, VarId) -> VarId),
+            (
+                "gelu",
+                (|g: &mut Graph, v: VarId| g.gelu(v)) as fn(&mut Graph, VarId) -> VarId,
+            ),
             ("sigmoid", |g, v| g.sigmoid(v)),
             ("tanh", |g, v| g.tanh(v)),
             ("cos", |g, v| g.cos(v)),
@@ -972,7 +995,8 @@ mod tests {
         let t = Tensor::from_vec(vec![1.0, 1.0, 0.0], &[3]);
         let l = g.bce_with_logits(x, &t);
         // manual: -[ln σ(0)] - ln σ(2) - ln(1-σ(-1)) over 3
-        let want = (-(ops::sigmoid(0.0f32).ln()) - ops::sigmoid(2.0).ln()
+        let want = (-(ops::sigmoid(0.0f32).ln())
+            - ops::sigmoid(2.0).ln()
             - (1.0 - ops::sigmoid(-1.0)).ln())
             / 3.0;
         assert!((g.data(l).item() - want).abs() < 1e-5);

@@ -61,15 +61,25 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        assert_eq!(uniform(&[8], 0.0, 1.0, 3).data(), uniform(&[8], 0.0, 1.0, 3).data());
-        assert_ne!(uniform(&[8], 0.0, 1.0, 3).data(), uniform(&[8], 0.0, 1.0, 4).data());
+        assert_eq!(
+            uniform(&[8], 0.0, 1.0, 3).data(),
+            uniform(&[8], 0.0, 1.0, 3).data()
+        );
+        assert_ne!(
+            uniform(&[8], 0.0, 1.0, 3).data(),
+            uniform(&[8], 0.0, 1.0, 4).data()
+        );
     }
 
     #[test]
     fn normal_moments() {
         let t = normal(&[10_000], 2.0, 0.5, 11);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         assert!((var - 0.25).abs() < 0.05, "var {var}");

@@ -21,7 +21,13 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a Xavier-initialized linear layer with bias.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, seed: u64) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        seed: u64,
+    ) -> Self {
         Self::with_bias(store, name, in_dim, out_dim, true, seed)
     }
 
@@ -34,9 +40,17 @@ impl Linear {
         bias: bool,
         seed: u64,
     ) -> Self {
-        let w = store.add(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, seed));
+        let w = store.add(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, seed),
+        );
         let b = bias.then(|| store.add(format!("{name}.b"), Tensor::zeros(&[out_dim])));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to a `[.., in_dim]` input.
@@ -88,7 +102,13 @@ impl Mlp {
     ) -> Self {
         Mlp {
             fc1: Linear::new(store, &format!("{name}.fc1"), in_dim, hidden, seed),
-            fc2: Linear::new(store, &format!("{name}.fc2"), hidden, out_dim, seed ^ 0xA5A5),
+            fc2: Linear::new(
+                store,
+                &format!("{name}.fc2"),
+                hidden,
+                out_dim,
+                seed ^ 0xA5A5,
+            ),
         }
     }
 
@@ -163,8 +183,22 @@ impl MixerBlock {
         MixerBlock {
             ln_token: LayerNorm::new(store, &format!("{name}.ln_token"), dim),
             ln_chan: LayerNorm::new(store, &format!("{name}.ln_chan"), dim),
-            token_mlp: Mlp::new(store, &format!("{name}.token"), tokens, token_hidden, tokens, seed),
-            chan_mlp: Mlp::new(store, &format!("{name}.chan"), dim, chan_hidden, dim, seed ^ 0x5A5A),
+            token_mlp: Mlp::new(
+                store,
+                &format!("{name}.token"),
+                tokens,
+                token_hidden,
+                tokens,
+                seed,
+            ),
+            chan_mlp: Mlp::new(
+                store,
+                &format!("{name}.chan"),
+                dim,
+                chan_hidden,
+                dim,
+                seed ^ 0x5A5A,
+            ),
             tokens,
             dim,
         }
@@ -229,7 +263,10 @@ mod tests {
         let mlp = Mlp::new(&mut store, "m", 2, 8, 1, 3);
         let xs = Tensor::from_vec(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[4, 2]);
         let ys = Tensor::from_vec(vec![0.0, 2.0, -1.0, 1.0], &[4, 1]);
-        let cfg = AdamConfig { lr: 0.02, ..AdamConfig::default() };
+        let cfg = AdamConfig {
+            lr: 0.02,
+            ..AdamConfig::default()
+        };
         let mut last = f32::MAX;
         for _ in 0..400 {
             let mut g = Graph::new();
@@ -252,7 +289,10 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 8);
         let mut g = Graph::new();
-        let x = g.leaf(Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[2, 8]));
+        let x = g.leaf(Tensor::from_vec(
+            (0..16).map(|v| v as f32).collect(),
+            &[2, 8],
+        ));
         let y = ln.forward(&mut g, &store, x);
         for r in 0..2 {
             let row: Vec<f32> = (0..8).map(|c| g.data(y).at2(r, c)).collect();

@@ -282,7 +282,11 @@ pub fn transpose12(x: &Tensor) -> Tensor {
 pub fn split_heads(x: &Tensor, n: usize, h: usize) -> Tensor {
     let rows = x.rows();
     let dm = x.last_dim();
-    assert_eq!(rows % n, 0, "split_heads rows {rows} not divisible by n {n}");
+    assert_eq!(
+        rows % n,
+        0,
+        "split_heads rows {rows} not divisible by n {n}"
+    );
     assert_eq!(dm % h, 0, "split_heads dim {dm} not divisible by heads {h}");
     let r = rows / n;
     let dh = dm / h;
@@ -362,7 +366,12 @@ pub fn gather_rows(x: &Tensor, idx: &[usize]) -> Tensor {
 
 /// LayerNorm forward over the trailing dimension.
 /// Returns `(normalized_out, xhat, rstd)` where `out = xhat*gamma + beta`.
-pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor, Tensor, Vec<f32>) {
+pub fn layer_norm(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, Tensor, Vec<f32>) {
     let d = x.last_dim();
     assert_eq!(gamma.numel(), d);
     assert_eq!(beta.numel(), d);
@@ -379,8 +388,7 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tenso
         .zip(rstd.par_iter_mut())
         .for_each(|((orow, hrow), rs)| {
             let mean = orow.iter().sum::<f32>() / d as f32;
-            let var =
-                orow.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let var = orow.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let r = 1.0 / (var + eps).sqrt();
             *rs = r;
             for j in 0..d {
@@ -498,7 +506,12 @@ mod tests {
         for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
             let eps = 1e-3;
             let fd = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
-            assert!((gelu_grad(x) - fd).abs() < 1e-3, "x={x}: {} vs {}", gelu_grad(x), fd);
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-3,
+                "x={x}: {} vs {}",
+                gelu_grad(x),
+                fd
+            );
         }
     }
 
@@ -558,7 +571,12 @@ mod tests {
         let b = Tensor::zeros(&[4]);
         let (out, xhat, rstd) = layer_norm(&x, &g, &b, 1e-5);
         let mean: f32 = out.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = out.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = out
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
         assert_eq!(out.data(), xhat.data());

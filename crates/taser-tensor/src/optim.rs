@@ -29,7 +29,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-4, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        AdamConfig {
+            lr: 1e-4,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -226,7 +232,10 @@ impl ParamStore {
         let mut u32b = [0u8; 4];
         r.read_exact(&mut u32b)?;
         let count = u32::from_le_bytes(u32b) as usize;
-        let mut store = ParamStore { step, ..ParamStore::default() };
+        let mut store = ParamStore {
+            step,
+            ..ParamStore::default()
+        };
         for _ in 0..count {
             r.read_exact(&mut u32b)?;
             let name_len = u32::from_le_bytes(u32b) as usize;
@@ -235,8 +244,7 @@ impl ParamStore {
             }
             let mut name = vec![0u8; name_len];
             r.read_exact(&mut name)?;
-            let name =
-                String::from_utf8(name).map_err(|_| bad("parameter name not UTF-8"))?;
+            let name = String::from_utf8(name).map_err(|_| bad("parameter name not UTF-8"))?;
             r.read_exact(&mut u32b)?;
             let rank = u32::from_le_bytes(u32b) as usize;
             if rank == 0 || rank > 8 {
@@ -320,7 +328,10 @@ mod tests {
     fn adam_minimizes_quadratic() {
         let mut s = ParamStore::new();
         let id = s.add("w", Tensor::scalar(-2.0));
-        let cfg = AdamConfig { lr: 0.1, ..AdamConfig::default() };
+        let cfg = AdamConfig {
+            lr: 0.1,
+            ..AdamConfig::default()
+        };
         for _ in 0..300 {
             let mut g = Graph::new();
             let w = g.param(&s, id);
@@ -330,7 +341,11 @@ mod tests {
             g.flush_grads(&mut s);
             s.adam_step(cfg);
         }
-        assert!((s.value(id).item() - 1.0).abs() < 1e-2, "got {}", s.value(id).item());
+        assert!(
+            (s.value(id).item() - 1.0).abs() < 1e-2,
+            "got {}",
+            s.value(id).item()
+        );
     }
 
     #[test]
@@ -364,7 +379,10 @@ mod tests {
     #[test]
     fn save_load_roundtrip_preserves_state() {
         let mut s = ParamStore::new();
-        let a = s.add("layer.w", Tensor::from_vec(vec![1.5, -2.5, 0.25, 9.0], &[2, 2]));
+        let a = s.add(
+            "layer.w",
+            Tensor::from_vec(vec![1.5, -2.5, 0.25, 9.0], &[2, 2]),
+        );
         let b = s.add("layer.b", Tensor::from_vec(vec![0.1, 0.2], &[2]));
         // create optimizer state
         s.accumulate_grad(a, &Tensor::ones(&[2, 2]));
@@ -389,7 +407,10 @@ mod tests {
     #[test]
     fn load_rejects_garbage() {
         assert!(ParamStore::load(&mut &b"NOTASTORE"[..]).is_err());
-        assert!(ParamStore::load(&mut &b"TASERPS1"[..]).is_err(), "truncated");
+        assert!(
+            ParamStore::load(&mut &b"TASERPS1"[..]).is_err(),
+            "truncated"
+        );
     }
 
     #[test]

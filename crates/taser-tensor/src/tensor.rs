@@ -36,13 +36,19 @@ impl Tensor {
             shape
         );
         assert!(!shape.is_empty(), "rank-0 tensors are not supported");
-        Tensor { data, shape: shape.to_vec() }
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// A tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        Tensor { data: vec![0.0; numel], shape: shape.to_vec() }
+        Tensor {
+            data: vec![0.0; numel],
+            shape: shape.to_vec(),
+        }
     }
 
     /// A tensor filled with ones.
@@ -53,12 +59,18 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel: usize = shape.iter().product();
-        Tensor { data: vec![value; numel], shape: shape.to_vec() }
+        Tensor {
+            data: vec![value; numel],
+            shape: shape.to_vec(),
+        }
     }
 
     /// A scalar tensor of shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: vec![1] }
+        Tensor {
+            data: vec![value],
+            shape: vec![1],
+        }
     }
 
     /// The shape of the tensor.
@@ -121,8 +133,17 @@ impl Tensor {
     /// Panics if element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.numel(), "reshape {:?} -> {:?}", self.shape, shape);
-        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+        assert_eq!(
+            numel,
+            self.numel(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
+        Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        }
     }
 
     /// In-place element-wise addition. Shapes must match exactly.
@@ -168,7 +189,10 @@ impl Tensor {
                 *x = f(*x);
             }
         }
-        Tensor { data, shape: self.shape.clone() }
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
     }
 
     /// Element-wise combination of two same-shape tensors (parallel for
@@ -189,7 +213,10 @@ impl Tensor {
                 *x = f(*x, b);
             }
         }
-        Tensor { data, shape: self.shape.clone() }
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
     }
 
     /// Sum of all elements.

@@ -12,7 +12,11 @@ use taser::prelude::*;
 use taser_sample::{DeviceModel, GpuFinder, OriginFinder, TglFinder};
 
 fn main() {
-    let data = SynthConfig::reddit().scale(0.05).feat_dims(0, 0).seed(3).build();
+    let data = SynthConfig::reddit()
+        .scale(0.05)
+        .feat_dims(0, 0)
+        .seed(3)
+        .build();
     let csr = data.tcsr();
     println!(
         "graph: {} nodes, {} events; querying {} targets, budget 25, uniform policy",
@@ -22,14 +26,16 @@ fn main() {
     );
 
     // Chronological targets so the TGL finder can participate.
-    let targets: Vec<(u32, f64)> =
-        data.train_events().iter().map(|e| (e.src, e.t)).collect();
+    let targets: Vec<(u32, f64)> = data.train_events().iter().map(|e| (e.src, e.t)).collect();
     let budget = 25;
 
     let t0 = Instant::now();
     let origin = OriginFinder.sample(&csr, &targets, budget, SamplePolicy::Uniform, 1);
     let origin_time = t0.elapsed();
-    println!("origin (sequential):   {origin_time:>12.2?}   samples={}", origin.total_samples());
+    println!(
+        "origin (sequential):   {origin_time:>12.2?}   samples={}",
+        origin.total_samples()
+    );
 
     let mut tgl = TglFinder::new(data.num_nodes);
     let t1 = Instant::now();
@@ -37,21 +43,29 @@ fn main() {
         .sample(&csr, &targets, budget, SamplePolicy::Uniform, 1)
         .expect("chronological order");
     let tgl_time = t1.elapsed();
-    println!("tgl-cpu (parallel):    {tgl_time:>12.2?}   samples={}", tgl_out.total_samples());
+    println!(
+        "tgl-cpu (parallel):    {tgl_time:>12.2?}   samples={}",
+        tgl_out.total_samples()
+    );
 
     let gpu = GpuFinder::new(DeviceModel::rtx6000ada());
     let t2 = Instant::now();
-    let (gpu_out, stats) =
-        gpu.sample_with_stats(&csr, &targets, budget, SamplePolicy::Uniform, 1);
+    let (gpu_out, stats) = gpu.sample_with_stats(&csr, &targets, budget, SamplePolicy::Uniform, 1);
     let gpu_time = t2.elapsed();
-    println!("taser-gpu (blocks):    {gpu_time:>12.2?}   samples={}", gpu_out.total_samples());
+    println!(
+        "taser-gpu (blocks):    {gpu_time:>12.2?}   samples={}",
+        gpu_out.total_samples()
+    );
 
     println!("\nsimulated kernel statistics (device: RTX 6000 Ada model):");
     println!("  thread blocks:         {}", stats.blocks);
     println!("  binary-search steps:   {}", stats.binary_search_steps);
     println!("  memory transactions:   {}", stats.mem_transactions);
     println!("  bitmap retries:        {}", stats.bitmap_retries);
-    println!("  modeled device time:   {:?}", gpu.device.simulated_time(&stats));
+    println!(
+        "  modeled device time:   {:?}",
+        gpu.device.simulated_time(&stats)
+    );
     println!(
         "\nspeedup vs origin: tgl {:.1}x, taser-gpu {:.1}x (wall clock, this machine)",
         origin_time.as_secs_f64() / tgl_time.as_secs_f64(),

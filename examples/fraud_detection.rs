@@ -15,7 +15,10 @@ use taser_core::trainer::{Backbone, Variant};
 
 fn main() {
     // High-noise transaction network: heavy drift + 25% pure-noise edges.
-    let mut cfg = SynthConfig::wikipedia().scale(0.015).feat_dims(0, 24).seed(11);
+    let mut cfg = SynthConfig::wikipedia()
+        .scale(0.015)
+        .feat_dims(0, 24)
+        .seed(11);
     cfg.p_noise = 0.25;
     cfg.drift_fraction = 0.5;
     cfg.name = "transactions".into();
@@ -43,13 +46,22 @@ fn main() {
     };
 
     let mut baseline = Trainer::new(
-        TrainerConfig { variant: Variant::Baseline, ..base_cfg },
+        TrainerConfig {
+            variant: Variant::Baseline,
+            ..base_cfg
+        },
         &data,
     );
     let base_report = baseline.fit(&data);
     println!("baseline  TGAT test MRR: {:.4}", base_report.test_mrr);
 
-    let mut taser = Trainer::new(TrainerConfig { variant: Variant::Taser, ..base_cfg }, &data);
+    let mut taser = Trainer::new(
+        TrainerConfig {
+            variant: Variant::Taser,
+            ..base_cfg
+        },
+        &data,
+    );
     let taser_report = taser.fit(&data);
     println!("TASER     TGAT test MRR: {:.4}", taser_report.test_mrr);
 
@@ -62,7 +74,9 @@ fn main() {
         .take(60)
         .map(|e| (e.src, e.t))
         .collect();
-    let (cands, q) = taser.inspect_policy(&probe).expect("TASER variant is adaptive");
+    let (cands, q) = taser
+        .inspect_policy(&probe)
+        .expect("TASER variant is adaptive");
     let m = cands.budget;
     let mut q_noise = 0.0f64;
     let mut uniform_noise = 0.0f64;

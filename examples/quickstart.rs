@@ -12,7 +12,11 @@ fn main() {
     // A small noisy dynamic graph shaped like the paper's Wikipedia dataset
     // (bipartite, 172-d edge features) at 2% scale, with 15% injected noise
     // interactions and community drift (deprecated links).
-    let data = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 32).seed(7).build();
+    let data = SynthConfig::wikipedia()
+        .scale(0.02)
+        .feat_dims(0, 32)
+        .seed(7)
+        .build();
     println!(
         "dataset: {} — {} nodes, {} events, {}d edge features",
         data.name,

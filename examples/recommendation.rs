@@ -10,7 +10,11 @@ use taser::prelude::*;
 use taser_core::trainer::{Backbone, Variant};
 
 fn main() {
-    let data = SynthConfig::movielens().scale(0.0002).feat_dims(0, 24).seed(19).build();
+    let data = SynthConfig::movielens()
+        .scale(0.0002)
+        .feat_dims(0, 24)
+        .seed(19)
+        .build();
     println!(
         "interaction graph: {} users+items, {} events",
         data.num_nodes,
@@ -57,6 +61,10 @@ fn main() {
             .take(5)
             .map(|(item, s)| format!("{item}:{s:+.2}"))
             .collect();
-        println!("  user {u:>5} ({} past interactions): {}", activity[u], top.join("  "));
+        println!(
+            "  user {u:>5} ({} past interactions): {}",
+            activity[u],
+            top.join("  ")
+        );
     }
 }

@@ -55,11 +55,7 @@ pub mod prelude {
         minibatch::MiniBatchSelector,
         trainer::{Backbone, Trainer, TrainerConfig, Variant},
     };
-    pub use taser_graph::{
-        dataset::TemporalDataset,
-        synth::SynthConfig,
-        tcsr::TCsr,
-    };
+    pub use taser_graph::{dataset::TemporalDataset, synth::SynthConfig, tcsr::TCsr};
     pub use taser_models::eval::mrr;
     pub use taser_sample::{FinderKind, NeighborFinder, SamplePolicy};
     pub use taser_tensor::{Graph, ParamStore, Tensor};

@@ -2,11 +2,11 @@
 //! selector concentrates on confident edges, and the neighbor sampler's
 //! policy departs from uniform in a direction that avoids injected noise.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use taser::prelude::*;
 use taser_core::minibatch::MiniBatchSelector;
 use taser_core::trainer::{Backbone, Variant};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn selector_converges_to_confident_subset() {
@@ -16,8 +16,10 @@ fn selector_converges_to_confident_subset() {
     let mut rng = StdRng::seed_from_u64(1);
     for _ in 0..20 {
         let batch = sel.sample_batch(50, &mut rng);
-        let probs: Vec<f32> =
-            batch.iter().map(|&i| if i < n / 2 { 0.95 } else { 0.05 }).collect();
+        let probs: Vec<f32> = batch
+            .iter()
+            .map(|&i| if i < n / 2 { 0.95 } else { 0.05 })
+            .collect();
         sel.update(&batch, &probs);
     }
     // sampling mass should now prefer the confident half
@@ -42,7 +44,10 @@ fn selector_converges_to_confident_subset() {
 
 #[test]
 fn trained_sampler_policy_departs_from_uniform() {
-    let mut synth = SynthConfig::wikipedia().scale(0.015).feat_dims(0, 16).seed(21);
+    let mut synth = SynthConfig::wikipedia()
+        .scale(0.015)
+        .feat_dims(0, 16)
+        .seed(21);
     synth.p_noise = 0.3;
     let ds = synth.build();
     let cfg = TrainerConfig {
@@ -83,12 +88,19 @@ fn trained_sampler_policy_departs_from_uniform() {
             max_dev = max_dev.max((q[i * m + j] - uni).abs());
         }
     }
-    assert!(max_dev > 0.01, "policy never departed from uniform (max dev {max_dev})");
+    assert!(
+        max_dev > 0.01,
+        "policy never departed from uniform (max dev {max_dev})"
+    );
 }
 
 #[test]
 fn adaptive_minibatch_changes_training_order() {
-    let ds = SynthConfig::wikipedia().scale(0.015).feat_dims(0, 16).seed(22).build();
+    let ds = SynthConfig::wikipedia()
+        .scale(0.015)
+        .feat_dims(0, 16)
+        .seed(22)
+        .build();
     let mk = |variant| TrainerConfig {
         backbone: Backbone::GraphMixer,
         variant,
@@ -117,7 +129,10 @@ fn taser_not_worse_than_baseline_on_noisy_data() {
     let mut base_sum = 0.0;
     let mut taser_sum = 0.0;
     for seed in [31u64, 32] {
-        let mut synth = SynthConfig::wikipedia().scale(0.015).feat_dims(0, 16).seed(seed);
+        let mut synth = SynthConfig::wikipedia()
+            .scale(0.015)
+            .feat_dims(0, 16)
+            .seed(seed);
         synth.p_noise = 0.3;
         let ds = synth.build();
         let mk = |variant| TrainerConfig {

@@ -7,7 +7,11 @@ use taser_core::trainer::{Backbone, Variant};
 
 #[test]
 fn training_cache_hit_rate_improves_after_first_epoch() {
-    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 16).seed(41).build();
+    let ds = SynthConfig::wikipedia()
+        .scale(0.02)
+        .feat_dims(0, 16)
+        .seed(41)
+        .build();
     let cfg = TrainerConfig {
         backbone: Backbone::GraphMixer,
         variant: Variant::Baseline,
@@ -17,7 +21,10 @@ fn training_cache_hit_rate_improves_after_first_epoch() {
         time_dim: 8,
         n_neighbors: 5,
         finder_budget: 10,
-        cache: CachePolicy::Dynamic { ratio: 0.2, epsilon: 0.7 },
+        cache: CachePolicy::Dynamic {
+            ratio: 0.2,
+            epsilon: 0.7,
+        },
         eval_events: Some(10),
         ..TrainerConfig::default()
     };
@@ -73,7 +80,11 @@ fn dynamic_cache_approaches_oracle_on_stationary_trace() {
 
 #[test]
 fn larger_cache_ratio_gives_higher_hit_rate() {
-    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 16).seed(43).build();
+    let ds = SynthConfig::wikipedia()
+        .scale(0.02)
+        .feat_dims(0, 16)
+        .seed(43)
+        .build();
     let mut rates = Vec::new();
     for ratio in [0.05, 0.3] {
         let cfg = TrainerConfig {
@@ -85,7 +96,10 @@ fn larger_cache_ratio_gives_higher_hit_rate() {
             time_dim: 8,
             n_neighbors: 5,
             finder_budget: 10,
-            cache: CachePolicy::Dynamic { ratio, epsilon: 0.7 },
+            cache: CachePolicy::Dynamic {
+                ratio,
+                epsilon: 0.7,
+            },
             eval_events: Some(10),
             ..TrainerConfig::default()
         };
@@ -104,7 +118,11 @@ fn larger_cache_ratio_gives_higher_hit_rate() {
 
 #[test]
 fn modeled_slice_time_shrinks_with_cache() {
-    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 32).seed(44).build();
+    let ds = SynthConfig::wikipedia()
+        .scale(0.02)
+        .feat_dims(0, 32)
+        .seed(44)
+        .build();
     let mk = |cache| TrainerConfig {
         backbone: Backbone::GraphMixer,
         variant: Variant::Baseline,
@@ -121,7 +139,13 @@ fn modeled_slice_time_shrinks_with_cache() {
     let mut none = Trainer::new(mk(CachePolicy::None), &ds);
     none.train_epoch(&ds, 0);
     let t_none = none.train_epoch(&ds, 1).modeled_slice_time;
-    let mut cached = Trainer::new(mk(CachePolicy::Dynamic { ratio: 0.3, epsilon: 0.7 }), &ds);
+    let mut cached = Trainer::new(
+        mk(CachePolicy::Dynamic {
+            ratio: 0.3,
+            epsilon: 0.7,
+        }),
+        &ds,
+    );
     cached.train_epoch(&ds, 0);
     let t_cached = cached.train_epoch(&ds, 1).modeled_slice_time;
     assert!(

@@ -6,7 +6,11 @@ use taser_core::trainer::{Backbone, Variant};
 use taser_graph::StreamingGraph;
 
 fn ds() -> TemporalDataset {
-    SynthConfig::wikipedia().scale(0.012).feat_dims(0, 12).seed(51).build()
+    SynthConfig::wikipedia()
+        .scale(0.012)
+        .feat_dims(0, 12)
+        .seed(51)
+        .build()
 }
 
 fn cfg() -> TrainerConfig {
@@ -49,7 +53,10 @@ fn resume_training_from_checkpoint_matches_uninterrupted() {
     assert!(a.allclose(&b, 0.0), "restored params diverge");
     // And the uninterrupted trainer after one epoch agrees too (same seed).
     let c = full.embed(&probe);
-    assert!(a.allclose(&c, 0.0), "checkpointed run diverged from straight run");
+    assert!(
+        a.allclose(&c, 0.0),
+        "checkpointed run diverged from straight run"
+    );
 }
 
 #[test]
@@ -93,7 +100,10 @@ fn checkpoint_file_survives_reopen() {
     a.train_epoch(&data, 0);
     a.save_checkpoint(&path).unwrap();
     let bytes = std::fs::metadata(&path).unwrap().len();
-    assert!(bytes > 1_000, "checkpoint suspiciously small: {bytes} bytes");
+    assert!(
+        bytes > 1_000,
+        "checkpoint suspiciously small: {bytes} bytes"
+    );
     // loading twice is fine (read-only)
     let mut b = Trainer::new(cfg(), &data);
     b.load_checkpoint(&path).unwrap();

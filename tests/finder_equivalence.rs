@@ -6,7 +6,11 @@ use taser::prelude::*;
 use taser_sample::{DeviceModel, GpuFinder, OriginFinder, TglFinder};
 
 fn graph() -> (TemporalDataset, TCsr) {
-    let ds = SynthConfig::wikipedia().scale(0.02).feat_dims(0, 0).seed(13).build();
+    let ds = SynthConfig::wikipedia()
+        .scale(0.02)
+        .feat_dims(0, 0)
+        .seed(13)
+        .build();
     let csr = ds.tcsr();
     (ds, csr)
 }
@@ -14,8 +18,12 @@ fn graph() -> (TemporalDataset, TCsr) {
 #[test]
 fn most_recent_identical_across_finders() {
     let (ds, csr) = graph();
-    let targets: Vec<(u32, f64)> =
-        ds.train_events().iter().take(500).map(|e| (e.src, e.t)).collect();
+    let targets: Vec<(u32, f64)> = ds
+        .train_events()
+        .iter()
+        .take(500)
+        .map(|e| (e.src, e.t))
+        .collect();
     let origin = OriginFinder.sample(&csr, &targets, 10, SamplePolicy::MostRecent, 1);
     let gpu = GpuFinder::new(DeviceModel::laptop()).sample(
         &csr,
@@ -25,7 +33,9 @@ fn most_recent_identical_across_finders() {
         1,
     );
     let mut tgl = TglFinder::new(ds.num_nodes);
-    let tgl_out = tgl.sample(&csr, &targets, 10, SamplePolicy::MostRecent, 1).unwrap();
+    let tgl_out = tgl
+        .sample(&csr, &targets, 10, SamplePolicy::MostRecent, 1)
+        .unwrap();
     assert_eq!(origin.eids, gpu.eids, "gpu != origin");
     assert_eq!(origin.eids, tgl_out.eids, "tgl != origin");
     assert_eq!(origin.counts, gpu.counts);
@@ -47,7 +57,9 @@ fn uniform_distributions_agree_between_gpu_and_origin() {
     let mut org_hits = vec![0f64; deg];
     let gpu = GpuFinder::new(DeviceModel::laptop());
     for s in 0..runs {
-        for (_, _, e) in gpu.sample(&csr, &[(hot, t)], budget, SamplePolicy::Uniform, s).samples(0)
+        for (_, _, e) in gpu
+            .sample(&csr, &[(hot, t)], budget, SamplePolicy::Uniform, s)
+            .samples(0)
         {
             // map eid to slab position
             let pos = csr
@@ -56,8 +68,9 @@ fn uniform_distributions_agree_between_gpu_and_origin() {
                 .unwrap();
             gpu_hits[pos] += 1.0;
         }
-        for (_, _, e) in
-            OriginFinder.sample(&csr, &[(hot, t)], budget, SamplePolicy::Uniform, s).samples(0)
+        for (_, _, e) in OriginFinder
+            .sample(&csr, &[(hot, t)], budget, SamplePolicy::Uniform, s)
+            .samples(0)
         {
             let pos = csr
                 .temporal_neighbors(hot, t)
@@ -98,12 +111,13 @@ fn uniform_distributions_agree_between_gpu_and_origin() {
 fn tgl_pointers_match_binary_search_over_real_stream() {
     let (ds, csr) = graph();
     let mut tgl = TglFinder::new(ds.num_nodes);
-    let targets: Vec<(u32, f64)> =
-        ds.train_events().iter().map(|e| (e.src, e.t)).collect();
+    let targets: Vec<(u32, f64)> = ds.train_events().iter().map(|e| (e.src, e.t)).collect();
     // feed in chronological chunks; per-chunk output counts must equal the
     // binary-search temporal degree capped by the budget
     for chunk in targets.chunks(256) {
-        let out = tgl.sample(&csr, chunk, 7, SamplePolicy::Uniform, 3).unwrap();
+        let out = tgl
+            .sample(&csr, chunk, 7, SamplePolicy::Uniform, 3)
+            .unwrap();
         for (i, &(v, t)) in chunk.iter().enumerate() {
             let want = csr.temporal_degree(v, t).min(7);
             assert_eq!(out.counts[i], want, "node {v} at t={t}");
@@ -115,8 +129,12 @@ fn tgl_pointers_match_binary_search_over_real_stream() {
 fn kernel_stats_scale_with_workload() {
     let (ds, csr) = graph();
     let gpu = GpuFinder::new(DeviceModel::laptop());
-    let targets: Vec<(u32, f64)> =
-        ds.train_events().iter().take(1000).map(|e| (e.src, e.t)).collect();
+    let targets: Vec<(u32, f64)> = ds
+        .train_events()
+        .iter()
+        .take(1000)
+        .map(|e| (e.src, e.t))
+        .collect();
     let (_, small) = gpu.sample_with_stats(&csr, &targets[..100], 10, SamplePolicy::Uniform, 1);
     let (_, large) = gpu.sample_with_stats(&csr, &targets, 10, SamplePolicy::Uniform, 1);
     assert_eq!(small.blocks, 100);

@@ -4,17 +4,14 @@
 use proptest::prelude::*;
 use taser::prelude::*;
 use taser_cache::DynamicCache;
-use taser_core::fenwick::Fenwick;
 use taser_core::encoder::frequency_encoding;
+use taser_core::fenwick::Fenwick;
 use taser_graph::events::EventLog;
 use taser_models::eval::{mrr, rank_of_positive};
 use taser_sample::{DeviceModel, GpuFinder, OriginFinder};
 
 fn arb_events(max_nodes: u32, max_events: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
-    prop::collection::vec(
-        (0..max_nodes, 0..max_nodes, 0.0f64..1e6),
-        1..max_events,
-    )
+    prop::collection::vec((0..max_nodes, 0..max_nodes, 0.0f64..1e6), 1..max_events)
 }
 
 proptest! {
@@ -94,9 +91,9 @@ proptest! {
     fn fenwick_matches_naive_prefix_sums(ws in prop::collection::vec(0.0f64..10.0, 1..100)) {
         let f = Fenwick::from_weights(&ws);
         let mut acc = 0.0;
-        for i in 0..ws.len() {
+        for (i, &w) in ws.iter().enumerate() {
             prop_assert!((f.prefix_sum(i) - acc).abs() < 1e-9 * (1.0 + acc));
-            acc += ws[i];
+            acc += w;
         }
         prop_assert!((f.total() - acc).abs() < 1e-9 * (1.0 + acc));
     }
@@ -184,7 +181,7 @@ proptest! {
         }
         c.end_epoch();
         let cached_lines = (0..500u32).step_by(line).filter(|&e| c.contains(e)).count();
-        prop_assert!(cached_lines * line <= capacity.max(0) + line - 1);
+        prop_assert!(cached_lines * line < capacity + line);
         prop_assert!(cached_lines <= capacity / line.max(1) + 1);
     }
 

@@ -1,0 +1,53 @@
+//! Workspace smoke test: proves the `taser::prelude` facade re-exports
+//! compile and link end-to-end by building a tiny synthetic dataset and
+//! driving one training epoch plus an evaluation through it. Kept small
+//! enough to run in seconds even in debug builds — this is the "is the
+//! workspace wired together at all" canary, not an accuracy test.
+
+use taser::prelude::*;
+
+#[test]
+fn facade_builds_dataset_and_runs_one_trainer_step() {
+    let ds: TemporalDataset = SynthConfig::wikipedia()
+        .scale(0.005)
+        .feat_dims(0, 8)
+        .seed(42)
+        .build();
+    assert!(ds.num_events() > 0, "synthetic dataset is empty");
+
+    let mut trainer = Trainer::new(
+        TrainerConfig {
+            backbone: Backbone::GraphMixer,
+            variant: Variant::Taser,
+            epochs: 1,
+            batch_size: 64,
+            hidden: 8,
+            time_dim: 4,
+            sampler_dim: 4,
+            n_neighbors: 3,
+            finder_budget: 6,
+            eval_events: Some(12),
+            eval_chunk: 4,
+            ..TrainerConfig::default()
+        },
+        &ds,
+    );
+    let report = trainer.fit(&ds);
+
+    assert_eq!(report.epochs.len(), 1, "expected exactly one epoch report");
+    assert!(report.epochs[0].loss.is_finite(), "loss is not finite");
+    assert!(
+        (0.0..=1.0).contains(&report.test_mrr),
+        "test MRR {} outside [0, 1]",
+        report.test_mrr
+    );
+
+    // Exercise a couple more facade re-exports end-to-end: the T-CSR index
+    // behind the dataset and the MRR helper behind the report.
+    let csr = ds.tcsr();
+    let last = ds.log.get(ds.num_events() - 1);
+    assert!(csr
+        .temporal_neighbors(last.src, last.t)
+        .all(|n| n.t < last.t));
+    assert!(mrr(&[1]) == 1.0);
+}

@@ -1,0 +1,254 @@
+//! Air-gapped drop-in shim for the subset of the `criterion` API that the
+//! taser-bench micro-benchmarks use. The build environment has no access to
+//! crates.io, so the workspace vendors this shim instead of the real crate
+//! (see `vendor/` in the repo root).
+//!
+//! It is a *working* harness, not just a type-checker: `cargo bench` runs
+//! each registered function with a short warm-up followed by `sample_size`
+//! timed samples and prints min/mean/max per benchmark. It does not do
+//! criterion's statistical analysis, HTML reports, or regression detection.
+//! Swap back to the real crate by pointing `[workspace.dependencies]
+//! criterion` at a registry version; the API here is call-compatible.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Timing loop handle passed to the closure of `bench_function` and
+/// friends.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after a wall-clock warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Top-level harness configuration and registry.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // The real default is 100; the shim has no outlier rejection so
+            // a smaller default keeps `cargo bench` wall-clock reasonable.
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Reads the benchmark name filter from the command line, mirroring
+    /// `cargo bench -- <filter>`. Harness flags (`--bench`, `--exact`, …)
+    /// are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if !self.enabled(name) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        report(name, &b.samples);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, in both the plain and the
+/// `name/config/targets` forms of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` that runs one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut runs = 0usize;
+        quick().bench_function("counts", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3, "expected warmup + 3 samples, got {runs}");
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = quick();
+        let mut seen = 0u64;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_with_input(BenchmarkId::new("f", 42), &21u64, |b, &x| {
+                b.iter(|| seen = x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(seen, 42);
+    }
+}

@@ -1,0 +1,236 @@
+//! Air-gapped drop-in shim for the subset of the `rayon` API that taser-rs
+//! uses. The build environment has no access to crates.io, so the workspace
+//! vendors this shim instead of the real crate (see `vendor/` in the repo
+//! root).
+//!
+//! **Execution is sequential.** Every `par_*` entry point returns a
+//! [`Par`] wrapper around a standard iterator and every consumer
+//! (`for_each`, `reduce`, `collect`, …) drains it on the calling thread.
+//! Call sites compile unchanged and produce identical results; they simply
+//! don't fan out. Replacing this shim with the real rayon (or a
+//! `std::thread::scope`-based splitter) is an open ROADMAP item — the
+//! kernels in `taser-tensor::ops` are already written against the parallel
+//! API, so only this crate needs to change.
+//!
+//! Supported surface: `prelude::*`, `current_num_threads`, `join`,
+//! slice `par_chunks{,_mut}` / `par_iter{,_mut}`, `into_par_iter` on any
+//! `IntoIterator`, and the adapters `map`, `zip`, `enumerate`, `chunks`,
+//! `for_each`, `reduce`, `fold`-free `sum`, and `collect`.
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads the "pool" would have. The shim executes
+/// sequentially, but callers use this to pick chunk sizes, so report the
+/// machine's parallelism rather than 1 to keep chunking behavior realistic.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential stand-in for rayon's `ParallelIterator`: a newtype over a
+/// standard iterator exposing the rayon adapter/consumer names.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    pub fn map<F, T>(self, f: F) -> Par<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> T,
+    {
+        Par(self.0.map(f))
+    }
+
+    pub fn zip<J>(self, other: J) -> Par<std::iter::Zip<I, <J as IntoParallelIterator>::Iter>>
+    where
+        J: IntoParallelIterator,
+    {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Groups items into `Vec`s of length `n` (last one may be shorter),
+    /// mirroring `IndexedParallelIterator::chunks`.
+    pub fn chunks(self, n: usize) -> Par<std::vec::IntoIter<Vec<I::Item>>> {
+        assert!(n > 0, "chunks: chunk size must be non-zero");
+        let mut out = Vec::new();
+        let mut cur = Vec::with_capacity(n);
+        for item in self.0 {
+            cur.push(item);
+            if cur.len() == n {
+                out.push(std::mem::replace(&mut cur, Vec::with_capacity(n)));
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        Par(out.into_iter())
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f);
+    }
+
+    /// rayon-style reduce: `identity` seeds the fold, `op` merges.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+
+    // Makes `Par` an `IntoIterator`, so the blanket `IntoParallelIterator`
+    // impl below covers it and `a.zip(b)` accepts another `Par` (inherent
+    // adapter methods shadow the `Iterator` ones at call sites).
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+}
+
+/// `into_par_iter` for anything iterable (ranges, vectors, slices…).
+pub trait IntoParallelIterator {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter` on shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+/// `par_iter_mut` on mutable slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, n: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, n: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(n))
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, n: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, n: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn zip_enumerate_map_reduce_matches_serial() {
+        let mut a = vec![0u64; 100];
+        let b: Vec<u64> = (0..50).collect();
+        a.par_chunks_mut(2)
+            .zip(b.par_iter())
+            .enumerate()
+            .for_each(|(i, (chunk, &bv))| {
+                for c in chunk.iter_mut() {
+                    *c = i as u64 + bv;
+                }
+            });
+        assert_eq!(a[0], 0);
+        assert_eq!(a[99], 49 + 49);
+
+        let total: u64 = a.par_iter().map(|&x| x).sum();
+        let serial: u64 = a.iter().sum();
+        assert_eq!(total, serial);
+    }
+
+    #[test]
+    fn range_chunks_collect() {
+        let chunks: Vec<Vec<usize>> = (0..10usize).into_par_iter().chunks(4).collect();
+        assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+        let folded = (1..=4usize).into_par_iter().reduce(|| 0, |x, y| x + y);
+        assert_eq!(folded, 10);
+    }
+}
