@@ -318,6 +318,102 @@ mod tests {
     }
 
     #[test]
+    fn overlap_exactly_at_epsilon_does_not_replace() {
+        // Replacement fires on overlap *strictly below* ε·k (Algorithm 3
+        // line 9). Engineer overlap == ε exactly and probe both sides.
+        let run = |epsilon: f64| -> (f64, bool) {
+            let mut c = DynamicCache::new(100, 4, epsilon, 11).with_decay(0.0);
+            // epoch 1: adopt {0,1,2,3} (decay 0 wipes history afterwards)
+            for _ in 0..10 {
+                for e in 0..4u32 {
+                    c.access(e);
+                }
+            }
+            c.end_epoch();
+            for e in 0..4u32 {
+                assert!(c.contains(e), "hot item {e} not adopted");
+            }
+            // epoch 2: half the cached set stays hot, half the heat moves
+            // away -> top-4 = {0,1,50,51}, overlap = 2/4 = 0.5
+            for _ in 0..10 {
+                for e in [0u32, 1, 50, 51] {
+                    c.access(e);
+                }
+            }
+            let r = c.end_epoch();
+            (r.overlap, r.replaced)
+        };
+        let (overlap, replaced) = run(0.5);
+        assert_eq!(overlap, 0.5);
+        assert!(!replaced, "overlap == ε must keep the cache");
+        let (overlap, replaced) = run(0.5 + 1e-9);
+        assert_eq!(overlap, 0.5);
+        assert!(replaced, "overlap < ε must swap the cache");
+    }
+
+    #[test]
+    fn request_count_epochs_with_decay_adapt_faster() {
+        // Serving drives end_epoch() by request count rather than training
+        // epochs: maintenance runs every `epoch_requests` accesses. Under a
+        // hot-set shift, decayed frequencies (< 1.0) let the cache abandon
+        // stale history sooner than the paper's cumulative counts.
+        let epochs_to_adopt = |decay: f64| -> usize {
+            let mut c = DynamicCache::new(400, 10, 0.7, 21).with_decay(decay);
+            let epoch_requests = 50usize;
+            // long warm phase on A = 0..10 (5 request-count epochs)
+            for _ in 0..5 {
+                for _ in 0..epoch_requests / 10 {
+                    for e in 0..10u32 {
+                        c.access(e);
+                    }
+                }
+                c.end_epoch();
+            }
+            for e in 0..10u32 {
+                assert!(c.contains(e), "warm phase must cache A");
+            }
+            // shift to B = 100..110; count maintenance passes until adopted
+            for epoch in 1..=40 {
+                for _ in 0..epoch_requests / 10 {
+                    for e in 100..110u32 {
+                        c.access(e);
+                    }
+                }
+                c.end_epoch();
+                if (100..110u32).all(|e| c.contains(e)) {
+                    return epoch;
+                }
+            }
+            panic!("cache never adopted the shifted hot set (decay {decay})");
+        };
+        let decayed = epochs_to_adopt(0.3);
+        let cumulative = epochs_to_adopt(1.0);
+        assert!(
+            decayed < cumulative,
+            "decay must adapt faster: {decayed} vs {cumulative} epochs"
+        );
+    }
+
+    #[test]
+    fn decay_rounds_small_frequencies_to_zero() {
+        // decay < 1.0 truncates: a line touched once is forgotten entirely
+        // after one maintenance pass with decay 0.5 (freq 1 -> 0), so a
+        // single later access elsewhere can outrank it.
+        let mut c = DynamicCache::new(50, 2, 0.9, 3).with_decay(0.5);
+        c.access(10);
+        c.access(11);
+        c.end_epoch(); // freqs of 10/11 decay from 1 to 0
+        for e in [20u32, 21] {
+            c.access(e);
+            c.access(e);
+        }
+        let r = c.end_epoch();
+        assert!(r.replaced, "forgotten lines must lose to fresh heat");
+        assert!(c.contains(20) && c.contains(21));
+        assert!(!c.contains(10) && !c.contains(11));
+    }
+
+    #[test]
     fn totals_accumulate() {
         let mut c = DynamicCache::new(10, 10, 0.7, 1);
         c.access_batch(&[1, 2, 3]);

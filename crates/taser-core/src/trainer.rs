@@ -441,6 +441,47 @@ impl Trainer {
         f.flush()
     }
 
+    /// Exports the trained model as a serving artifact: architecture spec,
+    /// frozen parameters, and the dataset's static feature tables. The
+    /// artifact is what `taser-serve` loads — unlike
+    /// [`Trainer::save_checkpoint`] it is self-describing (no need to
+    /// reconstruct a trainer of the same architecture first). The adaptive
+    /// sampler is a training-time accelerator and is not exported.
+    pub fn export_artifact(&self, ds: &TemporalDataset) -> taser_models::ModelArtifact {
+        use taser_models::artifact::ArtifactPolicy;
+        let backbone = match self.cfg.backbone {
+            Backbone::Tgat => taser_models::ArtifactBackbone::Tgat,
+            Backbone::GraphMixer => taser_models::ArtifactBackbone::GraphMixer,
+        };
+        // the *effective* training policy, override included, so serving
+        // samples support neighborhoods from the trained distribution
+        let policy = match self
+            .cfg
+            .policy_override
+            .unwrap_or_else(|| self.cfg.backbone.policy())
+        {
+            SamplePolicy::Uniform => ArtifactPolicy::Uniform,
+            SamplePolicy::MostRecent => ArtifactPolicy::MostRecent,
+            SamplePolicy::InverseTimespan { delta } => ArtifactPolicy::InverseTimespan { delta },
+        };
+        taser_models::ModelArtifact {
+            spec: taser_models::ModelSpec {
+                backbone,
+                in_dim: self.d0,
+                edge_dim: self.edge_dim,
+                hidden: self.cfg.hidden,
+                time_dim: self.cfg.time_dim,
+                heads: self.cfg.heads,
+                n_neighbors: self.cfg.n_neighbors,
+                dropout: self.cfg.dropout,
+                policy,
+            },
+            store: self.model_store.clone(),
+            node_feats: self.node_feats.clone(),
+            edge_feats: ds.edge_feats.clone(),
+        }
+    }
+
     /// Restores a checkpoint written by [`Trainer::save_checkpoint`] into a
     /// trainer of the *same architecture* (validated by parameter names and
     /// shapes).
@@ -1204,6 +1245,26 @@ mod tests {
             (mrr_a - mrr_b).abs() < 1e-9,
             "checkpoint eval mismatch: {mrr_a} vs {mrr_b}"
         );
+    }
+
+    #[test]
+    fn export_artifact_roundtrips_and_matches_architecture() {
+        let ds = tiny_ds();
+        for backbone in [Backbone::GraphMixer, Backbone::Tgat] {
+            let mut t = Trainer::new(tiny_cfg(backbone, Variant::Baseline), &ds);
+            t.train_epoch(&ds, 0);
+            let art = t.export_artifact(&ds);
+            // the artifact's construction path must agree with the trainer's
+            art.build().expect("spec/store mismatch");
+            let mut buf = Vec::new();
+            art.save(&mut buf).unwrap();
+            let loaded = taser_models::ModelArtifact::load(&mut buf.as_slice()).unwrap();
+            assert_eq!(loaded.spec, art.spec);
+            assert_eq!(
+                loaded.edge_feats.as_ref().map(|f| f.rows()),
+                ds.edge_feats.as_ref().map(|f| f.rows())
+            );
+        }
     }
 
     #[test]

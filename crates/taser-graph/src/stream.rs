@@ -8,26 +8,35 @@
 
 use crate::events::{Event, EventLog};
 use crate::tcsr::TCsr;
+use std::sync::Arc;
 
 /// An event log plus a lazily maintained T-CSR index.
 pub struct StreamingGraph {
     events: Vec<Event>,
-    csr: TCsr,
+    /// Shared so snapshot consumers (e.g. a serving engine's RCU-style
+    /// publish path) can hold the index without deep-copying it.
+    csr: Arc<TCsr>,
     indexed: usize,
     num_nodes: usize,
+    /// Edge id assigned to the next appended event. Seed logs may carry
+    /// non-dense ids (e.g. [`EventLog::tail`] preserves originals), so this
+    /// continues from the maximum seen id rather than the event count.
+    next_eid: u32,
 }
 
 impl StreamingGraph {
     /// Starts from an existing log (may be empty).
     pub fn new(log: EventLog, num_nodes: usize) -> Self {
         let events = log.events().to_vec();
-        let csr = TCsr::build(&log, num_nodes);
+        let csr = Arc::new(TCsr::build(&log, num_nodes));
         let indexed = events.len();
+        let next_eid = events.iter().map(|e| e.eid + 1).max().unwrap_or(0);
         StreamingGraph {
             events,
             csr,
             indexed,
             num_nodes,
+            next_eid,
         }
     }
 
@@ -36,8 +45,10 @@ impl StreamingGraph {
         Self::new(EventLog::default(), num_nodes)
     }
 
-    /// Appends one interaction. Events must arrive in chronological order;
-    /// node ids beyond the current node count grow the graph.
+    /// Appends one interaction, returning the event with its assigned edge
+    /// id (always one past the largest id seen so far — unique even when the
+    /// seed log carries non-dense ids). Events must arrive in chronological
+    /// order; node ids beyond the current node count grow the graph.
     ///
     /// # Panics
     /// Panics if `t` precedes the last appended timestamp.
@@ -54,8 +65,9 @@ impl StreamingGraph {
             src,
             dst,
             t,
-            eid: self.events.len() as u32,
+            eid: self.next_eid,
         };
+        self.next_eid += 1;
         self.events.push(e);
         e
     }
@@ -89,7 +101,7 @@ impl StreamingGraph {
         if stale > 0 && (stale * 2 >= self.indexed.max(1) || self.indexed == 0) {
             self.rebuild();
         }
-        &self.csr
+        self.csr.as_ref()
     }
 
     /// The index with *all* appended events reflected.
@@ -97,13 +109,23 @@ impl StreamingGraph {
         if self.pending() > 0 {
             self.rebuild();
         }
-        &self.csr
+        self.csr.as_ref()
     }
 
     fn rebuild(&mut self) {
         let log = EventLog::from_sorted(self.events.clone());
-        self.csr = TCsr::build(&log, self.num_nodes);
+        self.csr = Arc::new(TCsr::build(&log, self.num_nodes));
         self.indexed = self.events.len();
+    }
+
+    /// Like [`StreamingGraph::csr_fresh`], but hands out a shared handle to
+    /// the index — O(1), no copy. Later rebuilds install a new `Arc`, so
+    /// held handles stay valid (and stale) rather than blocking the stream.
+    pub fn csr_fresh_shared(&mut self) -> Arc<TCsr> {
+        if self.pending() > 0 {
+            self.rebuild();
+        }
+        self.csr.clone()
     }
 
     /// A snapshot of the current log (for dataset construction).
@@ -168,6 +190,78 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log.get(0).eid, 0);
         assert_eq!(log.get(1).dst, 5);
+    }
+
+    #[test]
+    fn shared_csr_handle_survives_rebuilds() {
+        let mut g = StreamingGraph::empty(0);
+        g.append(0, 1, 1.0);
+        let old = g.csr_fresh_shared();
+        assert_eq!(old.temporal_degree(0, 10.0), 1);
+        for i in 0..10 {
+            g.append(0, 1, 2.0 + i as f64);
+        }
+        let new = g.csr_fresh_shared();
+        // the old handle still reads its own (stale) index; no copies made
+        assert_eq!(old.temporal_degree(0, 100.0), 1);
+        assert_eq!(new.temporal_degree(0, 100.0), 11);
+    }
+
+    #[test]
+    fn append_assigns_unique_eids_after_tail_seed() {
+        // tail() preserves the original edge ids (5..10 here); appends must
+        // continue past them instead of restarting at events.len().
+        let full = EventLog::from_unsorted((0..10).map(|i| (0u32, 1u32, i as f64)).collect());
+        let mut g = StreamingGraph::new(full.tail(5), 2);
+        let e = g.append(0, 1, 20.0);
+        assert_eq!(e.eid, 10, "eid must continue past the seed log's maximum");
+        let mut eids: Vec<u32> = g.snapshot().events().iter().map(|ev| ev.eid).collect();
+        let n = eids.len();
+        eids.sort_unstable();
+        eids.dedup();
+        assert_eq!(eids.len(), n, "append produced a duplicate edge id");
+    }
+
+    #[test]
+    fn node_growth_appends_keep_eids_dense() {
+        let mut g = StreamingGraph::empty(2);
+        // each append introduces a brand-new node id, growing the graph
+        let mut expected_nodes = 2;
+        for i in 0..8u32 {
+            let node = 2 + i; // beyond the current node count
+            let e = g.append(0, node, i as f64);
+            expected_nodes = expected_nodes.max(node as usize + 1);
+            assert_eq!(e.eid, i, "eid must track the append sequence");
+            assert_eq!(g.num_nodes(), expected_nodes);
+        }
+        let csr = g.csr_fresh();
+        assert_eq!(csr.num_nodes(), 10);
+        assert_eq!(csr.temporal_degree(0, 100.0), 8);
+    }
+
+    #[test]
+    fn self_loop_append_indexes_once() {
+        let mut g = StreamingGraph::empty(0);
+        g.append(3, 3, 1.0);
+        g.append(3, 4, 2.0);
+        let csr = g.csr_fresh();
+        assert_eq!(
+            csr.neighbor_count(3),
+            2,
+            "self-loop occupies one slab entry"
+        );
+        assert_eq!(csr.num_entries(), 3);
+        let ns: Vec<_> = csr.temporal_neighbors(3, 10.0).collect();
+        assert_eq!(ns[0].node, 3);
+        assert_eq!(ns[0].eid, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn rejects_time_regression_after_node_growth() {
+        let mut g = StreamingGraph::empty(0);
+        g.append(0, 9, 5.0); // grows the graph to 10 nodes
+        g.append(1, 2, 4.9);
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! The versioned model artifact: the hand-off format between the trainer
+//! and the online serving engine.
+//!
+//! An artifact bundles everything a server needs to score link queries
+//! against a live graph: the architecture description ([`ModelSpec`]), the
+//! frozen parameters (a full [`ParamStore`], Adam moments included so a
+//! served model can be fine-tuned later), and the static node/edge feature
+//! matrices the model was trained with. The binary layout is magic-tagged
+//! (`TASERMA1`) and versioned through the magic, mirroring the trainer
+//! checkpoint format (`TASERPS1`).
+
+use crate::graphmixer::{MixerAggregator, MixerConfig};
+use crate::predictor::EdgePredictor;
+use crate::tgat::{TgatConfig, TgatLayer};
+use std::io::{self, Read, Write};
+use taser_graph::feats::FeatureMatrix;
+use taser_tensor::ParamStore;
+
+/// On-disk magic for the artifact format, bumped on layout changes.
+pub const ARTIFACT_MAGIC: &[u8; 8] = b"TASERMA1";
+
+/// Which backbone architecture the artifact stores. Decoupled from
+/// `taser-core`'s trainer enum so the serving stack does not depend on the
+/// training stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactBackbone {
+    /// 2-layer TGAT attention aggregator.
+    Tgat,
+    /// 1-layer GraphMixer aggregator.
+    GraphMixer,
+}
+
+impl ArtifactBackbone {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArtifactBackbone::Tgat => "TGAT",
+            ArtifactBackbone::GraphMixer => "GraphMixer",
+        }
+    }
+
+    /// Number of aggregation hops the backbone consumes.
+    pub fn layers(&self) -> usize {
+        match self {
+            ArtifactBackbone::Tgat => 2,
+            ArtifactBackbone::GraphMixer => 1,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            ArtifactBackbone::Tgat => 0,
+            ArtifactBackbone::GraphMixer => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> io::Result<Self> {
+        match tag {
+            0 => Ok(ArtifactBackbone::Tgat),
+            1 => Ok(ArtifactBackbone::GraphMixer),
+            other => Err(bad(&format!("unknown backbone tag {other}"))),
+        }
+    }
+}
+
+/// The neighbor-finding policy the model was trained under, carried in the
+/// artifact so serving draws support neighborhoods from the same
+/// distribution the encoder saw during training. Mirrors
+/// `taser_sample::SamplePolicy` without coupling the model crate to the
+/// sampling crate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArtifactPolicy {
+    /// Uniform over the temporal neighborhood (TGAT's default).
+    Uniform,
+    /// Most recent interactions first (GraphMixer's default).
+    MostRecent,
+    /// Inverse-timespan weighting with regularizer δ.
+    InverseTimespan {
+        /// Additive timespan regularizer δ.
+        delta: f64,
+    },
+}
+
+impl ArtifactPolicy {
+    fn tag(&self) -> u8 {
+        match self {
+            ArtifactPolicy::Uniform => 0,
+            ArtifactPolicy::MostRecent => 1,
+            ArtifactPolicy::InverseTimespan { .. } => 2,
+        }
+    }
+
+    fn delta(&self) -> f64 {
+        match self {
+            ArtifactPolicy::InverseTimespan { delta } => *delta,
+            _ => 0.0,
+        }
+    }
+
+    fn from_parts(tag: u8, delta: f64) -> io::Result<Self> {
+        match tag {
+            0 => Ok(ArtifactPolicy::Uniform),
+            1 => Ok(ArtifactPolicy::MostRecent),
+            2 => Ok(ArtifactPolicy::InverseTimespan { delta }),
+            other => Err(bad(&format!("unknown policy tag {other}"))),
+        }
+    }
+}
+
+/// Architecture hyperparameters required to rebuild the layer graph that a
+/// [`ParamStore`] was trained under.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelSpec {
+    /// Backbone kind.
+    pub backbone: ArtifactBackbone,
+    /// Level-0 input embedding dimension (`d0`; 1 for featureless nodes).
+    pub in_dim: usize,
+    /// Edge feature dimension (0 = none).
+    pub edge_dim: usize,
+    /// Hidden/model dimension.
+    pub hidden: usize,
+    /// Time encoding dimension.
+    pub time_dim: usize,
+    /// TGAT attention heads (carried but unused by GraphMixer).
+    pub heads: usize,
+    /// Supporting neighbors per node (`n`; the mixer's fixed token count).
+    pub n_neighbors: usize,
+    /// Training-time dropout (inference runs with dropout off; stored so a
+    /// reloaded model can resume training under the original setting).
+    pub dropout: f32,
+    /// The neighbor-finding policy the encoder was trained under.
+    pub policy: ArtifactPolicy,
+}
+
+/// The frozen layer graph reconstructed from a spec. Parameter handles are
+/// valid for the [`ParamStore`] the artifact carries (identical registration
+/// order), so forward passes bind `artifact.store` directly.
+pub enum BuiltAggregator {
+    /// Two stacked TGAT layers.
+    Tgat {
+        /// First (innermost) attention layer.
+        l1: TgatLayer,
+        /// Second attention layer.
+        l2: TgatLayer,
+    },
+    /// Single GraphMixer aggregator.
+    Mixer {
+        /// The aggregator.
+        agg: MixerAggregator,
+    },
+}
+
+/// Aggregator(s) plus the edge predictor head.
+pub struct BuiltModel {
+    /// Backbone layers.
+    pub agg: BuiltAggregator,
+    /// The link-logit head.
+    pub predictor: EdgePredictor,
+}
+
+/// A trained model ready for hand-off: spec + parameters + feature tables.
+pub struct ModelArtifact {
+    /// Architecture description.
+    pub spec: ModelSpec,
+    /// Frozen parameters (Adam state included).
+    pub store: ParamStore,
+    /// Static node features (`[num_nodes, in_dim]`), if the model uses them.
+    pub node_feats: Option<FeatureMatrix>,
+    /// Static edge features (`[num_events, edge_dim]`), if the model uses
+    /// them. Rows are indexed by edge id; events streamed in after training
+    /// fall outside the table and are served as zero features.
+    pub edge_feats: Option<FeatureMatrix>,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Registers the spec's layers onto `store` with the parameter names the
+/// trainer uses, returning the built layer graph. The registration order is
+/// the compatibility contract between trainer and server.
+fn construct(spec: &ModelSpec, store: &mut ParamStore, seed: u64) -> BuiltModel {
+    let agg = match spec.backbone {
+        ArtifactBackbone::Tgat => {
+            let l1 = TgatLayer::new(
+                store,
+                "tgat.l1",
+                TgatConfig {
+                    in_dim: spec.in_dim,
+                    edge_dim: spec.edge_dim,
+                    time_dim: spec.time_dim,
+                    out_dim: spec.hidden,
+                    heads: spec.heads,
+                    dropout: spec.dropout,
+                },
+                seed ^ 0x100,
+            );
+            let l2 = TgatLayer::new(
+                store,
+                "tgat.l2",
+                TgatConfig {
+                    in_dim: spec.hidden,
+                    edge_dim: spec.edge_dim,
+                    time_dim: spec.time_dim,
+                    out_dim: spec.hidden,
+                    heads: spec.heads,
+                    dropout: spec.dropout,
+                },
+                seed ^ 0x200,
+            );
+            BuiltAggregator::Tgat { l1, l2 }
+        }
+        ArtifactBackbone::GraphMixer => {
+            let agg = MixerAggregator::new(
+                store,
+                "gm",
+                MixerConfig {
+                    in_dim: spec.in_dim,
+                    edge_dim: spec.edge_dim,
+                    time_dim: spec.time_dim,
+                    out_dim: spec.hidden,
+                    tokens: spec.n_neighbors,
+                    dropout: spec.dropout,
+                },
+                seed ^ 0x400,
+            );
+            BuiltAggregator::Mixer { agg }
+        }
+    };
+    let predictor = EdgePredictor::new(store, "pred", spec.hidden, seed ^ 0x300);
+    BuiltModel { agg, predictor }
+}
+
+fn write_usize(w: &mut impl Write, v: usize) -> io::Result<()> {
+    w.write_all(&(v as u64).to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_feats(w: &mut impl Write, f: &Option<FeatureMatrix>) -> io::Result<()> {
+    match f {
+        None => w.write_all(&[0u8]),
+        Some(m) => {
+            w.write_all(&[1u8])?;
+            write_usize(w, m.rows())?;
+            write_usize(w, m.dim())?;
+            for &x in m.data() {
+                w.write_all(&x.to_le_bytes())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_feats(r: &mut impl Read) -> io::Result<Option<FeatureMatrix>> {
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    if flag[0] == 0 {
+        return Ok(None);
+    }
+    let rows = read_u64(r)? as usize;
+    let dim = read_u64(r)? as usize;
+    if dim == 0 || rows.checked_mul(dim).is_none_or(|n| n > 1 << 30) {
+        return Err(bad("implausible feature matrix size"));
+    }
+    let mut data = vec![0f32; rows * dim];
+    let mut b = [0u8; 4];
+    for x in &mut data {
+        r.read_exact(&mut b)?;
+        *x = f32::from_le_bytes(b);
+    }
+    Ok(Some(FeatureMatrix::from_vec(data, dim)))
+}
+
+impl ModelSpec {
+    /// Writes the spec section.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&[self.backbone.tag()])?;
+        for v in [
+            self.in_dim,
+            self.edge_dim,
+            self.hidden,
+            self.time_dim,
+            self.heads,
+            self.n_neighbors,
+        ] {
+            write_usize(w, v)?;
+        }
+        w.write_all(&self.dropout.to_le_bytes())?;
+        w.write_all(&[self.policy.tag()])?;
+        w.write_all(&self.policy.delta().to_le_bytes())
+    }
+
+    /// Reads a spec section written by [`ModelSpec::save`].
+    pub fn load(r: &mut impl Read) -> io::Result<Self> {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let backbone = ArtifactBackbone::from_tag(tag[0])?;
+        let mut dims = [0usize; 6];
+        for d in &mut dims {
+            let v = read_u64(r)?;
+            if v > 1 << 24 {
+                return Err(bad("implausible spec dimension"));
+            }
+            *d = v as usize;
+        }
+        let mut f32b = [0u8; 4];
+        r.read_exact(&mut f32b)?;
+        let mut ptag = [0u8; 1];
+        r.read_exact(&mut ptag)?;
+        let mut f64b = [0u8; 8];
+        r.read_exact(&mut f64b)?;
+        let policy = ArtifactPolicy::from_parts(ptag[0], f64::from_le_bytes(f64b))?;
+        let [in_dim, edge_dim, hidden, time_dim, heads, n_neighbors] = dims;
+        if in_dim == 0 || hidden == 0 || time_dim == 0 || n_neighbors == 0 {
+            return Err(bad("spec dimensions must be positive"));
+        }
+        Ok(ModelSpec {
+            backbone,
+            in_dim,
+            edge_dim,
+            hidden,
+            time_dim,
+            heads,
+            n_neighbors,
+            dropout: f32::from_le_bytes(f32b),
+            policy,
+        })
+    }
+}
+
+impl ModelArtifact {
+    /// Creates an artifact with freshly initialized parameters for `spec` —
+    /// the untrained starting point (tests, cold-started servers).
+    pub fn init(
+        spec: ModelSpec,
+        node_feats: Option<FeatureMatrix>,
+        edge_feats: Option<FeatureMatrix>,
+        seed: u64,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        construct(&spec, &mut store, seed);
+        ModelArtifact {
+            spec,
+            store,
+            node_feats,
+            edge_feats,
+        }
+    }
+
+    /// Reconstructs the layer graph described by the spec and validates that
+    /// the carried parameters match it (names and shapes).
+    pub fn build(&self) -> io::Result<BuiltModel> {
+        let mut fresh = ParamStore::new();
+        let model = construct(&self.spec, &mut fresh, 0);
+        if !fresh.compatible_with(&self.store) {
+            return Err(bad(
+                "artifact parameters do not match its architecture spec",
+            ));
+        }
+        Ok(model)
+    }
+
+    /// Serializes the artifact (spec, parameters, feature tables).
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(ARTIFACT_MAGIC)?;
+        self.spec.save(w)?;
+        self.store.save(w)?;
+        write_feats(w, &self.node_feats)?;
+        write_feats(w, &self.edge_feats)
+    }
+
+    /// Deserializes an artifact written by [`ModelArtifact::save`],
+    /// validating spec/parameter consistency and feature dimensions.
+    pub fn load(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != ARTIFACT_MAGIC {
+            return Err(bad("not a TASER model artifact"));
+        }
+        let spec = ModelSpec::load(r)?;
+        let store = ParamStore::load(r)?;
+        let node_feats = read_feats(r)?;
+        let edge_feats = read_feats(r)?;
+        let artifact = ModelArtifact {
+            spec,
+            store,
+            node_feats,
+            edge_feats,
+        };
+        artifact.build()?;
+        if let Some(nf) = &artifact.node_feats {
+            if nf.dim() != spec.in_dim {
+                return Err(bad("node feature dim disagrees with spec.in_dim"));
+            }
+        }
+        if let Some(ef) = &artifact.edge_feats {
+            if ef.dim() != spec.edge_dim {
+                return Err(bad("edge feature dim disagrees with spec.edge_dim"));
+            }
+        }
+        Ok(artifact)
+    }
+
+    /// Saves to a file.
+    pub fn save_file(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut f)?;
+        f.flush()
+    }
+
+    /// Loads from a file.
+    pub fn load_file(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Self::load(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixer_spec() -> ModelSpec {
+        ModelSpec {
+            backbone: ArtifactBackbone::GraphMixer,
+            in_dim: 4,
+            edge_dim: 3,
+            hidden: 8,
+            time_dim: 6,
+            heads: 2,
+            n_neighbors: 5,
+            dropout: 0.1,
+            policy: ArtifactPolicy::MostRecent,
+        }
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        for backbone in [ArtifactBackbone::Tgat, ArtifactBackbone::GraphMixer] {
+            let spec = ModelSpec {
+                backbone,
+                ..mixer_spec()
+            };
+            let mut buf = Vec::new();
+            spec.save(&mut buf).unwrap();
+            let loaded = ModelSpec::load(&mut buf.as_slice()).unwrap();
+            assert_eq!(loaded, spec);
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrip_preserves_params_and_feats() {
+        let node_feats = FeatureMatrix::from_vec((0..20).map(|x| x as f32).collect(), 4);
+        let edge_feats = FeatureMatrix::from_vec((0..30).map(|x| 0.5 * x as f32).collect(), 3);
+        let a = ModelArtifact::init(mixer_spec(), Some(node_feats), Some(edge_feats), 7);
+        let mut buf = Vec::new();
+        a.save(&mut buf).unwrap();
+        let b = ModelArtifact::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(b.spec, a.spec);
+        assert!(b.store.compatible_with(&a.store));
+        assert_eq!(b.node_feats, a.node_feats);
+        assert_eq!(b.edge_feats, a.edge_feats);
+        // parameter values (and Adam state) survive bit-exactly
+        let (mut sa, mut sb) = (Vec::new(), Vec::new());
+        a.store.save(&mut sa).unwrap();
+        b.store.save(&mut sb).unwrap();
+        assert_eq!(sa, sb, "reloaded store must serialize identically");
+    }
+
+    #[test]
+    fn build_reconstructs_both_backbones() {
+        for backbone in [ArtifactBackbone::Tgat, ArtifactBackbone::GraphMixer] {
+            let a = ModelArtifact::init(
+                ModelSpec {
+                    backbone,
+                    ..mixer_spec()
+                },
+                None,
+                None,
+                3,
+            );
+            let built = a.build().unwrap();
+            match (backbone, &built.agg) {
+                (ArtifactBackbone::Tgat, BuiltAggregator::Tgat { .. }) => {}
+                (ArtifactBackbone::GraphMixer, BuiltAggregator::Mixer { .. }) => {}
+                _ => panic!("wrong aggregator built"),
+            }
+            assert_eq!(built.predictor.dim(), 8);
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_mismatches() {
+        assert!(ModelArtifact::load(&mut &b"NOTANARTIFACT"[..]).is_err());
+        // spec says TGAT but params are a mixer's -> inconsistent artifact
+        let mixer = ModelArtifact::init(mixer_spec(), None, None, 1);
+        let broken = ModelArtifact {
+            spec: ModelSpec {
+                backbone: ArtifactBackbone::Tgat,
+                ..mixer_spec()
+            },
+            store: mixer.store.clone(),
+            node_feats: None,
+            edge_feats: None,
+        };
+        assert!(broken.build().is_err());
+        let mut buf = Vec::new();
+        broken.save(&mut buf).unwrap();
+        assert!(ModelArtifact::load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_feature_dim_mismatch() {
+        let a = ModelArtifact::init(
+            mixer_spec(),
+            Some(FeatureMatrix::zeros(10, 9)), // spec.in_dim is 4
+            None,
+            1,
+        );
+        let mut buf = Vec::new();
+        a.save(&mut buf).unwrap();
+        assert!(ModelArtifact::load(&mut buf.as_slice()).is_err());
+    }
+}

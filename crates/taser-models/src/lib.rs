@@ -15,6 +15,7 @@
 //! values for TGAT, mixed token rows for GraphMixer) that TASER's REINFORCE
 //! co-training (Eq. 25-26) reads after the backward pass.
 
+pub mod artifact;
 pub mod batch;
 pub mod eval;
 pub mod graphmixer;
@@ -22,6 +23,9 @@ pub mod predictor;
 pub mod tgat;
 pub mod time_encoding;
 
+pub use artifact::{
+    ArtifactBackbone, ArtifactPolicy, BuiltAggregator, BuiltModel, ModelArtifact, ModelSpec,
+};
 pub use batch::LayerBatch;
 pub use graphmixer::{MixerAggregator, MixerConfig};
 pub use predictor::{link_prediction_loss, EdgePredictor};

@@ -1,0 +1,398 @@
+//! Micro-batching of link queries.
+//!
+//! Scoring one query at a time wastes the batch-oriented machinery this
+//! workspace already has — the block-centric finder launches one block per
+//! target and the tensor stack amortizes per-op overhead over `[B, dim]`
+//! rows. The batcher therefore collects concurrent queries into batches
+//! bounded two ways: **size** (never more than `max_batch` queries, keeping
+//! tail latency flat under load) and **latency** (the oldest query never
+//! waits more than `max_wait` for company — an idle server still answers
+//! promptly). This is the standard inference micro-batching trade-off;
+//! both bounds are [`BatchPolicy`] knobs.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One link-prediction question: "will `src` interact with `dst` at `t`?"
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkQuery {
+    /// Query source node.
+    pub src: u32,
+    /// Query destination node.
+    pub dst: u32,
+    /// Query time (scores use interactions strictly before `t`).
+    pub t: f64,
+}
+
+/// A fulfilled score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoreResult {
+    /// Interaction probability in (0, 1) (sigmoid of the predictor logit).
+    pub prob: f32,
+    /// Generation of the graph snapshot that produced the score.
+    pub generation: u64,
+}
+
+/// Size/latency bounds for batch formation.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Maximum queries per batch.
+    pub max_batch: usize,
+    /// Maximum time the oldest query waits for a batch to fill.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+enum SlotState {
+    Waiting,
+    Done(ScoreResult),
+    /// The owning `Pending` was dropped without a score — a worker panicked
+    /// mid-batch or the engine was torn down around it. Waiters panic with a
+    /// diagnosis instead of blocking forever.
+    Abandoned,
+}
+
+struct Oneshot {
+    slot: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+/// Caller's handle to an in-flight query.
+pub struct ScoreTicket(Arc<Oneshot>);
+
+impl ScoreTicket {
+    /// Blocks until a worker fulfills the query.
+    ///
+    /// # Panics
+    /// Panics if the query was abandoned (its worker died before scoring
+    /// it) — a loud failure beats an unbounded hang.
+    pub fn wait(self) -> ScoreResult {
+        let mut slot = self.0.slot.lock().expect("ticket lock poisoned");
+        loop {
+            match *slot {
+                SlotState::Done(r) => return r,
+                SlotState::Abandoned => {
+                    panic!("query abandoned: its scoring worker died before answering")
+                }
+                SlotState::Waiting => slot = self.0.cv.wait(slot).expect("ticket lock poisoned"),
+            }
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` when the query is still in flight.
+    /// Non-destructive: on timeout the ticket remains valid, so callers can
+    /// poll again or fall back to a blocking [`ScoreTicket::wait`].
+    ///
+    /// # Panics
+    /// Panics if the query was abandoned, as with [`ScoreTicket::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ScoreResult> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.0.slot.lock().expect("ticket lock poisoned");
+        loop {
+            match *slot {
+                SlotState::Done(r) => return Some(r),
+                SlotState::Abandoned => {
+                    panic!("query abandoned: its scoring worker died before answering")
+                }
+                SlotState::Waiting => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, _) = self
+                .0
+                .cv
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket lock poisoned");
+            slot = s;
+        }
+    }
+}
+
+/// A query waiting in (or drained from) the batcher.
+pub struct Pending {
+    /// The question.
+    pub query: LinkQuery,
+    /// Submission time (latency accounting).
+    pub submitted: Instant,
+    ticket: Arc<Oneshot>,
+    fulfilled: bool,
+}
+
+impl Pending {
+    /// Delivers the score to the waiting caller.
+    pub fn fulfill(mut self, result: ScoreResult) {
+        self.fulfilled = true;
+        let mut slot = self.ticket.slot.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = SlotState::Done(result);
+        drop(slot);
+        self.ticket.cv.notify_all();
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        // Dropped without a score (worker panic unwound the batch): wake the
+        // waiter with the abandonment marker so it cannot hang forever.
+        let mut slot = self.ticket.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if matches!(*slot, SlotState::Waiting) {
+            *slot = SlotState::Abandoned;
+        }
+        drop(slot);
+        self.ticket.cv.notify_all();
+    }
+}
+
+struct Queue {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// MPMC query queue with bounded-size / bounded-latency batch draining.
+pub struct MicroBatcher {
+    queue: Mutex<Queue>,
+    notify: Condvar,
+    policy: BatchPolicy,
+}
+
+impl MicroBatcher {
+    /// An open batcher under `policy`.
+    pub fn new(policy: BatchPolicy) -> Self {
+        assert!(policy.max_batch >= 1, "max_batch must be positive");
+        MicroBatcher {
+            queue: Mutex::new(Queue {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            notify: Condvar::new(),
+            policy,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Enqueues a query, returning the caller's ticket.
+    ///
+    /// # Panics
+    /// Panics if the batcher is closed (the engine owns its lifecycle).
+    pub fn submit(&self, query: LinkQuery) -> ScoreTicket {
+        let ticket = Arc::new(Oneshot {
+            slot: Mutex::new(SlotState::Waiting),
+            cv: Condvar::new(),
+        });
+        let pending = Pending {
+            query,
+            submitted: Instant::now(),
+            ticket: ticket.clone(),
+            fulfilled: false,
+        };
+        let mut q = self.queue.lock().expect("batcher lock poisoned");
+        assert!(!q.closed, "submit on a closed batcher");
+        q.items.push_back(pending);
+        drop(q);
+        self.notify.notify_one();
+        ScoreTicket(ticket)
+    }
+
+    /// Queries currently waiting.
+    pub fn backlog(&self) -> usize {
+        self.queue
+            .lock()
+            .expect("batcher lock poisoned")
+            .items
+            .len()
+    }
+
+    /// Blocks for the next batch: returns as soon as `max_batch` queries are
+    /// waiting, or `max_wait` after the first one arrived, whichever is
+    /// sooner. Returns `None` only when the batcher is closed *and* drained —
+    /// workers use that as their exit signal.
+    pub fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut q = self.queue.lock().expect("batcher lock poisoned");
+        // phase 1: wait for the first query (or shutdown)
+        loop {
+            if !q.items.is_empty() {
+                break;
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.notify.wait(q).expect("batcher lock poisoned");
+        }
+        // phase 2: linger until the batch fills or the oldest query times out
+        let deadline = q.items.front().expect("nonempty").submitted + self.policy.max_wait;
+        while q.items.len() < self.policy.max_batch && !q.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .notify
+                .wait_timeout(q, deadline - now)
+                .expect("batcher lock poisoned");
+            q = guard;
+        }
+        let take = q.items.len().min(self.policy.max_batch);
+        Some(q.items.drain(..take).collect())
+    }
+
+    /// Closes the batcher: wakes every waiter; `next_batch` drains what is
+    /// queued and then reports `None`.
+    pub fn close(&self) {
+        self.queue.lock().expect("batcher lock poisoned").closed = true;
+        self.notify.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: u32) -> LinkQuery {
+        LinkQuery {
+            src,
+            dst: 100,
+            t: 1.0,
+        }
+    }
+
+    #[test]
+    fn full_batch_returns_without_waiting_out_the_clock() {
+        let b = MicroBatcher::new(BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_secs(60),
+        });
+        for i in 0..4 {
+            b.submit(q(i));
+        }
+        let start = Instant::now();
+        let batch = b.next_batch().unwrap();
+        assert_eq!(batch.len(), 4);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a full batch must not linger"
+        );
+        assert_eq!(batch[0].query.src, 0, "FIFO order");
+    }
+
+    #[test]
+    fn partial_batch_released_by_latency_bound() {
+        let b = MicroBatcher::new(BatchPolicy {
+            max_batch: 1000,
+            max_wait: Duration::from_millis(20),
+        });
+        b.submit(q(7));
+        let batch = b.next_batch().unwrap();
+        assert_eq!(batch.len(), 1, "latency bound must release the batch");
+    }
+
+    #[test]
+    fn oversized_backlog_splits_into_batches() {
+        let b = MicroBatcher::new(BatchPolicy {
+            max_batch: 3,
+            max_wait: Duration::from_millis(1),
+        });
+        for i in 0..7 {
+            b.submit(q(i));
+        }
+        let sizes: Vec<usize> = (0..3).map(|_| b.next_batch().unwrap().len()).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn tickets_deliver_across_threads() {
+        let b = Arc::new(MicroBatcher::new(BatchPolicy::default()));
+        let worker = {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                let batch = b.next_batch().unwrap();
+                for (i, p) in batch.into_iter().enumerate() {
+                    p.fulfill(ScoreResult {
+                        prob: 0.25 + i as f32,
+                        generation: 9,
+                    });
+                }
+            })
+        };
+        let t1 = b.submit(q(1));
+        let t2 = b.submit(q(2));
+        let r1 = t1.wait();
+        let r2 = t2.wait_timeout(Duration::from_secs(10)).expect("fulfilled");
+        assert_eq!(r1.generation, 9);
+        assert!(r2.prob > r1.prob, "FIFO fulfillment order");
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let b = MicroBatcher::new(BatchPolicy {
+            max_batch: 10,
+            max_wait: Duration::from_millis(1),
+        });
+        b.submit(q(1));
+        b.close();
+        assert_eq!(b.next_batch().unwrap().len(), 1);
+        assert!(b.next_batch().is_none(), "closed + drained = exit signal");
+        assert_eq!(b.backlog(), 0);
+    }
+
+    #[test]
+    fn wait_timeout_expires_on_unfulfilled_ticket() {
+        let b = MicroBatcher::new(BatchPolicy::default());
+        let t = b.submit(q(1));
+        assert!(t.wait_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn wait_timeout_is_retryable_then_resolves() {
+        let b = Arc::new(MicroBatcher::new(BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+        }));
+        let t = b.submit(q(1));
+        assert!(t.wait_timeout(Duration::from_millis(5)).is_none());
+        let worker = {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                for p in b.next_batch().unwrap() {
+                    p.fulfill(ScoreResult {
+                        prob: 0.5,
+                        generation: 1,
+                    });
+                }
+            })
+        };
+        // the timed-out ticket is still live and eventually resolves
+        assert_eq!(t.wait().generation, 1);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "abandoned")]
+    fn dropped_batch_panics_waiters_instead_of_hanging() {
+        let b = MicroBatcher::new(BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+        });
+        let t = b.submit(q(1));
+        // simulate a worker that drained the batch and then died
+        drop(b.next_batch());
+        t.wait();
+    }
+}

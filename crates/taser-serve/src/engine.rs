@@ -1,0 +1,342 @@
+//! The serving engine: snapshot store + micro-batcher + worker pool.
+//!
+//! One [`ServeEngine`] owns the whole online subsystem. Callers on any
+//! thread [`ServeEngine::submit`] link queries and [`ServeEngine::ingest`]
+//! streaming events concurrently; `workers` scoring threads drain the
+//! batcher, pin the latest published snapshot for the duration of a batch,
+//! and run the frozen pipeline. Shutdown is graceful: dropping the engine
+//! closes the batcher, lets the workers drain what is queued, and joins
+//! them.
+
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use taser_graph::events::{Event, EventLog};
+use taser_models::artifact::ModelArtifact;
+use taser_sample::SamplePolicy;
+
+use crate::batcher::{BatchPolicy, LinkQuery, MicroBatcher, ScoreResult, ScoreTicket};
+use crate::features::ServeFeatureCache;
+use crate::pipeline::ScorePipeline;
+use crate::snapshot::SnapshotStore;
+use crate::stats::{LatencyHistogram, ServeStats};
+
+/// Engine construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Scoring worker threads.
+    pub workers: usize,
+    /// Micro-batch bounds.
+    pub batch: BatchPolicy,
+    /// Ingests between automatic snapshot publishes (0 = manual only).
+    pub publish_every: usize,
+    /// Cached fraction of the edge-feature table (Algorithm 3 as a serving
+    /// cache; `<= 0` disables the cache tier).
+    pub cache_ratio: f64,
+    /// Cache replacement threshold ε.
+    pub cache_epsilon: f64,
+    /// Scored queries per cache maintenance pass (0 = never).
+    pub cache_epoch_requests: u64,
+    /// Overrides the backbone's default neighbor-finding policy.
+    pub policy_override: Option<SamplePolicy>,
+    /// Seed for the cache's random initial content.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            batch: BatchPolicy::default(),
+            publish_every: 256,
+            cache_ratio: 0.2,
+            cache_epsilon: 0.7,
+            cache_epoch_requests: 4096,
+            policy_override: None,
+            seed: 0x5EE7,
+        }
+    }
+}
+
+#[derive(Default)]
+struct EngineMetrics {
+    queries: u64,
+    batches: u64,
+    ingests: u64,
+    latency: LatencyHistogram,
+}
+
+/// The online inference engine.
+pub struct ServeEngine {
+    snapshots: Arc<SnapshotStore>,
+    batcher: Arc<MicroBatcher>,
+    pipeline: Arc<ScorePipeline>,
+    features: Arc<ServeFeatureCache>,
+    metrics: Arc<Mutex<EngineMetrics>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Boots an engine serving `artifact` over the interaction history in
+    /// `seed_log` (typically the log the model was trained on; an empty log
+    /// cold-starts the server).
+    pub fn new(artifact: ModelArtifact, seed_log: EventLog, cfg: ServeConfig) -> io::Result<Self> {
+        assert!(cfg.workers >= 1, "engine needs at least one worker");
+        let num_nodes = seed_log
+            .num_nodes()
+            .max(artifact.node_feats.as_ref().map_or(0, |f| f.rows()))
+            .max(1);
+        let (pipeline, edge_feats) = ScorePipeline::new(artifact, cfg.policy_override)?;
+        let pipeline = Arc::new(pipeline);
+        let features = Arc::new(ServeFeatureCache::new(
+            edge_feats,
+            cfg.cache_ratio,
+            cfg.cache_epsilon,
+            cfg.cache_epoch_requests,
+            cfg.seed,
+        ));
+        let snapshots = Arc::new(SnapshotStore::new(seed_log, num_nodes, cfg.publish_every));
+        let batcher = Arc::new(MicroBatcher::new(cfg.batch));
+        let metrics = Arc::new(Mutex::new(EngineMetrics::default()));
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let snapshots = snapshots.clone();
+                let batcher = batcher.clone();
+                let pipeline = pipeline.clone();
+                let features = features.clone();
+                let metrics = metrics.clone();
+                std::thread::spawn(move || {
+                    worker_loop(&snapshots, &batcher, &pipeline, &features, &metrics)
+                })
+            })
+            .collect();
+        Ok(ServeEngine {
+            snapshots,
+            batcher,
+            pipeline,
+            features,
+            metrics,
+            workers,
+        })
+    }
+
+    /// The pipeline being served (spec/policy introspection).
+    pub fn pipeline(&self) -> &ScorePipeline {
+        &self.pipeline
+    }
+
+    /// Appends a streaming interaction; visible to scoring after the next
+    /// publish (automatic every `publish_every` ingests).
+    pub fn ingest(&self, src: u32, dst: u32, t: f64) -> Result<Event, String> {
+        let e = self.snapshots.ingest(src, dst, t)?;
+        self.metrics.lock().expect("metrics lock poisoned").ingests += 1;
+        Ok(e)
+    }
+
+    /// Forces a snapshot publish; returns the current generation.
+    pub fn publish(&self) -> u64 {
+        self.snapshots.publish()
+    }
+
+    /// Generation of the latest published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.snapshots.generation()
+    }
+
+    /// Enqueues a link query; the ticket resolves to a probability plus the
+    /// generation that scored it.
+    pub fn submit(&self, src: u32, dst: u32, t: f64) -> ScoreTicket {
+        self.batcher.submit(LinkQuery { src, dst, t })
+    }
+
+    /// Convenience: submit and block for the score.
+    pub fn score(&self, src: u32, dst: u32, t: f64) -> ScoreResult {
+        self.submit(src, dst, t).wait()
+    }
+
+    /// Point-in-time engine counters.
+    pub fn stats(&self) -> ServeStats {
+        let m = self.metrics.lock().expect("metrics lock poisoned");
+        let cache = self.features.stats();
+        ServeStats {
+            queries: m.queries,
+            batches: m.batches,
+            ingests: m.ingests,
+            generation: self.snapshots.generation(),
+            graph_events: self.snapshots.num_events() as u64,
+            mean_batch: if m.batches == 0 {
+                0.0
+            } else {
+                m.queries as f64 / m.batches as f64
+            },
+            p50_us: m.latency.quantile_us(0.5),
+            p99_us: m.latency.quantile_us(0.99),
+            mean_us: m.latency.mean_us(),
+            max_us: m.latency.max_us(),
+            cache,
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.batcher.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    snapshots: &SnapshotStore,
+    batcher: &MicroBatcher,
+    pipeline: &ScorePipeline,
+    features: &ServeFeatureCache,
+    metrics: &Mutex<EngineMetrics>,
+) {
+    while let Some(batch) = batcher.next_batch() {
+        let snap = snapshots.snapshot();
+        let queries: Vec<LinkQuery> = batch.iter().map(|p| p.query).collect();
+        // the feature cache synchronizes internally, so concurrent workers
+        // overlap on the encoder forward and only serialize on bookkeeping
+        let probs = pipeline.score_batch(&snap.csr, snap.generation, &queries, features);
+        let done = std::time::Instant::now();
+        {
+            let mut m = metrics.lock().expect("metrics lock poisoned");
+            m.batches += 1;
+            m.queries += batch.len() as u64;
+            for p in &batch {
+                m.latency.record(done.duration_since(p.submitted));
+            }
+        }
+        for (pending, prob) in batch.into_iter().zip(probs) {
+            pending.fulfill(ScoreResult {
+                prob,
+                generation: snap.generation,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use taser_graph::feats::FeatureMatrix;
+    use taser_models::artifact::{ArtifactBackbone, ArtifactPolicy, ModelSpec};
+
+    fn tiny_artifact() -> ModelArtifact {
+        ModelArtifact::init(
+            ModelSpec {
+                backbone: ArtifactBackbone::GraphMixer,
+                in_dim: 4,
+                edge_dim: 3,
+                hidden: 8,
+                time_dim: 6,
+                heads: 2,
+                n_neighbors: 4,
+                dropout: 0.1,
+                policy: ArtifactPolicy::MostRecent,
+            },
+            Some(FeatureMatrix::from_vec(
+                (0..80).map(|x| x as f32 * 0.01).collect(),
+                4,
+            )),
+            Some(FeatureMatrix::from_vec(
+                (0..90).map(|x| x as f32 * 0.02).collect(),
+                3,
+            )),
+            5,
+        )
+    }
+
+    fn seed_log() -> EventLog {
+        EventLog::from_unsorted(
+            (0..30u32)
+                .map(|i| (i % 6, 6 + (i % 6), 1.0 + i as f64))
+                .collect(),
+        )
+    }
+
+    fn quick_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+            },
+            publish_every: 0,
+            cache_epoch_requests: 16,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn scores_resolve_with_probabilities() {
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        let tickets: Vec<_> = (0..20)
+            .map(|i| engine.submit(i % 6, 6 + (i % 6), 40.0))
+            .collect();
+        for t in tickets {
+            let r = t.wait();
+            assert!(r.prob > 0.0 && r.prob < 1.0, "{}", r.prob);
+            assert_eq!(r.generation, 0);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 20);
+        assert!(stats.batches >= 3, "max_batch=8 forces >= 3 batches");
+        assert!(stats.p99_us >= stats.p50_us);
+    }
+
+    #[test]
+    fn ingest_then_publish_advances_generation() {
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        let before = engine.score(0, 7, 50.0);
+        assert_eq!(before.generation, 0);
+        for i in 0..10 {
+            engine.ingest(0, 7, 31.0 + i as f64).unwrap();
+        }
+        let generation = engine.publish();
+        assert_eq!(generation, 1);
+        let after = engine.score(0, 7, 50.0);
+        assert_eq!(after.generation, 1);
+        assert_eq!(engine.stats().ingests, 10);
+        // 10 fresh (0,7) interactions should move the score; at minimum the
+        // engine must keep answering with a valid probability
+        assert!(after.prob > 0.0 && after.prob < 1.0);
+    }
+
+    #[test]
+    fn identical_queries_same_generation_are_deterministic() {
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        let a = engine.score(2, 8, 40.0);
+        let tickets: Vec<_> = (0..10u32)
+            .map(|i| engine.submit(i % 6, 6 + (i % 6), 40.0 + f64::from(i) * 0.01))
+            .collect();
+        let b = engine.score(2, 8, 40.0);
+        for t in tickets {
+            t.wait();
+        }
+        assert_eq!(a.generation, b.generation);
+        assert_eq!(a.prob.to_bits(), b.prob.to_bits());
+    }
+
+    #[test]
+    fn rejects_bad_ingest_but_keeps_serving() {
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        assert!(engine.ingest(0, 1, 5.0).is_err(), "t precedes the seed log");
+        let r = engine.score(1, 7, 40.0);
+        assert!(r.prob > 0.0 && r.prob < 1.0);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        let t = engine.submit(0, 6, 40.0);
+        drop(engine); // close → drain → join
+        assert!(
+            t.wait_timeout(Duration::from_secs(30)).is_some(),
+            "queued query must be drained on shutdown"
+        );
+    }
+}

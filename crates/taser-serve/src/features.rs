@@ -1,0 +1,249 @@
+//! The serving-side feature tier: Algorithm 3's top-k cache repurposed as an
+//! inference feature cache.
+//!
+//! Training drives [`DynamicCache`] maintenance at epoch boundaries; a
+//! server has no epochs, so maintenance is driven by *request count*
+//! instead — every `epoch_requests` scored queries the cache runs its
+//! overlap check and (when the hot set drifted) swaps in the current top-k.
+//! Edge ids outside the trained feature table (events streamed in after
+//! training) are served as zero vectors, bypassing the cache: they have no
+//! stored features to cache.
+//!
+//! Methods take `&self`: the policy state (frequencies, cached set,
+//! counters) sits behind an internal mutex so many scoring workers share
+//! one cache, while the feature rows themselves are immutable and copied
+//! lock-free — workers only serialize on the bookkeeping, not the gather.
+
+use std::sync::Mutex;
+use taser_cache::{DynamicCache, EpochCacheReport};
+use taser_graph::feats::FeatureMatrix;
+use taser_sample::PAD;
+
+/// Aggregate cache-tier counters for [`crate::stats::ServeStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FeatureCacheStats {
+    /// Feature rows served from the cached (fast) tier.
+    pub hits: u64,
+    /// Feature rows served from the backing (slow) tier.
+    pub misses: u64,
+    /// Rows outside the trained table, served as zeros.
+    pub unknown: u64,
+    /// Maintenance passes run.
+    pub epochs: u64,
+    /// Cache content replacements across those passes.
+    pub replacements: u64,
+    /// Hit rate over everything served so far.
+    pub hit_rate: f64,
+}
+
+struct PolicyState {
+    cache: Option<DynamicCache>,
+    since_epoch: u64,
+    stats: FeatureCacheStats,
+    last_report: Option<EpochCacheReport>,
+}
+
+/// Edge-feature gather path with request-count-driven cache maintenance.
+pub struct ServeFeatureCache {
+    feats: Option<FeatureMatrix>,
+    dim: usize,
+    epoch_requests: u64,
+    policy: Mutex<PolicyState>,
+}
+
+impl ServeFeatureCache {
+    /// Wraps the trained edge-feature table (if any). `cache_ratio` is the
+    /// cached fraction of rows (`<= 0` disables the cache tier), `epsilon`
+    /// the replacement threshold, `epoch_requests` the maintenance period in
+    /// scored queries (`0` disables maintenance).
+    pub fn new(
+        feats: Option<FeatureMatrix>,
+        cache_ratio: f64,
+        epsilon: f64,
+        epoch_requests: u64,
+        seed: u64,
+    ) -> Self {
+        let dim = feats.as_ref().map_or(0, |f| f.dim());
+        let cache = feats.as_ref().and_then(|f| {
+            (cache_ratio > 0.0).then(|| {
+                let capacity = ((f.rows() as f64) * cache_ratio).round() as usize;
+                DynamicCache::new(f.rows(), capacity, epsilon, seed)
+            })
+        });
+        ServeFeatureCache {
+            feats,
+            dim,
+            epoch_requests,
+            policy: Mutex::new(PolicyState {
+                cache,
+                since_epoch: 0,
+                stats: FeatureCacheStats::default(),
+                last_report: None,
+            }),
+        }
+    }
+
+    /// Feature dimensionality (0 = the model has no edge features).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn policy(&self) -> std::sync::MutexGuard<'_, PolicyState> {
+        // Counter state survives a panicking worker intact (plain integers
+        // and a swap-based cache), so recover rather than cascade poison.
+        self.policy.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Gathers features for possibly-padded edge ids into a zero-filled flat
+    /// buffer `[eids.len() * dim]`. PAD slots and ids beyond the trained
+    /// table stay zero.
+    pub fn gather(&self, eids: &[u32]) -> Vec<f32> {
+        let de = self.dim;
+        let mut buf = vec![0.0f32; eids.len() * de];
+        let Some(feats) = &self.feats else {
+            return buf;
+        };
+        let rows = feats.rows() as u32;
+        {
+            // bookkeeping under the lock; the row copies below are lock-free
+            let mut p = self.policy();
+            for &e in eids {
+                if e == PAD {
+                    continue;
+                }
+                if e >= rows {
+                    p.stats.unknown += 1;
+                    continue;
+                }
+                match &mut p.cache {
+                    Some(c) => {
+                        if c.access(e) {
+                            p.stats.hits += 1;
+                        } else {
+                            p.stats.misses += 1;
+                        }
+                    }
+                    None => p.stats.misses += 1,
+                }
+            }
+        }
+        for (i, &e) in eids.iter().enumerate() {
+            if e != PAD && e < rows {
+                buf[i * de..(i + 1) * de].copy_from_slice(feats.row(e as usize));
+            }
+        }
+        buf
+    }
+
+    /// Accounts `n` scored queries toward the maintenance period, running
+    /// the top-k overlap check when it elapses. Returns the report when a
+    /// maintenance pass ran.
+    pub fn on_requests(&self, n: u64) -> Option<EpochCacheReport> {
+        if self.epoch_requests == 0 {
+            return None;
+        }
+        let mut p = self.policy();
+        p.cache.as_ref()?;
+        p.since_epoch += n;
+        if p.since_epoch < self.epoch_requests {
+            return None;
+        }
+        p.since_epoch = 0;
+        let report = p.cache.as_mut().expect("cache present").end_epoch();
+        p.stats.epochs += 1;
+        if report.replaced {
+            p.stats.replacements += 1;
+        }
+        p.last_report = Some(report);
+        Some(report)
+    }
+
+    /// The most recent maintenance report.
+    pub fn last_report(&self) -> Option<EpochCacheReport> {
+        self.policy().last_report
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> FeatureCacheStats {
+        let mut s = self.policy().stats;
+        let total = s.hits + s.misses;
+        s.hit_rate = if total == 0 {
+            0.0
+        } else {
+            s.hits as f64 / total as f64
+        };
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(rows: usize, dim: usize) -> FeatureMatrix {
+        FeatureMatrix::from_vec((0..rows * dim).map(|x| x as f32).collect(), dim)
+    }
+
+    #[test]
+    fn gather_zero_fills_pad_and_unknown() {
+        let c = ServeFeatureCache::new(Some(feats(4, 2)), 0.5, 0.7, 0, 1);
+        let buf = c.gather(&[1, PAD, 9]);
+        assert_eq!(&buf[0..2], &[2.0, 3.0]);
+        assert_eq!(&buf[2..6], &[0.0; 4], "PAD and unknown rows stay zero");
+        let s = c.stats();
+        assert_eq!(s.unknown, 1);
+        assert_eq!(s.hits + s.misses, 1);
+    }
+
+    #[test]
+    fn featureless_model_gathers_empty() {
+        let c = ServeFeatureCache::new(None, 0.5, 0.7, 8, 1);
+        assert_eq!(c.dim(), 0);
+        assert!(c.gather(&[1, 2]).is_empty());
+        assert!(c.on_requests(100).is_none());
+    }
+
+    #[test]
+    fn request_count_drives_maintenance() {
+        let c = ServeFeatureCache::new(Some(feats(100, 2)), 0.1, 0.7, 10, 2);
+        // a hot set the random initial content is unlikely to fully cover
+        for _ in 0..20 {
+            c.gather(&(40..50u32).collect::<Vec<_>>());
+        }
+        assert!(c.on_requests(9).is_none(), "period not yet elapsed");
+        let report = c.on_requests(1).expect("period elapsed");
+        assert!(report.accesses > 0);
+        assert_eq!(c.stats().epochs, 1);
+        // after adoption the hot set hits
+        if report.replaced {
+            let before = c.stats().hits;
+            c.gather(&(40..50u32).collect::<Vec<_>>());
+            assert_eq!(c.stats().hits - before, 10);
+        }
+    }
+
+    #[test]
+    fn oversized_request_burst_still_triggers_once() {
+        let c = ServeFeatureCache::new(Some(feats(50, 1)), 0.2, 0.7, 10, 3);
+        c.gather(&[1, 2, 3]);
+        assert!(c.on_requests(1000).is_some());
+        assert_eq!(c.stats().epochs, 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = ServeFeatureCache::new(Some(feats(64, 2)), 0.25, 0.7, 0, 1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let buf = c.gather(&[1, 2, 3, 4]);
+                        assert_eq!(buf.len(), 8);
+                    }
+                });
+            }
+        });
+        let st = c.stats();
+        assert_eq!(st.hits + st.misses, 4 * 50 * 4);
+    }
+}

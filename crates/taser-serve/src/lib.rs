@@ -1,0 +1,52 @@
+//! # taser-serve
+//!
+//! Online inference for taser-rs: answer "will `u` interact with `v` at
+//! time `t`?" while interactions keep streaming in — the deployment setting
+//! TGN-style streaming models target, and the one the ROADMAP's
+//! production north star requires beyond batch-offline evaluation.
+//!
+//! The subsystem wires five existing layers into one engine:
+//!
+//! 1. **Snapshots** ([`snapshot`]) — epoch/generation-swapped `Arc` views
+//!    over `taser_graph::StreamingGraph`, so many scoring threads read a
+//!    consistent T-CSR while one ingest path appends and republishes.
+//! 2. **Micro-batching** ([`batcher`]) — bounded-size / bounded-latency
+//!    query batches, amortizing the block-centric finder launch and the
+//!    `[B, dim]` encoder forward exactly like training mini-batches.
+//! 3. **Scoring pipeline** ([`pipeline`]) — finder → feature gather through
+//!    the dynamic cache ([`features`], Algorithm 3 repurposed with
+//!    request-count epochs) → frozen TGAT/GraphMixer encoder →
+//!    `EdgePredictor` sigmoid.
+//! 4. **Model artifacts** — the versioned `taser_models::artifact` format
+//!    produced by `taser_core::trainer::Trainer::export_artifact`.
+//! 5. **Engine + protocol** ([`engine`], [`protocol`]) — a worker-pool
+//!    [`ServeEngine`] with latency quantiles ([`stats`]) and a line-oriented
+//!    text protocol over stdin or TCP (the `taser-serve` binary).
+//!
+//! ```no_run
+//! use taser_serve::{ServeConfig, ServeEngine};
+//! use taser_models::ModelArtifact;
+//! use taser_graph::events::EventLog;
+//!
+//! let artifact = ModelArtifact::load_file("model.taser").unwrap();
+//! let engine = ServeEngine::new(artifact, EventLog::default(), ServeConfig::default()).unwrap();
+//! engine.ingest(0, 1, 10.0).unwrap();
+//! engine.publish();
+//! let score = engine.score(0, 1, 11.0);
+//! println!("p = {:.4} (snapshot generation {})", score.prob, score.generation);
+//! ```
+
+pub mod batcher;
+pub mod engine;
+pub mod features;
+pub mod pipeline;
+pub mod protocol;
+pub mod snapshot;
+pub mod stats;
+
+pub use batcher::{BatchPolicy, LinkQuery, MicroBatcher, ScoreResult, ScoreTicket};
+pub use engine::{ServeConfig, ServeEngine};
+pub use features::{FeatureCacheStats, ServeFeatureCache};
+pub use pipeline::ScorePipeline;
+pub use snapshot::{GraphSnapshot, SnapshotStore};
+pub use stats::{LatencyHistogram, ServeStats};

@@ -1,0 +1,201 @@
+//! The `taser-serve` CLI: train-and-export a model, then serve it online.
+//!
+//! ```text
+//! taser-serve train --out model.taser [--events-out events.txt]
+//!     [--backbone graphmixer|tgat] [--scale 0.01] [--epochs 1] [--seed 42]
+//!
+//! taser-serve run --artifact model.taser [--events events.txt]
+//!     [--tcp 127.0.0.1:7171] [--workers 2] [--max-batch 64]
+//!     [--max-wait-ms 2] [--publish-every 256] [--cache-ratio 0.2]
+//! ```
+//!
+//! `train` fits a small model on the synthetic Wikipedia-style dataset and
+//! writes the serving artifact (plus, optionally, the training event log as
+//! `u v t` lines so `run` can seed the live graph with history). `run`
+//! speaks the line protocol of `taser_serve::protocol` on stdin/stdout, or
+//! on TCP when `--tcp` is given.
+
+use std::time::Duration;
+use taser_core::trainer::{Backbone, Trainer, TrainerConfig, Variant};
+use taser_graph::events::EventLog;
+use taser_graph::synth::SynthConfig;
+use taser_models::ModelArtifact;
+use taser_serve::{protocol, BatchPolicy, ServeConfig, ServeEngine};
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Returns `default` when the flag is absent; a present-but-unparsable
+/// value is an operator error and aborts loudly instead of silently
+/// reverting to the default.
+fn parsed<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    match arg_value(args, key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value {v:?} for {key}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  taser-serve train --out <path> [--events-out <path>] \
+         [--backbone graphmixer|tgat] [--scale f] [--epochs n] [--seed n]\n  \
+         taser-serve run --artifact <path> [--events <path>] [--tcp addr] \
+         [--workers n] [--max-batch n] [--max-wait-ms f] [--publish-every n] \
+         [--cache-ratio f]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => train(&args),
+        Some("run") => run(&args),
+        _ => usage(),
+    }
+}
+
+fn train(args: &[String]) {
+    let Some(out) = arg_value(args, "--out") else {
+        usage()
+    };
+    let backbone = match arg_value(args, "--backbone").as_deref() {
+        None | Some("graphmixer") => Backbone::GraphMixer,
+        Some("tgat") => Backbone::Tgat,
+        Some(other) => {
+            eprintln!("unknown backbone {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let scale = parsed(args, "--scale", 0.01);
+    let epochs = parsed(args, "--epochs", 1usize);
+    let seed = parsed(args, "--seed", 42u64);
+
+    let ds = SynthConfig::wikipedia()
+        .feat_dims(0, 8)
+        .scale(scale)
+        .seed(seed)
+        .build();
+    let cfg = TrainerConfig {
+        backbone,
+        variant: Variant::Baseline,
+        epochs,
+        batch_size: 128,
+        hidden: 16,
+        time_dim: 8,
+        n_neighbors: 5,
+        eval_events: Some(50),
+        eval_chunk: 25,
+        eval_negatives: 9,
+        seed,
+        ..TrainerConfig::default()
+    };
+    eprintln!(
+        "training {} on {} ({} events, {} epochs)...",
+        backbone.name(),
+        ds.name,
+        ds.num_events(),
+        epochs
+    );
+    let mut trainer = Trainer::new(cfg, &ds);
+    for epoch in 0..epochs {
+        let r = trainer.train_epoch(&ds, epoch);
+        eprintln!("epoch {epoch}: loss {:.4}", r.loss);
+    }
+    let artifact = trainer.export_artifact(&ds);
+    artifact.save_file(&out).expect("write artifact");
+    eprintln!("artifact -> {out}");
+    if let Some(events_out) = arg_value(args, "--events-out") {
+        use std::io::Write;
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(&events_out).expect("create events"));
+        for e in ds.log.events() {
+            writeln!(f, "{} {} {}", e.src, e.dst, e.t).expect("write events");
+        }
+        f.flush().expect("flush events");
+        eprintln!("events -> {events_out}");
+    }
+}
+
+fn load_events(path: &str) -> EventLog {
+    let text = std::fs::read_to_string(path).expect("read events file");
+    let mut raw = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let die = |what: &str| -> ! {
+            eprintln!("events file line {}: bad {what}: {line:?}", lineno + 1);
+            std::process::exit(2);
+        };
+        let mut it = line.split_whitespace();
+        // node ids parse as integers — a fractional or negative id is
+        // corrupt input, not something to round into a different node
+        let src: u32 = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die("src"));
+        let dst: u32 = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die("dst"));
+        let t: f64 = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die("t"));
+        if it.next().is_some() {
+            die("triple (trailing tokens)");
+        }
+        raw.push((src, dst, t));
+    }
+    EventLog::from_unsorted(raw)
+}
+
+fn run(args: &[String]) {
+    let Some(path) = arg_value(args, "--artifact") else {
+        usage()
+    };
+    let artifact = ModelArtifact::load_file(&path).expect("load artifact");
+    let seed_log = match arg_value(args, "--events") {
+        Some(p) => load_events(&p),
+        None => EventLog::default(),
+    };
+    let cfg = ServeConfig {
+        workers: parsed(args, "--workers", 2usize).max(1),
+        batch: BatchPolicy {
+            max_batch: parsed(args, "--max-batch", 64usize).max(1),
+            max_wait: Duration::from_secs_f64(parsed(args, "--max-wait-ms", 2.0f64).max(0.0) / 1e3),
+        },
+        publish_every: parsed(args, "--publish-every", 256usize),
+        cache_ratio: parsed(args, "--cache-ratio", 0.2f64),
+        ..ServeConfig::default()
+    };
+    eprintln!(
+        "serving {} ({} seed events, {} workers, batch<= {} / {:?})",
+        artifact.spec.backbone.name(),
+        seed_log.len(),
+        cfg.workers,
+        cfg.batch.max_batch,
+        cfg.batch.max_wait,
+    );
+    let engine = ServeEngine::new(artifact, seed_log, cfg).expect("boot engine");
+    match arg_value(args, "--tcp") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr).expect("bind");
+            eprintln!("listening on {addr}");
+            protocol::serve_tcp(std::sync::Arc::new(engine), listener).expect("serve");
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            protocol::run_session(&engine, stdin.lock(), stdout.lock()).expect("session");
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! The batched scoring pipeline: neighbor finding → feature gather (through
+//! the serving cache) → frozen encoder → edge predictor → sigmoid.
+//!
+//! This is the inference twin of the trainer's per-iteration loop, with the
+//! adaptive machinery stripped: supporting neighbors come straight from the
+//! finder under a fixed policy (the backbone's default unless overridden),
+//! and the encoder runs on an inference tape (no gradients, no dropout).
+//!
+//! **Determinism contract:** identical `(src, dst, t)` queries against the
+//! same snapshot generation produce bit-identical scores, regardless of
+//! which other queries share the micro-batch. Every per-row tensor op is
+//! row-independent, so the only randomness risk is the finder; the
+//! most-recent policy is RNG-free and runs as one batched launch, while
+//! stochastic policies (uniform / inverse-timespan) derive an independent
+//! seed per target from `(node, t, generation, hop)` and launch per-target
+//! blocks — batch composition never reaches the sample distribution.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+use taser_graph::feats::FeatureMatrix;
+use taser_graph::tcsr::TCsr;
+use taser_models::artifact::{ArtifactPolicy, BuiltAggregator, BuiltModel, ModelArtifact};
+use taser_models::batch::LayerBatch;
+use taser_models::{Aggregator, ModelSpec};
+use taser_sample::rng::mix;
+use taser_sample::{GpuFinder, SamplePolicy, SampledNeighbors, PAD};
+use taser_tensor::{ops::sigmoid, Graph, ParamStore, Tensor, VarId};
+
+use crate::batcher::LinkQuery;
+use crate::features::ServeFeatureCache;
+
+/// One hop of the (non-adaptive) support tree.
+struct ServeHop {
+    targets: Vec<(u32, f64)>,
+    selected: SampledNeighbors,
+    edge_buf: Option<Vec<f32>>,
+    delta_t: Vec<f32>,
+    mask: Vec<bool>,
+}
+
+/// Immutable scoring state shared by every worker thread.
+pub struct ScorePipeline {
+    spec: ModelSpec,
+    model: BuiltModel,
+    store: ParamStore,
+    node_feats: Option<FeatureMatrix>,
+    finder: GpuFinder,
+    policy: SamplePolicy,
+}
+
+impl ScorePipeline {
+    /// Builds the pipeline from a loaded artifact, returning the edge
+    /// feature table for the caller to wrap in a [`ServeFeatureCache`].
+    /// `policy_override` replaces the backbone's default finding policy.
+    pub fn new(
+        artifact: ModelArtifact,
+        policy_override: Option<SamplePolicy>,
+    ) -> io::Result<(Self, Option<FeatureMatrix>)> {
+        let model = artifact.build()?;
+        let ModelArtifact {
+            spec,
+            store,
+            node_feats,
+            edge_feats,
+        } = artifact;
+        // Default to the policy the encoder was trained under (carried in
+        // the spec) so serving draws support neighborhoods from the same
+        // distribution as training.
+        let policy = policy_override.unwrap_or(match spec.policy {
+            ArtifactPolicy::Uniform => SamplePolicy::Uniform,
+            ArtifactPolicy::MostRecent => SamplePolicy::MostRecent,
+            ArtifactPolicy::InverseTimespan { delta } => SamplePolicy::InverseTimespan { delta },
+        });
+        Ok((
+            ScorePipeline {
+                spec,
+                model,
+                store,
+                node_feats,
+                finder: GpuFinder::default(),
+                policy,
+            },
+            edge_feats,
+        ))
+    }
+
+    /// The architecture being served.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The active neighbor-finding policy.
+    pub fn policy(&self) -> SamplePolicy {
+        self.policy
+    }
+
+    /// Scores a batch of link queries against one graph snapshot, returning
+    /// one probability in (0, 1) per query.
+    pub fn score_batch(
+        &self,
+        csr: &TCsr,
+        generation: u64,
+        queries: &[LinkQuery],
+        feats: &ServeFeatureCache,
+    ) -> Vec<f32> {
+        let b = queries.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        feats.on_requests(b as u64);
+        // Roots are [srcs | dsts] at their query times, deduplicated: an
+        // identical (node, t) root has an identical support subtree and
+        // embedding, so hot nodes repeated across a batch (the common
+        // serving pattern — ranking trending candidates for many users) are
+        // encoded once and gathered per query. Every tensor op is
+        // row-independent, so scores are bit-identical to the undeduped
+        // forward — this is pure amortization a single-query scorer cannot
+        // have.
+        let mut unique: Vec<(u32, f64)> = Vec::with_capacity(2 * b);
+        let mut slot_of: HashMap<(u32, u64), usize> = HashMap::with_capacity(2 * b);
+        let mut root_slot = Vec::with_capacity(2 * b);
+        let srcs = queries.iter().map(|q| (q.src, q.t));
+        let dsts = queries.iter().map(|q| (q.dst, q.t));
+        for (v, t) in srcs.chain(dsts) {
+            let slot = *slot_of.entry((v, t.to_bits())).or_insert_with(|| {
+                unique.push((v, t));
+                unique.len() - 1
+            });
+            root_slot.push(slot);
+        }
+        let hops = self.build_hops(csr, generation, unique, feats);
+        let mut g = Graph::inference();
+        let h = self.forward(&mut g, &hops);
+        let h_src = g.gather_rows(h, &root_slot[..b]);
+        let h_dst = g.gather_rows(h, &root_slot[b..]);
+        let logits = self
+            .model
+            .predictor
+            .forward(&mut g, &self.store, h_src, h_dst);
+        g.data(logits).data().iter().map(|&x| sigmoid(x)).collect()
+    }
+
+    /// Scores one query on its own (the unbatched baseline the throughput
+    /// harness compares against).
+    pub fn score_one(
+        &self,
+        csr: &TCsr,
+        generation: u64,
+        query: LinkQuery,
+        feats: &ServeFeatureCache,
+    ) -> f32 {
+        self.score_batch(csr, generation, &[query], feats)[0]
+    }
+
+    /// Neighbor finding tolerant of PAD targets and node ids the snapshot
+    /// has not seen yet (both yield empty slots).
+    fn find(
+        &self,
+        csr: &TCsr,
+        targets: &[(u32, f64)],
+        generation: u64,
+        hop: usize,
+    ) -> SampledNeighbors {
+        let n = self.spec.n_neighbors;
+        let valid_idx: Vec<usize> = (0..targets.len())
+            .filter(|&i| targets[i].0 != PAD && (targets[i].0 as usize) < csr.num_nodes())
+            .collect();
+        let queries: Vec<(u32, f64)> = valid_idx.iter().map(|&i| targets[i]).collect();
+        let sub = if matches!(self.policy, SamplePolicy::MostRecent) {
+            // RNG-free: one block-centric launch over the whole batch.
+            self.finder.sample(csr, &queries, n, self.policy, 0)
+        } else {
+            // Stochastic policies: per-target launches under per-target
+            // seeds, so a query's samples are a pure function of
+            // (node, t, generation, hop) — see the determinism contract.
+            let results: Vec<SampledNeighbors> = {
+                use rayon::prelude::*;
+                queries
+                    .par_iter()
+                    .map(|&(v, t)| {
+                        let seed = mix(v as u64)
+                            ^ mix(t.to_bits()).rotate_left(21)
+                            ^ mix(generation ^ ((hop as u64) << 56));
+                        self.finder.sample(csr, &[(v, t)], n, self.policy, seed)
+                    })
+                    .collect()
+            };
+            let mut merged = SampledNeighbors::empty(queries.len(), n);
+            for (i, r) in results.into_iter().enumerate() {
+                merged.counts[i] = r.counts[0];
+                merged.nodes[i * n..(i + 1) * n].copy_from_slice(&r.nodes);
+                merged.times[i * n..(i + 1) * n].copy_from_slice(&r.times);
+                merged.eids[i * n..(i + 1) * n].copy_from_slice(&r.eids);
+            }
+            merged
+        };
+        let mut full = SampledNeighbors::empty(targets.len(), n);
+        for (qi, &ti) in valid_idx.iter().enumerate() {
+            full.counts[ti] = sub.counts[qi];
+            let src = qi * n;
+            let dst = ti * n;
+            full.nodes[dst..dst + n].copy_from_slice(&sub.nodes[src..src + n]);
+            full.times[dst..dst + n].copy_from_slice(&sub.times[src..src + n]);
+            full.eids[dst..dst + n].copy_from_slice(&sub.eids[src..src + n]);
+        }
+        full
+    }
+
+    /// Builds the L-hop support tree for the root set.
+    fn build_hops(
+        &self,
+        csr: &TCsr,
+        generation: u64,
+        roots: Vec<(u32, f64)>,
+        feats: &ServeFeatureCache,
+    ) -> Vec<ServeHop> {
+        let layers = self.spec.backbone.layers();
+        let n = self.spec.n_neighbors;
+        let mut hops = Vec::with_capacity(layers);
+        let mut targets = roots;
+        for hop_idx in 0..layers {
+            let selected = self.find(csr, &targets, generation, hop_idx);
+            let edge_buf = (self.spec.edge_dim > 0).then(|| feats.gather(&selected.eids));
+            let mut delta_t = vec![0.0f32; targets.len() * n];
+            let mut mask = vec![false; targets.len() * n];
+            for (i, &(_, t0)) in targets.iter().enumerate() {
+                for j in 0..selected.counts[i] {
+                    let s = i * n + j;
+                    if selected.nodes[s] != PAD {
+                        mask[s] = true;
+                        delta_t[s] = (t0 - selected.times[s]) as f32;
+                    }
+                }
+            }
+            let next_targets: Vec<(u32, f64)> = (0..targets.len() * n)
+                .map(|s| {
+                    if mask[s] {
+                        (selected.nodes[s], selected.times[s])
+                    } else {
+                        (PAD, 0.0)
+                    }
+                })
+                .collect();
+            hops.push(ServeHop {
+                targets,
+                selected,
+                edge_buf,
+                delta_t,
+                mask,
+            });
+            targets = next_targets;
+        }
+        hops
+    }
+
+    /// Level-0 embeddings for a node list; PAD rows and nodes beyond the
+    /// trained feature table are zero.
+    fn h0(&self, nodes: &[u32]) -> Tensor {
+        let d0 = self.spec.in_dim;
+        let mut t = Tensor::zeros(&[nodes.len(), d0]);
+        if let Some(nf) = &self.node_feats {
+            for (i, &v) in nodes.iter().enumerate() {
+                if v != PAD && (v as usize) < nf.rows() {
+                    t.data_mut()[i * d0..(i + 1) * d0].copy_from_slice(nf.row(v as usize));
+                }
+            }
+        }
+        t
+    }
+
+    /// Frozen backbone forward over the support tree (inference twin of the
+    /// trainer's; see `taser_core::trainer::Trainer::forward`).
+    fn forward(&self, g: &mut Graph, hops: &[ServeHop]) -> VarId {
+        let n = self.spec.n_neighbors;
+        let de = self.spec.edge_dim;
+        match &self.model.agg {
+            BuiltAggregator::Mixer { agg } => {
+                let hop = &hops[0];
+                let r = hop.targets.len();
+                let root_nodes: Vec<u32> = hop.targets.iter().map(|&(v, _)| v).collect();
+                let root_feat = g.leaf(self.h0(&root_nodes));
+                let neigh_feat = g.leaf(self.h0(&hop.selected.nodes));
+                let edge_feat = hop
+                    .edge_buf
+                    .as_ref()
+                    .map(|b| g.leaf(Tensor::from_vec(b.clone(), &[r * n, de])));
+                let batch = LayerBatch::new(
+                    g,
+                    r,
+                    n,
+                    root_feat,
+                    neigh_feat,
+                    edge_feat,
+                    hop.delta_t.clone(),
+                    hop.mask.clone(),
+                );
+                agg.forward(g, &self.store, &batch, false, 0).h
+            }
+            BuiltAggregator::Tgat { l1, l2 } => {
+                let hop0 = &hops[0];
+                let hop1 = &hops[1];
+                let r0 = hop0.targets.len();
+                let r1 = hop1.targets.len(); // = r0 * n
+
+                // Layer 1 runs on T1 = L0 ++ L1 with neighbors [S0 | S1].
+                let mut t1_nodes: Vec<u32> = hop0.targets.iter().map(|&(v, _)| v).collect();
+                t1_nodes.extend(hop1.targets.iter().map(|&(v, _)| v));
+                let root_feat1 = g.leaf(self.h0(&t1_nodes));
+                let mut neigh_nodes = hop0.selected.nodes.clone();
+                neigh_nodes.extend_from_slice(&hop1.selected.nodes);
+                let neigh_feat1 = g.leaf(self.h0(&neigh_nodes));
+                let edge_feat1 = (de > 0).then(|| {
+                    let mut buf = hop0.edge_buf.clone().unwrap_or_default();
+                    buf.extend_from_slice(hop1.edge_buf.as_ref().expect("edge buf"));
+                    g.leaf(Tensor::from_vec(buf, &[(r0 + r1) * n, de]))
+                });
+                let mut delta1 = hop0.delta_t.clone();
+                delta1.extend_from_slice(&hop1.delta_t);
+                let mut mask1 = hop0.mask.clone();
+                mask1.extend_from_slice(&hop1.mask);
+                let batch1 = LayerBatch::new(
+                    g,
+                    r0 + r1,
+                    n,
+                    root_feat1,
+                    neigh_feat1,
+                    edge_feat1,
+                    delta1,
+                    mask1,
+                );
+                let out1 = l1.forward(g, &self.store, &batch1, false, 0);
+
+                // Layer 2: roots = L0 (their layer-1 embeddings), neighbors =
+                // S0 with layer-1 embeddings of the matching L1 targets.
+                let root_idx: Vec<usize> = (0..r0).collect();
+                let root_feat2 = g.gather_rows(out1.h, &root_idx);
+                let neigh_idx: Vec<usize> = (0..r0 * n).map(|s| r0 + s).collect();
+                let neigh_feat2 = g.gather_rows(out1.h, &neigh_idx);
+                let edge_feat2 = (de > 0).then(|| {
+                    g.leaf(Tensor::from_vec(
+                        hop0.edge_buf.clone().expect("edge buf"),
+                        &[r0 * n, de],
+                    ))
+                });
+                let batch2 = LayerBatch::new(
+                    g,
+                    r0,
+                    n,
+                    root_feat2,
+                    neigh_feat2,
+                    edge_feat2,
+                    hop0.delta_t.clone(),
+                    hop0.mask.clone(),
+                );
+                l2.forward(g, &self.store, &batch2, false, 0).h
+            }
+        }
+    }
+}
+
+/// A pipeline is shared read-only across worker threads.
+pub type SharedPipeline = Arc<ScorePipeline>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_graph::events::EventLog;
+    use taser_models::artifact::{ArtifactBackbone, ModelSpec};
+
+    fn default_policy_for(backbone: ArtifactBackbone) -> ArtifactPolicy {
+        match backbone {
+            ArtifactBackbone::Tgat => ArtifactPolicy::Uniform,
+            ArtifactBackbone::GraphMixer => ArtifactPolicy::MostRecent,
+        }
+    }
+
+    fn artifact(backbone: ArtifactBackbone) -> ModelArtifact {
+        let spec = ModelSpec {
+            backbone,
+            in_dim: 4,
+            edge_dim: 3,
+            hidden: 8,
+            time_dim: 6,
+            heads: 2,
+            n_neighbors: 4,
+            dropout: 0.1,
+            policy: default_policy_for(backbone),
+        };
+        let node_feats = FeatureMatrix::from_vec((0..40).map(|x| x as f32 * 0.01).collect(), 4);
+        let edge_feats = FeatureMatrix::from_vec((0..60).map(|x| x as f32 * 0.02).collect(), 3);
+        ModelArtifact::init(spec, Some(node_feats), Some(edge_feats), 11)
+    }
+
+    fn csr() -> TCsr {
+        let log = EventLog::from_unsorted(
+            (0..20u32)
+                .map(|i| (i % 5, 5 + (i % 5), 1.0 + i as f64))
+                .collect(),
+        );
+        TCsr::build(&log, 10)
+    }
+
+    fn cache() -> ServeFeatureCache {
+        ServeFeatureCache::new(
+            Some(FeatureMatrix::from_vec(
+                (0..60).map(|x| x as f32 * 0.02).collect(),
+                3,
+            )),
+            0.5,
+            0.7,
+            0,
+            1,
+        )
+    }
+
+    #[test]
+    fn scores_are_probabilities_for_both_backbones() {
+        for backbone in [ArtifactBackbone::GraphMixer, ArtifactBackbone::Tgat] {
+            let (p, _) = ScorePipeline::new(artifact(backbone), None).unwrap();
+            let feats = cache();
+            let queries: Vec<LinkQuery> = (0..6)
+                .map(|i| LinkQuery {
+                    src: i % 5,
+                    dst: 5 + (i % 5),
+                    t: 25.0,
+                })
+                .collect();
+            let probs = p.score_batch(&csr(), 0, &queries, &feats);
+            assert_eq!(probs.len(), 6);
+            for &pr in &probs {
+                assert!(pr > 0.0 && pr < 1.0, "{backbone:?}: {pr}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_composition_does_not_change_scores() {
+        for backbone in [ArtifactBackbone::GraphMixer, ArtifactBackbone::Tgat] {
+            let (p, _) = ScorePipeline::new(artifact(backbone), None).unwrap();
+            let feats = cache();
+            let target = LinkQuery {
+                src: 2,
+                dst: 7,
+                t: 30.0,
+            };
+            let solo = p.score_one(&csr(), 5, target, &feats);
+            let mut crowd: Vec<LinkQuery> = (0..9)
+                .map(|i| LinkQuery {
+                    src: i % 5,
+                    dst: 5 + ((i + 3) % 5),
+                    t: 28.0 + i as f64 * 0.25,
+                })
+                .collect();
+            crowd.insert(4, target);
+            let batched = p.score_batch(&csr(), 5, &crowd, &feats);
+            assert_eq!(
+                solo.to_bits(),
+                batched[4].to_bits(),
+                "{backbone:?}: determinism across batch compositions"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_nodes_score_without_panicking() {
+        let (p, _) = ScorePipeline::new(artifact(ArtifactBackbone::GraphMixer), None).unwrap();
+        let feats = cache();
+        // node 999 is beyond the snapshot AND the feature table
+        let pr = p.score_one(
+            &csr(),
+            0,
+            LinkQuery {
+                src: 999,
+                dst: 7,
+                t: 30.0,
+            },
+            &feats,
+        );
+        assert!(pr > 0.0 && pr < 1.0);
+    }
+
+    #[test]
+    fn cold_graph_scores_without_panicking() {
+        let (p, _) = ScorePipeline::new(artifact(ArtifactBackbone::Tgat), None).unwrap();
+        let feats = cache();
+        let empty = TCsr::build(&EventLog::default(), 4);
+        let pr = p.score_one(
+            &empty,
+            0,
+            LinkQuery {
+                src: 0,
+                dst: 1,
+                t: 1.0,
+            },
+            &feats,
+        );
+        assert!(pr.is_finite() && pr > 0.0 && pr < 1.0);
+    }
+
+    #[test]
+    fn generation_participates_in_stochastic_seeds() {
+        // Uniform policy: same query, different generations → allowed to
+        // differ (and usually does); same generation → identical.
+        let (p, _) = ScorePipeline::new(artifact(ArtifactBackbone::Tgat), None).unwrap();
+        let feats = cache();
+        let q = LinkQuery {
+            src: 1,
+            dst: 6,
+            t: 30.0,
+        };
+        let a = p.score_one(&csr(), 3, q, &feats);
+        let b = p.score_one(&csr(), 3, q, &feats);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

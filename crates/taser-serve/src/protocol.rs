@@ -1,0 +1,323 @@
+//! Line-oriented text protocol over stdin/stdout or TCP.
+//!
+//! One command per line, one reply per line (always flushed, so scripted
+//! sessions and `nc` both work):
+//!
+//! ```text
+//! ingest <u> <v> <t>   ->  ingested eid=<eid>
+//! query <u> <v> <t>    ->  score <prob> gen=<generation>
+//! publish              ->  published gen=<generation>
+//! stats                ->  <one-line JSON>
+//! quit                 ->  bye            (closes the session)
+//! # comment / blank    ->  (no reply)
+//! ```
+//!
+//! Malformed input answers `error <reason>` and keeps the session open — a
+//! server must survive misbehaving clients.
+
+use crate::engine::ServeEngine;
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// A parsed protocol command.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Command {
+    /// Append a streaming interaction.
+    Ingest {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Timestamp.
+        t: f64,
+    },
+    /// Score a link query.
+    Query {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Query time.
+        t: f64,
+    },
+    /// Force a snapshot publish.
+    Publish,
+    /// Report engine counters.
+    Stats,
+    /// End the session.
+    Quit,
+}
+
+/// Parses one line; `Ok(None)` for blanks and `#` comments.
+pub fn parse(line: &str) -> Result<Option<Command>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().expect("nonempty line has a token");
+    let mut triple = |verb: &str| -> Result<(u32, u32, f64), String> {
+        fn take<'a>(p: Option<&'a str>, verb: &str, what: &str) -> Result<&'a str, String> {
+            p.ok_or_else(|| format!("{verb}: missing {what}"))
+        }
+        let src = take(parts.next(), verb, "src")?
+            .parse::<u32>()
+            .map_err(|e| format!("{verb}: bad src: {e}"))?;
+        let dst = take(parts.next(), verb, "dst")?
+            .parse::<u32>()
+            .map_err(|e| format!("{verb}: bad dst: {e}"))?;
+        let t = take(parts.next(), verb, "t")?
+            .parse::<f64>()
+            .map_err(|e| format!("{verb}: bad t: {e}"))?;
+        if parts.next().is_some() {
+            return Err(format!("{verb}: trailing tokens"));
+        }
+        Ok((src, dst, t))
+    };
+    match verb {
+        "ingest" => {
+            let (src, dst, t) = triple("ingest")?;
+            Ok(Some(Command::Ingest { src, dst, t }))
+        }
+        "query" => {
+            let (src, dst, t) = triple("query")?;
+            Ok(Some(Command::Query { src, dst, t }))
+        }
+        "publish" => Ok(Some(Command::Publish)),
+        "stats" => Ok(Some(Command::Stats)),
+        "quit" => Ok(Some(Command::Quit)),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Executes one command, returning the reply line (`Quit` replies `bye`;
+/// the session loop is responsible for actually ending).
+pub fn respond(engine: &ServeEngine, cmd: Command) -> String {
+    match cmd {
+        Command::Ingest { src, dst, t } => match engine.ingest(src, dst, t) {
+            Ok(e) => format!("ingested eid={}", e.eid),
+            Err(msg) => format!("error {msg}"),
+        },
+        Command::Query { src, dst, t } => {
+            let r = engine.score(src, dst, t);
+            format!("score {:.6} gen={}", r.prob, r.generation)
+        }
+        Command::Publish => format!("published gen={}", engine.publish()),
+        Command::Stats => engine.stats().to_json(),
+        Command::Quit => "bye".to_string(),
+    }
+}
+
+/// Runs one session: reads commands until `quit` or EOF, writing one flushed
+/// reply per command.
+pub fn run_session(
+    engine: &ServeEngine,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        let reply = match parse(&line) {
+            Ok(None) => continue,
+            Ok(Some(cmd)) => {
+                let reply = respond(engine, cmd);
+                if cmd == Command::Quit {
+                    writeln!(writer, "{reply}")?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                reply
+            }
+            Err(msg) => format!("error {msg}"),
+        };
+        writeln!(writer, "{reply}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Accept loop: one thread per TCP connection, each running a session
+/// against the shared engine. Blocks forever (callers spawn it). Transient
+/// accept failures (a client resetting mid-handshake, momentary fd
+/// pressure) are logged and survived — they must not take the server down.
+pub fn serve_tcp(engine: Arc<ServeEngine>, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("accept error (continuing): {e}");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            let reader = std::io::BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let _ = run_session(&engine, reader, stream);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchPolicy;
+    use crate::engine::ServeConfig;
+    use std::time::Duration;
+    use taser_graph::events::EventLog;
+    use taser_graph::feats::FeatureMatrix;
+    use taser_models::artifact::{ArtifactBackbone, ArtifactPolicy, ModelArtifact, ModelSpec};
+
+    fn engine() -> ServeEngine {
+        let artifact = ModelArtifact::init(
+            ModelSpec {
+                backbone: ArtifactBackbone::GraphMixer,
+                in_dim: 2,
+                edge_dim: 0,
+                hidden: 8,
+                time_dim: 4,
+                heads: 2,
+                n_neighbors: 3,
+                dropout: 0.0,
+                policy: ArtifactPolicy::MostRecent,
+            },
+            Some(FeatureMatrix::from_vec(
+                (0..40).map(|x| x as f32 * 0.1).collect(),
+                2,
+            )),
+            None,
+            3,
+        );
+        let log =
+            EventLog::from_unsorted((0..10u32).map(|i| (i % 4, 4 + i % 4, i as f64)).collect());
+        ServeEngine::new(
+            artifact,
+            log,
+            ServeConfig {
+                workers: 1,
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_millis(1),
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_accepts_valid_commands() {
+        assert_eq!(
+            parse("ingest 1 2 3.5").unwrap(),
+            Some(Command::Ingest {
+                src: 1,
+                dst: 2,
+                t: 3.5
+            })
+        );
+        assert_eq!(
+            parse("  query 7 9 100  ").unwrap(),
+            Some(Command::Query {
+                src: 7,
+                dst: 9,
+                t: 100.0
+            })
+        );
+        assert_eq!(parse("publish").unwrap(), Some(Command::Publish));
+        assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
+        assert_eq!(parse("").unwrap(), None);
+        assert_eq!(parse("# comment").unwrap(), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("query 1 2").is_err(), "missing t");
+        assert!(parse("query a 2 3").is_err(), "non-numeric src");
+        assert!(parse("query 1 2 3 4").is_err(), "trailing tokens");
+        assert!(parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn scripted_session_end_to_end() {
+        let engine = engine();
+        let script = "\
+# warm-up
+ingest 0 5 20
+ingest 1 6 21
+publish
+query 0 5 30
+stats
+bogus
+quit
+query 9 9 99
+";
+        let mut out = Vec::new();
+        run_session(&engine, script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            7,
+            "two ingests, publish, query, stats, error, bye: {text}"
+        );
+        assert!(lines[0].starts_with("ingested eid="));
+        assert!(lines[1].starts_with("ingested eid="));
+        assert_eq!(lines[2], "published gen=1");
+        assert!(lines[3].starts_with("score 0."), "{}", lines[3]);
+        assert!(lines[3].contains("gen=1"));
+        assert!(lines[4].starts_with('{'), "stats is JSON: {}", lines[4]);
+        // `bogus` errored but did not end the session; `quit` did, so the
+        // trailing query is never answered
+        assert!(lines[5].starts_with("error"));
+        assert_eq!(lines[6], "bye");
+    }
+
+    #[test]
+    fn query_probability_is_in_unit_interval() {
+        let engine = engine();
+        let reply = respond(
+            &engine,
+            Command::Query {
+                src: 0,
+                dst: 5,
+                t: 50.0,
+            },
+        );
+        let prob: f32 = reply
+            .strip_prefix("score ")
+            .and_then(|r| r.split_whitespace().next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(prob > 0.0 && prob < 1.0, "{reply}");
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead, BufReader, Write};
+        let engine = Arc::new(engine());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                let _ = serve_tcp(engine, listener);
+            });
+        }
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(b"query 1 5 40\nquit\n").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("score "), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "bye");
+    }
+}

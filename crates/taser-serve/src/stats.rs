@@ -1,0 +1,219 @@
+//! Serving telemetry: latency quantiles and engine counters.
+
+use crate::features::FeatureCacheStats;
+use std::time::Duration;
+
+/// Buckets per power-of-two octave. Four sub-buckets bound the relative
+/// quantile error at ~19% — plenty for p50/p99 reporting without keeping
+/// every sample.
+const SUBBUCKETS: u64 = 4;
+/// Total buckets: 64 octaves × sub-buckets (covers any u64 microsecond value).
+const BUCKETS: usize = 64 * SUBBUCKETS as usize;
+
+/// Fixed-memory log-linear histogram over microsecond latencies.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us < SUBBUCKETS {
+        return us as usize; // exact buckets below the first octave
+    }
+    let octave = 63 - us.leading_zeros() as u64;
+    let sub = (us >> (octave.saturating_sub(2))) & (SUBBUCKETS - 1);
+    ((octave * SUBBUCKETS + sub) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound of a bucket (the value reported for quantiles in it).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUBBUCKETS as usize {
+        return idx as u64;
+    }
+    let octave = idx as u64 / SUBBUCKETS;
+    let sub = idx as u64 % SUBBUCKETS;
+    // buckets span [2^octave, 2^(octave+1)) split into SUBBUCKETS runs
+    (1u64 << octave).saturating_add((sub + 1).saturating_mul((1u64 << octave) / SUBBUCKETS))
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        self.counts[bucket_of(us)] += 1;
+        self.total += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile (`q` in [0, 1]) in microseconds; 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64
+        }
+    }
+
+    /// Largest observation in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+}
+
+/// A point-in-time view of the engine's counters.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Queries scored.
+    pub queries: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Events ingested through the engine.
+    pub ingests: u64,
+    /// Latest published snapshot generation.
+    pub generation: u64,
+    /// Events in the live graph (published or pending).
+    pub graph_events: u64,
+    /// Mean queries per batch.
+    pub mean_batch: f64,
+    /// Median end-to-end query latency (submit → score) in µs.
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end query latency in µs.
+    pub p99_us: u64,
+    /// Mean end-to-end query latency in µs.
+    pub mean_us: f64,
+    /// Worst observed query latency in µs.
+    pub max_us: u64,
+    /// Feature cache tier counters.
+    pub cache: FeatureCacheStats,
+}
+
+impl ServeStats {
+    /// One-line JSON rendering (the text protocol's `stats` reply and the
+    /// bench harness output row).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"queries\":{},\"batches\":{},\"ingests\":{},\"generation\":{},",
+                "\"graph_events\":{},\"mean_batch\":{:.2},\"p50_us\":{},\"p99_us\":{},",
+                "\"mean_us\":{:.1},\"max_us\":{},\"cache_hits\":{},\"cache_misses\":{},",
+                "\"cache_unknown\":{},\"cache_hit_rate\":{:.4},\"cache_epochs\":{},",
+                "\"cache_replacements\":{}}}"
+            ),
+            self.queries,
+            self.batches,
+            self.ingests,
+            self.generation,
+            self.graph_events,
+            self.mean_batch,
+            self.p50_us,
+            self.p99_us,
+            self.mean_us,
+            self.max_us,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.unknown,
+            self.cache.hit_rate,
+            self.cache.epochs,
+            self.cache.replacements,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::default();
+        for us in [3u64, 10, 10, 50, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.5);
+        let p99 = h.quantile_us(0.99);
+        assert!(p50 <= p99, "{p50} > {p99}");
+        assert!(p99 <= h.max_us());
+        assert_eq!(h.max_us(), 10_000);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=10_000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.5) as f64;
+        let p99 = h.quantile_us(0.99) as f64;
+        assert!((p50 / 5_000.0 - 1.0).abs() < 0.3, "p50 ~ {p50}");
+        assert!((p99 / 9_900.0 - 1.0).abs() < 0.3, "p99 ~ {p99}");
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut prev = 0;
+        for us in [0u64, 1, 2, 3, 4, 7, 8, 100, 1_000, 1 << 20, 1 << 40] {
+            let b = bucket_of(us);
+            assert!(b >= prev, "bucket({us}) regressed");
+            prev = b;
+            assert!(bucket_upper(b) >= us, "upper({b}) < {us}");
+        }
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let s = ServeStats {
+            queries: 10,
+            p50_us: 250,
+            ..ServeStats::default()
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"queries\":10"));
+        assert!(j.contains("\"p50_us\":250"));
+    }
+}

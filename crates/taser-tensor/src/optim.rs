@@ -40,7 +40,7 @@ impl Default for AdamConfig {
 }
 
 /// Named parameter tensors plus their gradients and Adam moments.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct ParamStore {
     values: Vec<Tensor>,
     grads: Vec<Tensor>,

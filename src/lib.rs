@@ -44,6 +44,7 @@ pub use taser_core as core;
 pub use taser_graph as graph;
 pub use taser_models as models;
 pub use taser_sample as sample;
+pub use taser_serve as serve;
 pub use taser_tensor as tensor;
 
 /// Convenience re-exports covering the common end-to-end workflow.
@@ -57,6 +58,8 @@ pub mod prelude {
     };
     pub use taser_graph::{dataset::TemporalDataset, synth::SynthConfig, tcsr::TCsr};
     pub use taser_models::eval::mrr;
+    pub use taser_models::ModelArtifact;
     pub use taser_sample::{FinderKind, NeighborFinder, SamplePolicy};
+    pub use taser_serve::{ServeConfig, ServeEngine};
     pub use taser_tensor::{Graph, ParamStore, Tensor};
 }

@@ -1,0 +1,158 @@
+//! Round-trip acceptance test for the online serving subsystem: train →
+//! export artifact → boot `ServeEngine` → ingest a live stream while
+//! concurrently scoring from multiple reader threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+use taser_graph::synth::SynthConfig;
+use taser_models::ModelArtifact;
+use taser_serve::{BatchPolicy, ScoreResult, ServeConfig, ServeEngine};
+
+use taser_core::trainer::{Backbone, Trainer, TrainerConfig, Variant};
+
+#[test]
+fn train_export_serve_under_concurrent_ingest() {
+    // --- train one epoch on a small synthetic dataset ---
+    let ds = SynthConfig {
+        num_src: 50,
+        num_dst: 50,
+        num_events: 1500,
+        edge_feat_dim: 8,
+        node_feat_dim: 0,
+        ..SynthConfig::wikipedia()
+    }
+    .scale(1.0)
+    .seed(9)
+    .build();
+    let cfg = TrainerConfig {
+        backbone: Backbone::GraphMixer,
+        variant: Variant::Baseline,
+        epochs: 1,
+        batch_size: 128,
+        hidden: 16,
+        time_dim: 8,
+        n_neighbors: 5,
+        seed: 9,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = Trainer::new(cfg, &ds);
+    let report = trainer.train_epoch(&ds, 0);
+    assert!(report.loss.is_finite());
+
+    // --- export through the on-disk artifact format ---
+    let dir = std::env::temp_dir().join("taser_serve_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.taser");
+    trainer.export_artifact(&ds).save_file(&path).unwrap();
+    let artifact = ModelArtifact::load_file(&path).unwrap();
+    assert_eq!(artifact.spec.hidden, 16);
+
+    // --- boot the engine over the training log ---
+    let t_end = ds.log.events().last().unwrap().t;
+    let num_nodes = ds.num_nodes as u32;
+    let engine = Arc::new(
+        ServeEngine::new(
+            artifact,
+            ds.log.clone(),
+            ServeConfig {
+                workers: 2,
+                batch: BatchPolicy {
+                    max_batch: 32,
+                    max_wait: Duration::from_millis(1),
+                },
+                publish_every: 128,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    // --- 1k ingests concurrent with 1k queries from 2 reader threads ---
+    let probe = (3u32, 60u32, t_end + 5_000.0); // identical (u, v, t) probe
+    let reader = |engine: Arc<ServeEngine>, salt: u32| -> Vec<(bool, ScoreResult)> {
+        let mut out = Vec::with_capacity(500);
+        for i in 0..500u32 {
+            let is_probe = i % 25 == 0;
+            let (src, dst, t) = if is_probe {
+                probe
+            } else {
+                (
+                    (i * 7 + salt) % num_nodes,
+                    (i * 13 + salt * 3 + 1) % num_nodes,
+                    t_end + 1_000.0 + (i + salt) as f64,
+                )
+            };
+            out.push((is_probe, engine.score(src, dst, t)));
+        }
+        out
+    };
+    let results: Vec<Vec<(bool, ScoreResult)>> = std::thread::scope(|s| {
+        let ingester = {
+            let engine = engine.clone();
+            s.spawn(move || {
+                for i in 0..1_000u32 {
+                    engine
+                        .ingest(
+                            i % num_nodes,
+                            (i * 3 + 1) % num_nodes,
+                            t_end + 1.0 + i as f64,
+                        )
+                        .unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|salt| {
+                let engine = engine.clone();
+                s.spawn(move || reader(engine, salt))
+            })
+            .collect();
+        ingester.join().expect("ingest thread panicked");
+        readers
+            .into_iter()
+            .map(|h| h.join().expect("reader thread panicked"))
+            .collect()
+    });
+
+    // --- every score is a probability; probes are deterministic per
+    //     snapshot generation ---
+    let mut probe_by_generation: std::collections::HashMap<u64, u32> = Default::default();
+    let mut total = 0usize;
+    for (is_probe, r) in results.into_iter().flatten() {
+        total += 1;
+        assert!(
+            r.prob > 0.0 && r.prob < 1.0,
+            "score {} outside (0, 1)",
+            r.prob
+        );
+        if is_probe {
+            let bits = probe_by_generation
+                .entry(r.generation)
+                .or_insert(r.prob.to_bits());
+            assert_eq!(
+                *bits,
+                r.prob.to_bits(),
+                "probe query diverged within generation {}",
+                r.generation
+            );
+        }
+    }
+    assert_eq!(total, 1_000);
+
+    let stats = engine.stats();
+    assert_eq!(stats.queries, 1_000);
+    assert_eq!(stats.ingests, 1_000);
+    assert!(
+        stats.generation >= 7,
+        "publish_every=128 over 1k ingests must republish: gen {}",
+        stats.generation
+    );
+    assert!(stats.batches > 0 && stats.p99_us >= stats.p50_us);
+
+    // --- after a final publish, the probe is reproducible cold ---
+    engine.publish();
+    let a = engine.score(probe.0, probe.1, probe.2);
+    let b = engine.score(probe.0, probe.1, probe.2);
+    assert_eq!(a.generation, b.generation);
+    assert_eq!(a.prob.to_bits(), b.prob.to_bits());
+}

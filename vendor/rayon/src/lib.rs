@@ -3,19 +3,31 @@
 //! vendors this shim instead of the real crate (see `vendor/` in the repo
 //! root).
 //!
-//! **Execution is sequential.** Every `par_*` entry point returns a
-//! [`Par`] wrapper around a standard iterator and every consumer
-//! (`for_each`, `reduce`, `collect`, …) drains it on the calling thread.
-//! Call sites compile unchanged and produce identical results; they simply
-//! don't fan out. Replacing this shim with the real rayon (or a
-//! `std::thread::scope`-based splitter) is an open ROADMAP item — the
-//! kernels in `taser-tensor::ops` are already written against the parallel
-//! API, so only this crate needs to change.
+//! **Execution is parallel.** Every `par_*` entry point materializes its
+//! items into a [`Par`] batch; adapters with closures (`map`) and consumers
+//! (`for_each`, `reduce`) split the batch into contiguous per-thread chunks
+//! and run them on a [`std::thread::scope`] pool, preserving item order in
+//! the output. The split is eager rather than work-stealing, which matches
+//! the workload here: callers already size their chunks by
+//! [`current_num_threads`], so every batch arrives pre-balanced.
+//!
+//! Thread count comes from [`std::thread::available_parallelism`], overridable
+//! with the `TASER_NUM_THREADS` environment variable (read once per process;
+//! `TASER_NUM_THREADS=1` restores fully sequential execution). Batches with
+//! fewer than two items, or a one-thread pool, run inline on the caller —
+//! the scope-spawn overhead is only paid when there is work to split.
 //!
 //! Supported surface: `prelude::*`, `current_num_threads`, `join`,
 //! slice `par_chunks{,_mut}` / `par_iter{,_mut}`, `into_par_iter` on any
 //! `IntoIterator`, and the adapters `map`, `zip`, `enumerate`, `chunks`,
-//! `for_each`, `reduce`, `fold`-free `sum`, and `collect`.
+//! `for_each`, `reduce`, `sum`, `collect`, and `count`.
+//!
+//! Semantics match rayon where taser-rs relies on it: `map`/`for_each`
+//! closures must be `Fn + Sync` (re-entrant across threads), `reduce` merges
+//! per-thread partial folds with an associative `op`, and output order is
+//! the input order regardless of which thread processed an item.
+
+use std::sync::OnceLock;
 
 pub mod prelude {
     pub use crate::{
@@ -24,54 +36,163 @@ pub mod prelude {
     };
 }
 
-/// Number of worker threads the "pool" would have. The shim executes
-/// sequentially, but callers use this to pick chunk sizes, so report the
-/// machine's parallelism rather than 1 to keep chunking behavior realistic.
+/// Number of worker threads a parallel region fans out to: the
+/// `TASER_NUM_THREADS` override when set, otherwise the machine's available
+/// parallelism. Callers use this to pick chunk sizes.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("TASER_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
-/// Runs both closures (sequentially here) and returns both results.
+/// Runs both closures — concurrently when the pool has more than one thread —
+/// and returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
 }
 
-/// Sequential stand-in for rayon's `ParallelIterator`: a newtype over a
-/// standard iterator exposing the rayon adapter/consumer names.
-pub struct Par<I>(I);
+/// Splits `items` into `pieces` contiguous runs whose lengths differ by at
+/// most one, preserving order.
+fn split_contiguous<T>(mut items: Vec<T>, pieces: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::with_capacity(pieces);
+    for i in 0..pieces {
+        let take = items.len().div_ceil(pieces - i);
+        let tail = items.split_off(take);
+        out.push(std::mem::replace(&mut items, tail));
+    }
+    out
+}
 
-impl<I: Iterator> Par<I> {
-    pub fn map<F, T>(self, f: F) -> Par<std::iter::Map<I, F>>
+/// Order-preserving parallel map over an owned batch: splits into at most
+/// `threads` contiguous chunks, maps each on a scoped thread, reassembles in
+/// input order. Falls back to an inline loop for tiny batches or one thread.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut chunks = split_contiguous(items, threads.min(n)).into_iter();
+    let first = chunks.next().expect("split of nonempty batch");
+    std::thread::scope(|s| {
+        // spawn workers for the tail chunks, keep the head on the caller —
+        // one fewer spawn per region and the caller contributes instead of
+        // idling at the join.
+        let handles: Vec<_> = chunks
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        out.extend(first.into_iter().map(f));
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        out
+    })
+}
+
+/// Parallel fold: each thread folds its contiguous chunk from `identity()`,
+/// then the partials merge left-to-right. Requires an associative `op` (the
+/// rayon `reduce` contract).
+fn parallel_reduce_vec<T, ID, OP>(items: Vec<T>, identity: &ID, op: &OP, threads: usize) -> T
+where
+    T: Send,
+    ID: Fn() -> T + Sync,
+    OP: Fn(T, T) -> T + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n < 2 {
+        return items.into_iter().fold(identity(), op);
+    }
+    let chunks = split_contiguous(items, threads.min(n));
+    let partials = parallel_map_vec(
+        chunks,
+        &|chunk: Vec<T>| chunk.into_iter().fold(identity(), op),
+        threads,
+    );
+    partials.into_iter().fold(identity(), op)
+}
+
+/// A materialized parallel batch: the shim's stand-in for rayon's
+/// `ParallelIterator`. Adapters preserve item order; closure-carrying
+/// operations fan out across the scoped pool.
+pub struct Par<T> {
+    items: Vec<T>,
+}
+
+impl<T> Par<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<F, R>(self, f: F) -> Par<R>
     where
-        F: FnMut(I::Item) -> T,
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
     {
-        Par(self.0.map(f))
+        Par {
+            items: parallel_map_vec(self.items, &f, current_num_threads()),
+        }
     }
 
-    pub fn zip<J>(self, other: J) -> Par<std::iter::Zip<I, <J as IntoParallelIterator>::Iter>>
+    /// Pairs items positionally with another batch (length = shorter input).
+    pub fn zip<J>(self, other: J) -> Par<(T, J::Item)>
     where
         J: IntoParallelIterator,
     {
-        Par(self.0.zip(other.into_par_iter().0))
+        Par {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
+        }
     }
 
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
+    /// Attaches the item index.
+    pub fn enumerate(self) -> Par<(usize, T)> {
+        Par {
+            items: self.items.into_iter().enumerate().collect(),
+        }
     }
 
     /// Groups items into `Vec`s of length `n` (last one may be shorter),
     /// mirroring `IndexedParallelIterator::chunks`.
-    pub fn chunks(self, n: usize) -> Par<std::vec::IntoIter<Vec<I::Item>>> {
+    pub fn chunks(self, n: usize) -> Par<Vec<T>> {
         assert!(n > 0, "chunks: chunk size must be non-zero");
         let mut out = Vec::new();
         let mut cur = Vec::with_capacity(n);
-        for item in self.0 {
+        for item in self.items {
             cur.push(item);
             if cur.len() == n {
                 out.push(std::mem::replace(&mut cur, Vec::with_capacity(n)));
@@ -80,131 +201,142 @@ impl<I: Iterator> Par<I> {
         if !cur.is_empty() {
             out.push(cur);
         }
-        Par(out.into_iter())
+        Par { items: out }
     }
 
+    /// Runs `f` on every item in parallel.
     pub fn for_each<F>(self, f: F)
     where
-        F: FnMut(I::Item),
+        T: Send,
+        F: Fn(T) + Sync,
     {
-        self.0.for_each(f);
+        parallel_map_vec(self.items, &|item| f(item), current_num_threads());
     }
 
-    /// rayon-style reduce: `identity` seeds the fold, `op` merges.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// rayon-style reduce: `identity` seeds each per-thread fold, `op` merges
+    /// (must be associative).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        T: Send,
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
     {
-        self.0.fold(identity(), op)
+        parallel_reduce_vec(self.items, &identity, &op, current_num_threads())
     }
 
     pub fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: std::iter::Sum<T>,
     {
-        self.0.sum()
+        self.items.into_iter().sum()
     }
 
     pub fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<T>,
     {
-        self.0.collect()
+        self.items.into_iter().collect()
     }
 
     pub fn count(self) -> usize {
-        self.0.count()
+        self.items.len()
     }
 }
 
-impl<I: Iterator> Iterator for Par<I> {
-    type Item = I::Item;
+impl<T> IntoIterator for Par<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
 
     // Makes `Par` an `IntoIterator`, so the blanket `IntoParallelIterator`
-    // impl below covers it and `a.zip(b)` accepts another `Par` (inherent
-    // adapter methods shadow the `Iterator` ones at call sites).
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
+    // impl below covers it and `a.zip(b)` accepts another `Par`.
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
     }
 }
 
 /// `into_par_iter` for anything iterable (ranges, vectors, slices…).
 pub trait IntoParallelIterator {
-    type Iter: Iterator<Item = Self::Item>;
     type Item;
 
-    fn into_par_iter(self) -> Par<Self::Iter>;
+    fn into_par_iter(self) -> Par<Self::Item>;
 }
 
 impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
     type Item = I::Item;
 
-    fn into_par_iter(self) -> Par<Self::Iter> {
-        Par(self.into_iter())
+    fn into_par_iter(self) -> Par<I::Item> {
+        Par {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 /// `par_iter` on shared slices.
 pub trait IntoParallelRefIterator<'a> {
-    type Iter: Iterator<Item = Self::Item>;
     type Item;
 
-    fn par_iter(&'a self) -> Par<Self::Iter>;
+    fn par_iter(&'a self) -> Par<Self::Item>;
 }
 
 impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-    type Iter = std::slice::Iter<'a, T>;
     type Item = &'a T;
 
-    fn par_iter(&'a self) -> Par<Self::Iter> {
-        Par(self.iter())
+    fn par_iter(&'a self) -> Par<&'a T> {
+        Par {
+            items: self.iter().collect(),
+        }
     }
 }
 
 /// `par_iter_mut` on mutable slices.
 pub trait IntoParallelRefMutIterator<'a> {
-    type Iter: Iterator<Item = Self::Item>;
     type Item;
 
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Item>;
 }
 
 impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
-    type Iter = std::slice::IterMut<'a, T>;
     type Item = &'a mut T;
 
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
-        Par(self.iter_mut())
+    fn par_iter_mut(&'a mut self) -> Par<&'a mut T> {
+        Par {
+            items: self.iter_mut().collect(),
+        }
     }
 }
 
 /// `par_chunks` on shared slices.
 pub trait ParallelSlice<T> {
-    fn par_chunks(&self, n: usize) -> Par<std::slice::Chunks<'_, T>>;
+    fn par_chunks(&self, n: usize) -> Par<&[T]>;
 }
 
 impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, n: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(n))
+    fn par_chunks(&self, n: usize) -> Par<&[T]> {
+        Par {
+            items: self.chunks(n).collect(),
+        }
     }
 }
 
 /// `par_chunks_mut` on mutable slices.
 pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, n: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, n: usize) -> Par<&mut [T]>;
 }
 
 impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, n: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(n))
+    fn par_chunks_mut(&mut self, n: usize) -> Par<&mut [T]> {
+        Par {
+            items: self.chunks_mut(n).collect(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{parallel_map_vec, parallel_reduce_vec, split_contiguous};
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn zip_enumerate_map_reduce_matches_serial() {
@@ -232,5 +364,79 @@ mod tests {
         assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
         let folded = (1..=4usize).into_par_iter().reduce(|| 0, |x, y| x + y);
         assert_eq!(folded, 10);
+    }
+
+    #[test]
+    fn split_contiguous_preserves_order_and_balance() {
+        let parts = split_contiguous((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.concat(), (0..10).collect::<Vec<i32>>());
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4), "{sizes:?}");
+        // degenerate splits
+        assert_eq!(split_contiguous(Vec::<i32>::new(), 4).concat(), vec![]);
+        assert_eq!(split_contiguous(vec![1], 4).concat(), vec![1]);
+    }
+
+    #[test]
+    fn forced_multithread_map_preserves_order() {
+        // Bypass the process-wide thread count so the parallel path runs even
+        // on a single-core machine.
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map_vec(items, &|x| x * 3 + 1, 4);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn forced_multithread_runs_off_the_caller_thread() {
+        let seen = Mutex::new(HashSet::new());
+        parallel_map_vec(
+            (0..64).collect::<Vec<i32>>(),
+            &|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            },
+            4,
+        );
+        let ids = seen.lock().unwrap();
+        assert!(
+            ids.contains(&std::thread::current().id()),
+            "the caller must work the head chunk, not idle at the join"
+        );
+        assert!(ids.len() > 1, "expected fan-out across threads: {ids:?}");
+    }
+
+    #[test]
+    fn forced_multithread_reduce_matches_serial() {
+        let items: Vec<u64> = (1..=257).collect();
+        let par = parallel_reduce_vec(items.clone(), &|| 0u64, &|a, b| a + b, 4);
+        let serial: u64 = items.iter().sum();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn parallel_mutation_through_chunks_is_visible() {
+        let mut data = vec![0u32; 4096];
+        let chunk = data.len() / 4;
+        let chunks: Vec<&mut [u32]> = data.chunks_mut(chunk).collect();
+        parallel_map_vec(
+            chunks,
+            &|c: &mut [u32]| {
+                for v in c.iter_mut() {
+                    *v += 7;
+                }
+            },
+            4,
+        );
+        assert!(data.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
     }
 }
