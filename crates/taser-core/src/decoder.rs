@@ -103,9 +103,18 @@ impl NeighborDecoder {
             cfg.enc_dim,
             seed ^ 0x31,
         );
+        // Every head's final scoring layer starts at zero, so the untrained
+        // policy is *exactly* uniform over valid candidates (all raw scores
+        // 0 → softmax uniform). A Xavier-initialized scoring layer induces
+        // a fixed, arbitrary skew before any training signal arrives —
+        // observed 8x between boundary and interior slots — which breaks
+        // the "untrained ≈ uniform" exploration assumption the γ-floor of
+        // Eq. 11 builds on. Gradients still flow on step one: dL/dW of the
+        // zero layer depends on its inputs, not on W (see EXPERIMENTS.md,
+        // "Decoder head initialization").
         let head = match cfg.head {
             DecoderHead::Linear => HeadParams::Linear {
-                w: Linear::new(store, &format!("{name}.lin"), cfg.enc_dim, 1, seed ^ 0x32),
+                w: Linear::zeros(store, &format!("{name}.lin"), cfg.enc_dim, 1, true),
             },
             DecoderHead::Gat => HeadParams::Gat {
                 proj: Linear::new(
@@ -115,14 +124,7 @@ impl NeighborDecoder {
                     cfg.head_dim,
                     seed ^ 0x33,
                 ),
-                att: Linear::with_bias(
-                    store,
-                    &format!("{name}.gatt"),
-                    2 * cfg.head_dim,
-                    1,
-                    false,
-                    seed ^ 0x34,
-                ),
+                att: Linear::zeros(store, &format!("{name}.gatt"), 2 * cfg.head_dim, 1, false),
             },
             DecoderHead::GatV2 => HeadParams::GatV2 {
                 proj: Linear::new(
@@ -132,22 +134,18 @@ impl NeighborDecoder {
                     cfg.head_dim,
                     seed ^ 0x35,
                 ),
-                att: Linear::with_bias(
-                    store,
-                    &format!("{name}.g2att"),
-                    cfg.head_dim,
-                    1,
-                    false,
-                    seed ^ 0x36,
-                ),
+                att: Linear::zeros(store, &format!("{name}.g2att"), cfg.head_dim, 1, false),
             },
             DecoderHead::Trans => HeadParams::Trans {
-                wq: Linear::new(
+                // zeroing one side of the bilinear form zeroes every score;
+                // wq recovers on the first step (its gradient sees wk's
+                // nonzero projections), after which wk trains normally
+                wq: Linear::zeros(
                     store,
                     &format!("{name}.tq"),
                     cfg.enc_dim,
                     cfg.head_dim,
-                    seed ^ 0x37,
+                    true,
                 ),
                 wk: Linear::new(
                     store,
@@ -282,6 +280,30 @@ mod tests {
                 "{} leaked mass to masked slot",
                 head.name()
             );
+        }
+    }
+
+    #[test]
+    fn untrained_policy_is_exactly_uniform() {
+        // zero-init scoring layers ⇒ all raw scores 0 ⇒ softmax uniform
+        // over valid slots, for every head
+        for head in DecoderHead::all() {
+            let (g, out, _) = run_head(head);
+            let q = g.data(out.q);
+            for i in 0..3 {
+                let valid = if i == 1 { 3.0 } else { 4.0 };
+                for j in 0..4 {
+                    if i == 1 && j == 3 {
+                        continue; // masked
+                    }
+                    assert!(
+                        (q.at2(i, j) - 1.0 / valid).abs() < 1e-6,
+                        "{} q({i},{j}) = {} != 1/{valid}",
+                        head.name(),
+                        q.at2(i, j)
+                    );
+                }
+            }
         }
     }
 

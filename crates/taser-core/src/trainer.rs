@@ -22,7 +22,7 @@ use taser_cache::{CachePolicy, EpochCacheReport, FeatureStore};
 use taser_graph::dataset::TemporalDataset;
 use taser_graph::events::Event;
 use taser_graph::feats::FeatureMatrix;
-use taser_graph::tcsr::TCsr;
+use taser_graph::index::TemporalIndex;
 use taser_models::batch::LayerBatch;
 use taser_models::eval::{mrr, rank_of_positive};
 use taser_models::graphmixer::{MixerAggregator, MixerConfig};
@@ -292,7 +292,10 @@ pub struct Trainer {
     finder: NeighborFinder,
     edge_store: Option<FeatureStore>,
     node_feats: Option<FeatureMatrix>,
-    csr: TCsr,
+    /// The temporal adjacency index neighbor finding runs against. Any
+    /// [`TemporalIndex`] backend works — `TCsr` for offline datasets (the
+    /// default), `IncTcsr` when training off a live incremental index.
+    index: Box<dyn TemporalIndex>,
     d0: usize,
     edge_dim: usize,
     rng: StdRng,
@@ -301,8 +304,20 @@ pub struct Trainer {
 }
 
 impl Trainer {
-    /// Builds a trainer for `ds` under `cfg`.
+    /// Builds a trainer for `ds` under `cfg`, indexing the dataset's full
+    /// log with a freshly built `TCsr`.
     pub fn new(cfg: TrainerConfig, ds: &TemporalDataset) -> Self {
+        Self::with_index(cfg, ds, Box::new(ds.tcsr()))
+    }
+
+    /// Builds a trainer for `ds` that finds neighbors through a caller
+    /// provided index (e.g. an `IncTcsr` snapshot of a live stream). The
+    /// index must cover the dataset's nodes and events.
+    pub fn with_index(
+        cfg: TrainerConfig,
+        ds: &TemporalDataset,
+        index: Box<dyn TemporalIndex>,
+    ) -> Self {
         assert!(cfg.n_neighbors >= 1);
         let d0 = ds.node_dim().max(1);
         let edge_dim = ds.edge_dim();
@@ -406,7 +421,7 @@ impl Trainer {
             finder: NeighborFinder::new(cfg.finder, ds.num_nodes),
             edge_store,
             node_feats: ds.node_feats.clone(),
-            csr: ds.tcsr(),
+            index,
             d0,
             edge_dim,
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -563,9 +578,9 @@ impl Trainer {
             .filter(|&i| targets[i].0 != PAD)
             .collect();
         let queries: Vec<(u32, f64)> = valid_idx.iter().map(|&i| targets[i]).collect();
-        let (sub, stats) = self
-            .finder
-            .sample_with_stats(&self.csr, &queries, budget, policy, seed);
+        let (sub, stats) =
+            self.finder
+                .sample_with_stats(self.index.as_ref(), &queries, budget, policy, seed);
         if let Some(s) = stats {
             self.epoch_kernel = Some(match self.epoch_kernel {
                 Some(acc) => acc.merge(s),
@@ -1298,6 +1313,23 @@ mod tests {
             let rep = t.train_epoch(&ds, 0);
             assert!(rep.loss.is_finite(), "{}", backbone.name());
         }
+    }
+
+    #[test]
+    fn incremental_index_backend_is_bit_identical_to_tcsr() {
+        // Same untrained parameters + same finder queries ⇒ the evaluation
+        // must not be able to tell which index backend answered them.
+        let ds = tiny_ds();
+        let cfg = tiny_cfg(Backbone::GraphMixer, Variant::Baseline);
+        let mut a = Trainer::new(cfg, &ds);
+        let mut w = taser_index::IncIndexWriter::from_log(&ds.log, ds.num_nodes, 8);
+        let mut b = Trainer::with_index(cfg, &ds, Box::new(w.publish()));
+        let mrr_a = a.evaluate(&ds, ds.val_events());
+        let mrr_b = b.evaluate(&ds, ds.val_events());
+        assert_eq!(mrr_a.to_bits(), mrr_b.to_bits(), "{mrr_a} vs {mrr_b}");
+        let emb_a = a.embed(&[(0, 500.0), (3, 900.0)]);
+        let emb_b = b.embed(&[(0, 500.0), (3, 900.0)]);
+        assert_eq!(emb_a.data(), emb_b.data());
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! The [`TemporalIndex`] abstraction: everything a temporal neighbor finder
+//! needs from an adjacency index, decoupled from how the index is stored.
+//!
+//! Two implementations exist in the workspace:
+//!
+//! * [`TCsr`](crate::tcsr::TCsr) — flat timestamp-sorted CSR slabs, rebuilt
+//!   from scratch (O(E)) on every refresh. Fastest to query, cheapest per
+//!   byte, and the differential-test oracle.
+//! * `IncTcsr` (crate `taser-index`) — chained per-node chunks published
+//!   incrementally in O(Δ), for live graphs where an O(E) rebuild per
+//!   snapshot publish is the bottleneck.
+//!
+//! Finders (`taser-sample`), the trainer (`taser-core`) and the serving
+//! snapshot store (`taser-serve`) are generic over this trait, so either
+//! backend can sit under the same sampling/scoring code.
+//!
+//! The trait is dyn-compatible: long-lived holders (snapshot stores, the
+//! trainer) store `Arc<dyn TemporalIndex>` / `Box<dyn TemporalIndex>` while
+//! the per-batch hot paths stay generic (`I: TemporalIndex + ?Sized`) and
+//! monomorphize at the call site.
+
+use crate::tcsr::{TCsr, TemporalNeighbor};
+
+/// Read access to a per-node, time-sorted temporal adjacency index.
+///
+/// Entries of a node `v` are indexed `0..neighbor_count(v)` in
+/// non-decreasing timestamp order; the temporal neighborhood `N(v, t)` is
+/// always the prefix `[0, pivot(v, t))`. `Send + Sync` are supertraits
+/// because every consumer shares the index across scoring/sampling threads.
+pub trait TemporalIndex: Send + Sync {
+    /// Number of nodes the index covers.
+    fn num_nodes(&self) -> usize;
+
+    /// Total adjacency entries (2 × events, minus self-loops).
+    fn num_entries(&self) -> usize;
+
+    /// Full (time-unbounded) neighbor count of `v`.
+    fn neighbor_count(&self, v: u32) -> usize;
+
+    /// The `i`-th temporal neighbor of `v` (`i < neighbor_count(v)`).
+    fn entry(&self, v: u32, i: usize) -> TemporalNeighbor;
+
+    /// Timestamp of the `i`-th entry of `v` — the slab probe a pivot binary
+    /// search performs (the `ts_slab`-equivalent access for indexes whose
+    /// storage is not one contiguous slab).
+    fn entry_ts(&self, v: u32, i: usize) -> f64;
+
+    /// The pivot for `(v, t)`: entries `[0, pivot)` have timestamp strictly
+    /// less than `t`. Default: binary search over [`TemporalIndex::entry_ts`]
+    /// probes; implementations override with storage-aware searches.
+    fn pivot(&self, v: u32, t: f64) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.neighbor_count(v);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.entry_ts(v, mid) < t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Size of the temporal neighborhood `|N(v, t)|`.
+    fn temporal_degree(&self, v: u32, t: f64) -> usize {
+        self.pivot(v, t)
+    }
+
+    /// Bytes consumed by the index (for reporting).
+    fn bytes(&self) -> usize;
+}
+
+/// All neighbors of `v` strictly before `t`, oldest first. Free function so
+/// it also works through `dyn TemporalIndex` (an iterator-returning trait
+/// method would not be dyn-compatible).
+pub fn temporal_neighbors<'a, I: TemporalIndex + ?Sized>(
+    index: &'a I,
+    v: u32,
+    t: f64,
+) -> impl Iterator<Item = TemporalNeighbor> + 'a {
+    let p = index.pivot(v, t);
+    (0..p).map(move |i| index.entry(v, i))
+}
+
+impl TemporalIndex for TCsr {
+    fn num_nodes(&self) -> usize {
+        TCsr::num_nodes(self)
+    }
+
+    fn num_entries(&self) -> usize {
+        TCsr::num_entries(self)
+    }
+
+    fn neighbor_count(&self, v: u32) -> usize {
+        TCsr::neighbor_count(self, v)
+    }
+
+    fn entry(&self, v: u32, i: usize) -> TemporalNeighbor {
+        TCsr::entry(self, v, i)
+    }
+
+    fn entry_ts(&self, v: u32, i: usize) -> f64 {
+        self.ts_slab(v)[i]
+    }
+
+    fn pivot(&self, v: u32, t: f64) -> usize {
+        // partition_point over the contiguous slab beats the generic
+        // entry_ts bisection (no per-probe bounds recomputation)
+        TCsr::pivot(self, v, t)
+    }
+
+    fn bytes(&self) -> usize {
+        TCsr::bytes(self)
+    }
+}
+
+/// Shared handles delegate to their target, so an `Arc<IncTcsr>` (the form
+/// snapshot publishes hand out) plugs directly into anything generic over
+/// the trait — including `Box<dyn TemporalIndex>` holders.
+impl<T: TemporalIndex + ?Sized> TemporalIndex for std::sync::Arc<T> {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+    fn num_entries(&self) -> usize {
+        (**self).num_entries()
+    }
+    fn neighbor_count(&self, v: u32) -> usize {
+        (**self).neighbor_count(v)
+    }
+    fn entry(&self, v: u32, i: usize) -> TemporalNeighbor {
+        (**self).entry(v, i)
+    }
+    fn entry_ts(&self, v: u32, i: usize) -> f64 {
+        (**self).entry_ts(v, i)
+    }
+    fn pivot(&self, v: u32, t: f64) -> usize {
+        (**self).pivot(v, t)
+    }
+    fn temporal_degree(&self, v: u32, t: f64) -> usize {
+        (**self).temporal_degree(v, t)
+    }
+    fn bytes(&self) -> usize {
+        (**self).bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventLog;
+
+    fn csr() -> TCsr {
+        let log = EventLog::from_unsorted(vec![
+            (0, 1, 1.0),
+            (0, 2, 2.0),
+            (1, 2, 3.0),
+            (0, 1, 4.0),
+            (3, 0, 5.0),
+        ]);
+        TCsr::build(&log, 4)
+    }
+
+    fn check_trait(index: &dyn TemporalIndex) {
+        assert_eq!(index.num_nodes(), 4);
+        assert_eq!(index.num_entries(), 10);
+        assert_eq!(index.neighbor_count(0), 4);
+        assert_eq!(index.pivot(0, 4.0), 2);
+        assert_eq!(index.temporal_degree(0, 100.0), 4);
+        assert_eq!(index.entry_ts(0, 1), 2.0);
+        let ns: Vec<_> = temporal_neighbors(index, 0, 4.5).collect();
+        assert_eq!(ns.len(), 3);
+        assert_eq!(ns[2].node, 1);
+    }
+
+    #[test]
+    fn tcsr_is_a_temporal_index_through_dyn() {
+        let csr = csr();
+        check_trait(&csr);
+    }
+
+    #[test]
+    fn default_pivot_matches_slab_pivot() {
+        // the generic entry_ts bisection and TCsr's partition_point override
+        // must agree on every boundary
+        struct Probed<'a>(&'a TCsr);
+        impl TemporalIndex for Probed<'_> {
+            fn num_nodes(&self) -> usize {
+                self.0.num_nodes()
+            }
+            fn num_entries(&self) -> usize {
+                self.0.num_entries()
+            }
+            fn neighbor_count(&self, v: u32) -> usize {
+                self.0.neighbor_count(v)
+            }
+            fn entry(&self, v: u32, i: usize) -> TemporalNeighbor {
+                self.0.entry(v, i)
+            }
+            fn entry_ts(&self, v: u32, i: usize) -> f64 {
+                self.0.ts_slab(v)[i]
+            }
+            fn bytes(&self) -> usize {
+                self.0.bytes()
+            }
+            // no pivot override: exercises the default implementation
+        }
+        let csr = csr();
+        let probed = Probed(&csr);
+        for v in 0..4u32 {
+            for t in [0.0, 0.5, 1.0, 2.0, 3.5, 4.0, 5.0, 99.0] {
+                assert_eq!(probed.pivot(v, t), csr.pivot(v, t), "v={v} t={t}");
+            }
+        }
+    }
+}

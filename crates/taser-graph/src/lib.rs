@@ -5,6 +5,9 @@
 //! * [`events`] — timestamped interaction events and chronological logs.
 //! * [`tcsr`] — the T-CSR index (TGL): per-node adjacency sorted by
 //!   timestamp, giving `N(v, t)` as a binary-searchable prefix.
+//! * [`index`] — the [`TemporalIndex`] trait finders/trainer/serving are
+//!   generic over; implemented by [`TCsr`] here and by the incremental
+//!   `IncTcsr` in the `taser-index` crate.
 //! * [`feats`] — dense node/edge feature matrices.
 //! * [`dataset`] — train/val/test-split datasets with negative sampling.
 //! * [`synth`] — synthetic analogs of the paper's five datasets with
@@ -24,6 +27,7 @@
 pub mod dataset;
 pub mod events;
 pub mod feats;
+pub mod index;
 pub mod stats;
 pub mod stream;
 pub mod synth;
@@ -32,6 +36,7 @@ pub mod tcsr;
 pub use dataset::TemporalDataset;
 pub use events::{Event, EventLog};
 pub use feats::FeatureMatrix;
+pub use index::TemporalIndex;
 pub use stats::DatasetStats;
 pub use stream::StreamingGraph;
 pub use synth::{SynthConfig, SynthMeta};

@@ -1,0 +1,55 @@
+//! # taser-index
+//!
+//! An incremental, sharded temporal adjacency index for live dynamic graphs.
+//!
+//! The flat [`TCsr`](taser_graph::tcsr::TCsr) answers temporal neighborhood
+//! queries fastest, but refreshing it means rebuilding from the full event
+//! log — O(E) per snapshot publish, the cost the ROADMAP flags as the
+//! limiter for large live graphs. Systems that stay online at stream rate
+//! (TGN's memory modules, NAT's per-node dictionaries) maintain per-node
+//! recent-neighbor state *incrementally*; this crate gives the taser-rs
+//! serving path the same property:
+//!
+//! * [`IncTcsr`] — an immutable published snapshot storing each node's
+//!   neighbors as chained, time-ordered **chunks** (log-structured per-node
+//!   blocks) with per-chunk max-timestamp fences. It implements
+//!   [`TemporalIndex`], so every finder, the trainer, and the serving
+//!   pipeline run against it unchanged.
+//! * [`IncIndexWriter`] — the mutable side: nodes are partitioned across
+//!   `S` independently-locked shards (`shard(v) = v mod S`), appends cost
+//!   amortized O(1) per edge direction, and [`IncIndexWriter::publish`]
+//!   produces a new snapshot touching **only what changed** since the last
+//!   generation: clean nodes' chunk lists are structurally shared via
+//!   `Arc`, clean shards reuse their whole published table, and dirty
+//!   shards rebuild their node-pointer spine in parallel over the
+//!   workspace rayon shim.
+//!
+//! Publish cost is O(Δ) data copy (only open chunk tails are re-sealed)
+//! plus O(nodes/S) pointer clones per *dirty* shard and O(S) for the
+//! snapshot spine — no event re-sort, no slab rebuild. Readers holding an
+//! old `Arc<IncTcsr>` keep a consistent view forever; generations never
+//! mutate.
+//!
+//! ```
+//! use taser_graph::events::EventLog;
+//! use taser_graph::index::TemporalIndex;
+//! use taser_index::IncIndexWriter;
+//!
+//! let log = EventLog::from_unsorted(vec![(0, 1, 1.0), (1, 2, 2.0)]);
+//! let mut w = IncIndexWriter::from_log(&log, 3, 4);
+//! let before = w.publish();
+//! w.append(2, 0, 3.0);
+//! let after = w.publish();
+//! assert_eq!(before.temporal_degree(0, 10.0), 1); // old snapshot unchanged
+//! assert_eq!(after.temporal_degree(0, 10.0), 2);
+//! ```
+
+pub mod inc;
+pub mod writer;
+
+pub use inc::{IncTcsr, CHUNK_CAP};
+pub use writer::{IncIndexWriter, DEFAULT_SHARDS};
+
+// Re-exported so downstream crates can name the trait without also
+// depending on taser-graph directly.
+pub use taser_graph::index::TemporalIndex;

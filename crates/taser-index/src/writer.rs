@@ -1,0 +1,556 @@
+//! The mutable side of the incremental index: sharded ingest and O(Δ)
+//! snapshot publish.
+
+use crate::inc::{Chunk, IncTcsr, NodeSlab, ShardTable, CHUNK_CAP};
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex, OnceLock};
+use taser_graph::events::{Event, EventLog};
+
+/// Default shard count. Sharding only affects write-path parallelism and
+/// publish granularity — query results are identical for any value — so the
+/// default just needs to comfortably exceed the thread counts this
+/// workspace targets.
+pub const DEFAULT_SHARDS: usize = 32;
+
+fn empty_slab() -> Arc<NodeSlab> {
+    static EMPTY: OnceLock<Arc<NodeSlab>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(NodeSlab::default())).clone()
+}
+
+/// Per-node writer state: sealed full chunks plus the open tail.
+struct WriterNode {
+    /// Sealed chunks, each exactly `CHUNK_CAP` entries, shared with every
+    /// snapshot that has published them.
+    full: Vec<Arc<Chunk>>,
+    /// Open tail (`< CHUNK_CAP` entries), owned by the writer only.
+    tail_neigh: Vec<u32>,
+    tail_ts: Vec<f64>,
+    tail_eid: Vec<u32>,
+    /// Touched since the last publish.
+    dirty: bool,
+    /// The chain the last publish exposed for this node.
+    published: Arc<NodeSlab>,
+}
+
+impl Default for WriterNode {
+    fn default() -> Self {
+        WriterNode {
+            full: Vec::new(),
+            tail_neigh: Vec::new(),
+            tail_ts: Vec::new(),
+            tail_eid: Vec::new(),
+            dirty: false,
+            published: empty_slab(),
+        }
+    }
+}
+
+impl WriterNode {
+    fn push(&mut self, other: u32, t: f64, eid: u32) {
+        self.tail_neigh.push(other);
+        self.tail_ts.push(t);
+        self.tail_eid.push(eid);
+        if self.tail_ts.len() == CHUNK_CAP {
+            self.full.push(Arc::new(Chunk::new(
+                std::mem::take(&mut self.tail_neigh),
+                std::mem::take(&mut self.tail_ts),
+                std::mem::take(&mut self.tail_eid),
+            )));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.full.len() * CHUNK_CAP + self.tail_ts.len()
+    }
+
+    /// Seals the current state into an immutable chain: sealed chunks are
+    /// Arc-shared as-is; only the open tail (≤ `CHUNK_CAP` entries) is
+    /// copied. This is the entire per-node data-copy cost of a publish.
+    fn publish(&mut self) -> Arc<NodeSlab> {
+        let mut chunks = self.full.clone();
+        if !self.tail_ts.is_empty() {
+            chunks.push(Arc::new(Chunk::new(
+                self.tail_neigh.clone(),
+                self.tail_ts.clone(),
+                self.tail_eid.clone(),
+            )));
+        }
+        let slab = Arc::new(NodeSlab {
+            len: self.len(),
+            chunks,
+        });
+        self.published = slab.clone();
+        self.dirty = false;
+        slab
+    }
+}
+
+/// One independently-locked shard owning nodes `{v : v % S == s}`.
+struct Shard {
+    /// Local index `v / S`.
+    nodes: Vec<WriterNode>,
+    /// Local indices touched since the last publish.
+    dirty_nodes: Vec<u32>,
+    entries: usize,
+    /// The table the last publish exposed; reused verbatim while clean.
+    table: Arc<ShardTable>,
+    dirty: bool,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            nodes: Vec::new(),
+            dirty_nodes: Vec::new(),
+            entries: 0,
+            table: Arc::new(ShardTable::default()),
+            dirty: false,
+        }
+    }
+}
+
+impl Shard {
+    fn push(&mut self, local: usize, other: u32, t: f64, eid: u32) {
+        if self.nodes.len() <= local {
+            self.nodes.resize_with(local + 1, WriterNode::default);
+        }
+        let node = &mut self.nodes[local];
+        if !node.dirty {
+            node.dirty = true;
+            self.dirty_nodes.push(local as u32);
+        }
+        node.push(other, t, eid);
+        self.entries += 1;
+        self.dirty = true;
+    }
+
+    fn publish(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for &local in &self.dirty_nodes {
+            self.nodes[local as usize].publish();
+        }
+        self.dirty_nodes.clear();
+        // New pointer spine for the shard (O(nodes-in-shard) Arc clones, no
+        // data copy); clean shards skip even this.
+        self.table = Arc::new(ShardTable {
+            nodes: self.nodes.iter().map(|n| n.published.clone()).collect(),
+            entries: self.entries,
+        });
+        self.dirty = false;
+    }
+}
+
+/// Routes a chronological event slice into the shards in parallel. Shard
+/// ids are grouped into one contiguous range per worker thread; each group
+/// locks its shards up front, scans the shared event array **once**, and
+/// keeps only the endpoints it owns — O(threads · E) scanning total (a
+/// single pass when sequential), never O(S · E).
+fn route_events(shards: &[Mutex<Shard>], events: &[Event]) {
+    let s_count = shards.len();
+    let groups = rayon::current_num_threads().clamp(1, s_count);
+    let mut ranges = Vec::with_capacity(groups);
+    let mut start = 0usize;
+    for g in 0..groups {
+        let take = (s_count - start).div_ceil(groups - g);
+        ranges.push((start, start + take));
+        start += take;
+    }
+    ranges.into_par_iter().for_each(|(lo, hi)| {
+        let mut guards: Vec<_> = shards[lo..hi]
+            .iter()
+            .map(|m| m.lock().expect("shard lock poisoned"))
+            .collect();
+        for e in events {
+            let ss = (e.src as usize) % s_count;
+            if (lo..hi).contains(&ss) {
+                guards[ss - lo].push((e.src as usize) / s_count, e.dst, e.t, e.eid);
+            }
+            if e.src != e.dst {
+                let ds = (e.dst as usize) % s_count;
+                if (lo..hi).contains(&ds) {
+                    guards[ds - lo].push((e.dst as usize) / s_count, e.src, e.t, e.eid);
+                }
+            }
+        }
+    });
+}
+
+/// Sharded incremental index writer: single logical writer, internally
+/// parallel over `S` independently-locked shards.
+///
+/// Appends must arrive in chronological order (the same contract as
+/// [`taser_graph::stream::StreamingGraph`]); edge ids continue past the
+/// seed log's maximum. [`IncIndexWriter::publish`] snapshots the current
+/// state in O(Δ) — see the crate docs for the exact cost model.
+pub struct IncIndexWriter {
+    shards: Vec<Mutex<Shard>>,
+    num_shards: usize,
+    num_nodes: usize,
+    next_eid: u32,
+    last_t: f64,
+    len: usize,
+    generation: u64,
+}
+
+impl IncIndexWriter {
+    /// An empty writer over `num_nodes` nodes with `num_shards` shards.
+    pub fn new(num_nodes: usize, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        IncIndexWriter {
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            num_shards,
+            num_nodes,
+            next_eid: 0,
+            last_t: f64::NEG_INFINITY,
+            len: 0,
+            generation: 0,
+        }
+    }
+
+    /// Seeds a writer from an existing log, building all shards in parallel
+    /// (see [`route_events`]: one event-array pass per worker thread,
+    /// disjoint shard state, no synchronization beyond the shard locks).
+    pub fn from_log(log: &EventLog, num_nodes: usize, num_shards: usize) -> Self {
+        let mut w = Self::new(num_nodes.max(log.num_nodes()), num_shards);
+        let events = log.events();
+        route_events(&w.shards, events);
+        w.len = events.len();
+        w.last_t = events.last().map(|e| e.t).unwrap_or(f64::NEG_INFINITY);
+        w.next_eid = events.iter().map(|e| e.eid + 1).max().unwrap_or(0);
+        w
+    }
+
+    /// Events appended (including the seed log).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current node count (grows with out-of-range appends).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of publishes so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Appends one interaction, returning the event with its assigned edge
+    /// id. Self-loops occupy a single entry, matching `TCsr::build`.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last appended timestamp.
+    pub fn append(&mut self, src: u32, dst: u32, t: f64) -> Event {
+        assert!(
+            t >= self.last_t,
+            "stream must be chronological: {t} < {}",
+            self.last_t
+        );
+        let e = Event {
+            src,
+            dst,
+            t,
+            eid: self.next_eid,
+        };
+        self.next_eid += 1;
+        self.len += 1;
+        self.last_t = t;
+        self.num_nodes = self.num_nodes.max(src.max(dst) as usize + 1);
+        let s = self.num_shards;
+        self.shards[(src as usize) % s]
+            .lock()
+            .expect("shard lock poisoned")
+            .push((src as usize) / s, dst, t, e.eid);
+        if src != dst {
+            self.shards[(dst as usize) % s]
+                .lock()
+                .expect("shard lock poisoned")
+                .push((dst as usize) / s, src, t, e.eid);
+        }
+        e
+    }
+
+    /// Appends a chronological batch, fanning the per-shard work out over
+    /// the thread pool. Returns the stored events in batch order.
+    ///
+    /// # Panics
+    /// Panics if the batch is not internally sorted or regresses behind the
+    /// stream's last timestamp.
+    pub fn append_batch(&mut self, batch: &[(u32, u32, f64)]) -> Vec<Event> {
+        let mut prev = self.last_t;
+        for &(_, _, t) in batch {
+            assert!(t >= prev, "stream must be chronological: {t} < {prev}");
+            prev = t;
+        }
+        let events: Vec<Event> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, &(src, dst, t))| Event {
+                src,
+                dst,
+                t,
+                eid: self.next_eid + i as u32,
+            })
+            .collect();
+        for e in &events {
+            self.num_nodes = self.num_nodes.max(e.src.max(e.dst) as usize + 1);
+        }
+        route_events(&self.shards, &events);
+        self.next_eid += events.len() as u32;
+        self.len += events.len();
+        if let Some(e) = events.last() {
+            self.last_t = e.t;
+        }
+        events
+    }
+
+    /// Publishes the current state as an immutable snapshot.
+    ///
+    /// Dirty shards re-seal their touched nodes' tails and rebuild their
+    /// pointer spines in parallel; clean shards contribute their previous
+    /// table by `Arc` clone. Total cost: O(Δ) data copy + O(nodes/S) pointer
+    /// clones per dirty shard + O(S) assembly — independent of the number
+    /// of events already indexed.
+    pub fn publish(&mut self) -> Arc<IncTcsr> {
+        self.generation += 1;
+        {
+            let shards = &self.shards;
+            (0..self.num_shards).into_par_iter().for_each(|s| {
+                shards[s].lock().expect("shard lock poisoned").publish();
+            });
+        }
+        let tables: Vec<Arc<ShardTable>> = self
+            .shards
+            .iter()
+            .map(|m| m.lock().expect("shard lock poisoned").table.clone())
+            .collect();
+        let num_entries = tables.iter().map(|t| t.entries).sum();
+        Arc::new(IncTcsr {
+            shards: tables,
+            num_shards: self.num_shards,
+            num_nodes: self.num_nodes,
+            num_entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taser_graph::index::{temporal_neighbors, TemporalIndex};
+    use taser_graph::tcsr::TCsr;
+
+    fn small_log() -> EventLog {
+        EventLog::from_unsorted(vec![
+            (0, 1, 1.0),
+            (0, 2, 2.0),
+            (1, 2, 3.0),
+            (0, 1, 4.0),
+            (3, 0, 5.0),
+        ])
+    }
+
+    /// Asserts every query agrees with a from-scratch `TCsr::build` oracle.
+    fn assert_matches_oracle(idx: &IncTcsr, log: &EventLog, num_nodes: usize) {
+        let oracle = TCsr::build(log, num_nodes);
+        assert_eq!(idx.num_entries(), oracle.num_entries());
+        for v in 0..num_nodes as u32 {
+            assert_eq!(
+                idx.neighbor_count(v),
+                oracle.neighbor_count(v),
+                "count v={v}"
+            );
+            for t in [0.0, 0.5, 1.0, 2.5, 4.0, 5.0, 1e9] {
+                assert_eq!(idx.pivot(v, t), oracle.pivot(v, t), "pivot v={v} t={t}");
+            }
+            let a: Vec<_> = temporal_neighbors(idx, v, 1e9).collect();
+            let b: Vec<_> = oracle.temporal_neighbors(v, 1e9).collect();
+            assert_eq!(a, b, "neighbors v={v}");
+        }
+    }
+
+    #[test]
+    fn seed_build_matches_tcsr_oracle() {
+        let log = small_log();
+        for shards in [1, 2, 4, 7] {
+            let mut w = IncIndexWriter::from_log(&log, 4, shards);
+            let idx = w.publish();
+            assert_matches_oracle(&idx, &log, 4);
+        }
+    }
+
+    #[test]
+    fn appends_accumulate_and_old_snapshots_stay_frozen() {
+        let mut w = IncIndexWriter::new(0, 4);
+        w.append(0, 1, 1.0);
+        let g1 = w.publish();
+        assert_eq!(g1.temporal_degree(0, 10.0), 1);
+        for i in 0..200 {
+            w.append(0, 1, 2.0 + i as f64);
+        }
+        let g2 = w.publish();
+        // old generation untouched; new one sees everything
+        assert_eq!(g1.temporal_degree(0, 1e9), 1);
+        assert_eq!(g2.temporal_degree(0, 1e9), 201);
+        assert_eq!(g2.num_entries(), 402);
+    }
+
+    #[test]
+    fn chunk_boundaries_are_seamless() {
+        // straddle several CHUNK_CAP boundaries and check pivots at each
+        let mut w = IncIndexWriter::new(2, 2);
+        let n = 3 * CHUNK_CAP + 7;
+        for i in 0..n {
+            w.append(0, 1, i as f64);
+        }
+        let idx = w.publish();
+        assert_eq!(idx.neighbor_count(0), n);
+        for probe in [
+            0,
+            1,
+            CHUNK_CAP - 1,
+            CHUNK_CAP,
+            CHUNK_CAP + 1,
+            2 * CHUNK_CAP,
+            n - 1,
+        ] {
+            assert_eq!(idx.pivot(0, probe as f64), probe, "pivot at {probe}");
+            // timestamps are 0..n, so t = probe + 0.5 admits probe + 1 of them
+            assert_eq!(idx.pivot(0, probe as f64 + 0.5), probe + 1, "mid {probe}");
+        }
+        assert_eq!(idx.pivot(0, f64::INFINITY), n);
+        // entries carry the right payloads across the boundary
+        let e = idx.entry(0, CHUNK_CAP);
+        assert_eq!(e.t, CHUNK_CAP as f64);
+        assert_eq!(e.node, 1);
+    }
+
+    #[test]
+    fn partial_tail_is_republished_until_sealed() {
+        let mut w = IncIndexWriter::new(2, 1);
+        for i in 0..(CHUNK_CAP - 1) {
+            w.append(0, 1, i as f64);
+        }
+        let a = w.publish();
+        w.append(0, 1, 1000.0); // fills the chunk exactly
+        let b = w.publish();
+        w.append(0, 1, 2000.0); // opens a new tail
+        let c = w.publish();
+        assert_eq!(a.neighbor_count(0), CHUNK_CAP - 1);
+        assert_eq!(b.neighbor_count(0), CHUNK_CAP);
+        assert_eq!(c.neighbor_count(0), CHUNK_CAP + 1);
+        assert_eq!(c.pivot(0, 1500.0), CHUNK_CAP);
+    }
+
+    #[test]
+    fn clean_shards_share_their_table() {
+        let mut w = IncIndexWriter::new(8, 4);
+        w.append(0, 4, 1.0); // touches shard 0 only (0 % 4 == 4 % 4 == 0)
+        w.append(1, 5, 2.0); // touches shard 1 only
+        let g1 = w.publish();
+        w.append(0, 0, 3.0); // self-loop: dirties node 0 only; 1..4 clean
+        let g2 = w.publish();
+        assert!(
+            !Arc::ptr_eq(&g1.shards[0], &g2.shards[0]),
+            "dirty shard must republish"
+        );
+        for s in 1..4 {
+            assert!(
+                Arc::ptr_eq(&g1.shards[s], &g2.shards[s]),
+                "clean shard {s} must be structurally shared"
+            );
+        }
+        // and within the dirty shard, untouched nodes share their slabs
+        let n1 = &g1.shards[0].nodes;
+        let n2 = &g2.shards[0].nodes;
+        assert!(Arc::ptr_eq(&n1[1], &n2[1]), "clean node 4 (local 1) shared");
+        assert!(!Arc::ptr_eq(&n1[0], &n2[0]), "dirty node 0 republished");
+    }
+
+    #[test]
+    fn sealed_chunks_are_shared_across_generations() {
+        let mut w = IncIndexWriter::new(2, 1);
+        for i in 0..(2 * CHUNK_CAP) {
+            w.append(0, 1, i as f64);
+        }
+        let a = w.publish();
+        w.append(0, 1, 1e6);
+        let b = w.publish();
+        let ca = &a.shards[0].nodes[0].chunks;
+        let cb = &b.shards[0].nodes[0].chunks;
+        assert_eq!(ca.len(), 2);
+        assert_eq!(cb.len(), 3);
+        assert!(Arc::ptr_eq(&ca[0], &cb[0]), "sealed chunk 0 shared");
+        assert!(Arc::ptr_eq(&ca[1], &cb[1]), "sealed chunk 1 shared");
+    }
+
+    #[test]
+    fn append_batch_equals_sequential_appends() {
+        let batch: Vec<(u32, u32, f64)> = (0..500)
+            .map(|i| (i % 13, (i * 7 + 1) % 13, i as f64))
+            .collect();
+        let mut a = IncIndexWriter::new(13, 4);
+        for &(u, v, t) in &batch {
+            a.append(u, v, t);
+        }
+        let mut b = IncIndexWriter::new(13, 4);
+        let events = b.append_batch(&batch);
+        assert_eq!(events.len(), 500);
+        assert_eq!(events[499].eid, 499);
+        let ia = a.publish();
+        let ib = b.publish();
+        for v in 0..13u32 {
+            let na: Vec<_> = temporal_neighbors(ia.as_ref(), v, 1e9).collect();
+            let nb: Vec<_> = temporal_neighbors(ib.as_ref(), v, 1e9).collect();
+            assert_eq!(na, nb, "v={v}");
+        }
+    }
+
+    #[test]
+    fn eids_continue_past_seed_log_maximum() {
+        let full = EventLog::from_unsorted((0..10).map(|i| (0u32, 1u32, i as f64)).collect());
+        let mut w = IncIndexWriter::from_log(&full.tail(5), 2, 2);
+        let e = w.append(0, 1, 20.0);
+        assert_eq!(e.eid, 10, "eid must continue past the seed log's maximum");
+    }
+
+    #[test]
+    fn node_growth_extends_the_graph() {
+        let mut w = IncIndexWriter::new(2, 4);
+        w.append(0, 9, 1.0);
+        let idx = w.publish();
+        assert_eq!(w.num_nodes(), 10);
+        assert_eq!(idx.num_nodes(), 10);
+        assert_eq!(idx.neighbor_count(9), 1);
+        // nodes the growth skipped over answer zero, not panic
+        assert_eq!(idx.neighbor_count(5), 0);
+        assert_eq!(idx.pivot(5, 100.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn rejects_time_regression() {
+        let mut w = IncIndexWriter::new(2, 2);
+        w.append(0, 1, 5.0);
+        w.append(0, 1, 4.0);
+    }
+
+    #[test]
+    fn self_loop_occupies_one_entry() {
+        let mut w = IncIndexWriter::new(2, 2);
+        w.append(0, 0, 1.0);
+        w.append(0, 1, 2.0);
+        let idx = w.publish();
+        assert_eq!(idx.neighbor_count(0), 2);
+        assert_eq!(idx.num_entries(), 3);
+    }
+}

@@ -21,7 +21,7 @@ use crate::policy::SamplePolicy;
 use crate::result::SampledNeighbors;
 use crate::rng::{bounded, counter_rng};
 use rayon::prelude::*;
-use taser_graph::tcsr::TCsr;
+use taser_graph::index::TemporalIndex;
 
 /// Shared-memory bitmap for collision detection (Algorithm 2, line 11).
 /// One `u64` word per 64 candidate slots, like a CUDA shared-memory array.
@@ -74,9 +74,9 @@ impl GpuFinder {
 
     /// Samples neighborhoods for a batch of targets in arbitrary order.
     /// Returns the samples plus the kernel statistics of the launch.
-    pub fn sample_with_stats(
+    pub fn sample_with_stats<I: TemporalIndex + ?Sized>(
         &self,
-        csr: &TCsr,
+        csr: &I,
         targets: &[(u32, f64)],
         budget: usize,
         policy: SamplePolicy,
@@ -117,9 +117,9 @@ impl GpuFinder {
     }
 
     /// Convenience wrapper discarding the kernel statistics.
-    pub fn sample(
+    pub fn sample<I: TemporalIndex + ?Sized>(
         &self,
-        csr: &TCsr,
+        csr: &I,
         targets: &[(u32, f64)],
         budget: usize,
         policy: SamplePolicy,
@@ -129,8 +129,8 @@ impl GpuFinder {
     }
 }
 
-struct BlockArgs<'a> {
-    csr: &'a TCsr,
+struct BlockArgs<'a, I: ?Sized> {
+    csr: &'a I,
     v: u32,
     t: f64,
     budget: usize,
@@ -146,7 +146,7 @@ struct BlockArgs<'a> {
 
 /// Executes one thread block: pivot search by lane 0, then sampling by
 /// `budget` lanes in warp-sized groups.
-fn run_block(args: BlockArgs<'_>) -> KernelStats {
+fn run_block<I: TemporalIndex + ?Sized>(args: BlockArgs<'_, I>) -> KernelStats {
     let BlockArgs {
         csr,
         v,
@@ -168,14 +168,13 @@ fn run_block(args: BlockArgs<'_>) -> KernelStats {
     };
 
     // Phase 1 (lane 0): binary search for the pivot. Each probe is a global
-    // memory read.
-    let slab = csr.ts_slab(v);
+    // memory read against the index's timestamp storage.
     let mut lo = 0usize;
-    let mut hi = slab.len();
+    let mut hi = csr.neighbor_count(v);
     let mut steps = 0u64;
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if slab[mid] < t {
+        if csr.entry_ts(v, mid) < t {
             lo = mid + 1;
         } else {
             hi = mid;
@@ -226,7 +225,7 @@ fn run_block(args: BlockArgs<'_>) -> KernelStats {
                 let weighted = matches!(policy, SamplePolicy::InverseTimespan { .. });
                 // most-recent neighbor has the smallest Δt ⇒ maximal weight
                 let w_max = if weighted {
-                    policy.weight(t - slab[pivot - 1]).max(1e-300)
+                    policy.weight(t - csr.entry_ts(v, pivot - 1)).max(1e-300)
                 } else {
                     1.0
                 };
@@ -244,7 +243,7 @@ fn run_block(args: BlockArgs<'_>) -> KernelStats {
                                 >> 11) as f64
                                 / (1u64 << 53) as f64;
                             attempt += 1;
-                            let w = policy.weight(t - slab[r]);
+                            let w = policy.weight(t - csr.entry_ts(v, r));
                             if accept_u >= w / w_max {
                                 retries += 1;
                                 continue;
@@ -277,6 +276,7 @@ mod tests {
     use super::*;
     use crate::origin::OriginFinder;
     use taser_graph::events::EventLog;
+    use taser_graph::tcsr::TCsr;
 
     fn chain_csr(n_events: usize) -> TCsr {
         let log = EventLog::from_unsorted(

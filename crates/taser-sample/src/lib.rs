@@ -30,7 +30,7 @@ pub use policy::SamplePolicy;
 pub use result::{SampledNeighbors, PAD};
 pub use tgl::{ChronologyError, TglFinder};
 
-use taser_graph::tcsr::TCsr;
+use taser_graph::index::TemporalIndex;
 
 /// Which finder implementation to use (selector for harnesses and configs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,9 +97,9 @@ impl NeighborFinder {
     ///
     /// # Panics
     /// Panics when a TGL finder receives out-of-order queries.
-    pub fn sample(
+    pub fn sample<I: TemporalIndex + ?Sized>(
         &mut self,
-        csr: &TCsr,
+        csr: &I,
         targets: &[(u32, f64)],
         budget: usize,
         policy: SamplePolicy,
@@ -110,9 +110,9 @@ impl NeighborFinder {
 
     /// Like [`NeighborFinder::sample`], additionally returning the simulated
     /// kernel statistics for the GPU finder (`None` for CPU finders).
-    pub fn sample_with_stats(
+    pub fn sample_with_stats<I: TemporalIndex + ?Sized>(
         &mut self,
-        csr: &TCsr,
+        csr: &I,
         targets: &[(u32, f64)],
         budget: usize,
         policy: SamplePolicy,
@@ -144,6 +144,7 @@ impl NeighborFinder {
 mod tests {
     use super::*;
     use taser_graph::events::EventLog;
+    use taser_graph::tcsr::TCsr;
 
     fn csr() -> TCsr {
         let log = EventLog::from_unsorted(

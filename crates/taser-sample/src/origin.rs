@@ -10,7 +10,7 @@
 use crate::policy::SamplePolicy;
 use crate::result::SampledNeighbors;
 use crate::rng::{bounded, counter_rng};
-use taser_graph::tcsr::TCsr;
+use taser_graph::index::{temporal_neighbors, TemporalIndex};
 
 /// Sequential per-query neighbor finder (baseline).
 #[derive(Clone, Copy, Debug, Default)]
@@ -18,9 +18,9 @@ pub struct OriginFinder;
 
 impl OriginFinder {
     /// Samples `budget` neighbors for every target, sequentially.
-    pub fn sample(
+    pub fn sample<I: TemporalIndex + ?Sized>(
         &self,
-        csr: &TCsr,
+        csr: &I,
         targets: &[(u32, f64)],
         budget: usize,
         policy: SamplePolicy,
@@ -30,7 +30,7 @@ impl OriginFinder {
         for (i, &(v, t)) in targets.iter().enumerate() {
             // Materialize the full candidate list, as the Python code does
             // with numpy slicing — a fresh allocation per query.
-            let candidates: Vec<_> = csr.temporal_neighbors(v, t).collect();
+            let candidates: Vec<_> = temporal_neighbors(csr, v, t).collect();
             let p = candidates.len();
             let k = p.min(budget);
             match policy {
@@ -85,6 +85,7 @@ impl OriginFinder {
 mod tests {
     use super::*;
     use taser_graph::events::EventLog;
+    use taser_graph::tcsr::TCsr;
 
     fn chain_csr(n_events: usize) -> TCsr {
         // node 0 interacts with node i+1 at time i+1

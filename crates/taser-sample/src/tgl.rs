@@ -11,7 +11,7 @@ use crate::policy::SamplePolicy;
 use crate::result::SampledNeighbors;
 use crate::rng::{bounded, counter_rng};
 use rayon::prelude::*;
-use taser_graph::tcsr::TCsr;
+use taser_graph::index::TemporalIndex;
 
 /// Error returned when queries violate chronological order.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,9 +61,9 @@ impl TglFinder {
     /// Returns an error if any target time precedes the watermark reached by
     /// earlier calls — the restriction that makes TGL incompatible with
     /// adaptive mini-batch selection.
-    pub fn sample(
+    pub fn sample<I: TemporalIndex + ?Sized>(
         &mut self,
-        csr: &TCsr,
+        csr: &I,
         targets: &[(u32, f64)],
         budget: usize,
         policy: SamplePolicy,
@@ -84,9 +84,9 @@ impl TglFinder {
         // Sequential pointer advance (amortized O(new events) per epoch).
         let mut pivots = Vec::with_capacity(targets.len());
         for &(v, t) in targets {
-            let slab = csr.ts_slab(v);
+            let cnt = csr.neighbor_count(v);
             let p = &mut self.pointers[v as usize];
-            while *p < slab.len() && slab[*p] < t {
+            while *p < cnt && csr.entry_ts(v, *p) < t {
                 *p += 1;
             }
             pivots.push(*p);
@@ -176,6 +176,7 @@ impl TglFinder {
 mod tests {
     use super::*;
     use taser_graph::events::EventLog;
+    use taser_graph::tcsr::TCsr;
 
     fn chain_csr(n_events: usize) -> TCsr {
         let log = EventLog::from_unsorted(

@@ -8,8 +8,10 @@
 //! The subsystem wires five existing layers into one engine:
 //!
 //! 1. **Snapshots** ([`snapshot`]) — epoch/generation-swapped `Arc` views
-//!    over `taser_graph::StreamingGraph`, so many scoring threads read a
-//!    consistent T-CSR while one ingest path appends and republishes.
+//!    over the live stream, so many scoring threads read a consistent
+//!    temporal index while one ingest path appends and republishes. The
+//!    index backend is switchable ([`IndexBackend`]): an O(E)-per-publish
+//!    `TCsr` rebuild, or the O(Δ) incremental `taser-index` `IncTcsr`.
 //! 2. **Micro-batching** ([`batcher`]) — bounded-size / bounded-latency
 //!    query batches, amortizing the block-centric finder launch and the
 //!    `[B, dim]` encoder forward exactly like training mini-batches.
@@ -48,5 +50,5 @@ pub use batcher::{BatchPolicy, LinkQuery, MicroBatcher, ScoreResult, ScoreTicket
 pub use engine::{ServeConfig, ServeEngine};
 pub use features::{FeatureCacheStats, ServeFeatureCache};
 pub use pipeline::ScorePipeline;
-pub use snapshot::{GraphSnapshot, SnapshotStore};
+pub use snapshot::{GraphSnapshot, IndexBackend, SnapshotStore};
 pub use stats::{LatencyHistogram, ServeStats};

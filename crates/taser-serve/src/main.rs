@@ -7,6 +7,7 @@
 //! taser-serve run --artifact model.taser [--events events.txt]
 //!     [--tcp 127.0.0.1:7171] [--workers 2] [--max-batch 64]
 //!     [--max-wait-ms 2] [--publish-every 256] [--cache-ratio 0.2]
+//!     [--index-backend rebuild|incremental]
 //! ```
 //!
 //! `train` fits a small model on the synthetic Wikipedia-style dataset and
@@ -20,7 +21,7 @@ use taser_core::trainer::{Backbone, Trainer, TrainerConfig, Variant};
 use taser_graph::events::EventLog;
 use taser_graph::synth::SynthConfig;
 use taser_models::ModelArtifact;
-use taser_serve::{protocol, BatchPolicy, ServeConfig, ServeEngine};
+use taser_serve::{protocol, BatchPolicy, IndexBackend, ServeConfig, ServeEngine};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -47,7 +48,7 @@ fn usage() -> ! {
          [--backbone graphmixer|tgat] [--scale f] [--epochs n] [--seed n]\n  \
          taser-serve run --artifact <path> [--events <path>] [--tcp addr] \
          [--workers n] [--max-batch n] [--max-wait-ms f] [--publish-every n] \
-         [--cache-ratio f]"
+         [--cache-ratio f] [--index-backend rebuild|incremental]"
     );
     std::process::exit(2);
 }
@@ -167,6 +168,13 @@ fn run(args: &[String]) {
         Some(p) => load_events(&p),
         None => EventLog::default(),
     };
+    let index_backend = match arg_value(args, "--index-backend") {
+        None => IndexBackend::default(),
+        Some(v) => IndexBackend::parse(&v).unwrap_or_else(|| {
+            eprintln!("bad value {v:?} for --index-backend (rebuild|incremental)");
+            std::process::exit(2);
+        }),
+    };
     let cfg = ServeConfig {
         workers: parsed(args, "--workers", 2usize).max(1),
         batch: BatchPolicy {
@@ -175,15 +183,17 @@ fn run(args: &[String]) {
         },
         publish_every: parsed(args, "--publish-every", 256usize),
         cache_ratio: parsed(args, "--cache-ratio", 0.2f64),
+        index_backend,
         ..ServeConfig::default()
     };
     eprintln!(
-        "serving {} ({} seed events, {} workers, batch<= {} / {:?})",
+        "serving {} ({} seed events, {} workers, batch<= {} / {:?}, {} index)",
         artifact.spec.backbone.name(),
         seed_log.len(),
         cfg.workers,
         cfg.batch.max_batch,
         cfg.batch.max_wait,
+        cfg.index_backend.name(),
     );
     let engine = ServeEngine::new(artifact, seed_log, cfg).expect("boot engine");
     match arg_value(args, "--tcp") {

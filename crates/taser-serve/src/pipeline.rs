@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
 use taser_graph::feats::FeatureMatrix;
-use taser_graph::tcsr::TCsr;
+use taser_graph::index::TemporalIndex;
 use taser_models::artifact::{ArtifactPolicy, BuiltAggregator, BuiltModel, ModelArtifact};
 use taser_models::batch::LayerBatch;
 use taser_models::{Aggregator, ModelSpec};
@@ -95,11 +95,12 @@ impl ScorePipeline {
         self.policy
     }
 
-    /// Scores a batch of link queries against one graph snapshot, returning
-    /// one probability in (0, 1) per query.
-    pub fn score_batch(
+    /// Scores a batch of link queries against one graph snapshot (any
+    /// [`TemporalIndex`] backend), returning one probability in (0, 1) per
+    /// query.
+    pub fn score_batch<I: TemporalIndex + ?Sized>(
         &self,
-        csr: &TCsr,
+        csr: &I,
         generation: u64,
         queries: &[LinkQuery],
         feats: &ServeFeatureCache,
@@ -143,9 +144,9 @@ impl ScorePipeline {
 
     /// Scores one query on its own (the unbatched baseline the throughput
     /// harness compares against).
-    pub fn score_one(
+    pub fn score_one<I: TemporalIndex + ?Sized>(
         &self,
-        csr: &TCsr,
+        csr: &I,
         generation: u64,
         query: LinkQuery,
         feats: &ServeFeatureCache,
@@ -155,9 +156,9 @@ impl ScorePipeline {
 
     /// Neighbor finding tolerant of PAD targets and node ids the snapshot
     /// has not seen yet (both yield empty slots).
-    fn find(
+    fn find<I: TemporalIndex + ?Sized>(
         &self,
-        csr: &TCsr,
+        csr: &I,
         targets: &[(u32, f64)],
         generation: u64,
         hop: usize,
@@ -208,9 +209,9 @@ impl ScorePipeline {
     }
 
     /// Builds the L-hop support tree for the root set.
-    fn build_hops(
+    fn build_hops<I: TemporalIndex + ?Sized>(
         &self,
-        csr: &TCsr,
+        csr: &I,
         generation: u64,
         roots: Vec<(u32, f64)>,
         feats: &ServeFeatureCache,
@@ -366,6 +367,7 @@ pub type SharedPipeline = Arc<ScorePipeline>;
 mod tests {
     use super::*;
     use taser_graph::events::EventLog;
+    use taser_graph::tcsr::TCsr;
     use taser_models::artifact::{ArtifactBackbone, ModelSpec};
 
     fn default_policy_for(backbone: ArtifactBackbone) -> ArtifactPolicy {

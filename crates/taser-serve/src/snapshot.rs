@@ -1,25 +1,72 @@
 //! Generation-swapped graph snapshots over a live event stream.
 //!
 //! The serving engine has one writer (the ingest path) and many readers
-//! (scoring workers). Rebuilding the T-CSR in place would force readers to
-//! lock the whole index, so the writer instead *republishes*: it rebuilds a
-//! fresh [`TCsr`] off to the side and swaps an `Arc` pointer under a brief
+//! (scoring workers). Rebuilding the index in place would force readers to
+//! lock it, so the writer instead *republishes*: it produces a fresh
+//! immutable index off to the side and swaps an `Arc` pointer under a brief
 //! write lock. Readers clone the `Arc` (two atomic ops) and then score
 //! against an immutable snapshot for as long as they like — the classic
 //! epoch/RCU pattern. Each published snapshot carries a monotonically
 //! increasing `generation`, which scoring results echo back so callers can
 //! tell which view of the graph produced a score.
+//!
+//! Two [`IndexBackend`]s produce the published index:
+//!
+//! * [`IndexBackend::Rebuild`] — `TCsr::build` over the full log on every
+//!   publish (O(E), parallelized, the original path). Simple, optimal query
+//!   layout, fine for small or slowly-growing graphs.
+//! * [`IndexBackend::Incremental`] — a sharded
+//!   [`IncIndexWriter`](taser_index::IncIndexWriter) that appends in O(1)
+//!   and publishes in O(Δ): only nodes touched since the last generation
+//!   are re-sealed, everything else is structurally shared. This keeps
+//!   publish latency flat as the live graph grows — the backend large
+//!   deployments should run.
+//!
+//! Both backends answer queries identically (differential-tested in
+//! `tests/index_equivalence.rs`); the switch only trades publish cost
+//! against per-query constant factors.
 
 use std::sync::{Arc, Mutex, RwLock};
 use taser_graph::events::{Event, EventLog};
+use taser_graph::index::TemporalIndex;
 use taser_graph::stream::StreamingGraph;
-use taser_graph::tcsr::TCsr;
+use taser_index::{IncIndexWriter, DEFAULT_SHARDS};
+
+/// Which index implementation backs snapshot publishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IndexBackend {
+    /// Rebuild a flat `TCsr` from the full log on every publish (O(E)).
+    #[default]
+    Rebuild,
+    /// Incrementally maintained sharded chunk index; publish cost scales
+    /// with the delta since the last generation, not the history.
+    Incremental,
+}
+
+impl IndexBackend {
+    /// Name used in CLI flags and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexBackend::Rebuild => "rebuild",
+            IndexBackend::Incremental => "incremental",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "rebuild" => Some(IndexBackend::Rebuild),
+            "incremental" => Some(IndexBackend::Incremental),
+            _ => None,
+        }
+    }
+}
 
 /// One immutable published view of the streaming graph.
 pub struct GraphSnapshot {
     /// The temporal adjacency index at publish time (shared with the
-    /// streaming graph — publishing never deep-copies the index).
-    pub csr: Arc<TCsr>,
+    /// backend — publishing never deep-copies clean state).
+    pub csr: Arc<dyn TemporalIndex>,
     /// Publish sequence number (0 = the seed log).
     pub generation: u64,
     /// Events reflected in `csr`.
@@ -28,34 +75,80 @@ pub struct GraphSnapshot {
     pub latest_t: f64,
 }
 
+/// The mutable side of one backend.
+enum IngestGraph {
+    Rebuild(StreamingGraph),
+    Incremental(IncIndexWriter),
+}
+
+impl IngestGraph {
+    fn append(&mut self, src: u32, dst: u32, t: f64) -> Event {
+        match self {
+            IngestGraph::Rebuild(g) => g.append(src, dst, t),
+            IngestGraph::Incremental(w) => w.append(src, dst, t),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            IngestGraph::Rebuild(g) => g.len(),
+            IngestGraph::Incremental(w) => w.len(),
+        }
+    }
+
+    fn publish(&mut self) -> Arc<dyn TemporalIndex> {
+        match self {
+            IngestGraph::Rebuild(g) => g.csr_fresh_shared(),
+            IngestGraph::Incremental(w) => w.publish(),
+        }
+    }
+}
+
 struct Ingest {
-    graph: StreamingGraph,
+    graph: IngestGraph,
     last_t: f64,
     since_publish: usize,
     generation: u64,
 }
 
-/// Single-writer / many-reader snapshot store over a [`StreamingGraph`].
+/// Single-writer / many-reader snapshot store over a live event stream.
 pub struct SnapshotStore {
     ingest: Mutex<Ingest>,
     current: RwLock<Arc<GraphSnapshot>>,
     publish_every: usize,
+    backend: IndexBackend,
 }
 
 impl SnapshotStore {
-    /// Seeds the store from an existing log (generation 0 indexes it fully).
-    /// `publish_every` bounds snapshot staleness: after that many appends the
-    /// ingest path republishes automatically (`0` disables auto-publish).
+    /// Seeds the store from an existing log (generation 0 indexes it fully)
+    /// with the default [`IndexBackend::Rebuild`]. `publish_every` bounds
+    /// snapshot staleness: after that many appends the ingest path
+    /// republishes automatically (`0` disables auto-publish).
     pub fn new(log: EventLog, num_nodes: usize, publish_every: usize) -> Self {
+        Self::with_backend(log, num_nodes, publish_every, IndexBackend::default())
+    }
+
+    /// Like [`SnapshotStore::new`] with an explicit index backend.
+    pub fn with_backend(
+        log: EventLog,
+        num_nodes: usize,
+        publish_every: usize,
+        backend: IndexBackend,
+    ) -> Self {
         let last_t = log
             .events()
             .last()
             .map(|e| e.t)
             .unwrap_or(f64::NEG_INFINITY);
         let num_events = log.len();
-        let mut graph = StreamingGraph::new(log, num_nodes);
+        let mut graph = match backend {
+            IndexBackend::Rebuild => IngestGraph::Rebuild(StreamingGraph::new(log, num_nodes)),
+            IndexBackend::Incremental => {
+                IngestGraph::Incremental(IncIndexWriter::from_log(&log, num_nodes, DEFAULT_SHARDS))
+            }
+        };
         let snapshot = GraphSnapshot {
-            csr: graph.csr_fresh_shared(),
+            csr: graph.publish(),
             generation: 0,
             num_events,
             latest_t: last_t,
@@ -69,7 +162,13 @@ impl SnapshotStore {
             }),
             current: RwLock::new(Arc::new(snapshot)),
             publish_every,
+            backend,
         }
+    }
+
+    /// The backend this store publishes with.
+    pub fn backend(&self) -> IndexBackend {
+        self.backend
     }
 
     /// The latest published snapshot (cheap: clones an `Arc`).
@@ -82,7 +181,7 @@ impl SnapshotStore {
         self.snapshot().generation
     }
 
-    /// Appends one interaction. Unlike [`StreamingGraph::append`] this is
+    /// Appends one interaction. Unlike a raw backend `append` this is
     /// fallible — a server must survive a misbehaving client — and it
     /// triggers an automatic republish every `publish_every` appends.
     /// Returns the stored event (with its assigned edge id).
@@ -120,7 +219,7 @@ impl SnapshotStore {
     fn publish_locked(&self, ing: &mut Ingest) {
         ing.generation += 1;
         let snapshot = GraphSnapshot {
-            csr: ing.graph.csr_fresh_shared(),
+            csr: ing.graph.publish(),
             generation: ing.generation,
             num_events: ing.graph.len(),
             latest_t: ing.last_t,
@@ -144,91 +243,144 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, Ordering};
 
+    const BOTH: [IndexBackend; 2] = [IndexBackend::Rebuild, IndexBackend::Incremental];
+
     #[test]
     fn seed_log_is_generation_zero() {
-        let log = EventLog::from_unsorted(vec![(0, 1, 1.0), (1, 2, 2.0)]);
-        let store = SnapshotStore::new(log, 3, 0);
-        let snap = store.snapshot();
-        assert_eq!(snap.generation, 0);
-        assert_eq!(snap.num_events, 2);
-        assert_eq!(snap.csr.temporal_degree(1, 10.0), 2);
+        for backend in BOTH {
+            let log = EventLog::from_unsorted(vec![(0, 1, 1.0), (1, 2, 2.0)]);
+            let store = SnapshotStore::with_backend(log, 3, 0, backend);
+            let snap = store.snapshot();
+            assert_eq!(snap.generation, 0, "{}", backend.name());
+            assert_eq!(snap.num_events, 2);
+            assert_eq!(snap.csr.temporal_degree(1, 10.0), 2);
+            assert_eq!(store.backend(), backend);
+        }
     }
 
     #[test]
     fn ingest_is_invisible_until_publish() {
-        let store = SnapshotStore::new(EventLog::default(), 2, 0);
-        store.ingest(0, 1, 1.0).unwrap();
-        assert_eq!(store.snapshot().num_events, 0, "not yet published");
-        let generation = store.publish();
-        assert_eq!(generation, 1);
-        let snap = store.snapshot();
-        assert_eq!(snap.num_events, 1);
-        assert_eq!(snap.csr.temporal_degree(0, 2.0), 1);
-        // publishing with nothing new keeps the generation
-        assert_eq!(store.publish(), 1);
+        for backend in BOTH {
+            let store = SnapshotStore::with_backend(EventLog::default(), 2, 0, backend);
+            store.ingest(0, 1, 1.0).unwrap();
+            assert_eq!(store.snapshot().num_events, 0, "not yet published");
+            let generation = store.publish();
+            assert_eq!(generation, 1);
+            let snap = store.snapshot();
+            assert_eq!(snap.num_events, 1);
+            assert_eq!(snap.csr.temporal_degree(0, 2.0), 1);
+            // publishing with nothing new keeps the generation
+            assert_eq!(store.publish(), 1);
+        }
     }
 
     #[test]
     fn auto_publish_after_threshold() {
-        let store = SnapshotStore::new(EventLog::default(), 4, 3);
-        store.ingest(0, 1, 1.0).unwrap();
-        store.ingest(1, 2, 2.0).unwrap();
-        assert_eq!(store.snapshot().generation, 0);
-        store.ingest(2, 3, 3.0).unwrap();
-        let snap = store.snapshot();
-        assert_eq!(snap.generation, 1, "third append must republish");
-        assert_eq!(snap.num_events, 3);
+        for backend in BOTH {
+            let store = SnapshotStore::with_backend(EventLog::default(), 4, 3, backend);
+            store.ingest(0, 1, 1.0).unwrap();
+            store.ingest(1, 2, 2.0).unwrap();
+            assert_eq!(store.snapshot().generation, 0);
+            store.ingest(2, 3, 3.0).unwrap();
+            let snap = store.snapshot();
+            assert_eq!(snap.generation, 1, "third append must republish");
+            assert_eq!(snap.num_events, 3);
+        }
     }
 
     #[test]
     fn rejects_time_regression_without_poisoning() {
-        let store = SnapshotStore::new(EventLog::default(), 2, 0);
-        store.ingest(0, 1, 5.0).unwrap();
-        assert!(store.ingest(0, 1, 4.0).is_err());
-        assert!(store.ingest(0, 1, f64::NAN).is_err());
-        // the store still works after rejected appends
-        store.ingest(0, 1, 6.0).unwrap();
-        assert_eq!(store.num_events(), 2);
+        for backend in BOTH {
+            let store = SnapshotStore::with_backend(EventLog::default(), 2, 0, backend);
+            store.ingest(0, 1, 5.0).unwrap();
+            assert!(store.ingest(0, 1, 4.0).is_err());
+            assert!(store.ingest(0, 1, f64::NAN).is_err());
+            // the store still works after rejected appends
+            store.ingest(0, 1, 6.0).unwrap();
+            assert_eq!(store.num_events(), 2);
+        }
     }
 
     #[test]
     fn readers_hold_old_snapshots_across_publishes() {
-        let store = SnapshotStore::new(EventLog::default(), 8, 0);
-        store.ingest(0, 1, 1.0).unwrap();
-        store.publish();
-        let old = store.snapshot();
-        for i in 0..10 {
-            store.ingest(0, 1, 2.0 + i as f64).unwrap();
+        for backend in BOTH {
+            let store = SnapshotStore::with_backend(EventLog::default(), 8, 0, backend);
+            store.ingest(0, 1, 1.0).unwrap();
+            store.publish();
+            let old = store.snapshot();
+            for i in 0..10 {
+                store.ingest(0, 1, 2.0 + i as f64).unwrap();
+            }
+            store.publish();
+            // the old snapshot is unaffected by later publishes
+            assert_eq!(old.num_events, 1);
+            assert_eq!(old.csr.temporal_degree(0, 100.0), 1);
+            assert_eq!(store.snapshot().num_events, 11);
         }
-        store.publish();
-        // the old snapshot is unaffected by later publishes
-        assert_eq!(old.num_events, 1);
-        assert_eq!(old.csr.temporal_degree(0, 100.0), 1);
-        assert_eq!(store.snapshot().num_events, 11);
+    }
+
+    #[test]
+    fn backends_publish_identical_indexes() {
+        // same stream through both backends → every query agrees
+        let seed =
+            EventLog::from_unsorted((0..40u32).map(|i| (i % 7, 7 + i % 5, i as f64)).collect());
+        let a = SnapshotStore::with_backend(seed.clone(), 12, 0, IndexBackend::Rebuild);
+        let b = SnapshotStore::with_backend(seed, 12, 0, IndexBackend::Incremental);
+        for i in 0..120u32 {
+            let (src, dst, t) = (i % 12, (i * 5 + 1) % 12, 40.0 + i as f64);
+            a.ingest(src, dst, t).unwrap();
+            b.ingest(src, dst, t).unwrap();
+            if i % 30 == 0 {
+                a.publish();
+                b.publish();
+            }
+        }
+        a.publish();
+        b.publish();
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        assert_eq!(sa.num_events, sb.num_events);
+        assert_eq!(sa.csr.num_entries(), sb.csr.num_entries());
+        for v in 0..12u32 {
+            assert_eq!(sa.csr.neighbor_count(v), sb.csr.neighbor_count(v));
+            for t in [0.0, 20.0, 40.5, 99.9, 1e9] {
+                assert_eq!(sa.csr.pivot(v, t), sb.csr.pivot(v, t), "v={v} t={t}");
+            }
+            for i in 0..sa.csr.neighbor_count(v) {
+                assert_eq!(sa.csr.entry(v, i), sb.csr.entry(v, i), "v={v} i={i}");
+            }
+        }
     }
 
     #[test]
     fn concurrent_readers_and_one_writer() {
-        let store = Arc::new(SnapshotStore::new(EventLog::default(), 64, 16));
-        let stop = Arc::new(AtomicBool::new(false));
-        std::thread::scope(|s| {
-            for _ in 0..3 {
-                let store = store.clone();
-                let stop = stop.clone();
-                s.spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        let snap = store.snapshot();
-                        // the snapshot must always be internally consistent
-                        assert!(snap.csr.num_entries() <= 2 * snap.num_events);
-                    }
-                });
-            }
-            for i in 0..500u32 {
-                store.ingest(i % 8, 8 + i % 8, i as f64).unwrap();
-            }
-            stop.store(true, Ordering::Relaxed);
-        });
-        store.publish();
-        assert_eq!(store.snapshot().num_events, 500);
+        for backend in BOTH {
+            let store = Arc::new(SnapshotStore::with_backend(
+                EventLog::default(),
+                64,
+                16,
+                backend,
+            ));
+            let stop = Arc::new(AtomicBool::new(false));
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let store = store.clone();
+                    let stop = stop.clone();
+                    s.spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            let snap = store.snapshot();
+                            // the snapshot must always be internally consistent
+                            assert!(snap.csr.num_entries() <= 2 * snap.num_events);
+                        }
+                    });
+                }
+                for i in 0..500u32 {
+                    store.ingest(i % 8, 8 + i % 8, i as f64).unwrap();
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+            store.publish();
+            assert_eq!(store.snapshot().num_events, 500, "{}", backend.name());
+        }
     }
 }

@@ -31,6 +31,28 @@ impl Linear {
         Self::with_bias(store, name, in_dim, out_dim, true, seed)
     }
 
+    /// Creates a zero-initialized linear layer (weight and bias all zero),
+    /// optionally without bias. The layer outputs exactly zero until its
+    /// first optimizer step while still receiving gradients (`dL/dW = xᵀg`
+    /// does not depend on `W`) — the standard init for policy/scoring heads
+    /// that must start from a uniform distribution.
+    pub fn zeros(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), Tensor::zeros(&[in_dim, out_dim]));
+        let b = bias.then(|| store.add(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
     /// Creates a linear layer, optionally without bias.
     pub fn with_bias(
         store: &mut ParamStore,

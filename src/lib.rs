@@ -42,6 +42,7 @@
 pub use taser_cache as cache;
 pub use taser_core as core;
 pub use taser_graph as graph;
+pub use taser_index as index;
 pub use taser_models as models;
 pub use taser_sample as sample;
 pub use taser_serve as serve;
@@ -56,7 +57,10 @@ pub mod prelude {
         minibatch::MiniBatchSelector,
         trainer::{Backbone, Trainer, TrainerConfig, Variant},
     };
-    pub use taser_graph::{dataset::TemporalDataset, synth::SynthConfig, tcsr::TCsr};
+    pub use taser_graph::{
+        dataset::TemporalDataset, index::TemporalIndex, synth::SynthConfig, tcsr::TCsr,
+    };
+    pub use taser_index::{IncIndexWriter, IncTcsr};
     pub use taser_models::eval::mrr;
     pub use taser_models::ModelArtifact;
     pub use taser_sample::{FinderKind, NeighborFinder, SamplePolicy};

@@ -50,11 +50,17 @@ fn trained_sampler_policy_departs_from_uniform() {
         .seed(21);
     synth.p_noise = 0.3;
     let ds = synth.build();
+    // Since the decoder's scoring heads are zero-initialized (see
+    // EXPERIMENTS.md, "Decoder head initialization"), the policy starts
+    // *exactly* uniform and any departure must come from the REINFORCE
+    // signal itself — so train long/hot enough for the co-training to
+    // actually move it, rather than inheriting a skew from random init.
     let cfg = TrainerConfig {
         backbone: Backbone::GraphMixer,
         variant: Variant::AdaNeighbor,
-        epochs: 2,
+        epochs: 4,
         batch_size: 150,
+        lr: 3e-3,
         hidden: 24,
         time_dim: 12,
         sampler_dim: 8,
@@ -64,7 +70,7 @@ fn trained_sampler_policy_departs_from_uniform() {
         ..TrainerConfig::default()
     };
     let mut t = Trainer::new(cfg, &ds);
-    for e in 0..2 {
+    for e in 0..cfg.epochs {
         t.train_epoch(&ds, e);
     }
     let probe: Vec<(u32, f64)> = ds

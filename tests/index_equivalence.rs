@@ -1,0 +1,166 @@
+//! Differential tests between the two temporal index backends.
+//!
+//! `TCsr::build` (from-scratch flat CSR, the oracle) and `IncTcsr`
+//! (incremental chained chunks, `taser-index`) must give identical answers
+//! to every neighbor query across arbitrary append/publish interleavings —
+//! this is what licenses the serving engine's `--index-backend` switch.
+//! Plus a multi-reader generation-stability test mirroring
+//! `tests/serve_roundtrip.rs` at the index layer.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use taser_graph::events::EventLog;
+use taser_graph::index::{temporal_neighbors, TemporalIndex};
+use taser_graph::tcsr::TCsr;
+use taser_index::{IncIndexWriter, IncTcsr};
+
+/// Chronological random event stream plus publish points.
+fn arb_stream(max_nodes: u32, max_events: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec((0..max_nodes, 0..max_nodes, 0.0f64..1e6), 1..max_events)
+}
+
+/// Every query both backends can answer, compared exhaustively.
+fn assert_equivalent(inc: &IncTcsr, oracle: &TCsr, probes: &[f64]) {
+    assert_eq!(inc.num_entries(), oracle.num_entries());
+    for v in 0..oracle.num_nodes() as u32 {
+        assert_eq!(
+            inc.neighbor_count(v),
+            oracle.neighbor_count(v),
+            "neighbor_count v={v}"
+        );
+        for &t in probes {
+            assert_eq!(inc.pivot(v, t), oracle.pivot(v, t), "pivot v={v} t={t}");
+            assert_eq!(
+                inc.temporal_degree(v, t),
+                oracle.temporal_degree(v, t),
+                "temporal_degree v={v} t={t}"
+            );
+            let a: Vec<_> = temporal_neighbors(inc, v, t).collect();
+            let b: Vec<_> = oracle.temporal_neighbors(v, t).collect();
+            assert_eq!(a, b, "temporal_neighbors v={v} t={t}");
+        }
+        for i in 0..oracle.neighbor_count(v) {
+            assert_eq!(inc.entry(v, i), oracle.entry(v, i), "entry v={v} i={i}");
+            assert_eq!(
+                inc.entry_ts(v, i),
+                oracle.entry_ts(v, i),
+                "entry_ts v={v} i={i}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random stream, random shard count, publishes sprinkled through the
+    /// interleaving: the final snapshot must equal a from-scratch build of
+    /// the same (sorted) log — and so must every intermediate prefix.
+    #[test]
+    fn incremental_matches_rebuild_across_interleavings(
+        raw in arb_stream(30, 250),
+        shards in 1usize..9,
+        publish_every in 1usize..40,
+    ) {
+        let log = EventLog::from_unsorted(raw);
+        let n = log.num_nodes();
+        let mut w = IncIndexWriter::new(n, shards);
+        let mut snapshots: Vec<(usize, Arc<IncTcsr>)> = Vec::new();
+        for (i, e) in log.events().iter().enumerate() {
+            let stored = w.append(e.src, e.dst, e.t);
+            prop_assert_eq!(stored.eid, e.eid);
+            if (i + 1) % publish_every == 0 {
+                snapshots.push((i + 1, w.publish()));
+            }
+        }
+        snapshots.push((log.len(), w.publish()));
+        let probes = [0.0, 1e3, 2.5e5, 5e5, 9.9e5, 1e6, f64::INFINITY];
+        for (k, snap) in &snapshots {
+            // oracle over the first k events only
+            let prefix = EventLog::from_sorted(log.events()[..*k].to_vec());
+            let oracle = TCsr::build(&prefix, n);
+            assert_equivalent(snap, &oracle, &probes);
+        }
+    }
+
+    /// Seeding from a log then appending a live tail equals building from
+    /// everything at once (the serve boot-then-stream path).
+    #[test]
+    fn seeded_writer_plus_stream_matches_full_build(
+        raw in arb_stream(20, 160),
+        split_pct in 10usize..90,
+        shards in 1usize..6,
+    ) {
+        let log = EventLog::from_unsorted(raw);
+        let n = log.num_nodes();
+        let split = (log.len() * split_pct / 100).max(1).min(log.len());
+        let seed = EventLog::from_sorted(log.events()[..split].to_vec());
+        let mut w = IncIndexWriter::from_log(&seed, n, shards);
+        for e in &log.events()[split..] {
+            w.append(e.src, e.dst, e.t);
+        }
+        let snap = w.publish();
+        let oracle = TCsr::build(&log, n);
+        assert_equivalent(&snap, &oracle, &[0.0, 4.2e5, 1e6]);
+    }
+}
+
+/// Mirrors `serve_roundtrip`'s concurrency shape at the index layer: one
+/// writer appending and publishing, several readers each pinning whatever
+/// generation was current when they started and re-verifying it against a
+/// frozen oracle while newer generations land.
+#[test]
+fn generations_are_stable_under_concurrent_ingest() {
+    let total = 4_000u32;
+    let num_nodes = 64usize;
+    let mut w = IncIndexWriter::new(num_nodes, 8);
+    let mk_event = |i: u32| ((i * 7) % 64, (i * 13 + 1) % 64, i as f64);
+
+    // the writer publishes every 256 appends and hands each snapshot to one
+    // of two reader threads, which re-verify their pinned generation against
+    // a frozen oracle while newer generations keep landing
+    let verify = move |k: u32, snap: Arc<IncTcsr>| {
+        let raw: Vec<(u32, u32, f64)> = (0..k).map(mk_event).collect();
+        let log = EventLog::from_unsorted(raw);
+        let oracle = TCsr::build(&log, num_nodes);
+        for v in (0..num_nodes as u32).step_by(7) {
+            assert_eq!(snap.neighbor_count(v), oracle.neighbor_count(v));
+            let a: Vec<_> = temporal_neighbors(snap.as_ref(), v, 1e9).collect();
+            let b: Vec<_> = oracle.temporal_neighbors(v, 1e9).collect();
+            assert_eq!(a, b, "generation for k={k} diverged at v={v}");
+        }
+    };
+    std::thread::scope(|s| {
+        let mut txs = Vec::new();
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let (tx, rx) = std::sync::mpsc::channel::<(u32, Arc<IncTcsr>)>();
+            txs.push(tx);
+            readers.push(s.spawn(move || {
+                let mut checked = 0usize;
+                while let Ok((k, snap)) = rx.recv() {
+                    verify(k, snap);
+                    checked += 1;
+                }
+                checked
+            }));
+        }
+        let mut published = 0u32;
+        for i in 0..total {
+            let (src, dst, t) = mk_event(i);
+            w.append(src, dst, t);
+            if (i + 1) % 256 == 0 {
+                txs[(published % 2) as usize]
+                    .send((i + 1, w.publish()))
+                    .unwrap();
+                published += 1;
+            }
+        }
+        drop(txs);
+        let checked: usize = readers
+            .into_iter()
+            .map(|h| h.join().expect("reader panicked"))
+            .sum();
+        assert_eq!(checked, (total / 256) as usize);
+    });
+}
