@@ -1,0 +1,289 @@
+//! Micro-harness for the inference fast path: tape forward vs. packed
+//! tape-free forward on identical inputs, at serve-like shapes.
+//!
+//! Both paths run the exact shared wiring (`taser_models::infer`): the tape
+//! path stages leaves onto a fresh inference [`Graph`] per batch (what
+//! `ScorePipeline` did before PR 4), the fast path resets a per-worker
+//! [`InferCtx`] arena and runs the pre-packed kernels. Input staging is
+//! included on both sides, so the ratio is the end-to-end forward speedup a
+//! serving worker sees.
+//!
+//! Also sweeps the packed-panel width `nr` (the register-tile lane count)
+//! and batch shape; see EXPERIMENTS.md, "Inference fast path".
+//!
+//! ```sh
+//! cargo run --release -p taser-bench --bin infer_forward \
+//!   [-- --iters 200 --out BENCH_infer.json]
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+use taser_bench::arg_value;
+use taser_models::artifact::{ArtifactBackbone, ArtifactPolicy, ModelArtifact, ModelSpec};
+use taser_models::infer::{tape_forward, InferArgs, PackedModel, TapeArgs};
+use taser_tensor::{Graph, InferCtx, Tensor};
+
+fn parsed<T: std::str::FromStr>(key: &str, default: T) -> T {
+    match arg_value(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value {v:?} for {key}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// The serving reference architecture (`serve_throughput`'s trained model):
+/// featureless nodes, 16-d edge features, hidden 32, 10 neighbors.
+fn reference_spec(backbone: ArtifactBackbone) -> ModelSpec {
+    ModelSpec {
+        backbone,
+        in_dim: 1,
+        edge_dim: 16,
+        hidden: 32,
+        time_dim: 16,
+        heads: 2,
+        n_neighbors: 10,
+        dropout: 0.0,
+        policy: ArtifactPolicy::MostRecent,
+    }
+}
+
+struct Inputs {
+    root: Tensor,
+    neigh: Tensor,
+    edge: Vec<f32>,
+    delta: Vec<f32>,
+    mask: Vec<bool>,
+    src_rows: Vec<usize>,
+    dst_rows: Vec<usize>,
+}
+
+/// Deterministic pseudo-random combined-layout inputs for `r0` roots.
+fn inputs(spec: &ModelSpec, r0: usize, seed: u64) -> Inputs {
+    let n = spec.n_neighbors;
+    let total = match spec.backbone {
+        ArtifactBackbone::Tgat => r0 + r0 * n,
+        ArtifactBackbone::GraphMixer => r0,
+    };
+    let mut x = seed;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    };
+    let root = Tensor::from_vec(
+        (0..total * spec.in_dim).map(|_| next()).collect(),
+        &[total, spec.in_dim],
+    );
+    let neigh = Tensor::from_vec(
+        (0..total * n * spec.in_dim).map(|_| next()).collect(),
+        &[total * n, spec.in_dim],
+    );
+    let edge: Vec<f32> = (0..total * n * spec.edge_dim).map(|_| next()).collect();
+    let delta: Vec<f32> = (0..total * n).map(|_| next().abs() * 1e4).collect();
+    let mask: Vec<bool> = (0..total * n).map(|i| i % 9 != 5).collect();
+    let b = (r0 / 2).max(1);
+    let src_rows: Vec<usize> = (0..b).map(|i| i % r0).collect();
+    let dst_rows: Vec<usize> = (0..b).map(|i| (i + b) % r0).collect();
+    Inputs {
+        root,
+        neigh,
+        edge,
+        delta,
+        mask,
+        src_rows,
+        dst_rows,
+    }
+}
+
+/// One measured configuration.
+struct Row {
+    backbone: &'static str,
+    r0: usize,
+    nr: usize,
+    tape_us: f64,
+    fast_us: f64,
+    speedup: f64,
+}
+
+fn bench_config(spec: &ModelSpec, r0: usize, nr: usize, iters: usize) -> Row {
+    let artifact = ModelArtifact::init(*spec, None, None, 42);
+    let built = artifact.build().expect("consistent artifact");
+    let packed = PackedModel::with_nr(spec, &built, &artifact.store, nr);
+    let inp = inputs(spec, r0, 7);
+    let ef = (spec.edge_dim > 0).then_some(inp.edge.as_slice());
+
+    // correctness guard: the two paths must agree before we time them
+    let mut ctx = InferCtx::new();
+    let run_fast = |ctx: &mut InferCtx| {
+        ctx.reset();
+        let rs = ctx.slot_from(inp.root.data());
+        let ns = ctx.slot_from(inp.neigh.data());
+        let h = packed.forward(
+            ctx,
+            &InferArgs {
+                r0,
+                n: spec.n_neighbors,
+                root_feat: rs,
+                neigh_feat: ns,
+                edge_feat: ef,
+                delta_t: &inp.delta,
+                mask: &inp.mask,
+            },
+        );
+        packed.predict(ctx, h, &inp.src_rows, &inp.dst_rows)
+    };
+    let run_tape = || {
+        let mut g = Graph::inference();
+        let h = tape_forward(
+            &mut g,
+            spec,
+            &built,
+            &artifact.store,
+            &TapeArgs {
+                r0,
+                n: spec.n_neighbors,
+                root_feat: inp.root.clone(),
+                neigh_feat: inp.neigh.clone(),
+                edge_feat: ef,
+                delta_t: &inp.delta,
+                mask: &inp.mask,
+            },
+        );
+        let hs = g.gather_rows(h, &inp.src_rows);
+        let hd = g.gather_rows(h, &inp.dst_rows);
+        let logits = built.predictor.forward(&mut g, &artifact.store, hs, hd);
+        g.data(logits).data().to_vec()
+    };
+    let want = run_tape();
+    let got_slot = run_fast(&mut ctx);
+    let got = ctx.data(got_slot);
+    assert_eq!(want.len(), got.len());
+    for (a, b) in want.iter().zip(got.iter()) {
+        assert!((a - b).abs() <= 1e-5, "paths diverged: {a} vs {b}");
+    }
+
+    // Warmup both paths past allocator adaptation (glibc adjusts its mmap
+    // threshold as the tape's large per-batch tensors are freed — timing
+    // cold iterations would flatter the fast path), then measure in
+    // interleaved rounds and take per-path medians so one-off heap-trim or
+    // frequency effects cannot bias either side.
+    for _ in 0..10 {
+        let _ = run_fast(&mut ctx);
+        let _ = run_tape();
+    }
+    const ROUNDS: usize = 5;
+    let per_round = (iters / ROUNDS).max(1);
+    let mut tape_samples = [0.0f64; ROUNDS];
+    let mut fast_samples = [0.0f64; ROUNDS];
+    for round in 0..ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..per_round {
+            std::hint::black_box(run_tape());
+        }
+        tape_samples[round] = t0.elapsed().as_secs_f64() * 1e6 / per_round as f64;
+        let t1 = Instant::now();
+        for _ in 0..per_round {
+            std::hint::black_box(run_fast(&mut ctx));
+        }
+        fast_samples[round] = t1.elapsed().as_secs_f64() * 1e6 / per_round as f64;
+    }
+    let median = |xs: &mut [f64; ROUNDS]| {
+        xs.sort_by(f64::total_cmp);
+        xs[ROUNDS / 2]
+    };
+    let tape_us = median(&mut tape_samples);
+    let fast_us = median(&mut fast_samples);
+    Row {
+        backbone: match spec.backbone {
+            ArtifactBackbone::Tgat => "TGAT",
+            ArtifactBackbone::GraphMixer => "GraphMixer",
+        },
+        r0,
+        nr,
+        tape_us,
+        fast_us,
+        speedup: tape_us / fast_us,
+    }
+}
+
+fn main() {
+    let iters = parsed("--iters", 100usize);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_infer.json".into());
+
+    let mut rows: Vec<Row> = Vec::new();
+    let backbones = [ArtifactBackbone::GraphMixer, ArtifactBackbone::Tgat];
+
+    // headline: reference serve shape (128 deduped roots = one 64-query
+    // batch), default inference panel width
+    let reference_r0 = if quick { 16 } else { 128 };
+    let headline_iters = if quick { 5 } else { iters };
+    for backbone in backbones {
+        let spec = reference_spec(backbone);
+        rows.push(bench_config(&spec, reference_r0, 16, headline_iters));
+    }
+    let headline: Vec<(String, f64)> = rows
+        .iter()
+        .map(|r| (r.backbone.to_string(), r.speedup))
+        .collect();
+
+    if !quick {
+        // blocking-parameter sweep: panel width × batch shape
+        for backbone in backbones {
+            let spec = reference_spec(backbone);
+            for nr in [4usize, 8] {
+                rows.push(bench_config(&spec, reference_r0, nr, iters));
+            }
+            for r0 in [32usize, 512] {
+                let it = if r0 >= 512 { (iters / 4).max(5) } else { iters };
+                rows.push(bench_config(&spec, r0, 16, it));
+            }
+        }
+    }
+
+    println!("== infer_forward (iters {headline_iters}) ==");
+    println!(
+        "{:<11} {:>5} {:>3} {:>12} {:>12} {:>8}",
+        "backbone", "r0", "nr", "tape us", "fast us", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<11} {:>5} {:>3} {:>12.1} {:>12.1} {:>7.2}x",
+            r.backbone, r.r0, r.nr, r.tape_us, r.fast_us, r.speedup
+        );
+    }
+    for (b, s) in &headline {
+        if *s < 3.0 && !quick {
+            eprintln!("WARNING: {b} headline speedup {s:.2}x below the 3x target");
+        }
+    }
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"backbone\":\"{}\",\"r0\":{},\"n\":10,\"hidden\":32,\"nr\":{},",
+                    "\"tape_us\":{:.2},\"fast_us\":{:.2},\"speedup\":{:.3}}}"
+                ),
+                r.backbone, r.r0, r.nr, r.tape_us, r.fast_us, r.speedup
+            )
+        })
+        .collect();
+    let headline_json: Vec<String> = headline
+        .iter()
+        .map(|(b, s)| format!("\"{b}\":{s:.3}"))
+        .collect();
+    let json = format!(
+        "{{\"harness\":\"infer_forward\",\"iters\":{},\"headline_speedup\":{{{}}},\"rows\":[{}]}}",
+        headline_iters,
+        headline_json.join(","),
+        row_json.join(",")
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create bench output");
+    writeln!(f, "{json}").expect("write bench output");
+    eprintln!("results -> {out_path}");
+}

@@ -1,13 +1,18 @@
 //! Serving throughput/latency harness.
 //!
-//! Measures three ways of answering the same link-query workload with the
+//! Measures four ways of answering the same link-query workload with the
 //! same trained model:
 //!
 //! 1. **single** — one query at a time through the scoring pipeline (the
 //!    no-batching strawman a naive server would ship);
-//! 2. **batched** — the same queries in micro-batches (what the engine's
-//!    workers execute);
-//! 3. **engine** — closed-loop clients against a live [`ServeEngine`] while
+//! 2. **batched (tape)** — micro-batches through the autograd-tape forward
+//!    (the forward implementation serving ran before the fast path landed;
+//!    hop assembly is the shared rewritten path, so the ratio isolates the
+//!    forward, not the assembly);
+//! 3. **batched (fast)** — the same micro-batches through the
+//!    zero-allocation packed-weight fast path (what the engine's workers
+//!    execute);
+//! 4. **engine** — closed-loop clients against a live [`ServeEngine`] while
 //!    an ingest thread streams events, reporting p50/p99 end-to-end latency.
 //!
 //! Prints a summary table and writes a `BENCH_serve.json` row; see
@@ -27,7 +32,8 @@ use taser_core::trainer::{Backbone, Trainer, TrainerConfig, Variant};
 use taser_graph::dataset::TemporalDataset;
 use taser_graph::synth::SynthConfig;
 use taser_serve::{
-    BatchPolicy, LinkQuery, ScorePipeline, ServeConfig, ServeEngine, ServeFeatureCache,
+    BatchPolicy, LinkQuery, ScorePipeline, ScoreScratch, ServeConfig, ServeEngine,
+    ServeFeatureCache,
 };
 
 /// Absent flag -> default; unparsable value -> loud abort, so BENCH rows
@@ -126,8 +132,14 @@ fn main() {
     let csr = ds.tcsr();
     let work = workload(&ds, queries, batch);
 
-    // warm-up pass so allocator/page effects don't favor either mode
-    let _ = pipeline.score_batch(&csr, 0, &work[..batch.min(work.len())], &feats);
+    // warm-up passes so allocator/page/arena effects don't favor any mode
+    let mut scratch = ScoreScratch::new();
+    let mut probs = Vec::new();
+    for _ in 0..3 {
+        let head = &work[..batch.min(work.len())];
+        pipeline.score_batch_into(&csr, 0, head, &feats, &mut scratch, &mut probs);
+        let _ = pipeline.score_batch_tape(&csr, 0, head, &feats);
+    }
 
     let t0 = Instant::now();
     for &q in &work {
@@ -136,16 +148,27 @@ fn main() {
     }
     let single_secs = t0.elapsed().as_secs_f64();
 
+    // batched through the autograd tape (the pre-fast-path scoring loop)
     let t1 = Instant::now();
     for chunk in work.chunks(batch) {
-        let probs = pipeline.score_batch(&csr, 0, chunk, &feats);
+        let tape_probs = pipeline.score_batch_tape(&csr, 0, chunk, &feats);
+        assert!(tape_probs.iter().all(|&p| p > 0.0 && p < 1.0));
+    }
+    let tape_secs = t1.elapsed().as_secs_f64();
+
+    // batched through the zero-allocation fast path (what workers run)
+    let t2 = Instant::now();
+    for chunk in work.chunks(batch) {
+        pipeline.score_batch_into(&csr, 0, chunk, &feats, &mut scratch, &mut probs);
         assert!(probs.iter().all(|&p| p > 0.0 && p < 1.0));
     }
-    let batched_secs = t1.elapsed().as_secs_f64();
+    let batched_secs = t2.elapsed().as_secs_f64();
 
     let single_qps = queries as f64 / single_secs;
+    let tape_qps = queries as f64 / tape_secs;
     let batched_qps = queries as f64 / batched_secs;
     let speedup = batched_qps / single_qps;
+    let fastpath_speedup = batched_qps / tape_qps;
 
     // -- closed-loop engine run with a live ingest stream --
     // Closed-loop clients bound the in-flight count, so a batch can never
@@ -191,8 +214,11 @@ fn main() {
     let engine_qps = stats.queries as f64 / engine_secs;
 
     println!("== serve throughput ({queries} queries, batch {batch}) ==");
-    println!("single-query : {single_qps:>9.1} q/s");
-    println!("micro-batched: {batched_qps:>9.1} q/s  ({speedup:.1}x single)");
+    println!("single-query        : {single_qps:>9.1} q/s");
+    println!("micro-batched (tape): {tape_qps:>9.1} q/s");
+    println!(
+        "micro-batched (fast): {batched_qps:>9.1} q/s  ({speedup:.1}x single, {fastpath_speedup:.2}x tape)"
+    );
     println!(
         "engine (closed-loop, {clients} clients + ingest): {engine_qps:>9.1} q/s, \
          p50 {} us, p99 {} us, mean batch {:.1}, gen {}",
@@ -205,16 +231,20 @@ fn main() {
     let json = format!(
         concat!(
             "{{\"harness\":\"serve_throughput\",\"scale\":{},\"queries\":{},",
-            "\"batch\":{},\"clients\":{},\"single_qps\":{:.2},\"batched_qps\":{:.2},",
-            "\"batched_speedup\":{:.3},\"engine_qps\":{:.2},\"engine\":{}}}"
+            "\"batch\":{},\"clients\":{},\"single_qps\":{:.2},",
+            "\"batched_tape_qps\":{:.2},\"batched_qps\":{:.2},",
+            "\"batched_speedup\":{:.3},\"fastpath_speedup\":{:.3},",
+            "\"engine_qps\":{:.2},\"engine\":{}}}"
         ),
         scale,
         queries,
         batch,
         clients,
         single_qps,
+        tape_qps,
         batched_qps,
         speedup,
+        fastpath_speedup,
         engine_qps,
         stats.to_json()
     );

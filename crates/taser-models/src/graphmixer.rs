@@ -65,6 +65,26 @@ impl MixerAggregator {
     pub fn config(&self) -> &MixerConfig {
         &self.cfg
     }
+
+    /// The fixed time encoding.
+    pub fn time_enc(&self) -> &FixedTimeEncoding {
+        &self.time_enc
+    }
+
+    /// The link-encoder projection.
+    pub fn input_proj(&self) -> &Linear {
+        &self.input_proj
+    }
+
+    /// The mixer block.
+    pub fn mixer(&self) -> &MixerBlock {
+        &self.mixer
+    }
+
+    /// The root (node-encoder) skip projection.
+    pub fn root_proj(&self) -> &Linear {
+        &self.root_proj
+    }
 }
 
 impl Aggregator for MixerAggregator {

@@ -19,6 +19,7 @@ pub mod artifact;
 pub mod batch;
 pub mod eval;
 pub mod graphmixer;
+pub mod infer;
 pub mod predictor;
 pub mod tgat;
 pub mod time_encoding;
@@ -28,6 +29,7 @@ pub use artifact::{
 };
 pub use batch::LayerBatch;
 pub use graphmixer::{MixerAggregator, MixerConfig};
+pub use infer::{tape_forward, InferArgs, PackedModel, TapeArgs};
 pub use predictor::{link_prediction_loss, EdgePredictor};
 pub use tgat::{TgatConfig, TgatLayer};
 

@@ -24,6 +24,11 @@ impl EdgePredictor {
         self.dim
     }
 
+    /// The underlying MLP.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
     /// Logits for `B` pairs: `h_src`, `h_dst` are `[B, dim]`; returns `[B, 1]`.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, h_src: VarId, h_dst: VarId) -> VarId {
         let cat = g.concat_cols(&[h_src, h_dst]);

@@ -77,6 +77,31 @@ impl TgatLayer {
     pub fn config(&self) -> &TgatConfig {
         &self.cfg
     }
+
+    /// The learnable time encoding.
+    pub fn time_enc(&self) -> &LearnableTimeEncoding {
+        &self.time_enc
+    }
+
+    /// The query projection.
+    pub fn w_q(&self) -> &Linear {
+        &self.w_q
+    }
+
+    /// The key projection.
+    pub fn w_k(&self) -> &Linear {
+        &self.w_k
+    }
+
+    /// The value projection.
+    pub fn w_v(&self) -> &Linear {
+        &self.w_v
+    }
+
+    /// The output head MLP.
+    pub fn out_mlp(&self) -> &Mlp {
+        &self.out_mlp
+    }
 }
 
 impl Aggregator for TgatLayer {

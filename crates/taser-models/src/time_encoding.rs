@@ -48,6 +48,11 @@ impl FixedTimeEncoding {
         self.omega.len()
     }
 
+    /// The frequency ladder `ω`.
+    pub fn frequencies(&self) -> &[f32] {
+        &self.omega
+    }
+
     /// Encodes a batch of timespans into a `[n, dim]` tensor (host side —
     /// the encoding is constant, so it enters the tape as a leaf).
     pub fn encode(&self, dts: &[f32]) -> Tensor {
@@ -88,6 +93,16 @@ impl LearnableTimeEncoding {
     /// Output dimension.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Parameter handle of the frequency row `w`.
+    pub fn w_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// Parameter handle of the phase vector `b`.
+    pub fn b_id(&self) -> ParamId {
+        self.b
     }
 
     /// Encodes a `[n, 1]` timespan column into `[n, dim]`: `cos(Δt·w + b)`.

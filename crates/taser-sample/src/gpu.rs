@@ -25,15 +25,18 @@ use taser_graph::index::TemporalIndex;
 
 /// Shared-memory bitmap for collision detection (Algorithm 2, line 11).
 /// One `u64` word per 64 candidate slots, like a CUDA shared-memory array.
+#[derive(Default)]
 struct Bitmap {
     words: Vec<u64>,
 }
 
 impl Bitmap {
-    fn new(bits: usize) -> Self {
-        Bitmap {
-            words: vec![0; bits.div_ceil(64)],
-        }
+    /// Clears and re-sizes for `bits` candidates, reusing capacity. Once a
+    /// scratch bitmap has seen the workload's largest neighborhood this is
+    /// allocation-free.
+    fn reset(&mut self, bits: usize) {
+        self.words.clear();
+        self.words.resize(bits.div_ceil(64), 0);
     }
 
     /// Attempts to claim bit `i`; returns `true` when this call set it
@@ -48,6 +51,21 @@ impl Bitmap {
             self.words[w] |= b;
             true
         }
+    }
+}
+
+/// Reusable per-caller scratch for sequential block launches
+/// ([`GpuFinder::sample_one_into`]): holds the collision bitmap so
+/// steady-state serving performs no per-sample allocations.
+#[derive(Default)]
+pub struct FinderScratch {
+    bitmap: Bitmap,
+}
+
+impl FinderScratch {
+    /// An empty scratch (grows to the largest neighborhood seen).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -96,20 +114,24 @@ impl GpuFinder {
                 .zip(counts.par_iter_mut())
                 .enumerate()
                 .map(|(block, (((ns, ts), es), count))| {
-                    run_block(BlockArgs {
-                        csr,
-                        v: targets[block].0,
-                        t: targets[block].1,
-                        budget,
-                        policy,
-                        seed,
-                        block,
-                        dev,
-                        ns,
-                        ts,
-                        es,
-                        count,
-                    })
+                    let mut bitmap = Bitmap::default();
+                    run_block(
+                        BlockArgs {
+                            csr,
+                            v: targets[block].0,
+                            t: targets[block].1,
+                            budget,
+                            policy,
+                            seed,
+                            block,
+                            dev,
+                            ns,
+                            ts,
+                            es,
+                            count,
+                        },
+                        &mut bitmap,
+                    )
                 })
                 .reduce(KernelStats::default, KernelStats::merge)
         };
@@ -126,6 +148,46 @@ impl GpuFinder {
         seed: u64,
     ) -> SampledNeighbors {
         self.sample_with_stats(csr, targets, budget, policy, seed).0
+    }
+
+    /// Runs one thread block for a single `(v, t)` target, writing straight
+    /// into caller-provided slot slices (`budget` entries each, pre-reset to
+    /// padding) — the serving fast path's allocation-free entry point. The
+    /// block index is 0, matching the per-target launches the scoring
+    /// pipeline's determinism contract requires, and `scratch` carries the
+    /// collision bitmap across calls.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_one_into<I: TemporalIndex + ?Sized>(
+        &self,
+        csr: &I,
+        v: u32,
+        t: f64,
+        budget: usize,
+        policy: SamplePolicy,
+        seed: u64,
+        scratch: &mut FinderScratch,
+        ns: &mut [u32],
+        ts: &mut [f64],
+        es: &mut [u32],
+        count: &mut usize,
+    ) -> KernelStats {
+        run_block(
+            BlockArgs {
+                csr,
+                v,
+                t,
+                budget,
+                policy,
+                seed,
+                block: 0,
+                dev: self.device,
+                ns,
+                ts,
+                es,
+                count,
+            },
+            &mut scratch.bitmap,
+        )
     }
 }
 
@@ -145,8 +207,12 @@ struct BlockArgs<'a, I: ?Sized> {
 }
 
 /// Executes one thread block: pivot search by lane 0, then sampling by
-/// `budget` lanes in warp-sized groups.
-fn run_block<I: TemporalIndex + ?Sized>(args: BlockArgs<'_, I>) -> KernelStats {
+/// `budget` lanes in warp-sized groups. `bitmap` is caller-provided scratch
+/// so sequential launches can reuse one allocation.
+fn run_block<I: TemporalIndex + ?Sized>(
+    args: BlockArgs<'_, I>,
+    bitmap: &mut Bitmap,
+) -> KernelStats {
     let BlockArgs {
         csr,
         v,
@@ -229,7 +295,7 @@ fn run_block<I: TemporalIndex + ?Sized>(args: BlockArgs<'_, I>) -> KernelStats {
                 } else {
                     1.0
                 };
-                let mut bitmap = Bitmap::new(pivot);
+                bitmap.reset(pivot);
                 let mut retries = 0u64;
                 for j in 0..k {
                     let mut attempt = 0u64;
@@ -394,8 +460,57 @@ mod tests {
     }
 
     #[test]
+    fn sample_one_into_matches_per_target_launch() {
+        // The serving pipeline used to launch `sample(csr, &[(v, t)], ...)`
+        // per target; the buffer-reusing entry point must reproduce those
+        // results bit-for-bit (same block index 0, same seed).
+        let csr = chain_csr(300);
+        let mut scratch = FinderScratch::new();
+        for policy in [
+            SamplePolicy::MostRecent,
+            SamplePolicy::Uniform,
+            SamplePolicy::inverse_timespan(),
+        ] {
+            for (qi, &(v, t)) in [(0u32, 250.5), (0, 40.25), (7, 1000.0)].iter().enumerate() {
+                let seed = 1234 + qi as u64;
+                let want = finder().sample(&csr, &[(v, t)], 12, policy, seed);
+                let mut out = SampledNeighbors::empty(1, 12);
+                let (ns, ts, es, count) = out.target_mut(0);
+                finder().sample_one_into(
+                    &csr,
+                    v,
+                    t,
+                    12,
+                    policy,
+                    seed,
+                    &mut scratch,
+                    ns,
+                    ts,
+                    es,
+                    count,
+                );
+                assert_eq!(out, want, "{policy:?} q{qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reuses_capacity() {
+        let mut r = SampledNeighbors::empty(4, 8);
+        r.set(2, 0, 9, 1.5, 3);
+        r.counts[2] = 1;
+        let caps = (r.nodes.capacity(), r.times.capacity());
+        r.reset(3, 8);
+        assert_eq!(r.roots, 3);
+        assert_eq!(r.total_samples(), 0);
+        assert!(r.nodes.iter().all(|&n| n == crate::result::PAD));
+        assert_eq!((r.nodes.capacity(), r.times.capacity()), caps);
+    }
+
+    #[test]
     fn bitmap_claims_once() {
-        let mut b = Bitmap::new(130);
+        let mut b = Bitmap::default();
+        b.reset(130);
         assert!(b.try_claim(0));
         assert!(!b.try_claim(0));
         assert!(b.try_claim(64));

@@ -24,7 +24,7 @@ pub mod rng;
 pub mod tgl;
 
 pub use device::{DeviceModel, KernelStats};
-pub use gpu::GpuFinder;
+pub use gpu::{FinderScratch, GpuFinder};
 pub use origin::OriginFinder;
 pub use policy::SamplePolicy;
 pub use result::{SampledNeighbors, PAD};

@@ -36,6 +36,36 @@ impl SampledNeighbors {
         }
     }
 
+    /// Re-initializes the buffers to an all-padding result for `roots`
+    /// targets, reusing existing capacity — the serving fast path resets one
+    /// `SampledNeighbors` per worker per batch, so steady-state sampling
+    /// performs no allocations once capacities have warmed up.
+    pub fn reset(&mut self, roots: usize, budget: usize) {
+        self.roots = roots;
+        self.budget = budget;
+        self.nodes.clear();
+        self.nodes.resize(roots * budget, PAD);
+        self.times.clear();
+        self.times.resize(roots * budget, 0.0);
+        self.eids.clear();
+        self.eids.resize(roots * budget, PAD);
+        self.counts.clear();
+        self.counts.resize(roots, 0);
+    }
+
+    /// Mutable views of target `i`'s full slot range plus its count — the
+    /// write surface for per-target finder launches.
+    #[inline]
+    pub fn target_mut(&mut self, i: usize) -> (&mut [u32], &mut [f64], &mut [u32], &mut usize) {
+        let b = self.budget;
+        (
+            &mut self.nodes[i * b..(i + 1) * b],
+            &mut self.times[i * b..(i + 1) * b],
+            &mut self.eids[i * b..(i + 1) * b],
+            &mut self.counts[i],
+        )
+    }
+
     /// The slot range of target `i`.
     #[inline]
     pub fn slots(&self, i: usize) -> std::ops::Range<usize> {

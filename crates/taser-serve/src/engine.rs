@@ -17,7 +17,7 @@ use taser_sample::SamplePolicy;
 
 use crate::batcher::{BatchPolicy, LinkQuery, MicroBatcher, ScoreResult, ScoreTicket};
 use crate::features::ServeFeatureCache;
-use crate::pipeline::ScorePipeline;
+use crate::pipeline::{ScorePath, ScorePipeline, ScoreScratch};
 use crate::snapshot::{IndexBackend, SnapshotStore};
 use crate::stats::{LatencyHistogram, ServeStats};
 
@@ -203,12 +203,37 @@ fn worker_loop(
     features: &ServeFeatureCache,
     metrics: &Mutex<EngineMetrics>,
 ) {
+    // Per-worker reusable state: the fast path's arena + assembly buffers
+    // plus the query/probability staging vectors. After warmup the scoring
+    // section of this loop performs no heap allocations.
+    let mut scratch = ScoreScratch::new();
+    let mut queries: Vec<LinkQuery> = Vec::new();
+    let mut probs: Vec<f32> = Vec::new();
     while let Some(batch) = batcher.next_batch() {
         let snap = snapshots.snapshot();
-        let queries: Vec<LinkQuery> = batch.iter().map(|p| p.query).collect();
+        queries.clear();
+        queries.extend(batch.iter().map(|p| p.query));
         // the feature cache synchronizes internally, so concurrent workers
         // overlap on the encoder forward and only serialize on bookkeeping
-        let probs = pipeline.score_batch(snap.csr.as_ref(), snap.generation, &queries, features);
+        match pipeline.score_path() {
+            ScorePath::Fast => pipeline.score_batch_into(
+                snap.csr.as_ref(),
+                snap.generation,
+                &queries,
+                features,
+                &mut scratch,
+                &mut probs,
+            ),
+            ScorePath::Tape => {
+                probs.clear();
+                probs.extend(pipeline.score_batch_tape(
+                    snap.csr.as_ref(),
+                    snap.generation,
+                    &queries,
+                    features,
+                ));
+            }
+        }
         let done = std::time::Instant::now();
         {
             let mut m = metrics.lock().expect("metrics lock poisoned");
@@ -218,7 +243,7 @@ fn worker_loop(
                 m.latency.record(done.duration_since(p.submitted));
             }
         }
-        for (pending, prob) in batch.into_iter().zip(probs) {
+        for (pending, &prob) in batch.into_iter().zip(probs.iter()) {
             pending.fulfill(ScoreResult {
                 prob,
                 generation: snap.generation,

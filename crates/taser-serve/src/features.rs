@@ -96,12 +96,24 @@ impl ServeFeatureCache {
 
     /// Gathers features for possibly-padded edge ids into a zero-filled flat
     /// buffer `[eids.len() * dim]`. PAD slots and ids beyond the trained
-    /// table stay zero.
+    /// table stay zero. Allocates per call — hot paths should prefer
+    /// [`ServeFeatureCache::gather_into`] with a reused buffer.
     pub fn gather(&self, eids: &[u32]) -> Vec<f32> {
+        let mut buf = Vec::new();
+        self.gather_into(eids, &mut buf);
+        buf
+    }
+
+    /// [`ServeFeatureCache::gather`] into a caller-provided buffer, which is
+    /// cleared and zero-filled to `eids.len() * dim` reusing its capacity —
+    /// after warmup the gather performs no allocations (the cache-policy
+    /// bookkeeping under the lock is allocation-free counters).
+    pub fn gather_into(&self, eids: &[u32], buf: &mut Vec<f32>) {
         let de = self.dim;
-        let mut buf = vec![0.0f32; eids.len() * de];
+        buf.clear();
+        buf.resize(eids.len() * de, 0.0);
         let Some(feats) = &self.feats else {
-            return buf;
+            return;
         };
         let rows = feats.rows() as u32;
         {
@@ -132,7 +144,6 @@ impl ServeFeatureCache {
                 buf[i * de..(i + 1) * de].copy_from_slice(feats.row(e as usize));
             }
         }
-        buf
     }
 
     /// Accounts `n` scored queries toward the maintenance period, running
@@ -193,6 +204,20 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.unknown, 1);
         assert_eq!(s.hits + s.misses, 1);
+    }
+
+    #[test]
+    fn gather_into_reuses_capacity_and_matches_gather() {
+        let c = ServeFeatureCache::new(Some(feats(6, 3)), 0.5, 0.7, 0, 1);
+        let mut buf = Vec::new();
+        c.gather_into(&[5, PAD, 0], &mut buf);
+        assert_eq!(buf, c.gather(&[5, PAD, 0]));
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        c.gather_into(&[1, 2], &mut buf);
+        assert_eq!(buf.len(), 6);
+        assert_eq!(buf.capacity(), cap, "shrinking gather must reuse capacity");
+        assert_eq!(buf.as_ptr(), ptr, "no reallocation on reuse");
     }
 
     #[test]

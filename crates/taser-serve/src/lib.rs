@@ -49,6 +49,6 @@ pub mod stats;
 pub use batcher::{BatchPolicy, LinkQuery, MicroBatcher, ScoreResult, ScoreTicket};
 pub use engine::{ServeConfig, ServeEngine};
 pub use features::{FeatureCacheStats, ServeFeatureCache};
-pub use pipeline::ScorePipeline;
+pub use pipeline::{ScorePath, ScorePipeline, ScoreScratch};
 pub use snapshot::{GraphSnapshot, IndexBackend, SnapshotStore};
 pub use stats::{LatencyHistogram, ServeStats};

@@ -196,6 +196,9 @@ fn run(args: &[String]) {
         cfg.index_backend.name(),
     );
     let engine = ServeEngine::new(artifact, seed_log, cfg).expect("boot engine");
+    // Asserted by the CI serve-smoke job: serving must select the
+    // zero-allocation packed-weight forward unless TASER_SCORE_PATH=tape.
+    eprintln!("scoring path: {}", engine.pipeline().score_path().name());
     match arg_value(args, "--tcp") {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr).expect("bind");

@@ -4,60 +4,153 @@
 //! This is the inference twin of the trainer's per-iteration loop, with the
 //! adaptive machinery stripped: supporting neighbors come straight from the
 //! finder under a fixed policy (the backbone's default unless overridden),
-//! and the encoder runs on an inference tape (no gradients, no dropout).
+//! and the encoder runs without gradients or dropout.
+//!
+//! **Two forward implementations** score the same assembly:
+//!
+//! * the **fast path** (default) — weights pre-packed at load
+//!   ([`PackedModel`]), scratch from a per-worker [`ScoreScratch`] whose
+//!   [`InferCtx`] arena and assembly buffers are reused batch to batch.
+//!   Sampler output is written *directly* into the combined hop layout
+//!   (hop 0 as the prefix), so steady-state scoring performs **zero heap
+//!   allocations per batch** (asserted by `tests/zero_alloc.rs`);
+//! * the **tape path** — the training-style autograd wiring
+//!   ([`taser_models::infer::tape_forward`]), kept for differential testing
+//!   (`tests/infer_equivalence.rs`), as the bench baseline, and selectable
+//!   with `TASER_SCORE_PATH=tape`.
 //!
 //! **Determinism contract:** identical `(src, dst, t)` queries against the
 //! same snapshot generation produce bit-identical scores, regardless of
 //! which other queries share the micro-batch. Every per-row tensor op is
-//! row-independent, so the only randomness risk is the finder; the
-//! most-recent policy is RNG-free and runs as one batched launch, while
-//! stochastic policies (uniform / inverse-timespan) derive an independent
-//! seed per target from `(node, t, generation, hop)` and launch per-target
-//! blocks — batch composition never reaches the sample distribution.
+//! row-independent (including the register-tiled packed matmul — a row's
+//! result never depends on its tile neighbors), so the only randomness risk
+//! is the finder; the most-recent policy is RNG-free, while stochastic
+//! policies (uniform / inverse-timespan) derive an independent seed per
+//! target from `(node, t, generation, hop)` and launch per-target blocks —
+//! batch composition never reaches the sample distribution.
 
+use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
 use taser_graph::feats::FeatureMatrix;
 use taser_graph::index::TemporalIndex;
-use taser_models::artifact::{ArtifactPolicy, BuiltAggregator, BuiltModel, ModelArtifact};
-use taser_models::batch::LayerBatch;
-use taser_models::{Aggregator, ModelSpec};
+use taser_models::artifact::{ArtifactPolicy, BuiltModel, ModelArtifact};
+use taser_models::infer::{tape_forward, InferArgs, PackedModel, TapeArgs};
+use taser_models::ModelSpec;
 use taser_sample::rng::mix;
-use taser_sample::{GpuFinder, SamplePolicy, SampledNeighbors, PAD};
-use taser_tensor::{ops::sigmoid, Graph, ParamStore, Tensor, VarId};
+use taser_sample::{FinderScratch, GpuFinder, SamplePolicy, SampledNeighbors, PAD};
+use taser_tensor::{ops::sigmoid, Graph, InferCtx, ParamStore, Slot, Tensor};
 
 use crate::batcher::LinkQuery;
 use crate::features::ServeFeatureCache;
 
-/// One hop of the (non-adaptive) support tree.
-struct ServeHop {
+/// Which forward implementation scores batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScorePath {
+    /// Tape-free packed-weight forward on a reusable arena (default).
+    Fast,
+    /// Autograd-tape forward (training twin); `TASER_SCORE_PATH=tape`.
+    Tape,
+}
+
+impl ScorePath {
+    /// Display name (logged at engine boot, asserted by the CI smoke job).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScorePath::Fast => "fast",
+            ScorePath::Tape => "tape",
+        }
+    }
+
+    fn from_env() -> Self {
+        match std::env::var("TASER_SCORE_PATH").as_deref() {
+            Ok("tape") => ScorePath::Tape,
+            Ok("fast") | Err(_) => ScorePath::Fast,
+            // An operator forcing the oracle path must not silently get the
+            // fast path because of a typo — fail loudly, like the bench
+            // harnesses do for unparsable flags.
+            Ok(other) => {
+                panic!("unknown TASER_SCORE_PATH {other:?} (expected \"fast\" or \"tape\")")
+            }
+        }
+    }
+}
+
+/// Per-worker reusable scoring state: the inference arena plus every
+/// assembly buffer the pipeline writes a batch into. One per scoring thread;
+/// all buffers retain capacity across batches, so after warmup a batch
+/// performs no heap allocations.
+pub struct ScoreScratch {
+    /// Tape-free forward arena.
+    pub ctx: InferCtx,
+    // root dedup
+    unique: Vec<(u32, f64)>,
+    slot_of: HashMap<(u32, u64), usize>,
+    root_slot: Vec<usize>,
+    // support tree in the combined hop layout (hop 0 is the prefix)
     targets: Vec<(u32, f64)>,
-    selected: SampledNeighbors,
-    edge_buf: Option<Vec<f32>>,
+    sel: SampledNeighbors,
+    edge_buf: Vec<f32>,
     delta_t: Vec<f32>,
     mask: Vec<bool>,
+    finder: FinderScratch,
+}
+
+impl Default for ScoreScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreScratch {
+    /// Empty scratch; buffers grow to the workload's peak and stay there.
+    pub fn new() -> Self {
+        ScoreScratch {
+            ctx: InferCtx::new(),
+            unique: Vec::new(),
+            slot_of: HashMap::new(),
+            root_slot: Vec::new(),
+            targets: Vec::new(),
+            sel: SampledNeighbors::empty(0, 1),
+            edge_buf: Vec::new(),
+            delta_t: Vec::new(),
+            mask: Vec::new(),
+            finder: FinderScratch::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// Fallback scratch for callers of the convenience [`ScorePipeline::score_batch`];
+    /// engine workers own an explicit [`ScoreScratch`] instead.
+    static TLS_SCRATCH: RefCell<ScoreScratch> = RefCell::new(ScoreScratch::new());
 }
 
 /// Immutable scoring state shared by every worker thread.
 pub struct ScorePipeline {
     spec: ModelSpec,
     model: BuiltModel,
+    packed: PackedModel,
     store: ParamStore,
     node_feats: Option<FeatureMatrix>,
     finder: GpuFinder,
     policy: SamplePolicy,
+    path: ScorePath,
 }
 
 impl ScorePipeline {
     /// Builds the pipeline from a loaded artifact, returning the edge
     /// feature table for the caller to wrap in a [`ServeFeatureCache`].
     /// `policy_override` replaces the backbone's default finding policy.
+    /// Weights are packed for the fast path here, once.
     pub fn new(
         artifact: ModelArtifact,
         policy_override: Option<SamplePolicy>,
     ) -> io::Result<(Self, Option<FeatureMatrix>)> {
         let model = artifact.build()?;
+        let packed = PackedModel::new(&artifact.spec, &model, &artifact.store);
         let ModelArtifact {
             spec,
             store,
@@ -76,10 +169,12 @@ impl ScorePipeline {
             ScorePipeline {
                 spec,
                 model,
+                packed,
                 store,
                 node_feats,
                 finder: GpuFinder::default(),
                 policy,
+                path: ScorePath::from_env(),
             },
             edge_feats,
         ))
@@ -95,9 +190,16 @@ impl ScorePipeline {
         self.policy
     }
 
+    /// The forward implementation batches are scored with.
+    pub fn score_path(&self) -> ScorePath {
+        self.path
+    }
+
     /// Scores a batch of link queries against one graph snapshot (any
     /// [`TemporalIndex`] backend), returning one probability in (0, 1) per
-    /// query.
+    /// query. Dispatches to the configured path; fast-path scratch comes
+    /// from a thread-local (engine workers use
+    /// [`ScorePipeline::score_batch_into`] with their own scratch).
     pub fn score_batch<I: TemporalIndex + ?Sized>(
         &self,
         csr: &I,
@@ -105,41 +207,15 @@ impl ScorePipeline {
         queries: &[LinkQuery],
         feats: &ServeFeatureCache,
     ) -> Vec<f32> {
-        let b = queries.len();
-        if b == 0 {
-            return Vec::new();
+        match self.path {
+            ScorePath::Tape => self.score_batch_tape(csr, generation, queries, feats),
+            ScorePath::Fast => TLS_SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                let mut out = Vec::with_capacity(queries.len());
+                self.score_batch_into(csr, generation, queries, feats, &mut scratch, &mut out);
+                out
+            }),
         }
-        feats.on_requests(b as u64);
-        // Roots are [srcs | dsts] at their query times, deduplicated: an
-        // identical (node, t) root has an identical support subtree and
-        // embedding, so hot nodes repeated across a batch (the common
-        // serving pattern — ranking trending candidates for many users) are
-        // encoded once and gathered per query. Every tensor op is
-        // row-independent, so scores are bit-identical to the undeduped
-        // forward — this is pure amortization a single-query scorer cannot
-        // have.
-        let mut unique: Vec<(u32, f64)> = Vec::with_capacity(2 * b);
-        let mut slot_of: HashMap<(u32, u64), usize> = HashMap::with_capacity(2 * b);
-        let mut root_slot = Vec::with_capacity(2 * b);
-        let srcs = queries.iter().map(|q| (q.src, q.t));
-        let dsts = queries.iter().map(|q| (q.dst, q.t));
-        for (v, t) in srcs.chain(dsts) {
-            let slot = *slot_of.entry((v, t.to_bits())).or_insert_with(|| {
-                unique.push((v, t));
-                unique.len() - 1
-            });
-            root_slot.push(slot);
-        }
-        let hops = self.build_hops(csr, generation, unique, feats);
-        let mut g = Graph::inference();
-        let h = self.forward(&mut g, &hops);
-        let h_src = g.gather_rows(h, &root_slot[..b]);
-        let h_dst = g.gather_rows(h, &root_slot[b..]);
-        let logits = self
-            .model
-            .predictor
-            .forward(&mut g, &self.store, h_src, h_dst);
-        g.data(logits).data().iter().map(|&x| sigmoid(x)).collect()
     }
 
     /// Scores one query on its own (the unbatched baseline the throughput
@@ -154,114 +230,243 @@ impl ScorePipeline {
         self.score_batch(csr, generation, &[query], feats)[0]
     }
 
-    /// Neighbor finding tolerant of PAD targets and node ids the snapshot
-    /// has not seen yet (both yield empty slots).
-    fn find<I: TemporalIndex + ?Sized>(
+    /// The tape-free fast path: assembles the support tree into `scratch`'s
+    /// reusable buffers, runs the packed forward on the arena, and writes
+    /// one probability per query into `out` (cleared first). Zero heap
+    /// allocations per call once `scratch` has warmed up.
+    pub fn score_batch_into<I: TemporalIndex + ?Sized>(
         &self,
         csr: &I,
-        targets: &[(u32, f64)],
         generation: u64,
-        hop: usize,
-    ) -> SampledNeighbors {
-        let n = self.spec.n_neighbors;
-        let valid_idx: Vec<usize> = (0..targets.len())
-            .filter(|&i| targets[i].0 != PAD && (targets[i].0 as usize) < csr.num_nodes())
-            .collect();
-        let queries: Vec<(u32, f64)> = valid_idx.iter().map(|&i| targets[i]).collect();
-        let sub = if matches!(self.policy, SamplePolicy::MostRecent) {
-            // RNG-free: one block-centric launch over the whole batch.
-            self.finder.sample(csr, &queries, n, self.policy, 0)
-        } else {
-            // Stochastic policies: per-target launches under per-target
-            // seeds, so a query's samples are a pure function of
-            // (node, t, generation, hop) — see the determinism contract.
-            let results: Vec<SampledNeighbors> = {
-                use rayon::prelude::*;
-                queries
-                    .par_iter()
-                    .map(|&(v, t)| {
-                        let seed = mix(v as u64)
-                            ^ mix(t.to_bits()).rotate_left(21)
-                            ^ mix(generation ^ ((hop as u64) << 56));
-                        self.finder.sample(csr, &[(v, t)], n, self.policy, seed)
-                    })
-                    .collect()
-            };
-            let mut merged = SampledNeighbors::empty(queries.len(), n);
-            for (i, r) in results.into_iter().enumerate() {
-                merged.counts[i] = r.counts[0];
-                merged.nodes[i * n..(i + 1) * n].copy_from_slice(&r.nodes);
-                merged.times[i * n..(i + 1) * n].copy_from_slice(&r.times);
-                merged.eids[i * n..(i + 1) * n].copy_from_slice(&r.eids);
-            }
-            merged
-        };
-        let mut full = SampledNeighbors::empty(targets.len(), n);
-        for (qi, &ti) in valid_idx.iter().enumerate() {
-            full.counts[ti] = sub.counts[qi];
-            let src = qi * n;
-            let dst = ti * n;
-            full.nodes[dst..dst + n].copy_from_slice(&sub.nodes[src..src + n]);
-            full.times[dst..dst + n].copy_from_slice(&sub.times[src..src + n]);
-            full.eids[dst..dst + n].copy_from_slice(&sub.eids[src..src + n]);
+        queries: &[LinkQuery],
+        feats: &ServeFeatureCache,
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        let b = queries.len();
+        if b == 0 {
+            return;
         }
-        full
+        feats.on_requests(b as u64);
+        self.dedup_roots(queries, scratch);
+        self.assemble(csr, generation, feats, scratch);
+
+        let ScoreScratch {
+            ctx,
+            unique,
+            root_slot,
+            targets,
+            sel,
+            edge_buf,
+            delta_t,
+            mask,
+            ..
+        } = scratch;
+        ctx.reset();
+        let root_feat = self.h0_slot(ctx, targets.len(), targets.iter().map(|&(v, _)| v));
+        let neigh_feat = self.h0_slot(ctx, sel.nodes.len(), sel.nodes.iter().copied());
+        let h = self.packed.forward(
+            ctx,
+            &InferArgs {
+                r0: unique.len(),
+                n: self.spec.n_neighbors,
+                root_feat,
+                neigh_feat,
+                edge_feat: (self.spec.edge_dim > 0).then_some(edge_buf.as_slice()),
+                delta_t,
+                mask,
+            },
+        );
+        let logits = self
+            .packed
+            .predict(ctx, h, &root_slot[..b], &root_slot[b..]);
+        out.extend(ctx.data(logits).iter().map(|&x| sigmoid(x)));
     }
 
-    /// Builds the L-hop support tree for the root set.
-    fn build_hops<I: TemporalIndex + ?Sized>(
+    /// The autograd-tape path over the same assembly — the training twin.
+    /// Allocates freely (fresh scratch, tape nodes, leaf clones); kept as
+    /// the differential oracle and bench baseline.
+    pub fn score_batch_tape<I: TemporalIndex + ?Sized>(
         &self,
         csr: &I,
         generation: u64,
-        roots: Vec<(u32, f64)>,
+        queries: &[LinkQuery],
         feats: &ServeFeatureCache,
-    ) -> Vec<ServeHop> {
-        let layers = self.spec.backbone.layers();
+    ) -> Vec<f32> {
+        let b = queries.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        feats.on_requests(b as u64);
+        let mut scratch = ScoreScratch::new();
+        self.dedup_roots(queries, &mut scratch);
+        self.assemble(csr, generation, feats, &mut scratch);
+
+        let root_feat = self.h0(
+            scratch.targets.len(),
+            scratch.targets.iter().map(|&(v, _)| v),
+        );
+        let neigh_feat = self.h0(scratch.sel.nodes.len(), scratch.sel.nodes.iter().copied());
+        let mut g = Graph::inference();
+        let h = tape_forward(
+            &mut g,
+            &self.spec,
+            &self.model,
+            &self.store,
+            &TapeArgs {
+                r0: scratch.unique.len(),
+                n: self.spec.n_neighbors,
+                root_feat,
+                neigh_feat,
+                edge_feat: (self.spec.edge_dim > 0).then_some(scratch.edge_buf.as_slice()),
+                delta_t: &scratch.delta_t,
+                mask: &scratch.mask,
+            },
+        );
+        let h_src = g.gather_rows(h, &scratch.root_slot[..b]);
+        let h_dst = g.gather_rows(h, &scratch.root_slot[b..]);
+        let logits = self
+            .model
+            .predictor
+            .forward(&mut g, &self.store, h_src, h_dst);
+        g.data(logits).data().iter().map(|&x| sigmoid(x)).collect()
+    }
+
+    /// Roots are [srcs | dsts] at their query times, deduplicated: an
+    /// identical (node, t) root has an identical support subtree and
+    /// embedding, so hot nodes repeated across a batch (the common serving
+    /// pattern — ranking trending candidates for many users) are encoded
+    /// once and gathered per query. Every per-row op is row-independent, so
+    /// scores are bit-identical to the undeduped forward.
+    fn dedup_roots(&self, queries: &[LinkQuery], scratch: &mut ScoreScratch) {
+        let ScoreScratch {
+            unique,
+            slot_of,
+            root_slot,
+            ..
+        } = scratch;
+        unique.clear();
+        slot_of.clear();
+        root_slot.clear();
+        let srcs = queries.iter().map(|q| (q.src, q.t));
+        let dsts = queries.iter().map(|q| (q.dst, q.t));
+        for (v, t) in srcs.chain(dsts) {
+            let slot = match slot_of.entry((v, t.to_bits())) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    unique.push((v, t));
+                    *e.insert(unique.len() - 1)
+                }
+            };
+            root_slot.push(slot);
+        }
+    }
+
+    /// Builds the L-hop support tree directly into `scratch`'s combined
+    /// layout: hop-0 targets (the deduped roots) occupy the prefix, their
+    /// hop-1 children the suffix. Sampler output lands in `scratch.sel`'s
+    /// reusable slots via per-target block launches (no intermediate
+    /// `SampledNeighbors` allocations, no clone chains), and edge features
+    /// gather once into `scratch.edge_buf`.
+    fn assemble<I: TemporalIndex + ?Sized>(
+        &self,
+        csr: &I,
+        generation: u64,
+        feats: &ServeFeatureCache,
+        scratch: &mut ScoreScratch,
+    ) {
         let n = self.spec.n_neighbors;
-        let mut hops = Vec::with_capacity(layers);
-        let mut targets = roots;
-        for hop_idx in 0..layers {
-            let selected = self.find(csr, &targets, generation, hop_idx);
-            let edge_buf = (self.spec.edge_dim > 0).then(|| feats.gather(&selected.eids));
-            let mut delta_t = vec![0.0f32; targets.len() * n];
-            let mut mask = vec![false; targets.len() * n];
-            for (i, &(_, t0)) in targets.iter().enumerate() {
-                for j in 0..selected.counts[i] {
-                    let s = i * n + j;
-                    if selected.nodes[s] != PAD {
+        let layers = self.spec.backbone.layers();
+        let ScoreScratch {
+            unique,
+            targets,
+            sel,
+            edge_buf,
+            delta_t,
+            mask,
+            finder,
+            ..
+        } = scratch;
+        let r0 = unique.len();
+        let r_total = if layers == 2 { r0 + r0 * n } else { r0 };
+        targets.clear();
+        targets.extend_from_slice(unique);
+        sel.reset(r_total, n);
+        delta_t.clear();
+        delta_t.resize(r_total * n, 0.0);
+        mask.clear();
+        mask.resize(r_total * n, false);
+
+        for hop in 0..layers {
+            let (start, end) = if hop == 0 { (0, r0) } else { (r0, r_total) };
+            // Per-target block launches tolerant of PAD targets and node ids
+            // the snapshot has not seen yet (their slots stay padded).
+            // Stochastic policies seed each block from
+            // (node, t, generation, hop) — see the determinism contract.
+            for (off, &(v, t0)) in targets[start..end].iter().enumerate() {
+                let ti = start + off;
+                if v == PAD || (v as usize) >= csr.num_nodes() {
+                    continue;
+                }
+                let seed = if matches!(self.policy, SamplePolicy::MostRecent) {
+                    0 // RNG-free policy
+                } else {
+                    mix(v as u64)
+                        ^ mix(t0.to_bits()).rotate_left(21)
+                        ^ mix(generation ^ ((hop as u64) << 56))
+                };
+                let (ns, ts, es, count) = sel.target_mut(ti);
+                self.finder.sample_one_into(
+                    csr,
+                    v,
+                    t0,
+                    n,
+                    self.policy,
+                    seed,
+                    finder,
+                    ns,
+                    ts,
+                    es,
+                    count,
+                );
+            }
+            for ti in start..end {
+                let (_, t0) = targets[ti];
+                for j in 0..sel.counts[ti] {
+                    let s = ti * n + j;
+                    if sel.nodes[s] != PAD {
                         mask[s] = true;
-                        delta_t[s] = (t0 - selected.times[s]) as f32;
+                        delta_t[s] = (t0 - sel.times[s]) as f32;
+                    }
+                }
+                if hop == 0 && layers == 2 {
+                    for j in 0..n {
+                        let s = ti * n + j;
+                        targets.push(if mask[s] {
+                            (sel.nodes[s], sel.times[s])
+                        } else {
+                            (PAD, 0.0)
+                        });
                     }
                 }
             }
-            let next_targets: Vec<(u32, f64)> = (0..targets.len() * n)
-                .map(|s| {
-                    if mask[s] {
-                        (selected.nodes[s], selected.times[s])
-                    } else {
-                        (PAD, 0.0)
-                    }
-                })
-                .collect();
-            hops.push(ServeHop {
-                targets,
-                selected,
-                edge_buf,
-                delta_t,
-                mask,
-            });
-            targets = next_targets;
         }
-        hops
+
+        if self.spec.edge_dim > 0 {
+            feats.gather_into(&sel.eids, edge_buf);
+        } else {
+            edge_buf.clear();
+        }
     }
 
-    /// Level-0 embeddings for a node list; PAD rows and nodes beyond the
-    /// trained feature table are zero.
-    fn h0(&self, nodes: &[u32]) -> Tensor {
+    /// Level-0 embeddings for a node list as a host tensor (tape path);
+    /// PAD rows and nodes beyond the trained feature table are zero.
+    fn h0(&self, count: usize, nodes: impl Iterator<Item = u32>) -> Tensor {
         let d0 = self.spec.in_dim;
-        let mut t = Tensor::zeros(&[nodes.len(), d0]);
+        let mut t = Tensor::zeros(&[count, d0]);
         if let Some(nf) = &self.node_feats {
-            for (i, &v) in nodes.iter().enumerate() {
+            for (i, v) in nodes.enumerate() {
                 if v != PAD && (v as usize) < nf.rows() {
                     t.data_mut()[i * d0..(i + 1) * d0].copy_from_slice(nf.row(v as usize));
                 }
@@ -270,93 +475,19 @@ impl ScorePipeline {
         t
     }
 
-    /// Frozen backbone forward over the support tree (inference twin of the
-    /// trainer's; see `taser_core::trainer::Trainer::forward`).
-    fn forward(&self, g: &mut Graph, hops: &[ServeHop]) -> VarId {
-        let n = self.spec.n_neighbors;
-        let de = self.spec.edge_dim;
-        match &self.model.agg {
-            BuiltAggregator::Mixer { agg } => {
-                let hop = &hops[0];
-                let r = hop.targets.len();
-                let root_nodes: Vec<u32> = hop.targets.iter().map(|&(v, _)| v).collect();
-                let root_feat = g.leaf(self.h0(&root_nodes));
-                let neigh_feat = g.leaf(self.h0(&hop.selected.nodes));
-                let edge_feat = hop
-                    .edge_buf
-                    .as_ref()
-                    .map(|b| g.leaf(Tensor::from_vec(b.clone(), &[r * n, de])));
-                let batch = LayerBatch::new(
-                    g,
-                    r,
-                    n,
-                    root_feat,
-                    neigh_feat,
-                    edge_feat,
-                    hop.delta_t.clone(),
-                    hop.mask.clone(),
-                );
-                agg.forward(g, &self.store, &batch, false, 0).h
-            }
-            BuiltAggregator::Tgat { l1, l2 } => {
-                let hop0 = &hops[0];
-                let hop1 = &hops[1];
-                let r0 = hop0.targets.len();
-                let r1 = hop1.targets.len(); // = r0 * n
-
-                // Layer 1 runs on T1 = L0 ++ L1 with neighbors [S0 | S1].
-                let mut t1_nodes: Vec<u32> = hop0.targets.iter().map(|&(v, _)| v).collect();
-                t1_nodes.extend(hop1.targets.iter().map(|&(v, _)| v));
-                let root_feat1 = g.leaf(self.h0(&t1_nodes));
-                let mut neigh_nodes = hop0.selected.nodes.clone();
-                neigh_nodes.extend_from_slice(&hop1.selected.nodes);
-                let neigh_feat1 = g.leaf(self.h0(&neigh_nodes));
-                let edge_feat1 = (de > 0).then(|| {
-                    let mut buf = hop0.edge_buf.clone().unwrap_or_default();
-                    buf.extend_from_slice(hop1.edge_buf.as_ref().expect("edge buf"));
-                    g.leaf(Tensor::from_vec(buf, &[(r0 + r1) * n, de]))
-                });
-                let mut delta1 = hop0.delta_t.clone();
-                delta1.extend_from_slice(&hop1.delta_t);
-                let mut mask1 = hop0.mask.clone();
-                mask1.extend_from_slice(&hop1.mask);
-                let batch1 = LayerBatch::new(
-                    g,
-                    r0 + r1,
-                    n,
-                    root_feat1,
-                    neigh_feat1,
-                    edge_feat1,
-                    delta1,
-                    mask1,
-                );
-                let out1 = l1.forward(g, &self.store, &batch1, false, 0);
-
-                // Layer 2: roots = L0 (their layer-1 embeddings), neighbors =
-                // S0 with layer-1 embeddings of the matching L1 targets.
-                let root_idx: Vec<usize> = (0..r0).collect();
-                let root_feat2 = g.gather_rows(out1.h, &root_idx);
-                let neigh_idx: Vec<usize> = (0..r0 * n).map(|s| r0 + s).collect();
-                let neigh_feat2 = g.gather_rows(out1.h, &neigh_idx);
-                let edge_feat2 = (de > 0).then(|| {
-                    g.leaf(Tensor::from_vec(
-                        hop0.edge_buf.clone().expect("edge buf"),
-                        &[r0 * n, de],
-                    ))
-                });
-                let batch2 = LayerBatch::new(
-                    g,
-                    r0,
-                    n,
-                    root_feat2,
-                    neigh_feat2,
-                    edge_feat2,
-                    hop0.delta_t.clone(),
-                    hop0.mask.clone(),
-                );
-                l2.forward(g, &self.store, &batch2, false, 0).h
+    /// Level-0 embeddings straight into the inference arena (fast path).
+    fn h0_slot(&self, ctx: &mut InferCtx, count: usize, nodes: impl Iterator<Item = u32>) -> Slot {
+        let d0 = self.spec.in_dim;
+        let s = ctx.alloc_zeroed(count * d0);
+        if let Some(nf) = &self.node_feats {
+            let data = ctx.data_mut(s);
+            for (i, v) in nodes.enumerate() {
+                if v != PAD && (v as usize) < nf.rows() {
+                    data[i * d0..(i + 1) * d0].copy_from_slice(nf.row(v as usize));
+                }
             }
         }
+        s
     }
 }
 
@@ -462,6 +593,61 @@ mod tests {
                 "{backbone:?}: determinism across batch compositions"
             );
         }
+    }
+
+    #[test]
+    fn fast_and_tape_paths_agree() {
+        for backbone in [ArtifactBackbone::GraphMixer, ArtifactBackbone::Tgat] {
+            let (p, _) = ScorePipeline::new(artifact(backbone), None).unwrap();
+            let feats = cache();
+            let queries: Vec<LinkQuery> = (0..8)
+                .map(|i| LinkQuery {
+                    src: i % 5,
+                    dst: 5 + ((i + 2) % 5),
+                    t: 26.0 + i as f64 * 0.5,
+                })
+                .collect();
+            let mut scratch = ScoreScratch::new();
+            let mut fast = Vec::new();
+            p.score_batch_into(&csr(), 3, &queries, &feats, &mut scratch, &mut fast);
+            let tape = p.score_batch_tape(&csr(), 3, &queries, &feats);
+            assert_eq!(fast.len(), tape.len());
+            for (i, (a, b)) in fast.iter().zip(tape.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-5,
+                    "{backbone:?} query {i}: fast {a} vs tape {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_scratch_stops_growing() {
+        let (p, _) = ScorePipeline::new(artifact(ArtifactBackbone::Tgat), None).unwrap();
+        let feats = cache();
+        let queries: Vec<LinkQuery> = (0..10)
+            .map(|i| LinkQuery {
+                src: i % 5,
+                dst: 5 + (i % 5),
+                t: 30.0 + i as f64,
+            })
+            .collect();
+        let mut scratch = ScoreScratch::new();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            p.score_batch_into(&csr(), 0, &queries, &feats, &mut scratch, &mut out);
+        }
+        let grows = scratch.ctx.grow_count();
+        let water = scratch.ctx.high_water();
+        for _ in 0..10 {
+            p.score_batch_into(&csr(), 0, &queries, &feats, &mut scratch, &mut out);
+        }
+        assert_eq!(
+            scratch.ctx.grow_count(),
+            grows,
+            "arena grew in steady state"
+        );
+        assert_eq!(scratch.ctx.high_water(), water, "watermark moved");
     }
 
     #[test]

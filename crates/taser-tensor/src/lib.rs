@@ -11,6 +11,9 @@
 //! * [`tensor`] — the dense [`Tensor`] storage type.
 //! * [`ops`] — raw kernels (matmul, bmm, softmax, layer norm, head packing).
 //! * [`graph`] — the autograd tape: [`Graph`], [`VarId`], ~30 differentiable ops.
+//! * [`infer`] — the tape-free inference path: the [`InferCtx`] bump arena
+//!   and packed-weight layer kernels (zero allocations per batch after
+//!   warmup).
 //! * [`nn`] — layers: [`nn::Linear`], [`nn::Mlp`], [`nn::LayerNorm`],
 //!   [`nn::MixerBlock`] (the MLP-Mixer used by GraphMixer and by TASER's
 //!   neighbor decoder).
@@ -32,6 +35,7 @@
 
 pub mod gradcheck;
 pub mod graph;
+pub mod infer;
 pub mod init;
 pub mod nn;
 pub mod ops;
@@ -39,5 +43,6 @@ pub mod optim;
 pub mod tensor;
 
 pub use graph::{Graph, VarId};
+pub use infer::{InferCtx, Slot};
 pub use optim::{AdamConfig, ParamId, ParamStore};
 pub use tensor::Tensor;

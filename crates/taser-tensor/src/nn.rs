@@ -168,6 +168,21 @@ impl LayerNorm {
         let beta = g.param(store, self.beta);
         g.layer_norm(x, gamma, beta, self.eps)
     }
+
+    /// Parameter handle of the scale vector.
+    pub fn gamma_id(&self) -> ParamId {
+        self.gamma
+    }
+
+    /// Parameter handle of the shift vector.
+    pub fn beta_id(&self) -> ParamId {
+        self.beta
+    }
+
+    /// Variance fuzz term.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
 }
 
 /// One MLP-Mixer block (Tolstikhin et al.): token mixing across the
@@ -224,6 +239,16 @@ impl MixerBlock {
             tokens,
             dim,
         }
+    }
+
+    /// The token-mixing LayerNorm.
+    pub fn ln_token(&self) -> &LayerNorm {
+        &self.ln_token
+    }
+
+    /// The channel-mixing LayerNorm.
+    pub fn ln_chan(&self) -> &LayerNorm {
+        &self.ln_chan
     }
 
     /// Applies the block to `[b, tokens, dim]`.

@@ -12,6 +12,339 @@ use rayon::prelude::*;
 /// Below this the parallel dispatch overhead dominates.
 const PAR_ROW_THRESHOLD: usize = 32;
 
+/// Register-tile height of the packed matmul microkernel: rows of `A`
+/// processed together so each loaded panel column is reused `MR` times.
+pub const MR: usize = 4;
+
+/// Default packed-panel width. 8 f32 lanes = one AVX2 register per
+/// accumulator row; the `infer_forward` harness sweeps 4/8/16
+/// (see EXPERIMENTS.md, "Blocking-parameter sweep").
+pub const DEFAULT_PANEL: usize = 8;
+
+/// A matrix packed into `NR`-wide column panels for the register-tiled
+/// matmul kernels.
+///
+/// Panel `j` stores columns `[j*nr, j*nr+nr)` contiguously, `k`-major:
+/// `panel[p*nr + jj] = B[p][j*nr + jj]` (zero-padded past column `m`). The
+/// kernel streams one panel while keeping an `MR`×`nr` accumulator tile in
+/// registers, so every `B` value loaded is used `MR` times and every `A`
+/// value `nr` times. Weight matrices pack **once at model load** and are
+/// reused across every inference batch; the training-path `matmul` packs
+/// per call (an `O(k·m)` copy amortized over `n` output rows).
+#[derive(Clone, Debug)]
+pub struct PackedMatrix {
+    k: usize,
+    m: usize,
+    nr: usize,
+    data: Vec<f32>,
+}
+
+impl PackedMatrix {
+    /// Packs a row-major `B (k×m)` into `nr`-wide panels.
+    /// `nr` must be 4, 8, or 16 (the instantiated kernel widths).
+    pub fn pack(b: &[f32], k: usize, m: usize, nr: usize) -> Self {
+        assert!(matches!(nr, 4 | 8 | 16), "unsupported panel width {nr}");
+        assert_eq!(b.len(), k * m, "pack: data/shape mismatch");
+        let npanels = m.div_ceil(nr).max(1);
+        let mut data = vec![0.0f32; npanels * k * nr];
+        for pj in 0..npanels {
+            let j0 = pj * nr;
+            let w = m.saturating_sub(j0).min(nr);
+            let panel = &mut data[pj * k * nr..(pj + 1) * k * nr];
+            for p in 0..k {
+                for jj in 0..w {
+                    panel[p * nr + jj] = b[p * m + j0 + jj];
+                }
+            }
+        }
+        PackedMatrix { k, m, nr, data }
+    }
+
+    /// Packs `Bᵀ` where `B (m×k)` is row-major — i.e. the packed logical
+    /// matrix is `(k×m)` with `B'[p][j] = B[j][p]`. Lets [`matmul_bt`] share
+    /// the forward kernel (packing performs the transpose).
+    pub fn pack_bt(b: &[f32], m: usize, k: usize, nr: usize) -> Self {
+        assert!(matches!(nr, 4 | 8 | 16), "unsupported panel width {nr}");
+        assert_eq!(b.len(), k * m, "pack_bt: data/shape mismatch");
+        let npanels = m.div_ceil(nr).max(1);
+        let mut data = vec![0.0f32; npanels * k * nr];
+        for pj in 0..npanels {
+            let j0 = pj * nr;
+            let w = m.saturating_sub(j0).min(nr);
+            let panel = &mut data[pj * k * nr..(pj + 1) * k * nr];
+            for p in 0..k {
+                for jj in 0..w {
+                    panel[p * nr + jj] = b[(j0 + jj) * k + p];
+                }
+            }
+        }
+        PackedMatrix { k, m, nr, data }
+    }
+
+    /// Packs a rank-2 tensor.
+    pub fn from_tensor(t: &Tensor, nr: usize) -> Self {
+        assert_eq!(t.shape().len(), 2, "from_tensor needs rank-2");
+        Self::pack(t.data(), t.shape()[0], t.shape()[1], nr)
+    }
+
+    /// Inner (contraction) dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Panel width the matrix was packed with.
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+}
+
+/// True when the running CPU supports the AVX2+FMA kernel variant.
+fn kernel_uses_avx() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVX: OnceLock<bool> = OnceLock::new();
+        *AVX.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `C (n×m) = A (n×k) · P` for a pre-packed `P`, with an optional fused bias
+/// added to every output row. Writes (does not accumulate into) `c`.
+///
+/// This is the **portable** kernel used by the training-path [`matmul`] /
+/// [`matmul_bt`]: per output element the accumulation runs ascending in `p`
+/// exactly like the historical ikj kernel, so results are **bit-identical**
+/// to the naive triple loop on every machine — packing changes memory
+/// layout, never summation order. Training keeps this kernel because
+/// checkpoints and the repo's determinism contracts rely on
+/// machine-independent results; the serving path uses
+/// [`matmul_packed_infer_into`] instead.
+pub fn matmul_packed_into(
+    a: &[f32],
+    n: usize,
+    k: usize,
+    pb: &PackedMatrix,
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    check_packed_shapes(a, n, k, pb, bias, c);
+    match pb.nr {
+        4 => packed_kernel::<4>(a, n, k, pb, bias, c),
+        8 => packed_kernel::<8>(a, n, k, pb, bias, c),
+        16 => packed_kernel::<16>(a, n, k, pb, bias, c),
+        w => unreachable!("unsupported panel width {w}"),
+    }
+}
+
+/// The inference-grade variant of [`matmul_packed_into`]: on x86-64 with
+/// AVX2+FMA (detected at runtime, cached) the accumulation uses 256-bit
+/// fused multiply-adds — same ascending-`p` order, one rounding per step
+/// instead of two, so results are at least as accurate as the portable
+/// kernel and differ from it by ≤1 ulp per step. Deterministic on a given
+/// machine (the serving contract); **not** machine-independent, which is why
+/// the training tape does not use it. Falls back to the portable kernel
+/// elsewhere.
+pub fn matmul_packed_infer_into(
+    a: &[f32],
+    n: usize,
+    k: usize,
+    pb: &PackedMatrix,
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    check_packed_shapes(a, n, k, pb, bias, c);
+    #[cfg(target_arch = "x86_64")]
+    if kernel_uses_avx() {
+        // SAFETY: feature presence checked by kernel_uses_avx().
+        unsafe {
+            match pb.nr {
+                4 => packed_kernel_avx::<4>(a, n, k, pb, bias, c),
+                8 => packed_kernel_avx::<8>(a, n, k, pb, bias, c),
+                16 => packed_kernel_avx::<16>(a, n, k, pb, bias, c),
+                w => unreachable!("unsupported panel width {w}"),
+            }
+        }
+        return;
+    }
+    match pb.nr {
+        4 => packed_kernel::<4>(a, n, k, pb, bias, c),
+        8 => packed_kernel::<8>(a, n, k, pb, bias, c),
+        16 => packed_kernel::<16>(a, n, k, pb, bias, c),
+        w => unreachable!("unsupported panel width {w}"),
+    }
+}
+
+#[inline]
+fn check_packed_shapes(
+    a: &[f32],
+    n: usize,
+    k: usize,
+    pb: &PackedMatrix,
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    assert_eq!(pb.k, k, "packed inner dim: {} vs {k}", pb.k);
+    assert_eq!(a.len(), n * k, "packed lhs size");
+    assert_eq!(c.len(), n * pb.m, "packed out size");
+    if let Some(bv) = bias {
+        assert_eq!(bv.len(), pb.m, "packed bias size");
+    }
+}
+
+#[inline]
+fn store_tile<const NR: usize>(
+    c: &mut [f32],
+    m: usize,
+    row: usize,
+    j0: usize,
+    w: usize,
+    acc: &[f32; NR],
+    bias: Option<&[f32]>,
+) {
+    let crow = &mut c[row * m + j0..row * m + j0 + w];
+    match bias {
+        Some(bv) => {
+            for j in 0..w {
+                crow[j] = acc[j] + bv[j0 + j];
+            }
+        }
+        None => crow.copy_from_slice(&acc[..w]),
+    }
+}
+
+/// Portable kernel: plain multiply-then-add accumulation.
+fn packed_kernel<const NR: usize>(
+    a: &[f32],
+    n: usize,
+    k: usize,
+    pb: &PackedMatrix,
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    packed_kernel_body::<NR, false>(a, n, k, pb, bias, c)
+}
+
+/// AVX2+FMA instantiation of the same body: LLVM vectorizes the `NR`-lane
+/// loops with 256-bit fused multiply-adds. Safe to *define* everywhere;
+/// calling requires the runtime feature check in [`matmul_packed_into`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn packed_kernel_avx<const NR: usize>(
+    a: &[f32],
+    n: usize,
+    k: usize,
+    pb: &PackedMatrix,
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    packed_kernel_body::<NR, true>(a, n, k, pb, bias, c)
+}
+
+#[inline(always)]
+fn fma_or_mul<const FMA: bool>(x: f32, y: f32, acc: f32) -> f32 {
+    if FMA {
+        x.mul_add(y, acc)
+    } else {
+        acc + x * y
+    }
+}
+
+#[inline(always)]
+fn packed_kernel_body<const NR: usize, const FMA: bool>(
+    a: &[f32],
+    n: usize,
+    k: usize,
+    pb: &PackedMatrix,
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    let m = pb.m;
+    let npanels = m.div_ceil(NR).max(1);
+    let mut i = 0;
+    // MR-row register tiles: 4×NR accumulators live in registers for the
+    // whole k loop, so C traffic is one store per element instead of one
+    // load+store per (element, p) pair.
+    while i + MR <= n {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        for pj in 0..npanels {
+            let panel = &pb.data[pj * k * NR..(pj + 1) * k * NR];
+            let mut acc0 = [0.0f32; NR];
+            let mut acc1 = [0.0f32; NR];
+            let mut acc2 = [0.0f32; NR];
+            let mut acc3 = [0.0f32; NR];
+            for p in 0..k {
+                let bl: &[f32; NR] = panel[p * NR..p * NR + NR].try_into().expect("panel lane");
+                let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
+                for j in 0..NR {
+                    acc0[j] = fma_or_mul::<FMA>(x0, bl[j], acc0[j]);
+                    acc1[j] = fma_or_mul::<FMA>(x1, bl[j], acc1[j]);
+                    acc2[j] = fma_or_mul::<FMA>(x2, bl[j], acc2[j]);
+                    acc3[j] = fma_or_mul::<FMA>(x3, bl[j], acc3[j]);
+                }
+            }
+            let j0 = pj * NR;
+            let w = m.saturating_sub(j0).min(NR);
+            store_tile(c, m, i, j0, w, &acc0, bias);
+            store_tile(c, m, i + 1, j0, w, &acc1, bias);
+            store_tile(c, m, i + 2, j0, w, &acc2, bias);
+            store_tile(c, m, i + 3, j0, w, &acc3, bias);
+        }
+        i += MR;
+    }
+    // remainder rows: single-row tiles
+    while i < n {
+        let arow = &a[i * k..(i + 1) * k];
+        for pj in 0..npanels {
+            let panel = &pb.data[pj * k * NR..(pj + 1) * k * NR];
+            let mut acc = [0.0f32; NR];
+            for (p, &av) in arow.iter().enumerate() {
+                let bl: &[f32; NR] = panel[p * NR..p * NR + NR].try_into().expect("panel lane");
+                for j in 0..NR {
+                    acc[j] = fma_or_mul::<FMA>(av, bl[j], acc[j]);
+                }
+            }
+            let j0 = pj * NR;
+            let w = m.saturating_sub(j0).min(NR);
+            store_tile(c, m, i, j0, w, &acc, bias);
+        }
+        i += 1;
+    }
+}
+
+/// Fans a packed matmul out over rayon in `MR`-aligned row blocks (or runs
+/// it inline for small `n` / single-thread pools).
+fn packed_parallel(a: &[f32], n: usize, k: usize, pb: &PackedMatrix, c: &mut [f32]) {
+    let m = pb.m;
+    let threads = rayon::current_num_threads().max(1);
+    if n < PAR_ROW_THRESHOLD || threads == 1 {
+        matmul_packed_into(a, n, k, pb, None, c);
+        return;
+    }
+    let rows_per = (n / threads).max(MR).next_multiple_of(MR);
+    c.par_chunks_mut(rows_per * m)
+        .enumerate()
+        .for_each(|(bi, cc)| {
+            let i0 = bi * rows_per;
+            let rows = cc.len() / m;
+            matmul_packed_into(&a[i0 * k..(i0 + rows) * k], rows, k, pb, None, cc);
+        });
+}
+
 /// `C = A (n×k) · B (k×m)`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k) = (a.rows(), a.last_dim());
@@ -19,33 +352,24 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, m) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
     let mut out = Tensor::zeros(&[n, m]);
-    matmul_into(a.data(), b.data(), out.data_mut(), n, k, m);
+    let pb = PackedMatrix::pack(b.data(), k, m, DEFAULT_PANEL);
+    packed_parallel(a.data(), n, k, &pb, out.data_mut());
     out
 }
 
-/// `C = A (n×k) · Bᵀ` where `B` is `(m×k)`.
+/// `C = A (n×k) · Bᵀ` where `B` is `(m×k)`. Packing performs the transpose,
+/// so this shares the register-tiled forward kernel (and its bit-exact
+/// ascending-`k` accumulation order) with [`matmul`].
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k) = (a.rows(), a.last_dim());
     let (m, k2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_bt inner dims: {k} vs {k2}");
     let mut out = Tensor::zeros(&[n, m]);
-    let (ad, bd) = (a.data(), b.data());
-    let body = |(i, row): (usize, &mut [f32])| {
-        let arow = &ad[i * k..(i + 1) * k];
-        for (j, o) in row.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            *o = dot(arow, brow);
-        }
-    };
-    if n >= PAR_ROW_THRESHOLD {
-        out.data_mut().par_chunks_mut(m).enumerate().for_each(body);
-    } else {
-        out.data_mut().chunks_mut(m).enumerate().for_each(body);
-    }
+    let pb = PackedMatrix::pack_bt(b.data(), m, k, DEFAULT_PANEL);
+    packed_parallel(a.data(), n, k, &pb, out.data_mut());
     out
 }
 
-/// `C = Aᵀ (k×n becomes n? no: A is (k×n) stored, we want Aᵀ·B)`.
 /// Computes `C (k×m) = Aᵀ · B` where `A` is `(n×k)` and `B` is `(n×m)`.
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k) = (a.rows(), a.last_dim());
@@ -53,9 +377,33 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(n, n2, "matmul_at outer dims: {n} vs {n2}");
     let ad = a.data();
     let bd = b.data();
-    // Accumulate per-thread partial products, then reduce. Row-parallel over
-    // `k` would stride badly through `A`, so iterate samples and accumulate.
-    let chunk = (n / rayon::current_num_threads().max(1)).max(64);
+    let mut out = Tensor::zeros(&[k, m]);
+    let threads = rayon::current_num_threads().max(1);
+    // Row-parallel over `k` would stride badly through `A`, so iterate
+    // samples and accumulate per-thread `k×m` partials, then reduce.
+    //
+    // Chunk sizing: one contiguous run per thread (`ceil(n/threads)`), with
+    // a 16-row floor so a run always amortizes its own `O(k·m)` partial
+    // buffer + reduction. The old `(n/threads).max(64)` floor degenerated
+    // for small `n` on many threads — e.g. n=128 @ 32 threads produced two
+    // 64-row chunks and left 30 threads idle; `ceil` sizing yields 8 chunks
+    // of 16. Small batches (`n <= 64`) and single-thread pools skip the
+    // partials entirely and accumulate straight into the output.
+    if threads == 1 || n <= 64 {
+        let od = out.data_mut();
+        for i in 0..n {
+            let arow = &ad[i * k..(i + 1) * k];
+            let brow = &bd[i * m..(i + 1) * m];
+            for (p, &av) in arow.iter().enumerate() {
+                let dst = &mut od[p * m..(p + 1) * m];
+                for (d, &bv) in dst.iter_mut().zip(brow.iter()) {
+                    *d += av * bv;
+                }
+            }
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(threads).max(16);
     let partials: Vec<Vec<f32>> = (0..n)
         .into_par_iter()
         .chunks(chunk)
@@ -74,7 +422,6 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
             local
         })
         .collect();
-    let mut out = Tensor::zeros(&[k, m]);
     let od = out.data_mut();
     for p in partials {
         for (o, v) in od.iter_mut().zip(p.iter()) {
@@ -82,25 +429,6 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
         }
     }
     out
-}
-
-fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
-    // Branch-free ikj kernel: the inner axpy over contiguous rows of B
-    // auto-vectorizes.
-    let body = |(i, crow): (usize, &mut [f32])| {
-        let arow = &a[i * k..(i + 1) * k];
-        for (p, &av) in arow.iter().enumerate() {
-            let brow = &b[p * m..(p + 1) * m];
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += av * bv;
-            }
-        }
-    };
-    if n >= PAR_ROW_THRESHOLD {
-        c.par_chunks_mut(m).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(m).enumerate().for_each(body);
-    }
 }
 
 #[inline]
@@ -213,6 +541,41 @@ pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
         }
     });
     out
+}
+
+/// Branch-light polynomial cosine for the inference fast path's time
+/// encodings.
+///
+/// Range-reduces in f64 (`r = x/2π − round(x/2π)`, magic-number rounding so
+/// the whole body is straight-line math), then evaluates
+/// `cos(2πr) = 1 − 2·sin²(πr)` with a degree-11 odd polynomial for `sin` on
+/// `[-π/2, π/2]`. Max absolute error ≈ 7e-7 (1-2 f32 ulps near |cos| = 1)
+/// versus libm `cosf` across the timespans serving sees — far inside the
+/// fast-vs-tape 1e-5 equivalence budget — at a fraction of libm's cost, and
+/// auto-vectorizable when evaluated over encoding rows.
+#[inline]
+pub fn fast_cos(x: f32) -> f32 {
+    const INV_TAU: f64 = 1.0 / std::f64::consts::TAU;
+    // Beyond |x| ≈ 1e8 the f64 fractional part of x/2π carries too few
+    // bits for a ≤1e-7 reduction (and far beyond that the magic-constant
+    // rounding itself stops working), so rare huge timespans — and NaN —
+    // take the libm path instead of silently degrading.
+    if x.abs() > 1e8 || x.is_nan() {
+        return x.cos();
+    }
+    // round-to-nearest via the 2^52-magic constant
+    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
+    let t = x as f64 * INV_TAU;
+    let r = t - ((t + MAGIC) - MAGIC); // [-0.5, 0.5]
+    let h = (r * std::f64::consts::PI) as f32; // half-angle in [-π/2, π/2]
+    let h2 = h * h;
+    // sin(h), degree-11 Taylor (max err ~6e-8 on the reduced range)
+    let s = h
+        * (1.0
+            + h2 * (-1.666_666_6e-1
+                + h2 * (8.333_333e-3
+                    + h2 * (-1.984_127e-4 + h2 * (2.755_732e-6 + h2 * -2.505_21e-8)))));
+    1.0 - 2.0 * s * s
 }
 
 /// Branch-light rational tanh (7th-order continued fraction, clamped).
@@ -438,6 +801,88 @@ mod tests {
     }
 
     #[test]
+    fn packed_matmul_matches_reference_all_widths() {
+        // odd shapes exercise remainder rows and partial tail panels
+        for &(n, k, m) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (9, 13, 17),
+            (64, 33, 40),
+        ] {
+            let a: Vec<f32> = (0..n * k).map(|i| ((i * 7) % 11) as f32 - 5.0).collect();
+            let b: Vec<f32> = (0..k * m).map(|i| ((i * 5) % 9) as f32 - 4.0).collect();
+            let mut want = vec![0.0f32; n * m];
+            for i in 0..n {
+                for j in 0..m {
+                    want[i * m + j] = (0..k).map(|p| a[i * k + p] * b[p * m + j]).sum();
+                }
+            }
+            for nr in [4usize, 8, 16] {
+                let pb = PackedMatrix::pack(&b, k, m, nr);
+                let mut c = vec![0.0f32; n * m];
+                matmul_packed_into(&a, n, k, &pb, None, &mut c);
+                for (x, y) in c.iter().zip(want.iter()) {
+                    assert!((x - y).abs() < 1e-4, "nr={nr} n={n} k={k} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_fused_bias_matches_separate_add() {
+        let (n, k, m) = (6, 5, 10);
+        let a: Vec<f32> = (0..n * k).map(|i| i as f32 * 0.3 - 4.0).collect();
+        let b: Vec<f32> = (0..k * m).map(|i| i as f32 * 0.1 - 2.0).collect();
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 - 5.0).collect();
+        let pb = PackedMatrix::pack(&b, k, m, 8);
+        let mut fused = vec![0.0f32; n * m];
+        matmul_packed_into(&a, n, k, &pb, Some(&bias), &mut fused);
+        let mut plain = vec![0.0f32; n * m];
+        matmul_packed_into(&a, n, k, &pb, None, &mut plain);
+        for i in 0..n {
+            for j in 0..m {
+                assert_eq!(fused[i * m + j], plain[i * m + j] + bias[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_bt_shares_forward_kernel() {
+        // matmul_bt(A, B) == matmul(A, Bᵀ) bit-for-bit
+        let a = t(
+            &(0..12).map(|v| v as f32 * 0.5 - 2.0).collect::<Vec<_>>(),
+            &[4, 3],
+        );
+        let b = t(
+            &(0..15).map(|v| v as f32 * 0.2 - 1.0).collect::<Vec<_>>(),
+            &[5, 3],
+        );
+        let via_bt = matmul_bt(&a, &b);
+        let mut btt = vec![0.0f32; 15];
+        for j in 0..5 {
+            for p in 0..3 {
+                btt[p * 5 + j] = b.at2(j, p);
+            }
+        }
+        let via_mm = matmul(&a, &t(&btt, &[3, 5]));
+        assert_eq!(via_bt.data(), via_mm.data());
+    }
+
+    #[test]
+    fn matmul_at_sequential_and_chunked_agree() {
+        let (n, k, m) = (130usize, 6usize, 5usize);
+        let a = Tensor::from_vec((0..n * k).map(|i| (i % 13) as f32 - 6.0).collect(), &[n, k]);
+        let b = Tensor::from_vec((0..n * m).map(|i| (i % 7) as f32 - 3.0).collect(), &[n, m]);
+        let c = matmul_at(&a, &b);
+        for p in 0..k {
+            for j in 0..m {
+                let want: f32 = (0..n).map(|i| a.at2(i, p) * b.at2(i, j)).sum();
+                assert!((c.at2(p, j) - want).abs() < 1e-2, "({p},{j})");
+            }
+        }
+    }
+
+    #[test]
     fn matmul_large_parallel_consistent() {
         // Exercise the rayon path (n >= threshold) against a serial reference.
         let n = 64;
@@ -494,6 +939,26 @@ mod tests {
         let s = softmax_lastdim(&x);
         for i in 0..3 {
             assert!((ls.data()[i].exp() - s.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fast_cos_tracks_libm() {
+        // dense sweep of one period plus the large-timespan magnitudes the
+        // time encodings produce
+        let mut worst = 0.0f32;
+        for i in 0..10_000 {
+            let x = (i as f32 - 5_000.0) * 0.001_3;
+            worst = worst.max((fast_cos(x) - x.cos()).abs());
+        }
+        for i in 0..10_000 {
+            let x = (i as f32) * 173.7 - 860_000.0;
+            worst = worst.max((fast_cos(x) - x.cos()).abs());
+        }
+        assert!(worst < 2e-6, "fast_cos max error {worst}");
+        // beyond the polynomial's reduction range: exact libm fallback
+        for x in [3.7e8f32, -9.1e12, 2.5e37, f32::NAN] {
+            assert_eq!(fast_cos(x).to_bits(), x.cos().to_bits(), "fallback at {x}");
         }
     }
 

@@ -1,0 +1,189 @@
+//! Differential tests for the inference fast path (PR 4).
+//!
+//! The zero-allocation packed-weight forward (`score_batch_into`) must
+//! produce the same probabilities as the autograd-tape forward
+//! (`score_batch_tape`) within 1e-5 — across both backbones (TGAT and
+//! GraphMixer), both temporal index backends (`TCsr` rebuild and the
+//! incremental `IncTcsr`), both stochastic and RNG-free finding policies,
+//! and random model shapes / graphs / query batches (proptest). The fast
+//! path additionally must be *bit-identical* across index backends and
+//! across repeated calls on a warm scratch (the serving determinism
+//! contract).
+
+use proptest::prelude::*;
+use taser_graph::events::EventLog;
+use taser_graph::feats::FeatureMatrix;
+use taser_graph::tcsr::TCsr;
+use taser_index::IncIndexWriter;
+use taser_models::artifact::{ArtifactBackbone, ArtifactPolicy, ModelArtifact, ModelSpec};
+use taser_serve::{LinkQuery, ScorePipeline, ScoreScratch, ServeFeatureCache};
+
+const NUM_NODES: usize = 24;
+
+/// Builds a pipeline + feature cache for a randomly shaped artifact.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    backbone: ArtifactBackbone,
+    in_dim: usize,
+    edge_dim: usize,
+    dh: usize,
+    heads: usize,
+    time_dim: usize,
+    n_neighbors: usize,
+    policy: ArtifactPolicy,
+    num_events: usize,
+    seed: u64,
+) -> (ScorePipeline, ServeFeatureCache) {
+    let spec = ModelSpec {
+        backbone,
+        in_dim,
+        edge_dim,
+        hidden: dh * heads,
+        time_dim,
+        heads,
+        n_neighbors,
+        dropout: 0.2, // must be ignored at inference by both paths
+        policy,
+    };
+    let node_feats = FeatureMatrix::from_vec(
+        (0..NUM_NODES * in_dim)
+            .map(|x| ((x * 37 + seed as usize) % 97) as f32 * 0.013 - 0.6)
+            .collect(),
+        in_dim,
+    );
+    let edge_feats = (edge_dim > 0).then(|| {
+        FeatureMatrix::from_vec(
+            (0..num_events * edge_dim)
+                .map(|x| ((x * 53 + 7) % 89) as f32 * 0.017 - 0.7)
+                .collect(),
+            edge_dim,
+        )
+    });
+    let artifact = ModelArtifact::init(spec, Some(node_feats), edge_feats, seed);
+    let (pipeline, edge_feats) = ScorePipeline::new(artifact, None).expect("consistent artifact");
+    let cache = ServeFeatureCache::new(edge_feats, 0.5, 0.7, 0, seed);
+    (pipeline, cache)
+}
+
+fn assert_probs_close(fast: &[f32], tape: &[f32], what: &str) {
+    assert_eq!(fast.len(), tape.len(), "{what}: result count");
+    for (i, (a, b)) in fast.iter().zip(tape.iter()).enumerate() {
+        assert!(
+            a.is_finite() && *a > 0.0 && *a < 1.0,
+            "{what}[{i}]: fast {a}"
+        );
+        assert!(
+            (a - b).abs() <= 1e-5,
+            "{what}[{i}]: fast {a} vs tape {b} (diff {})",
+            (a - b).abs()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes, random graph, random queries: fast ≈ tape (1e-5) on
+    /// both index backends, and fast is bit-identical across backends.
+    #[test]
+    fn fast_path_matches_tape_path(
+        raw_events in prop::collection::vec(
+            (0u32..NUM_NODES as u32, 0u32..NUM_NODES as u32, 0.0f64..5e4), 8..80),
+        raw_queries in prop::collection::vec(
+            (0u32..(NUM_NODES as u32 + 4), 0u32..(NUM_NODES as u32 + 4), 1.0f64..6e4), 1..10),
+        backbone_pick in 0usize..2,
+        policy_pick in 0usize..3,
+        in_dim in 1usize..5,
+        edge_dim in 0usize..4,
+        dh in 2usize..5,
+        heads in 1usize..3,
+        time_dim in 2usize..7,
+        n_neighbors in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let backbone = if backbone_pick == 0 {
+            ArtifactBackbone::GraphMixer
+        } else {
+            ArtifactBackbone::Tgat
+        };
+        let policy = match policy_pick {
+            0 => ArtifactPolicy::MostRecent,
+            1 => ArtifactPolicy::Uniform,
+            _ => ArtifactPolicy::InverseTimespan { delta: 1.0 },
+        };
+        let log = EventLog::from_unsorted(raw_events);
+        let (pipeline, cache) = build(
+            backbone, in_dim, edge_dim, dh, heads, time_dim, n_neighbors,
+            policy, log.len(), seed,
+        );
+        let queries: Vec<LinkQuery> = raw_queries
+            .iter()
+            .map(|&(src, dst, t)| LinkQuery { src, dst, t })
+            .collect();
+
+        // rebuild backend (oracle index)
+        let tcsr = TCsr::build(&log, NUM_NODES);
+        // incremental backend over the same stream
+        let mut writer = IncIndexWriter::new(NUM_NODES, 3);
+        for e in log.events() {
+            writer.append(e.src, e.dst, e.t);
+        }
+        let inc = writer.publish();
+
+        let mut scratch = ScoreScratch::new();
+        let mut fast_tcsr = Vec::new();
+        pipeline.score_batch_into(&tcsr, 1, &queries, &cache, &mut scratch, &mut fast_tcsr);
+        let tape_tcsr = pipeline.score_batch_tape(&tcsr, 1, &queries, &cache);
+        assert_probs_close(&fast_tcsr, &tape_tcsr, "tcsr");
+
+        let mut fast_inc = Vec::new();
+        pipeline.score_batch_into(inc.as_ref(), 1, &queries, &cache, &mut scratch, &mut fast_inc);
+        let tape_inc = pipeline.score_batch_tape(inc.as_ref(), 1, &queries, &cache);
+        assert_probs_close(&fast_inc, &tape_inc, "incremental");
+
+        // the two backends answer identical neighbor queries, so the fast
+        // path must agree bit-for-bit across them
+        for (i, (a, b)) in fast_tcsr.iter().zip(fast_inc.iter()).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "backend divergence at query {}", i);
+        }
+
+        // warm-scratch determinism: re-scoring the same batch is bit-stable
+        let mut again = Vec::new();
+        pipeline.score_batch_into(&tcsr, 1, &queries, &cache, &mut scratch, &mut again);
+        for (a, b) in fast_tcsr.iter().zip(again.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+/// Deterministic spot-check at the serve reference shape (featureless
+/// nodes, 16-d edge features, hidden 32, n=10) — the configuration
+/// `BENCH_serve.json` and `BENCH_infer.json` are measured at.
+#[test]
+fn reference_shape_agrees_for_both_backbones() {
+    let log = EventLog::from_unsorted(
+        (0..160u32)
+            .map(|i| (i % 20, (i * 7 + 3) % 20, 1.0 + i as f64 * 0.5))
+            .collect(),
+    );
+    let csr = TCsr::build(&log, NUM_NODES);
+    for backbone in [ArtifactBackbone::GraphMixer, ArtifactBackbone::Tgat] {
+        let policy = match backbone {
+            ArtifactBackbone::GraphMixer => ArtifactPolicy::MostRecent,
+            ArtifactBackbone::Tgat => ArtifactPolicy::Uniform,
+        };
+        let (pipeline, cache) = build(backbone, 1, 16, 16, 2, 16, 10, policy, log.len(), 99);
+        let queries: Vec<LinkQuery> = (0..64)
+            .map(|i| LinkQuery {
+                src: i % 20,
+                dst: (i * 3 + 1) % 20,
+                t: 100.0 + i as f64,
+            })
+            .collect();
+        let mut scratch = ScoreScratch::new();
+        let mut fast = Vec::new();
+        pipeline.score_batch_into(&csr, 7, &queries, &cache, &mut scratch, &mut fast);
+        let tape = pipeline.score_batch_tape(&csr, 7, &queries, &cache);
+        assert_probs_close(&fast, &tape, backbone.name());
+    }
+}

@@ -1,0 +1,119 @@
+//! Counting-allocator proof of the fast path's zero-allocation steady
+//! state (PR 4 acceptance criterion).
+//!
+//! A global allocator wrapper counts every `alloc`/`realloc`; after a few
+//! warmup batches (arena growth, buffer sizing, hash-map capacity), scoring
+//! further batches through `ScorePipeline::score_batch_into` must perform
+//! **zero** heap allocations — across both backbones and with the
+//! edge-feature cache tier enabled.
+//!
+//! This file holds exactly one `#[test]` so no concurrent test pollutes the
+//! allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_scoring_allocates_nothing() {
+    use taser_graph::events::EventLog;
+    use taser_graph::feats::FeatureMatrix;
+    use taser_graph::tcsr::TCsr;
+    use taser_models::artifact::{ArtifactBackbone, ArtifactPolicy, ModelArtifact, ModelSpec};
+    use taser_serve::{LinkQuery, ScorePipeline, ScoreScratch, ServeFeatureCache};
+
+    let num_nodes = 16usize;
+    let log = EventLog::from_unsorted(
+        (0..120u32)
+            .map(|i| (i % 8, 8 + (i * 3) % 8, 1.0 + i as f64 * 0.25))
+            .collect(),
+    );
+    let csr = TCsr::build(&log, num_nodes);
+
+    for backbone in [ArtifactBackbone::GraphMixer, ArtifactBackbone::Tgat] {
+        let spec = ModelSpec {
+            backbone,
+            in_dim: 4,
+            edge_dim: 3,
+            hidden: 16,
+            time_dim: 8,
+            heads: 2,
+            n_neighbors: 5,
+            dropout: 0.0,
+            // MostRecent and the stochastic policies share the same
+            // allocation-free per-target launch; use the policy each
+            // backbone defaults to in serving.
+            policy: match backbone {
+                ArtifactBackbone::GraphMixer => ArtifactPolicy::MostRecent,
+                ArtifactBackbone::Tgat => ArtifactPolicy::Uniform,
+            },
+        };
+        let node_feats =
+            FeatureMatrix::from_vec((0..num_nodes * 4).map(|x| x as f32 * 0.01).collect(), 4);
+        let edge_feats =
+            FeatureMatrix::from_vec((0..log.len() * 3).map(|x| x as f32 * 0.02).collect(), 3);
+        let artifact = ModelArtifact::init(spec, Some(node_feats), Some(edge_feats), 5);
+        let (pipeline, edge_feats) = ScorePipeline::new(artifact, None).unwrap();
+        // cache tier ON (its per-access bookkeeping is counters only);
+        // request-count maintenance OFF — an epoch's top-k pass is a
+        // deliberate, occasional allocation outside the steady state.
+        let cache = ServeFeatureCache::new(edge_feats, 0.4, 0.7, 0, 1);
+
+        let queries: Vec<LinkQuery> = (0..24)
+            .map(|i| LinkQuery {
+                src: i % 8,
+                dst: 8 + (i % 8),
+                t: 40.0 + (i % 6) as f64,
+            })
+            .collect();
+        let mut scratch = ScoreScratch::new();
+        let mut probs = Vec::new();
+
+        // warmup: arena growth, buffer/bitmap sizing, hash-map capacity
+        for _ in 0..5 {
+            pipeline.score_batch_into(&csr, 3, &queries, &cache, &mut scratch, &mut probs);
+        }
+        assert_eq!(probs.len(), queries.len());
+
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..20 {
+            pipeline.score_batch_into(&csr, 3, &queries, &cache, &mut scratch, &mut probs);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "{}: steady-state scoring allocated {} times over 20 batches",
+            backbone.name(),
+            after - before
+        );
+        assert!(probs.iter().all(|&p| p > 0.0 && p < 1.0));
+    }
+}
