@@ -1,0 +1,228 @@
+//! Dispatch-overhead harness for the persistent work-stealing pool (PR 5):
+//! `join` and `par_map` round-trip cost on the pool versus the PR 2
+//! spawn-per-call `std::thread::scope` splitter it replaced, at micro /
+//! meso / macro task sizes.
+//!
+//! The scoped baseline is replicated inline here (contiguous per-thread
+//! chunks, caller works the head chunk) so the comparison stays honest as
+//! the vendored shim evolves. "Overhead" is `mean(parallel) −
+//! mean(sequential)` for the same work — at micro sizes the work is tens of
+//! nanoseconds, so the subtraction isolates pure dispatch cost: queue push
+//! + steal-back for the pool, thread spawn + join for the baseline.
+//!
+//! Runs with 4 forced threads unless `TASER_NUM_THREADS` says otherwise, so
+//! the pool paths are exercised even on single-core reference machines.
+//!
+//! ```sh
+//! cargo run --release -p taser-bench --bin pool_scaling \
+//!   [-- --quick --out BENCH_pool.json]
+//! ```
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+use taser_bench::arg_value;
+
+use rayon::prelude::*;
+
+/// A few nanoseconds of register-only work per item — heavy enough that
+/// the compiler cannot fold a whole chunk away, light enough that micro
+/// batches are dominated by dispatch.
+#[inline]
+fn work(x: u64) -> u64 {
+    let mut v = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..8 {
+        v = v.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(17);
+    }
+    v
+}
+
+/// Contiguous order-preserving split (the PR 2 shim's `split_contiguous`).
+fn split_contiguous<T>(mut items: Vec<T>, pieces: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::with_capacity(pieces);
+    for i in 0..pieces {
+        let take = items.len().div_ceil(pieces - i);
+        let tail = items.split_off(take);
+        out.push(std::mem::replace(&mut items, tail));
+    }
+    out
+}
+
+/// The spawn-per-call baseline: the PR 2 `std::thread::scope` splitter,
+/// verbatim in structure — tail chunks on scoped spawns, head chunk on the
+/// caller, reassembled in input order.
+fn scoped_map<T, R, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut chunks = split_contiguous(items, threads.min(n)).into_iter();
+    let first = chunks.next().expect("split of nonempty batch");
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        out.extend(first.into_iter().map(f));
+        for h in handles {
+            out.extend(h.join().expect("scoped worker panicked"));
+        }
+        out
+    })
+}
+
+/// Spawn-per-call `join` baseline.
+fn scoped_join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("scoped join branch panicked"))
+    })
+}
+
+/// Mean wall time per call over `reps` calls, in nanoseconds.
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    // warmup: faults, pool spin-up, allocator steady state
+    for _ in 0..reps.div_ceil(10).min(50) {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / reps as f64
+}
+
+struct Row {
+    size: &'static str,
+    n: usize,
+    reps: usize,
+    seq_ns: f64,
+    scoped_ns: f64,
+    pool_ns: f64,
+}
+
+impl Row {
+    fn scoped_overhead(&self) -> f64 {
+        (self.scoped_ns - self.seq_ns).max(1.0)
+    }
+    fn pool_overhead(&self) -> f64 {
+        (self.pool_ns - self.seq_ns).max(1.0)
+    }
+    fn ratio(&self) -> f64 {
+        self.scoped_overhead() / self.pool_overhead()
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pool.json".to_string());
+    // Force a multi-thread pool on single-core reference machines; an
+    // explicit TASER_NUM_THREADS wins (current_num_threads reads it first).
+    let threads = match std::env::var("TASER_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(t) => t,
+        None => {
+            rayon::force_num_threads(4);
+            4
+        }
+    };
+    assert_eq!(rayon::current_num_threads(), threads);
+    let div = if quick { 10 } else { 1 };
+
+    // join: the smallest possible parallel region — pure dispatch.
+    let join_reps = (4000 / div).max(50);
+    let join_seq = time_ns(join_reps, || {
+        let (a, b) = (black_box(work(1)), black_box(work(2)));
+        black_box(a + b);
+    });
+    let join_scoped = time_ns(join_reps.min(2000 / div), || {
+        let (a, b) = scoped_join(|| black_box(work(1)), || black_box(work(2)));
+        black_box(a + b);
+    });
+    let join_pool = time_ns(join_reps, || {
+        let (a, b) = rayon::join(|| black_box(work(1)), || black_box(work(2)));
+        black_box(a + b);
+    });
+    let join_ratio = (join_scoped - join_seq).max(1.0) / (join_pool - join_seq).max(1.0);
+
+    // par_map at three task sizes. micro ≈ a serve-shape batch's worth of
+    // items; macro ≈ a training matmul's row count.
+    let sizes: [(&'static str, usize, usize); 3] = [
+        ("micro", 64, (3000 / div).max(30)),
+        ("meso", 4096, (400 / div).max(10)),
+        ("macro", 262_144, (40 / div).max(3)),
+    ];
+    let mut rows = Vec::new();
+    for (size, n, reps) in sizes {
+        let items: Vec<u64> = (0..n as u64).collect();
+        let seq_ns = time_ns(reps, || {
+            let out: Vec<u64> = items.iter().map(|&x| work(x)).collect();
+            black_box(out);
+        });
+        let scoped_reps = if size == "micro" { reps / 4 } else { reps }.max(5);
+        let scoped_ns = time_ns(scoped_reps, || {
+            let out = scoped_map(items.clone(), &|x| work(x), threads);
+            black_box(out);
+        });
+        let pool_ns = time_ns(reps, || {
+            let out: Vec<u64> = items.clone().into_par_iter().map(work).collect();
+            black_box(out);
+        });
+        rows.push(Row {
+            size,
+            n,
+            reps,
+            seq_ns,
+            scoped_ns,
+            pool_ns,
+        });
+    }
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"size\":\"{}\",\"n\":{},\"reps\":{},\"seq_us\":{:.3},\"scoped_us\":{:.3},\
+                 \"pool_us\":{:.3},\"scoped_overhead_us\":{:.3},\"pool_overhead_us\":{:.3},\
+                 \"overhead_ratio\":{:.2}}}",
+                r.size,
+                r.n,
+                r.reps,
+                r.seq_ns / 1e3,
+                r.scoped_ns / 1e3,
+                r.pool_ns / 1e3,
+                r.scoped_overhead() / 1e3,
+                r.pool_overhead() / 1e3,
+                r.ratio()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"harness\":\"pool_scaling\",\"threads\":{threads},\"quick\":{quick},\
+         \"join\":{{\"seq_us\":{:.3},\"scoped_us\":{:.3},\"pool_us\":{:.3},\
+         \"overhead_ratio\":{:.2}}},\"rows\":[{}]}}",
+        join_seq / 1e3,
+        join_scoped / 1e3,
+        join_pool / 1e3,
+        join_ratio,
+        row_json.join(",")
+    );
+    println!("{json}");
+    let mut f = std::fs::File::create(&out_path).expect("create bench output");
+    writeln!(f, "{json}").expect("write bench output");
+    eprintln!("results -> {out_path}");
+}

@@ -24,13 +24,14 @@ use taser_graph::events::Event;
 use taser_graph::feats::FeatureMatrix;
 use taser_graph::index::TemporalIndex;
 use taser_models::batch::LayerBatch;
-use taser_models::eval::{mrr, rank_of_positive};
+use taser_models::eval::mrr_from_scores;
 use taser_models::graphmixer::{MixerAggregator, MixerConfig};
+use taser_models::infer::{InferArgs, PackedModel};
 use taser_models::predictor::{link_prediction_loss, EdgePredictor};
 use taser_models::tgat::{TgatConfig, TgatLayer};
 use taser_models::{Aggregator, Feedback};
 use taser_sample::{FinderKind, NeighborFinder, SamplePolicy, SampledNeighbors, PAD};
-use taser_tensor::{AdamConfig, Graph, ParamStore, Tensor, VarId};
+use taser_tensor::{AdamConfig, Graph, InferCtx, ParamStore, Tensor, VarId};
 
 /// Which backbone TGNN to train (§IV-A).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -159,8 +160,26 @@ pub struct TrainerConfig {
     pub eval_events: Option<usize>,
     /// Events per evaluation forward pass.
     pub eval_chunk: usize,
+    /// Which forward implementation the inference-only evaluation passes
+    /// run on (training always uses the tape).
+    pub eval_path: EvalPath,
     /// Master seed.
     pub seed: u64,
+}
+
+/// Scoring implementation for the trainer's inference-only evaluation
+/// passes ([`Trainer::evaluate`] / [`Trainer::eval_scores`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EvalPath {
+    /// The packed, tape-free fast path (PR 4 kernels): weights packed once
+    /// per evaluation call, forwards on an [`InferCtx`] bump arena. The
+    /// default — evaluation allocates no tape and runs the same kernels
+    /// serving does.
+    #[default]
+    Fast,
+    /// The autograd tape — the historical behavior, kept as the
+    /// differential oracle (`tests` hold Fast to within 1e-4 of it).
+    Tape,
 }
 
 impl Default for TrainerConfig {
@@ -187,6 +206,7 @@ impl Default for TrainerConfig {
             eval_negatives: 49,
             eval_events: Some(200),
             eval_chunk: 25,
+            eval_path: EvalPath::Fast,
             seed: 42,
         }
     }
@@ -278,6 +298,21 @@ struct Hop {
     /// Δt per selected slot.
     delta_t: Vec<f32>,
     /// Validity per selected slot.
+    mask: Vec<bool>,
+}
+
+/// Flat TGAT combined-layout layer-1 inputs (hop-0 segment as the prefix),
+/// produced by `Trainer::combined_tgat_inputs` for both scoring paths.
+struct CombinedTgatInputs {
+    /// Layer-1 target nodes `T1 = L0 ++ L1`.
+    t1_nodes: Vec<u32>,
+    /// Neighbor nodes `[S0 | S1]`, `n` slots per target.
+    neigh_nodes: Vec<u32>,
+    /// Concatenated edge features, when the model has them.
+    edge_buf: Option<Vec<f32>>,
+    /// Δt per neighbor slot.
+    delta_t: Vec<f32>,
+    /// Validity per neighbor slot.
     mask: Vec<bool>,
 }
 
@@ -463,6 +498,18 @@ impl Trainer {
     /// reconstruct a trainer of the same architecture first). The adaptive
     /// sampler is a training-time accelerator and is not exported.
     pub fn export_artifact(&self, ds: &TemporalDataset) -> taser_models::ModelArtifact {
+        taser_models::ModelArtifact {
+            spec: self.model_spec(),
+            store: self.model_store.clone(),
+            node_feats: self.node_feats.clone(),
+            edge_feats: ds.edge_feats.clone(),
+        }
+    }
+
+    /// The architecture spec describing this trainer's model — the contract
+    /// shared by serving artifacts ([`Trainer::export_artifact`]) and the
+    /// packed fast path the evaluation passes run on.
+    pub fn model_spec(&self) -> taser_models::ModelSpec {
         use taser_models::artifact::ArtifactPolicy;
         let backbone = match self.cfg.backbone {
             Backbone::Tgat => taser_models::ArtifactBackbone::Tgat,
@@ -479,21 +526,16 @@ impl Trainer {
             SamplePolicy::MostRecent => ArtifactPolicy::MostRecent,
             SamplePolicy::InverseTimespan { delta } => ArtifactPolicy::InverseTimespan { delta },
         };
-        taser_models::ModelArtifact {
-            spec: taser_models::ModelSpec {
-                backbone,
-                in_dim: self.d0,
-                edge_dim: self.edge_dim,
-                hidden: self.cfg.hidden,
-                time_dim: self.cfg.time_dim,
-                heads: self.cfg.heads,
-                n_neighbors: self.cfg.n_neighbors,
-                dropout: self.cfg.dropout,
-                policy,
-            },
-            store: self.model_store.clone(),
-            node_feats: self.node_feats.clone(),
-            edge_feats: ds.edge_feats.clone(),
+        taser_models::ModelSpec {
+            backbone,
+            in_dim: self.d0,
+            edge_dim: self.edge_dim,
+            hidden: self.cfg.hidden,
+            time_dim: self.cfg.time_dim,
+            heads: self.cfg.heads,
+            n_neighbors: self.cfg.n_neighbors,
+            dropout: self.cfg.dropout,
+            policy,
         }
     }
 
@@ -720,6 +762,37 @@ impl Trainer {
         hops
     }
 
+    /// Assembles the flat TGAT combined layout from a 2-hop support tree:
+    /// layer 1 runs on `T1 = L0 ++ L1` with neighbors `[S0 | S1]`, so every
+    /// array carries the hop-0 segment as the prefix. Shared by the tape
+    /// forward and the packed evaluation path — the two scoring
+    /// implementations are each other's differential oracle and must never
+    /// drift on this layout.
+    fn combined_tgat_inputs(&self, hops: &[Hop]) -> CombinedTgatInputs {
+        let hop0 = &hops[0];
+        let hop1 = &hops[1];
+        let mut t1_nodes: Vec<u32> = hop0.targets.iter().map(|&(v, _)| v).collect();
+        t1_nodes.extend(hop1.targets.iter().map(|&(v, _)| v));
+        let mut neigh_nodes = hop0.selected.nodes.clone();
+        neigh_nodes.extend_from_slice(&hop1.selected.nodes);
+        let edge_buf = (self.edge_dim > 0).then(|| {
+            let mut buf = hop0.edge_buf.clone().unwrap_or_default();
+            buf.extend_from_slice(hop1.edge_buf.as_ref().expect("edge buf"));
+            buf
+        });
+        let mut delta_t = hop0.delta_t.clone();
+        delta_t.extend_from_slice(&hop1.delta_t);
+        let mut mask = hop0.mask.clone();
+        mask.extend_from_slice(&hop1.mask);
+        CombinedTgatInputs {
+            t1_nodes,
+            neigh_nodes,
+            edge_buf,
+            delta_t,
+            mask,
+        }
+    }
+
     /// Runs the backbone forward over a built support tree. Returns the root
     /// embeddings and per-layer feedback (outermost layer last).
     fn forward(
@@ -757,26 +830,16 @@ impl Trainer {
             }
             Model::Tgat { l1, l2, .. } => {
                 let hop0 = &hops[0];
-                let hop1 = &hops[1];
                 let r0 = hop0.targets.len();
-                let r1 = hop1.targets.len(); // = r0 * n
+                let r1 = hops[1].targets.len(); // = r0 * n
 
                 // Layer 1 runs on T1 = L0 ++ L1 with neighbors [S0 | S1].
-                let mut t1_nodes: Vec<u32> = hop0.targets.iter().map(|&(v, _)| v).collect();
-                t1_nodes.extend(hop1.targets.iter().map(|&(v, _)| v));
-                let root_feat1 = g.leaf(self.h0(&t1_nodes));
-                let mut neigh_nodes = hop0.selected.nodes.clone();
-                neigh_nodes.extend_from_slice(&hop1.selected.nodes);
-                let neigh_feat1 = g.leaf(self.h0(&neigh_nodes));
-                let edge_feat1 = (de > 0).then(|| {
-                    let mut buf = hop0.edge_buf.clone().unwrap_or_default();
-                    buf.extend_from_slice(hop1.edge_buf.as_ref().expect("edge buf"));
-                    g.leaf(Tensor::from_vec(buf, &[(r0 + r1) * n, de]))
-                });
-                let mut delta1 = hop0.delta_t.clone();
-                delta1.extend_from_slice(&hop1.delta_t);
-                let mut mask1 = hop0.mask.clone();
-                mask1.extend_from_slice(&hop1.mask);
+                let ci = self.combined_tgat_inputs(hops);
+                let root_feat1 = g.leaf(self.h0(&ci.t1_nodes));
+                let neigh_feat1 = g.leaf(self.h0(&ci.neigh_nodes));
+                let edge_feat1 = ci
+                    .edge_buf
+                    .map(|buf| g.leaf(Tensor::from_vec(buf, &[(r0 + r1) * n, de])));
                 let batch1 = LayerBatch::new(
                     g,
                     r0 + r1,
@@ -784,8 +847,8 @@ impl Trainer {
                     root_feat1,
                     neigh_feat1,
                     edge_feat1,
-                    delta1,
-                    mask1,
+                    ci.delta_t,
+                    ci.mask,
                 );
                 let out1 = l1.forward(g, &self.model_store, &batch1, training, seed ^ 0x1111);
 
@@ -1063,10 +1126,20 @@ impl Trainer {
     }
 
     /// MRR over `events` with `cfg.eval_negatives` sampled negatives per
-    /// positive (optionally subsampled to `cfg.eval_events`).
+    /// positive (optionally subsampled to `cfg.eval_events`). Scoring runs
+    /// on the path selected by `cfg.eval_path` — the packed fast path by
+    /// default, the autograd tape as the differential oracle.
     pub fn evaluate(&mut self, ds: &TemporalDataset, events: &[Event]) -> f64 {
+        mrr_from_scores(&self.eval_scores(ds, events))
+    }
+
+    /// Raw evaluation score groups `(positive logit, negative logits)` under
+    /// the deterministic MRR protocol — the values [`Trainer::evaluate`]
+    /// ranks. Public so the fast-vs-tape differential suite can compare
+    /// scores directly rather than only the (tie-sensitive) final MRR.
+    pub fn eval_scores(&mut self, ds: &TemporalDataset, events: &[Event]) -> Vec<(f32, Vec<f32>)> {
         if events.is_empty() {
-            return 0.0;
+            return Vec::new();
         }
         let k = self.cfg.eval_negatives;
         // Deterministic subsample: evenly spaced events.
@@ -1079,7 +1152,22 @@ impl Trainer {
             }
             _ => events.to_vec(),
         };
-        let mut ranks = Vec::with_capacity(picked.len());
+        // Fast path: pack the live parameter store once per evaluation call
+        // (the pack cost amortizes over every chunk).
+        let mut packed = match self.cfg.eval_path {
+            EvalPath::Fast => {
+                let spec = self.model_spec();
+                let built = spec
+                    .build_for(&self.model_store)
+                    .expect("trainer store matches its own spec");
+                Some((
+                    PackedModel::new(&spec, &built, &self.model_store),
+                    InferCtx::new(),
+                ))
+            }
+            EvalPath::Tape => None,
+        };
+        let mut groups = Vec::with_capacity(picked.len());
         for chunk in picked.chunks(self.cfg.eval_chunk) {
             let cb = chunk.len();
             // roots: [srcs | dsts | negs (cb * k)]
@@ -1102,29 +1190,111 @@ impl Trainer {
             // seeds derive from the chunk's first event, not training state.
             let seed = self.cfg.seed ^ 0xEA1F ^ ((chunk[0].eid as u64) << 8);
             let hops = self.build_hops(&mut sg, roots, &mut timings, seed);
-            let mut mg = Graph::inference();
-            let (h, _) = self.forward(&mut mg, &hops, false, seed);
-            let src_idx: Vec<usize> = (0..cb).collect();
-            let dst_idx: Vec<usize> = (cb..2 * cb).collect();
-            let h_src = mg.gather_rows(h, &src_idx);
-            let h_dst = mg.gather_rows(h, &dst_idx);
-            let pos = self
-                .predictor()
-                .forward(&mut mg, &self.model_store, h_src, h_dst);
-            let src_rep: Vec<usize> = (0..cb).flat_map(|i| std::iter::repeat_n(i, k)).collect();
-            let neg_rows: Vec<usize> = (0..cb * k).map(|j| 2 * cb + j).collect();
-            let h_src_rep = mg.gather_rows(h, &src_rep);
-            let h_negs = mg.gather_rows(h, &neg_rows);
-            let negs = self
-                .predictor()
-                .forward(&mut mg, &self.model_store, h_src_rep, h_negs);
-            let pos_d = mg.data(pos).data();
-            let neg_d = mg.data(negs).data();
+            let (pos_d, neg_d) = match &mut packed {
+                Some((model, ctx)) => self.packed_chunk_scores(model, ctx, &hops, cb, k),
+                None => self.tape_chunk_scores(&hops, cb, k, seed),
+            };
             for i in 0..cb {
-                ranks.push(rank_of_positive(pos_d[i], &neg_d[i * k..(i + 1) * k]));
+                groups.push((pos_d[i], neg_d[i * k..(i + 1) * k].to_vec()));
             }
         }
-        mrr(&ranks)
+        groups
+    }
+
+    /// Tape-path scoring of one evaluation chunk's support tree: the
+    /// historical implementation, kept as the differential oracle.
+    fn tape_chunk_scores(
+        &self,
+        hops: &[Hop],
+        cb: usize,
+        k: usize,
+        seed: u64,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let mut mg = Graph::inference();
+        let (h, _) = self.forward(&mut mg, hops, false, seed);
+        let src_idx: Vec<usize> = (0..cb).collect();
+        let dst_idx: Vec<usize> = (cb..2 * cb).collect();
+        let h_src = mg.gather_rows(h, &src_idx);
+        let h_dst = mg.gather_rows(h, &dst_idx);
+        let pos = self
+            .predictor()
+            .forward(&mut mg, &self.model_store, h_src, h_dst);
+        let src_rep: Vec<usize> = (0..cb).flat_map(|i| std::iter::repeat_n(i, k)).collect();
+        let neg_rows: Vec<usize> = (0..cb * k).map(|j| 2 * cb + j).collect();
+        let h_src_rep = mg.gather_rows(h, &src_rep);
+        let h_negs = mg.gather_rows(h, &neg_rows);
+        let negs = self
+            .predictor()
+            .forward(&mut mg, &self.model_store, h_src_rep, h_negs);
+        (mg.data(pos).data().to_vec(), mg.data(negs).data().to_vec())
+    }
+
+    /// Fast-path scoring of one evaluation chunk's support tree: assembles
+    /// the same combined hop layout `Trainer::forward` wires onto the tape
+    /// — for TGAT, layer 1 runs on `T1 = L0 ++ L1` with neighbors
+    /// `[S0 | S1]` — and runs the tape-free [`PackedModel`] over the
+    /// [`InferCtx`] bump arena instead.
+    fn packed_chunk_scores(
+        &self,
+        model: &PackedModel,
+        ctx: &mut InferCtx,
+        hops: &[Hop],
+        cb: usize,
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let n = self.cfg.n_neighbors;
+        ctx.reset();
+        let h = match self.cfg.backbone {
+            Backbone::GraphMixer => {
+                let hop = &hops[0];
+                let r = hop.targets.len();
+                let root_nodes: Vec<u32> = hop.targets.iter().map(|&(v, _)| v).collect();
+                let root = self.h0(&root_nodes);
+                let neigh = self.h0(&hop.selected.nodes);
+                let rs = ctx.slot_from(root.data());
+                let ns = ctx.slot_from(neigh.data());
+                model.forward(
+                    ctx,
+                    &InferArgs {
+                        r0: r,
+                        n,
+                        root_feat: rs,
+                        neigh_feat: ns,
+                        edge_feat: hop.edge_buf.as_deref(),
+                        delta_t: &hop.delta_t,
+                        mask: &hop.mask,
+                    },
+                )
+            }
+            Backbone::Tgat => {
+                let r0 = hops[0].targets.len();
+                let ci = self.combined_tgat_inputs(hops);
+                let root = self.h0(&ci.t1_nodes);
+                let neigh = self.h0(&ci.neigh_nodes);
+                let rs = ctx.slot_from(root.data());
+                let ns = ctx.slot_from(neigh.data());
+                model.forward(
+                    ctx,
+                    &InferArgs {
+                        r0,
+                        n,
+                        root_feat: rs,
+                        neigh_feat: ns,
+                        edge_feat: ci.edge_buf.as_deref(),
+                        delta_t: &ci.delta_t,
+                        mask: &ci.mask,
+                    },
+                )
+            }
+        };
+        let src_idx: Vec<usize> = (0..cb).collect();
+        let dst_idx: Vec<usize> = (cb..2 * cb).collect();
+        let pos = model.predict(ctx, h, &src_idx, &dst_idx);
+        let pos_d = ctx.data(pos).to_vec();
+        let src_rep: Vec<usize> = (0..cb).flat_map(|i| std::iter::repeat_n(i, k)).collect();
+        let neg_rows: Vec<usize> = (0..cb * k).map(|j| 2 * cb + j).collect();
+        let negs = model.predict(ctx, h, &src_rep, &neg_rows);
+        (pos_d, ctx.data(negs).to_vec())
     }
 }
 
@@ -1260,6 +1430,60 @@ mod tests {
             (mrr_a - mrr_b).abs() < 1e-9,
             "checkpoint eval mismatch: {mrr_a} vs {mrr_b}"
         );
+    }
+
+    #[test]
+    fn eval_fast_path_matches_tape_oracle() {
+        // The inference-only evaluation passes run on the packed fast path
+        // by default; the autograd tape stays as the differential oracle.
+        // Same trained parameters (via checkpoint) + same eval seeds ⇒ the
+        // two paths must agree on every logit to within the fast-vs-tape
+        // kernel budget.
+        let ds = tiny_ds();
+        // per-process path: parallel CI invocations must not race on it
+        let dir = std::env::temp_dir().join(format!("taser_eval_path_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for backbone in [Backbone::GraphMixer, Backbone::Tgat] {
+            let path = dir.join(format!("{}.ckpt", backbone.name()));
+            let cfg = tiny_cfg(backbone, Variant::Taser);
+            assert_eq!(cfg.eval_path, EvalPath::Fast, "fast must be the default");
+            let mut fast = Trainer::new(cfg, &ds);
+            fast.train_epoch(&ds, 0);
+            fast.save_checkpoint(&path).unwrap();
+            let mut tape = Trainer::new(
+                TrainerConfig {
+                    eval_path: EvalPath::Tape,
+                    ..cfg
+                },
+                &ds,
+            );
+            tape.load_checkpoint(&path).unwrap();
+            let gf = fast.eval_scores(&ds, ds.val_events());
+            let gt = tape.eval_scores(&ds, ds.val_events());
+            assert_eq!(gf.len(), gt.len(), "{}", backbone.name());
+            assert!(!gf.is_empty());
+            for (i, ((pf, nf), (pt, nt))) in gf.iter().zip(gt.iter()).enumerate() {
+                assert!(
+                    (pf - pt).abs() <= 1e-4,
+                    "{} pos[{i}]: fast {pf} vs tape {pt}",
+                    backbone.name()
+                );
+                for (j, (a, b)) in nf.iter().zip(nt.iter()).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-4,
+                        "{} neg[{i}][{j}]: fast {a} vs tape {b}",
+                        backbone.name()
+                    );
+                }
+            }
+            let mrr_fast = fast.evaluate(&ds, ds.val_events());
+            let mrr_tape = tape.evaluate(&ds, ds.val_events());
+            assert!(
+                (mrr_fast - mrr_tape).abs() < 0.05,
+                "{}: fast MRR {mrr_fast} vs tape {mrr_tape}",
+                backbone.name()
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,12 @@ impl TCsr {
     /// read-only) event array, writing only the slab entries of its own
     /// nodes — disjoint output regions, no synchronization, and an output
     /// bit-identical to the sequential build regardless of thread count.
+    ///
+    /// Chunking note (PR 5 pool audit): both passes keep their *static*
+    /// per-thread ranges — each job scans the full event array, so adding
+    /// jobs adds O(E) scan work, unlike the compute-bound call sites where
+    /// finer chunks are free. The fill pass already rebalances statically by
+    /// entry count, which handles power-law degree skew without extra scans.
     pub fn build(log: &EventLog, num_nodes: usize) -> Self {
         let events = log.events();
         let threads = rayon::current_num_threads().min(num_nodes);

@@ -323,6 +323,13 @@ impl IncIndexWriter {
     pub fn publish(&mut self) -> Arc<IncTcsr> {
         self.generation += 1;
         {
+            // Per-shard publish cost follows the dirty-node distribution,
+            // which is power-law on real graphs: a hub-heavy shard can cost
+            // many times the median. The pool's adaptive chunking claims
+            // shards dynamically (up to 4 chunks per thread), so threads
+            // that drew cheap shards take more instead of idling behind the
+            // hub shard — with the old static per-thread split, publish
+            // latency was gated on whichever thread drew the hubs.
             let shards = &self.shards;
             (0..self.num_shards).into_par_iter().for_each(|s| {
                 shards[s].lock().expect("shard lock poisoned").publish();

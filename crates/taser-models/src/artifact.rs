@@ -333,6 +333,22 @@ impl ModelSpec {
     }
 }
 
+impl ModelSpec {
+    /// Reconstructs the layer graph described by this spec and validates
+    /// that `store` carries matching parameters (names and shapes). The
+    /// returned handles bind any compatible store — this is how the trainer
+    /// builds a [`crate::infer::PackedModel`] over its *live* parameter
+    /// store for fast-path evaluation without cloning it into an artifact.
+    pub fn build_for(&self, store: &ParamStore) -> io::Result<BuiltModel> {
+        let mut fresh = ParamStore::new();
+        let model = construct(self, &mut fresh, 0);
+        if !fresh.compatible_with(store) {
+            return Err(bad("parameters do not match the architecture spec"));
+        }
+        Ok(model)
+    }
+}
+
 impl ModelArtifact {
     /// Creates an artifact with freshly initialized parameters for `spec` —
     /// the untrained starting point (tests, cold-started servers).
@@ -355,14 +371,7 @@ impl ModelArtifact {
     /// Reconstructs the layer graph described by the spec and validates that
     /// the carried parameters match it (names and shapes).
     pub fn build(&self) -> io::Result<BuiltModel> {
-        let mut fresh = ParamStore::new();
-        let model = construct(&self.spec, &mut fresh, 0);
-        if !fresh.compatible_with(&self.store) {
-            return Err(bad(
-                "artifact parameters do not match its architecture spec",
-            ));
-        }
-        Ok(model)
+        self.spec.build_for(&self.store)
     }
 
     /// Serializes the artifact (spec, parameters, feature tables).

@@ -112,6 +112,36 @@ impl PackedTimeEncoding {
     }
 }
 
+/// Which rows of a combined-layout target batch carry real (non-padded)
+/// targets. Padded targets exist only so the flat TGAT layer-1 layout stays
+/// rectangular; their outputs are consumed exclusively through masked
+/// attention slots whose weights underflow to exactly `0.0`, so the packed
+/// forward skips their dense compute and writes zeros instead.
+#[derive(Clone, Copy)]
+enum TargetValidity<'a> {
+    /// Every target is real.
+    All,
+    /// Targets `[0, prefix)` are real roots; target `prefix + s` is real
+    /// iff `slot_mask[s]` — the TGAT layer-1 combined layout, where hop-1
+    /// targets line up one-to-one with hop-0 neighbor slots.
+    PrefixThenMask {
+        prefix: usize,
+        slot_mask: &'a [bool],
+    },
+}
+
+impl TargetValidity<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        match *self {
+            TargetValidity::All => true,
+            TargetValidity::PrefixThenMask { prefix, slot_mask } => {
+                i < prefix || slot_mask[i - prefix]
+            }
+        }
+    }
+}
+
 /// Packed single TGAT attention layer.
 pub struct PackedTgatLayer {
     te: PackedTimeEncoding,
@@ -151,6 +181,39 @@ impl PackedTgatLayer {
         delta_t: &[f32],
         mask: &[bool],
     ) -> Slot {
+        self.forward_with_validity(
+            ctx,
+            r,
+            n,
+            root_feat,
+            neigh_feat,
+            edge,
+            delta_t,
+            mask,
+            TargetValidity::All,
+        )
+    }
+
+    /// [`PackedTgatLayer::forward`] with padded-row skipping: targets
+    /// reported invalid by `tv` get exactly-zero output rows and skip their
+    /// Q projection, attention, and output-MLP compute; neighbor slots with
+    /// `mask[s] == false` skip their K/V projections (their attention
+    /// weight is exactly `0.0` after the softmax's `-1e9` bias, so the
+    /// skipped values are never consumed). Valid targets' outputs are
+    /// numerically identical to the dense pass.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_with_validity(
+        &self,
+        ctx: &mut InferCtx,
+        r: usize,
+        n: usize,
+        root_feat: Slot,
+        neigh_feat: Slot,
+        edge: Option<(&[f32], usize)>,
+        delta_t: &[f32],
+        mask: &[bool],
+        tv: TargetValidity<'_>,
+    ) -> Slot {
         let cfg = &self.cfg;
         let (d, h) = (cfg.out_dim, cfg.heads);
         let dh = d / h;
@@ -175,9 +238,9 @@ impl PackedTgatLayer {
             }
             out
         };
-        let q = self.wq.forward(ctx, q_in, r); // [r, d]
-        let k = self.wk.forward(ctx, msg, r * n); // [r*n, d]
-        let v = self.wv.forward(ctx, msg, r * n); // [r*n, d]
+        let q = self.wq.forward_valid(ctx, q_in, r, |i| tv.get(i)); // [r, d]
+        let k = self.wk.forward_valid(ctx, msg, r * n, |s| mask[s]); // [r*n, d]
+        let v = self.wv.forward_valid(ctx, msg, r * n, |s| mask[s]); // [r*n, d]
 
         // Head-wise attention (Eq. 5-7) without split/merge copies: scores
         // and context index straight into the head's column range.
@@ -187,6 +250,13 @@ impl PackedTgatLayer {
             let qd = InferCtx::view(prefix, q);
             let kd = InferCtx::view(prefix, k);
             for ri in 0..r {
+                if !tv.get(ri) {
+                    // Never consumed (this target's output row is zeroed);
+                    // zero-fill so the softmax below stays finite on the
+                    // stale scratch.
+                    od[ri * h * n..(ri + 1) * h * n].fill(0.0);
+                    continue;
+                }
                 for hi in 0..h {
                     let row = &mut od[(ri * h + hi) * n..(ri * h + hi + 1) * n];
                     let qrow = &qd[ri * d + hi * dh..ri * d + (hi + 1) * dh];
@@ -210,6 +280,10 @@ impl PackedTgatLayer {
             let vd = InferCtx::view(prefix, v);
             for ri in 0..r {
                 let orow = &mut od[ri * d..(ri + 1) * d];
+                if !tv.get(ri) {
+                    orow.fill(0.0);
+                    continue;
+                }
                 for hi in 0..h {
                     let arow = &ad[(ri * h + hi) * n..(ri * h + hi + 1) * n];
                     let dst = &mut orow[hi * dh..(hi + 1) * dh];
@@ -237,7 +311,7 @@ impl PackedTgatLayer {
 
         // Output head over [context || root]
         let cat = ctx.concat_cols(&[(merged, d), (root_feat, cfg.in_dim)], r);
-        self.out_mlp.forward(ctx, cat, r)
+        self.out_mlp.forward_valid(ctx, cat, r, |i| tv.get(i))
     }
 }
 
@@ -282,8 +356,10 @@ impl PackedMixerAgg {
         let msg = self
             .te
             .assemble_msg(ctx, r * n, neigh_feat, cfg.in_dim, edge, delta_t);
-        let proj = self.input_proj.forward(ctx, msg, r * n);
-        ctx.mask_rows(proj, d, mask);
+        // Padded-row skipping: masked token rows used to be projected
+        // densely and then multiplied by zero; skipping the projection
+        // writes the same exact zeros without paying the matmul.
+        let proj = self.input_proj.forward_valid(ctx, msg, r * n, |s| mask[s]);
         let mixed = self.mixer.forward(ctx, proj, r); // [r, n, d]
         let pooled = ctx.mean_tokens(mixed, r, n, d);
         let skip = self.root_proj.forward(ctx, root_feat, r);
@@ -415,7 +491,11 @@ impl PackedModel {
             PackedAggregator::Tgat { l1, l2 } => {
                 let rt = r0 + r0 * n;
                 let hidden = self.spec.hidden;
-                let out1 = l1.forward(
+                // Hop-1 target `r0 + s` is padding whenever hop-0 slot `s`
+                // is masked; layer 1 skips those targets' dense compute
+                // entirely (their layer-1 outputs are only ever consumed
+                // through exactly-zero attention weights in layer 2).
+                let out1 = l1.forward_with_validity(
                     ctx,
                     rt,
                     n,
@@ -424,6 +504,10 @@ impl PackedModel {
                     args.edge_feat.map(|e| (e, de)),
                     args.delta_t,
                     args.mask,
+                    TargetValidity::PrefixThenMask {
+                        prefix: r0,
+                        slot_mask: &args.mask[..r0 * n],
+                    },
                 );
                 // Layer 2 consumes the hop-0 prefix of layer 1's output:
                 // roots are rows [0, r0), neighbors rows [r0, r0 + r0*n) —

@@ -113,6 +113,11 @@ impl GpuFinder {
                 .zip(eids.par_chunks_mut(budget))
                 .zip(counts.par_iter_mut())
                 .enumerate()
+                // Blocks are cheap and uniform until a hub node shows up;
+                // an 8-block floor amortizes chunk claiming while leaving
+                // the pool enough granularity to rebalance around hubs
+                // (PR 5 pool retune).
+                .with_min_len(8)
                 .map(|(block, (((ns, ts), es), count))| {
                     let mut bitmap = Bitmap::default();
                     run_block(

@@ -104,6 +104,10 @@ impl TglFinder {
                 .zip(times.par_chunks_mut(budget))
                 .zip(eids.par_chunks_mut(budget))
                 .enumerate()
+                // Per-target sampling is sub-microsecond work; an 8-target
+                // floor keeps the pool's adaptive chunking from scheduling
+                // at counterproductive granularity (PR 5 pool retune).
+                .with_min_len(8)
                 .map(|(i, ((ns, ts), es))| {
                     let (v, _) = targets[i];
                     let p = pivots[i];

@@ -241,20 +241,6 @@ impl InferCtx {
         }
     }
 
-    /// Multiplies each row `i` of a `[rows, d]` slot by `0.0`/`1.0` from
-    /// `mask` (the fast-path twin of `scale_rows` with a 0/1 vector).
-    pub fn mask_rows(&mut self, s: Slot, d: usize, mask: &[bool]) {
-        let data = self.data_mut(s);
-        debug_assert_eq!(data.len(), mask.len() * d, "mask_rows size");
-        for (row, &keep) in data.chunks_mut(d).zip(mask.iter()) {
-            if !keep {
-                for v in row {
-                    *v *= 0.0;
-                }
-            }
-        }
-    }
-
     /// Permutes `[b, n, d]` to `[b, d, n]` into a new slot.
     pub fn transpose12(&mut self, s: Slot, b: usize, n: usize, d: usize) -> Slot {
         let (out, prefix, od) = self.alloc_out(b * d * n);
@@ -377,6 +363,53 @@ impl PackedLinear {
         );
         out
     }
+
+    /// Padded-row-skipping variant of [`PackedLinear::forward`]: rows with
+    /// `valid(i) == false` are zero-filled without touching the weights,
+    /// and the valid rows run through the packed kernel in maximal
+    /// contiguous runs. The kernel computes every output row independently
+    /// (its register tiles never mix rows' accumulators), so each valid
+    /// row's result is **bit-identical** to the dense forward regardless of
+    /// how the runs split. Callers are responsible for only skipping rows
+    /// whose outputs are never consumed with nonzero weight — e.g. masked
+    /// neighbor slots, whose attention weight underflows to exactly `0.0`.
+    ///
+    /// Allocation-free apart from the output slot (the serving zero-alloc
+    /// contract): validity is a predicate, not a materialized mask.
+    pub fn forward_valid(
+        &self,
+        ctx: &mut InferCtx,
+        x: Slot,
+        rows: usize,
+        valid: impl Fn(usize) -> bool,
+    ) -> Slot {
+        debug_assert_eq!(x.len(), rows * self.in_dim, "packed linear input");
+        let (out, prefix, od) = ctx.alloc_out(rows * self.out_dim);
+        let xd = InferCtx::view(prefix, x);
+        let (k, m) = (self.in_dim, self.out_dim);
+        let mut i = 0;
+        while i < rows {
+            if !valid(i) {
+                od[i * m..(i + 1) * m].fill(0.0);
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < rows && valid(j) {
+                j += 1;
+            }
+            ops::matmul_packed_infer_into(
+                &xd[i * k..j * k],
+                j - i,
+                k,
+                &self.w,
+                self.bias.as_deref(),
+                &mut od[i * m..j * m],
+            );
+            i = j;
+        }
+        out
+    }
 }
 
 /// Packed two-layer MLP with GeLU (twin of [`Mlp`]).
@@ -393,6 +426,22 @@ impl PackedMlp {
         let h = self.fc1.forward(ctx, x, rows);
         ctx.gelu_inplace(h);
         self.fc2.forward(ctx, h, rows)
+    }
+
+    /// Padded-row-skipping twin of [`PackedMlp::forward`]: invalid rows come
+    /// out exactly zero, valid rows are bit-identical to the dense pass
+    /// (see [`PackedLinear::forward_valid`]; `gelu(0) = 0`, so the
+    /// activation keeps skipped rows zero between the two projections).
+    pub fn forward_valid(
+        &self,
+        ctx: &mut InferCtx,
+        x: Slot,
+        rows: usize,
+        valid: impl Fn(usize) -> bool,
+    ) -> Slot {
+        let h = self.fc1.forward_valid(ctx, x, rows, &valid);
+        ctx.gelu_inplace(h);
+        self.fc2.forward_valid(ctx, h, rows, &valid)
     }
 }
 
@@ -603,6 +652,52 @@ mod tests {
     }
 
     #[test]
+    fn forward_valid_skips_rows_bit_exactly() {
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 6, 9, 3);
+        let mlp = Mlp::new(&mut store, "m", 6, 12, 9, 5);
+        let x = init::uniform(&[11, 6], -1.0, 1.0, 17);
+        // alternating and clustered invalid rows: exercises run splitting at
+        // every boundary shape (head, middle, tail, singleton runs)
+        for pattern in [
+            [true; 11],
+            [false; 11],
+            [
+                true, false, true, true, false, false, true, true, true, false, true,
+            ],
+        ] {
+            let packed = lin.pack(&store, 8);
+            let pmlp = mlp.pack(&store, 8);
+            let mut ctx = InferCtx::new();
+            let xs = ctx.slot_from(x.data());
+            let dense = packed.forward(&mut ctx, xs, 11);
+            let sparse = packed.forward_valid(&mut ctx, xs, 11, |i| pattern[i]);
+            let mdense = pmlp.forward(&mut ctx, xs, 11);
+            let msparse = pmlp.forward_valid(&mut ctx, xs, 11, |i| pattern[i]);
+            for (i, &keep) in pattern.iter().enumerate() {
+                let (d, s) = (
+                    &ctx.data(dense)[i * 9..][..9],
+                    &ctx.data(sparse)[i * 9..][..9],
+                );
+                let (md, ms) = (
+                    &ctx.data(mdense)[i * 9..][..9],
+                    &ctx.data(msparse)[i * 9..][..9],
+                );
+                if keep {
+                    assert_eq!(d, s, "valid row {i} must be bit-identical");
+                    assert_eq!(md, ms, "valid mlp row {i} must be bit-identical");
+                } else {
+                    assert!(s.iter().all(|&v| v == 0.0), "skipped row {i} must be zero");
+                    assert!(
+                        ms.iter().all(|&v| v == 0.0),
+                        "skipped mlp row {i} must be zero"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn packed_mlp_and_layernorm_match_tape() {
         let mut store = ParamStore::new();
         let mlp = Mlp::new(&mut store, "m", 6, 10, 4, 5);
@@ -663,15 +758,11 @@ mod tests {
     }
 
     #[test]
-    fn softmax_and_mask_match_tape_semantics() {
+    fn softmax_matches_tape_semantics() {
         let mut ctx = InferCtx::new();
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
         let s = ctx.slot_from(x.data());
         ctx.softmax_rows_inplace(s, 3);
         assert_eq!(ctx.data(s), ops::softmax_lastdim(&x).data());
-
-        let m = ctx.slot_from(&[1.0, 2.0, 3.0, 4.0]);
-        ctx.mask_rows(m, 2, &[false, true]);
-        assert_eq!(ctx.data(m), &[0.0, 0.0, 3.0, 4.0]);
     }
 }

@@ -9,8 +9,12 @@ use crate::tensor::Tensor;
 use rayon::prelude::*;
 
 /// Minimum number of output rows before a matmul fans out to rayon.
-/// Below this the parallel dispatch overhead dominates.
-const PAR_ROW_THRESHOLD: usize = 32;
+/// Below this the parallel dispatch overhead dominates. Retuned from 32
+/// to 16 for the persistent pool (PR 5): dispatch is now a queue push
+/// (~1µs) instead of a thread spawn (~tens of µs), so parallelism pays
+/// off at half the old row count (see EXPERIMENTS.md, "Pool dispatch
+/// overhead and retuned chunk floors").
+const PAR_ROW_THRESHOLD: usize = 16;
 
 /// Register-tile height of the packed matmul microkernel: rows of `A`
 /// processed together so each loaded panel column is reused `MR` times.
@@ -328,6 +332,14 @@ fn packed_kernel_body<const NR: usize, const FMA: bool>(
 
 /// Fans a packed matmul out over rayon in `MR`-aligned row blocks (or runs
 /// it inline for small `n` / single-thread pools).
+///
+/// Chunk sizing: `ceil(n / 2·threads)` rounded up to `MR` — two blocks per
+/// thread instead of the old one-per-thread split. The pool claims blocks
+/// dynamically, so the extra granularity lets a thread that finishes early
+/// (or a core the OS preempted) pick up the slack; with spawn-per-call this
+/// overpartitioning would have doubled the spawn count, with the pool it
+/// costs one more queue operation. Chunking never affects numerics — rows
+/// are computed independently.
 fn packed_parallel(a: &[f32], n: usize, k: usize, pb: &PackedMatrix, c: &mut [f32]) {
     let m = pb.m;
     let threads = rayon::current_num_threads().max(1);
@@ -335,7 +347,7 @@ fn packed_parallel(a: &[f32], n: usize, k: usize, pb: &PackedMatrix, c: &mut [f3
         matmul_packed_into(a, n, k, pb, None, c);
         return;
     }
-    let rows_per = (n / threads).max(MR).next_multiple_of(MR);
+    let rows_per = n.div_ceil(threads * 2).max(1).next_multiple_of(MR);
     c.par_chunks_mut(rows_per * m)
         .enumerate()
         .for_each(|(bi, cc)| {
@@ -382,13 +394,16 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     // Row-parallel over `k` would stride badly through `A`, so iterate
     // samples and accumulate per-thread `k×m` partials, then reduce.
     //
-    // Chunk sizing: one contiguous run per thread (`ceil(n/threads)`), with
-    // a 16-row floor so a run always amortizes its own `O(k·m)` partial
-    // buffer + reduction. The old `(n/threads).max(64)` floor degenerated
-    // for small `n` on many threads — e.g. n=128 @ 32 threads produced two
-    // 64-row chunks and left 30 threads idle; `ceil` sizing yields 8 chunks
-    // of 16. Small batches (`n <= 64`) and single-thread pools skip the
-    // partials entirely and accumulate straight into the output.
+    // Chunk sizing: two contiguous runs per thread (`ceil(n/2·threads)`)
+    // with an 8-row floor. The old one-run-per-thread `ceil(n/threads)`
+    // split with a 16-row floor was calibrated for spawn-per-call dispatch;
+    // on the persistent pool a chunk costs a queue push, so the finer split
+    // buys dynamic rebalancing (a preempted or late-starting thread no
+    // longer gates the whole reduction) for one extra `O(k·m)` partial
+    // merge per thread. The floor still exists so a run amortizes its own
+    // partial buffer + reduction. Small batches (`n <= 64`) and
+    // single-thread pools skip the partials entirely and accumulate
+    // straight into the output.
     if threads == 1 || n <= 64 {
         let od = out.data_mut();
         for i in 0..n {
@@ -403,7 +418,7 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
         }
         return out;
     }
-    let chunk = n.div_ceil(threads).max(16);
+    let chunk = n.div_ceil(threads * 2).max(8);
     let partials: Vec<Vec<f32>> = (0..n)
         .into_par_iter()
         .chunks(chunk)

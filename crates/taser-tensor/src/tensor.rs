@@ -7,8 +7,12 @@
 use rayon::prelude::*;
 use std::fmt;
 
-/// Element count above which element-wise ops fan out to rayon.
-const PAR_ELEM_THRESHOLD: usize = 65_536;
+/// Element count above which element-wise ops fan out to rayon. Retuned
+/// from 65_536 to 32_768 for the persistent pool (PR 5): fan-out now costs
+/// a queue push instead of thread spawns, so the crossover where splitting
+/// an element-wise pass beats running it inline moves down (measured in
+/// `BENCH_pool.json`'s micro/meso rows; see EXPERIMENTS.md).
+const PAR_ELEM_THRESHOLD: usize = 32_768;
 const PAR_CHUNK: usize = 16_384;
 
 /// A dense, row-major `f32` tensor of arbitrary rank.

@@ -156,6 +156,65 @@ proptest! {
     }
 }
 
+/// Padded-row skipping (PR 5): sparse neighborhoods produce mostly-masked
+/// slots and padded hop-1 targets, which the packed forward now skips
+/// instead of running through dense matmuls. The skip must be invisible:
+/// fast ≈ tape within the usual 1e-5 on a graph engineered so almost every
+/// neighbor slot is padding — isolated nodes (zero neighbors), single-edge
+/// nodes (1 of n slots live), and one well-connected hub, under a large
+/// `n_neighbors` so the padded fraction is extreme.
+#[test]
+fn sparse_neighborhoods_with_padded_rows_agree() {
+    // Node 0 is a hub with a handful of edges; nodes 6..12 have exactly one
+    // interaction each; nodes 15+ are fully isolated.
+    let mut events: Vec<(u32, u32, f64)> = (1..6u32).map(|i| (0, i, i as f64)).collect();
+    events.extend((6..12u32).map(|i| (i, i % 3, 10.0 + i as f64)));
+    let log = EventLog::from_unsorted(events);
+    let csr = TCsr::build(&log, NUM_NODES);
+    for backbone in [ArtifactBackbone::GraphMixer, ArtifactBackbone::Tgat] {
+        // n_neighbors = 8 >> real degree for all but the hub
+        let (pipeline, cache) = build(
+            backbone,
+            3,
+            2,
+            4,
+            2,
+            6,
+            8,
+            ArtifactPolicy::MostRecent,
+            log.len(),
+            4242,
+        );
+        let queries: Vec<LinkQuery> = vec![
+            LinkQuery {
+                src: 15,
+                dst: 16,
+                t: 100.0,
+            }, // both isolated: all slots padded
+            LinkQuery {
+                src: 6,
+                dst: 20,
+                t: 100.0,
+            }, // one live slot vs none
+            LinkQuery {
+                src: 0,
+                dst: 15,
+                t: 100.0,
+            }, // hub vs isolated
+            LinkQuery {
+                src: 7,
+                dst: 8,
+                t: 100.0,
+            }, // sparse vs sparse
+        ];
+        let mut scratch = ScoreScratch::new();
+        let mut fast = Vec::new();
+        pipeline.score_batch_into(&csr, 3, &queries, &cache, &mut scratch, &mut fast);
+        let tape = pipeline.score_batch_tape(&csr, 3, &queries, &cache);
+        assert_probs_close(&fast, &tape, backbone.name());
+    }
+}
+
 /// Deterministic spot-check at the serve reference shape (featureless
 /// nodes, 16-d edge features, hidden 32, n=10) — the configuration
 /// `BENCH_serve.json` and `BENCH_infer.json` are measured at.

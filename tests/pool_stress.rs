@@ -1,0 +1,221 @@
+//! Lifecycle stress tests for the persistent work-stealing pool (PR 5).
+//!
+//! The pool in `vendor/rayon` is shared process-wide and hit concurrently
+//! from arbitrary foreign threads — in production that is serve workers
+//! scoring batches while an ingest thread appends events and a background
+//! thread publishes index snapshots. These tests force a multi-thread pool
+//! (this binary runs in its own process, so `force_num_threads` pins the
+//! count before any parallel call, even on single-core CI machines) and
+//! assert that hammering the pool from many submitters at once produces
+//! exactly the results each call produces when made serially.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+use taser_graph::events::EventLog;
+use taser_graph::index::{temporal_neighbors, TemporalIndex};
+use taser_graph::tcsr::TCsr;
+use taser_index::IncIndexWriter;
+use taser_tensor::ops::matmul;
+use taser_tensor::Tensor;
+
+/// Pins the pool to 4 compute threads before anything else touches it.
+fn force_pool() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| rayon::force_num_threads(4));
+}
+
+fn synth_log(n_events: usize, n_nodes: u32, salt: u64) -> EventLog {
+    EventLog::from_unsorted(
+        (0..n_events)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(salt);
+                (
+                    (h % n_nodes as u64) as u32,
+                    ((h >> 17) % n_nodes as u64) as u32,
+                    i as f64,
+                )
+            })
+            .collect(),
+    )
+}
+
+fn mm_input(n: usize, k: usize, seed: usize) -> Tensor {
+    Tensor::from_vec(
+        (0..n * k)
+            .map(|i| ((i * 31 + seed) % 17) as f32 * 0.25 - 2.0)
+            .collect(),
+        &[n, k],
+    )
+}
+
+/// Serve-shaped mixed workload: "serve workers" running parallel matmuls,
+/// an "ingest + publish" thread driving the incremental index writer, and a
+/// "rebuild" thread recomputing `TCsr` snapshots — all submitting to the
+/// one global pool concurrently. Every result must equal the serial oracle
+/// computed up front.
+#[test]
+fn mixed_foreign_threads_match_serial_results() {
+    force_pool();
+    // Serial oracles, computed before any concurrency.
+    let a = mm_input(96, 24, 1);
+    let b = mm_input(24, 40, 2);
+    let mm_oracle = matmul(&a, &b);
+    let log = synth_log(4000, 37, 99);
+    let csr_oracle = TCsr::build(&log, 40);
+    let inc_oracle = {
+        let mut w = IncIndexWriter::from_log(&log, 40, 8);
+        w.publish()
+    };
+
+    let rounds = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        // Three "serve workers": parallel matmuls must be bit-stable under
+        // concurrent submission (the pool preserves item order and chunking
+        // never affects row-parallel numerics).
+        for _ in 0..3 {
+            let (a, b, oracle, rounds) = (&a, &b, &mm_oracle, &rounds);
+            s.spawn(move || {
+                for _ in 0..30 {
+                    let c = matmul(a, b);
+                    assert_eq!(c.data(), oracle.data(), "matmul diverged under load");
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Ingest + background publish: seed-build, batch-append, and
+        // publish all fan out over the pool.
+        {
+            let (log, inc_oracle, rounds) = (&log, &inc_oracle, &rounds);
+            s.spawn(move || {
+                for round in 0..10 {
+                    let mut w = IncIndexWriter::from_log(log, 40, 8);
+                    let last_t = log.events().last().unwrap().t;
+                    // strictly after the seed log, so the history probe
+                    // below (at last_t + 0.5) never sees appended events
+                    let batch: Vec<(u32, u32, f64)> = (0..64u32)
+                        .map(|i| (i % 37, (i * 5 + round) % 37, last_t + 1.0 + i as f64))
+                        .collect();
+                    w.append_batch(&batch);
+                    let snap = w.publish();
+                    assert_eq!(
+                        snap.num_entries(),
+                        inc_oracle.num_entries()
+                            + batch
+                                .iter()
+                                .map(|&(u, v, _)| if u == v { 1 } else { 2 })
+                                .sum::<usize>(),
+                        "publish lost or duplicated entries under load"
+                    );
+                    for v in [0u32, 7, 36] {
+                        let base: Vec<_> =
+                            temporal_neighbors(inc_oracle.as_ref(), v, last_t + 0.5).collect();
+                        let got: Vec<_> =
+                            temporal_neighbors(snap.as_ref(), v, last_t + 0.5).collect();
+                        assert_eq!(base, got, "pre-append history changed, v={v}");
+                    }
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Rebuild worker: the parallel counting-sort build is documented
+        // bit-identical to the sequential build at any thread count, and
+        // must stay so while the pool is contended.
+        {
+            let (log, csr_oracle, rounds) = (&log, &csr_oracle, &rounds);
+            s.spawn(move || {
+                for _ in 0..10 {
+                    let csr = TCsr::build(log, 40);
+                    for v in 0..40u32 {
+                        assert_eq!(
+                            csr.neighbor_count(v),
+                            csr_oracle.neighbor_count(v),
+                            "rebuild count diverged, v={v}"
+                        );
+                    }
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(rounds.load(Ordering::Relaxed), 3 * 30 + 10 + 10);
+}
+
+/// Nested parallelism through the public API: `join`/`par_map` reached from
+/// inside pool-executed closures must run inline (no deadlock, bounded
+/// threads) and preserve results — the documented nesting contract.
+#[test]
+fn nested_parallelism_from_foreign_threads_is_safe() {
+    force_pool();
+    let out: Vec<u64> = (0..256u64)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|x| {
+            let (a, b) = rayon::join(
+                || (0..8u64).map(|i| x + i).sum::<u64>(),
+                || {
+                    let inner: Vec<u64> = (0..4u64)
+                        .collect::<Vec<_>>()
+                        .into_par_iter()
+                        .map(|y| x * y)
+                        .collect();
+                    inner.iter().sum::<u64>()
+                },
+            );
+            a + b
+        })
+        .collect();
+    for (i, v) in out.iter().enumerate() {
+        let x = i as u64;
+        let want = (0..8).map(|j| x + j).sum::<u64>() + (0..4).map(|y| x * y).sum::<u64>();
+        assert_eq!(*v, want, "nested result diverged at {i}");
+    }
+}
+
+/// Panic propagation across the pool from a foreign thread: the submitting
+/// thread gets the payload, and the pool keeps serving other submitters
+/// afterwards (a panicking batch must not poison the workers).
+#[test]
+fn panics_propagate_and_pool_survives() {
+    force_pool();
+    let r = std::panic::catch_unwind(|| {
+        (0..128i32)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|x| {
+                if x == 77 {
+                    panic!("stress boom");
+                }
+            });
+    });
+    assert!(r.is_err(), "panic must reach the submitter");
+    // The pool still works after the panic.
+    let sum: i64 = (0..1000i64)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|x| x * 2)
+        .collect::<Vec<_>>()
+        .iter()
+        .sum();
+    assert_eq!(sum, 999 * 1000);
+}
+
+/// Quiet-gap lifecycle: workers park when idle and wake for later batches —
+/// many short bursts separated by sleeps must all complete correctly.
+#[test]
+fn pool_wakes_from_idle_for_every_burst() {
+    force_pool();
+    for round in 0..8u64 {
+        let out: Vec<u64> = (0..64u64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x ^ round)
+            .collect();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 ^ round);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(3));
+    }
+}

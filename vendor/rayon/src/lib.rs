@@ -3,31 +3,39 @@
 //! vendors this shim instead of the real crate (see `vendor/` in the repo
 //! root).
 //!
-//! **Execution is parallel.** Every `par_*` entry point materializes its
-//! items into a [`Par`] batch; adapters with closures (`map`) and consumers
-//! (`for_each`, `reduce`) split the batch into contiguous per-thread chunks
-//! and run them on a [`std::thread::scope`] pool, preserving item order in
-//! the output. The split is eager rather than work-stealing, which matches
-//! the workload here: callers already size their chunks by
-//! [`current_num_threads`], so every batch arrives pre-balanced.
+//! **Execution is parallel on a persistent work-stealing pool.** Every
+//! `par_*` entry point materializes its items into a [`Par`] batch; adapters
+//! with closures (`map`) and consumers (`for_each`, `reduce`) fan the batch
+//! out over the process-lifetime pool in [`pool`] — sharded task queues with
+//! stealing, parked idle workers, and adaptive chunk claiming — instead of
+//! spawning fresh OS threads per call the way the old
+//! [`std::thread::scope`]-based splitter did. Item order in the output is
+//! always the input order, and per-item results are identical to sequential
+//! execution regardless of which worker ran what.
 //!
-//! Thread count comes from [`std::thread::available_parallelism`], overridable
-//! with the `TASER_NUM_THREADS` environment variable (read once per process;
-//! `TASER_NUM_THREADS=1` restores fully sequential execution). Batches with
-//! fewer than two items, or a one-thread pool, run inline on the caller —
-//! the scope-spawn overhead is only paid when there is work to split.
+//! Thread count comes from [`std::thread::available_parallelism`],
+//! overridable with the `TASER_NUM_THREADS` environment variable (read once
+//! per process; `TASER_NUM_THREADS=1` restores fully sequential execution
+//! and never starts a pool thread). Batches with fewer than two items run
+//! inline on the caller, as do **all** parallel entry points invoked from
+//! inside a pool worker — nested `join`/`par_map` never re-enter the
+//! queues, so nesting can neither deadlock nor explode the thread count.
 //!
 //! Supported surface: `prelude::*`, `current_num_threads`, `join`,
 //! slice `par_chunks{,_mut}` / `par_iter{,_mut}`, `into_par_iter` on any
-//! `IntoIterator`, and the adapters `map`, `zip`, `enumerate`, `chunks`,
-//! `for_each`, `reduce`, `sum`, `collect`, and `count`.
+//! `IntoIterator`, the adapters `map`, `zip`, `enumerate`, `chunks`,
+//! `for_each`, `reduce`, `sum`, `collect`, `count`, and the chunk-floor
+//! knob [`Par::with_min_len`].
 //!
 //! Semantics match rayon where taser-rs relies on it: `map`/`for_each`
 //! closures must be `Fn + Sync` (re-entrant across threads), `reduce` merges
-//! per-thread partial folds with an associative `op`, and output order is
-//! the input order regardless of which thread processed an item.
+//! per-thread partial folds with an associative `op`, output order is the
+//! input order regardless of which thread processed an item, and a panic in
+//! any closure propagates to the submitting caller after the batch settles.
 
 use std::sync::OnceLock;
+
+mod pool;
 
 pub mod prelude {
     pub use crate::{
@@ -36,12 +44,13 @@ pub mod prelude {
     };
 }
 
+static NUM_THREADS: OnceLock<usize> = OnceLock::new();
+
 /// Number of worker threads a parallel region fans out to: the
 /// `TASER_NUM_THREADS` override when set, otherwise the machine's available
 /// parallelism. Callers use this to pick chunk sizes.
 pub fn current_num_threads() -> usize {
-    static N: OnceLock<usize> = OnceLock::new();
-    *N.get_or_init(|| {
+    *NUM_THREADS.get_or_init(|| {
         std::env::var("TASER_NUM_THREADS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
@@ -54,8 +63,31 @@ pub fn current_num_threads() -> usize {
     })
 }
 
-/// Runs both closures — concurrently when the pool has more than one thread —
-/// and returns both results.
+/// Pins the process-wide thread count before the pool exists — the
+/// programmatic equivalent of launching with `TASER_NUM_THREADS=n`. Tests
+/// (and benches on machines whose core count would disable parallelism)
+/// call this first thing so the pooled paths are actually exercised.
+///
+/// # Panics
+/// Panics if the thread count was already fixed to a different value —
+/// either by an earlier parallel call (first use freezes it) or by a prior
+/// `force_num_threads`.
+pub fn force_num_threads(n: usize) {
+    assert!(n >= 1, "thread count must be at least 1");
+    let got = *NUM_THREADS.get_or_init(|| n);
+    assert_eq!(
+        got, n,
+        "thread count already fixed at {got}; force_num_threads({n}) must \
+         run before any parallel call"
+    );
+}
+
+/// Runs both closures — concurrently when the pool has more than one
+/// thread — and returns both results. The left branch runs inline on the
+/// caller while the right is stealable; if no worker takes it, the caller
+/// steals it back and runs it inline too (one queue push, no spawn). Called
+/// from inside a pool worker it degrades to `(a(), b())` — see the nesting
+/// contract in [`pool`].
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -63,18 +95,10 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        return (a(), b());
+    match pool::global() {
+        Some(p) if !pool::in_pool_worker() => pool::pool_join(p, a, b),
+        _ => (a(), b()),
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        let rb = match hb.join() {
-            Ok(v) => v,
-            Err(p) => std::panic::resume_unwind(p),
-        };
-        (ra, rb)
-    })
 }
 
 /// Splits `items` into `pieces` contiguous runs whose lengths differ by at
@@ -89,50 +113,38 @@ fn split_contiguous<T>(mut items: Vec<T>, pieces: usize) -> Vec<Vec<T>> {
     out
 }
 
-/// Order-preserving parallel map over an owned batch: splits into at most
-/// `threads` contiguous chunks, maps each on a scoped thread, reassembles in
-/// input order. Falls back to an inline loop for tiny batches or one thread.
-fn parallel_map_vec<T, R, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<R>
+/// Order-preserving parallel map over an owned batch: fans out over the
+/// persistent pool with adaptive chunking (chunks never smaller than
+/// `min_chunk`), or runs inline for tiny batches, single-thread mode, and
+/// calls made from pool workers.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: &F, min_chunk: usize) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    if threads <= 1 || n < 2 {
+    if items.len() < 2 {
         return items.into_iter().map(f).collect();
     }
-    let mut chunks = split_contiguous(items, threads.min(n)).into_iter();
-    let first = chunks.next().expect("split of nonempty batch");
-    std::thread::scope(|s| {
-        // spawn workers for the tail chunks, keep the head on the caller —
-        // one fewer spawn per region and the caller contributes instead of
-        // idling at the join.
-        let handles: Vec<_> = chunks
-            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        out.extend(first.into_iter().map(f));
-        for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(p) => std::panic::resume_unwind(p),
-            }
-        }
-        out
-    })
+    match pool::global() {
+        Some(p) if !pool::in_pool_worker() => pool::pool_map_vec(p, items, f, min_chunk),
+        _ => items.into_iter().map(f).collect(),
+    }
 }
 
 /// Parallel fold: each thread folds its contiguous chunk from `identity()`,
 /// then the partials merge left-to-right. Requires an associative `op` (the
-/// rayon `reduce` contract).
-fn parallel_reduce_vec<T, ID, OP>(items: Vec<T>, identity: &ID, op: &OP, threads: usize) -> T
+/// rayon `reduce` contract). Chunk grouping is `threads.min(n)` contiguous
+/// runs — the same grouping the old scoped splitter used, so float reduces
+/// produce the same values they always did for a given thread count.
+fn parallel_reduce_vec<T, ID, OP>(items: Vec<T>, identity: &ID, op: &OP) -> T
 where
     T: Send,
     ID: Fn() -> T + Sync,
     OP: Fn(T, T) -> T + Sync,
 {
     let n = items.len();
+    let threads = current_num_threads();
     if threads <= 1 || n < 2 {
         return items.into_iter().fold(identity(), op);
     }
@@ -140,19 +152,39 @@ where
     let partials = parallel_map_vec(
         chunks,
         &|chunk: Vec<T>| chunk.into_iter().fold(identity(), op),
-        threads,
+        1,
     );
     partials.into_iter().fold(identity(), op)
 }
 
 /// A materialized parallel batch: the shim's stand-in for rayon's
 /// `ParallelIterator`. Adapters preserve item order; closure-carrying
-/// operations fan out across the scoped pool.
+/// operations fan out across the persistent pool.
 pub struct Par<T> {
     items: Vec<T>,
+    /// Adaptive-chunking floor: the pool never claims fewer than this many
+    /// items at a time (rayon's `with_min_len`). 1 = fully adaptive.
+    min_chunk: usize,
 }
 
 impl<T> Par<T> {
+    fn new(items: Vec<T>) -> Self {
+        Par {
+            items,
+            min_chunk: 1,
+        }
+    }
+
+    /// Sets the minimum number of items a pool chunk may carry — the
+    /// per-call floor that keeps per-item-cheap workloads from being
+    /// scheduled at counterproductive granularity. Mirrors rayon's
+    /// `IndexedParallelIterator::with_min_len`.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        assert!(min > 0, "with_min_len: floor must be non-zero");
+        self.min_chunk = min;
+        self
+    }
+
     /// Applies `f` to every item in parallel, preserving order.
     pub fn map<F, R>(self, f: F) -> Par<R>
     where
@@ -161,7 +193,8 @@ impl<T> Par<T> {
         F: Fn(T) -> R + Sync,
     {
         Par {
-            items: parallel_map_vec(self.items, &f, current_num_threads()),
+            items: parallel_map_vec(self.items, &f, self.min_chunk),
+            min_chunk: self.min_chunk,
         }
     }
 
@@ -176,6 +209,7 @@ impl<T> Par<T> {
                 .into_iter()
                 .zip(other.into_par_iter().items)
                 .collect(),
+            min_chunk: self.min_chunk,
         }
     }
 
@@ -183,6 +217,7 @@ impl<T> Par<T> {
     pub fn enumerate(self) -> Par<(usize, T)> {
         Par {
             items: self.items.into_iter().enumerate().collect(),
+            min_chunk: self.min_chunk,
         }
     }
 
@@ -201,7 +236,10 @@ impl<T> Par<T> {
         if !cur.is_empty() {
             out.push(cur);
         }
-        Par { items: out }
+        Par {
+            items: out,
+            min_chunk: 1,
+        }
     }
 
     /// Runs `f` on every item in parallel.
@@ -210,18 +248,18 @@ impl<T> Par<T> {
         T: Send,
         F: Fn(T) + Sync,
     {
-        parallel_map_vec(self.items, &|item| f(item), current_num_threads());
+        parallel_map_vec(self.items, &|item| f(item), self.min_chunk);
     }
 
-    /// rayon-style reduce: `identity` seeds each per-thread fold, `op` merges
-    /// (must be associative).
+    /// rayon-style reduce: `identity` seeds each per-thread fold, `op`
+    /// merges (must be associative).
     pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
         T: Send,
         ID: Fn() -> T + Sync,
         OP: Fn(T, T) -> T + Sync,
     {
-        parallel_reduce_vec(self.items, &identity, &op, current_num_threads())
+        parallel_reduce_vec(self.items, &identity, &op)
     }
 
     pub fn sum<S>(self) -> S
@@ -265,9 +303,7 @@ impl<I: IntoIterator> IntoParallelIterator for I {
     type Item = I::Item;
 
     fn into_par_iter(self) -> Par<I::Item> {
-        Par {
-            items: self.into_iter().collect(),
-        }
+        Par::new(self.into_iter().collect())
     }
 }
 
@@ -282,9 +318,7 @@ impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
 
     fn par_iter(&'a self) -> Par<&'a T> {
-        Par {
-            items: self.iter().collect(),
-        }
+        Par::new(self.iter().collect())
     }
 }
 
@@ -299,9 +333,7 @@ impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
     type Item = &'a mut T;
 
     fn par_iter_mut(&'a mut self) -> Par<&'a mut T> {
-        Par {
-            items: self.iter_mut().collect(),
-        }
+        Par::new(self.iter_mut().collect())
     }
 }
 
@@ -312,9 +344,7 @@ pub trait ParallelSlice<T> {
 
 impl<T> ParallelSlice<T> for [T] {
     fn par_chunks(&self, n: usize) -> Par<&[T]> {
-        Par {
-            items: self.chunks(n).collect(),
-        }
+        Par::new(self.chunks(n).collect())
     }
 }
 
@@ -325,16 +355,14 @@ pub trait ParallelSliceMut<T> {
 
 impl<T> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, n: usize) -> Par<&mut [T]> {
-        Par {
-            items: self.chunks_mut(n).collect(),
-        }
+        Par::new(self.chunks_mut(n).collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::{parallel_map_vec, parallel_reduce_vec, split_contiguous};
+    use super::{parallel_map_vec, split_contiguous};
     use std::collections::HashSet;
     use std::sync::Mutex;
 
@@ -379,11 +407,9 @@ mod tests {
     }
 
     #[test]
-    fn forced_multithread_map_preserves_order() {
-        // Bypass the process-wide thread count so the parallel path runs even
-        // on a single-core machine.
+    fn map_preserves_order_through_public_api() {
         let items: Vec<u64> = (0..1000).collect();
-        let out = parallel_map_vec(items, &|x| x * 3 + 1, 4);
+        let out = parallel_map_vec(items, &|x| x * 3 + 1, 1);
         assert_eq!(out.len(), 1000);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as u64 * 3 + 1);
@@ -391,27 +417,19 @@ mod tests {
     }
 
     #[test]
-    fn forced_multithread_runs_off_the_caller_thread() {
-        let seen = Mutex::new(HashSet::new());
-        parallel_map_vec(
-            (0..64).collect::<Vec<i32>>(),
-            &|_| {
-                seen.lock().unwrap().insert(std::thread::current().id());
-            },
-            4,
-        );
-        let ids = seen.lock().unwrap();
-        assert!(
-            ids.contains(&std::thread::current().id()),
-            "the caller must work the head chunk, not idle at the join"
-        );
-        assert!(ids.len() > 1, "expected fan-out across threads: {ids:?}");
+    fn with_min_len_does_not_change_results() {
+        let base: Vec<u32> = (0..333).map(|x| x * 2 + 1).collect();
+        let a: Vec<u32> = base.par_iter().map(|&x| x + 5).collect();
+        let b: Vec<u32> = base.par_iter().with_min_len(50).map(|&x| x + 5).collect();
+        let c: Vec<u32> = base.iter().map(|&x| x + 5).collect();
+        assert_eq!(a, c);
+        assert_eq!(b, c);
     }
 
     #[test]
-    fn forced_multithread_reduce_matches_serial() {
+    fn reduce_matches_serial() {
         let items: Vec<u64> = (1..=257).collect();
-        let par = parallel_reduce_vec(items.clone(), &|| 0u64, &|a, b| a + b, 4);
+        let par = items.clone().into_par_iter().reduce(|| 0u64, |a, b| a + b);
         let serial: u64 = items.iter().sum();
         assert_eq!(par, serial);
     }
@@ -420,16 +438,11 @@ mod tests {
     fn parallel_mutation_through_chunks_is_visible() {
         let mut data = vec![0u32; 4096];
         let chunk = data.len() / 4;
-        let chunks: Vec<&mut [u32]> = data.chunks_mut(chunk).collect();
-        parallel_map_vec(
-            chunks,
-            &|c: &mut [u32]| {
-                for v in c.iter_mut() {
-                    *v += 7;
-                }
-            },
-            4,
-        );
+        data.par_chunks_mut(chunk).for_each(|c| {
+            for v in c.iter_mut() {
+                *v += 7;
+            }
+        });
         assert!(data.iter().all(|&v| v == 7));
     }
 
@@ -438,5 +451,93 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string());
         assert_eq!(a, 2);
         assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn nested_join_inside_map_terminates_and_is_correct() {
+        // Nested entry points must run inline on pool workers (no deadlock,
+        // no thread explosion) and still parallelize correctly when reached
+        // from the participating caller thread.
+        let out = parallel_map_vec(
+            (0..64u64).collect::<Vec<_>>(),
+            &|x| {
+                let (a, b) = super::join(|| x * 2, || x * 3);
+                a + b
+            },
+            1,
+        );
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 5);
+        }
+    }
+
+    #[test]
+    fn nested_par_map_inside_par_map_terminates_and_is_correct() {
+        let out = parallel_map_vec(
+            (0..32u64).collect::<Vec<_>>(),
+            &|x| {
+                let inner: Vec<u64> = (0..8u64)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|y| x * 10 + y)
+                    .collect();
+                inner.iter().sum::<u64>()
+            },
+            1,
+        );
+        for (i, v) in out.iter().enumerate() {
+            let want: u64 = (0..8u64).map(|y| i as u64 * 10 + y).sum();
+            assert_eq!(*v, want);
+        }
+    }
+
+    #[test]
+    fn for_each_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0..100i32)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .for_each(|x| {
+                    if x == 63 {
+                        panic!("boom at 63");
+                    }
+                });
+        });
+        assert!(r.is_err(), "panic inside for_each must reach the caller");
+    }
+
+    #[test]
+    fn join_panics_propagate_from_both_branches() {
+        for left in [false, true] {
+            let r = std::panic::catch_unwind(|| {
+                super::join(
+                    || {
+                        if left {
+                            panic!("left")
+                        }
+                    },
+                    || {
+                        if !left {
+                            panic!("right")
+                        }
+                    },
+                );
+            });
+            assert!(r.is_err(), "join panic (left={left}) must propagate");
+        }
+    }
+
+    #[test]
+    fn mutation_visible_after_pool_round_trip() {
+        let seen = Mutex::new(HashSet::new());
+        let mut data = vec![0u32; 1024];
+        data.par_chunks_mut(64).for_each(|c| {
+            seen.lock().unwrap().insert(c.as_ptr() as usize);
+            for v in c.iter_mut() {
+                *v = 9;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 9));
+        assert_eq!(seen.lock().unwrap().len(), 16);
     }
 }

@@ -1,0 +1,675 @@
+//! The persistent work-stealing pool behind the shim's parallel entry points.
+//!
+//! Before this module existed, every parallel region spawned and joined fresh
+//! OS threads through [`std::thread::scope`]. At training-matmul sizes that
+//! overhead amortizes; at serve-shape micro-batches (tens of microseconds of
+//! work) a spawn+join round trip costs as much as the region itself. The pool
+//! replaces spawn-per-call with a process-lifetime worker set and a queue
+//! push per call.
+//!
+//! ## Architecture
+//!
+//! * **Workers.** `current_num_threads() - 1` OS threads spawn lazily on the
+//!   first parallel call and live for the rest of the process. Under
+//!   `TASER_NUM_THREADS=1` no pool is ever created — every entry point runs
+//!   strictly sequentially inline. The submitting thread always participates
+//!   in the batch it submits, so compute parallelism is the full
+//!   `current_num_threads()`.
+//! * **Queues.** One mutex-guarded deque per worker — a *sharded injector*.
+//!   Foreign (non-pool) threads push tasks round-robin across the shards;
+//!   worker `i` pops LIFO from its home shard `i` and steals FIFO from the
+//!   other shards in ring order, so older foreign work is stolen first while
+//!   a worker's own backlog stays cache-warm.
+//! * **Steal-back.** A submitter that exhausts the shared chunk cursor
+//!   removes its still-queued tasks by identity and completes them inline —
+//!   tasks the workers never got to cost one queue operation, not a wait.
+//! * **Parking.** Idle workers park on a condvar. `pending` counts queued
+//!   tasks and is re-checked under the park lock before sleeping, so a push
+//!   can never be lost; submitters touch the lock only when a worker is
+//!   actually parked.
+//! * **Adaptive chunking.** Batches are cut into up to
+//!   [`CHUNKS_PER_THREAD`]`× threads` chunks (never smaller than the
+//!   per-call `min_chunk` floor); participants claim chunks with an atomic
+//!   cursor, so skewed per-item costs — power-law neighbor lists, ragged
+//!   rows — rebalance at chunk granularity instead of waiting on the
+//!   slowest static slice. Results are written by item index: output order
+//!   and per-item values are identical to sequential execution no matter
+//!   which thread runs which chunk.
+//! * **Nesting.** Parallel entry points called *from a pool worker* run
+//!   inline on that worker: no new tasks, no blocking, no thread explosion
+//!   (see [`in_pool_worker`]). Foreign threads nest freely — every wait
+//!   either executes work itself or parks until a worker signals.
+//! * **Panics.** A panicking closure is caught where it runs and its payload
+//!   re-raised on the submitting thread after the batch settles, matching
+//!   `std::thread::scope` semantics. On the panic path outputs and unread
+//!   inputs are leaked (never double-dropped or handed out uninitialized).
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+/// Target number of claimable chunks per compute thread. More chunks means
+/// finer rebalancing for skewed workloads; fewer means less cursor traffic.
+/// 4 keeps worst-case imbalance under ~25% of one thread's share while the
+/// per-chunk claim stays a single `fetch_add`.
+pub(crate) const CHUNKS_PER_THREAD: usize = 4;
+
+/// A type-erased unit of stealable work. `ctx` points at a job living on the
+/// submitting thread's stack; that thread guarantees the pointee outlives the
+/// task by blocking until every task it pushed was either removed from the
+/// queues or fully executed.
+#[derive(Clone, Copy)]
+struct Task {
+    run: unsafe fn(*const ()),
+    ctx: *const (),
+}
+
+// SAFETY: the pointee is only dereferenced by `run`, whose monomorphized
+// instantiations are created under `Send`/`Sync` bounds on the closure and
+// item types (see `pool_join` / `pool_map_vec`).
+unsafe impl Send for Task {}
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True on pool worker threads. Parallel entry points use this to run
+/// nested regions inline instead of re-entering the queues (which could
+/// otherwise deadlock a worker waiting on work only it could execute).
+pub(crate) fn in_pool_worker() -> bool {
+    IN_POOL.with(|c| c.get())
+}
+
+/// The persistent pool: sharded task queues plus parked-worker bookkeeping.
+pub(crate) struct Pool {
+    shards: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks currently sitting in some shard queue.
+    pending: AtomicUsize,
+    /// Round-robin cursor for foreign pushes.
+    cursor: AtomicUsize,
+    /// Workers currently parked on `cvar`.
+    parked: AtomicUsize,
+    gate: Mutex<()>,
+    cvar: Condvar,
+    /// Total compute threads a batch fans out to (workers + the caller).
+    threads: usize,
+}
+
+impl Pool {
+    /// Builds a pool with `threads - 1` worker threads and starts them.
+    /// `threads` must be at least 2.
+    fn start(threads: usize) -> &'static Pool {
+        assert!(threads >= 2, "a pool needs at least two compute threads");
+        let workers = threads - 1;
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            shards: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            cvar: Condvar::new(),
+            threads,
+        }));
+        for i in 0..workers {
+            thread::Builder::new()
+                .name(format!("taser-pool-{i}"))
+                .spawn(move || worker_loop(pool, i))
+                .expect("spawn pool worker");
+        }
+        pool
+    }
+
+    /// A private pool for unit tests, so the multi-thread paths are
+    /// exercisable on single-core machines and independent of the
+    /// process-wide `TASER_NUM_THREADS`. Leaks its workers (test-only).
+    #[cfg(test)]
+    pub(crate) fn for_tests(threads: usize) -> &'static Pool {
+        Pool::start(threads)
+    }
+
+    /// Compute threads a batch on this pool fans out to.
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pushes one task to the next shard in round-robin order and wakes a
+    /// parked worker if there is one. Returns the shard used (for
+    /// steal-back removal).
+    fn push(&self, task: Task) -> usize {
+        let s = self.cursor.fetch_add(1, SeqCst) % self.shards.len();
+        // Increment before enqueueing: a worker can only pop (and
+        // fetch_sub) a task that is already in a queue, so counting first
+        // keeps `pending` from ever transiently wrapping below zero. A
+        // worker that reads the incremented count before the push lands
+        // just rescans once more.
+        self.pending.fetch_add(1, SeqCst);
+        self.shards[s]
+            .lock()
+            .expect("pool shard poisoned")
+            .push_back(task);
+        self.notify(1);
+        s
+    }
+
+    /// Pushes `count` copies of `task` across consecutive shards, waking as
+    /// many parked workers. The returned shard ids feed steal-back removal.
+    fn push_many(&self, task: Task, count: usize, out: &mut Vec<usize>) {
+        out.clear();
+        // Same count-then-enqueue discipline as `push`.
+        self.pending.fetch_add(count, SeqCst);
+        for _ in 0..count {
+            let s = self.cursor.fetch_add(1, SeqCst) % self.shards.len();
+            self.shards[s]
+                .lock()
+                .expect("pool shard poisoned")
+                .push_back(task);
+            out.push(s);
+        }
+        self.notify(count);
+    }
+
+    fn notify(&self, n: usize) {
+        // `pending` was incremented before this load; a worker that is
+        // *about to* park re-checks `pending` under `gate` before waiting,
+        // so skipping the lock when nobody is parked cannot lose a wakeup.
+        if self.parked.load(SeqCst) > 0 {
+            let _g = self.gate.lock().expect("pool gate poisoned");
+            if n == 1 {
+                self.cvar.notify_one();
+            } else {
+                self.cvar.notify_all();
+            }
+        }
+    }
+
+    /// Worker `home`'s task hunt: LIFO from its own shard, then FIFO-steal
+    /// the others in ring order.
+    fn try_pop(&self, home: usize) -> Option<Task> {
+        let k = self.shards.len();
+        for i in 0..k {
+            let s = (home + i) % k;
+            let task = {
+                let mut q = self.shards[s].lock().expect("pool shard poisoned");
+                if i == 0 {
+                    q.pop_back()
+                } else {
+                    q.pop_front()
+                }
+            };
+            if let Some(t) = task {
+                self.pending.fetch_sub(1, SeqCst);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Removes one queued task with context pointer `ctx` from `shard`, if
+    /// it is still there. `true` means the caller now owns that task's
+    /// execution; `false` means a worker popped it and will run it.
+    fn try_remove(&self, shard: usize, ctx: *const ()) -> bool {
+        let mut q = self.shards[shard].lock().expect("pool shard poisoned");
+        if let Some(pos) = q.iter().rposition(|t| ptr::eq(t.ctx, ctx)) {
+            q.remove(pos);
+            drop(q);
+            self.pending.fetch_sub(1, SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn park(&self) {
+        let g = self.gate.lock().expect("pool gate poisoned");
+        // Publish `parked` *before* re-checking `pending`: a submitter that
+        // reads parked == 0 (and so skips notify) must have done so before
+        // this increment, which orders its pending increment before the
+        // re-check below — the racing push is seen here and we rescan
+        // instead of sleeping. With check-then-increment the submitter
+        // could read parked == 0 between the two and its task would sit
+        // queued until the next push (lost wakeup).
+        self.parked.fetch_add(1, SeqCst);
+        if self.pending.load(SeqCst) > 0 {
+            self.parked.fetch_sub(1, SeqCst);
+            return; // a push raced our empty scan — rescan instead of sleeping
+        }
+        let _g = self.cvar.wait(g).expect("pool gate poisoned");
+        self.parked.fetch_sub(1, SeqCst);
+    }
+}
+
+fn worker_loop(pool: &'static Pool, home: usize) {
+    IN_POOL.with(|c| c.set(true));
+    loop {
+        match pool.try_pop(home) {
+            // Jobs catch panics internally; the catch here is belt and
+            // braces so a stray unwind can never kill a worker.
+            Some(t) => {
+                let _ = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (t.run)(t.ctx) }));
+            }
+            None => pool.park(),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Option<&'static Pool>> = OnceLock::new();
+
+/// The process-wide pool, spun up lazily on first use. `None` when the
+/// effective thread count is 1 (`TASER_NUM_THREADS=1` or a single-core
+/// machine): sequential mode never starts a thread.
+pub(crate) fn global() -> Option<&'static Pool> {
+    *GLOBAL.get_or_init(|| {
+        let threads = crate::current_num_threads();
+        (threads >= 2).then(|| Pool::start(threads))
+    })
+}
+
+/// Blocks until `flag` is set. Spins briefly (the common case: the worker
+/// is mid-chunk), then parks; the setter always unparks after storing.
+fn wait_flag(flag: &AtomicBool) {
+    for _ in 0..64 {
+        if flag.load(SeqCst) {
+            return;
+        }
+        std::hint::spin_loop();
+    }
+    while !flag.load(SeqCst) {
+        // The timeout is pure insurance: the protocol always unparks after
+        // setting the flag, so this only bounds the cost of an OS-level
+        // spurious-wakeup edge case.
+        thread::park_timeout(Duration::from_millis(1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Stack-resident state for a `join`'s right-hand branch. Exactly one
+/// executor ever touches `func`/`result`: the queue hands the task to a
+/// single worker, or the submitter removes it and runs it inline.
+struct JoinJob<B, RB> {
+    func: UnsafeCell<Option<B>>,
+    result: UnsafeCell<Option<thread::Result<RB>>>,
+    done: AtomicBool,
+    waiter: Thread,
+}
+
+unsafe fn run_join<B, RB>(ctx: *const ())
+where
+    B: FnOnce() -> RB,
+{
+    let job = unsafe { &*(ctx as *const JoinJob<B, RB>) };
+    let f = unsafe { &mut *job.func.get() }
+        .take()
+        .expect("join task executed twice");
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    unsafe { *job.result.get() = Some(r) };
+    // Clone the handle *before* publishing `done`: the instant `done` is
+    // visible the submitter may return and pop the job off its stack, so
+    // this function must not touch `job` afterwards.
+    let waiter = job.waiter.clone();
+    job.done.store(true, SeqCst);
+    waiter.unpark();
+}
+
+/// `join` over the pool: the right branch is pushed as a stealable task,
+/// the left runs inline on the caller, and the right is stolen back (run
+/// inline) if no worker got to it. Panics from either branch propagate to
+/// the caller, left branch first — the same observable behavior as the old
+/// scoped-spawn implementation.
+pub(crate) fn pool_join<A, B, RA, RB>(pool: &Pool, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job: JoinJob<B, RB> = JoinJob {
+        func: UnsafeCell::new(Some(b)),
+        result: UnsafeCell::new(None),
+        done: AtomicBool::new(false),
+        waiter: thread::current(),
+    };
+    let ctx = &job as *const JoinJob<B, RB> as *const ();
+    let shard = pool.push(Task {
+        run: run_join::<B, RB>,
+        ctx,
+    });
+    // The left branch must not unwind past `job` while the right-hand task
+    // can still dereference it — catch, settle the task, then re-raise.
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    let rb = if pool.try_remove(shard, ctx) {
+        // Not stolen: run it on this thread.
+        let f = unsafe { &mut *job.func.get() }
+            .take()
+            .expect("join task executed twice");
+        panic::catch_unwind(AssertUnwindSafe(f))
+    } else {
+        wait_flag(&job.done);
+        unsafe { &mut *job.result.get() }
+            .take()
+            .expect("join result missing after done")
+    };
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(p), _) => panic::resume_unwind(p),
+        (_, Err(p)) => panic::resume_unwind(p),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parallel map (the engine under `Par::map` / `for_each` / `reduce`)
+// ---------------------------------------------------------------------------
+
+/// Stack-resident state for one fanned-out batch. Participants (the caller
+/// plus any worker that popped a ticket) claim `[start, start+chunk)` item
+/// ranges off `next`, read items out of `src` by `ptr::read`, and write
+/// results into `dst` by index — order-preserving by construction.
+struct MapJob<'f, T, R, F> {
+    src: *const T,
+    dst: *mut R,
+    n: usize,
+    chunk: usize,
+    next: AtomicUsize,
+    tickets_done: AtomicUsize,
+    panicked: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    waiter: Thread,
+    f: &'f F,
+}
+
+impl<T, R, F> MapJob<'_, T, R, F>
+where
+    F: Fn(T) -> R,
+{
+    /// Claims and processes chunks until the cursor runs out (or a panic
+    /// elsewhere aborts the batch). Items in a panicking chunk past the
+    /// failing one are leaked, never double-read.
+    fn run_chunks(&self) {
+        loop {
+            if self.panicked.load(SeqCst) {
+                return;
+            }
+            let start = self.next.fetch_add(self.chunk, SeqCst);
+            if start >= self.n {
+                return;
+            }
+            let end = (start + self.chunk).min(self.n);
+            let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    // SAFETY: each index in [0, n) is claimed by exactly one
+                    // participant (the cursor hands out disjoint ranges), the
+                    // submitter defused `src`'s drops via set_len(0), and
+                    // `dst` has capacity for n writes.
+                    unsafe {
+                        let item = ptr::read(self.src.add(i));
+                        ptr::write(self.dst.add(i), (self.f)(item));
+                    }
+                }
+            }));
+            if let Err(p) = r {
+                let mut slot = self.panic.lock().expect("map panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+                drop(slot);
+                self.panicked.store(true, SeqCst);
+            }
+        }
+    }
+}
+
+unsafe fn run_map_ticket<T, R, F>(ctx: *const ())
+where
+    F: Fn(T) -> R,
+{
+    let job = unsafe { &*(ctx as *const MapJob<'_, T, R, F>) };
+    job.run_chunks();
+    // Same publication discipline as `run_join`: clone the handle, bump the
+    // counter, and never touch `job` again — the submitter may return the
+    // moment the last ticket is accounted for.
+    let waiter = job.waiter.clone();
+    job.tickets_done.fetch_add(1, SeqCst);
+    waiter.unpark();
+}
+
+/// Order-preserving parallel map over an owned batch, fanned out over the
+/// pool with adaptive chunking. Must only be called from a foreign thread
+/// (`!in_pool_worker()`) with `items.len() >= 2`.
+pub(crate) fn pool_map_vec<T, R, F>(pool: &Pool, items: Vec<T>, f: &F, min_chunk: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let chunk = n
+        .div_ceil(pool.threads() * CHUNKS_PER_THREAD)
+        .max(min_chunk)
+        .max(1);
+    let nchunks = n.div_ceil(chunk);
+    // The caller takes one chunk-stream itself; extra tickets only help if
+    // there are more chunks than that.
+    let tickets = nchunks.saturating_sub(1).min(pool.workers());
+    if tickets == 0 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let mut items = items;
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    let job: MapJob<'_, T, R, F> = MapJob {
+        src: items.as_ptr(),
+        dst: out.as_mut_ptr(),
+        n,
+        chunk,
+        next: AtomicUsize::new(0),
+        tickets_done: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        waiter: thread::current(),
+        f,
+    };
+    // Defuse element drops: every item is moved out exactly once via
+    // ptr::read; the Vec keeps (and later frees) only the raw buffer.
+    unsafe { items.set_len(0) };
+    let ctx = &job as *const MapJob<'_, T, R, F> as *const ();
+    let task = Task {
+        run: run_map_ticket::<T, R, F>,
+        ctx,
+    };
+    let mut shards = Vec::with_capacity(tickets);
+    pool.push_many(task, tickets, &mut shards);
+
+    job.run_chunks();
+
+    // Steal back tickets no worker got to; the rest are executing and will
+    // report through `tickets_done`.
+    let mut expected = tickets;
+    for &s in &shards {
+        if pool.try_remove(s, ctx) {
+            expected -= 1;
+        }
+    }
+    let mut spins = 0u32;
+    while job.tickets_done.load(SeqCst) < expected {
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            thread::park_timeout(Duration::from_millis(1));
+        }
+    }
+
+    if job.panicked.load(SeqCst) {
+        let payload = job
+            .panic
+            .lock()
+            .expect("map panic slot poisoned")
+            .take()
+            .expect("panicked set without payload");
+        // Which dst entries were initialized is unknowable mid-batch: leak
+        // them (and any unread items) rather than risk a double drop.
+        std::mem::forget(out);
+        panic::resume_unwind(payload);
+    }
+    // SAFETY: every index in [0, n) was claimed and written exactly once.
+    unsafe { out.set_len(n) };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    fn test_pool() -> &'static Pool {
+        static P: OnceLock<&'static Pool> = OnceLock::new();
+        P.get_or_init(|| Pool::for_tests(4))
+    }
+
+    #[test]
+    fn map_preserves_order_and_values() {
+        let pool = test_pool();
+        for n in [2usize, 3, 64, 1000, 4097] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let out = pool_map_vec(pool, items, &|x| x * 3 + 1, 1);
+            assert_eq!(out.len(), n);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as u64 * 3 + 1, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_runs_off_the_caller_thread() {
+        let pool = test_pool();
+        let seen = Mutex::new(HashSet::new());
+        // Slow items so workers get a chance to pop tickets before the
+        // caller drains the cursor.
+        pool_map_vec(
+            pool,
+            (0..256).collect::<Vec<i32>>(),
+            &|_| {
+                std::thread::sleep(Duration::from_micros(200));
+                seen.lock().unwrap().insert(thread::current().id());
+            },
+            1,
+        );
+        let ids = seen.lock().unwrap();
+        assert!(
+            ids.contains(&thread::current().id()),
+            "the caller must participate, not idle at the join"
+        );
+    }
+
+    #[test]
+    fn min_chunk_floor_is_respected_without_changing_results() {
+        let pool = test_pool();
+        let items: Vec<u32> = (0..100).collect();
+        let a = pool_map_vec(pool, items.clone(), &|x| x + 7, 1);
+        let b = pool_map_vec(pool, items.clone(), &|x| x + 7, 64);
+        let c: Vec<u32> = items.into_iter().map(|x| x + 7).collect();
+        assert_eq!(a, c);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn join_returns_both_and_reuses_pool() {
+        let pool = test_pool();
+        for i in 0..200u64 {
+            let (a, b) = pool_join(pool, || i + 1, || i * 2);
+            assert_eq!(a, i + 1);
+            assert_eq!(b, i * 2);
+        }
+    }
+
+    #[test]
+    fn join_right_branch_panic_propagates() {
+        let pool = test_pool();
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool_join(pool, || 1, || -> i32 { panic!("right boom") })
+        }));
+        let p = r.expect_err("right-branch panic must propagate");
+        let msg = p.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "right boom");
+    }
+
+    #[test]
+    fn join_left_branch_panic_wins_even_if_right_ran() {
+        let pool = test_pool();
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool_join(pool, || -> i32 { panic!("left boom") }, || 2)
+        }));
+        let p = r.expect_err("left-branch panic must propagate");
+        let msg = p.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "left boom");
+    }
+
+    #[test]
+    fn map_panic_propagates_after_batch_settles() {
+        let pool = test_pool();
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool_map_vec(
+                pool,
+                (0..500).collect::<Vec<i32>>(),
+                &|x| {
+                    if x == 250 {
+                        panic!("item boom");
+                    }
+                    x
+                },
+                1,
+            )
+        }));
+        assert!(r.is_err(), "map panic must propagate to the submitter");
+    }
+
+    #[test]
+    fn workers_park_and_wake_across_quiet_gaps() {
+        let pool = test_pool();
+        for round in 0..5 {
+            let out = pool_map_vec(pool, (0..512u64).collect(), &|x| x ^ round, 1);
+            assert_eq!(out.len(), 512);
+            // Quiet gap long enough for every worker to park.
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn concurrent_foreign_submitters_do_not_interfere() {
+        let pool = test_pool();
+        let total = AtomicU64::new(0);
+        thread::scope(|s| {
+            for t in 0..6u64 {
+                let total = &total;
+                s.spawn(move || {
+                    for round in 0..20u64 {
+                        let base = t * 1000 + round;
+                        let out = pool_map_vec(
+                            pool,
+                            (0..64u64).map(|i| base + i).collect(),
+                            &|x| x * 2,
+                            1,
+                        );
+                        let want: u64 = (0..64u64).map(|i| (base + i) * 2).sum();
+                        let got: u64 = out.iter().sum();
+                        assert_eq!(got, want);
+                        total.fetch_add(got, SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(total.load(SeqCst) > 0);
+    }
+}
