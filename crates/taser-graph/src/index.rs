@@ -3,7 +3,7 @@
 //!
 //! Two implementations exist in the workspace:
 //!
-//! * [`TCsr`](crate::tcsr::TCsr) — flat timestamp-sorted CSR slabs, rebuilt
+//! * [`TCsr`] — flat timestamp-sorted CSR slabs, rebuilt
 //!   from scratch (O(E)) on every refresh. Fastest to query, cheapest per
 //!   byte, and the differential-test oracle.
 //! * `IncTcsr` (crate `taser-index`) — chained per-node chunks published

@@ -1,4 +1,4 @@
-//! The T-CSR data structure (TGL [33], §III-C of the paper).
+//! The T-CSR data structure (TGL \[33\], §III-C of the paper).
 //!
 //! T-CSR stores, per node, its temporal neighbors sorted by interaction
 //! timestamp, so the candidate set `N(v, t)` — neighbors that interacted

@@ -212,7 +212,7 @@ impl IncIndexWriter {
     }
 
     /// Seeds a writer from an existing log, building all shards in parallel
-    /// (see [`route_events`]: one event-array pass per worker thread,
+    /// (see `route_events`: one event-array pass per worker thread,
     /// disjoint shard state, no synchronization beyond the shard locks).
     pub fn from_log(log: &EventLog, num_nodes: usize, num_shards: usize) -> Self {
         let mut w = Self::new(num_nodes.max(log.num_nodes()), num_shards);

@@ -1,6 +1,6 @@
 //! TGL-style parallel CPU neighbor finder.
 //!
-//! TGL [33] keeps a per-node *pointer array* into the T-CSR slabs. Because
+//! TGL \[33\] keeps a per-node *pointer array* into the T-CSR slabs. Because
 //! training proceeds chronologically, each node's pointer only ever advances,
 //! so locating the candidate window is O(1) amortized instead of a binary
 //! search. The price is the paper's key limitation: **the finder only

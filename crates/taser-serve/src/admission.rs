@@ -1,0 +1,679 @@
+//! Admission control: bounded priority lanes, SLO deadlines, and
+//! deadline-aware batch formation.
+//!
+//! The serving front door is *open-loop*: arrivals are not bounded by the
+//! number of in-flight callers (TGN-style streams keep coming whether or
+//! not the server is keeping up), so the intake must bound its own queues.
+//! [`AdmissionQueue`] admits each [`LinkQuery`] into one of a fixed set of
+//! priority **lanes** (lane 0 drains first), each a bounded FIFO: when a
+//! lane sits at `queue_cap` the submit is rejected immediately with a typed
+//! [`Overloaded::QueueFull`] — load is shed at the door instead of growing
+//! an unbounded backlog whose tail latency diverges under overload.
+//!
+//! Every admitted ticket carries an SLO deadline (`submitted + slo`), and
+//! batch formation is deadline-aware: a batch closes when it is full, when
+//! the oldest ticket has waited [`BatchPolicy::max_wait`], or when the
+//! oldest ticket is within `slo_margin` of its deadline — whichever comes
+//! first — so a near-deadline query is never held hostage by batch
+//! filling. Tickets that expire while queued are shed at drain time with
+//! [`Overloaded::DeadlineExceeded`]: scoring them would burn capacity
+//! producing answers the SLO already voided.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One link-prediction question: "will `src` interact with `dst` at `t`?"
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkQuery {
+    /// Query source node.
+    pub src: u32,
+    /// Query destination node.
+    pub dst: u32,
+    /// Query time (scores use interactions strictly before `t`).
+    pub t: f64,
+}
+
+/// A fulfilled score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoreResult {
+    /// Interaction probability in (0, 1) (sigmoid of the predictor logit).
+    pub prob: f32,
+    /// Generation of the graph snapshot that produced the score.
+    pub generation: u64,
+}
+
+/// Typed load-shedding rejection: the engine declined to score a query
+/// rather than queue it without bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Overloaded {
+    /// The lane's admission queue was at capacity when the query arrived.
+    QueueFull {
+        /// Lane the query targeted.
+        lane: usize,
+    },
+    /// The query was admitted but its SLO deadline passed before a worker
+    /// reached it; it was dropped from the queue unscored.
+    DeadlineExceeded {
+        /// Lane the query waited in.
+        lane: usize,
+    },
+}
+
+impl Overloaded {
+    /// Lane the rejection applies to.
+    pub fn lane(&self) -> usize {
+        match *self {
+            Overloaded::QueueFull { lane } | Overloaded::DeadlineExceeded { lane } => lane,
+        }
+    }
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Overloaded::QueueFull { lane } => write!(f, "queue_full lane={lane}"),
+            Overloaded::DeadlineExceeded { lane } => write!(f, "deadline lane={lane}"),
+        }
+    }
+}
+
+/// What a ticket resolves to: a score, or a typed shed.
+pub type ScoreOutcome = Result<ScoreResult, Overloaded>;
+
+/// Size/latency bounds for batch formation.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Maximum queries per batch.
+    pub max_batch: usize,
+    /// Maximum time the oldest query waits for a batch to fill.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Admission-control knobs: lane count, per-lane capacity, SLO budget.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionPolicy {
+    /// Batch-formation bounds.
+    pub batch: BatchPolicy,
+    /// Priority lanes (lane 0 drains first). At least 1.
+    pub lanes: usize,
+    /// Bounded per-lane queue depth; a full lane sheds with
+    /// [`Overloaded::QueueFull`].
+    pub queue_cap: usize,
+    /// Per-query latency budget (submit → score). Admitted tickets carry
+    /// `submitted + slo` as their deadline.
+    pub slo: Duration,
+    /// Close a forming batch once the oldest ticket is within this margin
+    /// of its deadline, even if the batch is not full and `max_wait` has
+    /// not elapsed.
+    pub slo_margin: Duration,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        let slo = Duration::from_secs(5);
+        AdmissionPolicy {
+            batch: BatchPolicy::default(),
+            lanes: 2,
+            queue_cap: 4096,
+            slo,
+            slo_margin: slo / 4,
+        }
+    }
+}
+
+enum SlotState {
+    Waiting,
+    Done(ScoreOutcome),
+    /// The owning `Pending` was dropped without an outcome — a worker
+    /// panicked mid-batch or the engine was torn down around it. Waiters
+    /// panic with a diagnosis instead of blocking forever.
+    Abandoned,
+}
+
+struct Oneshot {
+    slot: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+/// Caller's handle to an in-flight query.
+pub struct ScoreTicket(Arc<Oneshot>);
+
+impl fmt::Debug for ScoreTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ScoreTicket(..)")
+    }
+}
+
+impl ScoreTicket {
+    /// Blocks until the query resolves: a score, or a typed shed
+    /// ([`Overloaded::DeadlineExceeded`] when it expired in the queue).
+    ///
+    /// # Panics
+    /// Panics if the query was abandoned (its worker died before resolving
+    /// it) — a loud failure beats an unbounded hang.
+    pub fn wait(self) -> ScoreOutcome {
+        let mut slot = self.0.slot.lock().expect("ticket lock poisoned");
+        loop {
+            match *slot {
+                SlotState::Done(r) => return r,
+                SlotState::Abandoned => {
+                    panic!("query abandoned: its scoring worker died before answering")
+                }
+                SlotState::Waiting => slot = self.0.cv.wait(slot).expect("ticket lock poisoned"),
+            }
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` when the query is still in flight.
+    /// Non-destructive: on timeout the ticket remains valid, so callers can
+    /// poll again or fall back to a blocking [`ScoreTicket::wait`].
+    ///
+    /// # Panics
+    /// Panics if the query was abandoned, as with [`ScoreTicket::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ScoreOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.0.slot.lock().expect("ticket lock poisoned");
+        loop {
+            match *slot {
+                SlotState::Done(r) => return Some(r),
+                SlotState::Abandoned => {
+                    panic!("query abandoned: its scoring worker died before answering")
+                }
+                SlotState::Waiting => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, _) = self
+                .0
+                .cv
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket lock poisoned");
+            slot = s;
+        }
+    }
+}
+
+/// A query waiting in (or drained from) the admission queue.
+pub struct Pending {
+    /// The question.
+    pub query: LinkQuery,
+    /// Submission time (latency accounting).
+    pub submitted: Instant,
+    /// SLO deadline (`submitted + slo`); workers use it for met/missed
+    /// accounting, the queue for expiry shedding.
+    pub deadline: Instant,
+    /// Priority lane the query was admitted to.
+    pub lane: usize,
+    ticket: Arc<Oneshot>,
+    fulfilled: bool,
+}
+
+impl Pending {
+    /// Delivers the score to the waiting caller.
+    pub fn fulfill(self, result: ScoreResult) {
+        self.resolve(Ok(result));
+    }
+
+    /// Delivers a typed shed to the waiting caller.
+    pub fn reject(self, why: Overloaded) {
+        self.resolve(Err(why));
+    }
+
+    fn resolve(mut self, outcome: ScoreOutcome) {
+        self.fulfilled = true;
+        let mut slot = self.ticket.slot.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = SlotState::Done(outcome);
+        drop(slot);
+        self.ticket.cv.notify_all();
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        // Dropped without an outcome (worker panic unwound the batch): wake
+        // the waiter with the abandonment marker so it cannot hang forever.
+        let mut slot = self.ticket.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if matches!(*slot, SlotState::Waiting) {
+            *slot = SlotState::Abandoned;
+        }
+        drop(slot);
+        self.ticket.cv.notify_all();
+    }
+}
+
+/// Point-in-time admission counters for one lane.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneAdmission {
+    /// Queries admitted into the lane.
+    pub admitted: u64,
+    /// Queries rejected at the door (lane at capacity).
+    pub shed_full: u64,
+    /// Admitted queries dropped unscored after their deadline passed.
+    pub shed_deadline: u64,
+}
+
+struct LaneCounters {
+    admitted: AtomicU64,
+    shed_full: AtomicU64,
+    shed_deadline: AtomicU64,
+}
+
+struct Shared {
+    lanes: Vec<VecDeque<Pending>>,
+    closed: bool,
+}
+
+/// MPMC admission queue: bounded priority lanes in, deadline-aware batches
+/// out.
+pub struct AdmissionQueue {
+    shared: Mutex<Shared>,
+    notify: Condvar,
+    policy: AdmissionPolicy,
+    counters: Vec<LaneCounters>,
+}
+
+impl AdmissionQueue {
+    /// An open queue under `policy`.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        assert!(policy.batch.max_batch >= 1, "max_batch must be positive");
+        assert!(policy.lanes >= 1, "need at least one lane");
+        assert!(policy.queue_cap >= 1, "queue_cap must be positive");
+        AdmissionQueue {
+            shared: Mutex::new(Shared {
+                lanes: (0..policy.lanes).map(|_| VecDeque::new()).collect(),
+                closed: false,
+            }),
+            notify: Condvar::new(),
+            policy,
+            counters: (0..policy.lanes)
+                .map(|_| LaneCounters {
+                    admitted: AtomicU64::new(0),
+                    shed_full: AtomicU64::new(0),
+                    shed_deadline: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Tries to admit a query into `lane` (clamped to the configured lane
+    /// count). Returns the caller's ticket, or sheds immediately when the
+    /// lane is at capacity.
+    ///
+    /// # Panics
+    /// Panics if the queue is closed (the engine owns its lifecycle).
+    pub fn submit(&self, query: LinkQuery, lane: usize) -> Result<ScoreTicket, Overloaded> {
+        let lane = lane.min(self.policy.lanes - 1);
+        let mut q = self.shared.lock().expect("admission lock poisoned");
+        assert!(!q.closed, "submit on a closed admission queue");
+        if q.lanes[lane].len() >= self.policy.queue_cap {
+            self.counters[lane]
+                .shed_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Overloaded::QueueFull { lane });
+        }
+        let submitted = Instant::now();
+        let ticket = Arc::new(Oneshot {
+            slot: Mutex::new(SlotState::Waiting),
+            cv: Condvar::new(),
+        });
+        q.lanes[lane].push_back(Pending {
+            query,
+            submitted,
+            deadline: submitted + self.policy.slo,
+            lane,
+            ticket: ticket.clone(),
+            fulfilled: false,
+        });
+        self.counters[lane].admitted.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.notify.notify_one();
+        Ok(ScoreTicket(ticket))
+    }
+
+    /// Queries currently waiting across all lanes.
+    pub fn backlog(&self) -> usize {
+        self.shared
+            .lock()
+            .expect("admission lock poisoned")
+            .lanes
+            .iter()
+            .map(VecDeque::len)
+            .sum()
+    }
+
+    /// Per-lane admission counters (admitted / shed at door / shed expired).
+    pub fn lane_admission(&self) -> Vec<LaneAdmission> {
+        self.counters
+            .iter()
+            .map(|c| LaneAdmission {
+                admitted: c.admitted.load(Ordering::Relaxed),
+                shed_full: c.shed_full.load(Ordering::Relaxed),
+                shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Drops every queued ticket whose deadline has passed, resolving each
+    /// with [`Overloaded::DeadlineExceeded`]. Lanes are FIFO with a uniform
+    /// SLO, so expired tickets are always a prefix of each lane.
+    fn shed_expired(&self, q: &mut Shared, now: Instant) {
+        for (lane_no, lane) in q.lanes.iter_mut().enumerate() {
+            while lane.front().is_some_and(|p| p.deadline <= now) {
+                let p = lane.pop_front().expect("checked nonempty");
+                self.counters[lane_no]
+                    .shed_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                p.reject(Overloaded::DeadlineExceeded { lane: lane_no });
+            }
+        }
+    }
+
+    /// Earliest instant at which the forming batch must close: per lane
+    /// front (its oldest ticket), the sooner of `submitted + max_wait` and
+    /// `deadline - slo_margin`, minimized across lanes.
+    fn close_deadline(&self, q: &Shared) -> Instant {
+        let mut at: Option<Instant> = None;
+        for lane in &q.lanes {
+            if let Some(p) = lane.front() {
+                let by_wait = p.submitted + self.policy.batch.max_wait;
+                let by_slo = p
+                    .deadline
+                    .checked_sub(self.policy.slo_margin)
+                    .unwrap_or(p.submitted);
+                let close = by_wait.min(by_slo);
+                at = Some(at.map_or(close, |a| a.min(close)));
+            }
+        }
+        at.expect("close_deadline on an empty queue")
+    }
+
+    /// Blocks for the next batch: returns as soon as `max_batch` queries
+    /// are waiting, `max_wait` after the oldest arrived, or when the oldest
+    /// nears its SLO deadline — whichever is earliest. Higher-priority
+    /// lanes drain first (FIFO within a lane). Expired tickets are shed
+    /// (never returned). Returns `None` only when the queue is closed *and*
+    /// drained — workers use that as their exit signal.
+    pub fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut q = self.shared.lock().expect("admission lock poisoned");
+        loop {
+            self.shed_expired(&mut q, Instant::now());
+            let total: usize = q.lanes.iter().map(VecDeque::len).sum();
+            if total == 0 {
+                if q.closed {
+                    return None;
+                }
+                q = self.notify.wait(q).expect("admission lock poisoned");
+                continue;
+            }
+            if total >= self.policy.batch.max_batch || q.closed {
+                break;
+            }
+            let close_at = self.close_deadline(&q);
+            let now = Instant::now();
+            if now >= close_at {
+                break;
+            }
+            let (guard, _) = self
+                .notify
+                .wait_timeout(q, close_at - now)
+                .expect("admission lock poisoned");
+            q = guard;
+        }
+        let mut batch = Vec::new();
+        'drain: for lane in q.lanes.iter_mut() {
+            while let Some(p) = lane.pop_front() {
+                batch.push(p);
+                if batch.len() == self.policy.batch.max_batch {
+                    break 'drain;
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    /// Closes the queue: wakes every waiter; `next_batch` drains what is
+    /// queued and then reports `None`.
+    pub fn close(&self) {
+        self.shared.lock().expect("admission lock poisoned").closed = true;
+        self.notify.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: u32) -> LinkQuery {
+        LinkQuery {
+            src,
+            dst: 100,
+            t: 1.0,
+        }
+    }
+
+    fn policy(max_batch: usize, max_wait: Duration) -> AdmissionPolicy {
+        AdmissionPolicy {
+            batch: BatchPolicy {
+                max_batch,
+                max_wait,
+            },
+            ..AdmissionPolicy::default()
+        }
+    }
+
+    #[test]
+    fn full_batch_returns_without_waiting_out_the_clock() {
+        let b = AdmissionQueue::new(policy(4, Duration::from_secs(60)));
+        for i in 0..4 {
+            b.submit(q(i), 0).unwrap();
+        }
+        let start = Instant::now();
+        let batch = b.next_batch().unwrap();
+        assert_eq!(batch.len(), 4);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a full batch must not linger"
+        );
+        assert_eq!(batch[0].query.src, 0, "FIFO order");
+    }
+
+    #[test]
+    fn partial_batch_released_by_latency_bound() {
+        let b = AdmissionQueue::new(policy(1000, Duration::from_millis(20)));
+        b.submit(q(7), 0).unwrap();
+        let batch = b.next_batch().unwrap();
+        assert_eq!(batch.len(), 1, "latency bound must release the batch");
+    }
+
+    #[test]
+    fn deadline_close_preempts_max_wait() {
+        // max_wait is an hour, but the single ticket's SLO budget is 90ms
+        // with a 50ms margin: the batch must close ~40ms after submission.
+        let b = AdmissionQueue::new(AdmissionPolicy {
+            batch: BatchPolicy {
+                max_batch: 1000,
+                max_wait: Duration::from_secs(3600),
+            },
+            slo: Duration::from_millis(90),
+            slo_margin: Duration::from_millis(50),
+            ..AdmissionPolicy::default()
+        });
+        let t = b.submit(q(1), 0).unwrap();
+        let start = Instant::now();
+        let batch = b.next_batch().unwrap();
+        let waited = start.elapsed();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            waited < Duration::from_secs(30),
+            "SLO margin must close the batch long before max_wait ({waited:?})"
+        );
+        assert!(
+            waited >= Duration::from_millis(20),
+            "the batch should linger up to deadline - margin ({waited:?})"
+        );
+        batch.into_iter().next().unwrap().fulfill(ScoreResult {
+            prob: 0.5,
+            generation: 0,
+        });
+        assert!(t.wait().is_ok());
+    }
+
+    #[test]
+    fn queue_cap_rejects_per_lane_and_high_lane_still_admits() {
+        let b = AdmissionQueue::new(AdmissionPolicy {
+            lanes: 2,
+            queue_cap: 2,
+            ..policy(1000, Duration::from_secs(60))
+        });
+        // fill the low-priority lane to its cap
+        b.submit(q(10), 1).unwrap();
+        b.submit(q(11), 1).unwrap();
+        assert_eq!(
+            b.submit(q(12), 1).unwrap_err(),
+            Overloaded::QueueFull { lane: 1 },
+            "third low-lane submit must shed"
+        );
+        // the high-priority lane has its own budget
+        b.submit(q(0), 0).unwrap();
+        let counters = b.lane_admission();
+        assert_eq!(counters[0].admitted, 1);
+        assert_eq!(counters[0].shed_full, 0);
+        assert_eq!(counters[1].admitted, 2);
+        assert_eq!(counters[1].shed_full, 1);
+        // priority order: lane 0 drains before lane 1 despite arriving last
+        let batch = b.next_batch().unwrap();
+        let srcs: Vec<u32> = batch.iter().map(|p| p.query.src).collect();
+        assert_eq!(srcs, vec![0, 10, 11], "lane 0 first, then lane 1 FIFO");
+    }
+
+    #[test]
+    fn lane_out_of_range_clamps_to_last() {
+        let b = AdmissionQueue::new(AdmissionPolicy {
+            lanes: 2,
+            ..policy(10, Duration::from_millis(1))
+        });
+        b.submit(q(1), 99).unwrap();
+        assert_eq!(b.lane_admission()[1].admitted, 1);
+    }
+
+    #[test]
+    fn expired_tickets_are_shed_with_typed_outcome() {
+        let b = AdmissionQueue::new(AdmissionPolicy {
+            slo: Duration::ZERO, // every ticket is born expired
+            ..policy(10, Duration::from_millis(1))
+        });
+        let t = b.submit(q(1), 0).unwrap();
+        b.close();
+        // the drain sheds the expired ticket and then reports exhaustion
+        assert!(b.next_batch().is_none());
+        assert_eq!(t.wait(), Err(Overloaded::DeadlineExceeded { lane: 0 }));
+        assert_eq!(b.lane_admission()[0].shed_deadline, 1);
+    }
+
+    #[test]
+    fn oversized_backlog_splits_into_batches() {
+        let b = AdmissionQueue::new(policy(3, Duration::from_millis(1)));
+        for i in 0..7 {
+            b.submit(q(i), 0).unwrap();
+        }
+        let sizes: Vec<usize> = (0..3).map(|_| b.next_batch().unwrap().len()).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn tickets_deliver_across_threads() {
+        let b = Arc::new(AdmissionQueue::new(AdmissionPolicy::default()));
+        let worker = {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                let batch = b.next_batch().unwrap();
+                for (i, p) in batch.into_iter().enumerate() {
+                    p.fulfill(ScoreResult {
+                        prob: 0.25 + i as f32,
+                        generation: 9,
+                    });
+                }
+            })
+        };
+        let t1 = b.submit(q(1), 0).unwrap();
+        let t2 = b.submit(q(2), 0).unwrap();
+        let r1 = t1.wait().expect("scored");
+        let r2 = t2
+            .wait_timeout(Duration::from_secs(10))
+            .expect("fulfilled")
+            .expect("scored");
+        assert_eq!(r1.generation, 9);
+        assert!(r2.prob > r1.prob, "FIFO fulfillment order");
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let b = AdmissionQueue::new(policy(10, Duration::from_millis(1)));
+        b.submit(q(1), 0).unwrap();
+        b.close();
+        assert_eq!(b.next_batch().unwrap().len(), 1);
+        assert!(b.next_batch().is_none(), "closed + drained = exit signal");
+        assert_eq!(b.backlog(), 0);
+    }
+
+    #[test]
+    fn wait_timeout_expires_on_unfulfilled_ticket() {
+        let b = AdmissionQueue::new(AdmissionPolicy::default());
+        let t = b.submit(q(1), 0).unwrap();
+        assert!(t.wait_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn wait_timeout_is_retryable_then_resolves() {
+        let b = Arc::new(AdmissionQueue::new(policy(1, Duration::from_millis(1))));
+        let t = b.submit(q(1), 0).unwrap();
+        assert!(t.wait_timeout(Duration::from_millis(5)).is_none());
+        let worker = {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                for p in b.next_batch().unwrap() {
+                    p.fulfill(ScoreResult {
+                        prob: 0.5,
+                        generation: 1,
+                    });
+                }
+            })
+        };
+        // the timed-out ticket is still live and eventually resolves
+        assert_eq!(t.wait().expect("scored").generation, 1);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "abandoned")]
+    fn dropped_batch_panics_waiters_instead_of_hanging() {
+        let b = AdmissionQueue::new(policy(4, Duration::from_millis(1)));
+        let t = b.submit(q(1), 0).unwrap();
+        // simulate a worker that drained the batch and then died
+        drop(b.next_batch());
+        let _ = t.wait();
+    }
+}

@@ -1,25 +1,33 @@
-//! The serving engine: snapshot store + micro-batcher + worker pool.
+//! The serving engine: snapshot store + admission control + worker pool.
 //!
 //! One [`ServeEngine`] owns the whole online subsystem. Callers on any
 //! thread [`ServeEngine::submit`] link queries and [`ServeEngine::ingest`]
 //! streaming events concurrently; `workers` scoring threads drain the
-//! batcher, pin the latest published snapshot for the duration of a batch,
-//! and run the frozen pipeline. Shutdown is graceful: dropping the engine
-//! closes the batcher, lets the workers drain what is queued, and joins
-//! them.
+//! admission queue in deadline-aware batches, pin the latest published
+//! snapshot for the duration of a batch, and run the frozen pipeline.
+//! The front end is admission-controlled: per-priority lanes are bounded,
+//! and under overload queries are shed with a typed
+//! [`Overloaded`] outcome instead of queueing
+//! without bound. Shutdown is graceful: dropping the engine closes the
+//! queue, lets the workers drain what is admitted, and joins them.
 
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use taser_graph::events::{Event, EventLog};
 use taser_models::artifact::ModelArtifact;
 use taser_sample::SamplePolicy;
 
-use crate::batcher::{BatchPolicy, LinkQuery, MicroBatcher, ScoreResult, ScoreTicket};
+use crate::admission::{
+    AdmissionPolicy, AdmissionQueue, BatchPolicy, LinkQuery, Overloaded, ScoreOutcome, ScoreResult,
+    ScoreTicket,
+};
 use crate::features::ServeFeatureCache;
 use crate::pipeline::{ScorePath, ScorePipeline, ScoreScratch};
 use crate::snapshot::{IndexBackend, SnapshotStore};
-use crate::stats::{LatencyHistogram, ServeStats};
+use crate::stats::{LaneStats, LatencyHistogram, ServeStats};
 
 /// Engine construction knobs.
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +36,16 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Micro-batch bounds.
     pub batch: BatchPolicy,
+    /// Per-query latency budget (submit → score). Queries that would blow
+    /// it are shed instead of queued; batches close early as the oldest
+    /// ticket approaches it.
+    pub slo: Duration,
+    /// Deadline-close margin; `None` derives `slo / 4`.
+    pub slo_margin: Option<Duration>,
+    /// Bounded per-lane admission queue depth (overload sheds beyond it).
+    pub queue_cap: usize,
+    /// Priority lanes (lane 0 drains first).
+    pub lanes: usize,
     /// Ingests between automatic snapshot publishes (0 = manual only).
     pub publish_every: usize,
     /// Cached fraction of the edge-feature table (Algorithm 3 as a serving
@@ -51,6 +69,13 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 2,
             batch: BatchPolicy::default(),
+            // generous default: admission control only bites when an
+            // operator dials in a real budget (closed-loop callers and the
+            // test suite keep their pre-admission behavior)
+            slo: Duration::from_secs(5),
+            slo_margin: None,
+            queue_cap: 4096,
+            lanes: 2,
             publish_every: 256,
             cache_ratio: 0.2,
             cache_epsilon: 0.7,
@@ -62,21 +87,51 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    fn admission_policy(&self) -> AdmissionPolicy {
+        AdmissionPolicy {
+            batch: self.batch,
+            lanes: self.lanes.max(1),
+            queue_cap: self.queue_cap.max(1),
+            slo: self.slo,
+            slo_margin: self.slo_margin.unwrap_or(self.slo / 4),
+        }
+    }
+}
+
+/// Per-lane latency + SLO accounting, one per worker per lane (merged on
+/// read, so recording never contends across workers).
 #[derive(Default)]
-struct EngineMetrics {
-    queries: u64,
+struct LaneLatency {
+    hist: LatencyHistogram,
+    slo_met: u64,
+    slo_missed: u64,
+}
+
+struct WorkerMetrics {
     batches: u64,
-    ingests: u64,
-    latency: LatencyHistogram,
+    queries: u64,
+    lanes: Vec<LaneLatency>,
+}
+
+impl WorkerMetrics {
+    fn new(lanes: usize) -> Self {
+        WorkerMetrics {
+            batches: 0,
+            queries: 0,
+            lanes: (0..lanes).map(|_| LaneLatency::default()).collect(),
+        }
+    }
 }
 
 /// The online inference engine.
 pub struct ServeEngine {
     snapshots: Arc<SnapshotStore>,
-    batcher: Arc<MicroBatcher>,
+    admission: Arc<AdmissionQueue>,
     pipeline: Arc<ScorePipeline>,
     features: Arc<ServeFeatureCache>,
-    metrics: Arc<Mutex<EngineMetrics>>,
+    worker_metrics: Arc<Vec<Mutex<WorkerMetrics>>>,
+    ingests: AtomicU64,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -105,26 +160,38 @@ impl ServeEngine {
             cfg.publish_every,
             cfg.index_backend,
         ));
-        let batcher = Arc::new(MicroBatcher::new(cfg.batch));
-        let metrics = Arc::new(Mutex::new(EngineMetrics::default()));
+        let policy = cfg.admission_policy();
+        let admission = Arc::new(AdmissionQueue::new(policy));
+        let worker_metrics = Arc::new(
+            (0..cfg.workers)
+                .map(|_| Mutex::new(WorkerMetrics::new(policy.lanes)))
+                .collect::<Vec<_>>(),
+        );
         let workers = (0..cfg.workers)
-            .map(|_| {
+            .map(|id| {
                 let snapshots = snapshots.clone();
-                let batcher = batcher.clone();
+                let admission = admission.clone();
                 let pipeline = pipeline.clone();
                 let features = features.clone();
-                let metrics = metrics.clone();
+                let worker_metrics = worker_metrics.clone();
                 std::thread::spawn(move || {
-                    worker_loop(&snapshots, &batcher, &pipeline, &features, &metrics)
+                    worker_loop(
+                        &snapshots,
+                        &admission,
+                        &pipeline,
+                        &features,
+                        &worker_metrics[id],
+                    )
                 })
             })
             .collect();
         Ok(ServeEngine {
             snapshots,
-            batcher,
+            admission,
             pipeline,
             features,
-            metrics,
+            worker_metrics,
+            ingests: AtomicU64::new(0),
             workers,
         })
     }
@@ -134,11 +201,16 @@ impl ServeEngine {
         &self.pipeline
     }
 
+    /// The active admission policy (lanes, caps, SLO).
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.admission.policy()
+    }
+
     /// Appends a streaming interaction; visible to scoring after the next
     /// publish (automatic every `publish_every` ingests).
     pub fn ingest(&self, src: u32, dst: u32, t: f64) -> Result<Event, String> {
         let e = self.snapshots.ingest(src, dst, t)?;
-        self.metrics.lock().expect("metrics lock poisoned").ingests += 1;
+        self.ingests.fetch_add(1, Ordering::Relaxed);
         Ok(e)
     }
 
@@ -152,36 +224,94 @@ impl ServeEngine {
         self.snapshots.generation()
     }
 
-    /// Enqueues a link query; the ticket resolves to a probability plus the
-    /// generation that scored it.
-    pub fn submit(&self, src: u32, dst: u32, t: f64) -> ScoreTicket {
-        self.batcher.submit(LinkQuery { src, dst, t })
+    /// Tries to admit a link query into the highest-priority lane; the
+    /// ticket resolves to a probability plus the generation that scored it,
+    /// or a typed shed. A full lane rejects immediately with
+    /// [`Overloaded::QueueFull`] — backpressure, not unbounded queueing.
+    pub fn submit(&self, src: u32, dst: u32, t: f64) -> Result<ScoreTicket, Overloaded> {
+        self.submit_lane(src, dst, t, 0)
     }
 
-    /// Convenience: submit and block for the score.
-    pub fn score(&self, src: u32, dst: u32, t: f64) -> ScoreResult {
-        self.submit(src, dst, t).wait()
+    /// [`ServeEngine::submit`] into an explicit priority lane (clamped to
+    /// the configured lane count; lane 0 drains first).
+    pub fn submit_lane(
+        &self,
+        src: u32,
+        dst: u32,
+        t: f64,
+        lane: usize,
+    ) -> Result<ScoreTicket, Overloaded> {
+        self.admission.submit(LinkQuery { src, dst, t }, lane)
     }
 
-    /// Point-in-time engine counters.
+    /// Convenience: submit into lane 0 and block for the outcome.
+    pub fn score(&self, src: u32, dst: u32, t: f64) -> ScoreOutcome {
+        self.score_lane(src, dst, t, 0)
+    }
+
+    /// Convenience: submit into `lane` and block for the outcome.
+    pub fn score_lane(&self, src: u32, dst: u32, t: f64, lane: usize) -> ScoreOutcome {
+        match self.submit_lane(src, dst, t, lane) {
+            Ok(ticket) => ticket.wait(),
+            Err(shed) => Err(shed),
+        }
+    }
+
+    /// Point-in-time engine counters: global + per-lane latency quantiles
+    /// (merged across the per-worker histograms), admission/shed counters,
+    /// SLO attainment, cache tiers.
     pub fn stats(&self) -> ServeStats {
-        let m = self.metrics.lock().expect("metrics lock poisoned");
+        let policy = self.admission.policy();
+        let mut batches = 0u64;
+        let mut queries = 0u64;
+        let mut lane_hists: Vec<LatencyHistogram> = (0..policy.lanes)
+            .map(|_| LatencyHistogram::default())
+            .collect();
+        let mut lane_met = vec![0u64; policy.lanes];
+        let mut lane_missed = vec![0u64; policy.lanes];
+        for m in self.worker_metrics.iter() {
+            let m = m.lock().expect("metrics lock poisoned");
+            batches += m.batches;
+            queries += m.queries;
+            for (lane, l) in m.lanes.iter().enumerate() {
+                lane_hists[lane].merge(&l.hist);
+                lane_met[lane] += l.slo_met;
+                lane_missed[lane] += l.slo_missed;
+            }
+        }
+        let mut global = LatencyHistogram::default();
+        for h in &lane_hists {
+            global.merge(h);
+        }
+        let admission = self.admission.lane_admission();
+        let lanes: Vec<LaneStats> = admission
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| LaneStats::from_parts(i, a, &lane_hists[i], lane_met[i], lane_missed[i]))
+            .collect();
         let cache = self.features.stats();
         ServeStats {
-            queries: m.queries,
-            batches: m.batches,
-            ingests: m.ingests,
+            queries,
+            batches,
+            ingests: self.ingests.load(Ordering::Relaxed),
             generation: self.snapshots.generation(),
             graph_events: self.snapshots.num_events() as u64,
-            mean_batch: if m.batches == 0 {
+            mean_batch: if batches == 0 {
                 0.0
             } else {
-                m.queries as f64 / m.batches as f64
+                queries as f64 / batches as f64
             },
-            p50_us: m.latency.quantile_us(0.5),
-            p99_us: m.latency.quantile_us(0.99),
-            mean_us: m.latency.mean_us(),
-            max_us: m.latency.max_us(),
+            p50_us: global.quantile_us(0.5),
+            p99_us: global.quantile_us(0.99),
+            p999_us: global.quantile_us(0.999),
+            mean_us: global.mean_us(),
+            max_us: global.max_us(),
+            admitted: lanes.iter().map(|l| l.admitted).sum(),
+            shed_full: lanes.iter().map(|l| l.shed_full).sum(),
+            shed_deadline: lanes.iter().map(|l| l.shed_deadline).sum(),
+            slo_met: lane_met.iter().sum(),
+            slo_missed: lane_missed.iter().sum(),
+            lanes,
             cache,
         }
     }
@@ -189,7 +319,7 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
-        self.batcher.close();
+        self.admission.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -198,10 +328,10 @@ impl Drop for ServeEngine {
 
 fn worker_loop(
     snapshots: &SnapshotStore,
-    batcher: &MicroBatcher,
+    admission: &AdmissionQueue,
     pipeline: &ScorePipeline,
     features: &ServeFeatureCache,
-    metrics: &Mutex<EngineMetrics>,
+    metrics: &Mutex<WorkerMetrics>,
 ) {
     // Per-worker reusable state: the fast path's arena + assembly buffers
     // plus the query/probability staging vectors. After warmup the scoring
@@ -209,7 +339,10 @@ fn worker_loop(
     let mut scratch = ScoreScratch::new();
     let mut queries: Vec<LinkQuery> = Vec::new();
     let mut probs: Vec<f32> = Vec::new();
-    while let Some(batch) = batcher.next_batch() {
+    while let Some(batch) = admission.next_batch() {
+        if batch.is_empty() {
+            continue;
+        }
         let snap = snapshots.snapshot();
         queries.clear();
         queries.extend(batch.iter().map(|p| p.query));
@@ -234,13 +367,20 @@ fn worker_loop(
                 ));
             }
         }
-        let done = std::time::Instant::now();
+        let done = Instant::now();
         {
+            // this worker's own shard: no cross-worker contention
             let mut m = metrics.lock().expect("metrics lock poisoned");
             m.batches += 1;
             m.queries += batch.len() as u64;
             for p in &batch {
-                m.latency.record(done.duration_since(p.submitted));
+                let lane = &mut m.lanes[p.lane];
+                lane.hist.record(done.duration_since(p.submitted));
+                if done <= p.deadline {
+                    lane.slo_met += 1;
+                } else {
+                    lane.slo_missed += 1;
+                }
             }
         }
         for (pending, &prob) in batch.into_iter().zip(probs.iter()) {
@@ -309,30 +449,97 @@ mod tests {
     fn scores_resolve_with_probabilities() {
         let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
         let tickets: Vec<_> = (0..20)
-            .map(|i| engine.submit(i % 6, 6 + (i % 6), 40.0))
+            .map(|i| engine.submit(i % 6, 6 + (i % 6), 40.0).expect("admitted"))
             .collect();
         for t in tickets {
-            let r = t.wait();
+            let r = t.wait().expect("scored");
             assert!(r.prob > 0.0 && r.prob < 1.0, "{}", r.prob);
             assert_eq!(r.generation, 0);
         }
         let stats = engine.stats();
         assert_eq!(stats.queries, 20);
+        assert_eq!(stats.admitted, 20);
+        assert_eq!(stats.shed(), 0);
+        assert_eq!(stats.slo_met, 20, "5s SLO is never missed here");
         assert!(stats.batches >= 3, "max_batch=8 forces >= 3 batches");
         assert!(stats.p99_us >= stats.p50_us);
+        assert!(stats.p999_us >= stats.p99_us);
+        assert_eq!(stats.lanes.len(), 2);
+        assert_eq!(stats.lanes[0].admitted, 20);
+        assert_eq!(stats.lanes[1].admitted, 0);
+    }
+
+    #[test]
+    fn lanes_track_their_own_stats() {
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        for i in 0..6u32 {
+            engine
+                .score_lane(i % 6, 6 + (i % 6), 40.0, (i % 2) as usize)
+                .expect("admitted");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.lanes[0].admitted, 3);
+        assert_eq!(stats.lanes[1].admitted, 3);
+        assert_eq!(stats.lanes[0].scored, 3);
+        assert_eq!(stats.lanes[1].scored, 3);
+        assert_eq!(stats.slo_met, 6);
+    }
+
+    #[test]
+    fn full_lane_sheds_with_typed_overload() {
+        // one worker held busy forming a huge batch: with max_wait large
+        // and max_batch unreachable, admitted queries sit in the lane until
+        // the SLO margin closes the batch — so a tiny queue_cap sheds
+        // deterministically.
+        let engine = ServeEngine::new(
+            tiny_artifact(),
+            seed_log(),
+            ServeConfig {
+                workers: 1,
+                batch: BatchPolicy {
+                    max_batch: 1024,
+                    max_wait: Duration::from_secs(60),
+                },
+                slo: Duration::from_secs(2),
+                slo_margin: Some(Duration::from_millis(1900)),
+                queue_cap: 4,
+                lanes: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut admitted = Vec::new();
+        let mut shed = 0usize;
+        for i in 0..20u32 {
+            match engine.submit(i % 6, 6 + (i % 6), 40.0) {
+                Ok(t) => admitted.push(t),
+                Err(o) => {
+                    assert_eq!(o, Overloaded::QueueFull { lane: 0 });
+                    shed += 1;
+                }
+            }
+        }
+        assert!(shed >= 1, "queue_cap=4 must shed some of 20 rapid submits");
+        assert!(!admitted.is_empty());
+        for t in admitted {
+            assert!(t.wait().is_ok(), "admitted queries still score");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.shed_full as usize, shed);
+        assert_eq!(stats.admitted + stats.shed_full, 20);
     }
 
     #[test]
     fn ingest_then_publish_advances_generation() {
         let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
-        let before = engine.score(0, 7, 50.0);
+        let before = engine.score(0, 7, 50.0).expect("admitted");
         assert_eq!(before.generation, 0);
         for i in 0..10 {
             engine.ingest(0, 7, 31.0 + i as f64).unwrap();
         }
         let generation = engine.publish();
         assert_eq!(generation, 1);
-        let after = engine.score(0, 7, 50.0);
+        let after = engine.score(0, 7, 50.0).expect("admitted");
         assert_eq!(after.generation, 1);
         assert_eq!(engine.stats().ingests, 10);
         // 10 fresh (0,7) interactions should move the score; at minimum the
@@ -343,13 +550,17 @@ mod tests {
     #[test]
     fn identical_queries_same_generation_are_deterministic() {
         let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
-        let a = engine.score(2, 8, 40.0);
+        let a = engine.score(2, 8, 40.0).expect("admitted");
         let tickets: Vec<_> = (0..10u32)
-            .map(|i| engine.submit(i % 6, 6 + (i % 6), 40.0 + f64::from(i) * 0.01))
+            .map(|i| {
+                engine
+                    .submit(i % 6, 6 + (i % 6), 40.0 + f64::from(i) * 0.01)
+                    .expect("admitted")
+            })
             .collect();
-        let b = engine.score(2, 8, 40.0);
+        let b = engine.score(2, 8, 40.0).expect("admitted");
         for t in tickets {
-            t.wait();
+            t.wait().expect("scored");
         }
         assert_eq!(a.generation, b.generation);
         assert_eq!(a.prob.to_bits(), b.prob.to_bits());
@@ -359,7 +570,7 @@ mod tests {
     fn rejects_bad_ingest_but_keeps_serving() {
         let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
         assert!(engine.ingest(0, 1, 5.0).is_err(), "t precedes the seed log");
-        let r = engine.score(1, 7, 40.0);
+        let r = engine.score(1, 7, 40.0).expect("admitted");
         assert!(r.prob > 0.0 && r.prob < 1.0);
     }
 
@@ -382,8 +593,8 @@ mod tests {
         let rebuild = mk(IndexBackend::Rebuild);
         let incremental = mk(IndexBackend::Incremental);
         for (src, dst) in [(0, 7), (2, 9), (5, 6)] {
-            let a = rebuild.score(src, dst, 50.0);
-            let b = incremental.score(src, dst, 50.0);
+            let a = rebuild.score(src, dst, 50.0).expect("admitted");
+            let b = incremental.score(src, dst, 50.0).expect("admitted");
             assert_eq!(a.generation, b.generation);
             assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "({src},{dst})");
         }
@@ -393,15 +604,15 @@ mod tests {
             incremental.ingest(0, 7, 31.0 + i as f64).unwrap();
         }
         assert_eq!(rebuild.publish(), incremental.publish());
-        let a = rebuild.score(0, 7, 60.0);
-        let b = incremental.score(0, 7, 60.0);
+        let a = rebuild.score(0, 7, 60.0).expect("admitted");
+        let b = incremental.score(0, 7, 60.0).expect("admitted");
         assert_eq!(a.prob.to_bits(), b.prob.to_bits());
     }
 
     #[test]
     fn drop_joins_workers_cleanly() {
         let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
-        let t = engine.submit(0, 6, 40.0);
+        let t = engine.submit(0, 6, 40.0).expect("admitted");
         drop(engine); // close → drain → join
         assert!(
             t.wait_timeout(Duration::from_secs(30)).is_some(),

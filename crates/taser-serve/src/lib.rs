@@ -12,9 +12,12 @@
 //!    temporal index while one ingest path appends and republishes. The
 //!    index backend is switchable ([`IndexBackend`]): an O(E)-per-publish
 //!    `TCsr` rebuild, or the O(Δ) incremental `taser-index` `IncTcsr`.
-//! 2. **Micro-batching** ([`batcher`]) — bounded-size / bounded-latency
-//!    query batches, amortizing the block-centric finder launch and the
-//!    `[B, dim]` encoder forward exactly like training mini-batches.
+//! 2. **Admission control** ([`admission`]) — bounded per-priority lanes
+//!    with typed [`Overloaded`] load shedding, SLO deadlines, and
+//!    deadline-aware micro-batch formation (bounded-size /
+//!    bounded-latency / bounded-SLO-slack), amortizing the block-centric
+//!    finder launch and the `[B, dim]` encoder forward exactly like
+//!    training mini-batches while degrading gracefully under overload.
 //! 3. **Scoring pipeline** ([`pipeline`]) — finder → feature gather through
 //!    the dynamic cache ([`features`], Algorithm 3 repurposed with
 //!    request-count epochs) → frozen TGAT/GraphMixer encoder →
@@ -34,11 +37,11 @@
 //! let engine = ServeEngine::new(artifact, EventLog::default(), ServeConfig::default()).unwrap();
 //! engine.ingest(0, 1, 10.0).unwrap();
 //! engine.publish();
-//! let score = engine.score(0, 1, 11.0);
+//! let score = engine.score(0, 1, 11.0).expect("admitted within SLO");
 //! println!("p = {:.4} (snapshot generation {})", score.prob, score.generation);
 //! ```
 
-pub mod batcher;
+pub mod admission;
 pub mod engine;
 pub mod features;
 pub mod pipeline;
@@ -46,9 +49,12 @@ pub mod protocol;
 pub mod snapshot;
 pub mod stats;
 
-pub use batcher::{BatchPolicy, LinkQuery, MicroBatcher, ScoreResult, ScoreTicket};
+pub use admission::{
+    AdmissionPolicy, AdmissionQueue, BatchPolicy, LaneAdmission, LinkQuery, Overloaded,
+    ScoreOutcome, ScoreResult, ScoreTicket,
+};
 pub use engine::{ServeConfig, ServeEngine};
 pub use features::{FeatureCacheStats, ServeFeatureCache};
 pub use pipeline::{ScorePath, ScorePipeline, ScoreScratch};
 pub use snapshot::{GraphSnapshot, IndexBackend, SnapshotStore};
-pub use stats::{LatencyHistogram, ServeStats};
+pub use stats::{LaneStats, LatencyHistogram, ServeStats};

@@ -6,7 +6,8 @@
 //!
 //! taser-serve run --artifact model.taser [--events events.txt]
 //!     [--tcp 127.0.0.1:7171] [--workers 2] [--max-batch 64]
-//!     [--max-wait-ms 2] [--publish-every 256] [--cache-ratio 0.2]
+//!     [--max-wait-ms 2] [--slo-us 5000000] [--queue-cap 4096] [--lanes 2]
+//!     [--publish-every 256] [--cache-ratio 0.2]
 //!     [--index-backend rebuild|incremental]
 //! ```
 //!
@@ -47,7 +48,8 @@ fn usage() -> ! {
         "usage:\n  taser-serve train --out <path> [--events-out <path>] \
          [--backbone graphmixer|tgat] [--scale f] [--epochs n] [--seed n]\n  \
          taser-serve run --artifact <path> [--events <path>] [--tcp addr] \
-         [--workers n] [--max-batch n] [--max-wait-ms f] [--publish-every n] \
+         [--workers n] [--max-batch n] [--max-wait-ms f] [--slo-us n] \
+         [--queue-cap n] [--lanes n] [--publish-every n] \
          [--cache-ratio f] [--index-backend rebuild|incremental]"
     );
     std::process::exit(2);
@@ -181,6 +183,9 @@ fn run(args: &[String]) {
             max_batch: parsed(args, "--max-batch", 64usize).max(1),
             max_wait: Duration::from_secs_f64(parsed(args, "--max-wait-ms", 2.0f64).max(0.0) / 1e3),
         },
+        slo: Duration::from_micros(parsed(args, "--slo-us", 5_000_000u64).max(1)),
+        queue_cap: parsed(args, "--queue-cap", 4096usize).max(1),
+        lanes: parsed(args, "--lanes", 2usize).max(1),
         publish_every: parsed(args, "--publish-every", 256usize),
         cache_ratio: parsed(args, "--cache-ratio", 0.2f64),
         index_backend,
@@ -196,6 +201,11 @@ fn run(args: &[String]) {
         cfg.index_backend.name(),
     );
     let engine = ServeEngine::new(artifact, seed_log, cfg).expect("boot engine");
+    let admission = engine.admission_policy();
+    eprintln!(
+        "admission: slo {:?} (margin {:?}), {} lanes x {} cap",
+        admission.slo, admission.slo_margin, admission.lanes, admission.queue_cap,
+    );
     // Asserted by the CI serve-smoke job: serving must select the
     // zero-allocation packed-weight forward unless TASER_SCORE_PATH=tape.
     eprintln!("scoring path: {}", engine.pipeline().score_path().name());

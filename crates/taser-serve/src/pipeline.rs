@@ -43,7 +43,7 @@ use taser_sample::rng::mix;
 use taser_sample::{FinderScratch, GpuFinder, SamplePolicy, SampledNeighbors, PAD};
 use taser_tensor::{ops::sigmoid, Graph, InferCtx, ParamStore, Slot, Tensor};
 
-use crate::batcher::LinkQuery;
+use crate::admission::LinkQuery;
 use crate::features::ServeFeatureCache;
 
 /// Which forward implementation scores batches.

@@ -4,13 +4,20 @@
 //! sessions and `nc` both work):
 //!
 //! ```text
-//! ingest <u> <v> <t>   ->  ingested eid=<eid>
-//! query <u> <v> <t>    ->  score <prob> gen=<generation>
-//! publish              ->  published gen=<generation>
-//! stats                ->  <one-line JSON>
-//! quit                 ->  bye            (closes the session)
-//! # comment / blank    ->  (no reply)
+//! ingest <u> <v> <t>       ->  ingested eid=<eid>
+//! query <u> <v> <t> [lane] ->  score <prob> gen=<generation>
+//!                          ->  overloaded queue_full lane=<l>   (shed at the door)
+//!                          ->  overloaded deadline lane=<l>     (expired in queue)
+//! publish                  ->  published gen=<generation>
+//! stats                    ->  <one-line JSON>
+//! quit                     ->  bye            (closes the session)
+//! # comment / blank        ->  (no reply)
 //! ```
+//!
+//! `lane` is an optional priority lane index (0 = highest, drains first;
+//! defaults to 0, clamped to the engine's `--lanes`). Under overload the
+//! engine answers with a typed `overloaded` line instead of queueing the
+//! query without bound — open-loop clients get explicit backpressure.
 //!
 //! Malformed input answers `error <reason>` and keeps the session open — a
 //! server must survive misbehaving clients.
@@ -40,6 +47,8 @@ pub enum Command {
         dst: u32,
         /// Query time.
         t: f64,
+        /// Priority lane (0 = highest; clamped to the engine's lane count).
+        lane: usize,
     },
     /// Force a snapshot publish.
     Publish,
@@ -70,19 +79,28 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
         let t = take(parts.next(), verb, "t")?
             .parse::<f64>()
             .map_err(|e| format!("{verb}: bad t: {e}"))?;
-        if parts.next().is_some() {
-            return Err(format!("{verb}: trailing tokens"));
-        }
         Ok((src, dst, t))
     };
     match verb {
         "ingest" => {
             let (src, dst, t) = triple("ingest")?;
+            if parts.next().is_some() {
+                return Err("ingest: trailing tokens".to_string());
+            }
             Ok(Some(Command::Ingest { src, dst, t }))
         }
         "query" => {
             let (src, dst, t) = triple("query")?;
-            Ok(Some(Command::Query { src, dst, t }))
+            let lane = match parts.next() {
+                None => 0,
+                Some(v) => v
+                    .parse::<usize>()
+                    .map_err(|e| format!("query: bad lane: {e}"))?,
+            };
+            if parts.next().is_some() {
+                return Err("query: trailing tokens".to_string());
+            }
+            Ok(Some(Command::Query { src, dst, t, lane }))
         }
         "publish" => Ok(Some(Command::Publish)),
         "stats" => Ok(Some(Command::Stats)),
@@ -99,10 +117,10 @@ pub fn respond(engine: &ServeEngine, cmd: Command) -> String {
             Ok(e) => format!("ingested eid={}", e.eid),
             Err(msg) => format!("error {msg}"),
         },
-        Command::Query { src, dst, t } => {
-            let r = engine.score(src, dst, t);
-            format!("score {:.6} gen={}", r.prob, r.generation)
-        }
+        Command::Query { src, dst, t, lane } => match engine.score_lane(src, dst, t, lane) {
+            Ok(r) => format!("score {:.6} gen={}", r.prob, r.generation),
+            Err(shed) => format!("overloaded {shed}"),
+        },
         Command::Publish => format!("published gen={}", engine.publish()),
         Command::Stats => engine.stats().to_json(),
         Command::Quit => "bye".to_string(),
@@ -166,15 +184,15 @@ pub fn serve_tcp(engine: Arc<ServeEngine>, listener: TcpListener) -> std::io::Re
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batcher::BatchPolicy;
+    use crate::admission::BatchPolicy;
     use crate::engine::ServeConfig;
     use std::time::Duration;
     use taser_graph::events::EventLog;
     use taser_graph::feats::FeatureMatrix;
     use taser_models::artifact::{ArtifactBackbone, ArtifactPolicy, ModelArtifact, ModelSpec};
 
-    fn engine() -> ServeEngine {
-        let artifact = ModelArtifact::init(
+    fn artifact() -> ModelArtifact {
+        ModelArtifact::init(
             ModelSpec {
                 backbone: ArtifactBackbone::GraphMixer,
                 in_dim: 2,
@@ -192,12 +210,17 @@ mod tests {
             )),
             None,
             3,
-        );
-        let log =
-            EventLog::from_unsorted((0..10u32).map(|i| (i % 4, 4 + i % 4, i as f64)).collect());
+        )
+    }
+
+    fn seed_log() -> EventLog {
+        EventLog::from_unsorted((0..10u32).map(|i| (i % 4, 4 + i % 4, i as f64)).collect())
+    }
+
+    fn engine() -> ServeEngine {
         ServeEngine::new(
-            artifact,
-            log,
+            artifact(),
+            seed_log(),
             ServeConfig {
                 workers: 1,
                 batch: BatchPolicy {
@@ -225,8 +248,19 @@ mod tests {
             Some(Command::Query {
                 src: 7,
                 dst: 9,
-                t: 100.0
+                t: 100.0,
+                lane: 0
             })
+        );
+        assert_eq!(
+            parse("query 7 9 100 1").unwrap(),
+            Some(Command::Query {
+                src: 7,
+                dst: 9,
+                t: 100.0,
+                lane: 1
+            }),
+            "optional fourth token selects the priority lane"
         );
         assert_eq!(parse("publish").unwrap(), Some(Command::Publish));
         assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
@@ -239,7 +273,9 @@ mod tests {
     fn parse_rejects_malformed_lines() {
         assert!(parse("query 1 2").is_err(), "missing t");
         assert!(parse("query a 2 3").is_err(), "non-numeric src");
-        assert!(parse("query 1 2 3 4").is_err(), "trailing tokens");
+        assert!(parse("query 1 2 3 x").is_err(), "non-numeric lane");
+        assert!(parse("query 1 2 3 0 9").is_err(), "trailing tokens");
+        assert!(parse("ingest 1 2 3 4").is_err(), "ingest takes no lane");
         assert!(parse("frobnicate").is_err());
     }
 
@@ -287,6 +323,7 @@ query 9 9 99
                 src: 0,
                 dst: 5,
                 t: 50.0,
+                lane: 0,
             },
         );
         let prob: f32 = reply
@@ -296,6 +333,41 @@ query 9 9 99
             .parse()
             .unwrap();
         assert!(prob > 0.0 && prob < 1.0, "{reply}");
+    }
+
+    #[test]
+    fn overloaded_reply_is_typed_not_an_error() {
+        // a lane of capacity 1 behind a worker lingering on a huge batch:
+        // the first query parks in the lane, the second sheds at the door
+        let engine = ServeEngine::new(
+            artifact(),
+            seed_log(),
+            ServeConfig {
+                workers: 1,
+                batch: BatchPolicy {
+                    max_batch: 1024,
+                    max_wait: Duration::from_secs(60),
+                },
+                slo: Duration::from_secs(2),
+                slo_margin: Some(Duration::from_millis(1800)),
+                queue_cap: 1,
+                lanes: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let held = engine.submit(0, 5, 40.0).expect("first query admitted");
+        let reply = respond(
+            &engine,
+            Command::Query {
+                src: 1,
+                dst: 6,
+                t: 40.0,
+                lane: 0,
+            },
+        );
+        assert_eq!(reply, "overloaded queue_full lane=0", "typed shed reply");
+        assert!(held.wait().is_ok(), "parked query still scores");
     }
 
     #[test]

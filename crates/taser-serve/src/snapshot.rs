@@ -16,7 +16,7 @@
 //!   publish (O(E), parallelized, the original path). Simple, optimal query
 //!   layout, fine for small or slowly-growing graphs.
 //! * [`IndexBackend::Incremental`] — a sharded
-//!   [`IncIndexWriter`](taser_index::IncIndexWriter) that appends in O(1)
+//!   [`IncIndexWriter`] that appends in O(1)
 //!   and publishes in O(Δ): only nodes touched since the last generation
 //!   are re-sealed, everything else is structurally shared. This keeps
 //!   publish latency flat as the live graph grows — the backend large

@@ -82,7 +82,7 @@ fn train_export_serve_under_concurrent_ingest() {
                     t_end + 1_000.0 + (i + salt) as f64,
                 )
             };
-            out.push((is_probe, engine.score(src, dst, t)));
+            out.push((is_probe, engine.score(src, dst, t).expect("admitted")));
         }
         out
     };
@@ -151,8 +151,8 @@ fn train_export_serve_under_concurrent_ingest() {
 
     // --- after a final publish, the probe is reproducible cold ---
     engine.publish();
-    let a = engine.score(probe.0, probe.1, probe.2);
-    let b = engine.score(probe.0, probe.1, probe.2);
+    let a = engine.score(probe.0, probe.1, probe.2).expect("admitted");
+    let b = engine.score(probe.0, probe.1, probe.2).expect("admitted");
     assert_eq!(a.generation, b.generation);
     assert_eq!(a.prob.to_bits(), b.prob.to_bits());
 }

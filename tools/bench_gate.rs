@@ -1,0 +1,301 @@
+//! CI bench-regression gate.
+//!
+//! Compares fresh tiny-scale harness output (`--fresh-dir`, produced by the
+//! bench-smoke job) against the committed `BENCH_*.json` baselines
+//! (`--baseline-dir`, the repo root) and fails on a >30% regression in the
+//! serving micro-batch throughput or the index publish latency.
+//!
+//! CI runners and the machine that produced the committed baselines differ
+//! in clock speed, core count, and load, so raw q/s and µs columns are not
+//! comparable across files. Every cross-file check therefore normalizes by
+//! a same-file reference that scales with machine speed the same way the
+//! gated metric does:
+//!
+//! - **serve**: `batched_qps` is normalized by `single_qps` — both run the
+//!   identical scoring pipeline, so their ratio (the micro-batching
+//!   amortization factor, `batched_speedup`) cancels machine speed and
+//!   workload scale. Same scheme for `fastpath_speedup` (fast forward vs
+//!   tape forward) and, when both sides carry `BENCH_infer.json`, the
+//!   forward-pass headline speedup.
+//! - **index**: `incremental_mean_us` (publish latency) is normalized by
+//!   `rebuild_mean_us` at the *same event count* — i.e. `publish_speedup`
+//!   on matched-`events` rows. The fresh largest row must also keep the
+//!   incremental index no slower than a full rebuild outright.
+//! - **overload** (fresh-only sanity, when present): the 2× row must show
+//!   shedding engaged and nonzero goodput.
+//!
+//! Exit code 0 with a `PASS` line per check, 1 with `FAIL` lines otherwise.
+//!
+//! ```sh
+//! cargo run --release -p taser-bench --bin bench_gate -- \
+//!   --baseline-dir . --fresh-dir /tmp [--tolerance 0.30]
+//! ```
+
+use std::path::Path;
+
+fn arg_value(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Extracts the first numeric value stored under `"key":` in `json`.
+/// Hand-rolled so the gate builds with zero dependencies; the BENCH files
+/// are flat machine-written JSON, not arbitrary documents.
+fn num_field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Splits the top-level objects out of the array stored under `"key":[...]`
+/// by brace counting (string-aware, so quoted braces can't desync it).
+fn objects_in_array<'a>(json: &'a str, key: &str) -> Vec<&'a str> {
+    let needle = format!("\"{key}\":[");
+    let Some(start) = json.find(&needle).map(|i| i + needle.len()) else {
+        return Vec::new();
+    };
+    let bytes = json.as_bytes();
+    let mut out = Vec::new();
+    let (mut depth, mut obj_start, mut in_str, mut escaped) = (0usize, 0usize, false, false);
+    for i in start..bytes.len() {
+        let b = bytes[i];
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' => {
+                if depth == 0 {
+                    obj_start = i;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(&json[obj_start..=i]);
+                }
+            }
+            b']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+struct Gate {
+    tolerance: f64,
+    failures: usize,
+    checks: usize,
+}
+
+impl Gate {
+    /// Fresh ratio must retain at least `(1 - tolerance)` of the baseline.
+    fn require_ratio(&mut self, name: &str, fresh: f64, baseline: f64) {
+        self.require_ratio_tol(name, fresh, baseline, self.tolerance);
+    }
+
+    /// Same, with an explicit per-check tolerance.
+    fn require_ratio_tol(&mut self, name: &str, fresh: f64, baseline: f64, tolerance: f64) {
+        self.checks += 1;
+        let floor = baseline * (1.0 - tolerance);
+        if fresh >= floor {
+            println!("PASS {name}: {fresh:.3} vs baseline {baseline:.3} (floor {floor:.3})");
+        } else {
+            println!("FAIL {name}: {fresh:.3} < floor {floor:.3} (baseline {baseline:.3})");
+            self.failures += 1;
+        }
+    }
+
+    fn require(&mut self, name: &str, ok: bool, detail: String) {
+        self.checks += 1;
+        if ok {
+            println!("PASS {name}: {detail}");
+        } else {
+            println!("FAIL {name}: {detail}");
+            self.failures += 1;
+        }
+    }
+}
+
+fn read(dir: &str, file: &str, required: bool) -> Option<String> {
+    let path = Path::new(dir).join(file);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => Some(s),
+        Err(_) if !required => {
+            println!("SKIP {file}: not present in {dir}");
+            None
+        }
+        Err(e) => {
+            eprintln!("bench_gate: cannot read required {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The field must exist in a machine-written BENCH file; absence means the
+/// harness format drifted and the gate would otherwise pass vacuously.
+fn need(json: &str, key: &str, file: &str) -> f64 {
+    num_field(json, key).unwrap_or_else(|| {
+        eprintln!("bench_gate: {file} is missing field {key:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let baseline_dir = arg_value("--baseline-dir").unwrap_or_else(|| ".".into());
+    let fresh_dir = arg_value("--fresh-dir").unwrap_or_else(|| ".".into());
+    let tolerance: f64 = arg_value("--tolerance")
+        .map(|v| v.parse().expect("numeric --tolerance"))
+        .unwrap_or(0.30);
+    let mut gate = Gate {
+        tolerance,
+        failures: 0,
+        checks: 0,
+    };
+
+    // -- serving throughput: batched_qps normalized by single_qps --
+    let base = read(&baseline_dir, "BENCH_serve.json", true).expect("required");
+    let fresh = read(&fresh_dir, "BENCH_serve.json", true).expect("required");
+    let base_amort = need(&base, "batched_qps", "baseline BENCH_serve.json")
+        / need(&base, "single_qps", "baseline BENCH_serve.json");
+    let fresh_amort = need(&fresh, "batched_qps", "fresh BENCH_serve.json")
+        / need(&fresh, "single_qps", "fresh BENCH_serve.json");
+    gate.require_ratio("serve batched_qps/single_qps", fresh_amort, base_amort);
+    gate.require_ratio(
+        "serve fastpath_speedup",
+        need(&fresh, "fastpath_speedup", "fresh BENCH_serve.json"),
+        need(&base, "fastpath_speedup", "baseline BENCH_serve.json"),
+    );
+
+    // -- index publish latency: incremental vs rebuild on matched rows --
+    let base = read(&baseline_dir, "BENCH_index.json", true).expect("required");
+    let fresh = read(&fresh_dir, "BENCH_index.json", true).expect("required");
+    let base_rows = objects_in_array(&base, "rows");
+    let fresh_rows = objects_in_array(&fresh, "rows");
+    let mut matched = 0;
+    for frow in &fresh_rows {
+        let events = need(frow, "events", "fresh BENCH_index.json row");
+        let Some(brow) = base_rows
+            .iter()
+            .find(|r| num_field(r, "events") == Some(events))
+        else {
+            continue;
+        };
+        matched += 1;
+        // Tiny-event rows are noise-dominated (repeat quick runs swing
+        // publish_speedup by ±20% at 20k events), so the cross-file check
+        // doubles the tolerance to catch only gross regressions; the
+        // within-run incremental-vs-rebuild check below keeps precision.
+        gate.require_ratio_tol(
+            &format!("index publish_speedup @ {events} events"),
+            need(frow, "publish_speedup", "fresh BENCH_index.json row"),
+            need(brow, "publish_speedup", "baseline BENCH_index.json row"),
+            (2.0 * tolerance).min(0.6),
+        );
+    }
+    gate.require(
+        "index matched rows",
+        matched > 0,
+        format!("{matched} fresh row(s) share an event count with the baseline"),
+    );
+    if let Some(last) = fresh_rows.last() {
+        let inc = need(last, "incremental_mean_us", "fresh BENCH_index.json row");
+        let reb = need(last, "rebuild_mean_us", "fresh BENCH_index.json row");
+        gate.require(
+            "index incremental beats rebuild",
+            inc <= reb * (1.0 + tolerance),
+            format!("incremental {inc:.1} us vs rebuild {reb:.1} us at the largest fresh row"),
+        );
+    }
+
+    // (BENCH_infer.json is deliberately not gated: its --quick mode shrinks
+    // the headline shapes, so quick-vs-committed speedups are not
+    // comparable — the serve fastpath_speedup check covers that regression
+    // surface at matched batch shape.)
+
+    // -- overload sanity (fresh-only: baselines need not carry it) --
+    if let Some(fresh) = read(&fresh_dir, "BENCH_overload.json", false) {
+        let rows = objects_in_array(&fresh, "rows");
+        match rows.last() {
+            Some(over) => {
+                let shed = need(over, "shed", "fresh BENCH_overload.json row");
+                let goodput = need(over, "goodput_qps", "fresh BENCH_overload.json row");
+                gate.require(
+                    "overload 2x sheds with goodput",
+                    shed > 0.0 && goodput > 0.0,
+                    format!("shed {shed:.0}, goodput {goodput:.0} q/s"),
+                );
+            }
+            None => gate.require(
+                "overload rows",
+                false,
+                "no rows in BENCH_overload.json".into(),
+            ),
+        }
+    }
+
+    println!(
+        "bench_gate: {}/{} checks passed (tolerance {:.0}%)",
+        gate.checks - gate.failures,
+        gate.checks,
+        tolerance * 100.0
+    );
+    if gate.failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_field_reads_ints_floats_and_exponents() {
+        let j = r#"{"a":574908.18,"b":42,"c":-1.5e-3,"nested":{"d":7}}"#;
+        assert_eq!(num_field(j, "a"), Some(574908.18));
+        assert_eq!(num_field(j, "b"), Some(42.0));
+        assert_eq!(num_field(j, "c"), Some(-1.5e-3));
+        assert_eq!(num_field(j, "d"), Some(7.0));
+        assert_eq!(num_field(j, "missing"), None);
+    }
+
+    #[test]
+    fn objects_in_array_splits_rows_and_survives_quoted_braces() {
+        let j =
+            r#"{"harness":"x","rows":[{"events":100,"v":1.5},{"events":200,"s":"{]"}],"tail":3}"#;
+        let rows = objects_in_array(j, "rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(num_field(rows[0], "events"), Some(100.0));
+        assert_eq!(num_field(rows[1], "events"), Some(200.0));
+        assert!(objects_in_array(j, "absent").is_empty());
+    }
+
+    #[test]
+    fn ratio_gate_trips_past_tolerance_only() {
+        let mut g = Gate {
+            tolerance: 0.30,
+            failures: 0,
+            checks: 0,
+        };
+        g.require_ratio("within", 7.1, 10.0); // -29%: allowed
+        assert_eq!(g.failures, 0);
+        g.require_ratio("beyond", 6.9, 10.0); // -31%: regression
+        assert_eq!(g.failures, 1);
+        g.require_ratio("improved", 12.0, 10.0);
+        assert_eq!((g.checks, g.failures), (3, 1));
+    }
+}

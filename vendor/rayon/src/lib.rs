@@ -6,7 +6,7 @@
 //! **Execution is parallel on a persistent work-stealing pool.** Every
 //! `par_*` entry point materializes its items into a [`Par`] batch; adapters
 //! with closures (`map`) and consumers (`for_each`, `reduce`) fan the batch
-//! out over the process-lifetime pool in [`pool`] — sharded task queues with
+//! out over the process-lifetime pool in `pool` — sharded task queues with
 //! stealing, parked idle workers, and adaptive chunk claiming — instead of
 //! spawning fresh OS threads per call the way the old
 //! [`std::thread::scope`]-based splitter did. Item order in the output is
@@ -87,7 +87,7 @@ pub fn force_num_threads(n: usize) {
 /// caller while the right is stealable; if no worker takes it, the caller
 /// steals it back and runs it inline too (one queue push, no spawn). Called
 /// from inside a pool worker it degrades to `(a(), b())` — see the nesting
-/// contract in [`pool`].
+/// contract in `pool`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
