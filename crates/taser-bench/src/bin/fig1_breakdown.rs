@@ -12,6 +12,7 @@ use taser_core::trainer::{Backbone, Trainer, Variant};
 use taser_sample::FinderKind;
 
 fn main() {
+    taser_obs::init_tracing_from_env();
     let scale = scale_arg();
     let datasets: Vec<String> = match arg_value("--datasets") {
         Some(s) => s.split(',').map(|x| x.trim().to_string()).collect(),
@@ -24,8 +25,8 @@ fn main() {
         let ds = bench_dataset(name, scale, 42);
         println!("\n=== {name} ({} events) ===", ds.num_events());
         println!(
-            "  {:>10} {:>10} {:>10} {:>8}",
-            "#neigh", "Prep(s)", "Prop(s)", "Prep%"
+            "  {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "#neigh", "Prep(s)", "Prop(s)", "Epoch(s)", "Prep%"
         );
         for &n in &neighbor_counts {
             let mut cfg = accuracy_config(Backbone::Tgat, Variant::Baseline, 1, 42);
@@ -33,15 +34,19 @@ fn main() {
             cfg.finder = FinderKind::Origin;
             cfg.eval_events = Some(1);
             let mut trainer = Trainer::new(cfg, &ds);
-            let rep = trainer.train_epoch(&ds, 0);
+            // the epoch wall clock comes from the obs span API (one span per
+            // epoch, visible under TASER_TRACE=1) rather than a local
+            // stopwatch; prep/prop stay the trainer's own attribution
+            let (rep, epoch_wall) = taser_obs::time("fig1_epoch", || trainer.train_epoch(&ds, 0));
             let prep = rep.timings.neighbor_find + rep.timings.feature_slice;
             let prop = rep.timings.propagate;
             let total = prep + prop;
             println!(
-                "  {:>10} {:>10} {:>10} {:>7.0}%",
+                "  {:>10} {:>10} {:>10} {:>10} {:>7.0}%",
                 n,
                 secs(prep),
                 secs(prop),
+                secs(epoch_wall),
                 100.0 * prep.as_secs_f64() / total.as_secs_f64().max(1e-12)
             );
         }

@@ -28,8 +28,12 @@
 //! ```sh
 //! cargo run --release -p taser-bench --bin overload_serve \
 //!   [-- --scale 0.008 --slo-us 20000 --queue-cap 128 --lanes 2 \
-//!       --duration-ms 1000 --quick --assert-overload --out BENCH_overload.json]
+//!       --duration-ms 1000 --quick --assert-overload --out BENCH_overload.json \
+//!       --trace-out overload_trace.json]
 //! ```
+//!
+//! `--trace-out <path>` enables span tracing before the engines boot and
+//! dumps a chrome://tracing JSON of the per-stage worker spans at exit.
 
 use std::io::Write;
 use std::time::{Duration, Instant};
@@ -90,6 +94,11 @@ fn main() {
     let calib_queries = parsed("--calib-queries", if quick { 512usize } else { 2048 });
     let assert_overload = arg_flag("--assert-overload");
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_overload.json".into());
+    let trace_out = arg_value("--trace-out");
+    if trace_out.is_some() {
+        // before any engine boots so every worker's spans are captured
+        taser_obs::set_tracing(true);
+    }
 
     // -- train a small model and hand it over through the artifact format --
     let ds = SynthConfig::wikipedia()
@@ -284,6 +293,11 @@ fn main() {
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
     writeln!(f, "{json}").expect("write bench output");
     eprintln!("results -> {out_path}");
+
+    if let Some(path) = trace_out {
+        std::fs::write(&path, taser_obs::chrome_trace_json()).expect("write trace");
+        eprintln!("trace -> {path}");
+    }
 
     // -- overload acceptance: at 2x capacity the admission layer must shed,
     //    keep answering (nonzero goodput), and keep the admitted tail

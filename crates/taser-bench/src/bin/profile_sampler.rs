@@ -1,18 +1,24 @@
 //! Scratch profiler for tensor-op hot paths.
-use std::time::Instant;
+//!
+//! Timing rides on the `taser-obs` span API: each labelled region is a
+//! recorded span, so running with `TASER_TRACE=1` leaves a trace behind in
+//! addition to the printed table.
 use taser_tensor::nn::MixerBlock;
 use taser_tensor::{init, ops, Graph, ParamStore, Tensor};
 
-fn time(label: &str, mut f: impl FnMut()) {
-    let t = Instant::now();
-    let iters = 5;
-    for _ in 0..iters {
-        f();
-    }
-    println!("{label:<40} {:?}/iter", t.elapsed() / iters);
+const ITERS: u32 = 5;
+
+fn time(label: &'static str, mut f: impl FnMut()) {
+    let ((), elapsed) = taser_obs::time(label, || {
+        for _ in 0..ITERS {
+            f();
+        }
+    });
+    println!("{label:<40} {:?}/iter", elapsed / ITERS);
 }
 
 fn main() {
+    taser_obs::init_tracing_from_env();
     let a = init::uniform(&[15000, 73], -1.0, 1.0, 1);
     let b = init::uniform(&[73, 146], -1.0, 1.0, 2);
     time("matmul 15000x73x146", || {

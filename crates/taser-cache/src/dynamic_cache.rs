@@ -173,6 +173,7 @@ impl DynamicCache {
     /// Epoch-boundary maintenance (Algorithm 3, lines 8-10): replace the
     /// cache with the frequency top-k when overlap drops below ε·k.
     pub fn end_epoch(&mut self) -> EpochCacheReport {
+        let (epoch_hits, epoch_misses) = (self.hits, self.misses);
         let accesses = self.hits + self.misses;
         let hit_rate = if accesses == 0 {
             0.0
@@ -206,6 +207,17 @@ impl DynamicCache {
                 *f = (*f as f64 * self.decay) as u64;
             }
         }
+        // Epoch boundaries are rare (one per `cache_epoch_requests`
+        // accesses), so registry publication lives here and the per-access
+        // hot path above stays untouched — no atomics, no lookups.
+        let reg = taser_obs::global();
+        reg.counter("taser_cache_epoch_hits_total").add(epoch_hits);
+        reg.counter("taser_cache_epoch_misses_total")
+            .add(epoch_misses);
+        reg.counter("taser_cache_epochs_total").inc();
+        if replaced {
+            reg.counter("taser_cache_replacements_total").inc();
+        }
         EpochCacheReport {
             hit_rate,
             accesses,
@@ -231,6 +243,21 @@ mod tests {
     fn capacity_clamped_to_items() {
         let c = DynamicCache::new(5, 50, 0.7, 1);
         assert_eq!(c.capacity(), 5);
+    }
+
+    #[test]
+    fn end_epoch_publishes_to_global_registry() {
+        let reg = taser_obs::global();
+        let epochs_before = reg.counter("taser_cache_epochs_total").get();
+        let hits_before = reg.counter("taser_cache_epoch_hits_total").get();
+        let mut c = DynamicCache::new(10, 10, 0.7, 1); // everything cached
+        c.access(3);
+        c.access(4);
+        c.end_epoch();
+        // >= rather than ==: sibling tests in this binary also end epochs
+        // against the same process-wide registry
+        assert!(reg.counter("taser_cache_epochs_total").get() > epochs_before);
+        assert!(reg.counter("taser_cache_epoch_hits_total").get() >= hits_before + 2);
     }
 
     #[test]

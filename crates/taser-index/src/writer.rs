@@ -124,10 +124,13 @@ impl Shard {
         self.dirty = true;
     }
 
-    fn publish(&mut self) {
+    /// Returns how many dirty nodes this publish re-sealed (0 for a clean
+    /// shard) — the per-shard share of the O(Δ) bound, fed to metrics.
+    fn publish(&mut self) -> usize {
         if !self.dirty {
-            return;
+            return 0;
         }
+        let sealed = self.dirty_nodes.len();
         for &local in &self.dirty_nodes {
             self.nodes[local as usize].publish();
         }
@@ -139,6 +142,7 @@ impl Shard {
             entries: self.entries,
         });
         self.dirty = false;
+        sealed
     }
 }
 
@@ -192,6 +196,9 @@ pub struct IncIndexWriter {
     last_t: f64,
     len: usize,
     generation: u64,
+    /// Cached handle into the global metrics registry so the per-append
+    /// cost is one sharded relaxed add, not a registry lookup.
+    appends_metric: Arc<taser_obs::Counter>,
 }
 
 impl IncIndexWriter {
@@ -208,6 +215,7 @@ impl IncIndexWriter {
             last_t: f64::NEG_INFINITY,
             len: 0,
             generation: 0,
+            appends_metric: taser_obs::global().counter("taser_index_appends_total"),
         }
     }
 
@@ -255,6 +263,7 @@ impl IncIndexWriter {
             "stream must be chronological: {t} < {}",
             self.last_t
         );
+        self.appends_metric.inc();
         let e = Event {
             src,
             dst,
@@ -291,6 +300,7 @@ impl IncIndexWriter {
             assert!(t >= prev, "stream must be chronological: {t} < {prev}");
             prev = t;
         }
+        self.appends_metric.add(batch.len() as u64);
         let events: Vec<Event> = batch
             .iter()
             .enumerate()
@@ -321,6 +331,8 @@ impl IncIndexWriter {
     /// clones per dirty shard + O(S) assembly — independent of the number
     /// of events already indexed.
     pub fn publish(&mut self) -> Arc<IncTcsr> {
+        let started = std::time::Instant::now();
+        let dirty_sealed = std::sync::atomic::AtomicU64::new(0);
         self.generation += 1;
         {
             // Per-shard publish cost follows the dirty-node distribution,
@@ -331,8 +343,12 @@ impl IncIndexWriter {
             // hub shard — with the old static per-thread split, publish
             // latency was gated on whichever thread drew the hubs.
             let shards = &self.shards;
+            let dirty_sealed = &dirty_sealed;
             (0..self.num_shards).into_par_iter().for_each(|s| {
-                shards[s].lock().expect("shard lock poisoned").publish();
+                let sealed = shards[s].lock().expect("shard lock poisoned").publish();
+                if sealed > 0 {
+                    dirty_sealed.fetch_add(sealed as u64, std::sync::atomic::Ordering::Relaxed);
+                }
             });
         }
         let tables: Vec<Arc<ShardTable>> = self
@@ -341,6 +357,19 @@ impl IncIndexWriter {
             .map(|m| m.lock().expect("shard lock poisoned").table.clone())
             .collect();
         let num_entries = tables.iter().map(|t| t.entries).sum();
+        // Publishes are rare (once per `publish_every` ingests), so the
+        // registry lookups — and the per-shard gauge `format!` — are off
+        // the append hot path by construction.
+        let reg = taser_obs::global();
+        reg.counter("taser_index_publishes_total").inc();
+        reg.counter("taser_index_dirty_nodes_total")
+            .add(dirty_sealed.into_inner());
+        reg.histogram("taser_index_publish_us")
+            .record(started.elapsed());
+        for (s, t) in tables.iter().enumerate() {
+            reg.gauge(&format!("taser_index_shard_entries{{shard=\"{s}\"}}"))
+                .set(t.entries as i64);
+        }
         Arc::new(IncTcsr {
             shards: tables,
             num_shards: self.num_shards,
@@ -549,6 +578,29 @@ mod tests {
         let mut w = IncIndexWriter::new(2, 2);
         w.append(0, 1, 5.0);
         w.append(0, 1, 4.0);
+    }
+
+    #[test]
+    fn publish_records_latency_and_dirty_counts() {
+        let reg = taser_obs::global();
+        let pubs_before = reg.counter("taser_index_publishes_total").get();
+        let dirty_before = reg.counter("taser_index_dirty_nodes_total").get();
+        let hist_before = reg.histogram("taser_index_publish_us").snapshot().count();
+        let mut w = IncIndexWriter::new(4, 2);
+        w.append(0, 1, 1.0);
+        w.append(2, 3, 2.0);
+        w.publish();
+        // >= rather than ==: sibling tests publish against the same
+        // process-wide registry
+        assert!(reg.counter("taser_index_publishes_total").get() > pubs_before);
+        // four endpoints touched -> four dirty nodes sealed
+        assert!(reg.counter("taser_index_dirty_nodes_total").get() >= dirty_before + 4);
+        assert!(reg.histogram("taser_index_publish_us").snapshot().count() > hist_before);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("taser_index_shard_entries{shard=\"0\"}"),
+            "{text}"
+        );
     }
 
     #[test]

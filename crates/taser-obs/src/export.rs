@@ -1,0 +1,125 @@
+//! Prometheus-style text rendering and parsing.
+//!
+//! The render side backs the serve `metrics` protocol command and
+//! [`crate::registry::Registry::render_prometheus`]; the parse side exists
+//! so tests can assert the output round-trips (and operators can scrape it
+//! with anything that splits lines).
+
+use crate::hist::LatencyHistogram;
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// The metric name with any `{label="..."}` suffix stripped.
+pub fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Appends a `# TYPE` header line.
+pub fn push_type(out: &mut String, base: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {base} {kind}");
+}
+
+/// Appends one `name value` sample line.
+pub fn push_sample(out: &mut String, name: &str, value: impl Display) {
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends a histogram as summary rows: count, sum, max, and the
+/// p50/p99/p99.9 quantiles (all in integer microseconds).
+pub fn push_histogram(out: &mut String, name: &str, h: &LatencyHistogram) {
+    let base = base_name(name);
+    let labels = &name[base.len()..];
+    let _ = writeln!(out, "{base}_count{labels} {}", h.count());
+    let _ = writeln!(out, "{base}_sum_us{labels} {}", h.sum_us());
+    let _ = writeln!(out, "{base}_max_us{labels} {}", h.max_us());
+    for (q, tag) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+        let mut qname = format!("{base}{labels}");
+        if labels.is_empty() {
+            qname.push_str(&format!("{{quantile=\"{tag}\"}}"));
+        } else {
+            qname.truncate(qname.len() - 1); // open the existing label set
+            qname.push_str(&format!(",quantile=\"{tag}\"}}"));
+        }
+        let _ = writeln!(out, "{qname} {}", h.quantile_us(q));
+    }
+}
+
+/// A parsed sample value: integers stay exact, anything else is a float.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PromValue {
+    /// Exact integer sample (covers the full u64/i64 counter/gauge range).
+    Int(i128),
+    /// Floating-point sample.
+    Float(f64),
+}
+
+/// Parses Prometheus-style text into `(name, value)` pairs in document
+/// order. `name` keeps its label set verbatim; comment (`#`) and blank
+/// lines are skipped; malformed lines are dropped rather than failing the
+/// whole document.
+pub fn parse_prometheus(text: &str) -> Vec<(String, PromValue)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let value = value.trim();
+        let parsed = if let Ok(i) = value.parse::<i128>() {
+            PromValue::Int(i)
+        } else if let Ok(f) = value.parse::<f64>() {
+            PromValue::Float(f)
+        } else {
+            continue;
+        };
+        out.push((name.trim().to_string(), parsed));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn render_and_parse_agree() {
+        let mut text = String::new();
+        push_type(&mut text, "x_total", "counter");
+        push_sample(&mut text, "x_total{lane=\"0\"}", 41u64);
+        push_sample(&mut text, "y_ratio", 0.25f64);
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(100));
+        push_histogram(&mut text, "z_us", &h);
+        push_histogram(&mut text, "w_us{shard=\"2\"}", &h);
+
+        let parsed = parse_prometheus(&text);
+        let get = |n: &str| {
+            parsed
+                .iter()
+                .find(|(name, _)| name == n)
+                .unwrap_or_else(|| panic!("missing {n} in:\n{text}"))
+                .1
+        };
+        assert_eq!(get("x_total{lane=\"0\"}"), PromValue::Int(41));
+        assert_eq!(get("y_ratio"), PromValue::Float(0.25));
+        assert_eq!(get("z_us_count"), PromValue::Int(1));
+        assert_eq!(get("z_us{quantile=\"0.5\"}"), PromValue::Int(100));
+        assert_eq!(get("w_us_count{shard=\"2\"}"), PromValue::Int(1));
+        assert_eq!(
+            get("w_us{shard=\"2\",quantile=\"0.99\"}"),
+            PromValue::Int(100)
+        );
+        // no '#' comment line parses as a sample
+        assert!(parsed.iter().all(|(n, _)| !n.starts_with('#')));
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let parsed = parse_prometheus("garbage\nname notanumber\n\n# c\nok 3\n");
+        assert_eq!(parsed, vec![("ok".to_string(), PromValue::Int(3))]);
+    }
+}

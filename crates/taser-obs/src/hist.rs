@@ -1,0 +1,241 @@
+//! Fixed-memory log-bucketed latency histogram.
+//!
+//! Lifted out of `taser-serve::stats` so every subsystem (serve lanes, index
+//! publishes, registry histograms) shares one implementation. Latency is
+//! tracked by fixed buckets (never a growing sample vector): each recorder
+//! owns one histogram and readers merge them, so recording never contends
+//! and memory stays bounded no matter how long the process runs. Arbitrary
+//! quantiles (p50/p99/p99.9/...) come from the buckets with a bounded
+//! relative error.
+
+use std::time::Duration;
+
+/// Buckets per power-of-two octave. Four sub-buckets bound the relative
+/// quantile error at ~19% — plenty for p50/p99/p99.9 reporting without
+/// keeping every sample.
+const SUBBUCKETS: u64 = 4;
+/// Total buckets: 64 octaves × sub-buckets (covers any u64 microsecond value).
+const BUCKETS: usize = 64 * SUBBUCKETS as usize;
+
+/// Fixed-memory log-linear histogram over microsecond latencies. Mergeable:
+/// per-worker histograms combine with [`LatencyHistogram::merge`] into a
+/// process-wide view.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us < SUBBUCKETS {
+        return us as usize; // exact buckets below the first octave
+    }
+    let octave = 63 - us.leading_zeros() as u64;
+    let sub = (us >> (octave.saturating_sub(2))) & (SUBBUCKETS - 1);
+    ((octave * SUBBUCKETS + sub) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound of a bucket (the value reported for quantiles in it).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUBBUCKETS as usize {
+        return idx as u64;
+    }
+    let octave = idx as u64 / SUBBUCKETS;
+    let sub = idx as u64 % SUBBUCKETS;
+    // buckets span [2^octave, 2^(octave+1)) split into SUBBUCKETS runs
+    (1u64 << octave).saturating_add((sub + 1).saturating_mul((1u64 << octave) / SUBBUCKETS))
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one observation given directly in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[bucket_of(us)] += 1;
+        self.total += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Folds another histogram into this one (e.g. per-worker shards into
+    /// the engine-wide view). Equivalent to having recorded both sample
+    /// streams into a single histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Approximate quantile (`q` in [0, 1]) in microseconds; 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64
+        }
+    }
+
+    /// Largest observation in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::default();
+        for us in [3u64, 10, 10, 50, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.5);
+        let p99 = h.quantile_us(0.99);
+        let p999 = h.quantile_us(0.999);
+        assert!(p50 <= p99, "{p50} > {p99}");
+        assert!(p99 <= p999, "{p99} > {p999}");
+        assert!(p999 <= h.max_us());
+        assert_eq!(h.max_us(), 10_000);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=10_000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.5) as f64;
+        let p99 = h.quantile_us(0.99) as f64;
+        assert!((p50 / 5_000.0 - 1.0).abs() < 0.3, "p50 ~ {p50}");
+        assert!((p99 / 9_900.0 - 1.0).abs() < 0.3, "p99 ~ {p99}");
+    }
+
+    /// Differential check against the exact oracle the old implementation
+    /// used: keep every sample in a `Vec`, sort, index. The histogram must
+    /// agree within its documented ~19% relative bucket error (25% asserted
+    /// for slack) across a skewed, long-tailed sample stream.
+    #[test]
+    fn quantiles_match_sorted_vec_oracle() {
+        let mut h = LatencyHistogram::default();
+        let mut samples: Vec<u64> = Vec::new();
+        // deterministic LCG producing a heavy-tailed distribution:
+        // mostly sub-millisecond, occasional multi-second outliers
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for _ in 0..50_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 33) as f64 / (1u64 << 31) as f64; // [0, 1)
+            let us = (50.0 * (1.0 / (1.0 - u * 0.9999)).powf(1.5)) as u64;
+            samples.push(us);
+            h.record(Duration::from_micros(us));
+        }
+        samples.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+            let oracle = samples[rank] as f64;
+            let approx = h.quantile_us(q) as f64;
+            assert!(
+                (approx - oracle).abs() <= oracle * 0.25 + 2.0,
+                "q={q}: histogram {approx} vs oracle {oracle}"
+            );
+        }
+        assert_eq!(h.max_us(), *samples.last().unwrap());
+        assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Merging per-worker histograms must equal recording every sample into
+    /// one histogram — the property the serve engine relies on for its
+    /// shard-per-worker metrics.
+    #[test]
+    fn merge_equals_single_recording() {
+        let mut merged = LatencyHistogram::default();
+        let mut single = LatencyHistogram::default();
+        let mut shard_a = LatencyHistogram::default();
+        let mut shard_b = LatencyHistogram::default();
+        for us in 0..5_000u64 {
+            let sample = Duration::from_micros(us * us % 77_777);
+            single.record(sample);
+            if us % 2 == 0 {
+                shard_a.record(sample);
+            } else {
+                shard_b.record(sample);
+            }
+        }
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.max_us(), single.max_us());
+        assert_eq!(merged.mean_us(), single.mean_us());
+        for q in [0.25, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.quantile_us(q), single.quantile_us(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut prev = 0;
+        for us in [0u64, 1, 2, 3, 4, 7, 8, 100, 1_000, 1 << 20, 1 << 40] {
+            let b = bucket_of(us);
+            assert!(b >= prev, "bucket({us}) regressed");
+            prev = b;
+            assert!(bucket_upper(b) >= us, "upper({b}) < {us}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # taser-obs
+//!
+//! Dependency-free observability for the TASER workspace: a process-wide
+//! metrics registry, per-stage span tracing, and two export surfaces
+//! (Prometheus-style text, chrome://tracing JSON).
+//!
+//! The paper's own evidence is stage-level (Figure 1 is a sampling /
+//! feature-gather / forward breakdown), so every perf-sensitive subsystem
+//! here reports through this crate: the serve pipeline attributes each
+//! batch across six stages ([`Stage`]), the thread pool exposes
+//! steal/park/wake counters, the feature cache reports per-epoch hit
+//! rates, and the incremental index records publish latency.
+//!
+//! Design contract (enforced by `tests/zero_alloc.rs` at the workspace
+//! root):
+//!
+//! * tracing disabled ⇒ [`record`] is one relaxed atomic load; the serve
+//!   hot path stays zero-allocation and within noise of its traced-off
+//!   throughput;
+//! * tracing enabled ⇒ span recording is allocation-free after warmup
+//!   (fixed-size per-thread rings, `&'static str` names, no formatting).
+//!
+//! ```
+//! use taser_obs::{global, set_tracing, time};
+//!
+//! global().counter("demo_total").add(3);
+//! set_tracing(true);
+//! let (sum, wall) = time("demo_span", || (0..100u64).sum::<u64>());
+//! assert_eq!(sum, 4950);
+//! assert!(taser_obs::chrome_trace_json().contains("demo_span"));
+//! assert!(wall.as_nanos() > 0);
+//! ```
+
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use export::{base_name, parse_prometheus, push_histogram, push_sample, push_type, PromValue};
+pub use hist::LatencyHistogram;
+pub use registry::{global, Counter, Gauge, HistogramMetric, Registry};
+pub use span::{
+    chrome_trace_json, clear_spans, init_tracing_from_env, record, set_tracing, time,
+    tracing_enabled, warm_thread_ring, SpanEvent, Stage, StageNanos, RING_CAPACITY, STAGES,
+    STAGE_COUNT,
+};

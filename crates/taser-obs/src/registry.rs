@@ -1,0 +1,269 @@
+//! Process-wide metrics registry: named sharded counters, gauges, and
+//! latency histograms.
+//!
+//! Handles are `Arc`s resolved once (at construction time of the
+//! instrumented component) and then updated lock-free on the hot path:
+//! [`Counter`] stripes increments across cache-line-padded atomic shards
+//! indexed by thread, so concurrent writers never bounce a line. The
+//! registry itself is only locked on registration and on render — never
+//! per update.
+//!
+//! [`global()`] returns the process-wide instance every subsystem reports
+//! into; private [`Registry`] instances exist for tests (and for the
+//! Prometheus round-trip proptest) so parallel test threads do not pollute
+//! each other.
+
+use crate::hist::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Counter stripe count. Eight padded shards cover typical worker counts;
+/// threads beyond that wrap and share a stripe (still correct, just
+/// occasionally contended).
+const SHARDS: usize = 8;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static THREAD_IDX: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+fn shard_idx() -> usize {
+    THREAD_IDX.with(|i| *i % SHARDS)
+}
+
+/// Monotonic counter striped across padded atomic shards.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Adds `n` to this thread's stripe (relaxed; no cross-thread bounce).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_idx()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Sum over all stripes.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Last-write-wins signed gauge.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by a signed delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Registry-held latency histogram (a locked [`LatencyHistogram`]; intended
+/// for low-frequency events like index publishes, not per-query paths —
+/// per-query recording belongs in per-worker shards merged on read).
+#[derive(Default)]
+pub struct HistogramMetric(Mutex<LatencyHistogram>);
+
+impl HistogramMetric {
+    /// Records one latency observation.
+    pub fn record(&self, d: Duration) {
+        self.0.lock().expect("histogram poisoned").record(d);
+    }
+
+    /// Records one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.0.lock().expect("histogram poisoned").record_us(us);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.lock().expect("histogram poisoned").clone()
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<HistogramMetric>),
+}
+
+/// A named collection of metrics, rendered as Prometheus-style text.
+///
+/// Metric names may carry Prometheus labels inline
+/// (`taser_index_appends_total{shard="3"}`); entries sharing a base name
+/// are grouped under one `# TYPE` line on render.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry (for tests; production code uses [`global()`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolves (registering on first use) the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Resolves (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Resolves (registering on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<HistogramMetric> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramMetric::default())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Renders every metric as Prometheus-style text, sorted by name.
+    ///
+    /// Counters and gauges emit one sample each; histograms emit
+    /// `_count`/`_sum_us`/`_max_us` plus `{quantile=...}` summary rows.
+    pub fn render_prometheus(&self) -> String {
+        let m = self.metrics.lock().expect("registry poisoned");
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, metric) in m.iter() {
+            let base = crate::export::base_name(name);
+            if base != last_base {
+                let kind = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "summary",
+                };
+                crate::export::push_type(&mut out, base, kind);
+                last_base = base.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => crate::export::push_sample(&mut out, name, c.get()),
+                Metric::Gauge(g) => crate::export::push_sample(&mut out, name, g.get()),
+                Metric::Histogram(h) => {
+                    crate::export::push_histogram(&mut out, name, &h.snapshot())
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry all instrumented subsystems report into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(reg.counter("t_total").get(), 4000, "same handle by name");
+    }
+
+    #[test]
+    fn gauge_and_histogram_round_trip() {
+        let reg = Registry::new();
+        reg.gauge("depth").set(-3);
+        assert_eq!(reg.gauge("depth").get(), -3);
+        let h = reg.histogram("lat_us");
+        h.record(Duration::from_micros(500));
+        h.record_us(1500);
+        let snap = reg.histogram("lat_us").snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.sum_us(), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn render_groups_type_lines_and_sorts() {
+        let reg = Registry::new();
+        reg.counter("b_total{lane=\"1\"}").add(2);
+        reg.counter("b_total{lane=\"0\"}").add(1);
+        reg.gauge("a_depth").set(7);
+        let text = reg.render_prometheus();
+        let a = text.find("a_depth 7").expect("gauge rendered");
+        let b0 = text.find("b_total{lane=\"0\"} 1").expect("lane 0");
+        let b1 = text.find("b_total{lane=\"1\"} 2").expect("lane 1");
+        assert!(a < b0 && b0 < b1, "sorted by name:\n{text}");
+        assert_eq!(text.matches("# TYPE b_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE a_depth gauge").count(), 1);
+    }
+}

@@ -1,0 +1,368 @@
+//! Lightweight span tracing with fixed-size per-thread ring buffers.
+//!
+//! The contract that lets this sit inside the serve hot path:
+//!
+//! * **Off by default, zero overhead when off** — [`record`] is a single
+//!   relaxed atomic load when tracing is disabled; no clock reads, no
+//!   locks, no allocation.
+//! * **Allocation-free when on (after warmup)** — the first span a thread
+//!   records registers a fixed-capacity ring (one allocation); every
+//!   subsequent record is a lock of the thread's own ring plus an array
+//!   write. Names are `&'static str`: no formatting on the hot path.
+//! * **Bounded memory** — rings wrap, keeping the most recent
+//!   [`RING_CAPACITY`] spans per thread.
+//!
+//! Spans are exported as a chrome://tracing JSON document
+//! ([`chrome_trace_json`]); per-query stage attribution for the serve
+//! pipeline accumulates into [`StageNanos`] (always on — a handful of
+//! clock reads per batch) and doubles as the span emitter when tracing is
+//! enabled.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The six serve pipeline stages, in batch execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Submit → batch drain (queueing + batch-close wait).
+    AdmissionWait = 0,
+    /// Query staging, root dedup, hop buffer preparation.
+    BatchAssembly = 1,
+    /// Temporal neighbor finding (per hop).
+    Sampling = 2,
+    /// Edge-feature gather through the cache tier.
+    FeatureGather = 3,
+    /// Packed model forward + link probability head.
+    PackedForward = 4,
+    /// Ticket fulfilment (waking submitters).
+    Respond = 5,
+}
+
+/// Number of pipeline stages.
+pub const STAGE_COUNT: usize = 6;
+
+/// All stages in execution order.
+pub const STAGES: [Stage; STAGE_COUNT] = [
+    Stage::AdmissionWait,
+    Stage::BatchAssembly,
+    Stage::Sampling,
+    Stage::FeatureGather,
+    Stage::PackedForward,
+    Stage::Respond,
+];
+
+impl Stage {
+    /// Stable name used in span dumps and Prometheus stage metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::AdmissionWait => "admission_wait",
+            Stage::BatchAssembly => "batch_assembly",
+            Stage::Sampling => "sampling",
+            Stage::FeatureGather => "feature_gather",
+            Stage::PackedForward => "packed_forward",
+            Stage::Respond => "respond",
+        }
+    }
+}
+
+/// Per-stage nanosecond accumulator (fixed array: copyable, mergeable,
+/// allocation-free). Used per-batch in the pipeline scratch and per-worker
+/// in the engine metrics shards.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageNanos {
+    ns: [u64; STAGE_COUNT],
+}
+
+impl StageNanos {
+    /// Resets every stage to zero.
+    pub fn clear(&mut self) {
+        self.ns = [0; STAGE_COUNT];
+    }
+
+    /// Adds `ns` nanoseconds to `stage`.
+    #[inline]
+    pub fn add(&mut self, stage: Stage, ns: u64) {
+        self.ns[stage as usize] += ns;
+    }
+
+    /// Closes a timed region started at `start`: accumulates its duration
+    /// under `stage`, emits a span when tracing is enabled, and returns the
+    /// region's end instant (chainable as the next region's start).
+    #[inline]
+    pub fn close_region(&mut self, stage: Stage, start: Instant) -> Instant {
+        let end = Instant::now();
+        self.add(stage, duration_ns(end.saturating_duration_since(start)));
+        record(stage.name(), start, end);
+        end
+    }
+
+    /// Accumulated nanoseconds for `stage`.
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.ns[stage as usize]
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &StageNanos) {
+        for (a, b) in self.ns.iter_mut().zip(other.ns.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Sum over all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Iterates `(stage, accumulated_ns)` in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, u64)> + '_ {
+        STAGES.iter().map(move |&s| (s, self.ns[s as usize]))
+    }
+}
+
+#[inline]
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Spans kept per thread; older spans are overwritten once the ring wraps.
+pub const RING_CAPACITY: usize = 8192;
+
+/// One recorded span. Times are nanoseconds since the trace epoch (the
+/// first [`set_tracing`] enable).
+#[derive(Clone, Copy, Debug)]
+pub struct SpanEvent {
+    /// Static span name (a [`Stage::name`] or a bench label).
+    pub name: &'static str,
+    /// Start, ns since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+}
+
+struct Ring {
+    events: Vec<SpanEvent>,
+    head: usize,
+    wrapped: bool,
+    tid: u64,
+}
+
+impl Ring {
+    fn push(&mut self, e: SpanEvent) {
+        if self.events.len() < RING_CAPACITY {
+            self.events.push(e);
+        } else {
+            self.events[self.head] = e;
+            self.wrapped = true;
+        }
+        self.head = (self.head + 1) % RING_CAPACITY;
+    }
+
+    fn in_order(&self) -> impl Iterator<Item = &SpanEvent> {
+        let (tail, head) = if self.wrapped {
+            (&self.events[self.head..], &self.events[..self.head])
+        } else {
+            (&self.events[..], &self.events[..0])
+        };
+        tail.iter().chain(head.iter())
+    }
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static RINGS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+    &RINGS
+}
+
+thread_local! {
+    static LOCAL_RING: RefCell<Option<Arc<Mutex<Ring>>>> = const { RefCell::new(None) };
+}
+
+/// Whether span recording is currently enabled.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off. The trace epoch (t=0 of the dump) is
+/// pinned at the first enable.
+pub fn set_tracing(on: bool) {
+    if on {
+        EPOCH.get_or_init(Instant::now);
+    }
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Enables tracing when the `TASER_TRACE` environment variable is set to
+/// anything but `0` (boot-time hook for binaries without a flag surface).
+pub fn init_tracing_from_env() {
+    if std::env::var_os("TASER_TRACE").is_some_and(|v| v != "0") {
+        set_tracing(true);
+    }
+}
+
+fn register_ring() -> Arc<Mutex<Ring>> {
+    let ring = Arc::new(Mutex::new(Ring {
+        events: Vec::with_capacity(RING_CAPACITY),
+        head: 0,
+        wrapped: false,
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+    }));
+    rings()
+        .lock()
+        .expect("span rings poisoned")
+        .push(ring.clone());
+    ring
+}
+
+/// Pre-registers the calling thread's span ring (the one allocation on the
+/// recording path). Hot loops that must be allocation-free while tracing
+/// call this once during warmup.
+pub fn warm_thread_ring() {
+    LOCAL_RING.with(|cell| {
+        cell.borrow_mut().get_or_insert_with(register_ring);
+    });
+}
+
+/// Records a span covering `[start, end]` under `name` into the calling
+/// thread's ring. A single relaxed load and nothing else when tracing is
+/// off; lock-your-own-ring plus an array write when on.
+#[inline]
+pub fn record(name: &'static str, start: Instant, end: Instant) {
+    if !tracing_enabled() {
+        return;
+    }
+    record_enabled(name, start, end);
+}
+
+#[cold]
+fn record_enabled(name: &'static str, start: Instant, end: Instant) {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    let event = SpanEvent {
+        name,
+        start_ns: duration_ns(start.saturating_duration_since(epoch)),
+        dur_ns: duration_ns(end.saturating_duration_since(start)),
+    };
+    LOCAL_RING.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let ring = slot.get_or_insert_with(register_ring);
+        ring.lock().expect("span ring poisoned").push(event);
+    });
+}
+
+/// Times `f`, recording it as a span named `name` (when tracing is on) and
+/// returning its result plus wall time. The shared stopwatch for bench
+/// harnesses.
+pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    let end = Instant::now();
+    record(name, start, end);
+    (r, end.saturating_duration_since(start))
+}
+
+/// Empties every registered ring (testing hook; rings stay registered and
+/// keep their capacity).
+pub fn clear_spans() {
+    for ring in rings().lock().expect("span rings poisoned").iter() {
+        let mut r = ring.lock().expect("span ring poisoned");
+        r.events.clear();
+        r.head = 0;
+        r.wrapped = false;
+    }
+}
+
+/// Snapshots every ring into a chrome://tracing JSON document (load via
+/// `chrome://tracing` or <https://ui.perfetto.dev>). Complete `X`-phase
+/// events; timestamps in microseconds since the trace epoch.
+pub fn chrome_trace_json() -> String {
+    let rings = rings().lock().expect("span rings poisoned");
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for ring in rings.iter() {
+        let r = ring.lock().expect("span ring poisoned");
+        for e in r.in_order() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"taser\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                e.name,
+                r.tid,
+                e.start_ns as f64 / 1_000.0,
+                e.dur_ns as f64 / 1_000.0,
+            ));
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test covering the span lifecycle end-to-end. Kept as a single
+    /// `#[test]` on purpose: tracing state is process-global and cargo runs
+    /// tests concurrently, so phases must execute in one sequence.
+    #[test]
+    fn span_lifecycle() {
+        // disabled: record is a no-op and the dump stays well-formed
+        assert!(!tracing_enabled());
+        let t0 = Instant::now();
+        record("never", t0, Instant::now());
+        let dump = chrome_trace_json();
+        assert!(dump.starts_with("{\"traceEvents\":["));
+        assert!(!dump.contains("never"));
+
+        // enabled: spans land in this thread's ring in order
+        set_tracing(true);
+        warm_thread_ring();
+        let (v, d) = time("unit_test_span", || 21 * 2);
+        assert_eq!(v, 42);
+        let mut stages = StageNanos::default();
+        let s = Instant::now();
+        let mid = stages.close_region(Stage::Sampling, s);
+        stages.close_region(Stage::PackedForward, mid);
+        assert!(stages.get(Stage::Sampling) > 0);
+        assert!(stages.total_ns() >= stages.get(Stage::PackedForward));
+        assert_eq!(stages.iter().count(), STAGE_COUNT);
+        let dump = chrome_trace_json();
+        assert!(dump.contains("\"name\":\"unit_test_span\""), "{dump}");
+        assert!(dump.contains("\"name\":\"sampling\""));
+        assert!(dump.contains("\"name\":\"packed_forward\""));
+        assert!(dump.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        let _ = d;
+
+        // ring wraps instead of growing
+        for _ in 0..(RING_CAPACITY + 10) {
+            let t = Instant::now();
+            record("wrap_filler", t, t);
+        }
+        LOCAL_RING.with(|cell| {
+            let slot = cell.borrow();
+            let ring = slot.as_ref().expect("ring registered").lock().unwrap();
+            assert_eq!(ring.events.len(), RING_CAPACITY);
+            assert!(ring.wrapped);
+            assert_eq!(ring.in_order().count(), RING_CAPACITY);
+        });
+
+        // merge accumulators
+        let mut merged = StageNanos::default();
+        merged.merge(&stages);
+        merged.merge(&stages);
+        assert_eq!(merged.get(Stage::Sampling), 2 * stages.get(Stage::Sampling));
+
+        // disable again: recording stops
+        set_tracing(false);
+        clear_spans();
+        let t = Instant::now();
+        record("after_disable", t, t);
+        assert!(!chrome_trace_json().contains("after_disable"));
+    }
+}

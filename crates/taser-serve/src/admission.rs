@@ -267,12 +267,25 @@ pub struct LaneAdmission {
     pub shed_full: u64,
     /// Admitted queries dropped unscored after their deadline passed.
     pub shed_deadline: u64,
+    /// Queries currently waiting in the lane.
+    pub queued: u64,
+    /// Queries drained into a batch but not yet recorded as scored.
+    pub in_flight: u64,
 }
 
 struct LaneCounters {
     admitted: AtomicU64,
     shed_full: AtomicU64,
     shed_deadline: AtomicU64,
+    /// Drained-but-not-yet-recorded queries. Incremented under the shared
+    /// lock at drain; decremented by the scoring worker while it holds its
+    /// own metrics shard lock (see [`AdmissionQueue::mark_done`]) — which
+    /// is exactly what lets [`ServeEngine::stats`] take a skew-free
+    /// snapshot where `admitted == scored + shed_deadline + queued +
+    /// in_flight` holds as an identity, not just eventually.
+    ///
+    /// [`ServeEngine::stats`]: crate::engine::ServeEngine::stats
+    in_flight: AtomicU64,
 }
 
 struct Shared {
@@ -307,6 +320,7 @@ impl AdmissionQueue {
                     admitted: AtomicU64::new(0),
                     shed_full: AtomicU64::new(0),
                     shed_deadline: AtomicU64::new(0),
+                    in_flight: AtomicU64::new(0),
                 })
                 .collect(),
         }
@@ -363,16 +377,46 @@ impl AdmissionQueue {
             .sum()
     }
 
-    /// Per-lane admission counters (admitted / shed at door / shed expired).
+    /// Per-lane admission counters (admitted / shed at door / shed expired
+    /// / queued / in flight), read under the shared lock so the lanes are
+    /// mutually consistent.
     pub fn lane_admission(&self) -> Vec<LaneAdmission> {
-        self.counters
+        self.with_frozen(|lanes| lanes.to_vec())
+    }
+
+    /// Runs `f` over a per-lane counter snapshot **while holding the
+    /// admission lock**, freezing submits, door sheds, expiry sheds, and
+    /// batch drains for the duration. Callers that also freeze the scoring
+    /// side (the engine takes every worker metrics lock inside `f`) get an
+    /// exact cross-shard snapshot: `admitted = scored + shed_deadline +
+    /// queued + in_flight` per lane, with no mid-update skew.
+    pub fn with_frozen<R>(&self, f: impl FnOnce(&[LaneAdmission]) -> R) -> R {
+        let q = self.shared.lock().expect("admission lock poisoned");
+        let lanes: Vec<LaneAdmission> = self
+            .counters
             .iter()
-            .map(|c| LaneAdmission {
+            .enumerate()
+            .map(|(i, c)| LaneAdmission {
                 admitted: c.admitted.load(Ordering::Relaxed),
                 shed_full: c.shed_full.load(Ordering::Relaxed),
                 shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+                queued: q.lanes[i].len() as u64,
+                in_flight: c.in_flight.load(Ordering::Relaxed),
             })
-            .collect()
+            .collect();
+        let r = f(&lanes);
+        drop(q);
+        r
+    }
+
+    /// Marks one drained query as finished (scored). Workers call this
+    /// while holding their own metrics shard lock, in the same critical
+    /// section that records the score — keeping the in-flight counter and
+    /// the scored histogram in lockstep for snapshot readers.
+    pub fn mark_done(&self, lane: usize) {
+        self.counters[lane.min(self.policy.lanes - 1)]
+            .in_flight
+            .fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Drops every queued ticket whose deadline has passed, resolving each
@@ -442,8 +486,13 @@ impl AdmissionQueue {
             q = guard;
         }
         let mut batch = Vec::new();
-        'drain: for lane in q.lanes.iter_mut() {
+        'drain: for (lane_no, lane) in q.lanes.iter_mut().enumerate() {
             while let Some(p) = lane.pop_front() {
+                // still under the shared lock: queued → in_flight is one
+                // atomic transition from a snapshot reader's point of view
+                self.counters[lane_no]
+                    .in_flight
+                    .fetch_add(1, Ordering::Relaxed);
                 batch.push(p);
                 if batch.len() == self.policy.batch.max_batch {
                     break 'drain;

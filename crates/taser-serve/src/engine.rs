@@ -18,6 +18,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use taser_graph::events::{Event, EventLog};
 use taser_models::artifact::ModelArtifact;
+use taser_obs::{Stage, StageNanos};
 use taser_sample::SamplePolicy;
 
 use crate::admission::{
@@ -111,6 +112,7 @@ struct LaneLatency {
 struct WorkerMetrics {
     batches: u64,
     queries: u64,
+    stages: StageNanos,
     lanes: Vec<LaneLatency>,
 }
 
@@ -119,6 +121,7 @@ impl WorkerMetrics {
         WorkerMetrics {
             batches: 0,
             queries: 0,
+            stages: StageNanos::default(),
             lanes: (0..lanes).map(|_| LaneLatency::default()).collect(),
         }
     }
@@ -141,6 +144,9 @@ impl ServeEngine {
     /// cold-starts the server).
     pub fn new(artifact: ModelArtifact, seed_log: EventLog, cfg: ServeConfig) -> io::Result<Self> {
         assert!(cfg.workers >= 1, "engine needs at least one worker");
+        // opt-in span tracing via TASER_TRACE=1 (a relaxed flag read when
+        // off; the CLI's --trace-out enables it explicitly instead)
+        taser_obs::init_tracing_from_env();
         let num_nodes = seed_log
             .num_nodes()
             .max(artifact.node_feats.as_ref().map_or(0, |f| f.rows()))
@@ -259,61 +265,84 @@ impl ServeEngine {
 
     /// Point-in-time engine counters: global + per-lane latency quantiles
     /// (merged across the per-worker histograms), admission/shed counters,
-    /// SLO attainment, cache tiers.
+    /// queue depths, SLO attainment, the six-stage time breakdown, and
+    /// cache tiers.
+    ///
+    /// The snapshot is **skew-free**: the admission queue's lock is held
+    /// (freezing submits, door sheds, expiry sheds, and drains) while every
+    /// worker metrics shard is locked (freezing scored/SLO recording and
+    /// the paired in-flight decrement, which workers perform inside their
+    /// shard's critical section). Lock order is admission → shards, and
+    /// workers never take them in the opposite order, so the identity
+    /// `admitted == scored + shed_deadline + queued + in_flight` holds
+    /// exactly per lane in every snapshot — not just at quiescence.
     pub fn stats(&self) -> ServeStats {
         let policy = self.admission.policy();
-        let mut batches = 0u64;
-        let mut queries = 0u64;
-        let mut lane_hists: Vec<LatencyHistogram> = (0..policy.lanes)
-            .map(|_| LatencyHistogram::default())
-            .collect();
-        let mut lane_met = vec![0u64; policy.lanes];
-        let mut lane_missed = vec![0u64; policy.lanes];
-        for m in self.worker_metrics.iter() {
-            let m = m.lock().expect("metrics lock poisoned");
-            batches += m.batches;
-            queries += m.queries;
-            for (lane, l) in m.lanes.iter().enumerate() {
-                lane_hists[lane].merge(&l.hist);
-                lane_met[lane] += l.slo_met;
-                lane_missed[lane] += l.slo_missed;
+        self.admission.with_frozen(|admission| {
+            // freeze every shard before reading any of them
+            let shards: Vec<_> = self
+                .worker_metrics
+                .iter()
+                .map(|m| m.lock().expect("metrics lock poisoned"))
+                .collect();
+            let mut batches = 0u64;
+            let mut queries = 0u64;
+            let mut stages = StageNanos::default();
+            let mut lane_hists: Vec<LatencyHistogram> = (0..policy.lanes)
+                .map(|_| LatencyHistogram::default())
+                .collect();
+            let mut lane_met = vec![0u64; policy.lanes];
+            let mut lane_missed = vec![0u64; policy.lanes];
+            for m in shards.iter() {
+                batches += m.batches;
+                queries += m.queries;
+                stages.merge(&m.stages);
+                for (lane, l) in m.lanes.iter().enumerate() {
+                    lane_hists[lane].merge(&l.hist);
+                    lane_met[lane] += l.slo_met;
+                    lane_missed[lane] += l.slo_missed;
+                }
             }
-        }
-        let mut global = LatencyHistogram::default();
-        for h in &lane_hists {
-            global.merge(h);
-        }
-        let admission = self.admission.lane_admission();
-        let lanes: Vec<LaneStats> = admission
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| LaneStats::from_parts(i, a, &lane_hists[i], lane_met[i], lane_missed[i]))
-            .collect();
-        let cache = self.features.stats();
-        ServeStats {
-            queries,
-            batches,
-            ingests: self.ingests.load(Ordering::Relaxed),
-            generation: self.snapshots.generation(),
-            graph_events: self.snapshots.num_events() as u64,
-            mean_batch: if batches == 0 {
-                0.0
-            } else {
-                queries as f64 / batches as f64
-            },
-            p50_us: global.quantile_us(0.5),
-            p99_us: global.quantile_us(0.99),
-            p999_us: global.quantile_us(0.999),
-            mean_us: global.mean_us(),
-            max_us: global.max_us(),
-            admitted: lanes.iter().map(|l| l.admitted).sum(),
-            shed_full: lanes.iter().map(|l| l.shed_full).sum(),
-            shed_deadline: lanes.iter().map(|l| l.shed_deadline).sum(),
-            slo_met: lane_met.iter().sum(),
-            slo_missed: lane_missed.iter().sum(),
-            lanes,
-            cache,
-        }
+            let mut global = LatencyHistogram::default();
+            for h in &lane_hists {
+                global.merge(h);
+            }
+            let lanes: Vec<LaneStats> = admission
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    LaneStats::from_parts(i, a, &lane_hists[i], lane_met[i], lane_missed[i])
+                })
+                .collect();
+            let cache = self.features.stats();
+            ServeStats {
+                queries,
+                batches,
+                ingests: self.ingests.load(Ordering::Relaxed),
+                generation: self.snapshots.generation(),
+                graph_events: self.snapshots.num_events() as u64,
+                mean_batch: if batches == 0 {
+                    0.0
+                } else {
+                    queries as f64 / batches as f64
+                },
+                p50_us: global.quantile_us(0.5),
+                p99_us: global.quantile_us(0.99),
+                p999_us: global.quantile_us(0.999),
+                mean_us: global.mean_us(),
+                max_us: global.max_us(),
+                admitted: lanes.iter().map(|l| l.admitted).sum(),
+                shed_full: lanes.iter().map(|l| l.shed_full).sum(),
+                shed_deadline: lanes.iter().map(|l| l.shed_deadline).sum(),
+                in_queue: lanes.iter().map(|l| l.queued).sum(),
+                in_flight: lanes.iter().map(|l| l.in_flight).sum(),
+                slo_met: lane_met.iter().sum(),
+                slo_missed: lane_missed.iter().sum(),
+                stages,
+                lanes,
+                cache,
+            }
+        })
     }
 }
 
@@ -335,29 +364,58 @@ fn worker_loop(
 ) {
     // Per-worker reusable state: the fast path's arena + assembly buffers
     // plus the query/probability staging vectors. After warmup the scoring
-    // section of this loop performs no heap allocations.
+    // section of this loop performs no heap allocations — stage timing is
+    // plain `Instant` reads into fixed arrays, and span recording (when
+    // tracing is on) writes into a pre-registered fixed-capacity ring.
     let mut scratch = ScoreScratch::new();
     let mut queries: Vec<LinkQuery> = Vec::new();
     let mut probs: Vec<f32> = Vec::new();
+    let mut meta: Vec<(usize, Instant, Instant)> = Vec::new();
     while let Some(batch) = admission.next_batch() {
         if batch.is_empty() {
             continue;
         }
+        let drained = Instant::now();
+        // admission wait = submit → drain, summed exactly per query; the
+        // span covers the batch's longest wait
+        let mut batch_stages = StageNanos::default();
+        let mut oldest = drained;
+        for p in &batch {
+            batch_stages.add(
+                Stage::AdmissionWait,
+                drained
+                    .saturating_duration_since(p.submitted)
+                    .as_nanos()
+                    .min(u64::MAX as u128) as u64,
+            );
+            oldest = oldest.min(p.submitted);
+        }
+        taser_obs::record(Stage::AdmissionWait.name(), oldest, drained);
+        let staging = Instant::now();
         let snap = snapshots.snapshot();
         queries.clear();
         queries.extend(batch.iter().map(|p| p.query));
+        meta.clear();
+        meta.extend(batch.iter().map(|p| (p.lane, p.submitted, p.deadline)));
+        batch_stages.close_region(Stage::BatchAssembly, staging);
         // the feature cache synchronizes internally, so concurrent workers
         // overlap on the encoder forward and only serialize on bookkeeping
         match pipeline.score_path() {
-            ScorePath::Fast => pipeline.score_batch_into(
-                snap.csr.as_ref(),
-                snap.generation,
-                &queries,
-                features,
-                &mut scratch,
-                &mut probs,
-            ),
+            ScorePath::Fast => {
+                pipeline.score_batch_into(
+                    snap.csr.as_ref(),
+                    snap.generation,
+                    &queries,
+                    features,
+                    &mut scratch,
+                    &mut probs,
+                );
+                batch_stages.merge(scratch.stage_ns());
+            }
             ScorePath::Tape => {
+                // the tape oracle is unattributed internally: book it all
+                // under the forward stage
+                let t0 = Instant::now();
                 probs.clear();
                 probs.extend(pipeline.score_batch_tape(
                     snap.csr.as_ref(),
@@ -365,30 +423,46 @@ fn worker_loop(
                     &queries,
                     features,
                 ));
+                batch_stages.close_region(Stage::PackedForward, t0);
             }
         }
-        let done = Instant::now();
+        // latency/SLO are judged at scoring completion (as before), and the
+        // score is booked *before* the tickets are fulfilled so a caller
+        // that observed its result always finds itself counted in `stats()`
+        let scored_at = Instant::now();
         {
-            // this worker's own shard: no cross-worker contention
+            // this worker's own shard: no cross-worker contention. The
+            // in-flight decrement rides inside the same critical section
+            // that records the score, so snapshot readers holding every
+            // shard lock see the two move together.
             let mut m = metrics.lock().expect("metrics lock poisoned");
             m.batches += 1;
-            m.queries += batch.len() as u64;
-            for p in &batch {
-                let lane = &mut m.lanes[p.lane];
-                lane.hist.record(done.duration_since(p.submitted));
-                if done <= p.deadline {
+            m.queries += meta.len() as u64;
+            m.stages.merge(&batch_stages);
+            for &(lane_no, submitted, deadline) in &meta {
+                let lane = &mut m.lanes[lane_no];
+                lane.hist.record(scored_at.duration_since(submitted));
+                if scored_at <= deadline {
                     lane.slo_met += 1;
                 } else {
                     lane.slo_missed += 1;
                 }
+                admission.mark_done(lane_no);
             }
         }
+        // the respond stage covers waking the submitters; it lands in the
+        // shard with a second (uncontended) lock because the tickets must
+        // be fulfilled after the booking above
         for (pending, &prob) in batch.into_iter().zip(probs.iter()) {
             pending.fulfill(ScoreResult {
                 prob,
                 generation: snap.generation,
             });
         }
+        let mut respond = StageNanos::default();
+        respond.close_region(Stage::Respond, scored_at);
+        let mut m = metrics.lock().expect("metrics lock poisoned");
+        m.stages.merge(&respond);
     }
 }
 
@@ -483,6 +557,51 @@ mod tests {
         assert_eq!(stats.lanes[0].scored, 3);
         assert_eq!(stats.lanes[1].scored, 3);
         assert_eq!(stats.slo_met, 6);
+    }
+
+    #[test]
+    fn stats_snapshot_identity_holds_under_load() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // The PR-7 skew fix: `stats()` freezes admission and merges every
+        // worker shard under one snapshot, so admitted splits exactly into
+        // scored + shed + queued + in-flight at EVERY instant — not just at
+        // quiescence. Hammer submissions from one thread while another
+        // snapshots continuously.
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let eng = &engine;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut tickets = Vec::new();
+                for i in 0..300u32 {
+                    if let Ok(t) = eng.submit(i % 6, 6 + (i % 6), 40.0) {
+                        tickets.push(t);
+                    }
+                }
+                for t in tickets {
+                    let _ = t.wait();
+                }
+                stop.store(true, Ordering::Release);
+            });
+            while !stop.load(Ordering::Acquire) {
+                let st = eng.stats();
+                for lane in &st.lanes {
+                    assert_eq!(
+                        lane.admitted,
+                        lane.scored + lane.shed_deadline + lane.queued + lane.in_flight,
+                        "lane {} snapshot skewed: {:?}",
+                        lane.lane,
+                        lane
+                    );
+                }
+            }
+        });
+        // at quiescence the transients are zero and totals reconcile
+        let st = engine.stats();
+        assert_eq!(st.in_queue, 0);
+        assert_eq!(st.in_flight, 0);
+        assert_eq!(st.admitted, st.queries + st.shed_deadline);
     }
 
     #[test]

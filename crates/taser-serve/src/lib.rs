@@ -28,6 +28,14 @@
 //!    [`ServeEngine`] with latency quantiles ([`stats`]) and a line-oriented
 //!    text protocol over stdin or TCP (the `taser-serve` binary).
 //!
+//! Observability rides on [`taser_obs`] (re-exported as [`obs`]): every
+//! worker attributes each query's latency across six pipeline stages, the
+//! `metrics` protocol verb renders the whole surface as Prometheus text,
+//! and `--trace-out` dumps chrome://tracing spans. With tracing off the
+//! scoring hot path stays allocation-free and within noise of the
+//! uninstrumented engine (enforced by `tests/zero_alloc.rs` and the CI
+//! bench gate).
+//!
 //! ```no_run
 //! use taser_serve::{ServeConfig, ServeEngine};
 //! use taser_models::ModelArtifact;
@@ -58,3 +66,8 @@ pub use features::{FeatureCacheStats, ServeFeatureCache};
 pub use pipeline::{ScorePath, ScorePipeline, ScoreScratch};
 pub use snapshot::{GraphSnapshot, IndexBackend, SnapshotStore};
 pub use stats::{LaneStats, LatencyHistogram, ServeStats};
+
+/// The observability layer: metrics registry, span tracing, and the
+/// Prometheus/chrome-trace export surfaces behind the `metrics` verb and
+/// `--trace-out`.
+pub use taser_obs as obs;

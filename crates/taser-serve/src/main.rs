@@ -8,8 +8,13 @@
 //!     [--tcp 127.0.0.1:7171] [--workers 2] [--max-batch 64]
 //!     [--max-wait-ms 2] [--slo-us 5000000] [--queue-cap 4096] [--lanes 2]
 //!     [--publish-every 256] [--cache-ratio 0.2]
-//!     [--index-backend rebuild|incremental]
+//!     [--index-backend rebuild|incremental] [--trace-out trace.json]
 //! ```
+//!
+//! `--trace-out <path>` enables span tracing at boot and, when the stdin
+//! session ends, writes a chrome://tracing / Perfetto-loadable JSON dump of
+//! the per-stage spans to `<path>`. Stdin mode only: the TCP accept loop
+//! never returns, so there is no shutdown point to dump at.
 //!
 //! `train` fits a small model on the synthetic Wikipedia-style dataset and
 //! writes the serving artifact (plus, optionally, the training event log as
@@ -50,7 +55,8 @@ fn usage() -> ! {
          taser-serve run --artifact <path> [--events <path>] [--tcp addr] \
          [--workers n] [--max-batch n] [--max-wait-ms f] [--slo-us n] \
          [--queue-cap n] [--lanes n] [--publish-every n] \
-         [--cache-ratio f] [--index-backend rebuild|incremental]"
+         [--cache-ratio f] [--index-backend rebuild|incremental] \
+         [--trace-out path]"
     );
     std::process::exit(2);
 }
@@ -200,6 +206,11 @@ fn run(args: &[String]) {
         cfg.batch.max_wait,
         cfg.index_backend.name(),
     );
+    let trace_out = arg_value(args, "--trace-out");
+    if trace_out.is_some() {
+        // before engine boot so the workers' first batches are captured
+        taser_obs::set_tracing(true);
+    }
     let engine = ServeEngine::new(artifact, seed_log, cfg).expect("boot engine");
     let admission = engine.admission_policy();
     eprintln!(
@@ -211,6 +222,9 @@ fn run(args: &[String]) {
     eprintln!("scoring path: {}", engine.pipeline().score_path().name());
     match arg_value(args, "--tcp") {
         Some(addr) => {
+            if trace_out.is_some() {
+                eprintln!("warning: --trace-out is stdin-mode only (the TCP loop never exits)");
+            }
             let listener = std::net::TcpListener::bind(&addr).expect("bind");
             eprintln!("listening on {addr}");
             protocol::serve_tcp(std::sync::Arc::new(engine), listener).expect("serve");
@@ -219,6 +233,10 @@ fn run(args: &[String]) {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             protocol::run_session(&engine, stdin.lock(), stdout.lock()).expect("session");
+            if let Some(path) = trace_out {
+                std::fs::write(&path, taser_obs::chrome_trace_json()).expect("write trace");
+                eprintln!("trace -> {path}");
+            }
         }
     }
 }

@@ -34,11 +34,13 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
+use std::time::Instant;
 use taser_graph::feats::FeatureMatrix;
 use taser_graph::index::TemporalIndex;
 use taser_models::artifact::{ArtifactPolicy, BuiltModel, ModelArtifact};
 use taser_models::infer::{tape_forward, InferArgs, PackedModel, TapeArgs};
 use taser_models::ModelSpec;
+use taser_obs::{Stage, StageNanos};
 use taser_sample::rng::mix;
 use taser_sample::{FinderScratch, GpuFinder, SamplePolicy, SampledNeighbors, PAD};
 use taser_tensor::{ops::sigmoid, Graph, InferCtx, ParamStore, Slot, Tensor};
@@ -96,6 +98,8 @@ pub struct ScoreScratch {
     delta_t: Vec<f32>,
     mask: Vec<bool>,
     finder: FinderScratch,
+    // per-batch stage attribution (fixed array: timing stays allocation-free)
+    stages: StageNanos,
 }
 
 impl Default for ScoreScratch {
@@ -118,7 +122,16 @@ impl ScoreScratch {
             delta_t: Vec::new(),
             mask: Vec::new(),
             finder: FinderScratch::new(),
+            stages: StageNanos::default(),
         }
+    }
+
+    /// Stage attribution of the batch last scored through this scratch
+    /// (assembly / sampling / feature gather / packed forward; the
+    /// engine-side admission-wait and respond stages are accounted by the
+    /// worker loop).
+    pub fn stage_ns(&self) -> &StageNanos {
+        &self.stages
     }
 }
 
@@ -244,14 +257,18 @@ impl ScorePipeline {
         out: &mut Vec<f32>,
     ) {
         out.clear();
+        scratch.stages.clear();
         let b = queries.len();
         if b == 0 {
             return;
         }
+        let t0 = Instant::now();
         feats.on_requests(b as u64);
         self.dedup_roots(queries, scratch);
+        scratch.stages.close_region(Stage::BatchAssembly, t0);
         self.assemble(csr, generation, feats, scratch);
 
+        let forward_start = Instant::now();
         let ScoreScratch {
             ctx,
             unique,
@@ -261,6 +278,7 @@ impl ScorePipeline {
             edge_buf,
             delta_t,
             mask,
+            stages,
             ..
         } = scratch;
         ctx.reset();
@@ -282,6 +300,7 @@ impl ScorePipeline {
             .packed
             .predict(ctx, h, &root_slot[..b], &root_slot[b..]);
         out.extend(ctx.data(logits).iter().map(|&x| sigmoid(x)));
+        stages.close_region(Stage::PackedForward, forward_start);
     }
 
     /// The autograd-tape path over the same assembly — the training twin.
@@ -386,8 +405,14 @@ impl ScorePipeline {
             delta_t,
             mask,
             finder,
+            stages,
             ..
         } = scratch;
+        // Stage attribution: buffer prep and the mask/target fill are
+        // assembly; the finder loops are sampling; the feature pull is the
+        // gather stage. Regions chain (each close starts the next), so the
+        // three stages tile assemble() exactly.
+        let mut region = Instant::now();
         let r0 = unique.len();
         let r_total = if layers == 2 { r0 + r0 * n } else { r0 };
         targets.clear();
@@ -397,6 +422,7 @@ impl ScorePipeline {
         delta_t.resize(r_total * n, 0.0);
         mask.clear();
         mask.resize(r_total * n, false);
+        region = stages.close_region(Stage::BatchAssembly, region);
 
         for hop in 0..layers {
             let (start, end) = if hop == 0 { (0, r0) } else { (r0, r_total) };
@@ -431,6 +457,7 @@ impl ScorePipeline {
                     count,
                 );
             }
+            region = stages.close_region(Stage::Sampling, region);
             for ti in start..end {
                 let (_, t0) = targets[ti];
                 for j in 0..sel.counts[ti] {
@@ -451,6 +478,7 @@ impl ScorePipeline {
                     }
                 }
             }
+            region = stages.close_region(Stage::BatchAssembly, region);
         }
 
         if self.spec.edge_dim > 0 {
@@ -458,6 +486,7 @@ impl ScorePipeline {
         } else {
             edge_buf.clear();
         }
+        stages.close_region(Stage::FeatureGather, region);
     }
 
     /// Level-0 embeddings for a node list as a host tensor (tape path);

@@ -10,9 +10,16 @@
 //!                          ->  overloaded deadline lane=<l>     (expired in queue)
 //! publish                  ->  published gen=<generation>
 //! stats                    ->  <one-line JSON>
+//! metrics                  ->  <Prometheus text, multi-line>
 //! quit                     ->  bye            (closes the session)
 //! # comment / blank        ->  (no reply)
 //! ```
+//!
+//! `metrics` is the one exception to one-reply-line-per-command: it emits
+//! the full Prometheus-style scrape (serve counters per lane, pool
+//! steal/park/wake tallies, cache and index registry metrics). Scripted
+//! clients that count lines should issue it last or parse by `# TYPE`
+//! framing.
 //!
 //! `lane` is an optional priority lane index (0 = highest, drains first;
 //! defaults to 0, clamped to the engine's `--lanes`). Under overload the
@@ -54,6 +61,10 @@ pub enum Command {
     Publish,
     /// Report engine counters.
     Stats,
+    /// Render the full metric surface — engine stats, pool scheduling
+    /// counters, and the process-wide [`taser_obs`] registry — as
+    /// Prometheus text. The only multi-line reply in the protocol.
+    Metrics,
     /// End the session.
     Quit,
 }
@@ -104,6 +115,7 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
         }
         "publish" => Ok(Some(Command::Publish)),
         "stats" => Ok(Some(Command::Stats)),
+        "metrics" => Ok(Some(Command::Metrics)),
         "quit" => Ok(Some(Command::Quit)),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -123,8 +135,34 @@ pub fn respond(engine: &ServeEngine, cmd: Command) -> String {
         },
         Command::Publish => format!("published gen={}", engine.publish()),
         Command::Stats => engine.stats().to_json(),
+        Command::Metrics => render_metrics(engine),
         Command::Quit => "bye".to_string(),
     }
+}
+
+/// The full Prometheus-text scrape behind the `metrics` verb: per-lane
+/// serve counters, pool steal/park/wake tallies, and everything other
+/// subsystems (cache epochs, index publishes) recorded in the global
+/// [`taser_obs`] registry. The trailing newline is trimmed because the
+/// session loop appends one.
+fn render_metrics(engine: &ServeEngine) -> String {
+    use taser_obs::export::{push_sample, push_type};
+    let mut out = engine.stats().to_prometheus();
+    let pc = rayon::pool_counters();
+    for (name, v) in [
+        ("taser_pool_steals_total", pc.steals),
+        ("taser_pool_parks_total", pc.parks),
+        ("taser_pool_wakes_total", pc.wakes),
+        ("taser_pool_inline_runs_total", pc.inline_runs),
+    ] {
+        push_type(&mut out, name, "counter");
+        push_sample(&mut out, name, v);
+    }
+    out.push_str(&taser_obs::global().render_prometheus());
+    while out.ends_with('\n') {
+        out.pop();
+    }
+    out
 }
 
 /// Runs one session: reads commands until `quit` or EOF, writing one flushed
@@ -264,6 +302,7 @@ mod tests {
         );
         assert_eq!(parse("publish").unwrap(), Some(Command::Publish));
         assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse("metrics").unwrap(), Some(Command::Metrics));
         assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
         assert_eq!(parse("").unwrap(), None);
         assert_eq!(parse("# comment").unwrap(), None);
@@ -312,6 +351,46 @@ query 9 9 99
         // trailing query is never answered
         assert!(lines[5].starts_with("error"));
         assert_eq!(lines[6], "bye");
+    }
+
+    #[test]
+    fn metrics_reply_is_well_formed_prometheus() {
+        let engine = engine();
+        for i in 0..4u32 {
+            respond(
+                &engine,
+                Command::Query {
+                    src: i % 4,
+                    dst: 4 + i % 4,
+                    t: 40.0,
+                    lane: 0,
+                },
+            );
+        }
+        let text = respond(&engine, Command::Metrics);
+        assert!(!text.ends_with('\n'), "session loop appends the newline");
+        assert!(text.contains("# TYPE taser_serve_queries_total counter"));
+        assert!(text.contains("taser_pool_steals_total "));
+        assert!(text.contains("taser_pool_parks_total "));
+        let parsed = taser_obs::parse_prometheus(&text);
+        let admitted = parsed
+            .iter()
+            .find(|(n, _)| n == "taser_serve_admitted_total{lane=\"0\"}")
+            .expect("per-lane admitted present")
+            .1;
+        assert_eq!(admitted, taser_obs::PromValue::Int(4));
+        // the scrape is internally consistent: admitted splits exactly into
+        // scored + shed-after-admission + queued + in-flight (the snapshot
+        // fix; door-sheds are never admitted)
+        let get = |n: &str| match parsed.iter().find(|(name, _)| name == n).unwrap().1 {
+            taser_obs::PromValue::Int(v) => v,
+            other => panic!("{n} not an integer: {other:?}"),
+        };
+        let scored = get("taser_serve_scored_total{lane=\"0\"}");
+        let shed_dl = get("taser_serve_shed_total{lane=\"0\",reason=\"deadline\"}");
+        let queued = get("taser_serve_queue_depth{lane=\"0\"}");
+        let in_flight = get("taser_serve_in_flight{lane=\"0\"}");
+        assert_eq!(4, scored + shed_dl + queued + in_flight);
     }
 
     #[test]

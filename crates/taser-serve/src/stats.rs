@@ -1,122 +1,24 @@
-//! Serving telemetry: latency quantiles and engine counters.
+//! Serving telemetry: latency quantiles, engine counters, and per-stage
+//! attribution.
 //!
-//! Latency is tracked by a fixed-memory log-bucketed [`LatencyHistogram`]
-//! (never a growing sample vector): each worker owns one histogram per
-//! lane and the engine merges them on read, so recording never contends
-//! across workers and memory stays bounded no matter how long the server
-//! runs. Arbitrary quantiles (p50/p99/p99.9/...) come from the buckets
-//! with a bounded relative error.
+//! Latency is tracked by the fixed-memory log-bucketed
+//! [`LatencyHistogram`] (now provided by `taser-obs` and re-exported here
+//! for compatibility): each worker owns one histogram per lane and the
+//! engine merges them on read, so recording never contends across workers
+//! and memory stays bounded no matter how long the server runs.
+//!
+//! [`ServeStats`] renders two ways: the line protocol's one-line JSON
+//! (`stats`) and Prometheus-style text (`metrics`,
+//! [`ServeStats::to_prometheus`]). The snapshot is *skew-free*: the engine
+//! freezes the admission queue and every worker shard together, so
+//! `admitted == scored + shed_deadline + in_queue + in_flight` holds
+//! exactly in every render, not just at quiescence.
 
 use crate::admission::LaneAdmission;
 use crate::features::FeatureCacheStats;
-use std::time::Duration;
-
-/// Buckets per power-of-two octave. Four sub-buckets bound the relative
-/// quantile error at ~19% — plenty for p50/p99/p99.9 reporting without
-/// keeping every sample.
-const SUBBUCKETS: u64 = 4;
-/// Total buckets: 64 octaves × sub-buckets (covers any u64 microsecond value).
-const BUCKETS: usize = 64 * SUBBUCKETS as usize;
-
-/// Fixed-memory log-linear histogram over microsecond latencies. Mergeable:
-/// per-worker histograms combine with [`LatencyHistogram::merge`] into the
-/// engine-wide view.
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    counts: Box<[u64; BUCKETS]>,
-    total: u64,
-    sum_us: u64,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            counts: Box::new([0; BUCKETS]),
-            total: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
-    }
-}
-
-fn bucket_of(us: u64) -> usize {
-    if us < SUBBUCKETS {
-        return us as usize; // exact buckets below the first octave
-    }
-    let octave = 63 - us.leading_zeros() as u64;
-    let sub = (us >> (octave.saturating_sub(2))) & (SUBBUCKETS - 1);
-    ((octave * SUBBUCKETS + sub) as usize).min(BUCKETS - 1)
-}
-
-/// Upper bound of a bucket (the value reported for quantiles in it).
-fn bucket_upper(idx: usize) -> u64 {
-    if idx < SUBBUCKETS as usize {
-        return idx as u64;
-    }
-    let octave = idx as u64 / SUBBUCKETS;
-    let sub = idx as u64 % SUBBUCKETS;
-    // buckets span [2^octave, 2^(octave+1)) split into SUBBUCKETS runs
-    (1u64 << octave).saturating_add((sub + 1).saturating_mul((1u64 << octave) / SUBBUCKETS))
-}
-
-impl LatencyHistogram {
-    /// Records one latency observation.
-    pub fn record(&mut self, d: Duration) {
-        let us = d.as_micros().min(u64::MAX as u128) as u64;
-        self.counts[bucket_of(us)] += 1;
-        self.total += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Folds another histogram into this one (e.g. per-worker shards into
-    /// the engine-wide view). Equivalent to having recorded both sample
-    /// streams into a single histogram.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *c += o;
-        }
-        self.total += other.total;
-        self.sum_us = self.sum_us.saturating_add(other.sum_us);
-        self.max_us = self.max_us.max(other.max_us);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Approximate quantile (`q` in [0, 1]) in microseconds; 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_upper(i).min(self.max_us);
-            }
-        }
-        self.max_us
-    }
-
-    /// Mean latency in microseconds.
-    pub fn mean_us(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_us as f64 / self.total as f64
-        }
-    }
-
-    /// Largest observation in microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-}
+use taser_obs::export::{push_sample, push_type};
+pub use taser_obs::LatencyHistogram;
+use taser_obs::StageNanos;
 
 /// Per-lane serving stats: admission counters plus latency quantiles of the
 /// queries scored from that lane.
@@ -132,6 +34,10 @@ pub struct LaneStats {
     pub shed_deadline: u64,
     /// Queries scored from this lane.
     pub scored: u64,
+    /// Queries waiting in the lane at snapshot time.
+    pub queued: u64,
+    /// Queries drained into a batch but not yet scored at snapshot time.
+    pub in_flight: u64,
     /// Scored queries that met their SLO deadline.
     pub slo_met: u64,
     /// Scored queries that resolved after their deadline.
@@ -159,6 +65,8 @@ impl LaneStats {
             shed_full: admission.shed_full,
             shed_deadline: admission.shed_deadline,
             scored: hist.count(),
+            queued: admission.queued,
+            in_flight: admission.in_flight,
             slo_met,
             slo_missed,
             p50_us: hist.quantile_us(0.5),
@@ -172,7 +80,8 @@ impl LaneStats {
             concat!(
                 "{{\"lane\":{},\"admitted\":{},\"shed_full\":{},\"shed_deadline\":{},",
                 "\"scored\":{},\"slo_met\":{},\"slo_missed\":{},",
-                "\"p50_us\":{},\"p99_us\":{},\"p999_us\":{}}}"
+                "\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},",
+                "\"queued\":{},\"in_flight\":{}}}"
             ),
             self.lane,
             self.admitted,
@@ -184,6 +93,8 @@ impl LaneStats {
             self.p50_us,
             self.p99_us,
             self.p999_us,
+            self.queued,
+            self.in_flight,
         )
     }
 }
@@ -219,10 +130,18 @@ pub struct ServeStats {
     pub shed_full: u64,
     /// Admitted queries dropped unscored past their deadline.
     pub shed_deadline: u64,
+    /// Queries waiting in some lane at snapshot time.
+    pub in_queue: u64,
+    /// Queries drained into a batch but not yet scored at snapshot time.
+    pub in_flight: u64,
     /// Scored queries that met their SLO deadline.
     pub slo_met: u64,
     /// Scored queries that resolved after their deadline.
     pub slo_missed: u64,
+    /// Per-stage wall time accumulated across all scored batches
+    /// (admission wait → batch assembly → sampling → feature gather →
+    /// packed forward → respond).
+    pub stages: StageNanos,
     /// Per-lane breakdown (lane 0 = highest priority).
     pub lanes: Vec<LaneStats>,
     /// Feature cache tier counters.
@@ -244,13 +163,20 @@ impl ServeStats {
             .map(LaneStats::to_json)
             .collect::<Vec<_>>()
             .join(",");
+        let stages = self
+            .stages
+            .iter()
+            .map(|(s, ns)| format!("\"{}\":{}", s.name(), ns))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"queries\":{},\"batches\":{},\"ingests\":{},\"generation\":{},",
                 "\"graph_events\":{},\"mean_batch\":{:.2},\"p50_us\":{},\"p99_us\":{},",
                 "\"mean_us\":{:.1},\"max_us\":{},\"p999_us\":{},\"admitted\":{},",
                 "\"shed\":{},\"shed_full\":{},\"shed_deadline\":{},",
-                "\"slo_met\":{},\"slo_missed\":{},\"lanes\":[{}],",
+                "\"in_queue\":{},\"in_flight\":{},",
+                "\"slo_met\":{},\"slo_missed\":{},\"stage_ns\":{{{}}},\"lanes\":[{}],",
                 "\"cache_hits\":{},\"cache_misses\":{},",
                 "\"cache_unknown\":{},\"cache_hit_rate\":{:.4},\"cache_epochs\":{},",
                 "\"cache_replacements\":{}}}"
@@ -270,8 +196,11 @@ impl ServeStats {
             self.shed(),
             self.shed_full,
             self.shed_deadline,
+            self.in_queue,
+            self.in_flight,
             self.slo_met,
             self.slo_missed,
+            stages,
             lanes,
             self.cache.hits,
             self.cache.misses,
@@ -281,140 +210,259 @@ impl ServeStats {
             self.cache.replacements,
         )
     }
+
+    /// Prometheus-style text rendering (the line protocol's `metrics`
+    /// reply). Covers engine totals, per-lane admission/shed/SLO/depth,
+    /// end-to-end latency quantiles, the six-stage time breakdown, and the
+    /// feature cache tier.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        push_type(&mut out, "taser_serve_queries_total", "counter");
+        push_sample(&mut out, "taser_serve_queries_total", self.queries);
+        push_type(&mut out, "taser_serve_batches_total", "counter");
+        push_sample(&mut out, "taser_serve_batches_total", self.batches);
+        push_type(&mut out, "taser_serve_ingests_total", "counter");
+        push_sample(&mut out, "taser_serve_ingests_total", self.ingests);
+        push_type(&mut out, "taser_serve_generation", "gauge");
+        push_sample(&mut out, "taser_serve_generation", self.generation);
+        push_type(&mut out, "taser_serve_graph_events", "gauge");
+        push_sample(&mut out, "taser_serve_graph_events", self.graph_events);
+
+        push_type(&mut out, "taser_serve_admitted_total", "counter");
+        for l in &self.lanes {
+            push_sample(
+                &mut out,
+                &format!("taser_serve_admitted_total{{lane=\"{}\"}}", l.lane),
+                l.admitted,
+            );
+        }
+        push_type(&mut out, "taser_serve_shed_total", "counter");
+        for l in &self.lanes {
+            push_sample(
+                &mut out,
+                &format!(
+                    "taser_serve_shed_total{{lane=\"{}\",reason=\"queue_full\"}}",
+                    l.lane
+                ),
+                l.shed_full,
+            );
+            push_sample(
+                &mut out,
+                &format!(
+                    "taser_serve_shed_total{{lane=\"{}\",reason=\"deadline\"}}",
+                    l.lane
+                ),
+                l.shed_deadline,
+            );
+        }
+        push_type(&mut out, "taser_serve_scored_total", "counter");
+        for l in &self.lanes {
+            push_sample(
+                &mut out,
+                &format!("taser_serve_scored_total{{lane=\"{}\"}}", l.lane),
+                l.scored,
+            );
+        }
+        push_type(&mut out, "taser_serve_slo_total", "counter");
+        for l in &self.lanes {
+            push_sample(
+                &mut out,
+                &format!(
+                    "taser_serve_slo_total{{lane=\"{}\",outcome=\"met\"}}",
+                    l.lane
+                ),
+                l.slo_met,
+            );
+            push_sample(
+                &mut out,
+                &format!(
+                    "taser_serve_slo_total{{lane=\"{}\",outcome=\"missed\"}}",
+                    l.lane
+                ),
+                l.slo_missed,
+            );
+        }
+        push_type(&mut out, "taser_serve_queue_depth", "gauge");
+        for l in &self.lanes {
+            push_sample(
+                &mut out,
+                &format!("taser_serve_queue_depth{{lane=\"{}\"}}", l.lane),
+                l.queued,
+            );
+        }
+        push_type(&mut out, "taser_serve_in_flight", "gauge");
+        for l in &self.lanes {
+            push_sample(
+                &mut out,
+                &format!("taser_serve_in_flight{{lane=\"{}\"}}", l.lane),
+                l.in_flight,
+            );
+        }
+
+        push_type(&mut out, "taser_serve_latency_us", "summary");
+        for (q, v) in [
+            ("0.5", self.p50_us),
+            ("0.99", self.p99_us),
+            ("0.999", self.p999_us),
+        ] {
+            push_sample(
+                &mut out,
+                &format!("taser_serve_latency_us{{quantile=\"{q}\"}}"),
+                v,
+            );
+        }
+        push_sample(&mut out, "taser_serve_latency_us_max", self.max_us);
+        push_sample(
+            &mut out,
+            "taser_serve_latency_us_mean",
+            format!("{:.1}", self.mean_us),
+        );
+        for l in &self.lanes {
+            for (q, v) in [("0.5", l.p50_us), ("0.99", l.p99_us), ("0.999", l.p999_us)] {
+                push_sample(
+                    &mut out,
+                    &format!(
+                        "taser_serve_latency_us{{lane=\"{}\",quantile=\"{q}\"}}",
+                        l.lane
+                    ),
+                    v,
+                );
+            }
+        }
+
+        push_type(&mut out, "taser_serve_stage_ns_total", "counter");
+        for (stage, ns) in self.stages.iter() {
+            push_sample(
+                &mut out,
+                &format!("taser_serve_stage_ns_total{{stage=\"{}\"}}", stage.name()),
+                ns,
+            );
+        }
+
+        push_type(&mut out, "taser_serve_cache_hits_total", "counter");
+        push_sample(&mut out, "taser_serve_cache_hits_total", self.cache.hits);
+        push_type(&mut out, "taser_serve_cache_misses_total", "counter");
+        push_sample(
+            &mut out,
+            "taser_serve_cache_misses_total",
+            self.cache.misses,
+        );
+        push_type(&mut out, "taser_serve_cache_unknown_total", "counter");
+        push_sample(
+            &mut out,
+            "taser_serve_cache_unknown_total",
+            self.cache.unknown,
+        );
+        push_type(&mut out, "taser_serve_cache_epochs_total", "counter");
+        push_sample(
+            &mut out,
+            "taser_serve_cache_epochs_total",
+            self.cache.epochs,
+        );
+        push_type(&mut out, "taser_serve_cache_replacements_total", "counter");
+        push_sample(
+            &mut out,
+            "taser_serve_cache_replacements_total",
+            self.cache.replacements,
+        );
+        push_type(&mut out, "taser_serve_cache_hit_rate", "gauge");
+        push_sample(
+            &mut out,
+            "taser_serve_cache_hit_rate",
+            format!("{:.4}", self.cache.hit_rate),
+        );
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use taser_obs::{parse_prometheus, PromValue, Stage};
 
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0);
-        assert_eq!(h.mean_us(), 0.0);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    fn quantiles_are_ordered_and_bounded() {
-        let mut h = LatencyHistogram::default();
-        for us in [3u64, 10, 10, 50, 100, 1000, 10_000] {
-            h.record(Duration::from_micros(us));
-        }
-        let p50 = h.quantile_us(0.5);
-        let p99 = h.quantile_us(0.99);
-        let p999 = h.quantile_us(0.999);
-        assert!(p50 <= p99, "{p50} > {p99}");
-        assert!(p99 <= p999, "{p99} > {p999}");
-        assert!(p999 <= h.max_us());
-        assert_eq!(h.max_us(), 10_000);
-        assert_eq!(h.count(), 7);
-    }
-
-    #[test]
-    fn quantile_error_is_bounded() {
-        let mut h = LatencyHistogram::default();
-        for us in 1..=10_000u64 {
-            h.record(Duration::from_micros(us));
-        }
-        let p50 = h.quantile_us(0.5) as f64;
-        let p99 = h.quantile_us(0.99) as f64;
-        assert!((p50 / 5_000.0 - 1.0).abs() < 0.3, "p50 ~ {p50}");
-        assert!((p99 / 9_900.0 - 1.0).abs() < 0.3, "p99 ~ {p99}");
-    }
-
-    /// Differential check against the exact oracle the old implementation
-    /// used: keep every sample in a `Vec`, sort, index. The histogram must
-    /// agree within its documented ~19% relative bucket error (25% asserted
-    /// for slack) across a skewed, long-tailed sample stream.
-    #[test]
-    fn quantiles_match_sorted_vec_oracle() {
-        let mut h = LatencyHistogram::default();
-        let mut samples: Vec<u64> = Vec::new();
-        // deterministic LCG producing a heavy-tailed distribution:
-        // mostly sub-millisecond, occasional multi-second outliers
-        let mut state = 0x2545F4914F6CDD1Du64;
-        for _ in 0..50_000 {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let u = (state >> 33) as f64 / (1u64 << 31) as f64; // [0, 1)
-            let us = (50.0 * (1.0 / (1.0 - u * 0.9999)).powf(1.5)) as u64;
-            samples.push(us);
-            h.record(Duration::from_micros(us));
-        }
-        samples.sort_unstable();
-        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
-            let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
-            let oracle = samples[rank] as f64;
-            let approx = h.quantile_us(q) as f64;
-            assert!(
-                (approx - oracle).abs() <= oracle * 0.25 + 2.0,
-                "q={q}: histogram {approx} vs oracle {oracle}"
-            );
-        }
-        assert_eq!(h.max_us(), *samples.last().unwrap());
-        assert_eq!(h.count(), samples.len() as u64);
-    }
-
-    /// Merging per-worker histograms must equal recording every sample into
-    /// one histogram — the property the engine relies on for its
-    /// shard-per-worker metrics.
-    #[test]
-    fn merge_equals_single_recording() {
-        let mut merged = LatencyHistogram::default();
-        let mut single = LatencyHistogram::default();
-        let mut shard_a = LatencyHistogram::default();
-        let mut shard_b = LatencyHistogram::default();
-        for us in 0..5_000u64 {
-            let sample = Duration::from_micros(us * us % 77_777);
-            single.record(sample);
-            if us % 2 == 0 {
-                shard_a.record(sample);
-            } else {
-                shard_b.record(sample);
-            }
-        }
-        merged.merge(&shard_a);
-        merged.merge(&shard_b);
-        assert_eq!(merged.count(), single.count());
-        assert_eq!(merged.max_us(), single.max_us());
-        assert_eq!(merged.mean_us(), single.mean_us());
-        for q in [0.25, 0.5, 0.9, 0.99, 0.999] {
-            assert_eq!(merged.quantile_us(q), single.quantile_us(q), "q={q}");
-        }
-    }
-
-    #[test]
-    fn buckets_are_monotone() {
-        let mut prev = 0;
-        for us in [0u64, 1, 2, 3, 4, 7, 8, 100, 1_000, 1 << 20, 1 << 40] {
-            let b = bucket_of(us);
-            assert!(b >= prev, "bucket({us}) regressed");
-            prev = b;
-            assert!(bucket_upper(b) >= us, "upper({b}) < {us}");
+    fn sample_stats() -> ServeStats {
+        let mut stages = StageNanos::default();
+        stages.add(Stage::Sampling, 1_000);
+        stages.add(Stage::PackedForward, 2_000);
+        ServeStats {
+            queries: 10,
+            p50_us: 250,
+            shed_full: 3,
+            shed_deadline: 1,
+            admitted: 11,
+            in_queue: 1,
+            stages,
+            lanes: vec![LaneStats {
+                lane: 0,
+                admitted: 10,
+                shed_full: 3,
+                shed_deadline: 1,
+                queued: 1,
+                ..LaneStats::default()
+            }],
+            ..ServeStats::default()
         }
     }
 
     #[test]
     fn stats_json_is_well_formed() {
-        let s = ServeStats {
-            queries: 10,
-            p50_us: 250,
-            shed_full: 3,
-            shed_deadline: 1,
-            lanes: vec![LaneStats {
-                lane: 0,
-                admitted: 10,
-                ..LaneStats::default()
-            }],
-            ..ServeStats::default()
-        };
+        let s = sample_stats();
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"queries\":10"));
         assert!(j.contains("\"p50_us\":250"));
         assert!(j.contains("\"shed\":4"), "{j}");
+        assert!(j.contains("\"in_queue\":1"), "{j}");
+        assert!(j.contains("\"stage_ns\":{\"admission_wait\":0"), "{j}");
+        assert!(j.contains("\"sampling\":1000"), "{j}");
         assert!(j.contains("\"lanes\":[{\"lane\":0,\"admitted\":10"), "{j}");
+    }
+
+    #[test]
+    fn prometheus_render_parses_back() {
+        let s = sample_stats();
+        let text = s.to_prometheus();
+        let parsed = parse_prometheus(&text);
+        let get = |n: &str| {
+            parsed
+                .iter()
+                .find(|(name, _)| name == n)
+                .unwrap_or_else(|| panic!("missing {n} in:\n{text}"))
+                .1
+        };
+        assert_eq!(get("taser_serve_queries_total"), PromValue::Int(10));
+        assert_eq!(
+            get("taser_serve_admitted_total{lane=\"0\"}"),
+            PromValue::Int(10)
+        );
+        assert_eq!(
+            get("taser_serve_shed_total{lane=\"0\",reason=\"queue_full\"}"),
+            PromValue::Int(3)
+        );
+        assert_eq!(
+            get("taser_serve_queue_depth{lane=\"0\"}"),
+            PromValue::Int(1)
+        );
+        assert_eq!(
+            get("taser_serve_latency_us{quantile=\"0.5\"}"),
+            PromValue::Int(250)
+        );
+        assert_eq!(
+            get("taser_serve_stage_ns_total{stage=\"sampling\"}"),
+            PromValue::Int(1_000)
+        );
+        assert_eq!(
+            get("taser_serve_stage_ns_total{stage=\"packed_forward\"}"),
+            PromValue::Int(2_000)
+        );
+        assert_eq!(get("taser_serve_cache_hit_rate"), PromValue::Float(0.0));
+        // every stage name appears
+        for stage in taser_obs::STAGES {
+            assert!(
+                text.contains(stage.name()),
+                "missing stage {} in:\n{text}",
+                stage.name()
+            );
+        }
     }
 }

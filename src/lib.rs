@@ -44,6 +44,7 @@ pub use taser_core as core;
 pub use taser_graph as graph;
 pub use taser_index as index;
 pub use taser_models as models;
+pub use taser_obs as obs;
 pub use taser_sample as sample;
 pub use taser_serve as serve;
 pub use taser_tensor as tensor;

@@ -1,0 +1,88 @@
+//! End-to-end check that per-stage latency attribution is conservative and
+//! complete (PR 7 acceptance criterion).
+//!
+//! One worker, `max_batch = 1`, sequential closed-loop queries: every query
+//! is its own batch, so the engine's six stage accumulators (admission wait
+//! → batch assembly → sampling → feature gather → packed forward → respond)
+//! tile each query's lifetime. Their sum must stay within tolerance of the
+//! end-to-end latency the caller actually measured — no stage double-counts
+//! time (sum ≤ measured + slop) and the attribution is not vacuous (sum is
+//! a substantial fraction of measured, every stage nonzero).
+
+use std::time::{Duration, Instant};
+use taser_graph::events::EventLog;
+use taser_graph::feats::FeatureMatrix;
+use taser_models::artifact::{ArtifactBackbone, ArtifactPolicy, ModelArtifact, ModelSpec};
+use taser_serve::{BatchPolicy, ServeConfig, ServeEngine};
+
+#[test]
+fn stage_durations_sum_to_measured_latency() {
+    let num_nodes = 16usize;
+    let log = EventLog::from_unsorted(
+        (0..120u32)
+            .map(|i| (i % 8, 8 + (i * 3) % 8, 1.0 + f64::from(i) * 0.25))
+            .collect(),
+    );
+    let spec = ModelSpec {
+        backbone: ArtifactBackbone::GraphMixer,
+        in_dim: 4,
+        edge_dim: 0,
+        hidden: 16,
+        time_dim: 8,
+        heads: 2,
+        n_neighbors: 5,
+        dropout: 0.0,
+        policy: ArtifactPolicy::MostRecent,
+    };
+    let node_feats =
+        FeatureMatrix::from_vec((0..num_nodes * 4).map(|x| x as f32 * 0.01).collect(), 4);
+    let artifact = ModelArtifact::init(spec, Some(node_feats), None, 5);
+    let engine = ServeEngine::new(
+        artifact,
+        log,
+        ServeConfig {
+            workers: 1,
+            batch: BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_micros(200),
+            },
+            lanes: 1,
+            publish_every: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let rounds = 20u32;
+    let mut outer = Duration::ZERO;
+    for i in 0..rounds {
+        let t0 = Instant::now();
+        engine.score(i % 8, 8 + (i % 8), 40.0).expect("scored");
+        outer += t0.elapsed();
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.queries, u64::from(rounds));
+    for stage in taser_obs::STAGES {
+        assert!(
+            stats.stages.get(stage) > 0,
+            "stage {} attributed zero time over {rounds} queries",
+            stage.name()
+        );
+    }
+    let stage_sum = Duration::from_nanos(stats.stages.total_ns());
+    // Upper bound: the stages tile each query's window without overlap, so
+    // their sum cannot exceed what the caller measured (small slop for the
+    // respond tail that completes after the waiter wakes, plus clock grain).
+    let upper = outer.mul_f64(1.02) + Duration::from_millis(2);
+    assert!(
+        stage_sum <= upper,
+        "stage sum {stage_sum:?} exceeds measured end-to-end {outer:?} (+tolerance)"
+    );
+    // Lower bound: attribution covers the bulk of each query's lifetime —
+    // the unattributed remainder is lock handoffs and scheduler wakeups.
+    assert!(
+        stage_sum >= outer.mul_f64(0.2),
+        "stage sum {stage_sum:?} implausibly small against measured {outer:?}"
+    );
+}

@@ -9,6 +9,11 @@
 //!
 //! This file holds exactly one `#[test]` so no concurrent test pollutes the
 //! allocation counter.
+//!
+//! PR 7 extends the contract to observability: with tracing **disabled**
+//! (the default) stage timing adds only `Instant` reads into fixed arrays,
+//! and with tracing **enabled** span recording writes into a pre-registered
+//! fixed-capacity ring — so both phases below assert zero allocations.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -115,5 +120,27 @@ fn steady_state_scoring_allocates_nothing() {
             after - before
         );
         assert!(probs.iter().all(|&p| p > 0.0 && p < 1.0));
+
+        // tracing ON: span recording must also be allocation-free once the
+        // thread's ring exists. The ring registration is the one deliberate
+        // allocation, paid here in warmup.
+        taser_obs::set_tracing(true);
+        taser_obs::warm_thread_ring();
+        for _ in 0..5 {
+            pipeline.score_batch_into(&csr, 3, &queries, &cache, &mut scratch, &mut probs);
+        }
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..20 {
+            pipeline.score_batch_into(&csr, 3, &queries, &cache, &mut scratch, &mut probs);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        taser_obs::set_tracing(false);
+        assert_eq!(
+            after - before,
+            0,
+            "{}: tracing-enabled scoring allocated {} times over 20 batches",
+            backbone.name(),
+            after - before
+        );
     }
 }

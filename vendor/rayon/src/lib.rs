@@ -97,7 +97,40 @@ where
 {
     match pool::global() {
         Some(p) if !pool::in_pool_worker() => pool::pool_join(p, a, b),
-        _ => (a(), b()),
+        _ => {
+            #[cfg(feature = "counters")]
+            pool::counters::INLINE_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            (a(), b())
+        }
+    }
+}
+
+/// A snapshot of the pool's scheduling counters (requires the `counters`
+/// feature). Values are monotone since process start; subtract two
+/// snapshots for a rate.
+#[cfg(feature = "counters")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Tasks popped from a shard other than the popping worker's own.
+    pub steals: u64,
+    /// Times a worker actually slept on the park condvar.
+    pub parks: u64,
+    /// Wake signals issued toward parked workers.
+    pub wakes: u64,
+    /// Parallel entry points that ran inline rather than fanning out.
+    pub inline_runs: u64,
+}
+
+/// Reads the current [`PoolCounters`] snapshot (relaxed loads; cheap
+/// enough to call on every metrics scrape).
+#[cfg(feature = "counters")]
+pub fn pool_counters() -> PoolCounters {
+    use std::sync::atomic::Ordering::Relaxed;
+    PoolCounters {
+        steals: pool::counters::STEALS.load(Relaxed),
+        parks: pool::counters::PARKS.load(Relaxed),
+        wakes: pool::counters::WAKES.load(Relaxed),
+        inline_runs: pool::counters::INLINE_RUNS.load(Relaxed),
     }
 }
 
@@ -128,7 +161,11 @@ where
     }
     match pool::global() {
         Some(p) if !pool::in_pool_worker() => pool::pool_map_vec(p, items, f, min_chunk),
-        _ => items.into_iter().map(f).collect(),
+        _ => {
+            #[cfg(feature = "counters")]
+            pool::counters::INLINE_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            items.into_iter().map(f).collect()
+        }
     }
 }
 

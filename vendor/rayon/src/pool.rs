@@ -59,6 +59,26 @@ use std::time::Duration;
 /// per-chunk claim stays a single `fetch_add`.
 pub(crate) const CHUNKS_PER_THREAD: usize = 4;
 
+/// Feature-gated scheduling tallies. All relaxed: these are monotone
+/// counters for a metrics scrape, never synchronization. With the
+/// `counters` feature off this module — and every bump site — compiles to
+/// nothing, keeping the shim's hot paths instruction-identical.
+#[cfg(feature = "counters")]
+pub(crate) mod counters {
+    use std::sync::atomic::AtomicU64;
+
+    /// Tasks a worker popped from a shard other than its home shard.
+    pub static STEALS: AtomicU64 = AtomicU64::new(0);
+    /// Times a worker actually blocked on the park condvar (raced rescans
+    /// that return without sleeping are not counted).
+    pub static PARKS: AtomicU64 = AtomicU64::new(0);
+    /// Wake signals issued toward parked workers.
+    pub static WAKES: AtomicU64 = AtomicU64::new(0);
+    /// Parallel entry points that ran inline: single-thread mode, no pool
+    /// yet, or nested calls from a pool worker.
+    pub static INLINE_RUNS: AtomicU64 = AtomicU64::new(0);
+}
+
 /// A type-erased unit of stealable work. `ctx` points at a job living on the
 /// submitting thread's stack; that thread guarantees the pointee outlives the
 /// task by blocking until every task it pushed was either removed from the
@@ -182,6 +202,8 @@ impl Pool {
         // *about to* park re-checks `pending` under `gate` before waiting,
         // so skipping the lock when nobody is parked cannot lose a wakeup.
         if self.parked.load(SeqCst) > 0 {
+            #[cfg(feature = "counters")]
+            counters::WAKES.fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
             let _g = self.gate.lock().expect("pool gate poisoned");
             if n == 1 {
                 self.cvar.notify_one();
@@ -207,6 +229,10 @@ impl Pool {
             };
             if let Some(t) = task {
                 self.pending.fetch_sub(1, SeqCst);
+                #[cfg(feature = "counters")]
+                if i > 0 {
+                    counters::STEALS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
                 return Some(t);
             }
         }
@@ -242,6 +268,8 @@ impl Pool {
             self.parked.fetch_sub(1, SeqCst);
             return; // a push raced our empty scan — rescan instead of sleeping
         }
+        #[cfg(feature = "counters")]
+        counters::PARKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let _g = self.cvar.wait(g).expect("pool gate poisoned");
         self.parked.fetch_sub(1, SeqCst);
     }
