@@ -64,10 +64,23 @@ pub fn parse_prometheus(text: &str) -> Vec<(String, PromValue)> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let Some((name, value)) = line.rsplit_once(' ') else {
-            continue;
+        // `name{labels} value`: label values are quoted and may contain
+        // spaces, so the name/value split is the first space *after* the
+        // label set closes (the value is numeric and never contains '}').
+        let (name, value) = if line.contains('{') {
+            let Some(close) = line.rfind('}') else {
+                continue;
+            };
+            (&line[..=close], line[close + 1..].trim())
+        } else {
+            let Some((name, value)) = line.split_once(' ') else {
+                continue;
+            };
+            (name, value.trim())
         };
-        let value = value.trim();
+        if value.is_empty() {
+            continue;
+        }
         let parsed = if let Ok(i) = value.parse::<i128>() {
             PromValue::Int(i)
         } else if let Ok(f) = value.parse::<f64>() {
@@ -121,5 +134,22 @@ mod tests {
     fn malformed_lines_are_skipped() {
         let parsed = parse_prometheus("garbage\nname notanumber\n\n# c\nok 3\n");
         assert_eq!(parsed, vec![("ok".to_string(), PromValue::Int(3))]);
+    }
+
+    #[test]
+    fn label_values_may_contain_spaces() {
+        let parsed = parse_prometheus(
+            "a_total{reason=\"queue full\"} 7\nb_us{stage=\"feature gather\",lane=\"0\"} 1.5\nc_bad{x=\"y\" notanumber\n",
+        );
+        assert_eq!(
+            parsed,
+            vec![
+                ("a_total{reason=\"queue full\"}".to_string(), PromValue::Int(7)),
+                (
+                    "b_us{stage=\"feature gather\",lane=\"0\"}".to_string(),
+                    PromValue::Float(1.5)
+                ),
+            ]
+        );
     }
 }

@@ -381,32 +381,27 @@ impl AdmissionQueue {
     /// / queued / in flight), read under the shared lock so the lanes are
     /// mutually consistent.
     pub fn lane_admission(&self) -> Vec<LaneAdmission> {
-        self.with_frozen(|lanes| lanes.to_vec())
+        self.freeze().lanes()
     }
 
-    /// Runs `f` over a per-lane counter snapshot **while holding the
-    /// admission lock**, freezing submits, door sheds, expiry sheds, and
-    /// batch drains for the duration. Callers that also freeze the scoring
-    /// side (the engine takes every worker metrics lock inside `f`) get an
-    /// exact cross-shard snapshot: `admitted = scored + shed_deadline +
-    /// queued + in_flight` per lane, with no mid-update skew.
-    pub fn with_frozen<R>(&self, f: impl FnOnce(&[LaneAdmission]) -> R) -> R {
-        let q = self.shared.lock().expect("admission lock poisoned");
-        let lanes: Vec<LaneAdmission> = self
-            .counters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| LaneAdmission {
-                admitted: c.admitted.load(Ordering::Relaxed),
-                shed_full: c.shed_full.load(Ordering::Relaxed),
-                shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
-                queued: q.lanes[i].len() as u64,
-                in_flight: c.in_flight.load(Ordering::Relaxed),
-            })
-            .collect();
-        let r = f(&lanes);
-        drop(q);
-        r
+    /// Takes the admission lock and holds it for the guard's lifetime,
+    /// freezing submits, door sheds, expiry sheds, and batch drains.
+    ///
+    /// The guard does **not** sample the counters at freeze time — call
+    /// [`FrozenAdmission::lanes`] when every lock the snapshot depends on
+    /// is held. The scoring side (`in_flight` decrement + scored recording)
+    /// runs under per-worker metrics shard locks, not this lock, so a
+    /// caller wanting the exact identity `admitted = scored + shed_deadline
+    /// + queued + in_flight` must freeze first, acquire *all* shard locks,
+    /// and only then read the lanes; sampling before the shard locks are
+    /// held would let a worker book a score (and decrement `in_flight`)
+    /// between the read and the shard freeze, counting the same query as
+    /// both in-flight and scored.
+    pub fn freeze(&self) -> FrozenAdmission<'_> {
+        FrozenAdmission {
+            queue: self,
+            shared: self.shared.lock().expect("admission lock poisoned"),
+        }
     }
 
     /// Marks one drained query as finished (scored). Workers call this
@@ -507,6 +502,35 @@ impl AdmissionQueue {
     pub fn close(&self) {
         self.shared.lock().expect("admission lock poisoned").closed = true;
         self.notify.notify_all();
+    }
+}
+
+/// The admission lock, held: submits, door sheds, expiry sheds, and batch
+/// drains are frozen until the guard drops. See [`AdmissionQueue::freeze`]
+/// for the locking discipline that makes [`FrozenAdmission::lanes`] an
+/// exact cross-shard snapshot.
+pub struct FrozenAdmission<'a> {
+    queue: &'a AdmissionQueue,
+    shared: std::sync::MutexGuard<'a, Shared>,
+}
+
+impl FrozenAdmission<'_> {
+    /// Samples the per-lane counters *now*, under the frozen admission
+    /// lock. Exactness of `in_flight` additionally requires the caller to
+    /// hold every worker metrics shard lock at the moment of this call.
+    pub fn lanes(&self) -> Vec<LaneAdmission> {
+        self.queue
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| LaneAdmission {
+                admitted: c.admitted.load(Ordering::Relaxed),
+                shed_full: c.shed_full.load(Ordering::Relaxed),
+                shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+                queued: self.shared.lanes[i].len() as u64,
+                in_flight: c.in_flight.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 

@@ -268,81 +268,92 @@ impl ServeEngine {
     /// queue depths, SLO attainment, the six-stage time breakdown, and
     /// cache tiers.
     ///
-    /// The snapshot is **skew-free**: the admission queue's lock is held
-    /// (freezing submits, door sheds, expiry sheds, and drains) while every
-    /// worker metrics shard is locked (freezing scored/SLO recording and
-    /// the paired in-flight decrement, which workers perform inside their
-    /// shard's critical section). Lock order is admission → shards, and
-    /// workers never take them in the opposite order, so the identity
-    /// `admitted == scored + shed_deadline + queued + in_flight` holds
-    /// exactly per lane in every snapshot — not just at quiescence.
+    /// The snapshot is **skew-free**: the admission queue's lock is taken
+    /// first (freezing submits, door sheds, expiry sheds, and drains), then
+    /// every worker metrics shard is locked (freezing scored/SLO recording
+    /// and the paired in-flight decrement, which workers perform inside
+    /// their shard's critical section), and only once *both* lock sets are
+    /// held are the lane counters sampled. Lock order is admission →
+    /// shards, and workers never take them in the opposite order, so the
+    /// identity `admitted == scored + shed_deadline + queued + in_flight`
+    /// holds exactly per lane in every snapshot — not just at quiescence.
+    ///
+    /// The frozen section is kept short: only counter reads and raw
+    /// histogram accumulation happen under the locks; quantile computation
+    /// and stat assembly run after both are released, so a metrics scrape
+    /// injects minimal latency into the admission path.
     pub fn stats(&self) -> ServeStats {
         let policy = self.admission.policy();
-        self.admission.with_frozen(|admission| {
-            // freeze every shard before reading any of them
-            let shards: Vec<_> = self
-                .worker_metrics
-                .iter()
-                .map(|m| m.lock().expect("metrics lock poisoned"))
-                .collect();
-            let mut batches = 0u64;
-            let mut queries = 0u64;
-            let mut stages = StageNanos::default();
-            let mut lane_hists: Vec<LatencyHistogram> = (0..policy.lanes)
-                .map(|_| LatencyHistogram::default())
-                .collect();
-            let mut lane_met = vec![0u64; policy.lanes];
-            let mut lane_missed = vec![0u64; policy.lanes];
-            for m in shards.iter() {
-                batches += m.batches;
-                queries += m.queries;
-                stages.merge(&m.stages);
-                for (lane, l) in m.lanes.iter().enumerate() {
-                    lane_hists[lane].merge(&l.hist);
-                    lane_met[lane] += l.slo_met;
-                    lane_missed[lane] += l.slo_missed;
-                }
+        // merge targets allocated before any lock is taken
+        let mut batches = 0u64;
+        let mut queries = 0u64;
+        let mut stages = StageNanos::default();
+        let mut lane_hists: Vec<LatencyHistogram> = (0..policy.lanes)
+            .map(|_| LatencyHistogram::default())
+            .collect();
+        let mut lane_met = vec![0u64; policy.lanes];
+        let mut lane_missed = vec![0u64; policy.lanes];
+        let mut shards = Vec::with_capacity(self.worker_metrics.len());
+
+        let frozen = self.admission.freeze();
+        for m in self.worker_metrics.iter() {
+            shards.push(m.lock().expect("metrics lock poisoned"));
+        }
+        // Both lock sets held: no worker can be mid-booking, so in_flight
+        // and the scored histograms cannot move between these reads.
+        let admission = frozen.lanes();
+        for m in shards.iter() {
+            batches += m.batches;
+            queries += m.queries;
+            stages.merge(&m.stages);
+            for (lane, l) in m.lanes.iter().enumerate() {
+                lane_hists[lane].merge(&l.hist);
+                lane_met[lane] += l.slo_met;
+                lane_missed[lane] += l.slo_missed;
             }
-            let mut global = LatencyHistogram::default();
-            for h in &lane_hists {
-                global.merge(h);
-            }
-            let lanes: Vec<LaneStats> = admission
-                .iter()
-                .enumerate()
-                .map(|(i, &a)| {
-                    LaneStats::from_parts(i, a, &lane_hists[i], lane_met[i], lane_missed[i])
-                })
-                .collect();
-            let cache = self.features.stats();
-            ServeStats {
-                queries,
-                batches,
-                ingests: self.ingests.load(Ordering::Relaxed),
-                generation: self.snapshots.generation(),
-                graph_events: self.snapshots.num_events() as u64,
-                mean_batch: if batches == 0 {
-                    0.0
-                } else {
-                    queries as f64 / batches as f64
-                },
-                p50_us: global.quantile_us(0.5),
-                p99_us: global.quantile_us(0.99),
-                p999_us: global.quantile_us(0.999),
-                mean_us: global.mean_us(),
-                max_us: global.max_us(),
-                admitted: lanes.iter().map(|l| l.admitted).sum(),
-                shed_full: lanes.iter().map(|l| l.shed_full).sum(),
-                shed_deadline: lanes.iter().map(|l| l.shed_deadline).sum(),
-                in_queue: lanes.iter().map(|l| l.queued).sum(),
-                in_flight: lanes.iter().map(|l| l.in_flight).sum(),
-                slo_met: lane_met.iter().sum(),
-                slo_missed: lane_missed.iter().sum(),
-                stages,
-                lanes,
-                cache,
-            }
-        })
+        }
+        drop(shards);
+        drop(frozen);
+
+        // locks released: quantiles, lane views, and cache stats are
+        // computed from the frozen copies
+        let mut global = LatencyHistogram::default();
+        for h in &lane_hists {
+            global.merge(h);
+        }
+        let lanes: Vec<LaneStats> = admission
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| LaneStats::from_parts(i, a, &lane_hists[i], lane_met[i], lane_missed[i]))
+            .collect();
+        let cache = self.features.stats();
+        ServeStats {
+            queries,
+            batches,
+            ingests: self.ingests.load(Ordering::Relaxed),
+            generation: self.snapshots.generation(),
+            graph_events: self.snapshots.num_events() as u64,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                queries as f64 / batches as f64
+            },
+            p50_us: global.quantile_us(0.5),
+            p99_us: global.quantile_us(0.99),
+            p999_us: global.quantile_us(0.999),
+            mean_us: global.mean_us(),
+            max_us: global.max_us(),
+            admitted: lanes.iter().map(|l| l.admitted).sum(),
+            shed_full: lanes.iter().map(|l| l.shed_full).sum(),
+            shed_deadline: lanes.iter().map(|l| l.shed_deadline).sum(),
+            in_queue: lanes.iter().map(|l| l.queued).sum(),
+            in_flight: lanes.iter().map(|l| l.in_flight).sum(),
+            slo_met: lane_met.iter().sum(),
+            slo_missed: lane_missed.iter().sum(),
+            stages,
+            lanes,
+            cache,
+        }
     }
 }
 
