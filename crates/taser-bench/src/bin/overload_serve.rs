@@ -25,11 +25,18 @@
 //! nonzero goodput, bounded p99.9) into hard exit-code failures — the CI
 //! overload-smoke job runs it that way.
 //!
+//! `--assert-health` adds a burn-alert round trip on ONE long-lived
+//! engine with short watchdog windows: drive 2× capacity until the
+//! per-lane SLO burn alert reaches Critical and the `health` surface
+//! reports it, then drop to 0.5× and require recovery to Ok. Timeouts on
+//! either edge are exit-code failures — the CI health-smoke job runs it
+//! that way.
+//!
 //! ```sh
 //! cargo run --release -p taser-bench --bin overload_serve \
 //!   [-- --scale 0.008 --slo-us 20000 --queue-cap 128 --lanes 2 \
-//!       --duration-ms 1000 --quick --assert-overload --out BENCH_overload.json \
-//!       --trace-out overload_trace.json]
+//!       --duration-ms 1000 --quick --assert-overload --assert-health \
+//!       --out BENCH_overload.json --trace-out overload_trace.json]
 //! ```
 //!
 //! `--trace-out <path>` enables span tracing before the engines boot and
@@ -40,7 +47,8 @@ use std::time::{Duration, Instant};
 use taser_bench::{arg_flag, arg_value};
 use taser_core::trainer::{Backbone, Trainer, TrainerConfig, Variant};
 use taser_graph::synth::SynthConfig;
-use taser_serve::{BatchPolicy, LinkQuery, ServeConfig, ServeEngine, ServeStats};
+use taser_obs::AlertLevel;
+use taser_serve::{BatchPolicy, HealthConfig, LinkQuery, ServeConfig, ServeEngine, ServeStats};
 
 /// Absent flag -> default; unparsable value -> loud abort, so BENCH rows
 /// are never mislabeled by a typo silently reverting to defaults.
@@ -82,6 +90,60 @@ struct RateRow {
     stats: ServeStats,
 }
 
+/// Drives an open-loop Poisson stream at `rate` against `engine` until
+/// `until` returns true (polled every 64 arrivals) or `timeout` elapses,
+/// then waits out every admitted ticket. Returns the drive duration and
+/// whether the condition was met. Lane split matches the rate sweep:
+/// 1-in-4 arrivals ride lane 0.
+fn drive_until(
+    engine: &ServeEngine,
+    rate: f64,
+    seed: u64,
+    query_at: &dyn Fn(u64) -> LinkQuery,
+    until: &dyn Fn() -> bool,
+    timeout: Duration,
+) -> (Duration, bool) {
+    let mut rng = Lcg(seed);
+    let start = Instant::now();
+    let mut next = rng.exp_gap(rate);
+    let mut arrivals = 0u64;
+    let mut tickets = Vec::new();
+    let mut met = false;
+    loop {
+        if arrivals.is_multiple_of(64) && until() {
+            met = true;
+            break;
+        }
+        if start.elapsed() > timeout {
+            break;
+        }
+        loop {
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= next {
+                break;
+            }
+            let gap = next - elapsed;
+            if gap > 500e-6 {
+                std::thread::sleep(Duration::from_secs_f64(gap - 300e-6));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let q = query_at(arrivals);
+        let lane = usize::from(!arrivals.is_multiple_of(4));
+        if let Ok(t) = engine.submit_lane(q.src, q.dst, q.t, lane) {
+            tickets.push(t);
+        }
+        arrivals += 1;
+        next += rng.exp_gap(rate);
+    }
+    let elapsed = start.elapsed();
+    for t in tickets {
+        let _ = t.wait();
+    }
+    (elapsed, met)
+}
+
 fn main() {
     let quick = arg_flag("--quick");
     let scale = parsed("--scale", if quick { 0.004 } else { 0.008 });
@@ -93,6 +155,7 @@ fn main() {
     let duration_ms = parsed("--duration-ms", if quick { 300u64 } else { 1000u64 });
     let calib_queries = parsed("--calib-queries", if quick { 512usize } else { 2048 });
     let assert_overload = arg_flag("--assert-overload");
+    let assert_health = arg_flag("--assert-health");
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_overload.json".into());
     let trace_out = arg_value("--trace-out");
     if trace_out.is_some() {
@@ -241,6 +304,92 @@ fn main() {
         rows.push(row);
     }
 
+    // -- burn-alert round trip: ONE engine lives through overload and
+    //    recovery, with watchdog windows shrunk so the multi-window burn
+    //    gate resolves in seconds instead of minutes. 2x capacity must
+    //    drive a per-lane SLO burn alert to Critical (and the `health`
+    //    surface must say so); dropping to 0.5x must clear it back to Ok
+    //    through the hysteresis path (Recovering, hold-down). --
+    let mut health_failures: Vec<String> = Vec::new();
+    let mut health_json_field = "null".to_string();
+    if assert_health {
+        let health_cfg = ServeConfig {
+            health: HealthConfig {
+                sample_every: Duration::from_millis(1),
+                eval_every: Duration::from_millis(50),
+                fast_window: Duration::from_millis(250),
+                slow_window: Duration::from_millis(1000),
+                slo_target: 0.99,
+                hold_up: 2,
+                hold_down: 3,
+                ..HealthConfig::default()
+            },
+            ..serve_cfg
+        };
+        let artifact = trainer.export_artifact(&ds);
+        let engine = ServeEngine::new(artifact, ds.log.clone(), health_cfg).expect("boot engine");
+        let monitor_lanes = lanes;
+        let burn_critical = || {
+            (0..monitor_lanes).any(|l| engine.health().lane_burn_level(l) == AlertLevel::Critical)
+        };
+        let (fire_elapsed, fired) = drive_until(
+            &engine,
+            capacity_qps * 2.0,
+            0xF1E1D,
+            &query_at,
+            &burn_critical,
+            Duration::from_secs(30),
+        );
+        let at_fire = engine.health().health_json();
+        eprintln!(
+            "health phase: 2x overload for {:.0} ms -> burn critical: {fired}",
+            fire_elapsed.as_secs_f64() * 1e3
+        );
+        eprintln!("health @ fire: {at_fire}");
+        if !fired {
+            health_failures.push("2x capacity never drove a lane burn alert to Critical".into());
+        } else {
+            if !at_fire.contains("\"level\":\"critical\"") {
+                health_failures.push(format!(
+                    "health surface does not report critical at fire time: {at_fire}"
+                ));
+            }
+            if !at_fire.contains("slo_burn[") {
+                health_failures.push(format!("no slo_burn alert in the firing list: {at_fire}"));
+            }
+        }
+        let recovered_to_ok = || engine.health().level() == AlertLevel::Ok;
+        let (clear_elapsed, cleared) = drive_until(
+            &engine,
+            capacity_qps * 0.5,
+            0xC1EA5,
+            &query_at,
+            &recovered_to_ok,
+            Duration::from_secs(60),
+        );
+        let at_clear = engine.health().health_json();
+        eprintln!(
+            "health phase: 0.5x load for {:.0} ms -> recovered to ok: {cleared}",
+            clear_elapsed.as_secs_f64() * 1e3
+        );
+        eprintln!("health @ clear: {at_clear}");
+        if fired && !cleared {
+            health_failures.push("alert never recovered to Ok after load dropped to 0.5x".into());
+        }
+        health_json_field = format!(
+            concat!(
+                "{{\"fired\":{},\"fire_ms\":{:.0},\"cleared\":{},\"clear_ms\":{:.0},",
+                "\"at_fire\":{},\"at_clear\":{}}}"
+            ),
+            fired,
+            fire_elapsed.as_secs_f64() * 1e3,
+            cleared,
+            clear_elapsed.as_secs_f64() * 1e3,
+            at_fire,
+            at_clear,
+        );
+    }
+
     // -- machine-readable output --
     let json_rows: Vec<String> = rows
         .iter()
@@ -278,7 +427,7 @@ fn main() {
         concat!(
             "{{\"harness\":\"overload_serve\",\"scale\":{},\"capacity_qps\":{:.2},",
             "\"slo_us\":{},\"queue_cap\":{},\"lanes\":{},\"workers\":{},",
-            "\"batch\":{},\"duration_ms\":{},\"rows\":[{}]}}"
+            "\"batch\":{},\"duration_ms\":{},\"rows\":[{}],\"health\":{}}}"
         ),
         scale,
         capacity_qps,
@@ -288,7 +437,8 @@ fn main() {
         workers,
         batch,
         duration_ms,
-        json_rows.join(",")
+        json_rows.join(","),
+        health_json_field,
     );
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
     writeln!(f, "{json}").expect("write bench output");
@@ -325,6 +475,18 @@ fn main() {
             eprintln!("OVERLOAD CHECK FAILED: {f}");
         }
         if assert_overload {
+            std::process::exit(1);
+        }
+    }
+    if assert_health {
+        if health_failures.is_empty() {
+            eprintln!(
+                "health checks passed (burn alert critical under 2x, recovered to ok at 0.5x)"
+            );
+        } else {
+            for f in &health_failures {
+                eprintln!("HEALTH CHECK FAILED: {f}");
+            }
             std::process::exit(1);
         }
     }

@@ -21,18 +21,24 @@
 //!
 //! ```sh
 //! cargo run --release -p taser-bench --bin serve_throughput \
-//!   [-- --scale 0.01 --queries 512 --batch 64 --clients 4 --out BENCH_serve.json]
+//!   [-- --scale 0.01 --queries 512 --batch 64 --clients 4 --out BENCH_serve.json \
+//!       --no-health]
 //! ```
+//!
+//! The engine run ships with the health watchdog and occupancy sampler on
+//! (the default serving shape, and what the CI bench gate regresses
+//! against); `--no-health` disables both, so an A/B pair of runs measures
+//! their overhead — see EXPERIMENTS.md ("Watchdog overhead").
 
 use std::io::Write;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use taser_bench::{arg_value, scale_arg};
+use taser_bench::{arg_flag, arg_value, scale_arg};
 use taser_core::trainer::{Backbone, Trainer, TrainerConfig, Variant};
 use taser_graph::dataset::TemporalDataset;
 use taser_graph::synth::SynthConfig;
 use taser_serve::{
-    BatchPolicy, LinkQuery, ScorePipeline, ScoreScratch, ServeConfig, ServeEngine,
+    BatchPolicy, HealthConfig, LinkQuery, ScorePipeline, ScoreScratch, ServeConfig, ServeEngine,
     ServeFeatureCache,
 };
 
@@ -109,6 +115,7 @@ fn main() {
     trainer.train_epoch(&ds, 0);
     let artifact = trainer.export_artifact(&ds);
 
+    let no_health = arg_flag("--no-health");
     let serve_cfg = ServeConfig {
         workers: 2,
         batch: BatchPolicy {
@@ -116,6 +123,10 @@ fn main() {
             max_wait: Duration::from_millis(2),
         },
         publish_every: 256,
+        health: HealthConfig {
+            enabled: !no_health,
+            ..HealthConfig::default()
+        },
         ..ServeConfig::default()
     };
 

@@ -196,9 +196,17 @@ pub struct IncIndexWriter {
     last_t: f64,
     len: usize,
     generation: u64,
+    /// Events appended as of the last publish (drives the unpublished
+    /// gauge below).
+    published_len: usize,
     /// Cached handle into the global metrics registry so the per-append
     /// cost is one sharded relaxed add, not a registry lookup.
     appends_metric: Arc<taser_obs::Counter>,
+    /// `taser_index_unpublished_appends`: events buffered in the writer
+    /// but not yet visible to any published snapshot — the serving
+    /// watchdog's publish-lag signal in gauge form. Cached like
+    /// `appends_metric`; updating it is one atomic store per append.
+    unpublished_metric: Arc<taser_obs::Gauge>,
 }
 
 impl IncIndexWriter {
@@ -215,7 +223,9 @@ impl IncIndexWriter {
             last_t: f64::NEG_INFINITY,
             len: 0,
             generation: 0,
+            published_len: 0,
             appends_metric: taser_obs::global().counter("taser_index_appends_total"),
+            unpublished_metric: taser_obs::global().gauge("taser_index_unpublished_appends"),
         }
     }
 
@@ -229,6 +239,7 @@ impl IncIndexWriter {
         w.len = events.len();
         w.last_t = events.last().map(|e| e.t).unwrap_or(f64::NEG_INFINITY);
         w.next_eid = events.iter().map(|e| e.eid + 1).max().unwrap_or(0);
+        w.unpublished_metric.set(w.len as i64);
         w
     }
 
@@ -272,6 +283,8 @@ impl IncIndexWriter {
         };
         self.next_eid += 1;
         self.len += 1;
+        self.unpublished_metric
+            .set((self.len - self.published_len) as i64);
         self.last_t = t;
         self.num_nodes = self.num_nodes.max(src.max(dst) as usize + 1);
         let s = self.num_shards;
@@ -317,6 +330,8 @@ impl IncIndexWriter {
         route_events(&self.shards, &events);
         self.next_eid += events.len() as u32;
         self.len += events.len();
+        self.unpublished_metric
+            .set((self.len - self.published_len) as i64);
         if let Some(e) = events.last() {
             self.last_t = e.t;
         }
@@ -360,6 +375,8 @@ impl IncIndexWriter {
         // Publishes are rare (once per `publish_every` ingests), so the
         // registry lookups — and the per-shard gauge `format!` — are off
         // the append hot path by construction.
+        self.published_len = self.len;
+        self.unpublished_metric.set(0);
         let reg = taser_obs::global();
         reg.counter("taser_index_publishes_total").inc();
         reg.counter("taser_index_dirty_nodes_total")
@@ -601,6 +618,11 @@ mod tests {
             text.contains("taser_index_shard_entries{shard=\"0\"}"),
             "{text}"
         );
+        // the unpublished-appends gauge is registered and rendered; its
+        // value is last-writer-wins across sibling tests, so only its
+        // presence is asserted here (the serve watchdog integration covers
+        // the reset-on-publish behavior end to end)
+        assert!(text.contains("taser_index_unpublished_appends"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! SLO burn-rate alerting: hysteresis gates and typed alert records.
+//!
+//! The alerting style is the SRE multi-window multi-burn-rate recipe: a
+//! *burn rate* is the observed bad-event fraction divided by the SLO's
+//! error budget (`miss_fraction / (1 - slo_target)`), so burn 1.0 spends
+//! the budget exactly at the sustainable pace and burn 4.0 exhausts it 4×
+//! too fast. A [`BurnRateAlerter`] fires only when **both** a fast (~10 s)
+//! and a slow (~60 s) window burn hot — the slow window rejects blips, the
+//! fast window makes recovery visible seconds after the overload ends.
+//!
+//! Every signal feeds a [`HysteresisGate`]: escalation requires the
+//! threshold to hold for `hold_up` consecutive evaluations, clearing
+//! requires dropping below a *lower* threshold (`clear_below`) and staying
+//! there for `hold_down` evaluations (passing through
+//! [`AlertLevel::Recovering`]), and values in the dead band between
+//! `clear_below` and `warn_above` freeze the current state. A signal
+//! oscillating exactly on a threshold therefore cannot flap the level.
+//!
+//! Nothing here allocates after construction: levels and [`Alert`] records
+//! are `Copy` (signal names are `&'static str`), so the serve watchdog can
+//! evaluate gates and rebuild its firing list into preallocated storage on
+//! every tick.
+
+use std::fmt;
+
+/// Severity of a monitored signal, ordered `Ok < Recovering < Warning <
+/// Critical` so an overall health level is the `max` over all gates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlertLevel {
+    /// Signal within budget.
+    #[default]
+    Ok,
+    /// Previously firing, now below the clear threshold; waiting out the
+    /// hold-down before returning to [`AlertLevel::Ok`].
+    Recovering,
+    /// Sustained above the warning threshold.
+    Warning,
+    /// Sustained above the critical threshold.
+    Critical,
+}
+
+impl AlertLevel {
+    /// Lower-case name used in `health` output and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertLevel::Ok => "ok",
+            AlertLevel::Recovering => "recovering",
+            AlertLevel::Warning => "warning",
+            AlertLevel::Critical => "critical",
+        }
+    }
+}
+
+impl fmt::Display for AlertLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Thresholds and hold counts for one [`HysteresisGate`].
+///
+/// Requires `clear_below <= warn_above <= critical_above`; values in
+/// `[clear_below, warn_above)` are the dead band that freezes state.
+#[derive(Clone, Copy, Debug)]
+pub struct HysteresisPolicy {
+    /// At or above this, the signal wants [`AlertLevel::Warning`].
+    pub warn_above: f64,
+    /// At or above this, the signal wants [`AlertLevel::Critical`].
+    pub critical_above: f64,
+    /// Strictly below this, a firing signal starts recovering.
+    pub clear_below: f64,
+    /// Consecutive evaluations a threshold must hold before escalating.
+    pub hold_up: u32,
+    /// Consecutive below-clear evaluations before Recovering becomes Ok.
+    pub hold_down: u32,
+}
+
+impl HysteresisPolicy {
+    /// Validates the threshold ordering (debug assertion at gate
+    /// construction).
+    fn check(&self) {
+        debug_assert!(
+            self.clear_below <= self.warn_above && self.warn_above <= self.critical_above,
+            "hysteresis thresholds out of order: {self:?}"
+        );
+    }
+}
+
+/// Anti-flap state machine for one scalar signal.
+#[derive(Clone, Copy, Debug)]
+pub struct HysteresisGate {
+    policy: HysteresisPolicy,
+    level: AlertLevel,
+    /// Consecutive evals with `value >= warn_above` / `>= critical_above`.
+    warn_streak: u32,
+    crit_streak: u32,
+    /// Consecutive evals with `value < clear_below`.
+    clear_streak: u32,
+    last_value: f64,
+}
+
+impl HysteresisGate {
+    /// A gate starting at [`AlertLevel::Ok`].
+    pub fn new(policy: HysteresisPolicy) -> Self {
+        policy.check();
+        HysteresisGate {
+            policy,
+            level: AlertLevel::Ok,
+            warn_streak: 0,
+            crit_streak: 0,
+            clear_streak: 0,
+            last_value: 0.0,
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> AlertLevel {
+        self.level
+    }
+
+    /// The most recently observed value.
+    pub fn last_value(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Feeds one evaluation of the signal; returns `Some((from, to))` when
+    /// the level changed.
+    pub fn observe(&mut self, value: f64) -> Option<(AlertLevel, AlertLevel)> {
+        self.last_value = value;
+        let p = self.policy;
+        if value >= p.warn_above {
+            self.clear_streak = 0;
+            self.warn_streak = self.warn_streak.saturating_add(1);
+            if value >= p.critical_above {
+                self.crit_streak = self.crit_streak.saturating_add(1);
+            } else {
+                self.crit_streak = 0;
+            }
+            let target = if self.crit_streak >= p.hold_up {
+                AlertLevel::Critical
+            } else if self.warn_streak >= p.hold_up {
+                AlertLevel::Warning
+            } else {
+                return None;
+            };
+            return self.transition_to(target.max(self.level));
+        }
+        self.warn_streak = 0;
+        self.crit_streak = 0;
+        if value < p.clear_below {
+            self.clear_streak = self.clear_streak.saturating_add(1);
+            return match self.level {
+                AlertLevel::Warning | AlertLevel::Critical => {
+                    self.transition_to(AlertLevel::Recovering)
+                }
+                AlertLevel::Recovering if self.clear_streak >= p.hold_down => {
+                    self.transition_to(AlertLevel::Ok)
+                }
+                _ => None,
+            };
+        }
+        // dead band [clear_below, warn_above): hold the current level
+        self.clear_streak = 0;
+        None
+    }
+
+    fn transition_to(&mut self, to: AlertLevel) -> Option<(AlertLevel, AlertLevel)> {
+        if to == self.level {
+            return None;
+        }
+        let from = self.level;
+        self.level = to;
+        if to == AlertLevel::Recovering {
+            // the eval that triggered recovery is the first of the hold-down
+            self.clear_streak = 1;
+        }
+        Some((from, to))
+    }
+}
+
+/// A typed alert record: a signal, an optional per-lane/per-worker index,
+/// the level movement, and the value that drove it. `Copy` (no owned
+/// strings) so transition logs and firing lists need no allocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Alert {
+    /// What is burning, e.g. `"slo_burn"`, `"worker_stall"`.
+    pub signal: &'static str,
+    /// Lane or worker index, when the signal is per-entity.
+    pub index: Option<usize>,
+    /// Level before the change (equal to `to` in firing-list entries).
+    pub from: AlertLevel,
+    /// Level after the change.
+    pub to: AlertLevel,
+    /// The observed value at the transition (burn rate, stall ratio, ...).
+    pub value: f64,
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.signal)?;
+        if let Some(i) = self.index {
+            write!(f, "[{i}]")?;
+        }
+        if self.from == self.to {
+            write!(f, " {} (value {:.3})", self.to, self.value)
+        } else {
+            write!(f, " {} -> {} (value {:.3})", self.from, self.to, self.value)
+        }
+    }
+}
+
+/// Multi-window burn-rate alerter: one hysteresis gate fed
+/// `min(fast_burn, slow_burn)`, so the alert fires only when both windows
+/// burn and clears as soon as the fast window cools.
+#[derive(Clone, Copy, Debug)]
+pub struct BurnRateAlerter {
+    gate: HysteresisGate,
+    last_fast: f64,
+    last_slow: f64,
+}
+
+impl BurnRateAlerter {
+    /// An alerter starting at [`AlertLevel::Ok`].
+    pub fn new(policy: HysteresisPolicy) -> Self {
+        BurnRateAlerter {
+            gate: HysteresisGate::new(policy),
+            last_fast: 0.0,
+            last_slow: 0.0,
+        }
+    }
+
+    /// Feeds one evaluation of both windows' burn rates.
+    pub fn observe(&mut self, fast: f64, slow: f64) -> Option<(AlertLevel, AlertLevel)> {
+        self.last_fast = fast;
+        self.last_slow = slow;
+        self.gate.observe(fast.min(slow))
+    }
+
+    /// Current level.
+    pub fn level(&self) -> AlertLevel {
+        self.gate.level()
+    }
+
+    /// The gated value of the last evaluation (`min(fast, slow)`).
+    pub fn last_value(&self) -> f64 {
+        self.gate.last_value()
+    }
+
+    /// The fast-window burn at the last evaluation.
+    pub fn last_fast(&self) -> f64 {
+        self.last_fast
+    }
+
+    /// The slow-window burn at the last evaluation.
+    pub fn last_slow(&self) -> f64 {
+        self.last_slow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HysteresisPolicy {
+        HysteresisPolicy {
+            warn_above: 1.0,
+            critical_above: 4.0,
+            clear_below: 0.5,
+            hold_up: 2,
+            hold_down: 3,
+        }
+    }
+
+    #[test]
+    fn escalation_requires_the_hold_up_streak() {
+        let mut g = HysteresisGate::new(policy());
+        assert_eq!(g.observe(2.0), None, "first hot eval holds");
+        assert_eq!(g.observe(0.1), None, "streak broken before hold_up");
+        assert_eq!(g.observe(2.0), None);
+        assert_eq!(
+            g.observe(2.0),
+            Some((AlertLevel::Ok, AlertLevel::Warning)),
+            "second consecutive hot eval escalates"
+        );
+        assert_eq!(g.observe(5.0), None, "critical streak restarts at 1");
+        assert_eq!(
+            g.observe(5.0),
+            Some((AlertLevel::Warning, AlertLevel::Critical))
+        );
+        assert_eq!(g.level(), AlertLevel::Critical);
+    }
+
+    #[test]
+    fn clearing_passes_through_recovering_with_hold_down() {
+        let mut g = HysteresisGate::new(policy());
+        g.observe(5.0);
+        g.observe(5.0);
+        g.observe(5.0);
+        assert_eq!(g.level(), AlertLevel::Critical);
+        assert_eq!(
+            g.observe(0.1),
+            Some((AlertLevel::Critical, AlertLevel::Recovering)),
+            "dropping below clear starts recovery immediately"
+        );
+        assert_eq!(g.observe(0.1), None, "hold_down=3: eval 2 of 3");
+        assert_eq!(
+            g.observe(0.1),
+            Some((AlertLevel::Recovering, AlertLevel::Ok)),
+            "eval 3 of 3 clears"
+        );
+    }
+
+    /// The core anti-flap property: a value oscillating in the dead band
+    /// between `clear_below` and `warn_above` never changes the level,
+    /// whatever state the gate is in.
+    #[test]
+    fn dead_band_values_never_flap_the_level() {
+        let mut g = HysteresisGate::new(policy());
+        for _ in 0..10 {
+            assert_eq!(g.observe(0.9), None, "dead band from Ok");
+        }
+        g.observe(5.0);
+        g.observe(5.0);
+        assert_eq!(g.level(), AlertLevel::Critical);
+        for _ in 0..10 {
+            assert_eq!(g.observe(0.7), None, "dead band holds Critical");
+        }
+        assert_eq!(g.level(), AlertLevel::Critical);
+        // exactly on the warn threshold counts as hot (>=), exactly on the
+        // clear threshold counts as dead band (<) — and neither alternation
+        // of the two produces a transition storm
+        g.observe(0.1); // -> Recovering
+        assert_eq!(g.level(), AlertLevel::Recovering);
+        for _ in 0..5 {
+            g.observe(0.5);
+        }
+        assert_eq!(
+            g.level(),
+            AlertLevel::Recovering,
+            "0.5 resets the clear streak"
+        );
+    }
+
+    #[test]
+    fn re_exceeding_during_recovery_escalates_again() {
+        let mut g = HysteresisGate::new(policy());
+        g.observe(2.0);
+        g.observe(2.0);
+        g.observe(0.1);
+        assert_eq!(g.level(), AlertLevel::Recovering);
+        assert_eq!(g.observe(2.0), None);
+        assert_eq!(
+            g.observe(2.0),
+            Some((AlertLevel::Recovering, AlertLevel::Warning))
+        );
+    }
+
+    #[test]
+    fn burn_alerter_requires_both_windows_hot() {
+        let mut b = BurnRateAlerter::new(policy());
+        for _ in 0..5 {
+            assert_eq!(b.observe(10.0, 0.2), None, "fast-only spike never fires");
+        }
+        assert_eq!(b.level(), AlertLevel::Ok);
+        b.observe(10.0, 8.0);
+        assert_eq!(
+            b.observe(10.0, 8.0),
+            Some((AlertLevel::Ok, AlertLevel::Critical)),
+            "both windows hot fires"
+        );
+        // overload ends: the fast window cools first and drives recovery
+        // even while the slow window still remembers the burn
+        assert_eq!(
+            b.observe(0.0, 8.0),
+            Some((AlertLevel::Critical, AlertLevel::Recovering))
+        );
+        assert_eq!(b.last_fast(), 0.0);
+        assert_eq!(b.last_slow(), 8.0);
+    }
+
+    #[test]
+    fn alert_records_render_compactly() {
+        let a = Alert {
+            signal: "slo_burn",
+            index: Some(1),
+            from: AlertLevel::Warning,
+            to: AlertLevel::Critical,
+            value: 4.25,
+        };
+        assert_eq!(
+            a.to_string(),
+            "slo_burn[1] warning -> critical (value 4.250)"
+        );
+        let firing = Alert {
+            from: AlertLevel::Critical,
+            ..a
+        };
+        assert_eq!(firing.to_string(), "slo_burn[1] critical (value 4.250)");
+    }
+}

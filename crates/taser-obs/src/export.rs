@@ -144,7 +144,10 @@ mod tests {
         assert_eq!(
             parsed,
             vec![
-                ("a_total{reason=\"queue full\"}".to_string(), PromValue::Int(7)),
+                (
+                    "a_total{reason=\"queue full\"}".to_string(),
+                    PromValue::Int(7)
+                ),
                 (
                     "b_us{stage=\"feature gather\",lane=\"0\"}".to_string(),
                     PromValue::Float(1.5)

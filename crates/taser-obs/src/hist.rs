@@ -124,6 +124,49 @@ impl LatencyHistogram {
     pub fn max_us(&self) -> u64 {
         self.max_us
     }
+
+    /// Resets to empty without releasing the bucket allocation.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum_us = 0;
+        self.max_us = 0;
+    }
+
+    /// Overwrites this histogram with `other`'s contents in place — a
+    /// clone that reuses the existing bucket allocation, so snapshot rings
+    /// can copy cumulative histograms every tick without allocating.
+    pub fn copy_from(&mut self, other: &LatencyHistogram) {
+        self.counts.copy_from_slice(&other.counts[..]);
+        self.total = other.total;
+        self.sum_us = other.sum_us;
+        self.max_us = other.max_us;
+    }
+
+    /// Sets this histogram to the per-interval difference `newer - older`
+    /// of two cumulative snapshots of the same recorder.
+    ///
+    /// Counts are monotone in a cumulative snapshot, so the bucket-wise
+    /// subtraction reconstructs exactly the samples recorded between the
+    /// two snapshots (subtraction saturates defensively in case the inputs
+    /// are not actually successive snapshots). The one lossy field is
+    /// `max_us`: the interval maximum is unrecoverable from cumulative
+    /// state, so the newer snapshot's lifetime max is kept as an upper
+    /// bound — interval quantiles may therefore report up to one bucket
+    /// width above the true interval max, never below.
+    pub fn delta_from(&mut self, newer: &LatencyHistogram, older: &LatencyHistogram) {
+        for ((d, n), o) in self
+            .counts
+            .iter_mut()
+            .zip(newer.counts.iter())
+            .zip(older.counts.iter())
+        {
+            *d = n.saturating_sub(*o);
+        }
+        self.total = newer.total.saturating_sub(older.total);
+        self.sum_us = newer.sum_us.saturating_sub(older.sum_us);
+        self.max_us = if self.total == 0 { 0 } else { newer.max_us };
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +269,55 @@ mod tests {
         for q in [0.25, 0.5, 0.9, 0.99, 0.999] {
             assert_eq!(merged.quantile_us(q), single.quantile_us(q), "q={q}");
         }
+    }
+
+    /// The windowed-rate machinery relies on `delta_from` recovering the
+    /// interval's samples from two cumulative snapshots: recording A, then
+    /// snapshotting, then recording B, must delta back to exactly B's
+    /// buckets (with `max_us` as a documented upper bound).
+    #[test]
+    fn delta_of_cumulative_snapshots_recovers_the_interval() {
+        let mut cum = LatencyHistogram::default();
+        let mut interval_only = LatencyHistogram::default();
+        for us in [5u64, 80, 80, 1_000, 65_000] {
+            cum.record_us(us);
+        }
+        let mut older = LatencyHistogram::default();
+        older.copy_from(&cum);
+        for us in [7u64, 80, 2_500, 2_500, 40_000] {
+            cum.record_us(us);
+            interval_only.record_us(us);
+        }
+        let mut delta = LatencyHistogram::default();
+        delta.delta_from(&cum, &older);
+        assert_eq!(delta.count(), interval_only.count());
+        assert_eq!(delta.sum_us(), interval_only.sum_us());
+        for q in [0.5, 0.9, 0.99] {
+            let d = delta.quantile_us(q);
+            let exact = interval_only.quantile_us(q);
+            // identical buckets; only the max_us clamp can differ (upward)
+            assert!(d >= exact, "q={q}: delta {d} < exact {exact}");
+            assert!(
+                d as f64 <= exact as f64 * 1.3 + 2.0,
+                "q={q}: delta {d} too far above exact {exact}"
+            );
+        }
+        assert!(delta.max_us() >= interval_only.max_us());
+    }
+
+    #[test]
+    fn clear_and_empty_delta_report_zero() {
+        let mut h = LatencyHistogram::default();
+        h.record_us(123);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.99), 0);
+        let snap = h.clone();
+        let mut delta = LatencyHistogram::default();
+        delta.record_us(999); // stale contents must be overwritten
+        delta.delta_from(&snap, &snap);
+        assert_eq!(delta.count(), 0);
+        assert_eq!(delta.max_us(), 0, "empty delta clamps max to zero");
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! * tracing enabled ⇒ span recording is allocation-free after warmup
 //!   (fixed-size per-thread rings, `&'static str` names, no formatting).
 //!
+//! On top of the raw signals sits a consumption layer with the same
+//! allocation discipline: [`window`] turns cumulative snapshots into
+//! per-interval rates and window quantiles, [`alert`] provides burn-rate
+//! hysteresis gates with typed [`Alert`] records, and [`profile`] samples
+//! per-thread stage-occupancy cells into folded-stack profiles. The serve
+//! crate's health watchdog is built from these pieces.
+//!
 //! ```
 //! use taser_obs::{global, set_tracing, time};
 //!
@@ -31,16 +38,22 @@
 //! assert!(wall.as_nanos() > 0);
 //! ```
 
+pub mod alert;
 pub mod export;
 pub mod hist;
+pub mod profile;
 pub mod registry;
 pub mod span;
+pub mod window;
 
+pub use alert::{Alert, AlertLevel, BurnRateAlerter, HysteresisGate, HysteresisPolicy};
 pub use export::{base_name, parse_prometheus, push_histogram, push_sample, push_type, PromValue};
 pub use hist::LatencyHistogram;
+pub use profile::{warm_stage_cell, OccupancyProfile};
 pub use registry::{global, Counter, Gauge, HistogramMetric, Registry};
 pub use span::{
     chrome_trace_json, clear_spans, init_tracing_from_env, record, set_tracing, time,
     tracing_enabled, warm_thread_ring, SpanEvent, Stage, StageNanos, RING_CAPACITY, STAGES,
     STAGE_COUNT,
 };
+pub use window::{WindowDelta, WindowRing};

@@ -1,0 +1,217 @@
+//! Stage-occupancy sampling: always-on profiling without per-query cost.
+//!
+//! Span tracing answers "how long did this batch's sampling stage take";
+//! it cannot answer "where do the workers spend their time *overall*"
+//! without dumping and post-processing a trace. This module takes the
+//! classic sampling-profiler shortcut instead: every worker publishes its
+//! current [`Stage`] into a per-thread atomic cell (one relaxed store at
+//! each stage boundary — cheaper than the clock read the span layer
+//! already pays), and a sampler thread periodically sweeps all cells into
+//! an [`OccupancyProfile`]. Sample counts are proportional to wall time,
+//! so the profile is a statistical stage breakdown of the whole serving
+//! run, rendered as folded stacks for `flamegraph.pl`-style tooling.
+//!
+//! Registration mirrors the span rings: the first [`enter`] on a thread
+//! allocates and registers its cell (call [`warm_stage_cell`] during
+//! warmup for allocation-free hot loops); every later call is a single
+//! relaxed store. Sweeps ([`sample_into`]) are allocation-free.
+
+use crate::span::{Stage, STAGES, STAGE_COUNT};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cell value for "not inside any stage".
+const IDLE: u8 = 0;
+
+/// A thread's currently-executing stage: `0` = idle, otherwise
+/// `stage as u8 + 1`.
+struct StageCell(AtomicU8);
+
+fn cells() -> &'static Mutex<Vec<Arc<StageCell>>> {
+    static CELLS: Mutex<Vec<Arc<StageCell>>> = Mutex::new(Vec::new());
+    &CELLS
+}
+
+thread_local! {
+    static LOCAL_CELL: RefCell<Option<Arc<StageCell>>> = const { RefCell::new(None) };
+}
+
+fn register_cell() -> Arc<StageCell> {
+    let cell = Arc::new(StageCell(AtomicU8::new(IDLE)));
+    cells()
+        .lock()
+        .expect("stage cells poisoned")
+        .push(cell.clone());
+    cell
+}
+
+fn store(value: u8) {
+    LOCAL_CELL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let cell = slot.get_or_insert_with(register_cell);
+        cell.0.store(value, Ordering::Relaxed);
+    });
+}
+
+/// Pre-registers the calling thread's occupancy cell (the one allocation
+/// on the publishing path). Hot loops that must be allocation-free call
+/// this once during warmup, alongside [`crate::warm_thread_ring`].
+pub fn warm_stage_cell() {
+    LOCAL_CELL.with(|slot| {
+        slot.borrow_mut().get_or_insert_with(register_cell);
+    });
+}
+
+/// Publishes `stage` as the calling thread's current stage. One relaxed
+/// store after the first call; always on (there is nothing to turn off —
+/// the cost is below the span layer's clock reads).
+#[inline]
+pub fn enter(stage: Stage) {
+    store(stage as u8 + 1);
+}
+
+/// Marks the calling thread idle (between batches / parked on the queue).
+#[inline]
+pub fn idle() {
+    store(IDLE);
+}
+
+/// A stage-occupancy histogram: how many sweep observations found a thread
+/// in each stage (index [`STAGE_COUNT`] counts idle observations).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OccupancyProfile {
+    counts: [u64; STAGE_COUNT + 1],
+    sweeps: u64,
+}
+
+impl OccupancyProfile {
+    /// Resets all counts.
+    pub fn clear(&mut self) {
+        *self = OccupancyProfile::default();
+    }
+
+    /// Observations that found a thread inside `stage`.
+    pub fn stage_count(&self, stage: Stage) -> u64 {
+        self.counts[stage as usize]
+    }
+
+    /// Observations that found a thread idle.
+    pub fn idle_count(&self) -> u64 {
+        self.counts[STAGE_COUNT]
+    }
+
+    /// Sweeps taken (each sweep observes every registered cell once).
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Total per-thread observations across all sweeps.
+    pub fn observations(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of busy (non-idle) observations spent in `stage`; 0 when
+    /// nothing busy was observed.
+    pub fn stage_fraction(&self, stage: Stage) -> f64 {
+        let busy: u64 = self.counts[..STAGE_COUNT].iter().sum();
+        if busy == 0 {
+            0.0
+        } else {
+            self.counts[stage as usize] as f64 / busy as f64
+        }
+    }
+
+    /// Renders the profile as folded stacks (`frame;frame count` lines),
+    /// the input format of flamegraph tooling: one line per stage under a
+    /// `taser-serve;worker` root, plus the idle line. Zero-count frames
+    /// are skipped.
+    pub fn render_folded(&self) -> String {
+        let mut out = String::new();
+        for stage in STAGES {
+            let n = self.counts[stage as usize];
+            if n > 0 {
+                out.push_str("taser-serve;worker;");
+                out.push_str(stage.name());
+                out.push(' ');
+                out.push_str(&n.to_string());
+                out.push('\n');
+            }
+        }
+        if self.counts[STAGE_COUNT] > 0 {
+            out.push_str("taser-serve;worker;idle ");
+            out.push_str(&self.counts[STAGE_COUNT].to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Takes one sweep: reads every registered cell and accumulates what each
+/// thread was doing into `profile`. Allocation-free; intended to be called
+/// from a sampler thread on a fixed period.
+pub fn sample_into(profile: &mut OccupancyProfile) {
+    let cells = cells().lock().expect("stage cells poisoned");
+    for cell in cells.iter() {
+        let v = cell.0.load(Ordering::Relaxed);
+        let idx = if v == IDLE {
+            STAGE_COUNT
+        } else {
+            ((v - 1) as usize).min(STAGE_COUNT - 1)
+        };
+        profile.counts[idx] += 1;
+    }
+    profile.sweeps += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cell registration is process-global (like the span rings), so the
+    /// whole lifecycle runs as one `#[test]`: other tests on other threads
+    /// may register their own cells, which sweeps here must tolerate —
+    /// assertions only count stages this thread publishes.
+    #[test]
+    fn occupancy_lifecycle() {
+        warm_stage_cell();
+        let mut p = OccupancyProfile::default();
+
+        enter(Stage::Sampling);
+        sample_into(&mut p);
+        sample_into(&mut p);
+        enter(Stage::PackedForward);
+        sample_into(&mut p);
+        idle();
+        sample_into(&mut p);
+
+        assert_eq!(p.sweeps(), 4);
+        assert_eq!(p.stage_count(Stage::Sampling), 2);
+        assert_eq!(p.stage_count(Stage::PackedForward), 1);
+        assert!(p.idle_count() >= 1, "this thread's idle sweep counts");
+        assert_eq!(p.stage_count(Stage::Respond), 0);
+        assert!(p.observations() >= 4, "other threads' cells may add more");
+        let busy_frac = p.stage_fraction(Stage::Sampling) + p.stage_fraction(Stage::PackedForward);
+        assert!((busy_frac - 1.0).abs() < 1e-9, "only two stages were busy");
+
+        let folded = p.render_folded();
+        assert!(
+            folded.contains("taser-serve;worker;sampling 2\n"),
+            "{folded}"
+        );
+        assert!(folded.contains("taser-serve;worker;packed_forward 1\n"));
+        assert!(folded.contains("taser-serve;worker;idle "));
+        assert!(!folded.contains("respond"), "zero-count frames skipped");
+        assert!(
+            folded.lines().all(|l| {
+                let (frames, count) = l.rsplit_once(' ').expect("folded line");
+                frames.split(';').count() == 3 && count.parse::<u64>().is_ok()
+            }),
+            "every line is `a;b;c N`:\n{folded}"
+        );
+
+        p.clear();
+        assert_eq!(p.observations(), 0);
+        assert_eq!(p.stage_fraction(Stage::Sampling), 0.0);
+    }
+}

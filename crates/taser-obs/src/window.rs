@@ -1,0 +1,281 @@
+//! Windowed aggregation over cumulative snapshots.
+//!
+//! Every signal in the registry and the serve stats is a monotone lifetime
+//! total — correct, mergeable, and useless for answering "what is the shed
+//! rate *right now*". This module derives per-interval views the way
+//! Prometheus' `rate()` does: keep a ring of timestamped cumulative
+//! snapshots and subtract two of them. One ring with samples every
+//! `eval_every` serves every window width at once — a fast (~10 s) and a
+//! slow (~60 s) burn-rate window are just two different look-back depths
+//! over the same slots.
+//!
+//! Allocation discipline matches the rest of the crate: [`WindowRing::new`]
+//! and [`WindowDelta::new`] preallocate every slot up front, and the
+//! steady-state APIs ([`WindowRing::push_with`], [`WindowRing::delta_into`])
+//! write into that memory in place, so a watchdog thread can sample forever
+//! without allocating (the workspace `zero_alloc` test runs one live).
+
+use crate::hist::LatencyHistogram;
+use std::time::Instant;
+
+/// One timestamped cumulative snapshot: a row of counter totals (the
+/// caller defines the channel layout) plus a latency histogram.
+struct WindowSample {
+    at: Instant,
+    totals: Box<[u64]>,
+    hist: LatencyHistogram,
+}
+
+/// Fixed-capacity ring of cumulative snapshots yielding per-interval
+/// deltas. Channels are caller-defined counter slots (e.g. channel 0 =
+/// queries scored, channel 1 = sheds); the histogram rides along for
+/// per-window quantiles.
+pub struct WindowRing {
+    slots: Vec<WindowSample>,
+    /// Index of the next slot to (over)write.
+    head: usize,
+    /// Valid samples, saturating at `slots.len()`.
+    len: usize,
+}
+
+impl WindowRing {
+    /// A ring holding `cap` snapshots of `channels` counters each. All
+    /// memory is allocated here; pushes and deltas are allocation-free.
+    ///
+    /// Panics if `cap < 2` (a delta needs two snapshots) or `channels == 0`.
+    pub fn new(channels: usize, cap: usize) -> Self {
+        assert!(cap >= 2, "a window ring needs at least two slots");
+        assert!(channels > 0, "a window ring needs at least one channel");
+        let now = Instant::now();
+        let slots = (0..cap)
+            .map(|_| WindowSample {
+                at: now,
+                totals: vec![0; channels].into_boxed_slice(),
+                hist: LatencyHistogram::default(),
+            })
+            .collect();
+        WindowRing {
+            slots,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Counter channels per snapshot.
+    pub fn channels(&self) -> usize {
+        self.slots[0].totals.len()
+    }
+
+    /// Snapshots currently held (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True until the first push.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records a snapshot taken at `at` by handing the caller the slot to
+    /// fill in place: `fill(totals, hist)` must overwrite the (stale)
+    /// counter row and histogram with the current cumulative values —
+    /// typically plain stores plus [`LatencyHistogram::copy_from`].
+    pub fn push_with(&mut self, at: Instant, fill: impl FnOnce(&mut [u64], &mut LatencyHistogram)) {
+        let slot = &mut self.slots[self.head];
+        slot.at = at;
+        fill(&mut slot.totals, &mut slot.hist);
+        self.head = (self.head + 1) % self.slots.len();
+        self.len = (self.len + 1).min(self.slots.len());
+    }
+
+    /// The `steps_back`-th most recent sample (0 = newest).
+    fn sample(&self, steps_back: usize) -> &WindowSample {
+        debug_assert!(steps_back < self.len);
+        let cap = self.slots.len();
+        let newest = (self.head + cap - 1) % cap;
+        &self.slots[(newest + cap - steps_back % cap) % cap]
+    }
+
+    /// Computes the per-interval difference between the newest snapshot and
+    /// the one `back` pushes earlier into `out`, clamping `back` to the
+    /// oldest sample available. Returns `false` (leaving `out`'s previous
+    /// contents untouched) when fewer than two snapshots exist or the pair
+    /// spans zero wall time; rates and ratios are then undefined.
+    pub fn delta_into(&self, back: usize, out: &mut WindowDelta) -> bool {
+        if self.len < 2 {
+            return false;
+        }
+        let newer = self.sample(0);
+        let older = self.sample(back.clamp(1, self.len - 1));
+        let secs = newer.at.saturating_duration_since(older.at).as_secs_f64();
+        if secs <= 0.0 {
+            return false;
+        }
+        out.secs = secs;
+        for ((d, n), o) in out
+            .counts
+            .iter_mut()
+            .zip(newer.totals.iter())
+            .zip(older.totals.iter())
+        {
+            *d = n.saturating_sub(*o);
+        }
+        out.hist.delta_from(&newer.hist, &older.hist);
+        true
+    }
+}
+
+/// A per-interval view: counter increments, elapsed seconds, and the
+/// interval latency histogram. Preallocate once with [`WindowDelta::new`]
+/// and refill via [`WindowRing::delta_into`].
+pub struct WindowDelta {
+    secs: f64,
+    counts: Box<[u64]>,
+    hist: LatencyHistogram,
+}
+
+impl WindowDelta {
+    /// An empty delta sized for `channels` counters.
+    pub fn new(channels: usize) -> Self {
+        WindowDelta {
+            secs: 0.0,
+            counts: vec![0; channels].into_boxed_slice(),
+            hist: LatencyHistogram::default(),
+        }
+    }
+
+    /// Wall-clock seconds the interval spans.
+    pub fn secs(&self) -> f64 {
+        self.secs
+    }
+
+    /// Counter increments on `channel` over the interval.
+    pub fn count(&self, channel: usize) -> u64 {
+        self.counts[channel]
+    }
+
+    /// Per-second rate of `channel` over the interval (0 when the interval
+    /// is degenerate).
+    pub fn rate(&self, channel: usize) -> f64 {
+        if self.secs > 0.0 {
+            self.counts[channel] as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    /// `num / den` over the interval — e.g. SLO misses over admissions.
+    /// Returns 0 when the denominator saw no increments (no traffic ⇒ no
+    /// burn, not a division error).
+    pub fn ratio(&self, num_channel: usize, den_channel: usize) -> f64 {
+        let den = self.counts[den_channel];
+        if den == 0 {
+            0.0
+        } else {
+            self.counts[num_channel] as f64 / den as f64
+        }
+    }
+
+    /// The interval latency histogram (quantiles over this window only).
+    pub fn hist(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Pushes a snapshot `secs` after the ring's epoch with the given
+    /// cumulative totals and `hist_us` recorded into the histogram so far.
+    fn push(
+        ring: &mut WindowRing,
+        epoch: Instant,
+        secs: u64,
+        totals: &[u64],
+        cum: &LatencyHistogram,
+    ) {
+        ring.push_with(epoch + Duration::from_secs(secs), |t, h| {
+            t.copy_from_slice(totals);
+            h.copy_from(cum);
+        });
+    }
+
+    #[test]
+    fn delta_needs_two_samples_and_nonzero_span() {
+        let epoch = Instant::now();
+        let mut ring = WindowRing::new(2, 4);
+        let mut d = WindowDelta::new(2);
+        assert!(!ring.delta_into(1, &mut d), "empty ring");
+        let cum = LatencyHistogram::default();
+        push(&mut ring, epoch, 0, &[10, 0], &cum);
+        assert!(!ring.delta_into(1, &mut d), "one sample");
+        push(&mut ring, epoch, 0, &[20, 0], &cum);
+        assert!(!ring.delta_into(1, &mut d), "zero elapsed time");
+        push(&mut ring, epoch, 5, &[30, 2], &cum);
+        assert!(ring.delta_into(1, &mut d));
+        assert_eq!(d.count(0), 10);
+        assert_eq!(d.count(1), 2);
+        assert!((d.secs() - 5.0).abs() < 1e-9);
+        assert!((d.rate(0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rollover_overwrites_oldest_and_back_clamps() {
+        let epoch = Instant::now();
+        let mut ring = WindowRing::new(1, 3);
+        let cum = LatencyHistogram::default();
+        for i in 0..7u64 {
+            push(&mut ring, epoch, i, &[i * 100], &cum);
+        }
+        assert_eq!(ring.len(), 3, "len saturates at capacity");
+        let mut d = WindowDelta::new(1);
+        // newest is t=6 (600); oldest surviving is t=4 (400)
+        assert!(ring.delta_into(1, &mut d));
+        assert_eq!(d.count(0), 100);
+        assert!(ring.delta_into(2, &mut d));
+        assert_eq!(d.count(0), 200);
+        // asking further back than the ring holds clamps to the oldest
+        assert!(ring.delta_into(50, &mut d));
+        assert_eq!(d.count(0), 200);
+        assert!((d.secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_and_slow_windows_share_one_ring() {
+        let epoch = Instant::now();
+        let mut ring = WindowRing::new(2, 8);
+        let mut cum = LatencyHistogram::default();
+        // traffic: 100 admitted/s throughout; misses only during t in [4, 6)
+        let mut admitted = 0u64;
+        let mut missed = 0u64;
+        for t in 0..8u64 {
+            admitted += 100;
+            if (4..6).contains(&t) {
+                missed += 50;
+                cum.record_us(9_000);
+            } else {
+                cum.record_us(500);
+            }
+            push(&mut ring, epoch, t + 1, &[admitted, missed], &cum);
+        }
+        let mut fast = WindowDelta::new(2);
+        let mut slow = WindowDelta::new(2);
+        assert!(ring.delta_into(2, &mut fast), "2s fast window");
+        assert!(ring.delta_into(6, &mut slow), "6s slow window");
+        // the burst ended at t=6: the fast window (t 6..8) is clean while
+        // the slow window (t 2..8) still carries the burst
+        assert_eq!(fast.ratio(1, 0), 0.0);
+        assert!((slow.ratio(1, 0) - 100.0 / 600.0).abs() < 1e-9);
+        assert!(slow.hist().quantile_us(0.99) >= 9_000);
+        assert!(fast.hist().quantile_us(0.99) <= 1_000);
+    }
+
+    #[test]
+    fn ratio_with_idle_denominator_is_zero() {
+        let d = WindowDelta::new(2);
+        assert_eq!(d.ratio(0, 1), 0.0);
+        assert_eq!(d.rate(0), 0.0);
+    }
+}

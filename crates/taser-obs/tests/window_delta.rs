@@ -1,0 +1,83 @@
+//! Property test: windowed deltas over cumulative snapshots reconstruct
+//! the per-interval truth.
+//!
+//! For arbitrary interval streams (counter increments + latency samples per
+//! interval) pushed as *cumulative* snapshots into a [`WindowRing`], the
+//! delta over any look-back depth must equal the merge of exactly that many
+//! per-interval histograms recorded directly — same counts, same sums, and
+//! quantiles identical up to the documented `max_us` clamp. This is the
+//! contract the serve watchdog's burn rates and window quantiles rest on,
+//! including rollover (more intervals than ring slots) and look-back
+//! clamping (asking further back than the ring holds).
+
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+use taser_obs::{LatencyHistogram, WindowDelta, WindowRing};
+
+const CAP: usize = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delta_matches_directly_recorded_intervals(
+        intervals in prop::collection::vec(
+            (
+                0u64..1_000,                                   // channel-0 increment
+                prop::collection::vec(1u64..2_000_000, 0..12), // latency samples (us)
+            ),
+            2..20,
+        ),
+        back in 1usize..12,
+    ) {
+        let epoch = Instant::now();
+        let mut ring = WindowRing::new(1, CAP);
+        let mut cum_hist = LatencyHistogram::default();
+        let mut cum_count = 0u64;
+        // the direct per-interval record the ring must reconstruct
+        let mut per_interval: Vec<(u64, LatencyHistogram)> = Vec::new();
+        for (i, (inc, samples)) in intervals.iter().enumerate() {
+            let mut direct = LatencyHistogram::default();
+            for &us in samples {
+                cum_hist.record_us(us);
+                direct.record_us(us);
+            }
+            cum_count += inc;
+            per_interval.push((*inc, direct));
+            ring.push_with(epoch + Duration::from_secs(i as u64 + 1), |totals, h| {
+                totals[0] = cum_count;
+                h.copy_from(&cum_hist);
+            });
+        }
+
+        let held = intervals.len().min(CAP);
+        let eff_back = back.clamp(1, held - 1);
+        let mut delta = WindowDelta::new(1);
+        prop_assert!(ring.delta_into(back, &mut delta));
+        prop_assert!((delta.secs() - eff_back as f64).abs() < 1e-6);
+
+        // merge the last `eff_back` intervals directly
+        let mut want_count = 0u64;
+        let mut want_hist = LatencyHistogram::default();
+        for (inc, h) in &per_interval[per_interval.len() - eff_back..] {
+            want_count += inc;
+            want_hist.merge(h);
+        }
+        prop_assert_eq!(delta.count(0), want_count);
+        prop_assert!((delta.rate(0) - want_count as f64 / eff_back as f64).abs() < 1e-6);
+        prop_assert_eq!(delta.hist().count(), want_hist.count());
+        prop_assert_eq!(delta.hist().sum_us(), want_hist.sum_us());
+        for q in [0.5, 0.9, 0.99] {
+            let d = delta.hist().quantile_us(q);
+            let direct = want_hist.quantile_us(q);
+            // identical buckets; only the lifetime-max clamp may lift the
+            // delta's quantile, never past one bucket width (~25%) above
+            prop_assert!(d >= direct, "q={}: delta {} < direct {}", q, d, direct);
+            prop_assert!(
+                d as f64 <= direct as f64 * 1.3 + 2.0,
+                "q={}: delta {} too far above direct {}", q, d, direct
+            );
+        }
+        prop_assert!(delta.hist().max_us() >= want_hist.max_us());
+    }
+}

@@ -286,6 +286,15 @@ struct LaneCounters {
     ///
     /// [`ServeEngine::stats`]: crate::engine::ServeEngine::stats
     in_flight: AtomicU64,
+    /// Registry gauges mirroring the lane's queue depth and in-flight
+    /// count, resolved once at construction and updated with relaxed
+    /// stores on the admission path. Counter totals in a `metrics` scrape
+    /// cannot show buildup *between* stats snapshots; these gauges can.
+    /// (Named `taser_admission_*` — the stats renderer already emits
+    /// `taser_serve_queue_depth`/`taser_serve_in_flight` from its own
+    /// snapshot, and the two sources must not collide in one scrape.)
+    depth_gauge: Arc<taser_obs::Gauge>,
+    in_flight_gauge: Arc<taser_obs::Gauge>,
 }
 
 struct Shared {
@@ -316,11 +325,15 @@ impl AdmissionQueue {
             notify: Condvar::new(),
             policy,
             counters: (0..policy.lanes)
-                .map(|_| LaneCounters {
+                .map(|lane| LaneCounters {
                     admitted: AtomicU64::new(0),
                     shed_full: AtomicU64::new(0),
                     shed_deadline: AtomicU64::new(0),
                     in_flight: AtomicU64::new(0),
+                    depth_gauge: taser_obs::global()
+                        .gauge(&format!("taser_admission_queue_depth{{lane=\"{lane}\"}}")),
+                    in_flight_gauge: taser_obs::global()
+                        .gauge(&format!("taser_admission_in_flight{{lane=\"{lane}\"}}")),
                 })
                 .collect(),
         }
@@ -361,6 +374,9 @@ impl AdmissionQueue {
             fulfilled: false,
         });
         self.counters[lane].admitted.fetch_add(1, Ordering::Relaxed);
+        self.counters[lane]
+            .depth_gauge
+            .set(q.lanes[lane].len() as i64);
         drop(q);
         self.notify.notify_one();
         Ok(ScoreTicket(ticket))
@@ -384,6 +400,14 @@ impl AdmissionQueue {
         self.freeze().lanes()
     }
 
+    /// [`AdmissionQueue::lane_admission`] into caller-owned storage
+    /// (`out.len()` must equal the lane count). Allocation-free: the health
+    /// watchdog samples lanes on a fixed period and must not allocate in
+    /// steady state.
+    pub fn lane_admission_into(&self, out: &mut [LaneAdmission]) {
+        self.freeze().lanes_into(out);
+    }
+
     /// Takes the admission lock and holds it for the guard's lifetime,
     /// freezing submits, door sheds, expiry sheds, and batch drains.
     ///
@@ -391,8 +415,9 @@ impl AdmissionQueue {
     /// [`FrozenAdmission::lanes`] when every lock the snapshot depends on
     /// is held. The scoring side (`in_flight` decrement + scored recording)
     /// runs under per-worker metrics shard locks, not this lock, so a
-    /// caller wanting the exact identity `admitted = scored + shed_deadline
-    /// + queued + in_flight` must freeze first, acquire *all* shard locks,
+    /// caller wanting the exact identity
+    /// `admitted = scored + shed_deadline + queued + in_flight` must
+    /// freeze first, acquire *all* shard locks,
     /// and only then read the lanes; sampling before the shard locks are
     /// held would let a worker book a score (and decrement `in_flight`)
     /// between the read and the shard freeze, counting the same query as
@@ -409,9 +434,9 @@ impl AdmissionQueue {
     /// section that records the score — keeping the in-flight counter and
     /// the scored histogram in lockstep for snapshot readers.
     pub fn mark_done(&self, lane: usize) {
-        self.counters[lane.min(self.policy.lanes - 1)]
-            .in_flight
-            .fetch_sub(1, Ordering::Relaxed);
+        let c = &self.counters[lane.min(self.policy.lanes - 1)];
+        c.in_flight.fetch_sub(1, Ordering::Relaxed);
+        c.in_flight_gauge.add(-1);
     }
 
     /// Drops every queued ticket whose deadline has passed, resolving each
@@ -419,12 +444,16 @@ impl AdmissionQueue {
     /// SLO, so expired tickets are always a prefix of each lane.
     fn shed_expired(&self, q: &mut Shared, now: Instant) {
         for (lane_no, lane) in q.lanes.iter_mut().enumerate() {
+            let before = lane.len();
             while lane.front().is_some_and(|p| p.deadline <= now) {
                 let p = lane.pop_front().expect("checked nonempty");
                 self.counters[lane_no]
                     .shed_deadline
                     .fetch_add(1, Ordering::Relaxed);
                 p.reject(Overloaded::DeadlineExceeded { lane: lane_no });
+            }
+            if lane.len() != before {
+                self.counters[lane_no].depth_gauge.set(lane.len() as i64);
             }
         }
     }
@@ -482,16 +511,23 @@ impl AdmissionQueue {
         }
         let mut batch = Vec::new();
         'drain: for (lane_no, lane) in q.lanes.iter_mut().enumerate() {
+            let before = lane.len();
             while let Some(p) = lane.pop_front() {
                 // still under the shared lock: queued → in_flight is one
                 // atomic transition from a snapshot reader's point of view
-                self.counters[lane_no]
-                    .in_flight
-                    .fetch_add(1, Ordering::Relaxed);
+                let c = &self.counters[lane_no];
+                c.in_flight.fetch_add(1, Ordering::Relaxed);
+                c.in_flight_gauge.add(1);
                 batch.push(p);
                 if batch.len() == self.policy.batch.max_batch {
+                    if lane.len() != before {
+                        c.depth_gauge.set(lane.len() as i64);
+                    }
                     break 'drain;
                 }
+            }
+            if lane.len() != before {
+                self.counters[lane_no].depth_gauge.set(lane.len() as i64);
             }
         }
         Some(batch)
@@ -519,18 +555,24 @@ impl FrozenAdmission<'_> {
     /// lock. Exactness of `in_flight` additionally requires the caller to
     /// hold every worker metrics shard lock at the moment of this call.
     pub fn lanes(&self) -> Vec<LaneAdmission> {
-        self.queue
-            .counters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| LaneAdmission {
+        let mut out = vec![LaneAdmission::default(); self.queue.counters.len()];
+        self.lanes_into(&mut out);
+        out
+    }
+
+    /// [`FrozenAdmission::lanes`] into caller-owned storage (allocation
+    /// free; `out.len()` must equal the lane count).
+    pub fn lanes_into(&self, out: &mut [LaneAdmission]) {
+        assert_eq!(out.len(), self.queue.counters.len(), "lane count mismatch");
+        for (i, (slot, c)) in out.iter_mut().zip(self.queue.counters.iter()).enumerate() {
+            *slot = LaneAdmission {
                 admitted: c.admitted.load(Ordering::Relaxed),
                 shed_full: c.shed_full.load(Ordering::Relaxed),
                 shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
                 queued: self.shared.lanes[i].len() as u64,
                 in_flight: c.in_flight.load(Ordering::Relaxed),
-            })
-            .collect()
+            };
+        }
     }
 }
 
@@ -738,6 +780,38 @@ mod tests {
         // the timed-out ticket is still live and eventually resolves
         assert_eq!(t.wait().expect("scored").generation, 1);
         worker.join().unwrap();
+    }
+
+    /// The registry gauges mirror queue depth and in-flight through the
+    /// whole admit → drain → done cycle. Uses a 5-lane queue so lane 4's
+    /// gauge names are not shared with the 2-lane queues other tests run
+    /// concurrently against the process-global registry.
+    #[test]
+    fn registry_gauges_track_depth_and_in_flight() {
+        let depth = taser_obs::global().gauge("taser_admission_queue_depth{lane=\"4\"}");
+        let in_flight = taser_obs::global().gauge("taser_admission_in_flight{lane=\"4\"}");
+        let b = AdmissionQueue::new(AdmissionPolicy {
+            lanes: 5,
+            ..policy(8, Duration::from_millis(1))
+        });
+        let tickets: Vec<_> = (0..3).map(|i| b.submit(q(i), 4).unwrap()).collect();
+        assert_eq!(depth.get(), 3, "three queued after three submits");
+        assert_eq!(in_flight.get(), 0);
+        let batch = b.next_batch().unwrap();
+        assert_eq!(depth.get(), 0, "drain empties the lane");
+        assert_eq!(in_flight.get(), 3, "drained queries are in flight");
+        for p in batch {
+            let lane = p.lane;
+            p.fulfill(ScoreResult {
+                prob: 0.5,
+                generation: 0,
+            });
+            b.mark_done(lane);
+        }
+        assert_eq!(in_flight.get(), 0, "mark_done returns the gauge to zero");
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
     }
 
     #[test]

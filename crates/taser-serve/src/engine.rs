@@ -12,7 +12,7 @@
 //! queue, lets the workers drain what is admitted, and joins them.
 
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -22,10 +22,11 @@ use taser_obs::{Stage, StageNanos};
 use taser_sample::SamplePolicy;
 
 use crate::admission::{
-    AdmissionPolicy, AdmissionQueue, BatchPolicy, LinkQuery, Overloaded, ScoreOutcome, ScoreResult,
-    ScoreTicket,
+    AdmissionPolicy, AdmissionQueue, BatchPolicy, LaneAdmission, LinkQuery, Overloaded,
+    ScoreOutcome, ScoreResult, ScoreTicket,
 };
 use crate::features::ServeFeatureCache;
+use crate::health::{HealthConfig, HealthMonitor, HealthSample, LaneSampleTotals};
 use crate::pipeline::{ScorePath, ScorePipeline, ScoreScratch};
 use crate::snapshot::{IndexBackend, SnapshotStore};
 use crate::stats::{LaneStats, LatencyHistogram, ServeStats};
@@ -63,6 +64,14 @@ pub struct ServeConfig {
     pub index_backend: IndexBackend,
     /// Seed for the cache's random initial content.
     pub seed: u64,
+    /// Health watchdog: windowed rates, burn-rate alerts, stall/queue/lag
+    /// detection, and the stage-occupancy sampler.
+    pub health: HealthConfig,
+    /// Test-only fault injection: each worker sleeps this long after
+    /// draining a batch, before scoring it (zero = off). Exists so
+    /// integration tests can exercise the watchdog's stall detection
+    /// against a genuinely blocked worker.
+    pub fault_worker_stall: Duration,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +93,8 @@ impl Default for ServeConfig {
             policy_override: None,
             index_backend: IndexBackend::default(),
             seed: 0x5EE7,
+            health: HealthConfig::default(),
+            fault_worker_stall: Duration::ZERO,
         }
     }
 }
@@ -127,6 +138,45 @@ impl WorkerMetrics {
     }
 }
 
+/// Per-worker liveness beat the watchdog reads: nanoseconds since the
+/// engine epoch when the worker went busy on its current batch, offset by
+/// one so `0` can mean idle. Relaxed ordering throughout — a beat stale by
+/// an evaluation period is noise against `stall_after`.
+struct WorkerBeat {
+    busy_since_ns: AtomicU64,
+}
+
+impl WorkerBeat {
+    fn new() -> Self {
+        WorkerBeat {
+            busy_since_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn set_busy(&self, epoch: Instant) {
+        let ns = Instant::now()
+            .saturating_duration_since(epoch)
+            .as_nanos()
+            .min(u64::MAX as u128 - 1) as u64;
+        self.busy_since_ns.store(ns + 1, Ordering::Relaxed);
+    }
+
+    fn set_idle(&self) {
+        self.busy_since_ns.store(0, Ordering::Relaxed);
+    }
+
+    fn busy_for(&self, epoch: Instant) -> Option<Duration> {
+        match self.busy_since_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(
+                Instant::now()
+                    .saturating_duration_since(epoch)
+                    .saturating_sub(Duration::from_nanos(ns - 1)),
+            ),
+        }
+    }
+}
+
 /// The online inference engine.
 pub struct ServeEngine {
     snapshots: Arc<SnapshotStore>,
@@ -134,7 +184,10 @@ pub struct ServeEngine {
     pipeline: Arc<ScorePipeline>,
     features: Arc<ServeFeatureCache>,
     worker_metrics: Arc<Vec<Mutex<WorkerMetrics>>>,
-    ingests: AtomicU64,
+    ingests: Arc<AtomicU64>,
+    health: Arc<HealthMonitor>,
+    watchdog_stop: Arc<AtomicBool>,
+    watchdog: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -173,6 +226,20 @@ impl ServeEngine {
                 .map(|_| Mutex::new(WorkerMetrics::new(policy.lanes)))
                 .collect::<Vec<_>>(),
         );
+        let epoch = Instant::now();
+        let beats = Arc::new(
+            (0..cfg.workers)
+                .map(|_| WorkerBeat::new())
+                .collect::<Vec<_>>(),
+        );
+        let ingests = Arc::new(AtomicU64::new(0));
+        let health = Arc::new(HealthMonitor::new(
+            cfg.health,
+            policy.lanes,
+            cfg.workers,
+            policy.queue_cap,
+            cfg.publish_every,
+        ));
         let workers = (0..cfg.workers)
             .map(|id| {
                 let snapshots = snapshots.clone();
@@ -180,6 +247,7 @@ impl ServeEngine {
                 let pipeline = pipeline.clone();
                 let features = features.clone();
                 let worker_metrics = worker_metrics.clone();
+                let beats = beats.clone();
                 std::thread::spawn(move || {
                     worker_loop(
                         &snapshots,
@@ -187,19 +255,55 @@ impl ServeEngine {
                         &pipeline,
                         &features,
                         &worker_metrics[id],
+                        &beats[id],
+                        epoch,
+                        cfg.fault_worker_stall,
                     )
                 })
             })
             .collect();
+        let watchdog_stop = Arc::new(AtomicBool::new(false));
+        let watchdog = cfg.health.enabled.then(|| {
+            let snapshots = snapshots.clone();
+            let admission = admission.clone();
+            let worker_metrics = worker_metrics.clone();
+            let ingests = ingests.clone();
+            let health = health.clone();
+            let stop = watchdog_stop.clone();
+            std::thread::spawn(move || {
+                watchdog_loop(
+                    cfg.health,
+                    epoch,
+                    &snapshots,
+                    &admission,
+                    &worker_metrics,
+                    &ingests,
+                    &beats,
+                    &health,
+                    &stop,
+                )
+            })
+        });
         Ok(ServeEngine {
             snapshots,
             admission,
             pipeline,
             features,
             worker_metrics,
-            ingests: AtomicU64::new(0),
+            ingests,
+            health,
+            watchdog_stop,
+            watchdog,
             workers,
         })
+    }
+
+    /// The health watchdog's monitor: overall level, firing alerts,
+    /// windowed rates, and the stage-occupancy profile. Always present;
+    /// with [`HealthConfig::enabled`] off nothing feeds it and the
+    /// `health` verb reports `watchdog:"off"`.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 
     /// The pipeline being served (spec/policy introspection).
@@ -359,6 +463,12 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
+        // watchdog first: it reads worker state, so it must be gone before
+        // the workers are
+        self.watchdog_stop.store(true, Ordering::Relaxed);
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
         self.admission.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -366,27 +476,123 @@ impl Drop for ServeEngine {
     }
 }
 
+/// The watchdog thread: occupancy sweeps every `sample_every`, a full
+/// counter snapshot + gate evaluation every `eval_every`. Steady-state
+/// allocation-free — every buffer below is preallocated, and
+/// [`HealthMonitor::observe`] writes into preallocated ring slots.
+///
+/// Unlike [`ServeEngine::stats`] this does **not** freeze the world: it
+/// takes the admission lock briefly, then each worker shard in turn.
+/// Windowed rates tolerate a batch of cross-shard skew, and the watchdog
+/// must never stall the serving path to get its numbers.
+#[allow(clippy::too_many_arguments)]
+fn watchdog_loop(
+    cfg: HealthConfig,
+    epoch: Instant,
+    snapshots: &SnapshotStore,
+    admission: &AdmissionQueue,
+    worker_metrics: &[Mutex<WorkerMetrics>],
+    ingests: &AtomicU64,
+    beats: &[WorkerBeat],
+    monitor: &HealthMonitor,
+    stop: &AtomicBool,
+) {
+    let lanes = admission.policy().lanes;
+    let mut lane_adm = vec![LaneAdmission::default(); lanes];
+    let mut lane_tot = vec![LaneSampleTotals::default(); lanes];
+    let mut busy: Vec<Option<Duration>> = vec![None; beats.len()];
+    let mut merged = LatencyHistogram::default();
+    let sample_every = cfg.sample_every.max(Duration::from_micros(100));
+    let eval_every = cfg.eval_every.max(sample_every);
+    let mut next_eval = Instant::now() + eval_every;
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(sample_every);
+        monitor.sweep_occupancy();
+        let now = Instant::now();
+        if now < next_eval {
+            continue;
+        }
+        next_eval = now + eval_every;
+        admission.lane_admission_into(&mut lane_adm);
+        for (t, a) in lane_tot.iter_mut().zip(lane_adm.iter()) {
+            *t = LaneSampleTotals {
+                admitted: a.admitted,
+                // deadline sheds burned their budget just like missed
+                // scores; the shard loop below adds the latter
+                missed: a.shed_deadline,
+                scored: 0,
+                shed: a.shed_full + a.shed_deadline,
+                queued: a.queued,
+            };
+        }
+        merged.clear();
+        let mut scored = 0u64;
+        for m in worker_metrics {
+            let m = m.lock().expect("metrics lock poisoned");
+            scored += m.queries;
+            for (lane, l) in m.lanes.iter().enumerate() {
+                merged.merge(&l.hist);
+                lane_tot[lane].scored += l.hist.count();
+                lane_tot[lane].missed += l.slo_missed;
+            }
+        }
+        for (b, beat) in busy.iter_mut().zip(beats.iter()) {
+            *b = beat.busy_for(epoch);
+        }
+        let lag = snapshots.publish_lag();
+        monitor.observe(
+            now,
+            &HealthSample {
+                lanes: &lane_tot,
+                latency: &merged,
+                scored,
+                ingests: ingests.load(Ordering::Relaxed),
+                generation: snapshots.generation(),
+                publish_pending: lag.pending_events,
+                worker_busy: &busy,
+            },
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     snapshots: &SnapshotStore,
     admission: &AdmissionQueue,
     pipeline: &ScorePipeline,
     features: &ServeFeatureCache,
     metrics: &Mutex<WorkerMetrics>,
+    beat: &WorkerBeat,
+    epoch: Instant,
+    fault_stall: Duration,
 ) {
     // Per-worker reusable state: the fast path's arena + assembly buffers
     // plus the query/probability staging vectors. After warmup the scoring
     // section of this loop performs no heap allocations — stage timing is
-    // plain `Instant` reads into fixed arrays, and span recording (when
-    // tracing is on) writes into a pre-registered fixed-capacity ring.
+    // plain `Instant` reads into fixed arrays, span recording (when
+    // tracing is on) writes into a pre-registered fixed-capacity ring, and
+    // the occupancy cell registered here is a single atomic the sampler
+    // reads from outside.
+    taser_obs::profile::warm_stage_cell();
     let mut scratch = ScoreScratch::new();
     let mut queries: Vec<LinkQuery> = Vec::new();
     let mut probs: Vec<f32> = Vec::new();
     let mut meta: Vec<(usize, Instant, Instant)> = Vec::new();
-    while let Some(batch) = admission.next_batch() {
+    loop {
+        beat.set_idle();
+        taser_obs::profile::idle();
+        let Some(batch) = admission.next_batch() else {
+            break;
+        };
         if batch.is_empty() {
             continue;
         }
+        beat.set_busy(epoch);
         let drained = Instant::now();
+        if !fault_stall.is_zero() {
+            // test-only fault injection (see ServeConfig::fault_worker_stall)
+            std::thread::sleep(fault_stall);
+        }
         // admission wait = submit → drain, summed exactly per query; the
         // span covers the batch's longest wait
         let mut batch_stages = StageNanos::default();
@@ -403,6 +609,7 @@ fn worker_loop(
         }
         taser_obs::record(Stage::AdmissionWait.name(), oldest, drained);
         let staging = Instant::now();
+        taser_obs::profile::enter(Stage::BatchAssembly);
         let snap = snapshots.snapshot();
         queries.clear();
         queries.extend(batch.iter().map(|p| p.query));
@@ -427,6 +634,7 @@ fn worker_loop(
                 // the tape oracle is unattributed internally: book it all
                 // under the forward stage
                 let t0 = Instant::now();
+                taser_obs::profile::enter(Stage::PackedForward);
                 probs.clear();
                 probs.extend(pipeline.score_batch_tape(
                     snap.csr.as_ref(),
@@ -441,6 +649,7 @@ fn worker_loop(
         // score is booked *before* the tickets are fulfilled so a caller
         // that observed its result always finds itself counted in `stats()`
         let scored_at = Instant::now();
+        taser_obs::profile::enter(Stage::Respond);
         {
             // this worker's own shard: no cross-worker contention. The
             // in-flight decrement rides inside the same critical section
@@ -737,6 +946,63 @@ mod tests {
         let a = rebuild.score(0, 7, 60.0).expect("admitted");
         let b = incremental.score(0, 7, 60.0).expect("admitted");
         assert_eq!(a.prob.to_bits(), b.prob.to_bits());
+    }
+
+    #[test]
+    fn watchdog_flags_a_stalled_worker_and_recovers() {
+        use taser_obs::AlertLevel;
+        // the injected fault holds the single worker busy well past
+        // stall_after; the watchdog (evaluating every 10ms) must flag it,
+        // and once the worker drains and idles, the alert must clear
+        let engine = ServeEngine::new(
+            tiny_artifact(),
+            seed_log(),
+            ServeConfig {
+                workers: 1,
+                health: HealthConfig {
+                    sample_every: Duration::from_millis(1),
+                    eval_every: Duration::from_millis(10),
+                    fast_window: Duration::from_millis(40),
+                    slow_window: Duration::from_millis(120),
+                    stall_after: Duration::from_millis(40),
+                    hold_down: 2,
+                    ..HealthConfig::default()
+                },
+                fault_worker_stall: Duration::from_millis(150),
+                ..quick_cfg()
+            },
+        )
+        .unwrap();
+        let t = engine.submit(0, 6, 40.0).expect("admitted");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut firing = Vec::new();
+        loop {
+            engine.health().firing_into(&mut firing);
+            if firing
+                .iter()
+                .any(|a| a.signal == "worker_stall" && a.to >= AlertLevel::Warning)
+            {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "stall never flagged: {}",
+                engine.health().health_json()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        t.wait().expect("scored despite the stall");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while engine.health().level() != AlertLevel::Ok {
+            assert!(
+                Instant::now() < deadline,
+                "stall never cleared: {}",
+                engine.health().health_json()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // the worker's occupancy cell registered and the sampler swept it
+        assert!(engine.health().occupancy().sweeps() > 0);
     }
 
     #[test]

@@ -1,0 +1,761 @@
+//! The health watchdog: windowed rates, SLO burn-rate alerts, stalled
+//! workers, queue buildup, and publish lag — the engine watching itself.
+//!
+//! Everything the engine exports elsewhere is a monotone lifetime total;
+//! this module is the consumption layer that turns those totals into
+//! operational answers. A background watchdog thread (spawned by
+//! [`crate::ServeEngine`], period [`HealthConfig::eval_every`]) samples the
+//! cumulative counters into a [`WindowRing`] and evaluates alert gates over
+//! two look-back windows:
+//!
+//! * **SLO burn rate, per lane** — `missed / admitted` over the window
+//!   (missed = SLO-missed scores **plus** deadline sheds: a shed query
+//!   burned its budget just as surely), divided by the error budget
+//!   `1 - slo_target`. A [`BurnRateAlerter`] fires only when both the fast
+//!   (~10 s) and slow (~60 s) windows burn (blips rejected), and the fast
+//!   window cooling drives recovery seconds after overload ends.
+//! * **Worker stalls** — workers publish a busy-since beat; a worker
+//!   continuously busy past [`HealthConfig::stall_after`] trips the gate.
+//! * **Queue buildup** — per-lane depth as a fraction of `queue_cap`.
+//! * **Publish lag** — events ingested but not yet published, against a
+//!   threshold derived from `publish_every`.
+//!
+//! All steady-state work ([`HealthMonitor::observe`], the occupancy sweep)
+//! is allocation-free — every ring slot, delta, gate, and the firing list
+//! are preallocated at construction, so the watchdog can run inside the
+//! zero-allocation serving contract (`tests/zero_alloc.rs` runs one live).
+//! Rendering ([`HealthMonitor::health_json`] and friends) allocates, but
+//! only on an operator's `health`/`watch`/`profile` request.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use taser_obs::{
+    Alert, AlertLevel, BurnRateAlerter, HysteresisGate, HysteresisPolicy, LatencyHistogram,
+    OccupancyProfile, WindowDelta, WindowRing,
+};
+
+/// Health watchdog knobs (embedded in [`crate::ServeConfig`]; `Copy` like
+/// its parent).
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Run the watchdog thread. Off turns the engine's self-monitoring
+    /// into a no-op (the `health` verb then reports `watchdog:"off"`).
+    pub enabled: bool,
+    /// Stage-occupancy sweep period (the sampler's resolution).
+    pub sample_every: Duration,
+    /// Window-snapshot + alert-evaluation period.
+    pub eval_every: Duration,
+    /// Fast burn window (recovery speed; SRE-style multi-window).
+    pub fast_window: Duration,
+    /// Slow burn window (blip rejection).
+    pub slow_window: Duration,
+    /// SLO attainment target the error budget derives from (e.g. `0.99`
+    /// = 1% of admitted queries may miss their deadline).
+    pub slo_target: f64,
+    /// Burn rate at which a lane reaches Warning.
+    pub warn_burn: f64,
+    /// Burn rate at which a lane reaches Critical.
+    pub critical_burn: f64,
+    /// Burn rate below which a firing lane starts recovering.
+    pub clear_burn: f64,
+    /// Consecutive evaluations a threshold must hold before escalating.
+    pub hold_up: u32,
+    /// Consecutive below-clear evaluations before Recovering becomes Ok.
+    pub hold_down: u32,
+    /// A worker continuously busy on one batch past this is stalled.
+    pub stall_after: Duration,
+    /// Queue depth fraction (of `queue_cap`) that warns.
+    pub queue_warn: f64,
+    /// Queue depth fraction that is critical.
+    pub queue_critical: f64,
+    /// Unpublished-ingest count that warns; `0` derives
+    /// `4 * publish_every` (and disables the signal when auto-publish is
+    /// off).
+    pub publish_lag_events: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            enabled: true,
+            sample_every: Duration::from_millis(2),
+            eval_every: Duration::from_millis(500),
+            fast_window: Duration::from_secs(10),
+            slow_window: Duration::from_secs(60),
+            slo_target: 0.99,
+            warn_burn: 1.0,
+            critical_burn: 4.0,
+            clear_burn: 0.5,
+            hold_up: 2,
+            hold_down: 3,
+            stall_after: Duration::from_secs(2),
+            queue_warn: 0.5,
+            queue_critical: 0.9,
+            publish_lag_events: 0,
+        }
+    }
+}
+
+/// Per-lane cumulative totals the watchdog feeds each evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaneSampleTotals {
+    /// Queries admitted into the lane.
+    pub admitted: u64,
+    /// SLO-missed scores + deadline sheds (the burn numerator).
+    pub missed: u64,
+    /// Queries scored from the lane.
+    pub scored: u64,
+    /// Door + deadline sheds (for the windowed shed rate).
+    pub shed: u64,
+    /// Current queue depth (instantaneous, not cumulative).
+    pub queued: u64,
+}
+
+/// One cumulative snapshot of everything the watchdog monitors. The
+/// borrowed slices live in the watchdog's preallocated scratch.
+pub struct HealthSample<'a> {
+    /// Per-lane totals (length = lane count).
+    pub lanes: &'a [LaneSampleTotals],
+    /// Cumulative end-to-end latency merged across workers and lanes.
+    pub latency: &'a LatencyHistogram,
+    /// Total queries scored.
+    pub scored: u64,
+    /// Events ingested.
+    pub ingests: u64,
+    /// Published snapshot generation (cumulative publish count).
+    pub generation: u64,
+    /// Events ingested but not yet published.
+    pub publish_pending: u64,
+    /// Per worker: how long it has been busy on its current batch
+    /// (`None` = idle / parked on the queue).
+    pub worker_busy: &'a [Option<Duration>],
+}
+
+// ring channel layout: four globals, then three channels per lane
+const G_SCORED: usize = 0;
+const G_INGESTS: usize = 1;
+const G_PUBLISHES: usize = 2;
+const G_SHED: usize = 3;
+const GLOBALS: usize = 4;
+const PER_LANE: usize = 3; // admitted, missed, scored
+
+const fn lane_ch(lane: usize) -> usize {
+    GLOBALS + lane * PER_LANE
+}
+
+/// Recent level transitions kept for the `health` reply.
+const TRANSITIONS_CAP: usize = 64;
+
+/// The one-line summary the `watch` verb streams, refreshed every
+/// evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+struct Pulse {
+    at_ms: u64,
+    window_secs: f64,
+    qps: f64,
+    shed_qps: f64,
+    ingest_qps: f64,
+    publish_qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    evals: u64,
+}
+
+struct MonitorInner {
+    ring: WindowRing,
+    fast: WindowDelta,
+    slow: WindowDelta,
+    burn: Vec<BurnRateAlerter>,
+    stall: Vec<HysteresisGate>,
+    queue: Vec<HysteresisGate>,
+    publish: HysteresisGate,
+    /// Rebuilt every evaluation from gates with level > Ok (preallocated;
+    /// `Alert` is `Copy`).
+    firing: Vec<Alert>,
+    /// Most recent level transitions, (ms since epoch, alert).
+    transitions: VecDeque<(u64, Alert)>,
+    transitions_total: u64,
+    level: AlertLevel,
+    pulse: Pulse,
+    occupancy: OccupancyProfile,
+}
+
+/// Shared state between the watchdog thread and the protocol verbs.
+///
+/// The watchdog calls [`HealthMonitor::observe`] on a fixed period (and
+/// [`HealthMonitor::sweep_occupancy`] on a finer one); the `health` /
+/// `watch` / `profile` verbs read through the render methods. Constructed
+/// by the engine; direct construction is exposed for tests driving
+/// synthetic samples.
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    epoch: Instant,
+    lanes: usize,
+    queue_cap: u64,
+    /// `0` disables the publish-lag signal.
+    publish_lag_threshold: u64,
+    fast_back: usize,
+    slow_back: usize,
+    inner: Mutex<MonitorInner>,
+}
+
+impl HealthMonitor {
+    /// A monitor for `lanes` lanes and `workers` workers. `queue_cap` and
+    /// `publish_every` size the queue-buildup and publish-lag thresholds.
+    pub fn new(
+        cfg: HealthConfig,
+        lanes: usize,
+        workers: usize,
+        queue_cap: usize,
+        publish_every: usize,
+    ) -> Self {
+        let eval = cfg.eval_every.as_secs_f64().max(1e-3);
+        let back_of = |w: Duration| ((w.as_secs_f64() / eval).ceil() as usize).max(1);
+        let fast_back = back_of(cfg.fast_window);
+        let slow_back = back_of(cfg.slow_window).max(fast_back);
+        let channels = GLOBALS + lanes * PER_LANE;
+        let burn_policy = HysteresisPolicy {
+            warn_above: cfg.warn_burn,
+            critical_above: cfg.critical_burn,
+            clear_below: cfg.clear_burn,
+            hold_up: cfg.hold_up,
+            hold_down: cfg.hold_down,
+        };
+        // a stall is sustained by construction (the value is busy-duration
+        // over the threshold), so it escalates on the first evaluation
+        let stall_policy = HysteresisPolicy {
+            warn_above: 0.5,
+            critical_above: 1.0,
+            clear_below: 0.25,
+            hold_up: 1,
+            hold_down: cfg.hold_down,
+        };
+        let queue_policy = HysteresisPolicy {
+            warn_above: cfg.queue_warn,
+            critical_above: cfg.queue_critical,
+            clear_below: cfg.queue_warn / 2.0,
+            hold_up: cfg.hold_up,
+            hold_down: cfg.hold_down,
+        };
+        let publish_policy = HysteresisPolicy {
+            warn_above: 1.0,
+            critical_above: 2.0,
+            clear_below: 0.5,
+            hold_up: cfg.hold_up,
+            hold_down: cfg.hold_down,
+        };
+        let publish_lag_threshold = if cfg.publish_lag_events > 0 {
+            cfg.publish_lag_events
+        } else if publish_every > 0 {
+            4 * publish_every as u64
+        } else {
+            0 // manual publishing: lag is an operator choice, not a fault
+        };
+        let gates = lanes * 2 + workers + 1;
+        HealthMonitor {
+            cfg,
+            epoch: Instant::now(),
+            lanes,
+            queue_cap: queue_cap.max(1) as u64,
+            publish_lag_threshold,
+            fast_back,
+            slow_back,
+            inner: Mutex::new(MonitorInner {
+                ring: WindowRing::new(channels, slow_back + 2),
+                fast: WindowDelta::new(channels),
+                slow: WindowDelta::new(channels),
+                burn: (0..lanes)
+                    .map(|_| BurnRateAlerter::new(burn_policy))
+                    .collect(),
+                stall: (0..workers)
+                    .map(|_| HysteresisGate::new(stall_policy))
+                    .collect(),
+                queue: (0..lanes)
+                    .map(|_| HysteresisGate::new(queue_policy))
+                    .collect(),
+                publish: HysteresisGate::new(publish_policy),
+                firing: Vec::with_capacity(gates),
+                transitions: VecDeque::with_capacity(TRANSITIONS_CAP),
+                transitions_total: 0,
+                level: AlertLevel::Ok,
+                pulse: Pulse::default(),
+                occupancy: OccupancyProfile::default(),
+            }),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Feeds one cumulative snapshot and evaluates every gate.
+    /// Allocation-free: writes into the preallocated ring slot, computes
+    /// both window deltas in place, and rebuilds the firing list from
+    /// `Copy` records.
+    pub fn observe(&self, now: Instant, s: &HealthSample<'_>) {
+        debug_assert_eq!(s.lanes.len(), self.lanes, "lane count mismatch");
+        let mut guard = self.inner.lock().expect("health monitor poisoned");
+        let inner = &mut *guard;
+        inner.ring.push_with(now, |totals, h| {
+            totals[G_SCORED] = s.scored;
+            totals[G_INGESTS] = s.ingests;
+            totals[G_PUBLISHES] = s.generation;
+            totals[G_SHED] = s.lanes.iter().map(|l| l.shed).sum();
+            for (i, l) in s.lanes.iter().enumerate() {
+                let b = lane_ch(i);
+                totals[b] = l.admitted;
+                totals[b + 1] = l.missed;
+                totals[b + 2] = l.scored;
+            }
+            h.copy_from(s.latency);
+        });
+        let have_fast = inner.ring.delta_into(self.fast_back, &mut inner.fast);
+        let have_slow = inner.ring.delta_into(self.slow_back, &mut inner.slow);
+        let epoch_ms = now.saturating_duration_since(self.epoch).as_millis() as u64;
+
+        if have_fast && have_slow {
+            // lane burn rates over both windows
+            let budget = (1.0 - self.cfg.slo_target).max(1e-6);
+            for lane in 0..self.lanes {
+                let b = lane_ch(lane);
+                let fb = inner.fast.ratio(b + 1, b) / budget;
+                let sb = inner.slow.ratio(b + 1, b) / budget;
+                if let Some((from, to)) = inner.burn[lane].observe(fb, sb) {
+                    let a = Alert {
+                        signal: "slo_burn",
+                        index: Some(lane),
+                        from,
+                        to,
+                        value: fb.min(sb),
+                    };
+                    push_transition(inner, epoch_ms, a);
+                }
+            }
+        }
+        // instantaneous signals evaluate every tick (they carry their own
+        // duration semantics: busy-time, current depth, current lag)
+        for w in 0..inner.stall.len() {
+            let busy = s.worker_busy.get(w).copied().flatten();
+            let v = busy.map_or(0.0, |d| {
+                d.as_secs_f64() / self.cfg.stall_after.as_secs_f64().max(1e-3)
+            });
+            if let Some((from, to)) = inner.stall[w].observe(v) {
+                let a = Alert {
+                    signal: "worker_stall",
+                    index: Some(w),
+                    from,
+                    to,
+                    value: v,
+                };
+                push_transition(inner, epoch_ms, a);
+            }
+        }
+        for lane in 0..inner.queue.len() {
+            let v = s.lanes[lane].queued as f64 / self.queue_cap as f64;
+            if let Some((from, to)) = inner.queue[lane].observe(v) {
+                let a = Alert {
+                    signal: "queue_depth",
+                    index: Some(lane),
+                    from,
+                    to,
+                    value: v,
+                };
+                push_transition(inner, epoch_ms, a);
+            }
+        }
+        if self.publish_lag_threshold > 0 {
+            let v = s.publish_pending as f64 / self.publish_lag_threshold as f64;
+            if let Some((from, to)) = inner.publish.observe(v) {
+                let a = Alert {
+                    signal: "publish_lag",
+                    index: None,
+                    from,
+                    to,
+                    value: v,
+                };
+                push_transition(inner, epoch_ms, a);
+            }
+        }
+
+        // rebuild the firing list and the overall level
+        inner.firing.clear();
+        let mut level = AlertLevel::Ok;
+        for (i, b) in inner.burn.iter().enumerate() {
+            if b.level() > AlertLevel::Ok {
+                inner.firing.push(Alert {
+                    signal: "slo_burn",
+                    index: Some(i),
+                    from: b.level(),
+                    to: b.level(),
+                    value: b.last_value(),
+                });
+            }
+            level = level.max(b.level());
+        }
+        for (signal, gates) in [
+            ("worker_stall", &inner.stall),
+            ("queue_depth", &inner.queue),
+        ] {
+            for (i, g) in gates.iter().enumerate() {
+                if g.level() > AlertLevel::Ok {
+                    inner.firing.push(Alert {
+                        signal,
+                        index: Some(i),
+                        from: g.level(),
+                        to: g.level(),
+                        value: g.last_value(),
+                    });
+                }
+                level = level.max(g.level());
+            }
+        }
+        if self.publish_lag_threshold > 0 {
+            let g = &inner.publish;
+            if g.level() > AlertLevel::Ok {
+                inner.firing.push(Alert {
+                    signal: "publish_lag",
+                    index: None,
+                    from: g.level(),
+                    to: g.level(),
+                    value: g.last_value(),
+                });
+            }
+            level = level.max(g.level());
+        }
+        inner.level = level;
+        inner.pulse = Pulse {
+            at_ms: epoch_ms,
+            window_secs: if have_fast { inner.fast.secs() } else { 0.0 },
+            qps: if have_fast {
+                inner.fast.rate(G_SCORED)
+            } else {
+                0.0
+            },
+            shed_qps: if have_fast {
+                inner.fast.rate(G_SHED)
+            } else {
+                0.0
+            },
+            ingest_qps: if have_fast {
+                inner.fast.rate(G_INGESTS)
+            } else {
+                0.0
+            },
+            publish_qps: if have_fast {
+                inner.fast.rate(G_PUBLISHES)
+            } else {
+                0.0
+            },
+            p50_us: if have_fast {
+                inner.fast.hist().quantile_us(0.5)
+            } else {
+                0
+            },
+            p99_us: if have_fast {
+                inner.fast.hist().quantile_us(0.99)
+            } else {
+                0
+            },
+            evals: inner.pulse.evals + 1,
+        };
+    }
+
+    /// Takes one stage-occupancy sweep (called by the watchdog on
+    /// [`HealthConfig::sample_every`]). Allocation-free.
+    pub fn sweep_occupancy(&self) {
+        let mut inner = self.inner.lock().expect("health monitor poisoned");
+        taser_obs::profile::sample_into(&mut inner.occupancy);
+    }
+
+    /// Overall level: the max across every gate.
+    pub fn level(&self) -> AlertLevel {
+        self.inner.lock().expect("health monitor poisoned").level
+    }
+
+    /// Burn-alert level of one lane (`Ok` for an out-of-range lane).
+    pub fn lane_burn_level(&self, lane: usize) -> AlertLevel {
+        let inner = self.inner.lock().expect("health monitor poisoned");
+        inner.burn.get(lane).map_or(AlertLevel::Ok, |b| b.level())
+    }
+
+    /// Copies the currently-firing alerts into `out` (cleared first).
+    pub fn firing_into(&self, out: &mut Vec<Alert>) {
+        out.clear();
+        let inner = self.inner.lock().expect("health monitor poisoned");
+        out.extend_from_slice(&inner.firing);
+    }
+
+    /// Evaluations performed so far (tests use this to await watchdog
+    /// progress without sleeping blind).
+    pub fn evals(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("health monitor poisoned")
+            .pulse
+            .evals
+    }
+
+    /// The `health` verb's one-line JSON: overall level, windowed rates,
+    /// per-lane burn state, firing alerts, and recent transitions.
+    pub fn health_json(&self) -> String {
+        let inner = self.inner.lock().expect("health monitor poisoned");
+        let p = &inner.pulse;
+        let lanes = inner
+            .burn
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                format!(
+                    concat!(
+                        "{{\"lane\":{},\"level\":\"{}\",\"fast_burn\":{:.4},",
+                        "\"slow_burn\":{:.4},\"queue_level\":\"{}\"}}"
+                    ),
+                    i,
+                    b.level(),
+                    b.last_fast(),
+                    b.last_slow(),
+                    inner.queue[i].level(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let firing = inner
+            .firing
+            .iter()
+            .map(|a| format!("\"{a}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        let watchdog = if self.cfg.enabled { "on" } else { "off" };
+        format!(
+            concat!(
+                "{{\"level\":\"{}\",\"watchdog\":\"{}\",\"evals\":{},\"at_ms\":{},",
+                "\"window_secs\":{:.2},\"qps\":{:.2},\"shed_qps\":{:.2},",
+                "\"ingest_qps\":{:.2},\"publish_qps\":{:.3},\"p50_us\":{},\"p99_us\":{},",
+                "\"firing\":[{}],\"transitions_total\":{},\"lanes\":[{}]}}"
+            ),
+            inner.level,
+            watchdog,
+            p.evals,
+            p.at_ms,
+            p.window_secs,
+            p.qps,
+            p.shed_qps,
+            p.ingest_qps,
+            p.publish_qps,
+            p.p50_us,
+            p.p99_us,
+            firing,
+            inner.transitions_total,
+            lanes,
+        )
+    }
+
+    /// One `watch` line: timestamp, level, windowed rates, and per-lane
+    /// fast/slow burn.
+    pub fn watch_line(&self) -> String {
+        let inner = self.inner.lock().expect("health monitor poisoned");
+        let p = &inner.pulse;
+        let mut line = format!(
+            "t={:.1}s level={} qps={:.1} shed_qps={:.1} publish_qps={:.2} p50_us={} p99_us={}",
+            p.at_ms as f64 / 1_000.0,
+            inner.level,
+            p.qps,
+            p.shed_qps,
+            p.publish_qps,
+            p.p50_us,
+            p.p99_us,
+        );
+        for (i, b) in inner.burn.iter().enumerate() {
+            line.push_str(&format!(
+                " burn{}={:.2}/{:.2}",
+                i,
+                b.last_fast(),
+                b.last_slow()
+            ));
+        }
+        line
+    }
+
+    /// A copy of the stage-occupancy profile accumulated so far.
+    pub fn occupancy(&self) -> OccupancyProfile {
+        self.inner
+            .lock()
+            .expect("health monitor poisoned")
+            .occupancy
+    }
+
+    /// The `profile` verb's folded-stack rendering of the occupancy
+    /// profile (empty string when no sweep has run yet).
+    pub fn occupancy_folded(&self) -> String {
+        self.occupancy().render_folded()
+    }
+}
+
+fn push_transition(inner: &mut MonitorInner, at_ms: u64, alert: Alert) {
+    while inner.transitions.len() >= TRANSITIONS_CAP {
+        inner.transitions.pop_front();
+    }
+    inner.transitions.push_back((at_ms, alert));
+    inner.transitions_total += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg() -> HealthConfig {
+        HealthConfig {
+            eval_every: Duration::from_secs(1),
+            fast_window: Duration::from_secs(2),
+            slow_window: Duration::from_secs(6),
+            slo_target: 0.9, // budget 0.1
+            hold_up: 2,
+            hold_down: 2,
+            stall_after: Duration::from_secs(1),
+            ..HealthConfig::default()
+        }
+    }
+
+    /// Drives the monitor with synthetic cumulative samples: healthy
+    /// traffic, then sustained SLO misses on lane 0, then recovery — the
+    /// alert must escalate to Critical and come back to Ok, with the
+    /// `health` JSON reflecting each phase.
+    #[test]
+    fn burn_alert_fires_and_recovers_on_synthetic_load() {
+        let m = HealthMonitor::new(test_cfg(), 1, 1, 100, 0);
+        let epoch = Instant::now();
+        let hist = LatencyHistogram::default();
+        let mut admitted = 0u64;
+        let mut missed = 0u64;
+        let mut scored = 0u64;
+        let mut drive = |m: &HealthMonitor, tick: u64, miss_frac: f64| {
+            admitted += 100;
+            missed += (100.0 * miss_frac) as u64;
+            scored += 100;
+            let lanes = [LaneSampleTotals {
+                admitted,
+                missed,
+                scored,
+                shed: 0,
+                queued: 0,
+            }];
+            m.observe(
+                epoch + Duration::from_secs(tick),
+                &HealthSample {
+                    lanes: &lanes,
+                    latency: &hist,
+                    scored,
+                    ingests: 0,
+                    generation: 0,
+                    publish_pending: 0,
+                    worker_busy: &[None],
+                },
+            );
+        };
+        let mut tick = 0u64;
+        for _ in 0..8 {
+            tick += 1;
+            drive(&m, tick, 0.0);
+        }
+        assert_eq!(m.level(), AlertLevel::Ok);
+        assert!(m.health_json().contains("\"level\":\"ok\""));
+
+        // sustained 100% miss: burn = 1.0 / 0.1 = 10 >> critical(4); both
+        // windows must fill before the gate sees it, then hold_up=2
+        for _ in 0..12 {
+            tick += 1;
+            drive(&m, tick, 1.0);
+        }
+        assert_eq!(m.level(), AlertLevel::Critical, "{}", m.health_json());
+        assert_eq!(m.lane_burn_level(0), AlertLevel::Critical);
+        let json = m.health_json();
+        assert!(json.contains("\"level\":\"critical\""), "{json}");
+        assert!(json.contains("slo_burn[0] critical"), "{json}");
+        let mut firing = Vec::new();
+        m.firing_into(&mut firing);
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].signal, "slo_burn");
+
+        // clean traffic: the fast window cools within fast_window + holds
+        for _ in 0..12 {
+            tick += 1;
+            drive(&m, tick, 0.0);
+        }
+        assert_eq!(m.level(), AlertLevel::Ok, "{}", m.health_json());
+        m.firing_into(&mut firing);
+        assert!(firing.is_empty());
+        assert!(m.health_json().contains("\"transitions_total\":"));
+    }
+
+    #[test]
+    fn stall_queue_and_publish_gates_fire_independently() {
+        let m = HealthMonitor::new(test_cfg(), 1, 2, 10, 8); // lag threshold 32
+        let epoch = Instant::now();
+        let hist = LatencyHistogram::default();
+        let lanes = [LaneSampleTotals {
+            queued: 9, // 0.9 of cap: critical threshold
+            ..LaneSampleTotals::default()
+        }];
+        // worker 1 busy 3x the stall threshold; 70 pending > 2x lag
+        // threshold; queue at 90% — all three signals go critical
+        let busy = [None, Some(Duration::from_secs(3))];
+        for tick in 1..=4u64 {
+            m.observe(
+                epoch + Duration::from_secs(tick),
+                &HealthSample {
+                    lanes: &lanes,
+                    latency: &hist,
+                    scored: 0,
+                    ingests: 0,
+                    generation: 0,
+                    publish_pending: 70,
+                    worker_busy: &busy,
+                },
+            );
+        }
+        assert_eq!(m.level(), AlertLevel::Critical);
+        let mut firing = Vec::new();
+        m.firing_into(&mut firing);
+        let signals: Vec<&str> = firing.iter().map(|a| a.signal).collect();
+        assert!(signals.contains(&"worker_stall"), "{signals:?}");
+        assert!(signals.contains(&"queue_depth"), "{signals:?}");
+        assert!(signals.contains(&"publish_lag"), "{signals:?}");
+        assert!(!signals.contains(&"slo_burn"), "no traffic, no burn");
+        let json = m.health_json();
+        assert!(json.contains("worker_stall[1] critical"), "{json}");
+    }
+
+    #[test]
+    fn watch_line_reports_windowed_rates() {
+        let m = HealthMonitor::new(test_cfg(), 1, 1, 100, 0);
+        let epoch = Instant::now();
+        let hist = LatencyHistogram::default();
+        for tick in 1..=3u64 {
+            let lanes = [LaneSampleTotals {
+                admitted: tick * 50,
+                scored: tick * 50,
+                ..LaneSampleTotals::default()
+            }];
+            m.observe(
+                epoch + Duration::from_secs(tick),
+                &HealthSample {
+                    lanes: &lanes,
+                    latency: &hist,
+                    scored: tick * 50,
+                    ingests: tick * 10,
+                    generation: tick,
+                    publish_pending: 0,
+                    worker_busy: &[None],
+                },
+            );
+        }
+        let line = m.watch_line();
+        assert!(line.contains("qps=50.0"), "{line}");
+        assert!(line.contains("level=ok"), "{line}");
+        assert!(line.contains("burn0=0.00/0.00"), "{line}");
+        let json = m.health_json();
+        assert!(json.contains("\"publish_qps\":1.000"), "{json}");
+    }
+}

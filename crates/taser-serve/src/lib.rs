@@ -31,10 +31,13 @@
 //! Observability rides on [`taser_obs`] (re-exported as [`obs`]): every
 //! worker attributes each query's latency across six pipeline stages, the
 //! `metrics` protocol verb renders the whole surface as Prometheus text,
-//! and `--trace-out` dumps chrome://tracing spans. With tracing off the
-//! scoring hot path stays allocation-free and within noise of the
-//! uninstrumented engine (enforced by `tests/zero_alloc.rs` and the CI
-//! bench gate).
+//! and the `trace` verb (or `--trace-out`) dumps chrome://tracing spans.
+//! A [`health`] watchdog consumes those counters on a period: windowed
+//! rates, per-lane SLO burn-rate alerts with hysteresis, stalled-worker /
+//! queue-buildup / publish-lag detection (the `health` and `watch` verbs),
+//! and a stage-occupancy sampler (the `profile` verb). With tracing off
+//! the scoring hot path stays allocation-free — watchdog and sampler
+//! included (enforced by `tests/zero_alloc.rs` and the CI bench gate).
 //!
 //! ```no_run
 //! use taser_serve::{ServeConfig, ServeEngine};
@@ -52,6 +55,7 @@
 pub mod admission;
 pub mod engine;
 pub mod features;
+pub mod health;
 pub mod pipeline;
 pub mod protocol;
 pub mod snapshot;
@@ -63,8 +67,9 @@ pub use admission::{
 };
 pub use engine::{ServeConfig, ServeEngine};
 pub use features::{FeatureCacheStats, ServeFeatureCache};
+pub use health::{HealthConfig, HealthMonitor, HealthSample, LaneSampleTotals};
 pub use pipeline::{ScorePath, ScorePipeline, ScoreScratch};
-pub use snapshot::{GraphSnapshot, IndexBackend, SnapshotStore};
+pub use snapshot::{GraphSnapshot, IndexBackend, PublishLag, SnapshotStore};
 pub use stats::{LaneStats, LatencyHistogram, ServeStats};
 
 /// The observability layer: metrics registry, span tracing, and the

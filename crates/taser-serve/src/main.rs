@@ -9,12 +9,19 @@
 //!     [--max-wait-ms 2] [--slo-us 5000000] [--queue-cap 4096] [--lanes 2]
 //!     [--publish-every 256] [--cache-ratio 0.2]
 //!     [--index-backend rebuild|incremental] [--trace-out trace.json]
+//!     [--no-health] [--slo-target 0.99]
 //! ```
 //!
 //! `--trace-out <path>` enables span tracing at boot and, when the stdin
 //! session ends, writes a chrome://tracing / Perfetto-loadable JSON dump of
-//! the per-stage spans to `<path>`. Stdin mode only: the TCP accept loop
-//! never returns, so there is no shutdown point to dump at.
+//! the per-stage spans to `<path>`. TCP sessions have no shutdown point to
+//! dump at — clients there issue the `trace` protocol verb instead, which
+//! returns the same JSON on demand over any transport (stdin included).
+//!
+//! The health watchdog is on by default: `health`, `watch <n>`, and
+//! `profile` protocol verbs answer from it, and `--slo-target` sets the
+//! attainment target its burn-rate alerts budget against. `--no-health`
+//! disables the watchdog thread and the occupancy sampler entirely.
 //!
 //! `train` fits a small model on the synthetic Wikipedia-style dataset and
 //! writes the serving artifact (plus, optionally, the training event log as
@@ -56,7 +63,7 @@ fn usage() -> ! {
          [--workers n] [--max-batch n] [--max-wait-ms f] [--slo-us n] \
          [--queue-cap n] [--lanes n] [--publish-every n] \
          [--cache-ratio f] [--index-backend rebuild|incremental] \
-         [--trace-out path]"
+         [--trace-out path] [--no-health] [--slo-target f]"
     );
     std::process::exit(2);
 }
@@ -195,6 +202,11 @@ fn run(args: &[String]) {
         publish_every: parsed(args, "--publish-every", 256usize),
         cache_ratio: parsed(args, "--cache-ratio", 0.2f64),
         index_backend,
+        health: taser_serve::HealthConfig {
+            enabled: !args.iter().any(|a| a == "--no-health"),
+            slo_target: parsed(args, "--slo-target", 0.99f64).clamp(0.0, 0.9999),
+            ..taser_serve::HealthConfig::default()
+        },
         ..ServeConfig::default()
     };
     eprintln!(
@@ -223,7 +235,10 @@ fn run(args: &[String]) {
     match arg_value(args, "--tcp") {
         Some(addr) => {
             if trace_out.is_some() {
-                eprintln!("warning: --trace-out is stdin-mode only (the TCP loop never exits)");
+                eprintln!(
+                    "note: --trace-out writes its file at stdin-session end only; \
+                     TCP clients should issue the `trace` verb to dump on demand"
+                );
             }
             let listener = std::net::TcpListener::bind(&addr).expect("bind");
             eprintln!("listening on {addr}");

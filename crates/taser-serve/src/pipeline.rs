@@ -263,12 +263,17 @@ impl ScorePipeline {
             return;
         }
         let t0 = Instant::now();
+        // occupancy cell: one relaxed store per region start, so a sampler
+        // thread can attribute worker wall time to stages without touching
+        // the per-batch timing above
+        taser_obs::profile::enter(Stage::BatchAssembly);
         feats.on_requests(b as u64);
         self.dedup_roots(queries, scratch);
         scratch.stages.close_region(Stage::BatchAssembly, t0);
         self.assemble(csr, generation, feats, scratch);
 
         let forward_start = Instant::now();
+        taser_obs::profile::enter(Stage::PackedForward);
         let ScoreScratch {
             ctx,
             unique,
@@ -413,6 +418,7 @@ impl ScorePipeline {
         // gather stage. Regions chain (each close starts the next), so the
         // three stages tile assemble() exactly.
         let mut region = Instant::now();
+        taser_obs::profile::enter(Stage::BatchAssembly);
         let r0 = unique.len();
         let r_total = if layers == 2 { r0 + r0 * n } else { r0 };
         targets.clear();
@@ -425,6 +431,7 @@ impl ScorePipeline {
         region = stages.close_region(Stage::BatchAssembly, region);
 
         for hop in 0..layers {
+            taser_obs::profile::enter(Stage::Sampling);
             let (start, end) = if hop == 0 { (0, r0) } else { (r0, r_total) };
             // Per-target block launches tolerant of PAD targets and node ids
             // the snapshot has not seen yet (their slots stay padded).
@@ -458,6 +465,7 @@ impl ScorePipeline {
                 );
             }
             region = stages.close_region(Stage::Sampling, region);
+            taser_obs::profile::enter(Stage::BatchAssembly);
             for ti in start..end {
                 let (_, t0) = targets[ti];
                 for j in 0..sel.counts[ti] {
@@ -481,6 +489,7 @@ impl ScorePipeline {
             region = stages.close_region(Stage::BatchAssembly, region);
         }
 
+        taser_obs::profile::enter(Stage::FeatureGather);
         if self.spec.edge_dim > 0 {
             feats.gather_into(&sel.eids, edge_buf);
         } else {

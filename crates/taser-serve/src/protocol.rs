@@ -11,15 +11,25 @@
 //! publish                  ->  published gen=<generation>
 //! stats                    ->  <one-line JSON>
 //! metrics                  ->  <Prometheus text, multi-line>
+//! health                   ->  <one-line JSON: level, rates, firing alerts>
+//! watch <n>                ->  <n windowed-rate lines, one per eval period>
+//! profile                  ->  <stage-occupancy folded stacks, multi-line>
+//! trace                    ->  <chrome://tracing JSON, one line>
 //! quit                     ->  bye            (closes the session)
 //! # comment / blank        ->  (no reply)
 //! ```
 //!
-//! `metrics` is the one exception to one-reply-line-per-command: it emits
-//! the full Prometheus-style scrape (serve counters per lane, pool
-//! steal/park/wake tallies, cache and index registry metrics). Scripted
-//! clients that count lines should issue it last or parse by `# TYPE`
-//! framing.
+//! Most replies are a single line; `metrics` (the Prometheus scrape),
+//! `watch` (one line per evaluation period, paced by the watchdog's
+//! cadence), and `profile` (folded stacks) are multi-line. Scripted
+//! clients that count lines should issue those last or parse by their
+//! framing (`# TYPE` for metrics, `t=` for watch).
+//!
+//! `health`, `watch`, and `profile` read the engine's health watchdog
+//! ([`crate::health`]); with the watchdog disabled they answer from a
+//! monitor nothing feeds (`health` then says `"watchdog":"off"`). `trace`
+//! dumps the span rings on demand — the complement to the CLI's
+//! `--trace-out`, which only writes its file at session end.
 //!
 //! `lane` is an optional priority lane index (0 = highest, drains first;
 //! defaults to 0, clamped to the engine's `--lanes`). Under overload the
@@ -63,11 +73,25 @@ pub enum Command {
     Stats,
     /// Render the full metric surface — engine stats, pool scheduling
     /// counters, and the process-wide [`taser_obs`] registry — as
-    /// Prometheus text. The only multi-line reply in the protocol.
+    /// Prometheus text (multi-line).
     Metrics,
+    /// One-line JSON health summary: overall level, windowed rates,
+    /// per-lane burn state, and the currently-firing alerts.
+    Health,
+    /// `n` windowed-rate lines, one per watchdog evaluation period.
+    Watch(usize),
+    /// Stage-occupancy profile as folded stacks (multi-line).
+    Profile,
+    /// Dump recorded spans as chrome://tracing JSON (one line; empty
+    /// trace unless tracing is on via `--trace-out` or `TASER_TRACE=1`).
+    Trace,
     /// End the session.
     Quit,
 }
+
+/// Upper bound on `watch <n>`: a session verb must not pin the connection
+/// for longer than ~10 minutes of default evaluation periods.
+const WATCH_MAX: usize = 1200;
 
 /// Parses one line; `Ok(None)` for blanks and `#` comments.
 pub fn parse(line: &str) -> Result<Option<Command>, String> {
@@ -116,6 +140,24 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
         "publish" => Ok(Some(Command::Publish)),
         "stats" => Ok(Some(Command::Stats)),
         "metrics" => Ok(Some(Command::Metrics)),
+        "health" => Ok(Some(Command::Health)),
+        "watch" => {
+            let n = match parts.next() {
+                None => 5,
+                Some(v) => v
+                    .parse::<usize>()
+                    .map_err(|e| format!("watch: bad count: {e}"))?,
+            };
+            if parts.next().is_some() {
+                return Err("watch: trailing tokens".to_string());
+            }
+            if n == 0 || n > WATCH_MAX {
+                return Err(format!("watch: count must be in 1..={WATCH_MAX}"));
+            }
+            Ok(Some(Command::Watch(n)))
+        }
+        "profile" => Ok(Some(Command::Profile)),
+        "trace" => Ok(Some(Command::Trace)),
         "quit" => Ok(Some(Command::Quit)),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -136,6 +178,35 @@ pub fn respond(engine: &ServeEngine, cmd: Command) -> String {
         Command::Publish => format!("published gen={}", engine.publish()),
         Command::Stats => engine.stats().to_json(),
         Command::Metrics => render_metrics(engine),
+        Command::Health => engine.health().health_json(),
+        Command::Watch(n) => {
+            // paced by the watchdog's own cadence so each line reflects a
+            // fresh evaluation; the whole reply is flushed at once (clients
+            // wanting live pacing should loop `watch 1` themselves)
+            let every = engine.health().config().eval_every;
+            let mut out = String::new();
+            for i in 0..n {
+                if i > 0 {
+                    std::thread::sleep(every);
+                    out.push('\n');
+                }
+                out.push_str(&engine.health().watch_line());
+            }
+            out
+        }
+        Command::Profile => {
+            let folded = engine.health().occupancy_folded();
+            if folded.is_empty() {
+                "profile empty (no occupancy sweeps yet)".to_string()
+            } else {
+                let mut folded = folded;
+                while folded.ends_with('\n') {
+                    folded.pop();
+                }
+                folded
+            }
+        }
+        Command::Trace => taser_obs::chrome_trace_json(),
         Command::Quit => "bye".to_string(),
     }
 }
@@ -303,6 +374,15 @@ mod tests {
         assert_eq!(parse("publish").unwrap(), Some(Command::Publish));
         assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
         assert_eq!(parse("metrics").unwrap(), Some(Command::Metrics));
+        assert_eq!(parse("health").unwrap(), Some(Command::Health));
+        assert_eq!(
+            parse("watch").unwrap(),
+            Some(Command::Watch(5)),
+            "watch defaults to 5 lines"
+        );
+        assert_eq!(parse("watch 3").unwrap(), Some(Command::Watch(3)));
+        assert_eq!(parse("profile").unwrap(), Some(Command::Profile));
+        assert_eq!(parse("trace").unwrap(), Some(Command::Trace));
         assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
         assert_eq!(parse("").unwrap(), None);
         assert_eq!(parse("# comment").unwrap(), None);
@@ -315,7 +395,42 @@ mod tests {
         assert!(parse("query 1 2 3 x").is_err(), "non-numeric lane");
         assert!(parse("query 1 2 3 0 9").is_err(), "trailing tokens");
         assert!(parse("ingest 1 2 3 4").is_err(), "ingest takes no lane");
+        assert!(parse("watch 0").is_err(), "zero lines");
+        assert!(parse("watch 100000").is_err(), "absurd line count");
+        assert!(parse("watch 2 3").is_err(), "trailing tokens");
+        assert!(parse("watch x").is_err(), "non-numeric count");
         assert!(parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn health_watch_profile_and_trace_verbs_respond() {
+        let engine = engine();
+        for i in 0..4u32 {
+            respond(
+                &engine,
+                Command::Query {
+                    src: i % 4,
+                    dst: 4 + i % 4,
+                    t: 40.0,
+                    lane: 0,
+                },
+            );
+        }
+        let health = respond(&engine, Command::Health);
+        assert!(health.starts_with("{\"level\":\""), "{health}");
+        assert!(health.contains("\"watchdog\":\"on\""), "{health}");
+        assert!(health.contains("\"firing\":["), "{health}");
+        assert!(health.contains("\"lanes\":[{\"lane\":0,"), "{health}");
+        let watch = respond(&engine, Command::Watch(1));
+        assert!(watch.starts_with("t="), "{watch}");
+        assert!(watch.contains("level="), "{watch}");
+        assert!(watch.contains("burn0="), "{watch}");
+        let trace = respond(&engine, Command::Trace);
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        // fresh engine: the sampler may or may not have swept yet; either
+        // the placeholder or folded frames, never an empty reply
+        let profile = respond(&engine, Command::Profile);
+        assert!(!profile.is_empty());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! against per-query constant factors.
 
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 use taser_graph::events::{Event, EventLog};
 use taser_graph::index::TemporalIndex;
 use taser_graph::stream::StreamingGraph;
@@ -109,6 +110,20 @@ struct Ingest {
     last_t: f64,
     since_publish: usize,
     generation: u64,
+    /// When the current generation was published (store construction counts
+    /// as publishing generation 0). Backs the health watchdog's publish-lag
+    /// signal.
+    last_publish_at: Instant,
+}
+
+/// How stale the published snapshot is relative to the ingest stream.
+#[derive(Clone, Copy, Debug)]
+pub struct PublishLag {
+    /// Events ingested since the last publish (what the next publish would
+    /// index).
+    pub pending_events: u64,
+    /// Wall time since the last publish (or store construction).
+    pub since_publish: Duration,
 }
 
 /// Single-writer / many-reader snapshot store over a live event stream.
@@ -159,6 +174,7 @@ impl SnapshotStore {
                 last_t,
                 since_publish: 0,
                 generation: 0,
+                last_publish_at: Instant::now(),
             }),
             current: RwLock::new(Arc::new(snapshot)),
             publish_every,
@@ -225,6 +241,7 @@ impl SnapshotStore {
             latest_t: ing.last_t,
         };
         ing.since_publish = 0;
+        ing.last_publish_at = Instant::now();
         *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
     }
 
@@ -235,6 +252,18 @@ impl SnapshotStore {
             .expect("ingest lock poisoned")
             .graph
             .len()
+    }
+
+    /// Staleness of the published snapshot: events awaiting the next
+    /// publish and wall time since the last one. Read under the ingest
+    /// lock, allocation-free — the health watchdog polls this on a fixed
+    /// period to detect a wedged or starved publish path.
+    pub fn publish_lag(&self) -> PublishLag {
+        let ing = self.ingest.lock().expect("ingest lock poisoned");
+        PublishLag {
+            pending_events: ing.since_publish as u64,
+            since_publish: ing.last_publish_at.elapsed(),
+        }
     }
 }
 
@@ -350,6 +379,19 @@ mod tests {
                 assert_eq!(sa.csr.entry(v, i), sb.csr.entry(v, i), "v={v} i={i}");
             }
         }
+    }
+
+    #[test]
+    fn publish_lag_counts_pending_and_resets_on_publish() {
+        let store = SnapshotStore::new(EventLog::default(), 2, 0);
+        assert_eq!(store.publish_lag().pending_events, 0);
+        store.ingest(0, 1, 1.0).unwrap();
+        store.ingest(0, 1, 2.0).unwrap();
+        assert_eq!(store.publish_lag().pending_events, 2);
+        store.publish();
+        let lag = store.publish_lag();
+        assert_eq!(lag.pending_events, 0);
+        assert!(lag.since_publish < Duration::from_secs(60));
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! (the default) stage timing adds only `Instant` reads into fixed arrays,
 //! and with tracing **enabled** span recording writes into a pre-registered
 //! fixed-capacity ring — so both phases below assert zero allocations.
+//!
+//! PR 8 extends it to the telemetry consumption layer: the final phase
+//! scores with a live `ServeEngine` running its health watchdog and
+//! stage-occupancy sampler at an aggressive cadence. The counter is
+//! process-global, so the watchdog thread's window snapshots, burn-gate
+//! evaluations, and occupancy sweeps are inside the assertion — they must
+//! write only into state preallocated at engine construction.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -142,5 +149,100 @@ fn steady_state_scoring_allocates_nothing() {
             backbone.name(),
             after - before
         );
+    }
+
+    // -- watchdog + sampler phase: a live engine's health thread sweeps
+    //    occupancy every 1ms and evaluates windows/gates every 10ms while
+    //    the main thread keeps scoring through the raw pipeline. The
+    //    allocation counter covers every thread in the process, so this
+    //    asserts the watchdog's steady state allocates nothing either. --
+    {
+        use taser_graph::events::EventLog;
+        use taser_graph::feats::FeatureMatrix;
+        use taser_graph::tcsr::TCsr;
+        use taser_models::artifact::{ArtifactBackbone, ArtifactPolicy, ModelArtifact, ModelSpec};
+        use taser_serve::{HealthConfig, ServeConfig, ServeEngine};
+
+        let mk_artifact = || {
+            let spec = ModelSpec {
+                backbone: ArtifactBackbone::GraphMixer,
+                in_dim: 4,
+                edge_dim: 3,
+                hidden: 16,
+                time_dim: 8,
+                heads: 2,
+                n_neighbors: 5,
+                dropout: 0.0,
+                policy: ArtifactPolicy::MostRecent,
+            };
+            let node_feats =
+                FeatureMatrix::from_vec((0..num_nodes * 4).map(|x| x as f32 * 0.01).collect(), 4);
+            let edge_feats =
+                FeatureMatrix::from_vec((0..log.len() * 3).map(|x| x as f32 * 0.02).collect(), 3);
+            ModelArtifact::init(spec, Some(node_feats), Some(edge_feats), 5)
+        };
+        let (pipeline, edge_feats) = ScorePipeline::new(mk_artifact(), None).unwrap();
+        let cache = ServeFeatureCache::new(edge_feats, 0.4, 0.7, 0, 1);
+        let csr = TCsr::build(&log, num_nodes);
+        let engine = ServeEngine::new(
+            mk_artifact(),
+            EventLog::from_unsorted(
+                (0..120u32)
+                    .map(|i| (i % 8, 8 + (i * 3) % 8, 1.0 + i as f64 * 0.25))
+                    .collect(),
+            ),
+            ServeConfig {
+                workers: 1,
+                health: HealthConfig {
+                    sample_every: std::time::Duration::from_millis(1),
+                    eval_every: std::time::Duration::from_millis(10),
+                    fast_window: std::time::Duration::from_millis(50),
+                    slow_window: std::time::Duration::from_millis(200),
+                    ..HealthConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let queries: Vec<LinkQuery> = (0..24)
+            .map(|i| LinkQuery {
+                src: i % 8,
+                dst: 8 + (i % 8),
+                t: 40.0 + (i % 6) as f64,
+            })
+            .collect();
+        let mut scratch = ScoreScratch::new();
+        let mut probs = Vec::new();
+        for _ in 0..5 {
+            pipeline.score_batch_into(&csr, 3, &queries, &cache, &mut scratch, &mut probs);
+        }
+        // let the watchdog finish its own warmup (rings are preallocated,
+        // but the first evaluations must have happened so the measured
+        // window is pure steady state)
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.health().evals() < 3 {
+            assert!(std::time::Instant::now() < deadline, "watchdog never ran");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let evals_before = engine.health().evals();
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..20 {
+            pipeline.score_batch_into(&csr, 3, &queries, &cache, &mut scratch, &mut probs);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        let evals_after = engine.health().evals();
+        assert!(
+            evals_after > evals_before,
+            "watchdog must have evaluated inside the measured window"
+        );
+        assert_eq!(
+            after - before,
+            0,
+            "watchdog/sampler steady state allocated {} times over {} evals",
+            after - before,
+            evals_after - evals_before
+        );
+        drop(engine);
     }
 }
