@@ -1,0 +1,216 @@
+//! Crash-recovery harness for the durable ingest path: how long does a
+//! restart take as a function of WAL length, and is the recovered graph
+//! bit-identical to what crashed?
+//!
+//! For each row the harness ingests `events` synthetic interactions into a
+//! durable [`SnapshotStore`] with checkpointing *disabled* (so the whole
+//! stream sits in the WAL — the worst case a crash can leave behind),
+//! records the pre-crash content digest, drops the store, and times a cold
+//! reopen of the same directory: header scan, CRC validation, and replay
+//! into a fresh graph + index. A second reopen after `checkpoint_now()`
+//! times the checkpoint path the cadence normally keeps short. Every row
+//! asserts the recovered digest equals the pre-crash digest.
+//!
+//! Raw replay rates are machine-dependent, so the CI gate normalizes by a
+//! same-file reference: `replay_eps / ingest_eps` — replay runs the same
+//! graph-append code as ingest minus the WAL write, so the ratio cancels
+//! machine speed.
+//!
+//! Prints one row per WAL length and writes `BENCH_recovery.json`;
+//! `--assert` turns digest mismatches or detected corruption into hard
+//! exit-code failures — the CI chaos-smoke job runs it that way.
+//!
+//! ```sh
+//! cargo run --release -p taser-bench --bin crash_recovery \
+//!   [-- --quick --assert --out BENCH_recovery.json]
+//! ```
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use taser_bench::{arg_flag, arg_value};
+use taser_graph::events::EventLog;
+use taser_graph::WalFaults;
+use taser_serve::{DurabilityConfig, IndexBackend, SnapshotStore};
+
+const NUM_NODES: usize = 256;
+
+fn scratch(tag: u64) -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    let dir = PathBuf::from(target)
+        .join("crash-recovery-bench")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+fn durability(dir: &Path, checkpoint_every: u64) -> DurabilityConfig {
+    DurabilityConfig {
+        dir: dir.to_path_buf(),
+        checkpoint_every,
+        wal_flush_every: 64,
+    }
+}
+
+fn open(dir: &Path) -> (SnapshotStore, taser_serve::RecoveryReport) {
+    SnapshotStore::durable(
+        EventLog::default(),
+        NUM_NODES,
+        0, // publish manually: ingest timing should not include republish
+        IndexBackend::Incremental,
+        durability(dir, 0), // cadence off — the WAL holds the whole stream
+        WalFaults::default(),
+    )
+    .expect("open durable store")
+}
+
+fn digest(store: &SnapshotStore) -> u64 {
+    store.publish();
+    taser_graph::content_digest(store.snapshot().csr.as_ref())
+}
+
+struct Row {
+    events: u64,
+    wal_bytes: u64,
+    ingest_eps: f64,
+    recover_wal_ms: f64,
+    replay_eps: f64,
+    recover_ckpt_ms: f64,
+    digest_match: bool,
+    truncated: bool,
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let hard_assert = arg_flag("--assert");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_recovery.json".into());
+    let sizes: &[u64] = if quick {
+        &[2_000, 8_000, 30_000]
+    } else {
+        &[5_000, 20_000, 80_000]
+    };
+
+    let mut rows = Vec::new();
+    for (i, &events) in sizes.iter().enumerate() {
+        let dir = scratch(i as u64);
+
+        // -- build the pre-crash state: N events, all resident in the WAL --
+        let (store, report) = open(&dir);
+        assert!(!report.recovered, "scratch dir must start empty");
+        let t0 = Instant::now();
+        for e in 0..events {
+            let src = (e * 31 % NUM_NODES as u64) as u32;
+            let dst = (e * 17 + 1) as u32 % NUM_NODES as u32;
+            store.ingest(src, dst, e as f64).expect("ingest");
+        }
+        store.wal_sync().expect("sync");
+        let ingest_eps = events as f64 / t0.elapsed().as_secs_f64();
+        let before = digest(&store);
+        let wal_bytes = std::fs::metadata(dir.join(taser_graph::wal::WAL_FILE))
+            .expect("wal file")
+            .len();
+        drop(store); // the "crash": state survives only as files
+
+        // -- timed recovery: full-WAL replay --
+        let t0 = Instant::now();
+        let (store, report) = open(&dir);
+        let recover_wal = t0.elapsed();
+        let after = digest(&store);
+        let digest_match = after == before && report.wal_replayed as u64 == events;
+        let truncated = report.wal_truncated;
+
+        // -- timed recovery again, from a checkpoint (empty WAL) --
+        store.checkpoint_now().expect("checkpoint");
+        drop(store);
+        let t0 = Instant::now();
+        let (store, report) = open(&dir);
+        let recover_ckpt = t0.elapsed();
+        let ckpt_match = digest(&store) == before && report.checkpoint_events as u64 == events;
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let row = Row {
+            events,
+            wal_bytes,
+            ingest_eps,
+            recover_wal_ms: recover_wal.as_secs_f64() * 1e3,
+            replay_eps: events as f64 / recover_wal.as_secs_f64(),
+            recover_ckpt_ms: recover_ckpt.as_secs_f64() * 1e3,
+            digest_match: digest_match && ckpt_match,
+            truncated,
+        };
+        println!(
+            "{:>6} events ({:>9} wal bytes): recover {:>8.2} ms ({:>9.0} ev/s replay) | \
+             from checkpoint {:>8.2} ms | digest {} | truncated {}",
+            row.events,
+            row.wal_bytes,
+            row.recover_wal_ms,
+            row.replay_eps,
+            row.recover_ckpt_ms,
+            if row.digest_match {
+                "match"
+            } else {
+                "MISMATCH"
+            },
+            row.truncated,
+        );
+        rows.push(row);
+    }
+
+    // -- machine-readable output --
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"events\":{},\"wal_bytes\":{},\"ingest_eps\":{:.2},",
+                    "\"recover_wal_ms\":{:.3},\"replay_eps\":{:.2},",
+                    "\"recover_ckpt_ms\":{:.3},\"digest_match\":{},\"truncated\":{}}}"
+                ),
+                r.events,
+                r.wal_bytes,
+                r.ingest_eps,
+                r.recover_wal_ms,
+                r.replay_eps,
+                r.recover_ckpt_ms,
+                u8::from(r.digest_match),
+                u8::from(r.truncated),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"harness\":\"crash_recovery\",\"quick\":{quick},\"num_nodes\":{NUM_NODES},\"rows\":[{}]}}",
+        json_rows.join(","),
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create bench output");
+    writeln!(f, "{json}").expect("write bench output");
+    eprintln!("results -> {out_path}");
+
+    // -- recovery acceptance: replay must be bit-identical and clean --
+    let mut failures = Vec::new();
+    for r in &rows {
+        if !r.digest_match {
+            failures.push(format!(
+                "{} events: recovered digest differs from pre-crash state",
+                r.events
+            ));
+        }
+        if r.truncated {
+            failures.push(format!(
+                "{} events: clean WAL reported a truncated tail",
+                r.events
+            ));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("recovery checks passed (bit-identical replay at every WAL length)");
+    } else {
+        for f in &failures {
+            eprintln!("RECOVERY CHECK FAILED: {f}");
+        }
+        if hard_assert {
+            std::process::exit(1);
+        }
+    }
+}

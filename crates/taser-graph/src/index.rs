@@ -83,6 +83,36 @@ pub fn temporal_neighbors<'a, I: TemporalIndex + ?Sized>(
     (0..p).map(move |i| index.entry(v, i))
 }
 
+/// Order-sensitive FNV-1a digest over the full logical content of an
+/// index: node count, per-node entry sequences (neighbor, eid, t-bits),
+/// and entry counts. Two indexes with the same digest present the same
+/// temporal adjacency to every finder, regardless of backend or storage
+/// layout — the equality crash recovery must restore bit-identically.
+pub fn content_digest<I: TemporalIndex + ?Sized>(index: &I) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(index.num_nodes() as u64);
+    mix(index.num_entries() as u64);
+    for v in 0..index.num_nodes() as u32 {
+        let n = index.neighbor_count(v);
+        mix(n as u64);
+        for i in 0..n {
+            let e = index.entry(v, i);
+            mix(e.node as u64);
+            mix(e.eid as u64);
+            mix(e.t.to_bits());
+        }
+    }
+    h
+}
+
 impl TemporalIndex for TCsr {
     fn num_nodes(&self) -> usize {
         TCsr::num_nodes(self)
@@ -177,6 +207,29 @@ mod tests {
     fn tcsr_is_a_temporal_index_through_dyn() {
         let csr = csr();
         check_trait(&csr);
+    }
+
+    #[test]
+    fn content_digest_is_backend_independent_and_content_sensitive() {
+        let a = csr();
+        let b = csr();
+        // Same logical content → same digest, even through different holders.
+        assert_eq!(content_digest(&a), content_digest(&b));
+        assert_eq!(
+            content_digest(&a),
+            content_digest(&std::sync::Arc::new(b) as &dyn TemporalIndex)
+        );
+        // One extra event → different digest.
+        let log = EventLog::from_unsorted(vec![
+            (0, 1, 1.0),
+            (0, 2, 2.0),
+            (1, 2, 3.0),
+            (0, 1, 4.0),
+            (3, 0, 5.0),
+            (2, 3, 6.0),
+        ]);
+        let c = TCsr::build(&log, 4);
+        assert_ne!(content_digest(&a), content_digest(&c));
     }
 
     #[test]

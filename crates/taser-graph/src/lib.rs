@@ -13,6 +13,8 @@
 //! * [`synth`] — synthetic analogs of the paper's five datasets with
 //!   ground-truth noise injection (deprecated links, skewed neighborhoods).
 //! * [`stats`] — Table II-style dataset statistics.
+//! * [`wal`] — crash-safe durability: CRC-framed write-ahead log and
+//!   atomic checkpoints with torn-tail truncation and eid-deduped replay.
 //!
 //! ```
 //! use taser_graph::synth::SynthConfig;
@@ -32,12 +34,14 @@ pub mod stats;
 pub mod stream;
 pub mod synth;
 pub mod tcsr;
+pub mod wal;
 
 pub use dataset::TemporalDataset;
 pub use events::{Event, EventLog};
 pub use feats::FeatureMatrix;
-pub use index::TemporalIndex;
+pub use index::{content_digest, TemporalIndex};
 pub use stats::DatasetStats;
 pub use stream::StreamingGraph;
 pub use synth::{SynthConfig, SynthMeta};
 pub use tcsr::{TCsr, TemporalNeighbor};
+pub use wal::{recover, Checkpoint, EventWal, RecoveryLoad, WalFaults};

@@ -1,0 +1,666 @@
+//! Crash-safe durability for event streams: a CRC-framed append-only
+//! write-ahead log plus atomic checkpoints.
+//!
+//! The WAL makes ingest durable: every accepted event is framed as
+//! `[u32 len][u32 crc32][payload]` and appended to `events.wal`. Appends
+//! are buffered and flushed to the OS every `flush_every` records, so a
+//! process crash loses at most the unflushed tail. On open the log is
+//! scanned record by record; the first torn or corrupt frame (bad
+//! length, bad CRC, short payload) truncates the file back to the last
+//! valid record — a damaged tail is dropped, never replayed.
+//!
+//! Checkpoints bound replay time: [`Checkpoint::save`] serializes the
+//! full event history (with assigned event ids) to a temp file, fsyncs,
+//! and renames into place, after which the WAL can be reset to empty.
+//! [`recover`] composes the two: load the checkpoint if present, replay
+//! the WAL tail, and skip any WAL record whose `eid` is already covered
+//! by the checkpoint — which makes a crash *between* checkpoint rename
+//! and WAL reset harmless (the overlap deduplicates by `eid`).
+//!
+//! Fault injection for tests lives here too ([`WalFaults`]): a slow
+//! flush (sleep before writing) and corrupt-the-Nth-record (flip one
+//! payload bit after the CRC was computed, emulating media corruption).
+//! Both default to off and cost one branch when disabled.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::events::Event;
+
+/// WAL file magic: identifies `events.wal` and rejects foreign files.
+pub const WAL_MAGIC: [u8; 4] = *b"TWAL";
+/// Checkpoint file magic.
+pub const CKPT_MAGIC: [u8; 4] = *b"TCKP";
+/// On-disk format version for both files.
+pub const FORMAT_VERSION: u32 = 1;
+/// Serialized size of one event payload: src u32, dst u32, t f64, eid u32.
+pub const EVENT_BYTES: usize = 20;
+/// WAL file header size: magic + version.
+pub const WAL_HEADER: u64 = 8;
+/// Record frame overhead: u32 length + u32 crc.
+pub const FRAME_BYTES: usize = 8;
+
+/// Default WAL file name inside a durability directory.
+pub const WAL_FILE: &str = "events.wal";
+/// Default checkpoint file name inside a durability directory.
+pub const CKPT_FILE: &str = "graph.ckpt";
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — table-driven, no dependencies.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) over `bytes`. Matches the common zlib/`crc32fast` value.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Event payload codec.
+// ---------------------------------------------------------------------------
+
+fn encode_event(ev: &Event, out: &mut [u8; EVENT_BYTES]) {
+    out[0..4].copy_from_slice(&ev.src.to_le_bytes());
+    out[4..8].copy_from_slice(&ev.dst.to_le_bytes());
+    out[8..16].copy_from_slice(&ev.t.to_bits().to_le_bytes());
+    out[16..20].copy_from_slice(&ev.eid.to_le_bytes());
+}
+
+fn decode_event(buf: &[u8]) -> Event {
+    debug_assert!(buf.len() >= EVENT_BYTES);
+    let u32_at = |i: usize| u32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]);
+    let t_bits = u64::from_le_bytes([
+        buf[8], buf[9], buf[10], buf[11], buf[12], buf[13], buf[14], buf[15],
+    ]);
+    Event {
+        src: u32_at(0),
+        dst: u32_at(4),
+        t: f64::from_bits(t_bits),
+        eid: u32_at(16),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------
+
+/// Injectable WAL faults for chaos testing. All off by default; disabled
+/// knobs cost a single branch on the append/flush path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WalFaults {
+    /// Sleep this long inside every [`EventWal::flush`] (simulates a
+    /// slow or contended disk). `ZERO` disables.
+    pub slow_flush: Duration,
+    /// Flip one payload bit of the Nth appended record (1-based) *after*
+    /// its CRC was computed, so the record is corrupt on disk. 0 disables.
+    pub corrupt_record: u64,
+}
+
+// ---------------------------------------------------------------------------
+// EventWal.
+// ---------------------------------------------------------------------------
+
+/// What [`EventWal::open`] found on disk.
+#[derive(Clone, Debug, Default)]
+pub struct WalOpenReport {
+    /// Events recovered from valid records, in append order.
+    pub events: Vec<Event>,
+    /// Bytes dropped from the tail (torn or corrupt frames).
+    pub truncated_bytes: u64,
+    /// True when a torn/corrupt tail was truncated on open.
+    pub truncated: bool,
+}
+
+/// Append-only CRC-framed event log.
+///
+/// One file, one writer. Records are buffered in memory and written to
+/// the OS every `flush_every` appends (and on drop); `sync` additionally
+/// fsyncs for power-loss durability.
+pub struct EventWal {
+    file: File,
+    path: PathBuf,
+    buf: Vec<u8>,
+    pending: usize,
+    flush_every: usize,
+    appended: u64,
+    len_bytes: u64,
+    faults: WalFaults,
+}
+
+impl EventWal {
+    /// Open (or create) the WAL at `path`, validating every record and
+    /// truncating a torn or corrupt tail back to the last valid record.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        flush_every: usize,
+        faults: WalFaults,
+    ) -> io::Result<(Self, WalOpenReport)> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+
+        let mut report = WalOpenReport::default();
+        let valid_end = if raw.len() < WAL_HEADER as usize {
+            // Empty or torn header: start fresh.
+            if !raw.is_empty() {
+                report.truncated = true;
+                report.truncated_bytes = raw.len() as u64;
+            }
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&WAL_MAGIC)?;
+            file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+            WAL_HEADER
+        } else {
+            if raw[0..4] != WAL_MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: not a TASER WAL (bad magic)", path.display()),
+                ));
+            }
+            let version = u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]);
+            if version != FORMAT_VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: unsupported WAL version {version}", path.display()),
+                ));
+            }
+            let mut off = WAL_HEADER as usize;
+            loop {
+                if off + FRAME_BYTES > raw.len() {
+                    break; // torn frame header (or clean EOF)
+                }
+                let len = u32::from_le_bytes([raw[off], raw[off + 1], raw[off + 2], raw[off + 3]])
+                    as usize;
+                let crc =
+                    u32::from_le_bytes([raw[off + 4], raw[off + 5], raw[off + 6], raw[off + 7]]);
+                if len != EVENT_BYTES || off + FRAME_BYTES + len > raw.len() {
+                    break; // corrupt length or torn payload
+                }
+                let payload = &raw[off + FRAME_BYTES..off + FRAME_BYTES + len];
+                if crc32(payload) != crc {
+                    break; // bit rot: stop at the last valid record
+                }
+                report.events.push(decode_event(payload));
+                off += FRAME_BYTES + len;
+            }
+            if off < raw.len() {
+                report.truncated = true;
+                report.truncated_bytes = (raw.len() - off) as u64;
+                file.set_len(off as u64)?;
+            }
+            off as u64
+        };
+        file.seek(SeekFrom::Start(valid_end))?;
+        let appended = report.events.len() as u64;
+        Ok((
+            Self {
+                file,
+                path,
+                buf: Vec::with_capacity(flush_every.max(1) * (FRAME_BYTES + EVENT_BYTES)),
+                pending: 0,
+                flush_every: flush_every.max(1),
+                appended,
+                len_bytes: valid_end,
+                faults,
+            },
+            report,
+        ))
+    }
+
+    /// Append one event. Returns `true` when this append triggered a
+    /// flush to the OS (every `flush_every` records).
+    pub fn append(&mut self, ev: &Event) -> io::Result<bool> {
+        let mut payload = [0u8; EVENT_BYTES];
+        encode_event(ev, &mut payload);
+        let crc = crc32(&payload);
+        self.appended += 1;
+        if self.faults.corrupt_record != 0 && self.appended == self.faults.corrupt_record {
+            payload[8] ^= 0x01; // flip a t-bits bit after the CRC: corrupt on disk
+        }
+        self.buf
+            .extend_from_slice(&(EVENT_BYTES as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+        self.pending += 1;
+        if self.pending >= self.flush_every {
+            self.flush()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Write buffered records to the OS. A crash after `flush` returns
+    /// cannot lose these records (short of power loss; see [`Self::sync`]).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.faults.slow_flush.is_zero() {
+            std::thread::sleep(self.faults.slow_flush);
+        }
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buf)?;
+        self.len_bytes += self.buf.len() as u64;
+        self.buf.clear();
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Flush and fsync: durable against power loss, not just process crash.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.flush()?;
+        self.file.sync_data()
+    }
+
+    /// Drop all records (after a successful checkpoint) — the file is
+    /// truncated back to its header.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.buf.clear();
+        self.pending = 0;
+        self.file.set_len(WAL_HEADER)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER))?;
+        self.len_bytes = WAL_HEADER;
+        Ok(())
+    }
+
+    /// Total records appended through this handle plus those recovered
+    /// at open (drives the corrupt-record fault index).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Bytes flushed to the OS so far (excludes the in-memory buffer).
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Path this WAL writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for EventWal {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint.
+// ---------------------------------------------------------------------------
+
+/// A full-history snapshot of the event stream at some WAL offset.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Every event up to the checkpoint, in stream order with eids.
+    pub events: Vec<Event>,
+    /// Node-id space at checkpoint time (may exceed max id in `events`).
+    pub num_nodes: usize,
+    /// Next event id the stream will assign; WAL records with
+    /// `eid < next_eid` are duplicates of checkpointed events.
+    pub next_eid: u32,
+}
+
+impl Checkpoint {
+    /// Atomically write a checkpoint: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`. A crash mid-save leaves the old checkpoint
+    /// (or none) intact.
+    pub fn save(
+        path: impl AsRef<Path>,
+        events: &[Event],
+        num_nodes: usize,
+        next_eid: u32,
+    ) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        let mut body = Vec::with_capacity(24 + events.len() * EVENT_BYTES);
+        body.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        body.extend_from_slice(&(num_nodes as u64).to_le_bytes());
+        body.extend_from_slice(&next_eid.to_le_bytes());
+        body.extend_from_slice(&(events.len() as u64).to_le_bytes());
+        let mut payload = [0u8; EVENT_BYTES];
+        for ev in events {
+            encode_event(ev, &mut payload);
+            body.extend_from_slice(&payload);
+        }
+        let crc = crc32(&body);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&CKPT_MAGIC)?;
+            f.write_all(&crc.to_le_bytes())?;
+            f.write_all(&body)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a checkpoint. `Ok(None)` when the file does not exist;
+    /// `Err(InvalidData)` when it exists but fails validation (a
+    /// checkpoint is written atomically, so corruption is a real fault,
+    /// not a torn write).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Option<Self>> {
+        let path = path.as_ref();
+        let raw = match std::fs::read(path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let bad = |msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {msg}", path.display()),
+            )
+        };
+        if raw.len() < 8 + 24 || raw[0..4] != CKPT_MAGIC {
+            return Err(bad("not a TASER checkpoint"));
+        }
+        let crc = u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]);
+        let body = &raw[8..];
+        if crc32(body) != crc {
+            return Err(bad("checkpoint CRC mismatch"));
+        }
+        let version = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+        if version != FORMAT_VERSION {
+            return Err(bad("unsupported checkpoint version"));
+        }
+        let num_nodes = u64::from_le_bytes([
+            body[4], body[5], body[6], body[7], body[8], body[9], body[10], body[11],
+        ]) as usize;
+        let next_eid = u32::from_le_bytes([body[12], body[13], body[14], body[15]]);
+        let count = u64::from_le_bytes([
+            body[16], body[17], body[18], body[19], body[20], body[21], body[22], body[23],
+        ]) as usize;
+        let records = &body[24..];
+        if records.len() != count * EVENT_BYTES {
+            return Err(bad("checkpoint record count mismatch"));
+        }
+        let mut events = Vec::with_capacity(count);
+        for i in 0..count {
+            events.push(decode_event(&records[i * EVENT_BYTES..]));
+        }
+        Ok(Some(Self {
+            events,
+            num_nodes,
+            next_eid,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: checkpoint + WAL tail, deduplicated by eid.
+// ---------------------------------------------------------------------------
+
+/// Result of [`recover`]: the reconstructed stream plus provenance.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryLoad {
+    /// Full event history in stream order (checkpoint + deduped WAL tail).
+    pub events: Vec<Event>,
+    /// Node-id space (max of checkpoint's and any WAL event's ids + 1).
+    pub num_nodes: usize,
+    /// Events that came from the checkpoint.
+    pub checkpoint_events: usize,
+    /// WAL records replayed (after eid dedup).
+    pub wal_replayed: usize,
+    /// WAL records skipped as already covered by the checkpoint.
+    pub wal_deduped: usize,
+    /// True when the WAL had a torn/corrupt tail that was truncated.
+    pub wal_truncated: bool,
+}
+
+/// Reconstruct the event stream from `dir` (containing [`WAL_FILE`] and
+/// optionally [`CKPT_FILE`]): load the checkpoint, replay the WAL tail,
+/// skip WAL records whose `eid` the checkpoint already covers. Returns
+/// the load plus the opened WAL positioned for further appends.
+pub fn recover(dir: impl AsRef<Path>, flush_every: usize) -> io::Result<(RecoveryLoad, EventWal)> {
+    recover_with_faults(dir, flush_every, WalFaults::default())
+}
+
+/// [`recover`] with fault injection on the returned WAL handle.
+pub fn recover_with_faults(
+    dir: impl AsRef<Path>,
+    flush_every: usize,
+    faults: WalFaults,
+) -> io::Result<(RecoveryLoad, EventWal)> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let ckpt = Checkpoint::load(dir.join(CKPT_FILE))?;
+    let (wal, report) = EventWal::open(dir.join(WAL_FILE), flush_every, faults)?;
+
+    let mut load = RecoveryLoad {
+        wal_truncated: report.truncated,
+        ..RecoveryLoad::default()
+    };
+    let mut next_eid = 0u32;
+    if let Some(ckpt) = ckpt {
+        load.checkpoint_events = ckpt.events.len();
+        load.num_nodes = ckpt.num_nodes;
+        next_eid = ckpt.next_eid;
+        load.events = ckpt.events;
+    }
+    for ev in &report.events {
+        if ev.eid < next_eid {
+            load.wal_deduped += 1;
+            continue; // already in the checkpoint
+        }
+        load.num_nodes = load.num_nodes.max(ev.src.max(ev.dst) as usize + 1);
+        load.events.push(*ev);
+        load.wal_replayed += 1;
+    }
+    Ok((load, wal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn test_dir(name: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.push("../../target/wal-tests");
+        p.push(format!("{name}-{}-{seq}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn ev(src: u32, dst: u32, t: f64, eid: u32) -> Event {
+        Event { src, dst, t, eid }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn wal_round_trips_events_across_reopen() {
+        let dir = test_dir("roundtrip");
+        let path = dir.join(WAL_FILE);
+        let events: Vec<Event> = (0..100).map(|i| ev(i, i + 1, i as f64 * 0.5, i)).collect();
+        {
+            let (mut wal, report) = EventWal::open(&path, 7, WalFaults::default()).unwrap();
+            assert!(report.events.is_empty());
+            for e in &events {
+                wal.append(e).unwrap();
+            }
+        } // drop flushes
+        let (_, report) = EventWal::open(&path, 7, WalFaults::default()).unwrap();
+        assert_eq!(report.events, events);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let dir = test_dir("torn");
+        let path = dir.join(WAL_FILE);
+        {
+            let (mut wal, _) = EventWal::open(&path, 1, WalFaults::default()).unwrap();
+            for i in 0..10 {
+                wal.append(&ev(i, i, i as f64, i)).unwrap();
+            }
+        }
+        // Tear the last record mid-payload.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 5).unwrap();
+        drop(f);
+        let (_, report) = EventWal::open(&path, 1, WalFaults::default()).unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.events.len(), 9);
+        assert_eq!(report.events.last().unwrap().eid, 8);
+        // The file was repaired: a second open sees a clean log.
+        let (_, report2) = EventWal::open(&path, 1, WalFaults::default()).unwrap();
+        assert!(!report2.truncated);
+        assert_eq!(report2.events.len(), 9);
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_corruption() {
+        let dir = test_dir("bitflip");
+        let path = dir.join(WAL_FILE);
+        {
+            let (mut wal, _) = EventWal::open(&path, 1, WalFaults::default()).unwrap();
+            for i in 0..10 {
+                wal.append(&ev(i, i, i as f64, i)).unwrap();
+            }
+        }
+        // Flip one bit inside record 5's payload.
+        let mut raw = std::fs::read(&path).unwrap();
+        let rec = WAL_HEADER as usize + 5 * (FRAME_BYTES + EVENT_BYTES);
+        raw[rec + FRAME_BYTES + 3] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+        let (_, report) = EventWal::open(&path, 1, WalFaults::default()).unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.events.len(), 5);
+        assert_eq!(
+            report.events,
+            (0..5).map(|i| ev(i, i, i as f64, i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn injected_corrupt_record_is_detected_on_reopen() {
+        let dir = test_dir("inject");
+        let path = dir.join(WAL_FILE);
+        {
+            let faults = WalFaults {
+                corrupt_record: 4,
+                ..WalFaults::default()
+            };
+            let (mut wal, _) = EventWal::open(&path, 1, faults).unwrap();
+            for i in 0..10 {
+                wal.append(&ev(i, i, i as f64, i)).unwrap();
+            }
+        }
+        let (_, report) = EventWal::open(&path, 1, WalFaults::default()).unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.events.len(), 3); // records 1..=3 survive
+    }
+
+    #[test]
+    fn checkpoint_saves_and_loads_atomically() {
+        let dir = test_dir("ckpt");
+        let path = dir.join(CKPT_FILE);
+        assert!(Checkpoint::load(&path).unwrap().is_none());
+        let events: Vec<Event> = (0..50).map(|i| ev(i, i + 2, i as f64, i)).collect();
+        Checkpoint::save(&path, &events, 64, 50).unwrap();
+        let ckpt = Checkpoint::load(&path).unwrap().unwrap();
+        assert_eq!(ckpt.events, events);
+        assert_eq!(ckpt.num_nodes, 64);
+        assert_eq!(ckpt.next_eid, 50);
+        // Corruption is detected, not silently replayed.
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+    }
+
+    #[test]
+    fn recover_dedups_wal_records_covered_by_checkpoint() {
+        let dir = test_dir("recover");
+        let events: Vec<Event> = (0..20).map(|i| ev(i, i + 1, i as f64, i)).collect();
+        {
+            let (mut wal, _) = EventWal::open(dir.join(WAL_FILE), 1, WalFaults::default()).unwrap();
+            for e in &events {
+                wal.append(e).unwrap();
+            }
+        }
+        // Checkpoint covers the first 12 events, but the WAL was never
+        // reset (simulates a crash between checkpoint rename and reset).
+        Checkpoint::save(dir.join(CKPT_FILE), &events[..12], 21, 12).unwrap();
+        let (load, _wal) = recover(&dir, 1).unwrap();
+        assert_eq!(load.events, events);
+        assert_eq!(load.checkpoint_events, 12);
+        assert_eq!(load.wal_replayed, 8);
+        assert_eq!(load.wal_deduped, 12);
+        assert!(!load.wal_truncated);
+    }
+
+    #[test]
+    fn recover_from_empty_dir_is_a_fresh_stream() {
+        let dir = test_dir("fresh");
+        let (load, mut wal) = recover(&dir, 4).unwrap();
+        assert!(load.events.is_empty());
+        assert_eq!(load.num_nodes, 0);
+        wal.append(&ev(1, 2, 1.0, 0)).unwrap();
+        wal.sync().unwrap();
+        let (load2, _) = recover(&dir, 4).unwrap();
+        assert_eq!(load2.events.len(), 1);
+        assert_eq!(load2.wal_replayed, 1);
+    }
+
+    #[test]
+    fn reset_after_checkpoint_empties_the_log() {
+        let dir = test_dir("reset");
+        let (mut wal, _) = EventWal::open(dir.join(WAL_FILE), 1, WalFaults::default()).unwrap();
+        for i in 0..5 {
+            wal.append(&ev(i, i, i as f64, i)).unwrap();
+        }
+        wal.reset().unwrap();
+        wal.append(&ev(9, 9, 99.0, 5)).unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let (_, report) = EventWal::open(dir.join(WAL_FILE), 1, WalFaults::default()).unwrap();
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].eid, 5);
+    }
+}

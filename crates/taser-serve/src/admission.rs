@@ -18,6 +18,12 @@
 //! filling. Tickets that expire while queued are shed at drain time with
 //! [`Overloaded::DeadlineExceeded`]: scoring them would burn capacity
 //! producing answers the SLO already voided.
+//!
+//! A third typed shed covers worker failure: when a scoring worker
+//! panics mid-batch, the supervisor resolves every query it was holding
+//! with [`Overloaded::WorkerFailed`] (see [`AdmissionQueue::fail_batch`])
+//! — waiters get a typed error, never a panic or an unbounded hang, and
+//! the admission identity stays exact through the failure.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -60,13 +66,22 @@ pub enum Overloaded {
         /// Lane the query waited in.
         lane: usize,
     },
+    /// The query was drained into a batch whose scoring worker panicked
+    /// (or the engine shut down around it) before producing a score.
+    /// Retryable: the supervisor respawns the worker.
+    WorkerFailed {
+        /// Lane the query was drained from.
+        lane: usize,
+    },
 }
 
 impl Overloaded {
     /// Lane the rejection applies to.
     pub fn lane(&self) -> usize {
         match *self {
-            Overloaded::QueueFull { lane } | Overloaded::DeadlineExceeded { lane } => lane,
+            Overloaded::QueueFull { lane }
+            | Overloaded::DeadlineExceeded { lane }
+            | Overloaded::WorkerFailed { lane } => lane,
         }
     }
 }
@@ -76,6 +91,7 @@ impl fmt::Display for Overloaded {
         match *self {
             Overloaded::QueueFull { lane } => write!(f, "queue_full lane={lane}"),
             Overloaded::DeadlineExceeded { lane } => write!(f, "deadline lane={lane}"),
+            Overloaded::WorkerFailed { lane } => write!(f, "worker_failed lane={lane}"),
         }
     }
 }
@@ -136,10 +152,6 @@ impl Default for AdmissionPolicy {
 enum SlotState {
     Waiting,
     Done(ScoreOutcome),
-    /// The owning `Pending` was dropped without an outcome — a worker
-    /// panicked mid-batch or the engine was torn down around it. Waiters
-    /// panic with a diagnosis instead of blocking forever.
-    Abandoned,
 }
 
 struct Oneshot {
@@ -158,19 +170,16 @@ impl fmt::Debug for ScoreTicket {
 
 impl ScoreTicket {
     /// Blocks until the query resolves: a score, or a typed shed
-    /// ([`Overloaded::DeadlineExceeded`] when it expired in the queue).
-    ///
-    /// # Panics
-    /// Panics if the query was abandoned (its worker died before resolving
-    /// it) — a loud failure beats an unbounded hang.
+    /// ([`Overloaded::DeadlineExceeded`] when it expired in the queue,
+    /// [`Overloaded::WorkerFailed`] when its scoring worker died). Every
+    /// drained ticket is guaranteed an outcome — a `Pending` dropped
+    /// without one resolves as `WorkerFailed`, so `wait` cannot hang on a
+    /// dead worker and never panics.
     pub fn wait(self) -> ScoreOutcome {
         let mut slot = self.0.slot.lock().expect("ticket lock poisoned");
         loop {
             match *slot {
                 SlotState::Done(r) => return r,
-                SlotState::Abandoned => {
-                    panic!("query abandoned: its scoring worker died before answering")
-                }
                 SlotState::Waiting => slot = self.0.cv.wait(slot).expect("ticket lock poisoned"),
             }
         }
@@ -179,19 +188,12 @@ impl ScoreTicket {
     /// Blocks up to `timeout`; `None` when the query is still in flight.
     /// Non-destructive: on timeout the ticket remains valid, so callers can
     /// poll again or fall back to a blocking [`ScoreTicket::wait`].
-    ///
-    /// # Panics
-    /// Panics if the query was abandoned, as with [`ScoreTicket::wait`].
     pub fn wait_timeout(&self, timeout: Duration) -> Option<ScoreOutcome> {
         let deadline = Instant::now() + timeout;
         let mut slot = self.0.slot.lock().expect("ticket lock poisoned");
         loop {
-            match *slot {
-                SlotState::Done(r) => return Some(r),
-                SlotState::Abandoned => {
-                    panic!("query abandoned: its scoring worker died before answering")
-                }
-                SlotState::Waiting => {}
+            if let SlotState::Done(r) = *slot {
+                return Some(r);
             }
             let now = Instant::now();
             if now >= deadline {
@@ -247,11 +249,15 @@ impl Drop for Pending {
         if self.fulfilled {
             return;
         }
-        // Dropped without an outcome (worker panic unwound the batch): wake
-        // the waiter with the abandonment marker so it cannot hang forever.
+        // Dropped without an outcome (a worker panic unwound the batch, or
+        // the engine was torn down around it): resolve the waiter with the
+        // typed worker-failure shed so it cannot hang forever. This is the
+        // last-resort path — the supervisor's `fail_batch` normally gets
+        // there first *and* keeps the shed counters exact; this one only
+        // guarantees liveness.
         let mut slot = self.ticket.slot.lock().unwrap_or_else(|p| p.into_inner());
         if matches!(*slot, SlotState::Waiting) {
-            *slot = SlotState::Abandoned;
+            *slot = SlotState::Done(Err(Overloaded::WorkerFailed { lane: self.lane }));
         }
         drop(slot);
         self.ticket.cv.notify_all();
@@ -267,6 +273,9 @@ pub struct LaneAdmission {
     pub shed_full: u64,
     /// Admitted queries dropped unscored after their deadline passed.
     pub shed_deadline: u64,
+    /// Drained queries resolved as [`Overloaded::WorkerFailed`] because
+    /// their scoring worker panicked mid-batch.
+    pub shed_worker_failed: u64,
     /// Queries currently waiting in the lane.
     pub queued: u64,
     /// Queries drained into a batch but not yet recorded as scored.
@@ -277,12 +286,17 @@ struct LaneCounters {
     admitted: AtomicU64,
     shed_full: AtomicU64,
     shed_deadline: AtomicU64,
+    /// Bumped (with the matching `in_flight` decrement) under the shared
+    /// admission lock in [`AdmissionQueue::fail_batch`], so the failure
+    /// transition is atomic from a snapshot reader's point of view.
+    shed_worker_failed: AtomicU64,
     /// Drained-but-not-yet-recorded queries. Incremented under the shared
     /// lock at drain; decremented by the scoring worker while it holds its
     /// own metrics shard lock (see [`AdmissionQueue::mark_done`]) — which
     /// is exactly what lets [`ServeEngine::stats`] take a skew-free
-    /// snapshot where `admitted == scored + shed_deadline + queued +
-    /// in_flight` holds as an identity, not just eventually.
+    /// snapshot where `admitted == scored + shed_deadline +
+    /// shed_worker_failed + queued + in_flight` holds as an identity, not
+    /// just eventually.
     ///
     /// [`ServeEngine::stats`]: crate::engine::ServeEngine::stats
     in_flight: AtomicU64,
@@ -329,6 +343,7 @@ impl AdmissionQueue {
                     admitted: AtomicU64::new(0),
                     shed_full: AtomicU64::new(0),
                     shed_deadline: AtomicU64::new(0),
+                    shed_worker_failed: AtomicU64::new(0),
                     in_flight: AtomicU64::new(0),
                     depth_gauge: taser_obs::global()
                         .gauge(&format!("taser_admission_queue_depth{{lane=\"{lane}\"}}")),
@@ -416,8 +431,8 @@ impl AdmissionQueue {
     /// is held. The scoring side (`in_flight` decrement + scored recording)
     /// runs under per-worker metrics shard locks, not this lock, so a
     /// caller wanting the exact identity
-    /// `admitted = scored + shed_deadline + queued + in_flight` must
-    /// freeze first, acquire *all* shard locks,
+    /// `admitted = scored + shed_deadline + shed_worker_failed + queued +
+    /// in_flight` must freeze first, acquire *all* shard locks,
     /// and only then read the lanes; sampling before the shard locks are
     /// held would let a worker book a score (and decrement `in_flight`)
     /// between the read and the shard freeze, counting the same query as
@@ -437,6 +452,36 @@ impl AdmissionQueue {
         let c = &self.counters[lane.min(self.policy.lanes - 1)];
         c.in_flight.fetch_sub(1, Ordering::Relaxed);
         c.in_flight_gauge.add(-1);
+    }
+
+    /// Resolves every drained-but-unscored query in `batch` with
+    /// [`Overloaded::WorkerFailed`], moving each from `in_flight` to
+    /// `shed_worker_failed` under the shared admission lock — a single
+    /// atomic transition from a snapshot reader's point of view, so the
+    /// identity `admitted == scored + shed_deadline + shed_worker_failed +
+    /// queued + in_flight` survives a worker panic exactly. Called by the
+    /// worker's `catch_unwind` recovery site with whatever the batch still
+    /// held when the panic unwound it.
+    pub fn fail_batch(&self, batch: &mut Vec<Pending>) {
+        if batch.is_empty() {
+            return;
+        }
+        let _freeze = self.shared.lock().expect("admission lock poisoned");
+        for p in batch.drain(..) {
+            let lane = p.lane.min(self.policy.lanes - 1);
+            let c = &self.counters[lane];
+            c.shed_worker_failed.fetch_add(1, Ordering::Relaxed);
+            c.in_flight.fetch_sub(1, Ordering::Relaxed);
+            c.in_flight_gauge.add(-1);
+            p.reject(Overloaded::WorkerFailed { lane });
+        }
+    }
+
+    /// True once [`AdmissionQueue::close`] has been called. The supervisor
+    /// uses this to tell a crashed worker (respawn) from one that exited
+    /// because the queue drained at shutdown (leave down).
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().expect("admission lock poisoned").closed
     }
 
     /// Drops every queued ticket whose deadline has passed, resolving each
@@ -569,6 +614,7 @@ impl FrozenAdmission<'_> {
                 admitted: c.admitted.load(Ordering::Relaxed),
                 shed_full: c.shed_full.load(Ordering::Relaxed),
                 shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+                shed_worker_failed: c.shed_worker_failed.load(Ordering::Relaxed),
                 queued: self.shared.lanes[i].len() as u64,
                 in_flight: c.in_flight.load(Ordering::Relaxed),
             };
@@ -815,12 +861,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "abandoned")]
-    fn dropped_batch_panics_waiters_instead_of_hanging() {
+    fn dropped_batch_resolves_waiters_as_worker_failed() {
         let b = AdmissionQueue::new(policy(4, Duration::from_millis(1)));
         let t = b.submit(q(1), 0).unwrap();
-        // simulate a worker that drained the batch and then died
+        // simulate a worker that drained the batch and then died without
+        // reaching the fail_batch recovery site
         drop(b.next_batch());
-        let _ = t.wait();
+        assert_eq!(t.wait(), Err(Overloaded::WorkerFailed { lane: 0 }));
+    }
+
+    #[test]
+    fn fail_batch_moves_in_flight_to_shed_worker_failed() {
+        let b = AdmissionQueue::new(policy(8, Duration::from_millis(1)));
+        let tickets: Vec<_> = (0..3).map(|i| b.submit(q(i), 0).unwrap()).collect();
+        let mut batch = b.next_batch().unwrap();
+        assert_eq!(b.lane_admission()[0].in_flight, 3);
+        b.fail_batch(&mut batch);
+        assert!(batch.is_empty());
+        let lane = b.lane_admission()[0];
+        assert_eq!(lane.shed_worker_failed, 3);
+        assert_eq!(lane.in_flight, 0);
+        assert_eq!(
+            lane.admitted,
+            lane.shed_deadline + lane.shed_worker_failed + lane.queued + lane.in_flight,
+            "identity holds through the failure"
+        );
+        for t in tickets {
+            assert_eq!(t.wait(), Err(Overloaded::WorkerFailed { lane: 0 }));
+        }
     }
 }

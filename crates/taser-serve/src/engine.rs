@@ -10,8 +10,25 @@
 //! [`Overloaded`] outcome instead of queueing
 //! without bound. Shutdown is graceful: dropping the engine closes the
 //! queue, lets the workers drain what is admitted, and joins them.
+//!
+//! The engine is **self-healing**: each worker runs its batches under
+//! `catch_unwind`, and a panic mid-batch resolves every query the batch
+//! still held with [`Overloaded::WorkerFailed`] (via
+//! `AdmissionQueue::fail_batch`, which keeps the admission identity
+//! exact), then exits the thread crash-only — its scratch state may be
+//! poisoned, so it is never reused. The watchdog doubles as supervisor:
+//! it detects the dead worker and respawns a fresh one, bumping
+//! `taser_worker_restarts_total` and the worker-restart health gate.
+//! Fault injection for all of this is declarative via
+//! [`ServeConfig::faults`] (a [`FaultPlan`]).
+//!
+//! Boot [`ServeEngine::new_durable`] instead of [`ServeEngine::new`] to
+//! make ingest crash-safe: events are framed into a WAL and periodically
+//! checkpointed, and a restart recovers the pre-crash graph + index
+//! bit-identically (see [`crate::snapshot::DurabilityConfig`]).
 
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -22,13 +39,14 @@ use taser_obs::{Stage, StageNanos};
 use taser_sample::SamplePolicy;
 
 use crate::admission::{
-    AdmissionPolicy, AdmissionQueue, BatchPolicy, LaneAdmission, LinkQuery, Overloaded,
+    AdmissionPolicy, AdmissionQueue, BatchPolicy, LaneAdmission, LinkQuery, Overloaded, Pending,
     ScoreOutcome, ScoreResult, ScoreTicket,
 };
+use crate::fault::{FaultPlan, FaultState};
 use crate::features::ServeFeatureCache;
 use crate::health::{HealthConfig, HealthMonitor, HealthSample, LaneSampleTotals};
 use crate::pipeline::{ScorePath, ScorePipeline, ScoreScratch};
-use crate::snapshot::{IndexBackend, SnapshotStore};
+use crate::snapshot::{DurabilityConfig, IndexBackend, RecoveryReport, SnapshotStore};
 use crate::stats::{LaneStats, LatencyHistogram, ServeStats};
 
 /// Engine construction knobs.
@@ -67,11 +85,11 @@ pub struct ServeConfig {
     /// Health watchdog: windowed rates, burn-rate alerts, stall/queue/lag
     /// detection, and the stage-occupancy sampler.
     pub health: HealthConfig,
-    /// Test-only fault injection: each worker sleeps this long after
-    /// draining a batch, before scoring it (zero = off). Exists so
-    /// integration tests can exercise the watchdog's stall detection
-    /// against a genuinely blocked worker.
-    pub fault_worker_stall: Duration,
+    /// Unified fault injection (worker stall, panic-at-Nth-batch, slow
+    /// WAL flush, corrupt WAL record). All off by default; exists so the
+    /// chaos suite can exercise the supervisor, the typed worker-failure
+    /// shed, and WAL recovery against real injected failures.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -94,7 +112,7 @@ impl Default for ServeConfig {
             index_backend: IndexBackend::default(),
             seed: 0x5EE7,
             health: HealthConfig::default(),
-            fault_worker_stall: Duration::ZERO,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -177,18 +195,42 @@ impl WorkerBeat {
     }
 }
 
-/// The online inference engine.
-pub struct ServeEngine {
+/// Everything a scoring worker (or its respawned replacement) needs,
+/// behind one `Arc` so the supervisor can spawn replacements without
+/// re-threading a dozen handles.
+struct WorkerHost {
     snapshots: Arc<SnapshotStore>,
     admission: Arc<AdmissionQueue>,
     pipeline: Arc<ScorePipeline>,
     features: Arc<ServeFeatureCache>,
-    worker_metrics: Arc<Vec<Mutex<WorkerMetrics>>>,
-    ingests: Arc<AtomicU64>,
+    worker_metrics: Vec<Mutex<WorkerMetrics>>,
+    beats: Vec<WorkerBeat>,
+    epoch: Instant,
+    ingests: AtomicU64,
+    plan: FaultPlan,
+    fault_state: FaultState,
+    /// Lifetime worker respawns (mirrored into the registry counter).
+    restarts: AtomicU64,
+    restart_counter: Arc<taser_obs::Counter>,
+}
+
+impl WorkerHost {
+    fn spawn_worker(self: &Arc<Self>, id: usize) -> JoinHandle<()> {
+        let host = self.clone();
+        std::thread::spawn(move || worker_loop(&host, id))
+    }
+}
+
+/// The online inference engine.
+pub struct ServeEngine {
+    host: Arc<WorkerHost>,
     health: Arc<HealthMonitor>,
     watchdog_stop: Arc<AtomicBool>,
     watchdog: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker table, shared with the supervisor so it can swap in
+    /// replacements for crashed workers. Slots are `None` only
+    /// transiently (mid-respawn) or after shutdown join.
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
 }
 
 impl ServeEngine {
@@ -196,14 +238,59 @@ impl ServeEngine {
     /// `seed_log` (typically the log the model was trained on; an empty log
     /// cold-starts the server).
     pub fn new(artifact: ModelArtifact, seed_log: EventLog, cfg: ServeConfig) -> io::Result<Self> {
+        let num_nodes = Self::num_nodes_for(&artifact, &seed_log);
+        let snapshots = Arc::new(SnapshotStore::with_backend(
+            seed_log,
+            num_nodes,
+            cfg.publish_every,
+            cfg.index_backend,
+        ));
+        Self::boot(artifact, cfg, snapshots)
+    }
+
+    /// Boots a **durable** engine: ingest is WAL-framed and checkpointed
+    /// under `durability.dir`, and any state already in that directory is
+    /// recovered first — checkpoint load + WAL tail replay, deduplicated
+    /// by event id. When the directory holds recovered events they *are*
+    /// the seed (the passed `seed_log` only cold-starts an empty
+    /// directory, after which it is persisted as the initial checkpoint).
+    /// Returns the engine plus a [`RecoveryReport`] describing what was
+    /// recovered and how long replay took.
+    pub fn new_durable(
+        artifact: ModelArtifact,
+        seed_log: EventLog,
+        cfg: ServeConfig,
+        durability: DurabilityConfig,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let num_nodes = Self::num_nodes_for(&artifact, &seed_log);
+        let (snapshots, report) = SnapshotStore::durable(
+            seed_log,
+            num_nodes,
+            cfg.publish_every,
+            cfg.index_backend,
+            durability,
+            cfg.faults.wal_faults(),
+        )?;
+        let engine = Self::boot(artifact, cfg, Arc::new(snapshots))?;
+        Ok((engine, report))
+    }
+
+    fn num_nodes_for(artifact: &ModelArtifact, seed_log: &EventLog) -> usize {
+        seed_log
+            .num_nodes()
+            .max(artifact.node_feats.as_ref().map_or(0, |f| f.rows()))
+            .max(1)
+    }
+
+    fn boot(
+        artifact: ModelArtifact,
+        cfg: ServeConfig,
+        snapshots: Arc<SnapshotStore>,
+    ) -> io::Result<Self> {
         assert!(cfg.workers >= 1, "engine needs at least one worker");
         // opt-in span tracing via TASER_TRACE=1 (a relaxed flag read when
         // off; the CLI's --trace-out enables it explicitly instead)
         taser_obs::init_tracing_from_env();
-        let num_nodes = seed_log
-            .num_nodes()
-            .max(artifact.node_feats.as_ref().map_or(0, |f| f.rows()))
-            .max(1);
         let (pipeline, edge_feats) = ScorePipeline::new(artifact, cfg.policy_override)?;
         let pipeline = Arc::new(pipeline);
         let features = Arc::new(ServeFeatureCache::new(
@@ -213,26 +300,24 @@ impl ServeEngine {
             cfg.cache_epoch_requests,
             cfg.seed,
         ));
-        let snapshots = Arc::new(SnapshotStore::with_backend(
-            seed_log,
-            num_nodes,
-            cfg.publish_every,
-            cfg.index_backend,
-        ));
         let policy = cfg.admission_policy();
         let admission = Arc::new(AdmissionQueue::new(policy));
-        let worker_metrics = Arc::new(
-            (0..cfg.workers)
+        let host = Arc::new(WorkerHost {
+            snapshots,
+            admission,
+            pipeline,
+            features,
+            worker_metrics: (0..cfg.workers)
                 .map(|_| Mutex::new(WorkerMetrics::new(policy.lanes)))
-                .collect::<Vec<_>>(),
-        );
-        let epoch = Instant::now();
-        let beats = Arc::new(
-            (0..cfg.workers)
-                .map(|_| WorkerBeat::new())
-                .collect::<Vec<_>>(),
-        );
-        let ingests = Arc::new(AtomicU64::new(0));
+                .collect(),
+            beats: (0..cfg.workers).map(|_| WorkerBeat::new()).collect(),
+            epoch: Instant::now(),
+            ingests: AtomicU64::new(0),
+            plan: cfg.faults,
+            fault_state: FaultState::new(),
+            restarts: AtomicU64::new(0),
+            restart_counter: taser_obs::global().counter("taser_worker_restarts_total"),
+        });
         let health = Arc::new(HealthMonitor::new(
             cfg.health,
             policy.lanes,
@@ -240,57 +325,27 @@ impl ServeEngine {
             policy.queue_cap,
             cfg.publish_every,
         ));
-        let workers = (0..cfg.workers)
-            .map(|id| {
-                let snapshots = snapshots.clone();
-                let admission = admission.clone();
-                let pipeline = pipeline.clone();
-                let features = features.clone();
-                let worker_metrics = worker_metrics.clone();
-                let beats = beats.clone();
-                std::thread::spawn(move || {
-                    worker_loop(
-                        &snapshots,
-                        &admission,
-                        &pipeline,
-                        &features,
-                        &worker_metrics[id],
-                        &beats[id],
-                        epoch,
-                        cfg.fault_worker_stall,
-                    )
-                })
-            })
-            .collect();
+        let workers = Arc::new(Mutex::new(
+            (0..cfg.workers)
+                .map(|id| Some(host.spawn_worker(id)))
+                .collect::<Vec<_>>(),
+        ));
         let watchdog_stop = Arc::new(AtomicBool::new(false));
-        let watchdog = cfg.health.enabled.then(|| {
-            let snapshots = snapshots.clone();
-            let admission = admission.clone();
-            let worker_metrics = worker_metrics.clone();
-            let ingests = ingests.clone();
+        // The watchdog thread always runs: it is also the supervisor that
+        // respawns crashed workers. Health *evaluation* stays gated on
+        // cfg.health.enabled (with it off, the monitor is never fed and
+        // the health verb reports watchdog:"off" as before).
+        let watchdog = {
+            let host = host.clone();
+            let workers = workers.clone();
             let health = health.clone();
             let stop = watchdog_stop.clone();
-            std::thread::spawn(move || {
-                watchdog_loop(
-                    cfg.health,
-                    epoch,
-                    &snapshots,
-                    &admission,
-                    &worker_metrics,
-                    &ingests,
-                    &beats,
-                    &health,
-                    &stop,
-                )
-            })
-        });
+            Some(std::thread::spawn(move || {
+                watchdog_loop(cfg.health, &host, &workers, &health, &stop)
+            }))
+        };
         Ok(ServeEngine {
-            snapshots,
-            admission,
-            pipeline,
-            features,
-            worker_metrics,
-            ingests,
+            host,
             health,
             watchdog_stop,
             watchdog,
@@ -308,30 +363,59 @@ impl ServeEngine {
 
     /// The pipeline being served (spec/policy introspection).
     pub fn pipeline(&self) -> &ScorePipeline {
-        &self.pipeline
+        &self.host.pipeline
     }
 
     /// The active admission policy (lanes, caps, SLO).
     pub fn admission_policy(&self) -> AdmissionPolicy {
-        self.admission.policy()
+        self.host.admission.policy()
     }
 
     /// Appends a streaming interaction; visible to scoring after the next
-    /// publish (automatic every `publish_every` ingests).
+    /// publish (automatic every `publish_every` ingests). On a durable
+    /// engine the event is WAL-framed before this returns.
     pub fn ingest(&self, src: u32, dst: u32, t: f64) -> Result<Event, String> {
-        let e = self.snapshots.ingest(src, dst, t)?;
-        self.ingests.fetch_add(1, Ordering::Relaxed);
+        let e = self.host.snapshots.ingest(src, dst, t)?;
+        self.host.ingests.fetch_add(1, Ordering::Relaxed);
         Ok(e)
     }
 
     /// Forces a snapshot publish; returns the current generation.
     pub fn publish(&self) -> u64 {
-        self.snapshots.publish()
+        self.host.snapshots.publish()
     }
 
     /// Generation of the latest published snapshot.
     pub fn generation(&self) -> u64 {
-        self.snapshots.generation()
+        self.host.snapshots.generation()
+    }
+
+    /// Content digest of the latest published snapshot's index (see
+    /// `taser_graph::content_digest`): two engines presenting the same
+    /// digest answer every temporal-neighbor query identically. This is
+    /// the equality crash recovery is held to.
+    pub fn snapshot_digest(&self) -> u64 {
+        let snap = self.host.snapshots.snapshot();
+        taser_graph::content_digest(snap.csr.as_ref())
+    }
+
+    /// Flush + fsync the WAL (durable engines; no-op otherwise). Makes
+    /// every ingest accepted so far crash-durable right now, independent
+    /// of the batched flush cadence.
+    pub fn wal_sync(&self) -> io::Result<()> {
+        self.host.snapshots.wal_sync()
+    }
+
+    /// Write a checkpoint now and reset the WAL (durable engines; no-op
+    /// otherwise), independent of the checkpoint cadence.
+    pub fn checkpoint_now(&self) -> io::Result<()> {
+        self.host.snapshots.checkpoint_now()
+    }
+
+    /// Lifetime count of workers the supervisor has respawned after a
+    /// panic (also exported as `taser_worker_restarts_total`).
+    pub fn worker_restarts(&self) -> u64 {
+        self.host.restarts.load(Ordering::Relaxed)
     }
 
     /// Tries to admit a link query into the highest-priority lane; the
@@ -351,7 +435,7 @@ impl ServeEngine {
         t: f64,
         lane: usize,
     ) -> Result<ScoreTicket, Overloaded> {
-        self.admission.submit(LinkQuery { src, dst, t }, lane)
+        self.host.admission.submit(LinkQuery { src, dst, t }, lane)
     }
 
     /// Convenience: submit into lane 0 and block for the outcome.
@@ -380,14 +464,17 @@ impl ServeEngine {
     /// held are the lane counters sampled. Lock order is admission →
     /// shards, and workers never take them in the opposite order, so the
     /// identity `admitted == scored + shed_deadline + queued + in_flight`
-    /// holds exactly per lane in every snapshot — not just at quiescence.
+    /// holds exactly per lane in every snapshot — not just at quiescence
+    /// (with `shed_worker_failed` in the scored side of the split; worker
+    /// failures move queries from in-flight to shed under the admission
+    /// lock, so the identity survives panics too).
     ///
     /// The frozen section is kept short: only counter reads and raw
     /// histogram accumulation happen under the locks; quantile computation
     /// and stat assembly run after both are released, so a metrics scrape
     /// injects minimal latency into the admission path.
     pub fn stats(&self) -> ServeStats {
-        let policy = self.admission.policy();
+        let policy = self.host.admission.policy();
         // merge targets allocated before any lock is taken
         let mut batches = 0u64;
         let mut queries = 0u64;
@@ -397,10 +484,10 @@ impl ServeEngine {
             .collect();
         let mut lane_met = vec![0u64; policy.lanes];
         let mut lane_missed = vec![0u64; policy.lanes];
-        let mut shards = Vec::with_capacity(self.worker_metrics.len());
+        let mut shards = Vec::with_capacity(self.host.worker_metrics.len());
 
-        let frozen = self.admission.freeze();
-        for m in self.worker_metrics.iter() {
+        let frozen = self.host.admission.freeze();
+        for m in self.host.worker_metrics.iter() {
             shards.push(m.lock().expect("metrics lock poisoned"));
         }
         // Both lock sets held: no worker can be mid-booking, so in_flight
@@ -430,13 +517,13 @@ impl ServeEngine {
             .enumerate()
             .map(|(i, &a)| LaneStats::from_parts(i, a, &lane_hists[i], lane_met[i], lane_missed[i]))
             .collect();
-        let cache = self.features.stats();
+        let cache = self.host.features.stats();
         ServeStats {
             queries,
             batches,
-            ingests: self.ingests.load(Ordering::Relaxed),
-            generation: self.snapshots.generation(),
-            graph_events: self.snapshots.num_events() as u64,
+            ingests: self.host.ingests.load(Ordering::Relaxed),
+            generation: self.host.snapshots.generation(),
+            graph_events: self.host.snapshots.num_events() as u64,
             mean_batch: if batches == 0 {
                 0.0
             } else {
@@ -450,6 +537,7 @@ impl ServeEngine {
             admitted: lanes.iter().map(|l| l.admitted).sum(),
             shed_full: lanes.iter().map(|l| l.shed_full).sum(),
             shed_deadline: lanes.iter().map(|l| l.shed_deadline).sum(),
+            shed_worker_failed: lanes.iter().map(|l| l.shed_worker_failed).sum(),
             in_queue: lanes.iter().map(|l| l.queued).sum(),
             in_flight: lanes.iter().map(|l| l.in_flight).sum(),
             slo_met: lane_met.iter().sum(),
@@ -463,57 +551,94 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
-        // watchdog first: it reads worker state, so it must be gone before
-        // the workers are
+        // watchdog/supervisor first: it reads worker state and respawns
+        // workers, so it must be gone before the workers are joined
         self.watchdog_stop.store(true, Ordering::Relaxed);
         if let Some(w) = self.watchdog.take() {
             let _ = w.join();
         }
-        self.admission.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        self.host.admission.close();
+        let mut slots = self.workers.lock().expect("worker table lock poisoned");
+        for slot in slots.iter_mut() {
+            if let Some(h) = slot.take() {
+                let _ = h.join();
+            }
         }
     }
 }
 
-/// The watchdog thread: occupancy sweeps every `sample_every`, a full
-/// counter snapshot + gate evaluation every `eval_every`. Steady-state
-/// allocation-free — every buffer below is preallocated, and
-/// [`HealthMonitor::observe`] writes into preallocated ring slots.
+/// The supervisor pass: detect workers whose threads have exited while
+/// the queue is still open (i.e. they panicked and took the crash-only
+/// exit) and spawn replacements. Allocation-free until a respawn
+/// actually happens — `is_finished` is a plain atomic read.
+fn supervise(host: &Arc<WorkerHost>, workers: &Mutex<Vec<Option<JoinHandle<()>>>>) {
+    let mut slots = workers.lock().expect("worker table lock poisoned");
+    for (id, slot) in slots.iter_mut().enumerate() {
+        if !slot.as_ref().is_some_and(|h| h.is_finished()) {
+            continue;
+        }
+        if host.admission.is_closed() {
+            // normal shutdown exit: leave it for Drop to join
+            continue;
+        }
+        if let Some(old) = slot.take() {
+            let _ = old.join(); // collects the (already-caught) exit
+        }
+        host.restarts.fetch_add(1, Ordering::Relaxed);
+        host.restart_counter.inc();
+        *slot = Some(host.spawn_worker(id));
+    }
+}
+
+/// The watchdog thread: worker supervision every sample tick, occupancy
+/// sweeps every `sample_every`, a full counter snapshot + gate
+/// evaluation every `eval_every`. Steady-state allocation-free — every
+/// buffer below is preallocated, and [`HealthMonitor::observe`] writes
+/// into preallocated ring slots.
+///
+/// This thread always runs (it is the supervisor); with
+/// [`HealthConfig::enabled`] off, only supervision happens and the
+/// monitor is never fed.
 ///
 /// Unlike [`ServeEngine::stats`] this does **not** freeze the world: it
 /// takes the admission lock briefly, then each worker shard in turn.
 /// Windowed rates tolerate a batch of cross-shard skew, and the watchdog
 /// must never stall the serving path to get its numbers.
-#[allow(clippy::too_many_arguments)]
 fn watchdog_loop(
     cfg: HealthConfig,
-    epoch: Instant,
-    snapshots: &SnapshotStore,
-    admission: &AdmissionQueue,
-    worker_metrics: &[Mutex<WorkerMetrics>],
-    ingests: &AtomicU64,
-    beats: &[WorkerBeat],
+    host: &Arc<WorkerHost>,
+    workers: &Mutex<Vec<Option<JoinHandle<()>>>>,
     monitor: &HealthMonitor,
     stop: &AtomicBool,
 ) {
-    let lanes = admission.policy().lanes;
+    let health_on = cfg.enabled;
+    let lanes = host.admission.policy().lanes;
     let mut lane_adm = vec![LaneAdmission::default(); lanes];
     let mut lane_tot = vec![LaneSampleTotals::default(); lanes];
-    let mut busy: Vec<Option<Duration>> = vec![None; beats.len()];
+    let mut busy: Vec<Option<Duration>> = vec![None; host.beats.len()];
     let mut merged = LatencyHistogram::default();
-    let sample_every = cfg.sample_every.max(Duration::from_micros(100));
+    let sample_every = if health_on {
+        cfg.sample_every.max(Duration::from_micros(100))
+    } else {
+        // supervision-only cadence: fast enough that a crashed worker is
+        // replaced within a few milliseconds
+        Duration::from_millis(5)
+    };
     let eval_every = cfg.eval_every.max(sample_every);
     let mut next_eval = Instant::now() + eval_every;
     while !stop.load(Ordering::Relaxed) {
         std::thread::sleep(sample_every);
+        supervise(host, workers);
+        if !health_on {
+            continue;
+        }
         monitor.sweep_occupancy();
         let now = Instant::now();
         if now < next_eval {
             continue;
         }
         next_eval = now + eval_every;
-        admission.lane_admission_into(&mut lane_adm);
+        host.admission.lane_admission_into(&mut lane_adm);
         for (t, a) in lane_tot.iter_mut().zip(lane_adm.iter()) {
             *t = LaneSampleTotals {
                 admitted: a.admitted,
@@ -521,13 +646,13 @@ fn watchdog_loop(
                 // scores; the shard loop below adds the latter
                 missed: a.shed_deadline,
                 scored: 0,
-                shed: a.shed_full + a.shed_deadline,
+                shed: a.shed_full + a.shed_deadline + a.shed_worker_failed,
                 queued: a.queued,
             };
         }
         merged.clear();
         let mut scored = 0u64;
-        for m in worker_metrics {
+        for m in &host.worker_metrics {
             let m = m.lock().expect("metrics lock poisoned");
             scored += m.queries;
             for (lane, l) in m.lanes.iter().enumerate() {
@@ -536,36 +661,27 @@ fn watchdog_loop(
                 lane_tot[lane].missed += l.slo_missed;
             }
         }
-        for (b, beat) in busy.iter_mut().zip(beats.iter()) {
-            *b = beat.busy_for(epoch);
+        for (b, beat) in busy.iter_mut().zip(host.beats.iter()) {
+            *b = beat.busy_for(host.epoch);
         }
-        let lag = snapshots.publish_lag();
+        let lag = host.snapshots.publish_lag();
         monitor.observe(
             now,
             &HealthSample {
                 lanes: &lane_tot,
                 latency: &merged,
                 scored,
-                ingests: ingests.load(Ordering::Relaxed),
-                generation: snapshots.generation(),
+                ingests: host.ingests.load(Ordering::Relaxed),
+                generation: host.snapshots.generation(),
                 publish_pending: lag.pending_events,
                 worker_busy: &busy,
+                worker_restarts: host.restarts.load(Ordering::Relaxed),
             },
         );
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    snapshots: &SnapshotStore,
-    admission: &AdmissionQueue,
-    pipeline: &ScorePipeline,
-    features: &ServeFeatureCache,
-    metrics: &Mutex<WorkerMetrics>,
-    beat: &WorkerBeat,
-    epoch: Instant,
-    fault_stall: Duration,
-) {
+fn worker_loop(host: &WorkerHost, id: usize) {
     // Per-worker reusable state: the fast path's arena + assembly buffers
     // plus the query/probability staging vectors. After warmup the scoring
     // section of this loop performs no heap allocations — stage timing is
@@ -578,112 +694,164 @@ fn worker_loop(
     let mut queries: Vec<LinkQuery> = Vec::new();
     let mut probs: Vec<f32> = Vec::new();
     let mut meta: Vec<(usize, Instant, Instant)> = Vec::new();
+    let metrics = &host.worker_metrics[id];
+    let beat = &host.beats[id];
     loop {
         beat.set_idle();
         taser_obs::profile::idle();
-        let Some(batch) = admission.next_batch() else {
+        let Some(batch) = host.admission.next_batch() else {
             break;
         };
         if batch.is_empty() {
             continue;
         }
-        beat.set_busy(epoch);
-        let drained = Instant::now();
-        if !fault_stall.is_zero() {
-            // test-only fault injection (see ServeConfig::fault_worker_stall)
-            std::thread::sleep(fault_stall);
-        }
-        // admission wait = submit → drain, summed exactly per query; the
-        // span covers the batch's longest wait
-        let mut batch_stages = StageNanos::default();
-        let mut oldest = drained;
-        for p in &batch {
-            batch_stages.add(
-                Stage::AdmissionWait,
-                drained
-                    .saturating_duration_since(p.submitted)
-                    .as_nanos()
-                    .min(u64::MAX as u128) as u64,
+        beat.set_busy(host.epoch);
+        // The batch lives *outside* the unwind boundary: a panic inside
+        // the scoring pass leaves its unresolved tickets reachable in
+        // `held`, and the recovery site below turns every one of them
+        // into a typed `WorkerFailed` shed with exact counter accounting.
+        let mut held = batch;
+        let scored = catch_unwind(AssertUnwindSafe(|| {
+            score_one_batch(
+                host,
+                metrics,
+                &mut held,
+                &mut scratch,
+                &mut queries,
+                &mut probs,
+                &mut meta,
             );
-            oldest = oldest.min(p.submitted);
+        }));
+        if scored.is_err() {
+            host.admission.fail_batch(&mut held);
+            beat.set_idle();
+            taser_obs::profile::idle();
+            // Crash-only exit: the scratch arena / staging buffers may be
+            // mid-mutation, so this thread never scores again. The
+            // supervisor observes the dead thread and spawns a fresh
+            // worker with fresh state.
+            return;
         }
-        taser_obs::record(Stage::AdmissionWait.name(), oldest, drained);
-        let staging = Instant::now();
-        taser_obs::profile::enter(Stage::BatchAssembly);
-        let snap = snapshots.snapshot();
-        queries.clear();
-        queries.extend(batch.iter().map(|p| p.query));
-        meta.clear();
-        meta.extend(batch.iter().map(|p| (p.lane, p.submitted, p.deadline)));
-        batch_stages.close_region(Stage::BatchAssembly, staging);
-        // the feature cache synchronizes internally, so concurrent workers
-        // overlap on the encoder forward and only serialize on bookkeeping
-        match pipeline.score_path() {
-            ScorePath::Fast => {
-                pipeline.score_batch_into(
-                    snap.csr.as_ref(),
-                    snap.generation,
-                    &queries,
-                    features,
-                    &mut scratch,
-                    &mut probs,
-                );
-                batch_stages.merge(scratch.stage_ns());
-            }
-            ScorePath::Tape => {
-                // the tape oracle is unattributed internally: book it all
-                // under the forward stage
-                let t0 = Instant::now();
-                taser_obs::profile::enter(Stage::PackedForward);
-                probs.clear();
-                probs.extend(pipeline.score_batch_tape(
-                    snap.csr.as_ref(),
-                    snap.generation,
-                    &queries,
-                    features,
-                ));
-                batch_stages.close_region(Stage::PackedForward, t0);
-            }
-        }
-        // latency/SLO are judged at scoring completion (as before), and the
-        // score is booked *before* the tickets are fulfilled so a caller
-        // that observed its result always finds itself counted in `stats()`
-        let scored_at = Instant::now();
-        taser_obs::profile::enter(Stage::Respond);
-        {
-            // this worker's own shard: no cross-worker contention. The
-            // in-flight decrement rides inside the same critical section
-            // that records the score, so snapshot readers holding every
-            // shard lock see the two move together.
-            let mut m = metrics.lock().expect("metrics lock poisoned");
-            m.batches += 1;
-            m.queries += meta.len() as u64;
-            m.stages.merge(&batch_stages);
-            for &(lane_no, submitted, deadline) in &meta {
-                let lane = &mut m.lanes[lane_no];
-                lane.hist.record(scored_at.duration_since(submitted));
-                if scored_at <= deadline {
-                    lane.slo_met += 1;
-                } else {
-                    lane.slo_missed += 1;
-                }
-                admission.mark_done(lane_no);
-            }
-        }
-        // the respond stage covers waking the submitters; it lands in the
-        // shard with a second (uncontended) lock because the tickets must
-        // be fulfilled after the booking above
-        for (pending, &prob) in batch.into_iter().zip(probs.iter()) {
-            pending.fulfill(ScoreResult {
-                prob,
-                generation: snap.generation,
-            });
-        }
-        let mut respond = StageNanos::default();
-        respond.close_region(Stage::Respond, scored_at);
-        let mut m = metrics.lock().expect("metrics lock poisoned");
-        m.stages.merge(&respond);
     }
+}
+
+/// One drained batch end to end: stall/panic fault points, stage
+/// accounting, snapshot pin, scoring, SLO booking (with the paired
+/// in-flight decrements), and ticket fulfillment. Runs under the
+/// worker's `catch_unwind`; fulfillment `drain`s `batch` so whatever a
+/// panic leaves behind is exactly the set of unresolved tickets.
+fn score_one_batch(
+    host: &WorkerHost,
+    metrics: &Mutex<WorkerMetrics>,
+    batch: &mut Vec<Pending>,
+    scratch: &mut ScoreScratch,
+    queries: &mut Vec<LinkQuery>,
+    probs: &mut Vec<f32>,
+    meta: &mut Vec<(usize, Instant, Instant)>,
+) {
+    let drained = Instant::now();
+    if !host.plan.worker_stall.is_zero() {
+        // injected fault: a wedged scoring thread (drives the stall gate)
+        std::thread::sleep(host.plan.worker_stall);
+    }
+    if host.fault_state.should_panic(&host.plan) {
+        // injected fault: die mid-batch, after draining it — exactly the
+        // window where queries are in flight and waiters are blocked
+        panic!(
+            "fault injection: worker panic at batch {}",
+            host.fault_state.batches_seen()
+        );
+    }
+    // admission wait = submit → drain, summed exactly per query; the
+    // span covers the batch's longest wait
+    let mut batch_stages = StageNanos::default();
+    let mut oldest = drained;
+    for p in batch.iter() {
+        batch_stages.add(
+            Stage::AdmissionWait,
+            drained
+                .saturating_duration_since(p.submitted)
+                .as_nanos()
+                .min(u64::MAX as u128) as u64,
+        );
+        oldest = oldest.min(p.submitted);
+    }
+    taser_obs::record(Stage::AdmissionWait.name(), oldest, drained);
+    let staging = Instant::now();
+    taser_obs::profile::enter(Stage::BatchAssembly);
+    let snap = host.snapshots.snapshot();
+    queries.clear();
+    queries.extend(batch.iter().map(|p| p.query));
+    meta.clear();
+    meta.extend(batch.iter().map(|p| (p.lane, p.submitted, p.deadline)));
+    batch_stages.close_region(Stage::BatchAssembly, staging);
+    // the feature cache synchronizes internally, so concurrent workers
+    // overlap on the encoder forward and only serialize on bookkeeping
+    match host.pipeline.score_path() {
+        ScorePath::Fast => {
+            host.pipeline.score_batch_into(
+                snap.csr.as_ref(),
+                snap.generation,
+                queries,
+                &host.features,
+                scratch,
+                probs,
+            );
+            batch_stages.merge(scratch.stage_ns());
+        }
+        ScorePath::Tape => {
+            // the tape oracle is unattributed internally: book it all
+            // under the forward stage
+            let t0 = Instant::now();
+            taser_obs::profile::enter(Stage::PackedForward);
+            probs.clear();
+            probs.extend(host.pipeline.score_batch_tape(
+                snap.csr.as_ref(),
+                snap.generation,
+                queries,
+                &host.features,
+            ));
+            batch_stages.close_region(Stage::PackedForward, t0);
+        }
+    }
+    // latency/SLO are judged at scoring completion (as before), and the
+    // score is booked *before* the tickets are fulfilled so a caller
+    // that observed its result always finds itself counted in `stats()`
+    let scored_at = Instant::now();
+    taser_obs::profile::enter(Stage::Respond);
+    {
+        // this worker's own shard: no cross-worker contention. The
+        // in-flight decrement rides inside the same critical section
+        // that records the score, so snapshot readers holding every
+        // shard lock see the two move together.
+        let mut m = metrics.lock().expect("metrics lock poisoned");
+        m.batches += 1;
+        m.queries += meta.len() as u64;
+        m.stages.merge(&batch_stages);
+        for &(lane_no, submitted, deadline) in meta.iter() {
+            let lane = &mut m.lanes[lane_no];
+            lane.hist.record(scored_at.duration_since(submitted));
+            if scored_at <= deadline {
+                lane.slo_met += 1;
+            } else {
+                lane.slo_missed += 1;
+            }
+            host.admission.mark_done(lane_no);
+        }
+    }
+    // the respond stage covers waking the submitters; it lands in the
+    // shard with a second (uncontended) lock because the tickets must
+    // be fulfilled after the booking above
+    for (pending, &prob) in batch.drain(..).zip(probs.iter()) {
+        pending.fulfill(ScoreResult {
+            prob,
+            generation: snap.generation,
+        });
+    }
+    let mut respond = StageNanos::default();
+    respond.close_region(Stage::Respond, scored_at);
+    let mut m = metrics.lock().expect("metrics lock poisoned");
+    m.stages.merge(&respond);
 }
 
 #[cfg(test)]
@@ -809,7 +977,11 @@ mod tests {
                 for lane in &st.lanes {
                     assert_eq!(
                         lane.admitted,
-                        lane.scored + lane.shed_deadline + lane.queued + lane.in_flight,
+                        lane.scored
+                            + lane.shed_deadline
+                            + lane.shed_worker_failed
+                            + lane.queued
+                            + lane.in_flight,
                         "lane {} snapshot skewed: {:?}",
                         lane.lane,
                         lane
@@ -968,7 +1140,10 @@ mod tests {
                     hold_down: 2,
                     ..HealthConfig::default()
                 },
-                fault_worker_stall: Duration::from_millis(150),
+                faults: FaultPlan {
+                    worker_stall: Duration::from_millis(150),
+                    ..FaultPlan::default()
+                },
                 ..quick_cfg()
             },
         )
@@ -1003,6 +1178,63 @@ mod tests {
         }
         // the worker's occupancy cell registered and the sampler swept it
         assert!(engine.health().occupancy().sweeps() > 0);
+    }
+
+    #[test]
+    fn injected_worker_panics_are_survived_and_typed() {
+        // panic_every=1, max_panics=2: the first two batches kill their
+        // workers. Every ticket must still resolve (scored or typed
+        // WorkerFailed — never a hang, never a waiter panic), the
+        // supervisor must respawn both workers, and the engine must score
+        // normally once the fault budget is spent.
+        let engine = ServeEngine::new(
+            tiny_artifact(),
+            seed_log(),
+            ServeConfig {
+                faults: FaultPlan {
+                    panic_every: 1,
+                    max_panics: 2,
+                    ..FaultPlan::default()
+                },
+                ..quick_cfg()
+            },
+        )
+        .unwrap();
+        let mut failed = 0usize;
+        let mut scored = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while engine.worker_restarts() < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "supervisor never respawned both workers (restarts={})",
+                engine.worker_restarts()
+            );
+            let t = engine.submit(0, 6, 40.0).expect("admitted");
+            match t.wait() {
+                Ok(_) => scored += 1,
+                Err(Overloaded::WorkerFailed { lane }) => {
+                    assert_eq!(lane, 0);
+                    failed += 1;
+                }
+                Err(other) => panic!("unexpected shed: {other}"),
+            }
+        }
+        assert_eq!(failed, 2, "each injected panic fails exactly one query");
+        assert_eq!(engine.worker_restarts(), 2);
+        // faults exhausted: the respawned workers score normally
+        let r = engine.score(0, 6, 40.0).expect("scored after recovery");
+        assert!(r.prob > 0.0 && r.prob < 1.0);
+        let st = engine.stats();
+        assert_eq!(st.shed_worker_failed, 2);
+        assert_eq!(st.in_queue, 0);
+        assert_eq!(st.in_flight, 0);
+        assert_eq!(
+            st.admitted,
+            st.queries + st.shed_deadline + st.shed_worker_failed,
+            "identity reconciles at quiescence: scored={} failed={}",
+            scored,
+            failed
+        );
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Unified fault injection: one [`FaultPlan`] drives every injectable
+//! failure in the serving stack.
+//!
+//! Chaos tests need deterministic, composable faults — a worker that
+//! stalls, a worker that panics on its Nth batch, a WAL whose flushes
+//! crawl, a WAL record corrupted on disk. Scattering ad-hoc knobs per
+//! failure (the old `ServeConfig::fault_worker_stall`) does not compose
+//! and leaves each new failure mode inventing its own plumbing; the plan
+//! centralizes them. All knobs default to off, the plan is `Copy` (so
+//! `ServeConfig` stays `Copy`), and every disabled knob costs a single
+//! branch on its hot path.
+//!
+//! Shared mutable progress (batches processed, panics fired) lives in
+//! [`FaultState`], one per engine, shared by all workers — "panic at
+//! every Nth batch" counts engine-wide, so a respawned worker does not
+//! restart the schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Declarative fault-injection plan for an engine. All knobs off by
+/// default; see module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Sleep this long at the top of every worker batch (simulates a
+    /// wedged scoring thread; drives the worker-stall health gate).
+    /// `ZERO` disables.
+    pub worker_stall: Duration,
+    /// Panic the scoring worker on every Nth drained batch,
+    /// engine-wide (1 = every batch). 0 disables.
+    pub panic_every: u64,
+    /// Stop injecting panics after this many have fired (so a chaos run
+    /// can assert recovery *after* the faults stop). 0 = unlimited.
+    pub max_panics: u64,
+    /// Sleep inside every WAL flush (simulates a slow or contended
+    /// disk). `ZERO` disables. Forwarded to `taser_graph::WalFaults`.
+    pub slow_flush: Duration,
+    /// Corrupt the Nth WAL record on disk (1-based; emulates media
+    /// corruption for recovery tests). 0 disables. Forwarded to
+    /// `taser_graph::WalFaults`.
+    pub corrupt_wal_record: u64,
+}
+
+impl FaultPlan {
+    /// True when no fault is armed (the common production case).
+    pub fn is_noop(&self) -> bool {
+        self.worker_stall.is_zero()
+            && self.panic_every == 0
+            && self.slow_flush.is_zero()
+            && self.corrupt_wal_record == 0
+    }
+
+    /// The WAL-level subset of the plan, in `taser-graph` terms.
+    pub fn wal_faults(&self) -> taser_graph::WalFaults {
+        taser_graph::WalFaults {
+            slow_flush: self.slow_flush,
+            corrupt_record: self.corrupt_wal_record,
+        }
+    }
+}
+
+/// Engine-wide mutable fault progress, shared by every worker (and
+/// surviving worker respawns).
+#[derive(Debug, Default)]
+pub struct FaultState {
+    batches: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl FaultState {
+    /// Fresh state: no batches seen, no panics fired.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one drained batch and reports whether the plan schedules a
+    /// panic for it. The caller (the worker, inside `catch_unwind`) is
+    /// responsible for actually panicking.
+    pub fn should_panic(&self, plan: &FaultPlan) -> bool {
+        if plan.panic_every == 0 {
+            return false;
+        }
+        let n = self.batches.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(plan.panic_every) {
+            return false;
+        }
+        if plan.max_panics != 0 {
+            // Reserve a panic slot; back off once the budget is spent.
+            let mut fired = self.panics.load(Ordering::Relaxed);
+            loop {
+                if fired >= plan.max_panics {
+                    return false;
+                }
+                match self.panics.compare_exchange_weak(
+                    fired,
+                    fired + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return true,
+                    Err(now) => fired = now,
+                }
+            }
+        }
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Panics fired so far.
+    pub fn panics_fired(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Batches counted so far (only batches seen while `panic_every` is
+    /// armed are counted).
+    pub fn batches_seen(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop_and_never_panics() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_noop());
+        let state = FaultState::new();
+        for _ in 0..100 {
+            assert!(!state.should_panic(&plan));
+        }
+        assert_eq!(state.panics_fired(), 0);
+    }
+
+    #[test]
+    fn panic_every_fires_on_schedule_and_respects_budget() {
+        let plan = FaultPlan {
+            panic_every: 3,
+            max_panics: 2,
+            ..FaultPlan::default()
+        };
+        let state = FaultState::new();
+        let fired: Vec<bool> = (0..12).map(|_| state.should_panic(&plan)).collect();
+        // Batches 3 and 6 panic; batch 9+ are over budget.
+        let expect: Vec<bool> = (1..=12).map(|n| n % 3 == 0 && n <= 6).collect();
+        assert_eq!(fired, expect);
+        assert_eq!(state.panics_fired(), 2);
+    }
+
+    #[test]
+    fn wal_faults_forward_the_disk_knobs() {
+        let plan = FaultPlan {
+            slow_flush: Duration::from_millis(7),
+            corrupt_wal_record: 42,
+            ..FaultPlan::default()
+        };
+        let wf = plan.wal_faults();
+        assert_eq!(wf.slow_flush, Duration::from_millis(7));
+        assert_eq!(wf.corrupt_record, 42);
+    }
+}

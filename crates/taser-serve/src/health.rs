@@ -130,14 +130,18 @@ pub struct HealthSample<'a> {
     /// Per worker: how long it has been busy on its current batch
     /// (`None` = idle / parked on the queue).
     pub worker_busy: &'a [Option<Duration>],
+    /// Lifetime worker respawns by the supervisor (cumulative; the
+    /// watchdog windows it into a restart *rate*).
+    pub worker_restarts: u64,
 }
 
-// ring channel layout: four globals, then three channels per lane
+// ring channel layout: five globals, then three channels per lane
 const G_SCORED: usize = 0;
 const G_INGESTS: usize = 1;
 const G_PUBLISHES: usize = 2;
 const G_SHED: usize = 3;
-const GLOBALS: usize = 4;
+const G_RESTARTS: usize = 4;
+const GLOBALS: usize = 5;
 const PER_LANE: usize = 3; // admitted, missed, scored
 
 const fn lane_ch(lane: usize) -> usize {
@@ -170,6 +174,9 @@ struct MonitorInner {
     stall: Vec<HysteresisGate>,
     queue: Vec<HysteresisGate>,
     publish: HysteresisGate,
+    /// Worker-restart churn over the fast window (any respawn warns, a
+    /// sustained crash loop goes critical).
+    restart: HysteresisGate,
     /// Rebuilt every evaluation from gates with level > Ok (preallocated;
     /// `Alert` is `Copy`).
     firing: Vec<Alert>,
@@ -245,6 +252,16 @@ impl HealthMonitor {
             hold_up: cfg.hold_up,
             hold_down: cfg.hold_down,
         };
+        // the value is "restarts in the fast window": one respawn warns
+        // immediately, a third escalates (a crash loop), and the gate
+        // clears once the window rolls past the last restart
+        let restart_policy = HysteresisPolicy {
+            warn_above: 0.5,
+            critical_above: 2.5,
+            clear_below: 0.25,
+            hold_up: 1,
+            hold_down: cfg.hold_down,
+        };
         let publish_lag_threshold = if cfg.publish_lag_events > 0 {
             cfg.publish_lag_events
         } else if publish_every > 0 {
@@ -252,7 +269,7 @@ impl HealthMonitor {
         } else {
             0 // manual publishing: lag is an operator choice, not a fault
         };
-        let gates = lanes * 2 + workers + 1;
+        let gates = lanes * 2 + workers + 2;
         HealthMonitor {
             cfg,
             epoch: Instant::now(),
@@ -275,6 +292,7 @@ impl HealthMonitor {
                     .map(|_| HysteresisGate::new(queue_policy))
                     .collect(),
                 publish: HysteresisGate::new(publish_policy),
+                restart: HysteresisGate::new(restart_policy),
                 firing: Vec::with_capacity(gates),
                 transitions: VecDeque::with_capacity(TRANSITIONS_CAP),
                 transitions_total: 0,
@@ -303,6 +321,7 @@ impl HealthMonitor {
             totals[G_INGESTS] = s.ingests;
             totals[G_PUBLISHES] = s.generation;
             totals[G_SHED] = s.lanes.iter().map(|l| l.shed).sum();
+            totals[G_RESTARTS] = s.worker_restarts;
             for (i, l) in s.lanes.iter().enumerate() {
                 let b = lane_ch(i);
                 totals[b] = l.admitted;
@@ -378,6 +397,19 @@ impl HealthMonitor {
                 push_transition(inner, epoch_ms, a);
             }
         }
+        if have_fast {
+            let v = inner.fast.count(G_RESTARTS) as f64;
+            if let Some((from, to)) = inner.restart.observe(v) {
+                let a = Alert {
+                    signal: "worker_restart",
+                    index: None,
+                    from,
+                    to,
+                    value: v,
+                };
+                push_transition(inner, epoch_ms, a);
+            }
+        }
 
         // rebuild the firing list and the overall level
         inner.firing.clear();
@@ -416,6 +448,19 @@ impl HealthMonitor {
             if g.level() > AlertLevel::Ok {
                 inner.firing.push(Alert {
                     signal: "publish_lag",
+                    index: None,
+                    from: g.level(),
+                    to: g.level(),
+                    value: g.last_value(),
+                });
+            }
+            level = level.max(g.level());
+        }
+        {
+            let g = &inner.restart;
+            if g.level() > AlertLevel::Ok {
+                inner.firing.push(Alert {
+                    signal: "worker_restart",
                     index: None,
                     from: g.level(),
                     to: g.level(),
@@ -651,6 +696,7 @@ mod tests {
                     generation: 0,
                     publish_pending: 0,
                     worker_busy: &[None],
+                    worker_restarts: 0,
                 },
             );
         };
@@ -712,6 +758,7 @@ mod tests {
                     generation: 0,
                     publish_pending: 70,
                     worker_busy: &busy,
+                    worker_restarts: 0,
                 },
             );
         }
@@ -725,6 +772,61 @@ mod tests {
         assert!(!signals.contains(&"slo_burn"), "no traffic, no burn");
         let json = m.health_json();
         assert!(json.contains("worker_stall[1] critical"), "{json}");
+    }
+
+    #[test]
+    fn worker_restart_gate_warns_once_and_escalates_on_crash_loop() {
+        let m = HealthMonitor::new(test_cfg(), 1, 1, 100, 0);
+        let epoch = Instant::now();
+        let hist = LatencyHistogram::default();
+        let lanes = [LaneSampleTotals::default()];
+        let drive = |tick: u64, restarts: u64| {
+            m.observe(
+                epoch + Duration::from_secs(tick),
+                &HealthSample {
+                    lanes: &lanes,
+                    latency: &hist,
+                    scored: 0,
+                    ingests: 0,
+                    generation: 0,
+                    publish_pending: 0,
+                    worker_busy: &[None],
+                    worker_restarts: restarts,
+                },
+            );
+        };
+        let mut tick = 0u64;
+        for _ in 0..4 {
+            tick += 1;
+            drive(tick, 0);
+        }
+        assert_eq!(m.level(), AlertLevel::Ok);
+
+        // one respawn: warns on the next evaluation (hold_up = 1)
+        tick += 1;
+        drive(tick, 1);
+        assert_eq!(m.level(), AlertLevel::Warning, "{}", m.health_json());
+        let mut firing = Vec::new();
+        m.firing_into(&mut firing);
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].signal, "worker_restart");
+
+        // no further restarts: the fast window rolls past it and the gate
+        // clears after hold_down evaluations
+        for _ in 0..6 {
+            tick += 1;
+            drive(tick, 1);
+        }
+        assert_eq!(m.level(), AlertLevel::Ok, "{}", m.health_json());
+
+        // a crash loop (several respawns per window) escalates
+        for _ in 0..4 {
+            tick += 1;
+            drive(tick, 1 + tick * 2);
+        }
+        assert_eq!(m.level(), AlertLevel::Critical, "{}", m.health_json());
+        m.firing_into(&mut firing);
+        assert!(firing.iter().any(|a| a.signal == "worker_restart"));
     }
 
     #[test]
@@ -748,6 +850,7 @@ mod tests {
                     generation: tick,
                     publish_pending: 0,
                     worker_busy: &[None],
+                    worker_restarts: 0,
                 },
             );
         }

@@ -39,6 +39,14 @@
 //! the scoring hot path stays allocation-free — watchdog and sampler
 //! included (enforced by `tests/zero_alloc.rs` and the CI bench gate).
 //!
+//! The engine is **fault-tolerant**: workers score under `catch_unwind`
+//! and a supervisor respawns any that panic, with their in-flight
+//! queries resolved as typed [`Overloaded::WorkerFailed`] sheds instead
+//! of hung waiters; [`ServeEngine::new_durable`] adds crash-safe ingest
+//! (WAL + checkpoint/replay, [`snapshot::DurabilityConfig`]) that
+//! recovers the pre-crash index bit-identically. Every injectable
+//! failure is driven by one declarative [`FaultPlan`] ([`fault`]).
+//!
 //! ```no_run
 //! use taser_serve::{ServeConfig, ServeEngine};
 //! use taser_models::ModelArtifact;
@@ -54,6 +62,7 @@
 
 pub mod admission;
 pub mod engine;
+pub mod fault;
 pub mod features;
 pub mod health;
 pub mod pipeline;
@@ -66,10 +75,13 @@ pub use admission::{
     ScoreOutcome, ScoreResult, ScoreTicket,
 };
 pub use engine::{ServeConfig, ServeEngine};
+pub use fault::{FaultPlan, FaultState};
 pub use features::{FeatureCacheStats, ServeFeatureCache};
 pub use health::{HealthConfig, HealthMonitor, HealthSample, LaneSampleTotals};
 pub use pipeline::{ScorePath, ScorePipeline, ScoreScratch};
-pub use snapshot::{GraphSnapshot, IndexBackend, PublishLag, SnapshotStore};
+pub use snapshot::{
+    DurabilityConfig, GraphSnapshot, IndexBackend, PublishLag, RecoveryReport, SnapshotStore,
+};
 pub use stats::{LaneStats, LatencyHistogram, ServeStats};
 
 /// The observability layer: metrics registry, span tracing, and the

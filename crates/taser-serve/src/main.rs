@@ -10,7 +10,16 @@
 //!     [--publish-every 256] [--cache-ratio 0.2]
 //!     [--index-backend rebuild|incremental] [--trace-out trace.json]
 //!     [--no-health] [--slo-target 0.99]
+//!     [--wal-dir state/] [--checkpoint-every 10000] [--wal-flush-every 64]
 //! ```
+//!
+//! `--wal-dir <dir>` makes ingest **crash-safe**: every accepted event is
+//! framed into a CRC-checked write-ahead log under `<dir>` before the
+//! `ingested` reply, and every `--checkpoint-every` events the full
+//! stream is checkpointed atomically (WAL reset). Restarting with the
+//! same `--wal-dir` recovers checkpoint + WAL tail and reproduces the
+//! pre-crash graph and index bit-identically; when the directory holds
+//! recovered state, `--events` is ignored (the directory is the seed).
 //!
 //! `--trace-out <path>` enables span tracing at boot and, when the stdin
 //! session ends, writes a chrome://tracing / Perfetto-loadable JSON dump of
@@ -63,7 +72,8 @@ fn usage() -> ! {
          [--workers n] [--max-batch n] [--max-wait-ms f] [--slo-us n] \
          [--queue-cap n] [--lanes n] [--publish-every n] \
          [--cache-ratio f] [--index-backend rebuild|incremental] \
-         [--trace-out path] [--no-health] [--slo-target f]"
+         [--trace-out path] [--no-health] [--slo-target f] \
+         [--wal-dir dir] [--checkpoint-every n] [--wal-flush-every n]"
     );
     std::process::exit(2);
 }
@@ -223,7 +233,40 @@ fn run(args: &[String]) {
         // before engine boot so the workers' first batches are captured
         taser_obs::set_tracing(true);
     }
-    let engine = ServeEngine::new(artifact, seed_log, cfg).expect("boot engine");
+    let engine = match arg_value(args, "--wal-dir") {
+        Some(dir) => {
+            let durability = taser_serve::DurabilityConfig {
+                dir: dir.clone().into(),
+                checkpoint_every: parsed(args, "--checkpoint-every", 10_000u64),
+                wal_flush_every: parsed(args, "--wal-flush-every", 64usize).max(1),
+            };
+            let (engine, report) =
+                ServeEngine::new_durable(artifact, seed_log, cfg, durability).expect("boot engine");
+            if report.recovered {
+                eprintln!(
+                    "recovered {} events from {dir} (checkpoint {}, wal replayed {}, \
+                     deduped {}{}) in {:?}",
+                    report.events_total,
+                    report.checkpoint_events,
+                    report.wal_replayed,
+                    report.wal_deduped,
+                    if report.wal_truncated {
+                        ", torn tail truncated"
+                    } else {
+                        ""
+                    },
+                    report.elapsed,
+                );
+            } else {
+                eprintln!(
+                    "durable ingest -> {dir} (cold start, {} seed events checkpointed)",
+                    report.events_total
+                );
+            }
+            engine
+        }
+        None => ServeEngine::new(artifact, seed_log, cfg).expect("boot engine"),
+    };
     let admission = engine.admission_policy();
     eprintln!(
         "admission: slo {:?} (margin {:?}), {} lanes x {} cap",

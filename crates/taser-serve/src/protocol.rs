@@ -8,6 +8,7 @@
 //! query <u> <v> <t> [lane] ->  score <prob> gen=<generation>
 //!                          ->  overloaded queue_full lane=<l>   (shed at the door)
 //!                          ->  overloaded deadline lane=<l>     (expired in queue)
+//!                          ->  overloaded worker_failed lane=<l> (worker crashed or wedged)
 //! publish                  ->  published gen=<generation>
 //! stats                    ->  <one-line JSON>
 //! metrics                  ->  <Prometheus text, multi-line>
@@ -37,12 +38,19 @@
 //! query without bound — open-loop clients get explicit backpressure.
 //!
 //! Malformed input answers `error <reason>` and keeps the session open — a
-//! server must survive misbehaving clients.
+//! server must survive misbehaving clients. That includes bytes that are
+//! not UTF-8 (answered `error`, session continues) and clients that
+//! disconnect mid-write (the session ends cleanly; the TCP accept loop
+//! and every other connection are untouched). Query replies are bounded:
+//! the session waits a multiple of the SLO for a ticket and then answers
+//! `overloaded worker_failed` — a crashed or wedged scoring worker can
+//! never hang a client on a dead ticket.
 
 use crate::engine::ServeEngine;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, ErrorKind, Write};
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A parsed protocol command.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -171,8 +179,23 @@ pub fn respond(engine: &ServeEngine, cmd: Command) -> String {
             Ok(e) => format!("ingested eid={}", e.eid),
             Err(msg) => format!("error {msg}"),
         },
-        Command::Query { src, dst, t, lane } => match engine.score_lane(src, dst, t, lane) {
-            Ok(r) => format!("score {:.6} gen={}", r.prob, r.generation),
+        Command::Query { src, dst, t, lane } => match engine.submit_lane(src, dst, t, lane) {
+            Ok(ticket) => {
+                // a healthy engine resolves well inside the SLO; the bound
+                // only fires when a worker is wedged (not crashed — a crash
+                // resolves the ticket as WorkerFailed immediately), and
+                // turns that into a typed reply instead of a hung client
+                let policy = engine.admission_policy();
+                let budget = policy.slo.saturating_mul(4).max(Duration::from_secs(2));
+                match ticket.wait_timeout(budget) {
+                    Some(Ok(r)) => format!("score {:.6} gen={}", r.prob, r.generation),
+                    Some(Err(shed)) => format!("overloaded {shed}"),
+                    None => format!(
+                        "overloaded worker_failed lane={}",
+                        lane.min(policy.lanes - 1)
+                    ),
+                }
+            }
             Err(shed) => format!("overloaded {shed}"),
         },
         Command::Publish => format!("published gen={}", engine.publish()),
@@ -236,32 +259,64 @@ fn render_metrics(engine: &ServeEngine) -> String {
     out
 }
 
+/// True for the error kinds a vanishing client produces: normal session
+/// churn, not a server fault.
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::UnexpectedEof
+    )
+}
+
 /// Runs one session: reads commands until `quit` or EOF, writing one flushed
 /// reply per command.
+///
+/// Robust against misbehaving clients: bytes that are not UTF-8 get an
+/// `error` reply and the session continues (reading raw lines, not
+/// `BufRead::lines`, which would abort the whole session on the first
+/// invalid byte), and a client that disconnects mid-read or mid-write
+/// ends the session with `Ok(())` — only genuine I/O faults surface as
+/// errors.
 pub fn run_session(
     engine: &ServeEngine,
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     mut writer: impl Write,
 ) -> std::io::Result<()> {
-    for line in reader.lines() {
-        let line = line?;
-        let reply = match parse(&line) {
-            Ok(None) => continue,
-            Ok(Some(cmd)) => {
-                let reply = respond(engine, cmd);
-                if cmd == Command::Quit {
-                    writeln!(writer, "{reply}")?;
-                    writer.flush()?;
-                    return Ok(());
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e) if is_disconnect(&e) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        let reply = match std::str::from_utf8(&raw) {
+            Err(_) => "error input is not valid UTF-8".to_string(),
+            Ok(line) => match parse(line) {
+                Ok(None) => continue,
+                Ok(Some(cmd)) => {
+                    let reply = respond(engine, cmd);
+                    if cmd == Command::Quit {
+                        match writeln!(writer, "{reply}").and_then(|()| writer.flush()) {
+                            Err(e) if !is_disconnect(&e) => return Err(e),
+                            _ => return Ok(()),
+                        }
+                    }
+                    reply
                 }
-                reply
-            }
-            Err(msg) => format!("error {msg}"),
+                Err(msg) => format!("error {msg}"),
+            },
         };
-        writeln!(writer, "{reply}")?;
-        writer.flush()?;
+        match writeln!(writer, "{reply}").and_then(|()| writer.flush()) {
+            Ok(()) => {}
+            Err(e) if is_disconnect(&e) => return Ok(()),
+            Err(e) => return Err(e),
+        }
     }
-    Ok(())
 }
 
 /// Accept loop: one thread per TCP connection, each running a session
@@ -562,6 +617,96 @@ query 9 9 99
         );
         assert_eq!(reply, "overloaded queue_full lane=0", "typed shed reply");
         assert!(held.wait().is_ok(), "parked query still scores");
+    }
+
+    #[test]
+    fn invalid_utf8_gets_an_error_reply_and_the_session_continues() {
+        let engine = engine();
+        let mut script: Vec<u8> = Vec::new();
+        script.extend_from_slice(b"query 0 5 30\n");
+        script.extend_from_slice(&[0xff, 0xfe, 0x80, b'\n']); // not UTF-8
+        script.extend_from_slice(b"publish\nquit\n");
+        let mut out = Vec::new();
+        run_session(&engine, script.as_slice(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].starts_with("score "), "{}", lines[0]);
+        assert_eq!(lines[1], "error input is not valid UTF-8");
+        assert!(lines[2].starts_with("published gen="), "{}", lines[2]);
+        assert_eq!(lines[3], "bye");
+    }
+
+    #[test]
+    fn wedged_worker_yields_typed_worker_failed_not_a_hung_client() {
+        use crate::fault::FaultPlan;
+        // the lone worker stalls far past the session's reply budget
+        // (max(4*slo, 2s)); the query reply must come back typed anyway
+        let engine = ServeEngine::new(
+            artifact(),
+            seed_log(),
+            ServeConfig {
+                workers: 1,
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_millis(1),
+                },
+                slo: Duration::from_millis(100),
+                faults: FaultPlan {
+                    worker_stall: Duration::from_secs(4),
+                    ..FaultPlan::default()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        let reply = respond(
+            &engine,
+            Command::Query {
+                src: 0,
+                dst: 5,
+                t: 40.0,
+                lane: 0,
+            },
+        );
+        assert_eq!(reply, "overloaded worker_failed lane=0");
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "reply must beat the stall, got it after {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn client_disconnect_mid_session_leaves_the_listener_alive() {
+        use std::io::{BufRead, BufReader, Write};
+        let engine = Arc::new(engine());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                let _ = serve_tcp(engine, listener);
+            });
+        }
+        // a client that sends multi-line-reply commands and vanishes
+        // without reading, and one that sends garbage bytes and vanishes
+        for payload in [&b"metrics\nmetrics\nmetrics\n"[..], &[0xff, 0xfe, b'\n']] {
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            conn.write_all(payload).unwrap();
+            drop(conn);
+        }
+        // the accept loop and a fresh session still work
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(b"query 1 5 40\nquit\n").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("score "), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "bye");
     }
 
     #[test]

@@ -25,12 +25,26 @@
 //! Both backends answer queries identically (differential-tested in
 //! `tests/index_equivalence.rs`); the switch only trades publish cost
 //! against per-query constant factors.
+//!
+//! # Durability
+//!
+//! A store built with [`SnapshotStore::durable`] makes the ingest path
+//! crash-safe: every accepted event is framed into a CRC-checked
+//! write-ahead log (`taser_graph::wal`) before `ingest` returns, and
+//! every [`DurabilityConfig::checkpoint_every`] events the full stream is
+//! checkpointed atomically and the WAL reset. Reopening the same
+//! directory recovers checkpoint + WAL tail (deduplicated by event id)
+//! into a store whose published index is bit-identical — by
+//! `taser_graph::content_digest` — to the pre-crash one.
 
+use std::io;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use taser_graph::events::{Event, EventLog};
 use taser_graph::index::TemporalIndex;
 use taser_graph::stream::StreamingGraph;
+use taser_graph::wal::{self, Checkpoint, EventWal, WalFaults};
 use taser_index::{IncIndexWriter, DEFAULT_SHARDS};
 
 /// Which index implementation backs snapshot publishes.
@@ -105,6 +119,86 @@ impl IngestGraph {
     }
 }
 
+/// Durability knobs for [`SnapshotStore::durable`].
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding the WAL (`events.wal`) and checkpoint
+    /// (`graph.ckpt`); created if absent. Reopening the same directory
+    /// recovers whatever a previous store persisted there.
+    pub dir: PathBuf,
+    /// Checkpoint the full stream (and reset the WAL) every this many
+    /// WAL-framed ingests. `0` checkpoints only on
+    /// [`SnapshotStore::checkpoint_now`], leaving the WAL to grow.
+    pub checkpoint_every: u64,
+    /// Write the WAL buffer to the OS every this many appends (`1` =
+    /// every append). An fsync still requires [`SnapshotStore::wal_sync`].
+    pub wal_flush_every: usize,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default cadences (checkpoint every
+    /// 10 000 events, flush every 64 appends).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every: 10_000,
+            wal_flush_every: 64,
+        }
+    }
+}
+
+/// What [`SnapshotStore::durable`] found on disk and what bringing it
+/// back cost.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// True when the directory held prior state (checkpoint or WAL
+    /// records); false on a cold start seeded from the passed log.
+    pub recovered: bool,
+    /// Events restored from the checkpoint.
+    pub checkpoint_events: usize,
+    /// WAL records replayed past the checkpoint.
+    pub wal_replayed: usize,
+    /// WAL records skipped as already covered by the checkpoint.
+    pub wal_deduped: usize,
+    /// True when a torn/corrupt WAL tail was truncated during recovery.
+    pub wal_truncated: bool,
+    /// Events in the store after recovery (or seeding).
+    pub events_total: usize,
+    /// Wall time from open to a queryable store.
+    pub elapsed: Duration,
+}
+
+/// The WAL + checkpoint state of a durable store, living inside the
+/// ingest mutex so framing is ordered exactly like the appends it logs.
+struct DurableState {
+    wal: EventWal,
+    ckpt_path: PathBuf,
+    /// Every event the store holds, in eid order — what the next
+    /// checkpoint serializes.
+    shadow: Vec<Event>,
+    checkpoint_every: u64,
+    since_checkpoint: u64,
+    /// Node-id space high-water mark (checkpoints must preserve it even
+    /// when the max node id shrinks out of the event set — it never does,
+    /// but the invariant is cheap to keep explicit).
+    num_nodes: usize,
+    wal_appends: Arc<taser_obs::Counter>,
+    wal_flushes: Arc<taser_obs::Counter>,
+    checkpoints: Arc<taser_obs::Counter>,
+}
+
+impl DurableState {
+    /// Write a checkpoint of everything ingested so far and reset the WAL.
+    fn checkpoint(&mut self) -> io::Result<()> {
+        let next_eid = self.shadow.last().map_or(0, |e| e.eid + 1);
+        Checkpoint::save(&self.ckpt_path, &self.shadow, self.num_nodes, next_eid)?;
+        self.wal.reset()?;
+        self.since_checkpoint = 0;
+        self.checkpoints.inc();
+        Ok(())
+    }
+}
+
 struct Ingest {
     graph: IngestGraph,
     last_t: f64,
@@ -114,6 +208,8 @@ struct Ingest {
     /// as publishing generation 0). Backs the health watchdog's publish-lag
     /// signal.
     last_publish_at: Instant,
+    /// `Some` on stores built with [`SnapshotStore::durable`].
+    durable: Option<DurableState>,
 }
 
 /// How stale the published snapshot is relative to the ingest stream.
@@ -150,6 +246,90 @@ impl SnapshotStore {
         publish_every: usize,
         backend: IndexBackend,
     ) -> Self {
+        Self::build(log, num_nodes, publish_every, backend, None)
+    }
+
+    /// A **durable** store: WAL-framed ingest with periodic checkpoints
+    /// under `durability.dir`, recovering any state already there.
+    ///
+    /// When the directory holds prior state (checkpoint and/or WAL
+    /// records), the recovered events *are* the seed and `seed_log` is
+    /// ignored; a cold start seeds from `seed_log` and persists it as the
+    /// initial checkpoint, so from then on the directory alone fully
+    /// describes the store. `faults` arms WAL-level fault injection
+    /// (chaos tests); pass `WalFaults::default()` in production.
+    pub fn durable(
+        seed_log: EventLog,
+        num_nodes: usize,
+        publish_every: usize,
+        backend: IndexBackend,
+        durability: DurabilityConfig,
+        faults: WalFaults,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let start = Instant::now();
+        let flush_every = durability.wal_flush_every.max(1);
+        let (load, wal) = wal::recover_with_faults(&durability.dir, flush_every, faults)?;
+        let recovered = load.checkpoint_events > 0 || load.wal_replayed > 0 || load.wal_deduped > 0;
+        let (events, num_nodes) = if recovered {
+            (load.events, load.num_nodes.max(num_nodes))
+        } else {
+            (seed_log.events().to_vec(), num_nodes)
+        };
+        let registry = taser_obs::global();
+        if load.wal_truncated {
+            registry.counter("taser_wal_truncated_total").inc();
+        }
+        let mut durable = DurableState {
+            wal,
+            ckpt_path: durability.dir.join(wal::CKPT_FILE),
+            shadow: events.clone(),
+            checkpoint_every: durability.checkpoint_every,
+            since_checkpoint: 0,
+            num_nodes: num_nodes.max(
+                events
+                    .iter()
+                    .map(|e| e.src.max(e.dst) as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            ),
+            wal_appends: registry.counter("taser_wal_appends_total"),
+            wal_flushes: registry.counter("taser_wal_flushes_total"),
+            checkpoints: registry.counter("taser_checkpoints_total"),
+        };
+        if !recovered && !durable.shadow.is_empty() {
+            // persist the cold-start seed so a crash before the first
+            // cadence checkpoint still recovers it
+            durable.checkpoint()?;
+        }
+        let report = RecoveryReport {
+            recovered,
+            checkpoint_events: load.checkpoint_events,
+            wal_replayed: load.wal_replayed,
+            wal_deduped: load.wal_deduped,
+            wal_truncated: load.wal_truncated,
+            events_total: durable.shadow.len(),
+            elapsed: start.elapsed(),
+        };
+        registry
+            .gauge("taser_recovery_us")
+            .set(report.elapsed.as_micros() as i64);
+        let store = Self::build(
+            EventLog::from_sorted(events),
+            durable.num_nodes,
+            publish_every,
+            backend,
+            Some(durable),
+        );
+        Ok((store, report))
+    }
+
+    fn build(
+        log: EventLog,
+        num_nodes: usize,
+        publish_every: usize,
+        backend: IndexBackend,
+        durable: Option<DurableState>,
+    ) -> Self {
         let last_t = log
             .events()
             .last()
@@ -175,6 +355,7 @@ impl SnapshotStore {
                 since_publish: 0,
                 generation: 0,
                 last_publish_at: Instant::now(),
+                durable,
             }),
             current: RwLock::new(Arc::new(snapshot)),
             publish_every,
@@ -215,10 +396,59 @@ impl SnapshotStore {
         let e = ing.graph.append(src, dst, t);
         ing.last_t = t;
         ing.since_publish += 1;
+        if let Some(d) = ing.durable.as_mut() {
+            // WAL-frame before acknowledging. On an I/O error the caller
+            // sees it and the in-memory graph is ahead of the log:
+            // durability degraded, consistency intact.
+            let flushed = d
+                .wal
+                .append(&e)
+                .map_err(|err| format!("wal append: {err}"))?;
+            d.wal_appends.inc();
+            if flushed {
+                d.wal_flushes.inc();
+            }
+            d.shadow.push(e);
+            d.num_nodes = d.num_nodes.max(src.max(dst) as usize + 1);
+            d.since_checkpoint += 1;
+            if d.checkpoint_every > 0 && d.since_checkpoint >= d.checkpoint_every {
+                d.checkpoint().map_err(|err| format!("checkpoint: {err}"))?;
+            }
+        }
         if self.publish_every > 0 && ing.since_publish >= self.publish_every {
             self.publish_locked(&mut ing);
         }
         Ok(e)
+    }
+
+    /// Flush + fsync the WAL, making every accepted ingest crash-durable
+    /// right now regardless of the batched flush cadence. No-op `Ok` on a
+    /// non-durable store.
+    pub fn wal_sync(&self) -> io::Result<()> {
+        let mut ing = self.ingest.lock().expect("ingest lock poisoned");
+        match ing.durable.as_mut() {
+            Some(d) => d.wal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Checkpoint the full stream now and reset the WAL, regardless of
+    /// the checkpoint cadence. No-op `Ok` on a non-durable store.
+    pub fn checkpoint_now(&self) -> io::Result<()> {
+        let mut ing = self.ingest.lock().expect("ingest lock poisoned");
+        match ing.durable.as_mut() {
+            Some(d) => d.checkpoint(),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether this store WAL-frames its ingest path.
+    pub fn is_durable(&self) -> bool {
+        self.ingest
+            .lock()
+            .expect("ingest lock poisoned")
+            .durable
+            .is_some()
     }
 
     /// Forces a republish of everything ingested so far; returns the new
@@ -270,9 +500,30 @@ impl SnapshotStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use taser_graph::content_digest;
 
     const BOTH: [IndexBackend; 2] = [IndexBackend::Rebuild, IndexBackend::Incremental];
+
+    /// Fresh per-test scratch directory inside the workspace target dir
+    /// (the repo sandbox has no writable system tmp).
+    fn durable_dir(name: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.push("../../target/wal-tests");
+        p.push(format!("serve-snap-{name}-{}-{seq}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn dcfg(dir: &std::path::Path, checkpoint_every: u64) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.to_path_buf(),
+            checkpoint_every,
+            wal_flush_every: 1,
+        }
+    }
 
     #[test]
     fn seed_log_is_generation_zero() {
@@ -424,5 +675,92 @@ mod tests {
             store.publish();
             assert_eq!(store.snapshot().num_events, 500, "{}", backend.name());
         }
+    }
+
+    #[test]
+    fn durable_store_recovers_bit_identically_across_backends() {
+        let dir = durable_dir("roundtrip");
+        let seed = EventLog::from_unsorted(vec![(0, 1, 1.0), (1, 2, 2.0)]);
+        let (store, report) = SnapshotStore::durable(
+            seed,
+            3,
+            0,
+            IndexBackend::Rebuild,
+            dcfg(&dir, 0),
+            WalFaults::default(),
+        )
+        .unwrap();
+        assert!(!report.recovered, "cold start");
+        assert_eq!(report.events_total, 2);
+        assert!(store.is_durable());
+        for i in 0..5u32 {
+            store.ingest(i % 3, (i + 1) % 3, 3.0 + i as f64).unwrap();
+        }
+        store.publish();
+        let digest = content_digest(store.snapshot().csr.as_ref());
+        store.wal_sync().unwrap();
+        drop(store);
+
+        // reopen with an *empty* seed and the other backend: the directory
+        // alone must reproduce the same logical index
+        let (re, report) = SnapshotStore::durable(
+            EventLog::default(),
+            1,
+            0,
+            IndexBackend::Incremental,
+            dcfg(&dir, 0),
+            WalFaults::default(),
+        )
+        .unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.checkpoint_events, 2, "seed was checkpointed");
+        assert_eq!(report.wal_replayed, 5);
+        assert_eq!(report.events_total, 7);
+        assert_eq!(re.num_events(), 7);
+        assert_eq!(content_digest(re.snapshot().csr.as_ref()), digest);
+        // the stream picks up where it left off (eids + chronology intact)
+        let e = re.ingest(0, 2, 100.0).unwrap();
+        assert_eq!(e.eid, 7);
+    }
+
+    #[test]
+    fn checkpoint_cadence_truncates_the_wal() {
+        let dir = durable_dir("cadence");
+        let (store, _) = SnapshotStore::durable(
+            EventLog::default(),
+            4,
+            0,
+            IndexBackend::Rebuild,
+            dcfg(&dir, 3),
+            WalFaults::default(),
+        )
+        .unwrap();
+        for i in 0..7u32 {
+            store.ingest(i % 4, (i + 1) % 4, i as f64).unwrap();
+        }
+        drop(store);
+        let (_, report) = SnapshotStore::durable(
+            EventLog::default(),
+            4,
+            0,
+            IndexBackend::Rebuild,
+            dcfg(&dir, 3),
+            WalFaults::default(),
+        )
+        .unwrap();
+        // checkpoints fired at events 3 and 6; only the seventh event was
+        // still in the WAL
+        assert_eq!(report.checkpoint_events, 6);
+        assert_eq!(report.wal_replayed, 1);
+        assert_eq!(report.wal_deduped, 0);
+        assert_eq!(report.events_total, 7);
+    }
+
+    #[test]
+    fn checkpoint_now_and_wal_sync_are_noops_without_durability() {
+        let store = SnapshotStore::new(EventLog::default(), 2, 0);
+        assert!(!store.is_durable());
+        store.wal_sync().unwrap();
+        store.checkpoint_now().unwrap();
     }
 }

@@ -11,8 +11,8 @@
 //! (`stats`) and Prometheus-style text (`metrics`,
 //! [`ServeStats::to_prometheus`]). The snapshot is *skew-free*: the engine
 //! freezes the admission queue and every worker shard together, so
-//! `admitted == scored + shed_deadline + in_queue + in_flight` holds
-//! exactly in every render, not just at quiescence.
+//! `admitted == scored + shed_deadline + shed_worker_failed + in_queue +
+//! in_flight` holds exactly in every render, not just at quiescence.
 
 use crate::admission::LaneAdmission;
 use crate::features::FeatureCacheStats;
@@ -32,6 +32,9 @@ pub struct LaneStats {
     pub shed_full: u64,
     /// Admitted queries dropped unscored past their deadline.
     pub shed_deadline: u64,
+    /// Admitted queries resolved as failed because their scoring worker
+    /// panicked mid-batch.
+    pub shed_worker_failed: u64,
     /// Queries scored from this lane.
     pub scored: u64,
     /// Queries waiting in the lane at snapshot time.
@@ -64,6 +67,7 @@ impl LaneStats {
             admitted: admission.admitted,
             shed_full: admission.shed_full,
             shed_deadline: admission.shed_deadline,
+            shed_worker_failed: admission.shed_worker_failed,
             scored: hist.count(),
             queued: admission.queued,
             in_flight: admission.in_flight,
@@ -79,6 +83,7 @@ impl LaneStats {
         format!(
             concat!(
                 "{{\"lane\":{},\"admitted\":{},\"shed_full\":{},\"shed_deadline\":{},",
+                "\"shed_worker_failed\":{},",
                 "\"scored\":{},\"slo_met\":{},\"slo_missed\":{},",
                 "\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},",
                 "\"queued\":{},\"in_flight\":{}}}"
@@ -87,6 +92,7 @@ impl LaneStats {
             self.admitted,
             self.shed_full,
             self.shed_deadline,
+            self.shed_worker_failed,
             self.scored,
             self.slo_met,
             self.slo_missed,
@@ -130,6 +136,10 @@ pub struct ServeStats {
     pub shed_full: u64,
     /// Admitted queries dropped unscored past their deadline.
     pub shed_deadline: u64,
+    /// Admitted queries resolved as failed because their scoring worker
+    /// panicked mid-batch (each one a typed `overloaded worker_failed`
+    /// reply, never a hung or panicked waiter).
+    pub shed_worker_failed: u64,
     /// Queries waiting in some lane at snapshot time.
     pub in_queue: u64,
     /// Queries drained into a batch but not yet scored at snapshot time.
@@ -149,9 +159,10 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Total queries shed (at the door or expired in queue).
+    /// Total queries shed (at the door, expired in queue, or failed by a
+    /// crashed worker).
     pub fn shed(&self) -> u64 {
-        self.shed_full + self.shed_deadline
+        self.shed_full + self.shed_deadline + self.shed_worker_failed
     }
 
     /// One-line JSON rendering (the text protocol's `stats` reply and the
@@ -175,6 +186,7 @@ impl ServeStats {
                 "\"graph_events\":{},\"mean_batch\":{:.2},\"p50_us\":{},\"p99_us\":{},",
                 "\"mean_us\":{:.1},\"max_us\":{},\"p999_us\":{},\"admitted\":{},",
                 "\"shed\":{},\"shed_full\":{},\"shed_deadline\":{},",
+                "\"shed_worker_failed\":{},",
                 "\"in_queue\":{},\"in_flight\":{},",
                 "\"slo_met\":{},\"slo_missed\":{},\"stage_ns\":{{{}}},\"lanes\":[{}],",
                 "\"cache_hits\":{},\"cache_misses\":{},",
@@ -196,6 +208,7 @@ impl ServeStats {
             self.shed(),
             self.shed_full,
             self.shed_deadline,
+            self.shed_worker_failed,
             self.in_queue,
             self.in_flight,
             self.slo_met,
@@ -253,6 +266,14 @@ impl ServeStats {
                     l.lane
                 ),
                 l.shed_deadline,
+            );
+            push_sample(
+                &mut out,
+                &format!(
+                    "taser_serve_shed_total{{lane=\"{}\",reason=\"worker_failed\"}}",
+                    l.lane
+                ),
+                l.shed_worker_failed,
             );
         }
         push_type(&mut out, "taser_serve_scored_total", "counter");
@@ -389,6 +410,7 @@ mod tests {
             p50_us: 250,
             shed_full: 3,
             shed_deadline: 1,
+            shed_worker_failed: 2,
             admitted: 11,
             in_queue: 1,
             stages,
@@ -397,6 +419,7 @@ mod tests {
                 admitted: 10,
                 shed_full: 3,
                 shed_deadline: 1,
+                shed_worker_failed: 2,
                 queued: 1,
                 ..LaneStats::default()
             }],
@@ -411,7 +434,8 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"queries\":10"));
         assert!(j.contains("\"p50_us\":250"));
-        assert!(j.contains("\"shed\":4"), "{j}");
+        assert!(j.contains("\"shed\":6"), "{j}");
+        assert!(j.contains("\"shed_worker_failed\":2"), "{j}");
         assert!(j.contains("\"in_queue\":1"), "{j}");
         assert!(j.contains("\"stage_ns\":{\"admission_wait\":0"), "{j}");
         assert!(j.contains("\"sampling\":1000"), "{j}");
@@ -438,6 +462,10 @@ mod tests {
         assert_eq!(
             get("taser_serve_shed_total{lane=\"0\",reason=\"queue_full\"}"),
             PromValue::Int(3)
+        );
+        assert_eq!(
+            get("taser_serve_shed_total{lane=\"0\",reason=\"worker_failed\"}"),
+            PromValue::Int(2)
         );
         assert_eq!(
             get("taser_serve_queue_depth{lane=\"0\"}"),

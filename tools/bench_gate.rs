@@ -248,6 +248,51 @@ fn main() {
         }
     }
 
+    // -- crash recovery: replay must be bit-identical at every WAL length,
+    //    and the replay rate (normalized by the same run's ingest rate,
+    //    which cancels machine speed: replay runs the same graph-append
+    //    code minus the WAL write) must not collapse vs the baseline --
+    if let Some(fresh) = read(&fresh_dir, "BENCH_recovery.json", false) {
+        let fresh_rows = objects_in_array(&fresh, "rows");
+        gate.require(
+            "recovery rows",
+            !fresh_rows.is_empty(),
+            format!("{} fresh row(s)", fresh_rows.len()),
+        );
+        for row in &fresh_rows {
+            let events = need(row, "events", "fresh BENCH_recovery.json row");
+            gate.require(
+                &format!("recovery bit-identical @ {events} events"),
+                num_field(row, "digest_match") == Some(1.0)
+                    && num_field(row, "truncated") == Some(0.0),
+                format!(
+                    "digest_match {:?}, truncated {:?}",
+                    num_field(row, "digest_match"),
+                    num_field(row, "truncated")
+                ),
+            );
+        }
+        if let (Some(frow), Some(base)) = (
+            fresh_rows.last(),
+            read(&baseline_dir, "BENCH_recovery.json", false),
+        ) {
+            let base_rows = objects_in_array(&base, "rows");
+            if let Some(brow) = base_rows.last() {
+                let norm = |row: &str, which: &str| {
+                    need(row, "replay_eps", which) / need(row, "ingest_eps", which)
+                };
+                // replay/ingest swings with I/O noise at tiny scales, so
+                // double the tolerance like the index cross-file check
+                gate.require_ratio_tol(
+                    "recovery replay_eps/ingest_eps",
+                    norm(frow, "fresh BENCH_recovery.json row"),
+                    norm(brow, "baseline BENCH_recovery.json row"),
+                    (2.0 * tolerance).min(0.6),
+                );
+            }
+        }
+    }
+
     println!(
         "bench_gate: {}/{} checks passed (tolerance {:.0}%)",
         gate.checks - gate.failures,
