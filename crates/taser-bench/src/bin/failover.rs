@@ -1,0 +1,279 @@
+//! Failover harness for WAL-shipping replication: how long does a
+//! replica take to bootstrap, how fast does it tail the feed, and how
+//! quickly can it be promoted into a serving primary after the primary
+//! is killed — with the promoted state bit-identical to what died?
+//!
+//! For each row the harness boots a durable primary with a replication
+//! listener, ingests half the events, then boots an empty durable
+//! replica that joins over TCP (checkpoint bootstrap + WAL tail) and
+//! times the bootstrap. The second half is ingested under load and the
+//! catch-up rate is measured. The primary is then killed the hard way —
+//! dropped mid-stream with no drain, the in-process equivalent of
+//! SIGKILL — and the row times `promote` (seal the position durably)
+//! plus the first successful `query` answered by the promoted node.
+//!
+//! Functional gates (the CI bench gate enforces them from the JSON):
+//! the promoted replica's content digest must equal the primary's
+//! pre-kill digest, promotion must succeed, and the replica must be 0
+//! events behind at the kill point. Timing columns are informational —
+//! they are machine-dependent, so the gate holds the *invariants*, not
+//! the latencies.
+//!
+//! Prints one row per event count and writes `BENCH_failover.json`;
+//! `--assert` turns any gate miss into a hard exit-code failure — the
+//! CI replication-smoke job runs it that way.
+//!
+//! ```sh
+//! cargo run --release -p taser-bench --bin failover \
+//!   [-- --quick --assert --out BENCH_failover.json]
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taser_bench::{arg_flag, arg_value};
+use taser_graph::events::EventLog;
+use taser_graph::feats::FeatureMatrix;
+use taser_models::artifact::{ArtifactBackbone, ArtifactPolicy, ModelArtifact, ModelSpec};
+use taser_serve::{
+    start_replica, BatchPolicy, DurabilityConfig, ReplListener, ServeConfig, ServeEngine,
+};
+
+const NUM_NODES: usize = 256;
+const SYNC_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn scratch(tag: &str) -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    let dir = PathBuf::from(target)
+        .join("failover-bench")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+fn artifact() -> ModelArtifact {
+    ModelArtifact::init(
+        ModelSpec {
+            backbone: ArtifactBackbone::GraphMixer,
+            in_dim: 4,
+            edge_dim: 0,
+            hidden: 8,
+            time_dim: 6,
+            heads: 2,
+            n_neighbors: 4,
+            dropout: 0.0,
+            policy: ArtifactPolicy::MostRecent,
+        },
+        Some(FeatureMatrix::from_vec(
+            (0..NUM_NODES * 4).map(|x| (x % 97) as f32 * 0.01).collect(),
+            4,
+        )),
+        None,
+        NUM_NODES as u64,
+    )
+}
+
+fn boot(dir: &std::path::Path) -> Arc<ServeEngine> {
+    let cfg = ServeConfig {
+        workers: 1,
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+        },
+        publish_every: 0, // manual publish: digests are taken explicitly
+        ..ServeConfig::default()
+    };
+    let durability = DurabilityConfig {
+        dir: dir.to_path_buf(),
+        checkpoint_every: 0, // cadence off — the WAL holds the stream
+        wal_flush_every: 64,
+    };
+    let (engine, _report) =
+        ServeEngine::new_durable(artifact(), EventLog::default(), cfg, durability)
+            .expect("boot durable engine");
+    Arc::new(engine)
+}
+
+/// Polls the replica's feed position until it reaches `target`; returns
+/// how long that took, or `None` on timeout.
+fn await_position(replica: &ServeEngine, target: u32) -> Option<Duration> {
+    let t0 = Instant::now();
+    while replica.repl_next_eid() < target {
+        if t0.elapsed() > SYNC_TIMEOUT {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    Some(t0.elapsed())
+}
+
+fn digest(engine: &ServeEngine) -> u64 {
+    engine.publish();
+    engine.snapshot_digest()
+}
+
+struct Row {
+    events: u64,
+    bootstrap_ms: f64,
+    catchup_eps: f64,
+    failover_ms: f64,
+    first_score_ms: f64,
+    digest_match: bool,
+    promoted: bool,
+    behind: u64,
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let hard_assert = arg_flag("--assert");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_failover.json".into());
+    let sizes: &[u64] = if quick {
+        &[2_000, 8_000]
+    } else {
+        &[5_000, 20_000]
+    };
+
+    let mut rows = Vec::new();
+    for (i, &events) in sizes.iter().enumerate() {
+        let primary_dir = scratch(&format!("{i}-primary"));
+        let replica_dir = scratch(&format!("{i}-replica"));
+        let half = events / 2;
+
+        // -- primary up, first half ingested before the replica exists --
+        let primary = boot(&primary_dir);
+        primary.enable_replication().expect("enable replication");
+        let listener = ReplListener::spawn(&primary, "127.0.0.1:0").expect("repl listener");
+        let addr = listener.addr().to_string();
+        for e in 0..half {
+            let src = (e * 31 % NUM_NODES as u64) as u32;
+            let dst = (e * 17 + 1) as u32 % NUM_NODES as u32;
+            primary.ingest(src, dst, e as f64).expect("ingest");
+        }
+
+        // -- replica joins cold: checkpoint bootstrap, then the tail --
+        let replica = boot(&replica_dir);
+        let t0 = Instant::now();
+        let feed = start_replica(&replica, addr).expect("start replica");
+        let bootstrap = await_position(&replica, half as u32);
+        let bootstrap_ms = bootstrap.map_or(f64::NAN, |d| d.as_secs_f64() * 1e3);
+        let _ = t0;
+
+        // -- second half under load: the replica tails live traffic --
+        let t0 = Instant::now();
+        for e in half..events {
+            let src = (e * 31 % NUM_NODES as u64) as u32;
+            let dst = (e * 17 + 1) as u32 % NUM_NODES as u32;
+            primary.ingest(src, dst, e as f64).expect("ingest");
+        }
+        let caught_up = await_position(&replica, events as u32);
+        let catchup_eps = caught_up.map_or(f64::NAN, |_| {
+            (events - half) as f64 / t0.elapsed().as_secs_f64()
+        });
+        let before = digest(&primary);
+        let behind = u64::from((events as u32).saturating_sub(replica.repl_next_eid()));
+
+        // -- kill the primary mid-topology (no drain, no flush) and fail
+        //    over: seal the replica's position and serve from it --
+        let t0 = Instant::now();
+        drop(listener);
+        drop(primary);
+        let promoted = replica.promote().is_ok();
+        let failover_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let score_ok = replica.score(0, 1, events as f64 + 1.0).is_ok();
+        let first_score_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let after = digest(&replica);
+        drop(feed);
+        drop(replica);
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+
+        let row = Row {
+            events,
+            bootstrap_ms,
+            catchup_eps,
+            failover_ms,
+            first_score_ms,
+            digest_match: after == before && score_ok,
+            promoted,
+            behind,
+        };
+        println!(
+            "{:>6} events: bootstrap {:>8.2} ms | catch-up {:>9.0} ev/s | \
+             failover {:>7.2} ms | first score {:>7.2} ms | digest {} | behind {}",
+            row.events,
+            row.bootstrap_ms,
+            row.catchup_eps,
+            row.failover_ms,
+            row.first_score_ms,
+            if row.digest_match {
+                "match"
+            } else {
+                "MISMATCH"
+            },
+            row.behind,
+        );
+        rows.push(row);
+    }
+
+    // -- machine-readable output --
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"events\":{},\"bootstrap_ms\":{:.3},\"catchup_eps\":{:.2},",
+                    "\"failover_ms\":{:.3},\"first_score_ms\":{:.3},",
+                    "\"digest_match\":{},\"promoted\":{},\"behind\":{}}}"
+                ),
+                r.events,
+                r.bootstrap_ms,
+                r.catchup_eps,
+                r.failover_ms,
+                r.first_score_ms,
+                u8::from(r.digest_match),
+                u8::from(r.promoted),
+                r.behind,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"harness\":\"failover\",\"quick\":{quick},\"num_nodes\":{NUM_NODES},\"rows\":[{}]}}",
+        json_rows.join(","),
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create bench output");
+    writeln!(f, "{json}").expect("write bench output");
+    eprintln!("results -> {out_path}");
+
+    // -- failover acceptance: promoted state must equal what died --
+    let mut failures = Vec::new();
+    for r in &rows {
+        if !r.digest_match {
+            failures.push(format!(
+                "{} events: promoted digest differs from the primary's pre-kill state",
+                r.events
+            ));
+        }
+        if !r.promoted {
+            failures.push(format!("{} events: promote failed", r.events));
+        }
+        if r.behind > 0 {
+            failures.push(format!(
+                "{} events: replica was {} events behind at the kill point",
+                r.events, r.behind
+            ));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("failover checks passed (bit-identical promotion at every size)");
+    } else {
+        for f in &failures {
+            eprintln!("FAILOVER CHECK FAILED: {f}");
+        }
+        if hard_assert {
+            std::process::exit(1);
+        }
+    }
+}

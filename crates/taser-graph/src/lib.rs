@@ -44,4 +44,4 @@ pub use stats::DatasetStats;
 pub use stream::StreamingGraph;
 pub use synth::{SynthConfig, SynthMeta};
 pub use tcsr::{TCsr, TemporalNeighbor};
-pub use wal::{recover, Checkpoint, EventWal, RecoveryLoad, WalFaults};
+pub use wal::{recover, Checkpoint, EventWal, FrameParse, RecoveryLoad, WalCursor, WalFaults};

@@ -86,14 +86,19 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // Event payload codec.
 // ---------------------------------------------------------------------------
 
-fn encode_event(ev: &Event, out: &mut [u8; EVENT_BYTES]) {
+/// Serialize one event into its fixed-size WAL payload (little-endian
+/// src, dst, t-bits, eid). Public so replication can frame events for
+/// the wire exactly as the WAL frames them on disk.
+pub fn encode_event(ev: &Event, out: &mut [u8; EVENT_BYTES]) {
     out[0..4].copy_from_slice(&ev.src.to_le_bytes());
     out[4..8].copy_from_slice(&ev.dst.to_le_bytes());
     out[8..16].copy_from_slice(&ev.t.to_bits().to_le_bytes());
     out[16..20].copy_from_slice(&ev.eid.to_le_bytes());
 }
 
-fn decode_event(buf: &[u8]) -> Event {
+/// Inverse of [`encode_event`]; the caller has already validated length
+/// and CRC.
+pub fn decode_event(buf: &[u8]) -> Event {
     debug_assert!(buf.len() >= EVENT_BYTES);
     let u32_at = |i: usize| u32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]);
     let t_bits = u64::from_le_bytes([
@@ -104,6 +109,53 @@ fn decode_event(buf: &[u8]) -> Event {
         dst: u32_at(4),
         t: f64::from_bits(t_bits),
         eid: u32_at(16),
+    }
+}
+
+/// Append one full `[u32 len][u32 crc32][payload]` frame for `ev` to
+/// `out` — byte-identical to what [`EventWal::append`] writes to disk.
+/// This is the unit replication ships over TCP.
+pub fn encode_frame(ev: &Event, out: &mut Vec<u8>) {
+    let mut payload = [0u8; EVENT_BYTES];
+    encode_event(ev, &mut payload);
+    out.extend_from_slice(&(EVENT_BYTES as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Outcome of [`parse_frame`] over a byte prefix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FrameParse {
+    /// A complete, CRC-valid frame; `consumed` bytes were used.
+    Frame { event: Event, consumed: usize },
+    /// The buffer ends mid-frame — more bytes may complete it.
+    Incomplete,
+    /// The frame header or CRC is invalid; the stream is damaged here.
+    Corrupt,
+}
+
+/// Validate and decode the frame at the start of `buf`. Shared by the
+/// on-disk scan ([`EventWal::open`], [`WalCursor`]) and the replication
+/// link's receive path, so both sides reject corruption identically.
+pub fn parse_frame(buf: &[u8]) -> FrameParse {
+    if buf.len() < FRAME_BYTES {
+        return FrameParse::Incomplete;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len != EVENT_BYTES {
+        return FrameParse::Corrupt;
+    }
+    if buf.len() < FRAME_BYTES + len {
+        return FrameParse::Incomplete;
+    }
+    let crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let payload = &buf[FRAME_BYTES..FRAME_BYTES + len];
+    if crc32(payload) != crc {
+        return FrameParse::Corrupt;
+    }
+    FrameParse::Frame {
+        event: decode_event(payload),
+        consumed: FRAME_BYTES + len,
     }
 }
 
@@ -199,23 +251,11 @@ impl EventWal {
                 ));
             }
             let mut off = WAL_HEADER as usize;
-            loop {
-                if off + FRAME_BYTES > raw.len() {
-                    break; // torn frame header (or clean EOF)
-                }
-                let len = u32::from_le_bytes([raw[off], raw[off + 1], raw[off + 2], raw[off + 3]])
-                    as usize;
-                let crc =
-                    u32::from_le_bytes([raw[off + 4], raw[off + 5], raw[off + 6], raw[off + 7]]);
-                if len != EVENT_BYTES || off + FRAME_BYTES + len > raw.len() {
-                    break; // corrupt length or torn payload
-                }
-                let payload = &raw[off + FRAME_BYTES..off + FRAME_BYTES + len];
-                if crc32(payload) != crc {
-                    break; // bit rot: stop at the last valid record
-                }
-                report.events.push(decode_event(payload));
-                off += FRAME_BYTES + len;
+            // Stop at the first torn or corrupt frame either way: on disk
+            // a bad frame means everything after it is suspect.
+            while let FrameParse::Frame { event, consumed } = parse_frame(&raw[off..]) {
+                report.events.push(event);
+                off += consumed;
             }
             if off < raw.len() {
                 report.truncated = true;
@@ -320,6 +360,111 @@ impl Drop for EventWal {
 }
 
 // ---------------------------------------------------------------------------
+// WalCursor: streaming, resumable frame reader.
+// ---------------------------------------------------------------------------
+
+/// Incremental reader over a WAL file: validates the header once, then
+/// yields frames one at a time without loading the file into memory.
+///
+/// Unlike [`EventWal::open`] (which owns the file and repairs a torn
+/// tail), a cursor is read-only and *resumable*: when it reaches the end
+/// of the valid data, [`WalCursor::next_event`] returns `Ok(None)` but keeps
+/// its position, so a later call picks up frames appended since — the
+/// shape a log-shipping sender or an offline segment scan needs. A
+/// partial frame at EOF is treated as not-yet-written (the writer may
+/// still be mid-append); a frame with a bad length or CRC marks the
+/// cursor corrupt and it stops permanently.
+pub struct WalCursor {
+    file: File,
+    buf: Vec<u8>,
+    pos: usize,
+    records: u64,
+    corrupt: bool,
+}
+
+impl WalCursor {
+    /// Open a cursor at the first record of the WAL at `path`. Fails if
+    /// the file is missing, shorter than its header, or not a TASER WAL.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        let mut file = File::open(path)?;
+        let mut header = [0u8; WAL_HEADER as usize];
+        file.read_exact(&mut header).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: torn WAL header", path.display()),
+            )
+        })?;
+        if header[0..4] != WAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: not a TASER WAL (bad magic)", path.display()),
+            ));
+        }
+        let version = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if version != FORMAT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: unsupported WAL version {version}", path.display()),
+            ));
+        }
+        Ok(Self {
+            file,
+            buf: Vec::new(),
+            pos: 0,
+            records: 0,
+            corrupt: false,
+        })
+    }
+
+    /// The next valid frame, or `Ok(None)` when the cursor has caught up
+    /// with the writer (call again later to tail new appends) or hit a
+    /// corrupt frame (see [`Self::is_corrupt`]).
+    pub fn next_event(&mut self) -> io::Result<Option<Event>> {
+        loop {
+            if self.corrupt {
+                return Ok(None);
+            }
+            match parse_frame(&self.buf[self.pos..]) {
+                FrameParse::Frame { event, consumed } => {
+                    self.pos += consumed;
+                    self.records += 1;
+                    // Compact once the consumed prefix dominates the buffer.
+                    if self.pos > 64 * 1024 {
+                        self.buf.drain(..self.pos);
+                        self.pos = 0;
+                    }
+                    return Ok(Some(event));
+                }
+                FrameParse::Incomplete => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = self.file.read(&mut chunk)?;
+                    if n == 0 {
+                        return Ok(None); // caught up; partial tail may complete later
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                FrameParse::Corrupt => {
+                    self.corrupt = true;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Frames yielded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// True once the cursor stopped at a corrupt frame; it will yield
+    /// nothing further.
+    pub fn is_corrupt(&self) -> bool {
+        self.corrupt
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint.
 // ---------------------------------------------------------------------------
 
@@ -336,17 +481,10 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Atomically write a checkpoint: serialize to `<path>.tmp`, fsync,
-    /// rename over `path`. A crash mid-save leaves the old checkpoint
-    /// (or none) intact.
-    pub fn save(
-        path: impl AsRef<Path>,
-        events: &[Event],
-        num_nodes: usize,
-        next_eid: u32,
-    ) -> io::Result<()> {
-        let path = path.as_ref();
-        let tmp = path.with_extension("tmp");
+    /// Serialize a checkpoint to its complete file image (`TCKP` magic,
+    /// CRC, body). The same bytes are written to disk by [`Self::save`]
+    /// and shipped over TCP for replication snapshot bootstrap.
+    pub fn encode(events: &[Event], num_nodes: usize, next_eid: u32) -> Vec<u8> {
         let mut body = Vec::with_capacity(24 + events.len() * EVENT_BYTES);
         body.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         body.extend_from_slice(&(num_nodes as u64).to_le_bytes());
@@ -358,33 +496,18 @@ impl Checkpoint {
             body.extend_from_slice(&payload);
         }
         let crc = crc32(&body);
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&CKPT_MAGIC)?;
-            f.write_all(&crc.to_le_bytes())?;
-            f.write_all(&body)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)
+        let mut image = Vec::with_capacity(8 + body.len());
+        image.extend_from_slice(&CKPT_MAGIC);
+        image.extend_from_slice(&crc.to_le_bytes());
+        image.extend_from_slice(&body);
+        image
     }
 
-    /// Load a checkpoint. `Ok(None)` when the file does not exist;
-    /// `Err(InvalidData)` when it exists but fails validation (a
-    /// checkpoint is written atomically, so corruption is a real fault,
-    /// not a torn write).
-    pub fn load(path: impl AsRef<Path>) -> io::Result<Option<Self>> {
-        let path = path.as_ref();
-        let raw = match std::fs::read(path) {
-            Ok(raw) => raw,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
-        };
-        let bad = |msg: &str| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{}: {msg}", path.display()),
-            )
-        };
+    /// Validate and decode a checkpoint image produced by
+    /// [`Self::encode`] (whether read from disk or received off the
+    /// wire).
+    pub fn decode(raw: &[u8]) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
         if raw.len() < 8 + 24 || raw[0..4] != CKPT_MAGIC {
             return Err(bad("not a TASER checkpoint"));
         }
@@ -412,11 +535,50 @@ impl Checkpoint {
         for i in 0..count {
             events.push(decode_event(&records[i * EVENT_BYTES..]));
         }
-        Ok(Some(Self {
+        Ok(Self {
             events,
             num_nodes,
             next_eid,
-        }))
+        })
+    }
+
+    /// Atomically write a checkpoint: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`. A crash mid-save leaves the old checkpoint
+    /// (or none) intact.
+    pub fn save(
+        path: impl AsRef<Path>,
+        events: &[Event],
+        num_nodes: usize,
+        next_eid: u32,
+    ) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        let image = Self::encode(events, num_nodes, next_eid);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&image)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a checkpoint. `Ok(None)` when the file does not exist;
+    /// `Err(InvalidData)` when it exists but fails validation (a
+    /// checkpoint is written atomically, so corruption is a real fault,
+    /// not a torn write).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Option<Self>> {
+        let path = path.as_ref();
+        let raw = match std::fs::read(path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Self::decode(&raw).map(Some).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
     }
 }
 
@@ -646,6 +808,116 @@ mod tests {
         let (load2, _) = recover(&dir, 4).unwrap();
         assert_eq!(load2.events.len(), 1);
         assert_eq!(load2.wal_replayed, 1);
+    }
+
+    #[test]
+    fn frame_codec_round_trips_and_rejects_damage() {
+        let e = ev(7, 9, 1234.5, 42);
+        let mut frame = Vec::new();
+        encode_frame(&e, &mut frame);
+        assert_eq!(frame.len(), FRAME_BYTES + EVENT_BYTES);
+        match parse_frame(&frame) {
+            FrameParse::Frame { event, consumed } => {
+                assert_eq!(event, e);
+                assert_eq!(consumed, frame.len());
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // Every strict prefix is incomplete, never corrupt.
+        for cut in 0..frame.len() {
+            assert_eq!(parse_frame(&frame[..cut]), FrameParse::Incomplete);
+        }
+        // A payload bit-flip is corrupt.
+        let mut bad = frame.clone();
+        bad[FRAME_BYTES + 2] ^= 0x10;
+        assert_eq!(parse_frame(&bad), FrameParse::Corrupt);
+        // A bad length is corrupt even with plenty of bytes.
+        let mut bad = frame.clone();
+        bad[0] = 99;
+        assert_eq!(parse_frame(&bad), FrameParse::Corrupt);
+    }
+
+    #[test]
+    fn checkpoint_encode_decode_round_trips_in_memory() {
+        let events: Vec<Event> = (0..30).map(|i| ev(i, i + 3, i as f64 * 2.0, i)).collect();
+        let image = Checkpoint::encode(&events, 40, 30);
+        let ckpt = Checkpoint::decode(&image).unwrap();
+        assert_eq!(ckpt.events, events);
+        assert_eq!(ckpt.num_nodes, 40);
+        assert_eq!(ckpt.next_eid, 30);
+        let mut damaged = image.clone();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0x01;
+        assert!(Checkpoint::decode(&damaged).is_err());
+        assert!(Checkpoint::decode(&image[..10]).is_err());
+    }
+
+    #[test]
+    fn cursor_tails_a_live_wal_across_appends() {
+        let dir = test_dir("cursor-tail");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, _) = EventWal::open(&path, 1, WalFaults::default()).unwrap();
+        for i in 0..5 {
+            wal.append(&ev(i, i, i as f64, i)).unwrap();
+        }
+        wal.flush().unwrap();
+
+        let mut cur = WalCursor::open(&path).unwrap();
+        let mut seen = Vec::new();
+        while let Some(e) = cur.next_event().unwrap() {
+            seen.push(e.eid);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(cur.records(), 5);
+
+        // The writer appends more; the same cursor resumes where it left off.
+        for i in 5..9 {
+            wal.append(&ev(i, i, i as f64, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        let mut more = Vec::new();
+        while let Some(e) = cur.next_event().unwrap() {
+            more.push(e.eid);
+        }
+        assert_eq!(more, vec![5, 6, 7, 8]);
+        assert!(!cur.is_corrupt());
+    }
+
+    #[test]
+    fn cursor_treats_partial_tail_as_pending_and_bad_crc_as_corrupt() {
+        let dir = test_dir("cursor-torn");
+        let path = dir.join(WAL_FILE);
+        {
+            let (mut wal, _) = EventWal::open(&path, 1, WalFaults::default()).unwrap();
+            for i in 0..4 {
+                wal.append(&ev(i, i, i as f64, i)).unwrap();
+            }
+        }
+        // A torn (half-written) frame: the cursor waits, not errors.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&(EVENT_BYTES as u32).to_le_bytes()).unwrap();
+            f.write_all(&[0u8; 3]).unwrap();
+        }
+        let mut cur = WalCursor::open(&path).unwrap();
+        while cur.next_event().unwrap().is_some() {}
+        assert_eq!(cur.records(), 4);
+        assert!(!cur.is_corrupt());
+
+        // A CRC-corrupt record stops the cursor permanently.
+        let mut raw = std::fs::read(&path).unwrap();
+        let rec = WAL_HEADER as usize + 2 * (FRAME_BYTES + EVENT_BYTES);
+        raw[rec + FRAME_BYTES + 1] ^= 0x80;
+        std::fs::write(&path, &raw).unwrap();
+        let mut cur = WalCursor::open(&path).unwrap();
+        let mut n = 0;
+        while cur.next_event().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+        assert!(cur.is_corrupt());
+        assert!(cur.next_event().unwrap().is_none());
     }
 
     #[test]

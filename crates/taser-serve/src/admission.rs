@@ -361,14 +361,18 @@ impl AdmissionQueue {
 
     /// Tries to admit a query into `lane` (clamped to the configured lane
     /// count). Returns the caller's ticket, or sheds immediately when the
-    /// lane is at capacity.
-    ///
-    /// # Panics
-    /// Panics if the queue is closed (the engine owns its lifecycle).
+    /// lane is at capacity. A closed queue (engine shutting down) sheds at
+    /// the door with [`Overloaded::QueueFull`] — a draining server must
+    /// answer late clients with typed backpressure, not a panic.
     pub fn submit(&self, query: LinkQuery, lane: usize) -> Result<ScoreTicket, Overloaded> {
         let lane = lane.min(self.policy.lanes - 1);
         let mut q = self.shared.lock().expect("admission lock poisoned");
-        assert!(!q.closed, "submit on a closed admission queue");
+        if q.closed {
+            self.counters[lane]
+                .shed_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Overloaded::QueueFull { lane });
+        }
         if q.lanes[lane].len() >= self.policy.queue_cap {
             self.counters[lane]
                 .shed_full

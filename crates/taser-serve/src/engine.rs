@@ -29,7 +29,7 @@
 
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -46,6 +46,7 @@ use crate::fault::{FaultPlan, FaultState};
 use crate::features::ServeFeatureCache;
 use crate::health::{HealthConfig, HealthMonitor, HealthSample, LaneSampleTotals};
 use crate::pipeline::{ScorePath, ScorePipeline, ScoreScratch};
+use crate::replication::{Applied, ReplicationHub};
 use crate::snapshot::{DurabilityConfig, IndexBackend, RecoveryReport, SnapshotStore};
 use crate::stats::{LaneStats, LatencyHistogram, ServeStats};
 
@@ -212,6 +213,119 @@ struct WorkerHost {
     /// Lifetime worker respawns (mirrored into the registry counter).
     restarts: AtomicU64,
     restart_counter: Arc<taser_obs::Counter>,
+    /// Replication role + feed progress (always present; idle and
+    /// allocation-free on a standalone engine).
+    repl: ReplState,
+    /// The primary-side replication hub, once `enable_replication` ran.
+    hub: Mutex<Option<Arc<ReplicationHub>>>,
+    /// Set by [`ServeEngine::shutdown`]: admission is frozen and no
+    /// ingest (client or feed) is accepted anymore.
+    sealed: AtomicBool,
+    /// Set once shutdown has drained workers and persisted the final
+    /// checkpoint (late `shutdown` callers wait on this).
+    drained: AtomicBool,
+}
+
+/// Replication-role state and feed progress counters, engine-wide.
+struct ReplState {
+    /// True while the engine is a read-only replica applying a feed.
+    role_replica: AtomicBool,
+    /// Sticky once `promote` ran: the engine can never become a replica
+    /// again (a pushing ex-primary must not demote it back).
+    promoted: AtomicBool,
+    /// Feed events applied (fresh, not deduped) — also exported as
+    /// `taser_repl_applied_total`.
+    applied: AtomicU64,
+    /// Feed events deduped by eid (re-sent after resync, or duplicated
+    /// in transit).
+    duplicates: AtomicU64,
+    /// Eid gaps observed (each forces a reconnect + resync).
+    gaps: AtomicU64,
+    /// Snapshot bootstraps consumed.
+    snapshot_loads: AtomicU64,
+    /// Primary's next eid, per its latest heartbeat/snapshot.
+    primary_next: AtomicU32,
+    /// When the feed last spoke (event, heartbeat, or snapshot); drives
+    /// the staleness half of the repl health gate.
+    last_feed: Mutex<Option<Instant>>,
+    applied_counter: Arc<taser_obs::Counter>,
+    lag_gauge: Arc<taser_obs::Gauge>,
+}
+
+impl ReplState {
+    fn new() -> Self {
+        let registry = taser_obs::global();
+        ReplState {
+            role_replica: AtomicBool::new(false),
+            promoted: AtomicBool::new(false),
+            applied: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            gaps: AtomicU64::new(0),
+            snapshot_loads: AtomicU64::new(0),
+            primary_next: AtomicU32::new(0),
+            last_feed: Mutex::new(None),
+            applied_counter: registry.counter("taser_repl_applied_total"),
+            lag_gauge: registry.gauge("taser_repl_lag_events"),
+        }
+    }
+}
+
+/// Point-in-time replication status (the `repl` protocol verb).
+#[derive(Clone, Debug)]
+pub struct ReplStatus {
+    /// `"primary"` (hub enabled), `"replica"`, `"promoted"`, or
+    /// `"standalone"`.
+    pub role: &'static str,
+    /// Next eid this engine will assign/apply.
+    pub next_eid: u32,
+    /// Replica side: feed events applied / deduped / gaps seen /
+    /// snapshot bootstraps consumed.
+    pub applied: u64,
+    /// Feed events deduped by eid.
+    pub duplicates: u64,
+    /// Eid gaps observed on the feed.
+    pub gaps: u64,
+    /// Snapshot bootstraps consumed.
+    pub snapshot_loads: u64,
+    /// Primary's next eid per its latest heartbeat (replica side).
+    pub primary_next: u32,
+    /// Events this engine is behind its primary (replica side), or the
+    /// slowest peer's lag (primary side).
+    pub lag: u64,
+    /// Time since the feed last spoke (replica side).
+    pub last_feed: Option<Duration>,
+    /// Connected replicas (primary side).
+    pub peers: usize,
+    /// Snapshot bootstraps served (primary side).
+    pub snapshots_sent: u64,
+}
+
+impl ReplStatus {
+    /// The `repl` verb's one-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        let last_feed_ms = self
+            .last_feed
+            .map_or("null".to_string(), |d| (d.as_millis() as u64).to_string());
+        format!(
+            concat!(
+                "{{\"role\":\"{}\",\"next_eid\":{},\"applied\":{},",
+                "\"duplicates\":{},\"gaps\":{},\"snapshot_loads\":{},",
+                "\"primary_next\":{},\"lag\":{},\"last_feed_ms\":{},",
+                "\"peers\":{},\"snapshots_sent\":{}}}"
+            ),
+            self.role,
+            self.next_eid,
+            self.applied,
+            self.duplicates,
+            self.gaps,
+            self.snapshot_loads,
+            self.primary_next,
+            self.lag,
+            last_feed_ms,
+            self.peers,
+            self.snapshots_sent,
+        )
+    }
 }
 
 impl WorkerHost {
@@ -317,6 +431,10 @@ impl ServeEngine {
             fault_state: FaultState::new(),
             restarts: AtomicU64::new(0),
             restart_counter: taser_obs::global().counter("taser_worker_restarts_total"),
+            repl: ReplState::new(),
+            hub: Mutex::new(None),
+            sealed: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
         });
         let health = Arc::new(HealthMonitor::new(
             cfg.health,
@@ -373,8 +491,16 @@ impl ServeEngine {
 
     /// Appends a streaming interaction; visible to scoring after the next
     /// publish (automatic every `publish_every` ingests). On a durable
-    /// engine the event is WAL-framed before this returns.
+    /// engine the event is WAL-framed before this returns. Rejected on a
+    /// sealed (shutting-down) engine and on a read-only replica — replica
+    /// state mutates only through its feed until [`ServeEngine::promote`].
     pub fn ingest(&self, src: u32, dst: u32, t: f64) -> Result<Event, String> {
+        if self.is_sealed() {
+            return Err("engine is sealed (shutting down)".to_string());
+        }
+        if self.is_replica() {
+            return Err("read-only replica: promote before writing".to_string());
+        }
         let e = self.host.snapshots.ingest(src, dst, t)?;
         self.host.ingests.fetch_add(1, Ordering::Relaxed);
         Ok(e)
@@ -418,6 +544,268 @@ impl ServeEngine {
         self.host.restarts.load(Ordering::Relaxed)
     }
 
+    // -- replication ------------------------------------------------------
+
+    /// Turns this engine into a replicating primary: creates a
+    /// [`ReplicationHub`] (armed with the plan's link faults), seeds it
+    /// with the engine's full history, and hooks it into the ingest path.
+    /// Requires an event history to seed from (durable, or the rebuild
+    /// backend); errors if already enabled or the engine is a replica.
+    pub fn enable_replication(&self) -> Result<Arc<ReplicationHub>, String> {
+        let mut slot = self.host.hub.lock().expect("hub slot lock poisoned");
+        if slot.is_some() {
+            return Err("replication already enabled".to_string());
+        }
+        if self.is_replica() {
+            return Err("cannot enable replication on a replica (promote first)".to_string());
+        }
+        let hub = ReplicationHub::new(self.host.plan.link_faults());
+        self.host.snapshots.attach_replication(&hub)?;
+        *slot = Some(hub.clone());
+        Ok(hub)
+    }
+
+    /// The replication hub, when [`ServeEngine::enable_replication`] ran.
+    pub fn repl_hub(&self) -> Option<Arc<ReplicationHub>> {
+        self.host
+            .hub
+            .lock()
+            .expect("hub slot lock poisoned")
+            .clone()
+    }
+
+    /// Marks this engine a read-only replica: external `ingest` is
+    /// rejected and state mutates only via [`ServeEngine::apply_replicated`].
+    /// Idempotent; refused once promoted or sealed, and on a replicating
+    /// primary.
+    pub fn make_replica(&self) -> Result<(), String> {
+        if self.is_sealed() {
+            return Err("engine is sealed".to_string());
+        }
+        if self.host.repl.promoted.load(Ordering::SeqCst) {
+            return Err("engine was promoted: it stays a primary".to_string());
+        }
+        if self.repl_hub().is_some() {
+            return Err("engine is a replicating primary".to_string());
+        }
+        self.host.repl.role_replica.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Whether this engine is currently a read-only replica.
+    pub fn is_replica(&self) -> bool {
+        self.host.repl.role_replica.load(Ordering::SeqCst)
+    }
+
+    /// Applies one feed event on a replica, deduplicating by eid exactly
+    /// like WAL replay: events below the replica's next eid are
+    /// [`Applied::Duplicate`], events above it are [`Applied::Gap`] (lost
+    /// frames — the feed must resync), and the one event *at* it is
+    /// applied (and WAL-framed, on a durable replica).
+    pub fn apply_replicated(&self, e: Event) -> Applied {
+        if self.is_sealed() || !self.is_replica() {
+            return Applied::Rejected;
+        }
+        let next = self.host.snapshots.num_events() as u32;
+        if e.eid < next {
+            self.host.repl.duplicates.fetch_add(1, Ordering::Relaxed);
+            return Applied::Duplicate;
+        }
+        if e.eid > next {
+            self.host.repl.gaps.fetch_add(1, Ordering::Relaxed);
+            return Applied::Gap;
+        }
+        match self.host.snapshots.ingest(e.src, e.dst, e.t) {
+            Ok(stored) => {
+                debug_assert_eq!(stored.eid, e.eid, "dense eids");
+                self.host.repl.applied.fetch_add(1, Ordering::Relaxed);
+                self.host.repl.applied_counter.inc();
+                self.host
+                    .repl
+                    .primary_next
+                    .fetch_max(e.eid + 1, Ordering::Relaxed);
+                *self
+                    .host
+                    .repl
+                    .last_feed
+                    .lock()
+                    .expect("last_feed lock poisoned") = Some(Instant::now());
+                Applied::Fresh
+            }
+            Err(_) => Applied::Rejected,
+        }
+    }
+
+    /// Records the primary's next eid (heartbeat/snapshot metadata) and
+    /// freshens the feed-staleness clock.
+    pub fn note_primary_next(&self, next_eid: u32) {
+        self.host
+            .repl
+            .primary_next
+            .fetch_max(next_eid, Ordering::Relaxed);
+        *self
+            .host
+            .repl
+            .last_feed
+            .lock()
+            .expect("last_feed lock poisoned") = Some(Instant::now());
+    }
+
+    /// Records one consumed snapshot bootstrap of `events` events.
+    pub fn note_snapshot_load(&self, events: usize) {
+        let _ = events;
+        self.host
+            .repl
+            .snapshot_loads
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The next event id this engine will assign (primary) or apply
+    /// (replica) — its replication position.
+    pub fn repl_next_eid(&self) -> u32 {
+        self.host.snapshots.num_events() as u32
+    }
+
+    /// Feed events applied fresh on this replica (`taser_repl_applied_total`).
+    pub fn repl_applied(&self) -> u64 {
+        self.host.repl.applied.load(Ordering::Relaxed)
+    }
+
+    /// Events appended to this engine's WAL over its lifetime (0 on a
+    /// non-durable engine) — the primary-side counter replica-applied
+    /// totals reconcile against.
+    pub fn wal_appended(&self) -> u64 {
+        self.host.snapshots.wal_appended()
+    }
+
+    /// Promotes a replica to primary: the replica role ends (sticky — a
+    /// pushing ex-primary can never demote it back), its WAL position is
+    /// sealed durably (flush + checkpoint), and `ingest` starts accepting
+    /// writes. Returns the sealed position (next eid).
+    pub fn promote(&self) -> Result<u32, String> {
+        if !self.is_replica() {
+            return Err("not a replica".to_string());
+        }
+        if self
+            .host
+            .repl
+            .promoted
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err("already promoted".to_string());
+        }
+        // order matters: `promoted` is visible before the role flips, so a
+        // concurrent TPSH dial-in can never re-make us a replica
+        self.host.repl.role_replica.store(false, Ordering::SeqCst);
+        let sealed_at = self.repl_next_eid();
+        self.host
+            .snapshots
+            .wal_sync()
+            .map_err(|e| format!("promote wal sync: {e}"))?;
+        self.host
+            .snapshots
+            .checkpoint_now()
+            .map_err(|e| format!("promote checkpoint: {e}"))?;
+        Ok(sealed_at)
+    }
+
+    /// Point-in-time replication status (the `repl` protocol verb).
+    pub fn repl_status(&self) -> ReplStatus {
+        let hub = self.repl_hub();
+        let role = if self.is_replica() {
+            "replica"
+        } else if self.host.repl.promoted.load(Ordering::SeqCst) {
+            "promoted"
+        } else if hub.is_some() {
+            "primary"
+        } else {
+            "standalone"
+        };
+        let next_eid = self.repl_next_eid();
+        let lag = match (&hub, role) {
+            (Some(h), _) => h.lag(),
+            (None, "replica") => {
+                (self
+                    .host
+                    .repl
+                    .primary_next
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(next_eid)) as u64
+            }
+            _ => 0,
+        };
+        ReplStatus {
+            role,
+            next_eid,
+            applied: self.host.repl.applied.load(Ordering::Relaxed),
+            duplicates: self.host.repl.duplicates.load(Ordering::Relaxed),
+            gaps: self.host.repl.gaps.load(Ordering::Relaxed),
+            snapshot_loads: self.host.repl.snapshot_loads.load(Ordering::Relaxed),
+            primary_next: self.host.repl.primary_next.load(Ordering::Relaxed),
+            lag,
+            last_feed: self
+                .host
+                .repl
+                .last_feed
+                .lock()
+                .expect("last_feed lock poisoned")
+                .map(|t| t.elapsed()),
+            peers: hub.as_ref().map_or(0, |h| h.peer_count()),
+            snapshots_sent: hub.as_ref().map_or(0, |h| h.snapshots_sent()),
+        }
+    }
+
+    // -- graceful shutdown ------------------------------------------------
+
+    /// Whether [`ServeEngine::shutdown`] has sealed the engine.
+    pub fn is_sealed(&self) -> bool {
+        self.host.sealed.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: seals the engine (no further ingest), stops the
+    /// replication feeds, freezes admission, drains and joins every
+    /// in-flight scoring batch, then flushes the buffered WAL tail and
+    /// writes a final checkpoint — nothing accepted before the seal is
+    /// ever lost on a clean exit. Idempotent; late callers block until
+    /// the first one has drained.
+    pub fn shutdown(&self) -> io::Result<()> {
+        if self
+            .host
+            .sealed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            while !self.host.drained.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            return Ok(());
+        }
+        if let Some(hub) = self.repl_hub() {
+            hub.stop();
+        }
+        // freeze admission and drain: workers exit once the closed queue
+        // is empty, resolving everything already admitted
+        self.host.admission.close();
+        {
+            let mut slots = self.workers.lock().expect("worker table lock poisoned");
+            for slot in slots.iter_mut() {
+                if let Some(h) = slot.take() {
+                    let _ = h.join();
+                }
+            }
+        }
+        // durable tail: whatever the flush_every batching still buffers
+        // goes to disk, then the final checkpoint makes restart O(1)
+        let persisted = self
+            .host
+            .snapshots
+            .wal_sync()
+            .and_then(|()| self.host.snapshots.checkpoint_now());
+        self.host.drained.store(true, Ordering::SeqCst);
+        persisted
+    }
+
     /// Tries to admit a link query into the highest-priority lane; the
     /// ticket resolves to a probability plus the generation that scored it,
     /// or a typed shed. A full lane rejects immediately with
@@ -435,6 +823,14 @@ impl ServeEngine {
         t: f64,
         lane: usize,
     ) -> Result<ScoreTicket, Overloaded> {
+        if self.is_sealed() {
+            // sealed engines shed at the door instead of panicking on the
+            // closed queue — a draining server must answer late clients
+            let lanes = self.host.admission.policy().lanes;
+            return Err(Overloaded::QueueFull {
+                lane: lane.min(lanes - 1),
+            });
+        }
         self.host.admission.submit(LinkQuery { src, dst, t }, lane)
     }
 
@@ -665,6 +1061,8 @@ fn watchdog_loop(
             *b = beat.busy_for(host.epoch);
         }
         let lag = host.snapshots.publish_lag();
+        let (repl_lag_events, repl_stale) = repl_probe(host);
+        host.repl.lag_gauge.set(repl_lag_events as i64);
         monitor.observe(
             now,
             &HealthSample {
@@ -676,8 +1074,38 @@ fn watchdog_loop(
                 publish_pending: lag.pending_events,
                 worker_busy: &busy,
                 worker_restarts: host.restarts.load(Ordering::Relaxed),
+                repl_lag_events,
+                repl_stale,
             },
         );
+    }
+}
+
+/// The watchdog's replication probe: how far behind the slowest party
+/// is, and (replica side) how long since the feed last spoke. On a
+/// replica the lag is `primary_next - next_eid` (heartbeats keep
+/// `primary_next` fresh even when no events flow); on a replicating
+/// primary it is the hub's slowest-peer lag; elsewhere it is 0 with no
+/// staleness — the repl health gate stays quiet on standalone engines.
+fn repl_probe(host: &WorkerHost) -> (u64, Option<Duration>) {
+    if host.repl.role_replica.load(Ordering::SeqCst) {
+        let next = host.snapshots.num_events() as u32;
+        let behind = host
+            .repl
+            .primary_next
+            .load(Ordering::Relaxed)
+            .saturating_sub(next) as u64;
+        let stale = host
+            .repl
+            .last_feed
+            .lock()
+            .expect("last_feed lock poisoned")
+            .map(|t| t.elapsed());
+        (behind, stale)
+    } else if let Some(hub) = host.hub.lock().expect("hub slot lock poisoned").as_ref() {
+        (hub.lag(), None)
+    } else {
+        (0, None)
     }
 }
 
@@ -1245,6 +1673,96 @@ mod tests {
         assert!(
             t.wait_timeout(Duration::from_secs(30)).is_some(),
             "queued query must be drained on shutdown"
+        );
+    }
+
+    #[test]
+    fn shutdown_seals_ingest_and_sheds_late_queries_typed() {
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        engine.ingest(0, 7, 40.0).unwrap();
+        engine.shutdown().unwrap();
+        assert!(engine.is_sealed());
+        assert!(
+            engine.ingest(0, 7, 41.0).is_err(),
+            "sealed engines reject writes"
+        );
+        // late queries get typed backpressure, never a panic or a hang
+        match engine.submit(0, 6, 40.0) {
+            Err(Overloaded::QueueFull { lane: 0 }) => {}
+            other => panic!("expected a door shed, got {other:?}"),
+        }
+        // idempotent: a second shutdown returns once the first drained
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn replica_role_blocks_ingest_until_promote() {
+        use crate::replication::Applied;
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        engine.make_replica().unwrap();
+        assert!(engine.is_replica());
+        assert!(
+            engine.ingest(0, 7, 40.0).is_err(),
+            "replicas reject client writes"
+        );
+        // the feed path applies with exact eid dedup (seed holds 30 events)
+        let next = engine.repl_next_eid();
+        assert_eq!(next, 30);
+        let fresh = Event {
+            src: 0,
+            dst: 7,
+            t: 40.0,
+            eid: next,
+        };
+        assert_eq!(engine.apply_replicated(fresh), Applied::Fresh);
+        assert_eq!(
+            engine.apply_replicated(fresh),
+            Applied::Duplicate,
+            "re-sent frames dedup by eid"
+        );
+        let skipped = Event {
+            src: 1,
+            dst: 8,
+            t: 41.0,
+            eid: next + 5,
+        };
+        assert_eq!(engine.apply_replicated(skipped), Applied::Gap);
+        assert_eq!(engine.repl_applied(), 1);
+
+        // promote: role ends, writes open, position is sealed
+        let sealed_at = engine.promote().unwrap();
+        assert_eq!(sealed_at, 31);
+        assert!(!engine.is_replica());
+        assert!(engine.promote().is_err(), "promote is one-shot");
+        assert!(
+            engine.make_replica().is_err(),
+            "a promoted engine can never be demoted"
+        );
+        engine.ingest(2, 9, 50.0).unwrap();
+        assert_eq!(
+            engine.apply_replicated(fresh),
+            Applied::Rejected,
+            "feed events bounce off a promoted engine"
+        );
+        let st = engine.repl_status();
+        assert_eq!(st.role, "promoted");
+        assert_eq!(st.applied, 1);
+        assert_eq!(st.duplicates, 1);
+        assert_eq!(st.gaps, 1);
+    }
+
+    #[test]
+    fn enable_replication_seeds_the_hub_and_feeds_it_ingests() {
+        let engine = ServeEngine::new(tiny_artifact(), seed_log(), quick_cfg()).unwrap();
+        let hub = engine.enable_replication().unwrap();
+        assert_eq!(hub.next_eid(), 30, "hub seeded with the full history");
+        assert!(engine.enable_replication().is_err(), "enable is one-shot");
+        engine.ingest(0, 7, 40.0).unwrap();
+        assert_eq!(hub.next_eid(), 31, "live ingests reach the hub");
+        assert_eq!(engine.repl_status().role, "primary");
+        assert!(
+            engine.make_replica().is_err(),
+            "a replicating primary cannot become a replica"
         );
     }
 }

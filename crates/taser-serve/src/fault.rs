@@ -39,6 +39,48 @@ pub struct FaultPlan {
     /// corruption for recovery tests). 0 disables. Forwarded to
     /// `taser_graph::WalFaults`.
     pub corrupt_wal_record: u64,
+    /// Sleep this long before shipping each replication frame (simulates
+    /// a slow or congested link; drives the replica-lag health gate).
+    /// `ZERO` disables.
+    pub repl_delay: Duration,
+    /// Silently drop the Nth replication frame on the wire (1-based,
+    /// counted hub-wide across reconnects). The replica sees an eid gap
+    /// and must resync. 0 disables.
+    pub repl_drop_frame: u64,
+    /// Ship the Nth replication frame twice (1-based, hub-wide). The
+    /// replica must dedup it, same as recovery replay. 0 disables.
+    pub repl_duplicate_frame: u64,
+    /// Flip a payload byte in the Nth replication frame after its CRC is
+    /// computed (1-based, hub-wide; emulates in-transit corruption). The
+    /// replica must reject the frame and resync. 0 disables.
+    pub repl_corrupt_frame: u64,
+}
+
+/// The link-level subset of a [`FaultPlan`]: faults injected by the
+/// replication hub on the frame stream it ships to replicas. Frame
+/// ordinals count hub-wide (shared across every peer connection and
+/// reconnect), so "drop the 5th frame" fires exactly once per process,
+/// not once per rejoin.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkFaults {
+    /// Sleep before shipping each frame. `ZERO` disables.
+    pub delay: Duration,
+    /// Drop the Nth frame (1-based). 0 disables.
+    pub drop_frame: u64,
+    /// Duplicate the Nth frame (1-based). 0 disables.
+    pub duplicate_frame: u64,
+    /// Corrupt the Nth frame in transit (1-based). 0 disables.
+    pub corrupt_frame: u64,
+}
+
+impl LinkFaults {
+    /// True when no link fault is armed.
+    pub fn is_noop(&self) -> bool {
+        self.delay.is_zero()
+            && self.drop_frame == 0
+            && self.duplicate_frame == 0
+            && self.corrupt_frame == 0
+    }
 }
 
 impl FaultPlan {
@@ -48,6 +90,7 @@ impl FaultPlan {
             && self.panic_every == 0
             && self.slow_flush.is_zero()
             && self.corrupt_wal_record == 0
+            && self.link_faults().is_noop()
     }
 
     /// The WAL-level subset of the plan, in `taser-graph` terms.
@@ -55,6 +98,17 @@ impl FaultPlan {
         taser_graph::WalFaults {
             slow_flush: self.slow_flush,
             corrupt_record: self.corrupt_wal_record,
+        }
+    }
+
+    /// The replication-link subset of the plan, consumed by the
+    /// [`crate::replication`] hub when shipping frames.
+    pub fn link_faults(&self) -> LinkFaults {
+        LinkFaults {
+            delay: self.repl_delay,
+            drop_frame: self.repl_drop_frame,
+            duplicate_frame: self.repl_duplicate_frame,
+            corrupt_frame: self.repl_corrupt_frame,
         }
     }
 }
@@ -158,5 +212,25 @@ mod tests {
         let wf = plan.wal_faults();
         assert_eq!(wf.slow_flush, Duration::from_millis(7));
         assert_eq!(wf.corrupt_record, 42);
+    }
+
+    #[test]
+    fn link_faults_forward_the_wire_knobs_and_arm_the_plan() {
+        let plan = FaultPlan {
+            repl_delay: Duration::from_millis(3),
+            repl_drop_frame: 5,
+            repl_duplicate_frame: 9,
+            repl_corrupt_frame: 13,
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_noop(), "any armed link fault arms the plan");
+        let lf = plan.link_faults();
+        assert_eq!(lf.delay, Duration::from_millis(3));
+        assert_eq!(lf.drop_frame, 5);
+        assert_eq!(lf.duplicate_frame, 9);
+        assert_eq!(lf.corrupt_frame, 13);
+        assert!(!lf.is_noop());
+        assert!(LinkFaults::default().is_noop());
+        assert!(FaultPlan::default().link_faults().is_noop());
     }
 }

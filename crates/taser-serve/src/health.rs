@@ -73,6 +73,15 @@ pub struct HealthConfig {
     /// `4 * publish_every` (and disables the signal when auto-publish is
     /// off).
     pub publish_lag_events: u64,
+    /// Replication lag (events the slowest replica is behind, or a
+    /// replica's own distance from the primary's head) that is critical;
+    /// half of it warns. The signal is inactive until the engine carries
+    /// a replication role.
+    pub repl_lag_events: u64,
+    /// A replica that has heard nothing from its primary (no frame, no
+    /// heartbeat) for this long is considered partitioned — the repl gate
+    /// fires even if the known lag is still small.
+    pub repl_stale_after: Duration,
 }
 
 impl Default for HealthConfig {
@@ -93,6 +102,8 @@ impl Default for HealthConfig {
             queue_warn: 0.5,
             queue_critical: 0.9,
             publish_lag_events: 0,
+            repl_lag_events: 1024,
+            repl_stale_after: Duration::from_secs(10),
         }
     }
 }
@@ -133,6 +144,13 @@ pub struct HealthSample<'a> {
     /// Lifetime worker respawns by the supervisor (cumulative; the
     /// watchdog windows it into a restart *rate*).
     pub worker_restarts: u64,
+    /// Replication lag in events: on a primary, how far the slowest
+    /// replica trails the WAL head; on a replica, how far it trails the
+    /// primary's advertised head. `0` when the engine is standalone.
+    pub repl_lag_events: u64,
+    /// On a replica: time since the last frame or heartbeat from the
+    /// primary (`None` on primaries / standalone engines).
+    pub repl_stale: Option<Duration>,
 }
 
 // ring channel layout: five globals, then three channels per lane
@@ -177,6 +195,10 @@ struct MonitorInner {
     /// Worker-restart churn over the fast window (any respawn warns, a
     /// sustained crash loop goes critical).
     restart: HysteresisGate,
+    /// Replication lag / staleness (whichever fraction is worse). Fed
+    /// `0.0` while the engine is standalone, so the gate stays dormant
+    /// and recovers on its own after catch-up.
+    repl: HysteresisGate,
     /// Rebuilt every evaluation from gates with level > Ok (preallocated;
     /// `Alert` is `Copy`).
     firing: Vec<Alert>,
@@ -262,6 +284,16 @@ impl HealthMonitor {
             hold_up: 1,
             hold_down: cfg.hold_down,
         };
+        // value is lag (or staleness) over its threshold: half the
+        // configured lag warns, the full threshold is critical, and
+        // catch-up drives it back under the clear line
+        let repl_policy = HysteresisPolicy {
+            warn_above: 0.5,
+            critical_above: 1.0,
+            clear_below: 0.25,
+            hold_up: cfg.hold_up,
+            hold_down: cfg.hold_down,
+        };
         let publish_lag_threshold = if cfg.publish_lag_events > 0 {
             cfg.publish_lag_events
         } else if publish_every > 0 {
@@ -269,7 +301,7 @@ impl HealthMonitor {
         } else {
             0 // manual publishing: lag is an operator choice, not a fault
         };
-        let gates = lanes * 2 + workers + 2;
+        let gates = lanes * 2 + workers + 3;
         HealthMonitor {
             cfg,
             epoch: Instant::now(),
@@ -293,6 +325,7 @@ impl HealthMonitor {
                     .collect(),
                 publish: HysteresisGate::new(publish_policy),
                 restart: HysteresisGate::new(restart_policy),
+                repl: HysteresisGate::new(repl_policy),
                 firing: Vec::with_capacity(gates),
                 transitions: VecDeque::with_capacity(TRANSITIONS_CAP),
                 transitions_total: 0,
@@ -410,6 +443,26 @@ impl HealthMonitor {
                 push_transition(inner, epoch_ms, a);
             }
         }
+        {
+            // worst of lag-over-threshold and staleness-over-threshold; a
+            // standalone engine feeds zeros, keeping the gate dormant and
+            // letting catch-up clear a firing gate without special cases
+            let lag_frac = s.repl_lag_events as f64 / self.cfg.repl_lag_events.max(1) as f64;
+            let stale_frac = s.repl_stale.map_or(0.0, |d| {
+                d.as_secs_f64() / self.cfg.repl_stale_after.as_secs_f64().max(1e-3)
+            });
+            let v = lag_frac.max(stale_frac);
+            if let Some((from, to)) = inner.repl.observe(v) {
+                let a = Alert {
+                    signal: "repl_lag",
+                    index: None,
+                    from,
+                    to,
+                    value: v,
+                };
+                push_transition(inner, epoch_ms, a);
+            }
+        }
 
         // rebuild the firing list and the overall level
         inner.firing.clear();
@@ -456,11 +509,13 @@ impl HealthMonitor {
             }
             level = level.max(g.level());
         }
-        {
-            let g = &inner.restart;
+        for (signal, g) in [
+            ("worker_restart", &inner.restart),
+            ("repl_lag", &inner.repl),
+        ] {
             if g.level() > AlertLevel::Ok {
                 inner.firing.push(Alert {
-                    signal: "worker_restart",
+                    signal,
                     index: None,
                     from: g.level(),
                     to: g.level(),
@@ -697,6 +752,8 @@ mod tests {
                     publish_pending: 0,
                     worker_busy: &[None],
                     worker_restarts: 0,
+                    repl_lag_events: 0,
+                    repl_stale: None,
                 },
             );
         };
@@ -759,6 +816,8 @@ mod tests {
                     publish_pending: 70,
                     worker_busy: &busy,
                     worker_restarts: 0,
+                    repl_lag_events: 0,
+                    repl_stale: None,
                 },
             );
         }
@@ -792,6 +851,8 @@ mod tests {
                     publish_pending: 0,
                     worker_busy: &[None],
                     worker_restarts: restarts,
+                    repl_lag_events: 0,
+                    repl_stale: None,
                 },
             );
         };
@@ -829,6 +890,80 @@ mod tests {
         assert!(firing.iter().any(|a| a.signal == "worker_restart"));
     }
 
+    /// The repl gate must stay dormant on a standalone engine, fire on
+    /// sustained lag (or a stale feed), and clear once catch-up drives
+    /// the lag back under the clear line — the partition/rejoin shape.
+    #[test]
+    fn repl_lag_gate_fires_on_partition_and_clears_after_catch_up() {
+        let cfg = HealthConfig {
+            repl_lag_events: 100,
+            repl_stale_after: Duration::from_secs(4),
+            ..test_cfg()
+        };
+        let m = HealthMonitor::new(cfg, 1, 1, 100, 0);
+        let epoch = Instant::now();
+        let hist = LatencyHistogram::default();
+        let lanes = [LaneSampleTotals::default()];
+        let drive = |tick: u64, lag: u64, stale: Option<Duration>| {
+            m.observe(
+                epoch + Duration::from_secs(tick),
+                &HealthSample {
+                    lanes: &lanes,
+                    latency: &hist,
+                    scored: 0,
+                    ingests: 0,
+                    generation: 0,
+                    publish_pending: 0,
+                    worker_busy: &[None],
+                    worker_restarts: 0,
+                    repl_lag_events: lag,
+                    repl_stale: stale,
+                },
+            );
+        };
+        let mut tick = 0u64;
+        for _ in 0..4 {
+            tick += 1;
+            drive(tick, 0, None);
+        }
+        assert_eq!(m.level(), AlertLevel::Ok);
+
+        // partition: lag grows past the threshold and holds (hold_up = 2)
+        for _ in 0..4 {
+            tick += 1;
+            drive(tick, 500, None);
+        }
+        assert_eq!(m.level(), AlertLevel::Critical, "{}", m.health_json());
+        let mut firing = Vec::new();
+        m.firing_into(&mut firing);
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].signal, "repl_lag");
+        assert!(
+            m.health_json().contains("repl_lag critical"),
+            "{}",
+            m.health_json()
+        );
+
+        // catch-up: lag collapses, the gate recovers after hold_down
+        for _ in 0..6 {
+            tick += 1;
+            drive(tick, 0, None);
+        }
+        assert_eq!(m.level(), AlertLevel::Ok, "{}", m.health_json());
+        m.firing_into(&mut firing);
+        assert!(firing.is_empty());
+
+        // a quiet link with small lag still fires via staleness
+        for _ in 0..4 {
+            tick += 1;
+            drive(tick, 3, Some(Duration::from_secs(12)));
+        }
+        assert_eq!(m.level(), AlertLevel::Critical, "{}", m.health_json());
+        m.firing_into(&mut firing);
+        assert_eq!(firing[0].signal, "repl_lag");
+        assert!(firing[0].value >= 3.0, "staleness fraction dominates");
+    }
+
     #[test]
     fn watch_line_reports_windowed_rates() {
         let m = HealthMonitor::new(test_cfg(), 1, 1, 100, 0);
@@ -851,6 +986,8 @@ mod tests {
                     publish_pending: 0,
                     worker_busy: &[None],
                     worker_restarts: 0,
+                    repl_lag_events: 0,
+                    repl_stale: None,
                 },
             );
         }

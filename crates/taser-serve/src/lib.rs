@@ -47,6 +47,20 @@
 //! recovers the pre-crash index bit-identically. Every injectable
 //! failure is driven by one declarative [`FaultPlan`] ([`fault`]).
 //!
+//! On top of durability sits **replication** ([`replication`]): a primary
+//! streams its WAL frames — wire format = disk format — to any number of
+//! read-only replicas, each applying into its own [`SnapshotStore`] and
+//! serving `query` traffic. A joining replica bootstraps from a
+//! checkpoint transfer and tails the WAL from its acked position, so
+//! catch-up after a partition reuses the recovery path (eid-deduped,
+//! resumable, idempotent); [`ServeEngine::promote`] turns a caught-up
+//! replica into a writable primary after a primary loss, and
+//! [`ServeEngine::shutdown`] drains a node cleanly (seal, flush the WAL
+//! tail, final checkpoint). Replica lag feeds the health watchdog's
+//! `repl_lag` gate and the `taser_repl_lag_events` gauge; the
+//! replication link honors the same [`FaultPlan`]
+//! (drop/duplicate/corrupt/delay a frame in transit).
+//!
 //! ```no_run
 //! use taser_serve::{ServeConfig, ServeEngine};
 //! use taser_models::ModelArtifact;
@@ -67,6 +81,7 @@ pub mod features;
 pub mod health;
 pub mod pipeline;
 pub mod protocol;
+pub mod replication;
 pub mod snapshot;
 pub mod stats;
 
@@ -74,11 +89,14 @@ pub use admission::{
     AdmissionPolicy, AdmissionQueue, BatchPolicy, LaneAdmission, LinkQuery, Overloaded,
     ScoreOutcome, ScoreResult, ScoreTicket,
 };
-pub use engine::{ServeConfig, ServeEngine};
-pub use fault::{FaultPlan, FaultState};
+pub use engine::{ReplStatus, ServeConfig, ServeEngine};
+pub use fault::{FaultPlan, FaultState, LinkFaults};
 pub use features::{FeatureCacheStats, ServeFeatureCache};
 pub use health::{HealthConfig, HealthMonitor, HealthSample, LaneSampleTotals};
 pub use pipeline::{ScorePath, ScorePipeline, ScoreScratch};
+pub use replication::{
+    start_push, start_replica, Applied, PeerState, ReplListener, ReplThread, ReplicationHub,
+};
 pub use snapshot::{
     DurabilityConfig, GraphSnapshot, IndexBackend, PublishLag, RecoveryReport, SnapshotStore,
 };

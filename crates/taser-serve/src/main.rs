@@ -11,6 +11,7 @@
 //!     [--index-backend rebuild|incremental] [--trace-out trace.json]
 //!     [--no-health] [--slo-target 0.99]
 //!     [--wal-dir state/] [--checkpoint-every 10000] [--wal-flush-every 64]
+//!     [--repl-listen addr] [--replicate-to addr] [--replicate-from addr]
 //! ```
 //!
 //! `--wal-dir <dir>` makes ingest **crash-safe**: every accepted event is
@@ -37,7 +38,25 @@
 //! `u v t` lines so `run` can seed the live graph with history). `run`
 //! speaks the line protocol of `taser_serve::protocol` on stdin/stdout, or
 //! on TCP when `--tcp` is given.
+//!
+//! **Replication.** `--repl-listen <addr>` turns the node into a
+//! replicating primary: it streams its WAL frames to every replica that
+//! dials in, serving a checkpoint bootstrap to empty joiners.
+//! `--replicate-to <addr>` additionally dials out and pushes the feed to
+//! a listening replica. `--replicate-from <addr>` starts the node as a
+//! read-only replica tailing that primary (reconnect + resync forever);
+//! the `promote` protocol verb turns it into a writable primary after a
+//! primary loss. A replica cannot simultaneously be a primary, so
+//! `--replicate-from` is exclusive with the other two flags.
+//!
+//! **Shutdown.** SIGTERM (and the `shutdown` protocol verb) drains the
+//! node gracefully: admission freezes, in-flight batches resolve, the
+//! buffered WAL tail is flushed, and a final checkpoint is written
+//! before the process exits — a clean exit never loses an acknowledged
+//! ingest, whatever `--wal-flush-every` still had buffered.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use taser_core::trainer::{Backbone, Trainer, TrainerConfig, Variant};
 use taser_graph::events::EventLog;
@@ -73,9 +92,49 @@ fn usage() -> ! {
          [--queue-cap n] [--lanes n] [--publish-every n] \
          [--cache-ratio f] [--index-backend rebuild|incremental] \
          [--trace-out path] [--no-health] [--slo-target f] \
-         [--wal-dir dir] [--checkpoint-every n] [--wal-flush-every n]"
+         [--wal-dir dir] [--checkpoint-every n] [--wal-flush-every n] \
+         [--repl-listen addr] [--replicate-to addr] [--replicate-from addr]"
     );
     std::process::exit(2);
+}
+
+/// Set by the SIGTERM handler; a watcher thread turns it into a graceful
+/// engine drain. The handler itself only stores a flag — everything else
+/// (locks, I/O) is async-signal-unsafe.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGTERM: i32 = 15;
+
+extern "C" fn note_term(_sig: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs the SIGTERM handler and a watcher thread that, on the first
+/// SIGTERM, runs [`ServeEngine::shutdown`] (seal, drain in-flight
+/// batches, flush the buffered WAL tail, final checkpoint) and exits.
+fn install_sigterm_drain(engine: &Arc<ServeEngine>) {
+    unsafe { signal(SIGTERM, note_term as *const () as usize) };
+    let engine = engine.clone();
+    std::thread::spawn(move || loop {
+        if TERM_REQUESTED.load(Ordering::SeqCst) {
+            eprintln!("SIGTERM: draining (seal -> drain -> flush WAL tail -> checkpoint)");
+            match engine.shutdown() {
+                Ok(()) => {
+                    eprintln!("drained cleanly");
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("shutdown persist error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
 }
 
 fn main() {
@@ -275,6 +334,40 @@ fn run(args: &[String]) {
     // Asserted by the CI serve-smoke job: serving must select the
     // zero-allocation packed-weight forward unless TASER_SCORE_PATH=tape.
     eprintln!("scoring path: {}", engine.pipeline().score_path().name());
+
+    let engine = Arc::new(engine);
+    install_sigterm_drain(&engine);
+
+    // replication topology: primary flags arm the hub, the replica flag
+    // tails a primary; the roles are mutually exclusive on one node
+    let repl_listen = arg_value(args, "--repl-listen");
+    let repl_to = arg_value(args, "--replicate-to");
+    let repl_from = arg_value(args, "--replicate-from");
+    if repl_from.is_some() && (repl_listen.is_some() || repl_to.is_some()) {
+        eprintln!("--replicate-from is exclusive with --repl-listen / --replicate-to");
+        std::process::exit(2);
+    }
+    if repl_listen.is_some() || repl_to.is_some() {
+        engine.enable_replication().expect("enable replication");
+    }
+    // guards keep the feed threads and the accept loop alive for the
+    // lifetime of the serving session
+    let _repl_listener = repl_listen.map(|bind| {
+        let l = taser_serve::ReplListener::spawn(&engine, &bind).expect("bind repl listener");
+        eprintln!("replication listener on {}", l.addr());
+        l
+    });
+    let mut _repl_threads: Vec<taser_serve::ReplThread> = Vec::new();
+    if let Some(addr) = repl_to {
+        _repl_threads.push(taser_serve::start_push(&engine, addr.clone()).expect("start push"));
+        eprintln!("pushing WAL feed to {addr}");
+    }
+    if let Some(addr) = repl_from {
+        _repl_threads
+            .push(taser_serve::start_replica(&engine, addr.clone()).expect("start replica"));
+        eprintln!("replica: tailing {addr} (read-only until `promote`)");
+    }
+
     match arg_value(args, "--tcp") {
         Some(addr) => {
             if trace_out.is_some() {
@@ -285,7 +378,7 @@ fn run(args: &[String]) {
             }
             let listener = std::net::TcpListener::bind(&addr).expect("bind");
             eprintln!("listening on {addr}");
-            protocol::serve_tcp(std::sync::Arc::new(engine), listener).expect("serve");
+            protocol::serve_tcp(engine.clone(), listener).expect("serve");
         }
         None => {
             let stdin = std::io::stdin();

@@ -16,6 +16,10 @@
 //! watch <n>                ->  <n windowed-rate lines, one per eval period>
 //! profile                  ->  <stage-occupancy folded stacks, multi-line>
 //! trace                    ->  <chrome://tracing JSON, one line>
+//! repl                     ->  <one-line JSON: role, position, lag, peers>
+//! digest                   ->  digest <hex> gen=<generation>
+//! promote                  ->  promoted next_eid=<n>   (replica -> primary)
+//! shutdown                 ->  shutdown drained       (closes the session)
 //! quit                     ->  bye            (closes the session)
 //! # comment / blank        ->  (no reply)
 //! ```
@@ -45,6 +49,15 @@
 //! the session waits a multiple of the SLO for a ticket and then answers
 //! `overloaded worker_failed` — a crashed or wedged scoring worker can
 //! never hang a client on a dead ticket.
+//!
+//! The replication verbs are the failover runbook: `repl` reports the
+//! node's role and feed position, `digest` publishes and answers the
+//! content digest (the bit-identity oracle two nodes are compared by),
+//! `promote` turns a caught-up replica into a writable primary, and
+//! `shutdown` runs the engine's graceful drain (seal, flush the WAL
+//! tail, final checkpoint) before closing the session. Clients dialing a
+//! node that is still starting (or failing over) should connect through
+//! [`client::connect_with_retry`].
 
 use crate::engine::ServeEngine;
 use std::io::{BufRead, ErrorKind, Write};
@@ -93,6 +106,17 @@ pub enum Command {
     /// Dump recorded spans as chrome://tracing JSON (one line; empty
     /// trace unless tracing is on via `--trace-out` or `TASER_TRACE=1`).
     Trace,
+    /// One-line JSON replication status: role, feed position, lag,
+    /// connected peers.
+    Repl,
+    /// Publish, then answer the snapshot content digest — the identity
+    /// two nodes are compared by after failover.
+    Digest,
+    /// Promote a read-only replica into a writable primary.
+    Promote,
+    /// Gracefully drain the engine (seal, flush, final checkpoint) and
+    /// end the session.
+    Shutdown,
     /// End the session.
     Quit,
 }
@@ -166,6 +190,10 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
         }
         "profile" => Ok(Some(Command::Profile)),
         "trace" => Ok(Some(Command::Trace)),
+        "repl" => Ok(Some(Command::Repl)),
+        "digest" => Ok(Some(Command::Digest)),
+        "promote" => Ok(Some(Command::Promote)),
+        "shutdown" => Ok(Some(Command::Shutdown)),
         "quit" => Ok(Some(Command::Quit)),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -230,6 +258,21 @@ pub fn respond(engine: &ServeEngine, cmd: Command) -> String {
             }
         }
         Command::Trace => taser_obs::chrome_trace_json(),
+        Command::Repl => engine.repl_status().to_json(),
+        Command::Digest => {
+            // publish first so the digest covers every ingest so far —
+            // the number two nodes are compared by after failover
+            let gen = engine.publish();
+            format!("digest {:016x} gen={gen}", engine.snapshot_digest())
+        }
+        Command::Promote => match engine.promote() {
+            Ok(next_eid) => format!("promoted next_eid={next_eid}"),
+            Err(msg) => format!("error {msg}"),
+        },
+        Command::Shutdown => match engine.shutdown() {
+            Ok(()) => "shutdown drained".to_string(),
+            Err(e) => format!("error shutdown persist: {e}"),
+        },
         Command::Quit => "bye".to_string(),
     }
 }
@@ -257,6 +300,39 @@ fn render_metrics(engine: &ServeEngine) -> String {
         out.pop();
     }
     out
+}
+
+/// Client-side connection helpers for benches, smokes, and operator
+/// scripts talking to a node that may still be binding its listener (or
+/// mid-failover).
+pub mod client {
+    use std::io;
+    use std::net::TcpStream;
+    use std::time::{Duration, SystemTime};
+
+    /// Dials `addr`, retrying up to `attempts` times with exponential
+    /// backoff (starting at `base`, doubling, capped at 2 s) plus a
+    /// little clock-derived jitter so a thundering herd of rejoining
+    /// clients spreads out. Returns the last error once the budget is
+    /// spent.
+    pub fn connect_with_retry(addr: &str, attempts: u32, base: Duration) -> io::Result<TcpStream> {
+        let mut delay = base.max(Duration::from_millis(1));
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            match TcpStream::connect(addr) {
+                Ok(s) => return Ok(s),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < attempts.max(1) {
+                let jitter_ms = SystemTime::now()
+                    .duration_since(SystemTime::UNIX_EPOCH)
+                    .map_or(0, |d| u64::from(d.subsec_nanos()) % 16);
+                std::thread::sleep(delay + Duration::from_millis(jitter_ms));
+                delay = (delay * 2).min(Duration::from_secs(2));
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("connect_with_retry: zero attempts")))
+    }
 }
 
 /// True for the error kinds a vanishing client produces: normal session
@@ -300,7 +376,7 @@ pub fn run_session(
                 Ok(None) => continue,
                 Ok(Some(cmd)) => {
                     let reply = respond(engine, cmd);
-                    if cmd == Command::Quit {
+                    if cmd == Command::Quit || cmd == Command::Shutdown {
                         match writeln!(writer, "{reply}").and_then(|()| writer.flush()) {
                             Err(e) if !is_disconnect(&e) => return Err(e),
                             _ => return Ok(()),
@@ -438,6 +514,10 @@ mod tests {
         assert_eq!(parse("watch 3").unwrap(), Some(Command::Watch(3)));
         assert_eq!(parse("profile").unwrap(), Some(Command::Profile));
         assert_eq!(parse("trace").unwrap(), Some(Command::Trace));
+        assert_eq!(parse("repl").unwrap(), Some(Command::Repl));
+        assert_eq!(parse("digest").unwrap(), Some(Command::Digest));
+        assert_eq!(parse("promote").unwrap(), Some(Command::Promote));
+        assert_eq!(parse("shutdown").unwrap(), Some(Command::Shutdown));
         assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
         assert_eq!(parse("").unwrap(), None);
         assert_eq!(parse("# comment").unwrap(), None);
@@ -707,6 +787,77 @@ query 9 9 99
         line.clear();
         reader.read_line(&mut line).unwrap();
         assert_eq!(line.trim(), "bye");
+    }
+
+    #[test]
+    fn replication_verbs_respond_and_shutdown_ends_the_session() {
+        let engine = engine();
+        let repl = respond(&engine, Command::Repl);
+        assert!(repl.starts_with("{\"role\":\"standalone\""), "{repl}");
+        assert!(repl.contains("\"lag\":0"), "{repl}");
+        assert!(repl.contains("\"last_feed_ms\":null"), "{repl}");
+        let digest = respond(&engine, Command::Digest);
+        assert!(digest.starts_with("digest "), "{digest}");
+        assert!(digest.contains(" gen="), "{digest}");
+        assert_eq!(
+            digest,
+            respond(&engine, Command::Digest).replace("gen=2", "gen=1"),
+            "digest is stable when nothing was ingested in between"
+        );
+        // promote on a non-replica is a typed error, not a panic
+        assert_eq!(respond(&engine, Command::Promote), "error not a replica");
+
+        // shutdown replies, drains, and ends the session; trailing
+        // commands are never answered and late queries shed typed
+        let script = "ingest 0 5 20\nshutdown\nstats\n";
+        let mut out = Vec::new();
+        run_session(&engine, script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].starts_with("ingested eid="), "{}", lines[0]);
+        assert_eq!(lines[1], "shutdown drained");
+        assert!(engine.is_sealed());
+        assert_eq!(
+            respond(
+                &engine,
+                Command::Query {
+                    src: 0,
+                    dst: 5,
+                    t: 40.0,
+                    lane: 0
+                }
+            ),
+            "overloaded queue_full lane=0"
+        );
+    }
+
+    #[test]
+    fn connect_with_retry_rides_out_a_late_binding_listener() {
+        use std::io::{BufRead, BufReader, Write};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // refuse until the server "comes up": drop the listener, redial the
+        // same port from a delayed thread
+        drop(listener);
+        let addr2 = addr.clone();
+        let rebind = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            let listener = TcpListener::bind(&addr2).unwrap();
+            let engine = Arc::new(engine());
+            let _ = serve_tcp(engine, listener);
+        });
+        let conn = client::connect_with_retry(&addr, 8, Duration::from_millis(20))
+            .expect("retry outlives the bind gap");
+        let mut conn = conn;
+        conn.write_all(b"quit\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "bye");
+        drop(rebind); // serve_tcp never returns; leave the thread parked
+
+        // a dead address exhausts the budget with the connect error
+        assert!(client::connect_with_retry("127.0.0.1:1", 2, Duration::from_millis(1)).is_err());
     }
 
     #[test]

@@ -1,0 +1,892 @@
+//! Primary/replica WAL-shipping replication.
+//!
+//! PR 9 made a single process crash-safe; this module makes the *service*
+//! survive the process. A primary streams its accepted events to N
+//! replicas as the exact CRC-checked frames the WAL writes to disk
+//! (`taser_graph::wal::encode_frame` — the wire format IS the disk
+//! format), each replica applies them into its own [`crate::SnapshotStore`]
+//! and serves read-only `query` traffic, and on primary death an operator
+//! (or the CI smoke) promotes a replica, which seals its position and
+//! starts accepting writes.
+//!
+//! # Topology and handshake
+//!
+//! Every feed connection carries the same duplex protocol; only who dials
+//! differs:
+//!
+//! * **Pull** (`--replicate-from`): the replica dials the primary's
+//!   [`ReplListener`] and sends a `TRPL` hello carrying the next event id
+//!   it needs. The primary serves the feed from there.
+//! * **Push** (`--replicate-to`): the primary dials the *replica's*
+//!   listener with a `TPSH` hello; the replica answers with its own
+//!   `TRPL` hello and consumes the feed over the same socket.
+//!
+//! Feed messages are tagged: `E` + WAL frame (one event), `H` + `u32`
+//! heartbeat (the primary's next eid, so an idle replica still tracks
+//! lag), `S` + `u64` length + a full `TCKP` checkpoint image (snapshot
+//! bootstrap for an empty replica — the same bytes `Checkpoint::save`
+//! puts on disk). The replica acks `A` + `u32` (its next eid) on the
+//! reverse path; the hub tracks acks per peer to compute replica lag.
+//!
+//! # Catch-up is recovery over TCP
+//!
+//! Event ids are dense (event *i* has eid *i*), so a replica's position is
+//! one integer. After any interruption — partition, dropped frame,
+//! in-transit corruption — the replica simply reconnects and re-hellos at
+//! its current next eid; re-sent frames it already holds are deduped by
+//! eid exactly like WAL replay after a crash. Nothing is negotiated,
+//! nothing can be applied twice, and a corrupt frame can never be applied
+//! at all (the CRC travels with the frame).
+//!
+//! # Fault injection
+//!
+//! The hub honors [`LinkFaults`] from the engine's
+//! [`crate::fault::FaultPlan`]: per-frame delay, and one-shot drop /
+//! duplicate / corrupt-in-transit keyed on a hub-wide frame ordinal (so a
+//! rejoin does not re-fire the fault forever). [`ReplicationHub::set_partitioned`]
+//! severs every feed at once for partition/rejoin chaos tests.
+
+use crate::engine::ServeEngine;
+use crate::fault::LinkFaults;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use taser_graph::events::Event;
+use taser_graph::wal::{self, Checkpoint, FrameParse, EVENT_BYTES, FRAME_BYTES};
+
+/// Hello magic sent by a replica (or answered to a `TPSH` dial-in):
+/// `TRPL` + version + the next eid the replica needs.
+pub const REPL_MAGIC: [u8; 4] = *b"TRPL";
+/// Hello magic a primary sends when it dials a replica
+/// (`--replicate-to`): `TPSH` + version, 8 bytes — the position travels
+/// the other way, in the replica's answering `TRPL` hello.
+pub const PUSH_MAGIC: [u8; 4] = *b"TPSH";
+/// Replication wire-protocol version.
+pub const REPL_VERSION: u32 = 1;
+
+/// One event, as a WAL frame.
+const TAG_EVENT: u8 = b'E';
+/// Primary's next eid; keeps an idle replica's lag fresh.
+const TAG_HEARTBEAT: u8 = b'H';
+/// Full checkpoint image for snapshot bootstrap.
+const TAG_SNAPSHOT: u8 = b'S';
+/// Replica ack: its next eid after applying.
+const TAG_ACK: u8 = b'A';
+
+/// Bytes of one `E` message body (`[len][crc][payload]`).
+const FRAME_WIRE: usize = FRAME_BYTES + EVENT_BYTES;
+/// Heartbeat cadence while a feed is idle, and the replica's read
+/// timeout (so both sides notice stop flags promptly).
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+/// Replicas ack at least every this many applied events (and on every
+/// heartbeat), bounding how stale the primary's lag view can get.
+const ACK_EVERY: u64 = 64;
+/// Refuse snapshot images larger than this (a corrupt length prefix must
+/// not turn into an unbounded allocation).
+const SNAPSHOT_MAX: u64 = 1 << 31;
+
+// ---------------------------------------------------------------------------
+// Hub: the primary's fan-out state.
+// ---------------------------------------------------------------------------
+
+struct HubInner {
+    /// Every event the primary holds, in eid order (`events[i].eid == i`).
+    events: Vec<Event>,
+    /// Node-id space high-water mark, shipped in snapshot images.
+    num_nodes: usize,
+    seeded: bool,
+}
+
+/// Per-connection replica bookkeeping.
+pub struct PeerState {
+    addr: String,
+    /// Next eid the replica has acked (it holds everything below this).
+    acked: AtomicU32,
+    /// Frames shipped to this peer over this connection.
+    sent: AtomicU64,
+    gone: AtomicBool,
+}
+
+impl PeerState {
+    /// Remote address, for the `repl` verb's JSON.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Next eid this replica has acked.
+    pub fn acked(&self) -> u32 {
+        self.acked.load(Ordering::Relaxed)
+    }
+
+    /// Frames shipped over this connection.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+}
+
+/// The primary side of replication: the full event history plus every
+/// connected peer's progress. [`crate::SnapshotStore::attach_replication`]
+/// seeds it and then offers every accepted ingest under the ingest lock,
+/// so feeds observe frames in strict eid order.
+pub struct ReplicationHub {
+    inner: Mutex<HubInner>,
+    cv: Condvar,
+    faults: LinkFaults,
+    /// Hub-wide shipped-frame ordinal driving the one-shot link faults.
+    frame_seq: AtomicU64,
+    partitioned: AtomicBool,
+    stopped: AtomicBool,
+    snapshots_sent: AtomicU64,
+    /// High-water ack across all peers ever seen — keeps `lag()` honest
+    /// while a partition has severed every live connection.
+    last_acked: AtomicU32,
+    ever_had_peer: AtomicBool,
+    peers: Mutex<Vec<Arc<PeerState>>>,
+}
+
+impl ReplicationHub {
+    /// An empty, unseeded hub with the given link-fault plan.
+    pub fn new(faults: LinkFaults) -> Arc<Self> {
+        Arc::new(ReplicationHub {
+            inner: Mutex::new(HubInner {
+                events: Vec::new(),
+                num_nodes: 0,
+                seeded: false,
+            }),
+            cv: Condvar::new(),
+            faults,
+            frame_seq: AtomicU64::new(0),
+            partitioned: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            snapshots_sent: AtomicU64::new(0),
+            last_acked: AtomicU32::new(0),
+            ever_had_peer: AtomicBool::new(false),
+            peers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Installs the primary's existing history (called once, under the
+    /// store's ingest lock, by `attach_replication`).
+    pub fn seed(&self, events: Vec<Event>, num_nodes: usize) {
+        let mut inner = self.inner.lock().expect("hub lock poisoned");
+        assert!(!inner.seeded, "hub seeded twice");
+        inner.num_nodes = num_nodes.max(
+            events
+                .iter()
+                .map(|e| e.src.max(e.dst) as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        inner.events = events;
+        inner.seeded = true;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Appends one accepted event (called under the store's ingest lock,
+    /// so eid order on the feed matches ingest order).
+    pub fn append(&self, e: Event) {
+        let mut inner = self.inner.lock().expect("hub lock poisoned");
+        debug_assert_eq!(e.eid as usize, inner.events.len(), "dense eids");
+        inner.num_nodes = inner.num_nodes.max(e.src.max(e.dst) as usize + 1);
+        inner.events.push(e);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// The next eid the primary will assign (== events held).
+    pub fn next_eid(&self) -> u32 {
+        self.inner.lock().expect("hub lock poisoned").events.len() as u32
+    }
+
+    /// Events the slowest replica is behind the primary. Uses live peers'
+    /// acks when connected and the high-water ack during a partition (so
+    /// the lag gauge keeps growing while the link is down); 0 until a
+    /// replica has ever connected.
+    pub fn lag(&self) -> u64 {
+        if !self.ever_had_peer.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let len = self.next_eid() as u64;
+        let peers = self.peers.lock().expect("peer lock poisoned");
+        let live_min = peers
+            .iter()
+            .filter(|p| !p.gone.load(Ordering::Relaxed))
+            .map(|p| p.acked.load(Ordering::Relaxed))
+            .min();
+        let acked = live_min.unwrap_or_else(|| self.last_acked.load(Ordering::Relaxed));
+        len.saturating_sub(acked as u64)
+    }
+
+    /// Currently connected peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers
+            .lock()
+            .expect("peer lock poisoned")
+            .iter()
+            .filter(|p| !p.gone.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Snapshot of connected peers, for the `repl` verb.
+    pub fn peers(&self) -> Vec<Arc<PeerState>> {
+        self.peers
+            .lock()
+            .expect("peer lock poisoned")
+            .iter()
+            .filter(|p| !p.gone.load(Ordering::Relaxed))
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot bootstraps served so far.
+    pub fn snapshots_sent(&self) -> u64 {
+        self.snapshots_sent.load(Ordering::Relaxed)
+    }
+
+    /// Severs (or restores) every feed at once: while partitioned, serving
+    /// loops exit, the listener refuses feed hellos, and replicas spin in
+    /// their reconnect loop. Clearing it lets the next reconnect through —
+    /// catch-up needs no other coordination.
+    pub fn set_partitioned(&self, on: bool) {
+        self.partitioned.store(on, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Whether the injected partition is active.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::SeqCst)
+    }
+
+    /// Permanently stops every serving loop (engine shutdown).
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+
+    fn register_peer(&self, addr: String, acked: u32) -> Arc<PeerState> {
+        let peer = Arc::new(PeerState {
+            addr,
+            acked: AtomicU32::new(acked),
+            sent: AtomicU64::new(0),
+            gone: AtomicBool::new(false),
+        });
+        self.last_acked.fetch_max(acked, Ordering::Relaxed);
+        self.ever_had_peer.store(true, Ordering::Relaxed);
+        self.peers
+            .lock()
+            .expect("peer lock poisoned")
+            .push(peer.clone());
+        peer
+    }
+
+    fn unregister_peer(&self, peer: &Arc<PeerState>) {
+        peer.gone.store(true, Ordering::Relaxed);
+        self.peers
+            .lock()
+            .expect("peer lock poisoned")
+            .retain(|p| !Arc::ptr_eq(p, peer));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire helpers.
+// ---------------------------------------------------------------------------
+
+fn u32_at(buf: &[u8]) -> u32 {
+    u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]])
+}
+
+fn write_hello(stream: &mut TcpStream, magic: [u8; 4], next_eid: u32) -> io::Result<()> {
+    let mut buf = [0u8; 12];
+    buf[0..4].copy_from_slice(&magic);
+    buf[4..8].copy_from_slice(&REPL_VERSION.to_le_bytes());
+    buf[8..12].copy_from_slice(&next_eid.to_le_bytes());
+    stream.write_all(&buf)
+}
+
+/// Reads exactly `buf.len()` bytes, riding out read-timeout ticks (the
+/// sockets run 200ms timeouts so loops can poll stop flags). `interrupt`
+/// is polled on every tick; when it reports true the read gives up with
+/// `Interrupted`. A cleanly closed socket yields `UnexpectedEof`.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    interrupt: &dyn Fn() -> bool,
+) -> io::Result<()> {
+    let mut off = 0;
+    while off < buf.len() {
+        if interrupt() {
+            return Err(io::Error::new(ErrorKind::Interrupted, "stopped"));
+        }
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => return Err(io::Error::new(ErrorKind::UnexpectedEof, "peer closed")),
+            Ok(n) => off += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Primary: serving one feed.
+// ---------------------------------------------------------------------------
+
+/// Serves one replica connection from `hello_next` until the link drops,
+/// the hub partitions/stops, or `stop` is raised. Holds only the hub (no
+/// engine `Arc`), so a dying engine is never pinned by its feeds.
+fn serve_peer(
+    hub: &Arc<ReplicationHub>,
+    mut stream: TcpStream,
+    hello_next: u32,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let addr = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    let peer = hub.register_peer(addr, hello_next);
+
+    // Reverse path: acks arrive on the same socket; a clone blocks in
+    // read_exact until the serve loop shuts the socket down.
+    let ack_reader = stream.try_clone().ok().map(|mut s| {
+        let peer = peer.clone();
+        let hub = hub.clone();
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            while s.read_exact(&mut buf).is_ok() {
+                if buf[0] != TAG_ACK {
+                    break;
+                }
+                let n = u32_at(&buf[1..]);
+                peer.acked.fetch_max(n, Ordering::Relaxed);
+                hub.last_acked.fetch_max(n, Ordering::Relaxed);
+            }
+        })
+    });
+
+    let mut cursor = hello_next as usize;
+    let mut ok = true;
+
+    // Snapshot bootstrap: an empty replica gets the whole history as one
+    // checkpoint image instead of millions of frames. Encoded under the
+    // hub lock so the image is a consistent prefix; the cursor then tails
+    // from exactly its end.
+    {
+        let inner = hub.inner.lock().expect("hub lock poisoned");
+        cursor = cursor.min(inner.events.len());
+        if hello_next == 0 && !inner.events.is_empty() {
+            let image =
+                Checkpoint::encode(&inner.events, inner.num_nodes, inner.events.len() as u32);
+            cursor = inner.events.len();
+            drop(inner);
+            let mut msg = Vec::with_capacity(9 + image.len());
+            msg.push(TAG_SNAPSHOT);
+            msg.extend_from_slice(&(image.len() as u64).to_le_bytes());
+            msg.extend_from_slice(&image);
+            ok = stream.write_all(&msg).is_ok();
+            if ok {
+                hub.snapshots_sent.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    while ok && !stop.load(Ordering::Relaxed) && !hub.is_stopped() && !hub.is_partitioned() {
+        let next = {
+            let inner = hub.inner.lock().expect("hub lock poisoned");
+            if cursor < inner.events.len() {
+                Some(inner.events[cursor])
+            } else {
+                let (inner, _timeout) = hub
+                    .cv
+                    .wait_timeout(inner, HEARTBEAT_EVERY)
+                    .expect("hub lock poisoned");
+                (cursor < inner.events.len()).then(|| inner.events[cursor])
+            }
+        };
+        match next {
+            None => {
+                // idle (or just woken to re-check flags): heartbeat so the
+                // replica's lag view and staleness clock stay fresh
+                let mut msg = [0u8; 5];
+                msg[0] = TAG_HEARTBEAT;
+                msg[1..5].copy_from_slice(&hub.next_eid().to_le_bytes());
+                ok = stream.write_all(&msg).is_ok();
+            }
+            Some(ev) => {
+                let seq = hub.frame_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                let f = hub.faults;
+                if !f.delay.is_zero() {
+                    std::thread::sleep(f.delay);
+                }
+                if f.drop_frame == seq {
+                    // vanish on the wire: the replica sees an eid gap and
+                    // resyncs by reconnecting
+                    cursor += 1;
+                    continue;
+                }
+                let mut msg = Vec::with_capacity(1 + FRAME_WIRE);
+                msg.push(TAG_EVENT);
+                wal::encode_frame(&ev, &mut msg);
+                if f.corrupt_frame == seq {
+                    // flip a payload bit *after* the CRC was computed —
+                    // the replica must reject the frame
+                    let n = msg.len() - 1;
+                    msg[n] ^= 0x40;
+                }
+                if f.duplicate_frame == seq {
+                    msg.push(TAG_EVENT);
+                    let mut again = Vec::with_capacity(FRAME_WIRE);
+                    wal::encode_frame(&ev, &mut again);
+                    msg.extend_from_slice(&again);
+                }
+                ok = stream.write_all(&msg).is_ok();
+                if ok {
+                    cursor += 1;
+                    peer.sent.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    let _ = stream.shutdown(Shutdown::Both);
+    if let Some(h) = ack_reader {
+        let _ = h.join();
+    }
+    hub.unregister_peer(&peer);
+}
+
+// ---------------------------------------------------------------------------
+// Replica: consuming a feed.
+// ---------------------------------------------------------------------------
+
+/// What [`ServeEngine::apply_replicated`] did with one feed event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Applied {
+    /// The event was new and is now applied (and WAL-framed, on a durable
+    /// replica).
+    Fresh,
+    /// Already held (re-sent after a resync, or a duplicated frame) —
+    /// deduped by eid, same as WAL replay.
+    Duplicate,
+    /// The event skips ahead of the replica's next eid: frames were lost
+    /// in transit. The consumer must resync (reconnect and re-hello).
+    Gap,
+    /// The engine is not accepting feed events (promoted or sealed).
+    Rejected,
+}
+
+/// Consumes one feed connection until the link drops, a gap forces a
+/// resync, the engine is promoted/sealed, or `stop` is raised. Returns
+/// `Ok(())` when the caller should reconnect and resync, `Err` when it
+/// should stop for good.
+fn consume_feed(
+    weak: &Weak<ServeEngine>,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(HEARTBEAT_EVERY));
+    let done = || {
+        stop.load(Ordering::Relaxed)
+            || weak
+                .upgrade()
+                .is_none_or(|e| !e.is_replica() || e.is_sealed())
+    };
+    let gone = || io::Error::new(ErrorKind::Interrupted, "replica stopped");
+    let mut since_ack = 0u64;
+    loop {
+        let mut tag = [0u8; 1];
+        match read_full(&mut stream, &mut tag, &done) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => return Err(gone()),
+            Err(_) => return Ok(()), // link dropped: reconnect + resync
+        }
+        let engine = weak.upgrade().ok_or_else(gone)?;
+        let mut ack_now = false;
+        match tag[0] {
+            TAG_EVENT => {
+                let mut frame = [0u8; FRAME_WIRE];
+                if read_full(&mut stream, &mut frame, &done).is_err() {
+                    return if done() { Err(gone()) } else { Ok(()) };
+                }
+                let event = match wal::parse_frame(&frame) {
+                    FrameParse::Frame { event, .. } => event,
+                    // corrupt-in-transit (or framing desync): drop the
+                    // connection and resync from our acked position —
+                    // the CRC guarantees the bad frame is never applied
+                    _ => return Ok(()),
+                };
+                match engine.apply_replicated(event) {
+                    Applied::Fresh => since_ack += 1,
+                    Applied::Duplicate => {}
+                    Applied::Gap => return Ok(()),
+                    Applied::Rejected => return Err(gone()),
+                }
+                if since_ack >= ACK_EVERY {
+                    ack_now = true;
+                }
+            }
+            TAG_HEARTBEAT => {
+                let mut n = [0u8; 4];
+                if read_full(&mut stream, &mut n, &done).is_err() {
+                    return if done() { Err(gone()) } else { Ok(()) };
+                }
+                engine.note_primary_next(u32_at(&n));
+                ack_now = true;
+            }
+            TAG_SNAPSHOT => {
+                let mut len = [0u8; 8];
+                if read_full(&mut stream, &mut len, &done).is_err() {
+                    return if done() { Err(gone()) } else { Ok(()) };
+                }
+                let len = u64::from_le_bytes(len);
+                if len > SNAPSHOT_MAX {
+                    return Ok(());
+                }
+                let mut image = vec![0u8; len as usize];
+                if read_full(&mut stream, &mut image, &done).is_err() {
+                    return if done() { Err(gone()) } else { Ok(()) };
+                }
+                let ckpt = match Checkpoint::decode(&image) {
+                    Ok(c) => c,
+                    Err(_) => return Ok(()), // corrupt image: resync
+                };
+                for ev in &ckpt.events {
+                    match engine.apply_replicated(*ev) {
+                        Applied::Fresh | Applied::Duplicate => {}
+                        Applied::Gap => return Ok(()),
+                        Applied::Rejected => return Err(gone()),
+                    }
+                }
+                engine.note_snapshot_load(ckpt.events.len());
+                engine.note_primary_next(ckpt.next_eid);
+                ack_now = true;
+            }
+            _ => return Ok(()), // protocol desync: reconnect
+        }
+        if ack_now {
+            since_ack = 0;
+            let mut msg = [0u8; 5];
+            msg[0] = TAG_ACK;
+            msg[1..5].copy_from_slice(&engine.repl_next_eid().to_le_bytes());
+            if stream.write_all(&msg).is_err() {
+                return Ok(());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Long-running roles: listener, pull replica, push primary.
+// ---------------------------------------------------------------------------
+
+/// A background replication thread (pull-replica or push-primary loop).
+/// Dropping it raises the stop flag and joins the thread.
+pub struct ReplThread {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplThread {
+    fn spawn(stop: Arc<AtomicBool>, f: impl FnOnce() + Send + 'static) -> Self {
+        ReplThread {
+            stop,
+            handle: Some(std::thread::spawn(f)),
+        }
+    }
+
+    /// Raises the stop flag without joining (join happens on drop).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for ReplThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// TCP listener accepting replication connections (`--repl-listen`).
+///
+/// On a primary it serves `TRPL` feed hellos from joining replicas; on a
+/// replica it answers `TPSH` dial-ins from a pushing primary. Holds only
+/// a `Weak` engine reference: the accept loop exits when the engine is
+/// dropped, so a listener can never keep a dead engine alive.
+pub struct ReplListener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplListener {
+    /// Binds `bind` (e.g. `127.0.0.1:0`) and starts the accept loop.
+    pub fn spawn(engine: &Arc<ServeEngine>, bind: &str) -> io::Result<ReplListener> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let weak = Arc::downgrade(engine);
+        let handle = {
+            let stop = stop.clone();
+            std::thread::spawn(move || listener_loop(listener, weak, stop))
+        };
+        Ok(ReplListener {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ReplListener {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn listener_loop(listener: TcpListener, weak: Weak<ServeEngine>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if weak.upgrade().is_none() {
+                    break;
+                }
+                let weak = weak.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || handle_conn(weak, stream, stop));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn handle_conn(weak: Weak<ServeEngine>, mut stream: TcpStream, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let done = || stop.load(Ordering::SeqCst);
+    let mut header = [0u8; 8];
+    if read_full(&mut stream, &mut header, &done).is_err() {
+        return;
+    }
+    if u32_at(&header[4..]) != REPL_VERSION {
+        return;
+    }
+    let magic: [u8; 4] = [header[0], header[1], header[2], header[3]];
+    if magic == REPL_MAGIC {
+        // a replica wants our feed
+        let mut next = [0u8; 4];
+        if read_full(&mut stream, &mut next, &done).is_err() {
+            return;
+        }
+        let hub = match weak.upgrade().and_then(|e| e.repl_hub()) {
+            Some(h) => h,
+            None => return, // not a replicating primary
+        };
+        if hub.is_partitioned() {
+            return; // injected partition: refuse the rejoin
+        }
+        let _ = stream.set_read_timeout(None);
+        serve_peer(&hub, stream, u32_at(&next), &stop);
+    } else if magic == PUSH_MAGIC {
+        // a primary is pushing its feed at us: become (stay) a replica
+        let next = match weak.upgrade() {
+            Some(e) => match e.make_replica() {
+                Ok(()) => e.repl_next_eid(),
+                Err(_) => return, // promoted or sealed: refuse the feed
+            },
+            None => return,
+        };
+        if write_hello(&mut stream, REPL_MAGIC, next).is_err() {
+            return;
+        }
+        let _ = consume_feed(&weak, stream, &stop);
+    }
+}
+
+/// Starts a pull replica: marks the engine a replica and keeps a feed
+/// connection to `primary` alive (reconnect + resync on any failure)
+/// until the engine is promoted, sealed, or dropped.
+pub fn start_replica(engine: &Arc<ServeEngine>, primary: String) -> Result<ReplThread, String> {
+    engine.make_replica()?;
+    let weak = Arc::downgrade(engine);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    Ok(ReplThread::spawn(stop, move || {
+        replica_loop(weak, primary, stop2)
+    }))
+}
+
+fn replica_loop(weak: Weak<ServeEngine>, primary: String, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        let next = match weak.upgrade() {
+            Some(e) if e.is_replica() && !e.is_sealed() => e.repl_next_eid(),
+            _ => return, // promoted, sealed, or dropped
+        };
+        let mut stream = match crate::protocol::client::connect_with_retry(
+            &primary,
+            5,
+            Duration::from_millis(50),
+        ) {
+            Ok(s) => s,
+            Err(_) => {
+                // the primary may be down for a while (failover!) —
+                // keep trying until promoted or stopped
+                std::thread::sleep(Duration::from_millis(200));
+                continue;
+            }
+        };
+        if write_hello(&mut stream, REPL_MAGIC, next).is_err() {
+            continue;
+        }
+        if consume_feed(&weak, stream, &stop).is_err() {
+            return;
+        }
+        // Ok(()) = transient failure (link drop, gap, corrupt frame):
+        // resync by reconnecting at whatever we now hold
+    }
+}
+
+/// Starts the push side on a replicating primary: keeps dialing
+/// `replica` and serving it the feed (`--replicate-to`). The engine must
+/// already have replication enabled.
+pub fn start_push(engine: &Arc<ServeEngine>, replica: String) -> Result<ReplThread, String> {
+    let hub = engine
+        .repl_hub()
+        .ok_or_else(|| "replication not enabled on this engine".to_string())?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    Ok(ReplThread::spawn(stop, move || {
+        push_loop(hub, replica, stop2)
+    }))
+}
+
+fn push_loop(hub: Arc<ReplicationHub>, replica: String, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) && !hub.is_stopped() {
+        if hub.is_partitioned() {
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        let mut stream = match crate::protocol::client::connect_with_retry(
+            &replica,
+            5,
+            Duration::from_millis(50),
+        ) {
+            Ok(s) => s,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(200));
+                continue;
+            }
+        };
+        // 8-byte dial-in hello: magic + version, no position — the
+        // replica answers with its own hello carrying where it is
+        let mut dial = [0u8; 8];
+        dial[0..4].copy_from_slice(&PUSH_MAGIC);
+        dial[4..8].copy_from_slice(&REPL_VERSION.to_le_bytes());
+        if stream.write_all(&dial).is_err() {
+            continue;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let done = || stop.load(Ordering::SeqCst);
+        let mut hello = [0u8; 12];
+        if read_full(&mut stream, &mut hello, &done).is_err() {
+            continue;
+        }
+        if hello[0..4] != REPL_MAGIC || u32_at(&hello[4..]) != REPL_VERSION {
+            std::thread::sleep(Duration::from_millis(200));
+            continue;
+        }
+        let _ = stream.set_read_timeout(None);
+        serve_peer(&hub, stream, u32_at(&hello[8..]), &stop);
+        // serve_peer returned: link dropped or partition — reconnect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(eid: u32) -> Event {
+        Event {
+            src: eid % 3,
+            dst: 3 + eid % 3,
+            t: eid as f64,
+            eid,
+        }
+    }
+
+    #[test]
+    fn hub_tracks_lag_through_peer_lifecycles() {
+        let hub = ReplicationHub::new(LinkFaults::default());
+        hub.seed((0..10).map(ev).collect(), 6);
+        assert_eq!(hub.next_eid(), 10);
+        assert_eq!(hub.lag(), 0, "no replica ever connected");
+
+        let peer = hub.register_peer("test".into(), 4);
+        assert_eq!(hub.peer_count(), 1);
+        assert_eq!(hub.lag(), 6, "10 held, 4 acked");
+        peer.acked.store(9, Ordering::Relaxed);
+        hub.last_acked.fetch_max(9, Ordering::Relaxed);
+        assert_eq!(hub.lag(), 1);
+
+        // the peer vanishes (partition): lag falls back to the high-water
+        // ack and keeps growing as the primary appends
+        hub.unregister_peer(&peer);
+        assert_eq!(hub.peer_count(), 0);
+        assert_eq!(hub.lag(), 1);
+        hub.append(ev(10));
+        hub.append(ev(11));
+        assert_eq!(hub.lag(), 3, "partitioned lag grows with appends");
+    }
+
+    #[test]
+    fn hub_append_keeps_eids_dense_and_wakes_waiters() {
+        let hub = ReplicationHub::new(LinkFaults::default());
+        hub.seed(Vec::new(), 0);
+        for i in 0..5 {
+            hub.append(ev(i));
+        }
+        assert_eq!(hub.next_eid(), 5);
+        let inner = hub.inner.lock().unwrap();
+        for (i, e) in inner.events.iter().enumerate() {
+            assert_eq!(e.eid as usize, i);
+        }
+    }
+
+    #[test]
+    fn partition_flag_round_trips_and_stop_is_sticky() {
+        let hub = ReplicationHub::new(LinkFaults::default());
+        assert!(!hub.is_partitioned());
+        hub.set_partitioned(true);
+        assert!(hub.is_partitioned());
+        hub.set_partitioned(false);
+        assert!(!hub.is_partitioned());
+        assert!(!hub.is_stopped());
+        hub.stop();
+        assert!(hub.is_stopped());
+    }
+}

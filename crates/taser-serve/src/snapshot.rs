@@ -210,6 +210,10 @@ struct Ingest {
     last_publish_at: Instant,
     /// `Some` on stores built with [`SnapshotStore::durable`].
     durable: Option<DurableState>,
+    /// `Some` once [`SnapshotStore::attach_replication`] wired a hub in:
+    /// every accepted ingest is offered to the hub *inside* the ingest
+    /// lock, so replicas observe frames in strict eid order.
+    repl: Option<Arc<crate::replication::ReplicationHub>>,
 }
 
 /// How stale the published snapshot is relative to the ingest stream.
@@ -356,6 +360,7 @@ impl SnapshotStore {
                 generation: 0,
                 last_publish_at: Instant::now(),
                 durable,
+                repl: None,
             }),
             current: RwLock::new(Arc::new(snapshot)),
             publish_every,
@@ -414,6 +419,12 @@ impl SnapshotStore {
             if d.checkpoint_every > 0 && d.since_checkpoint >= d.checkpoint_every {
                 d.checkpoint().map_err(|err| format!("checkpoint: {err}"))?;
             }
+        }
+        if let Some(hub) = ing.repl.as_ref() {
+            // offered after WAL framing (the primary holds the event
+            // durably before any replica sees it) and inside the ingest
+            // lock (frames reach the hub in strict eid order)
+            hub.append(e);
         }
         if self.publish_every > 0 && ing.since_publish >= self.publish_every {
             self.publish_locked(&mut ing);
@@ -494,6 +505,46 @@ impl SnapshotStore {
             pending_events: ing.since_publish as u64,
             since_publish: ing.last_publish_at.elapsed(),
         }
+    }
+
+    /// Wires a replication hub into the ingest path: the hub is seeded
+    /// with every event the store already holds (under the ingest lock, so
+    /// no concurrent ingest can slip between seed and hookup) and from
+    /// then on every accepted ingest is offered to it in eid order.
+    ///
+    /// Requires an event history to seed from: a durable store (the
+    /// checkpoint shadow) or the [`IndexBackend::Rebuild`] backend (the
+    /// streaming log). A non-durable incremental store keeps no replayable
+    /// history and is rejected — replication without a seed could never
+    /// bootstrap a joining replica.
+    pub fn attach_replication(
+        &self,
+        hub: &Arc<crate::replication::ReplicationHub>,
+    ) -> Result<(), String> {
+        let mut ing = self.ingest.lock().expect("ingest lock poisoned");
+        if ing.repl.is_some() {
+            return Err("replication hub already attached".to_string());
+        }
+        let (events, num_nodes) = match (&ing.durable, &ing.graph) {
+            (Some(d), _) => (d.shadow.clone(), d.num_nodes),
+            (None, IngestGraph::Rebuild(g)) => (g.snapshot().events().to_vec(), g.num_nodes()),
+            (None, IngestGraph::Incremental(_)) => {
+                return Err(
+                    "replication requires a durable store (or the rebuild backend)".to_string(),
+                )
+            }
+        };
+        hub.seed(events, num_nodes);
+        ing.repl = Some(hub.clone());
+        Ok(())
+    }
+
+    /// Events appended to the WAL over this store's lifetime (0 on a
+    /// non-durable store). The replication reconciliation tests check
+    /// replica-applied counts against exactly this.
+    pub fn wal_appended(&self) -> u64 {
+        let ing = self.ingest.lock().expect("ingest lock poisoned");
+        ing.durable.as_ref().map_or(0, |d| d.wal.appended())
     }
 }
 

@@ -293,6 +293,34 @@ fn main() {
         }
     }
 
+    // -- failover: the promoted replica must be bit-identical to the
+    //    killed primary, caught up, and actually promoted. Purely
+    //    functional — the timing columns are machine-dependent, so no
+    //    latency is gated --
+    if let Some(fresh) = read(&fresh_dir, "BENCH_failover.json", false) {
+        let fresh_rows = objects_in_array(&fresh, "rows");
+        gate.require(
+            "failover rows",
+            !fresh_rows.is_empty(),
+            format!("{} fresh row(s)", fresh_rows.len()),
+        );
+        for row in &fresh_rows {
+            let events = need(row, "events", "fresh BENCH_failover.json row");
+            gate.require(
+                &format!("failover bit-identical promotion @ {events} events"),
+                num_field(row, "digest_match") == Some(1.0)
+                    && num_field(row, "promoted") == Some(1.0)
+                    && num_field(row, "behind") == Some(0.0),
+                format!(
+                    "digest_match {:?}, promoted {:?}, behind {:?}",
+                    num_field(row, "digest_match"),
+                    num_field(row, "promoted"),
+                    num_field(row, "behind")
+                ),
+            );
+        }
+    }
+
     println!(
         "bench_gate: {}/{} checks passed (tolerance {:.0}%)",
         gate.checks - gate.failures,
